@@ -1,0 +1,39 @@
+//! Adaptive lower-bound adversaries from Chen–Megow–Schewior (SPAA'16).
+//!
+//! * [`migration_gap`] — the headline Theorem 3 / Lemma 2 construction: an
+//!   adaptive adversary that watches where a non-migratory online policy
+//!   pins its jobs and recursively forces it to open machine after machine,
+//!   while the released instance keeps a flow-certified migratory schedule
+//!   on **three** machines. `k` machines are forced with `O(2^k)` jobs,
+//!   i.e. an `Ω(log n)` lower bound.
+//! * [`agreeable_lb`] — the Theorem 15 / Lemma 9 adversary for agreeable
+//!   instances with identical processing times: any online algorithm (even
+//!   migratory) on fewer than `(6−2√6)·m ≈ 1.101·m` machines falls behind
+//!   by a constant amount of work per round and eventually misses.
+//!
+//! Both adversaries drive real policies through the exact `mm-sim` driver —
+//! they observe exactly what the paper's adversary observes (the policy's
+//! committed assignments) and nothing more.
+//!
+//! # Example
+//!
+//! ```
+//! use mm_adversary::run_migration_gap;
+//! use mm_core::EdfFirstFit;
+//!
+//! // Force first-fit EDF onto 3 machines with a 3-machine-feasible instance.
+//! let res = run_migration_gap(EdfFirstFit::new(), 3, 32).unwrap();
+//! assert!(res.machines_forced >= 3 || res.policy_missed);
+//! assert!(res.offline_optimum <= 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agreeable_lb;
+pub mod migration_gap;
+
+pub use agreeable_lb::{
+    lemma9_alpha, lemma9_threshold, run_agreeable_lb, AgreeableLbResult,
+};
+pub use migration_gap::{run_migration_gap, GapResult, GapStop, MigrationGapAdversary};

@@ -1,0 +1,29 @@
+//! Adversary benchmarks: cost of the Lemma 2 construction (including its
+//! flow-certified idle windows) and of the Lemma 9 rounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mm_adversary::{run_agreeable_lb, run_migration_gap};
+use mm_core::{EdfFirstFit, Llf};
+
+fn migration_gap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adversary/migration_gap");
+    g.sample_size(10);
+    for k in [2usize, 3, 4] {
+        g.bench_with_input(BenchmarkId::new("vs_edf_first_fit", k), &k, |b, &k| {
+            b.iter(|| run_migration_gap(EdfFirstFit::new(), k, 64).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn agreeable_lb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adversary/agreeable_lb");
+    g.sample_size(10);
+    g.bench_function("llf_m8_rounds20", |b| {
+        b.iter(|| run_agreeable_lb(Llf::new(), 8, 8, 20).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, migration_gap, agreeable_lb);
+criterion_main!(benches);

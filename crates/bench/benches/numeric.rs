@@ -1,0 +1,62 @@
+//! Microbenchmarks of the exact-arithmetic substrate: the cost center of
+//! every simulation step and flow computation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mm_numeric::{BigInt, Rat};
+
+fn bigint_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bigint");
+    let a = BigInt::from(3u32).pow(400);
+    let b = BigInt::from(7u32).pow(300);
+    g.bench_function("mul_400x300_digits", |bench| {
+        bench.iter(|| std::hint::black_box(&a) * std::hint::black_box(&b))
+    });
+    let p = &a * &b;
+    g.bench_function("div_rem_700_by_300_digits", |bench| {
+        bench.iter(|| std::hint::black_box(&p).div_rem(std::hint::black_box(&b)))
+    });
+    g.bench_function("gcd_400x300_digits", |bench| {
+        bench.iter(|| std::hint::black_box(&a).gcd(std::hint::black_box(&b)))
+    });
+    g.bench_function("to_string_700_digits", |bench| {
+        bench.iter(|| std::hint::black_box(&p).to_string())
+    });
+    g.finish();
+}
+
+fn rational_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rational");
+    // Denominators like the adversary produces: products of many small primes.
+    let mut x = Rat::ratio(1, 3);
+    for p in [5i64, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        x = x * Rat::ratio(p - 1, p);
+    }
+    let y = Rat::ratio(355, 113);
+    g.bench_function("add_deep_denominators", |bench| {
+        bench.iter(|| std::hint::black_box(&x) + std::hint::black_box(&y))
+    });
+    g.bench_function("mul_deep_denominators", |bench| {
+        bench.iter(|| std::hint::black_box(&x) * std::hint::black_box(&y))
+    });
+    g.bench_function("cmp_deep_denominators", |bench| {
+        bench.iter(|| std::hint::black_box(&x).cmp(std::hint::black_box(&y)))
+    });
+    g.bench_function("geometric_rescale_chain_32", |bench| {
+        let a = Rat::ratio(3, 7);
+        let b = Rat::ratio(1, 9);
+        bench.iter_batched(
+            || Rat::ratio(5, 11),
+            |mut v| {
+                for _ in 0..32 {
+                    v = &v * &a + &b;
+                }
+                v
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bigint_ops, rational_ops);
+criterion_main!(benches);

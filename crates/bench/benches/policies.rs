@@ -1,0 +1,63 @@
+//! Online-policy throughput benchmarks: every algorithm of the paper driven
+//! through the exact simulator on a standard workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mm_core::{AgreeableSplit, Edf, EdfFirstFit, LaminarBudget, Llf, MediumFit};
+use mm_instance::generators::{agreeable, laminar, uniform, AgreeableCfg, LaminarCfg, UniformCfg};
+use mm_numeric::Rat;
+use mm_sim::{run_policy, SimConfig};
+
+fn baselines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policies/baselines");
+    let inst = uniform(&UniformCfg { n: 60, horizon: 120, ..Default::default() }, 9);
+    let budget = 40;
+    g.bench_function("edf_n60", |b| {
+        b.iter(|| {
+            run_policy(&inst, Edf, SimConfig::migratory(budget)).unwrap()
+        })
+    });
+    g.bench_function("llf_n60", |b| {
+        b.iter(|| run_policy(&inst, Llf::new(), SimConfig::migratory(budget)).unwrap())
+    });
+    g.bench_function("edf_first_fit_n60", |b| {
+        b.iter(|| {
+            run_policy(&inst, EdfFirstFit::new(), SimConfig::nonmigratory(budget)).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn paper_algorithms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policies/paper");
+    let agr = agreeable(&AgreeableCfg { n: 60, ..Default::default() }, 9);
+    let m = mm_opt::optimal_machines(&agr);
+    g.bench_function("agreeable_split_n60", |b| {
+        b.iter(|| {
+            let policy = AgreeableSplit::for_optimum(m);
+            let total = policy.total_machines();
+            run_policy(&agr, policy, SimConfig::nonmigratory(total)).unwrap()
+        })
+    });
+    g.bench_function("medium_fit_n60", |b| {
+        b.iter(|| {
+            run_policy(&agr, MediumFit::new(), SimConfig::nonmigratory(60)).unwrap()
+        })
+    });
+    let lam = laminar(&LaminarCfg { depth: 3, branching: 2, ..Default::default() }, 9);
+    let ml = mm_opt::optimal_machines(&lam);
+    g.bench_function("laminar_budget_d3", |b| {
+        b.iter(|| {
+            let policy = LaminarBudget::new(
+                LaminarBudget::suggested_m_prime(ml, 4),
+                (4 * ml) as usize,
+                Rat::half(),
+            );
+            let total = policy.total_machines();
+            run_policy(&lam, policy, SimConfig::nonmigratory(total)).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, baselines, paper_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! E7 regenerator: `cargo run --release -p mm-bench --bin exp_agreeable [seeds]`
+use mm_bench::experiments::e07_agreeable as e;
+
+fn main() {
+    let seeds: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    e::curve_table(&e::curve(5)).print();
+    println!();
+    e::run_table(&e::run(seeds)).print();
+}

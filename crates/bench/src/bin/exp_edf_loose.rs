@@ -1,0 +1,12 @@
+//! E8 regenerator: `cargo run --release -p mm-bench --bin exp_edf_loose [seeds]`
+use mm_bench::experiments::e08_edf_loose as e;
+
+fn main() {
+    let seeds: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    e::table(&e::run(seeds)).print();
+    println!();
+    println!(
+        "Corollary 1 check: {} preemptions by EDF across agreeable instances (expect 0)",
+        e::corollary1_preemptions(seeds)
+    );
+}

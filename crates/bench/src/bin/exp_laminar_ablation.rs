@@ -1,0 +1,7 @@
+//! E11 regenerator: `cargo run --release -p mm-bench --bin exp_laminar_ablation [seeds]`
+use mm_bench::experiments::e11_laminar_ablation as e;
+
+fn main() {
+    let seeds: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    e::table(&e::run(seeds)).print();
+}

@@ -1,0 +1,7 @@
+//! E4 regenerator: `cargo run --release -p mm-bench --bin exp_loose [seeds]`
+use mm_bench::experiments::e04_loose as e;
+
+fn main() {
+    let seeds: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    e::table(&e::run(seeds)).print();
+}

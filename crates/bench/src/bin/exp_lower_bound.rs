@@ -1,0 +1,8 @@
+//! E1 regenerator: `cargo run --release -p mm-bench --bin exp_lower_bound [k_max]`
+use mm_bench::experiments::e01_lower_bound as e;
+
+fn main() {
+    let k_max: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let rows = e::run(k_max);
+    e::table(&rows).print();
+}

@@ -1,0 +1,119 @@
+//! E1 — Theorem 3 / Lemma 2: the migration gap.
+//!
+//! For each depth `k` the adaptive adversary is run against several
+//! non-migratory policies. The claim reproduced: the policy is forced onto
+//! `≥ k` machines (or misses a deadline) with `n = O(2^k)` jobs, while the
+//! constructed instance keeps a **certified** migratory optimum of at most
+//! 3 machines — i.e. non-migratory online machine requirement `Ω(log n)`,
+//! unbounded in `m`.
+
+use mm_adversary::{run_migration_gap, GapResult};
+use mm_core::{EdfFirstFit, LaminarBudget, MediumFit};
+use mm_numeric::Rat;
+use mm_opt::demigrate;
+
+use crate::Table;
+
+/// One adversary run.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Victim policy name.
+    pub policy: &'static str,
+    /// Target depth.
+    pub k: usize,
+    /// Jobs released.
+    pub n: usize,
+    /// Machines the policy was forced to occupy with unfinished critical jobs.
+    pub machines_forced: usize,
+    /// Whether the policy missed a deadline (also an adversary win).
+    pub missed: bool,
+    /// Certified migratory optimum of the constructed instance.
+    pub offline_opt: u64,
+    /// Upper bound on the *non-migratory* offline optimum (via the
+    /// constructive demigration): the denominator of the Theorem 4
+    /// competitive-ratio statement.
+    pub nonmig_opt_upper: usize,
+}
+
+fn to_row(policy: &'static str, k: usize, r: GapResult) -> Row {
+    let nonmig = demigrate(&r.instance).machines;
+    Row {
+        policy,
+        k,
+        n: r.jobs_released,
+        machines_forced: r.machines_forced,
+        missed: r.policy_missed,
+        offline_opt: r.offline_optimum,
+        nonmig_opt_upper: nonmig,
+    }
+}
+
+/// Runs E1 for depths `2..=k_max`.
+pub fn run(k_max: usize) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for k in 2..=k_max {
+        let r = run_migration_gap(EdfFirstFit::new(), k, 64).expect("sim error");
+        rows.push(to_row("edf-first-fit", k, r));
+        let r = run_migration_gap(MediumFit::new(), k, 64).expect("sim error");
+        rows.push(to_row("medium-fit", k, r));
+        let r = run_migration_gap(LaminarBudget::new(32, 16, Rat::half()), k, 64)
+            .expect("sim error");
+        rows.push(to_row("laminar-budget", k, r));
+    }
+    rows
+}
+
+/// Renders E1 as a table.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        "E1  Theorem 3 / Lemma 2 — non-migratory online machines vs migratory OPT=3",
+        &[
+            "policy",
+            "k",
+            "n jobs",
+            "machines forced",
+            "missed",
+            "migratory OPT",
+            "non-mig OPT ≤",
+            "log2(n)",
+        ],
+    );
+    for r in rows {
+        t.row(&[
+            r.policy.to_string(),
+            r.k.to_string(),
+            r.n.to_string(),
+            r.machines_forced.to_string(),
+            if r.missed { "yes".into() } else { "no".into() },
+            r.offline_opt.to_string(),
+            r.nonmig_opt_upper.to_string(),
+            format!("{:.2}", (r.n as f64).log2()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_holds_up_to_k4() {
+        let rows = run(4);
+        for r in &rows {
+            assert!(r.offline_opt <= 3, "{}: opt {}", r.policy, r.offline_opt);
+            // Theorem 2: the non-migratory optimum stays within 6m−5.
+            assert!(r.nonmig_opt_upper as u64 <= 6 * r.offline_opt - 5);
+            assert!(
+                r.machines_forced >= r.k || r.missed,
+                "{} k={}: forced only {}",
+                r.policy,
+                r.k,
+                r.machines_forced
+            );
+        }
+        // growth: n grows with k for the same policy
+        let eff: Vec<&Row> = rows.iter().filter(|r| r.policy == "edf-first-fit").collect();
+        assert!(eff.windows(2).all(|w| w[1].n >= w[0].n));
+    }
+}

@@ -1,0 +1,125 @@
+//! E4 — Theorems 5/8: `O(1)`-competitive scheduling of α-loose instances.
+//!
+//! For each α and instance size the Theorem 6 pipeline is run with the
+//! Theorem 7 machine budget. The claim reproduced: the ratio
+//! `machines used / m` stays bounded by a constant that depends on α but
+//! **not** on `n` — flat rows as `n` grows.
+
+use mm_core::{clt_machines, loose_epsilon, run_loose};
+use mm_instance::generators::{loose, UniformCfg};
+use mm_numeric::Rat;
+use mm_opt::optimal_machines;
+
+use crate::{parallel_map, Table};
+
+/// One (α, n) cell aggregated over seeds.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Looseness threshold α (as a string like "1/3").
+    pub alpha: String,
+    /// Jobs per instance.
+    pub n: usize,
+    /// Mean migratory optimum.
+    pub mean_m: f64,
+    /// Mean machines used by the pipeline.
+    pub mean_used: f64,
+    /// Mean ratio used/m.
+    pub mean_ratio: f64,
+    /// Theorem 7 budget multiplier `⌈(1+1/ε)²⌉` for this α.
+    pub budget_multiplier: u64,
+    /// Any misses observed (must be none).
+    pub misses: usize,
+}
+
+/// Runs E4: α ∈ {1/10, 1/3, 1/2, 7/10, 9/10}, n ∈ {20, 40, 80}.
+pub fn run(seeds: u64) -> Vec<Row> {
+    let alphas = [(1i64, 10i64), (1, 3), (1, 2), (7, 10), (9, 10)];
+    let ns = [20usize, 40, 80];
+    let mut rows = Vec::new();
+    for (num, den) in alphas {
+        let alpha = Rat::ratio(num, den);
+        let eps = loose_epsilon(&alpha);
+        let mult = clt_machines(&eps, 1);
+        for n in ns {
+            let inputs: Vec<u64> = (0..seeds).collect();
+            let alpha_c = alpha.clone();
+            let results = parallel_map(inputs, 8, move |seed| {
+                let inst = loose(
+                    &UniformCfg { n, horizon: (2 * n) as i64, ..Default::default() },
+                    &alpha_c,
+                    seed,
+                );
+                let m = optimal_machines(&inst);
+                let eps = loose_epsilon(&alpha_c);
+                let budget = clt_machines(&eps, m).max(inst.len() as u64);
+                let res = run_loose(&inst, &alpha_c, budget).expect("sim error");
+                (m, res.machines_used, res.misses.len())
+            });
+            let k = results.len() as f64;
+            rows.push(Row {
+                alpha: format!("{num}/{den}"),
+                n,
+                mean_m: results.iter().map(|(m, _, _)| *m as f64).sum::<f64>() / k,
+                mean_used: results.iter().map(|(_, u, _)| *u as f64).sum::<f64>() / k,
+                mean_ratio: results
+                    .iter()
+                    .map(|(m, u, _)| *u as f64 / *m as f64)
+                    .sum::<f64>()
+                    / k,
+                budget_multiplier: mult,
+                misses: results.iter().map(|(_, _, x)| x).sum(),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders E4.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        "E4  Theorems 5/8 — α-loose pipeline: machines/m flat in n",
+        &["alpha", "n", "mean m", "mean used", "used/m", "Thm7 budget ×m", "misses"],
+    );
+    for r in rows {
+        t.row(&[
+            r.alpha.clone(),
+            r.n.to_string(),
+            format!("{:.2}", r.mean_m),
+            format!("{:.2}", r.mean_used),
+            format!("{:.2}", r.mean_ratio),
+            r.budget_multiplier.to_string(),
+            r.misses.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_is_flat_in_n_and_feasible() {
+        let rows = run(3);
+        for r in &rows {
+            assert_eq!(r.misses, 0, "alpha {} n {}", r.alpha, r.n);
+        }
+        // flatness: for each alpha, the ratio at n=80 is at most ~2.5x the
+        // ratio at n=20 (constant competitive, modulo small-m noise).
+        for (num, den) in [(1, 10), (1, 3), (1, 2), (7, 10), (9, 10)] {
+            let label = format!("{num}/{den}");
+            let of_n = |n: usize| {
+                rows.iter()
+                    .find(|r| r.alpha == label && r.n == n)
+                    .map(|r| r.mean_ratio)
+                    .unwrap()
+            };
+            assert!(
+                of_n(80) <= 2.5 * of_n(20) + 0.5,
+                "alpha {label}: ratio grew from {} to {}",
+                of_n(20),
+                of_n(80)
+            );
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! E5 — Theorem 7 (Chan–Lam–To interface): the speed/machine trade-off.
+//!
+//! For each ε, the speed-`(1+ε)²` non-migratory black box is granted
+//! `⌈(1+1/ε)²⌉·m` machines and run on general instances. The claim
+//! reproduced: feasibility holds across the sweep, and the trade-off curve
+//! (large ε → few machines & high speed, small ε → many machines & speed
+//! near 1) matches the formula.
+
+use mm_core::{clt_machines, clt_speed, EdfFirstFit};
+use mm_instance::generators::{uniform, UniformCfg};
+use mm_numeric::Rat;
+use mm_opt::optimal_machines;
+use mm_sim::{run_policy, SimConfig};
+
+use crate::{parallel_map, Table};
+
+/// One ε cell.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// ε as a string.
+    pub eps: String,
+    /// Speed `(1+ε)²` (as f64 for display).
+    pub speed: f64,
+    /// Budget multiplier `⌈(1+1/ε)²⌉`.
+    pub multiplier: u64,
+    /// Instances run.
+    pub instances: usize,
+    /// Instances scheduled without misses within the budget.
+    pub feasible: usize,
+    /// Mean machines actually used / m.
+    pub mean_used_over_m: f64,
+}
+
+/// Runs E5 with ε ∈ {1/4, 1/2, 1, 2} over uniform instances.
+pub fn run(seeds: u64) -> Vec<Row> {
+    let epsilons = [(1i64, 4i64), (1, 2), (1, 1), (2, 1)];
+    let mut rows = Vec::new();
+    for (num, den) in epsilons {
+        let eps = Rat::ratio(num, den);
+        let speed = clt_speed(&eps);
+        let results = parallel_map((0..seeds).collect::<Vec<u64>>(), 8, |seed| {
+            let inst = uniform(&UniformCfg { n: 40, ..Default::default() }, seed);
+            let m = optimal_machines(&inst);
+            let budget = clt_machines(&eps, m);
+            let cfg =
+                SimConfig::nonmigratory(budget as usize).with_speed(speed.clone());
+            let out = run_policy(&inst, EdfFirstFit::new(), cfg).expect("sim error");
+            (m, out.machines_used(), out.feasible())
+        });
+        let feasible = results.iter().filter(|(_, _, f)| *f).count();
+        let mean = results
+            .iter()
+            .map(|(m, u, _)| *u as f64 / *m as f64)
+            .sum::<f64>()
+            / results.len() as f64;
+        rows.push(Row {
+            eps: format!("{num}/{den}"),
+            speed: clt_speed(&eps).to_f64(),
+            multiplier: clt_machines(&eps, 1),
+            instances: results.len(),
+            feasible,
+            mean_used_over_m: mean,
+        });
+    }
+    rows
+}
+
+/// Renders E5.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        "E5  Theorem 7 — speed-(1+ε)² machines ⌈(1+1/ε)²⌉·m trade-off",
+        &["eps", "speed", "budget ×m", "instances", "feasible", "used/m"],
+    );
+    for r in rows {
+        t.row(&[
+            r.eps.clone(),
+            format!("{:.3}", r.speed),
+            r.multiplier.to_string(),
+            r.instances.to_string(),
+            r.feasible.to_string(),
+            format!("{:.2}", r.mean_used_over_m),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tradeoff_shape() {
+        let rows = run(3);
+        // everything feasible within the Theorem 7 budget
+        for r in &rows {
+            assert_eq!(r.feasible, r.instances, "eps {}", r.eps);
+        }
+        // monotone trade-off: larger ε → more speed, fewer machines
+        for w in rows.windows(2) {
+            assert!(w[1].speed > w[0].speed);
+            assert!(w[1].multiplier <= w[0].multiplier);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! E7 — Theorem 12: the non-preemptive agreeable algorithm and its
+//! α-optimization curve.
+//!
+//! Two parts. (a) The *curve*: `m/(1−α)² + 16m/α` over α — the quantity the
+//! paper minimizes; its minimum must sit near α ≈ 0.63 at value ≈ 32.70·m
+//! (this is the paper's only genuine "figure"). (b) The *runs*: the split
+//! algorithm at α = 0.63 on agreeable instances — non-preemptive, feasible,
+//! machines ≤ 32.70·m.
+
+use mm_core::{theorem12_total, AgreeableSplit};
+use mm_instance::generators::{agreeable, AgreeableCfg};
+use mm_numeric::Rat;
+use mm_opt::optimal_machines;
+use mm_sim::{run_policy, SimConfig, VerifyOptions};
+
+use crate::{parallel_map, Table};
+
+/// One point of the α curve.
+#[derive(Debug, Clone)]
+pub struct CurveRow {
+    /// α in hundredths.
+    pub alpha_pct: i64,
+    /// `1/(1−α)²` term (per machine).
+    pub loose_term: f64,
+    /// `16/α` term (per machine).
+    pub tight_term: f64,
+    /// Total machines per `m`.
+    pub total: f64,
+}
+
+/// The α curve sampled at `pct` percent steps.
+pub fn curve(step_pct: i64) -> Vec<CurveRow> {
+    let mut rows = Vec::new();
+    let mut a = step_pct;
+    while a < 100 {
+        let alpha = Rat::ratio(a, 100);
+        let one = Rat::one();
+        let loose = (&one / ((&one - &alpha) * (&one - &alpha))).to_f64();
+        let tight = (Rat::from(16i64) / &alpha).to_f64();
+        rows.push(CurveRow {
+            alpha_pct: a,
+            loose_term: loose,
+            tight_term: tight,
+            total: theorem12_total(1, &alpha).to_f64(),
+        });
+        a += step_pct;
+    }
+    rows
+}
+
+/// One run aggregate at the optimal α.
+#[derive(Debug, Clone)]
+pub struct RunRow {
+    /// Instance size.
+    pub n: usize,
+    /// Mean optimum m.
+    pub mean_m: f64,
+    /// Instances fully scheduled non-preemptively.
+    pub feasible: usize,
+    /// Instances run.
+    pub instances: usize,
+    /// Mean machines used / m.
+    pub mean_used_over_m: f64,
+    /// Preemptions observed (must be zero — Theorem 12 is non-preemptive).
+    pub preemptions: usize,
+}
+
+/// Runs the Theorem 12 algorithm on agreeable instances.
+pub fn run(seeds: u64) -> Vec<RunRow> {
+    let mut rows = Vec::new();
+    for n in [20usize, 40, 80] {
+        let results = parallel_map((0..seeds).collect::<Vec<u64>>(), 8, |seed| {
+            let inst = agreeable(&AgreeableCfg { n, ..Default::default() }, seed);
+            let m = optimal_machines(&inst);
+            let policy = AgreeableSplit::for_optimum(m);
+            let total = policy.total_machines();
+            let mut out = run_policy(&inst, policy, SimConfig::nonmigratory(total))
+                .expect("sim error");
+            let feas = out.feasible();
+            let stats = mm_sim::verify(
+                &out.instance,
+                &mut out.schedule,
+                &VerifyOptions::nonmigratory(),
+            );
+            let preempts = stats.map(|s| s.preemptions).unwrap_or(usize::MAX);
+            (m, out.machines_used(), feas, preempts)
+        });
+        let k = results.len();
+        rows.push(RunRow {
+            n,
+            mean_m: results.iter().map(|(m, _, _, _)| *m as f64).sum::<f64>() / k as f64,
+            feasible: results.iter().filter(|(_, _, f, _)| *f).count(),
+            instances: k,
+            mean_used_over_m: results
+                .iter()
+                .map(|(m, u, _, _)| *u as f64 / *m as f64)
+                .sum::<f64>()
+                / k as f64,
+            preemptions: results.iter().map(|(_, _, _, p)| *p).sum(),
+        });
+    }
+    rows
+}
+
+/// Renders the curve table.
+pub fn curve_table(rows: &[CurveRow]) -> Table {
+    let mut t = Table::new(
+        "E7a  Theorem 12 — machine count per m vs α (minimum ≈ 32.70 at α ≈ 0.63)",
+        &["alpha", "1/(1−α)²", "16/α", "total per m"],
+    );
+    for r in rows {
+        t.row(&[
+            format!("0.{:02}", r.alpha_pct),
+            format!("{:.2}", r.loose_term),
+            format!("{:.2}", r.tight_term),
+            format!("{:.2}", r.total),
+        ]);
+    }
+    t
+}
+
+/// Renders the run table.
+pub fn run_table(rows: &[RunRow]) -> Table {
+    let mut t = Table::new(
+        "E7b  Theorem 12 — non-preemptive agreeable runs at α = 0.63",
+        &["n", "mean m", "feasible", "instances", "used/m", "preemptions"],
+    );
+    for r in rows {
+        t.row(&[
+            r.n.to_string(),
+            format!("{:.2}", r.mean_m),
+            r.feasible.to_string(),
+            r.instances.to_string(),
+            format!("{:.2}", r.mean_used_over_m),
+            r.preemptions.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_minimum_near_063() {
+        let rows = curve(1);
+        let best = rows
+            .iter()
+            .min_by(|a, b| a.total.partial_cmp(&b.total).unwrap())
+            .unwrap();
+        assert!(
+            (60..=66).contains(&best.alpha_pct),
+            "minimum at alpha 0.{:02}",
+            best.alpha_pct
+        );
+        assert!((best.total - 32.70).abs() < 0.1, "minimum value {}", best.total);
+    }
+
+    #[test]
+    fn runs_are_nonpreemptive_feasible_and_linear() {
+        let rows = run(3);
+        for r in &rows {
+            assert_eq!(r.feasible, r.instances, "n {}", r.n);
+            assert_eq!(r.preemptions, 0, "Theorem 12 promises non-preemptive schedules");
+            assert!(r.mean_used_over_m <= 33.0, "n {}: {}", r.n, r.mean_used_over_m);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! E8 — Theorem 13 / Corollary 1: EDF on α-loose instances.
+//!
+//! For each α, the minimum machine budget on which migratory EDF schedules
+//! α-loose instances without misses is measured and compared with the
+//! `m/(1−α)²` bound. On agreeable instances, EDF's schedule is additionally
+//! verified to be non-preemptive (Corollary 1).
+
+use mm_core::{Edf, NonpreemptiveEdf};
+use mm_instance::generators::{agreeable, loose, AgreeableCfg, UniformCfg};
+use mm_numeric::Rat;
+use mm_opt::optimal_machines;
+use mm_sim::{run_policy, SimConfig, VerifyOptions};
+
+use crate::experiments::min_feasible_machines;
+use crate::{parallel_map, Table};
+
+/// One α cell.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// α as a string.
+    pub alpha: String,
+    /// Mean optimum.
+    pub mean_m: f64,
+    /// Mean minimal EDF budget.
+    pub mean_edf_min: f64,
+    /// Mean Theorem 13 bound `⌈m/(1−α)²⌉`.
+    pub mean_bound: f64,
+    /// Runs where the minimal budget respected the bound.
+    pub within_bound: usize,
+    /// Instances run.
+    pub instances: usize,
+}
+
+/// Runs E8: α sweep on loose instances.
+pub fn run(seeds: u64) -> Vec<Row> {
+    let alphas = [(1i64, 4i64), (1, 2), (3, 4)];
+    let mut rows = Vec::new();
+    for (num, den) in alphas {
+        let alpha = Rat::ratio(num, den);
+        let results = parallel_map((0..seeds).collect::<Vec<u64>>(), 8, |seed| {
+            let inst = loose(&UniformCfg { n: 30, ..Default::default() }, &alpha, seed);
+            let m = optimal_machines(&inst);
+            let one = Rat::one();
+            let bound = (Rat::from(m) / ((&one - &alpha) * (&one - &alpha))).ceil_u64();
+            let min_budget =
+                min_feasible_machines(&inst, m, bound + 4, true, Edf::default)
+                    .unwrap_or(bound + 5);
+            (m, min_budget, bound)
+        });
+        let k = results.len();
+        rows.push(Row {
+            alpha: format!("{num}/{den}"),
+            mean_m: results.iter().map(|(m, _, _)| *m as f64).sum::<f64>() / k as f64,
+            mean_edf_min: results.iter().map(|(_, b, _)| *b as f64).sum::<f64>() / k as f64,
+            mean_bound: results.iter().map(|(_, _, b)| *b as f64).sum::<f64>() / k as f64,
+            within_bound: results.iter().filter(|(_, got, bound)| got <= bound).count(),
+            instances: k,
+        });
+    }
+    rows
+}
+
+/// Corollary 1 check: EDF on agreeable α-loose instances never preempts.
+pub fn corollary1_preemptions(seeds: u64) -> usize {
+    let mut total = 0;
+    for seed in 0..seeds {
+        let inst = agreeable(
+            &AgreeableCfg { n: 30, min_window: 8, max_window: 16, ..Default::default() },
+            seed,
+        );
+        let m = optimal_machines(&inst);
+        let budget = (4 * m) as usize + 2;
+        let mut out = run_policy(
+            &inst,
+            NonpreemptiveEdf::new(),
+            SimConfig::nonmigratory(budget),
+        )
+        .expect("sim error");
+        if !out.feasible() {
+            continue;
+        }
+        let stats = mm_sim::verify(
+            &out.instance,
+            &mut out.schedule,
+            &VerifyOptions::nonmigratory(),
+        )
+        .expect("valid schedule");
+        total += stats.preemptions;
+    }
+    total
+}
+
+/// Renders E8.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        "E8  Theorem 13 — minimal EDF budget vs m/(1−α)² on α-loose instances",
+        &["alpha", "mean m", "EDF min budget", "bound m/(1−α)²", "within bound", "instances"],
+    );
+    for r in rows {
+        t.row(&[
+            r.alpha.clone(),
+            format!("{:.2}", r.mean_m),
+            format!("{:.2}", r.mean_edf_min),
+            format!("{:.2}", r.mean_bound),
+            r.within_bound.to_string(),
+            r.instances.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edf_respects_theorem13_budget() {
+        let rows = run(3);
+        for r in &rows {
+            assert_eq!(
+                r.within_bound, r.instances,
+                "alpha {}: some run exceeded the Theorem 13 bound",
+                r.alpha
+            );
+            assert!(r.mean_edf_min >= r.mean_m - 1e-9);
+        }
+    }
+
+    #[test]
+    fn corollary1_no_preemptions_on_agreeable() {
+        assert_eq!(corollary1_preemptions(3), 0);
+    }
+}

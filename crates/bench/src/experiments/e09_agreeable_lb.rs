@@ -1,0 +1,107 @@
+//! E9 — Theorem 15 / Lemma 9: the agreeable lower bound `6 − 2√6 ≈ 1.101`.
+//!
+//! The adversary plays rounds against migratory EDF and LLF with machine
+//! budgets `⌊(1+β)·m⌋` for β swept across the threshold
+//! `(α−2α²)/(1+α) ≈ 0.101`. The claim reproduced: below the threshold the
+//! policy misses within a bounded number of rounds; with a comfortably
+//! larger budget it survives the full horizon, and rounds-to-failure grow
+//! as β approaches the threshold from below.
+
+use mm_adversary::{lemma9_alpha, lemma9_threshold, run_agreeable_lb};
+use mm_core::{Edf, Llf};
+
+use crate::Table;
+
+/// One (policy, β) cell.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Victim policy.
+    pub policy: &'static str,
+    /// Machine surplus β (budget = ⌊(1+β)m⌋) in permille.
+    pub beta_permille: i64,
+    /// Lanes `m`.
+    pub m: u64,
+    /// Machines granted.
+    pub budget: usize,
+    /// Round of first miss (None = survived the horizon).
+    pub failed_round: Option<usize>,
+    /// Rounds played.
+    pub rounds: usize,
+}
+
+/// Runs E9 with `m` lanes and `max_rounds` horizon.
+pub fn run(m: u64, max_rounds: usize) -> Vec<Row> {
+    // β sweep in permille: well below, just below, at, just above, far above
+    // the ≈101‰ threshold.
+    let betas = [0i64, 50, 90, 101, 150, 300, 1000];
+    let mut rows = Vec::new();
+    for beta in betas {
+        let budget = ((1000 + beta) as u64 * m / 1000) as usize;
+        let res = run_agreeable_lb(Edf, m, budget, max_rounds).expect("sim error");
+        rows.push(Row {
+            policy: "edf",
+            beta_permille: beta,
+            m,
+            budget,
+            failed_round: res.failed_round,
+            rounds: res.rounds,
+        });
+        let res = run_agreeable_lb(Llf::new(), m, budget, max_rounds).expect("sim error");
+        rows.push(Row {
+            policy: "llf",
+            beta_permille: beta,
+            m,
+            budget,
+            failed_round: res.failed_round,
+            rounds: res.rounds,
+        });
+    }
+    rows
+}
+
+/// Renders E9.
+pub fn table(rows: &[Row]) -> Table {
+    let thr = lemma9_threshold(&lemma9_alpha()).to_f64();
+    let mut t = Table::new(
+        &format!(
+            "E9  Theorem 15 — agreeable adversary vs budget (1+β)m, threshold β* ≈ {thr:.4}"
+        ),
+        &["policy", "beta", "m", "budget", "failed at round", "rounds played"],
+    );
+    for r in rows {
+        t.row(&[
+            r.policy.to_string(),
+            format!("{:.3}", r.beta_permille as f64 / 1000.0),
+            r.m.to_string(),
+            r.budget.to_string(),
+            r.failed_round.map_or("survived".to_string(), |x| x.to_string()),
+            r.rounds.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_threshold_fails_above_survives() {
+        let rows = run(8, 40);
+        for r in &rows {
+            match r.beta_permille {
+                0 => assert!(
+                    r.failed_round.is_some(),
+                    "{} at β=0 must fail (budget m)",
+                    r.policy
+                ),
+                1000 => assert!(
+                    r.failed_round.is_none(),
+                    "{} at β=1 must survive (budget 2m)",
+                    r.policy
+                ),
+                _ => {}
+            }
+        }
+    }
+}

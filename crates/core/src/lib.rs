@@ -1,0 +1,53 @@
+//! Online machine-minimization algorithms — the algorithmic contribution of
+//! *“The Power of Migration in Online Machine Minimization”*
+//! (Chen–Megow–Schewior, SPAA'16), plus the classic baselines it builds on.
+//!
+//! All algorithms implement [`mm_sim::OnlinePolicy`] and are exercised
+//! through the exact driver in `mm-sim`:
+//!
+//! | Policy | Paper reference | Guarantee |
+//! |---|---|---|
+//! | [`Edf`] | Theorem 13, Phillips et al. | `m/(1−α)²` machines on α-loose instances (migratory); `Ω(Δ)` in general |
+//! | [`Llf`] | Phillips et al. | `O(log Δ)` machines (migratory) |
+//! | [`EdfFirstFit`] | — (also the Theorem 7 stand-in at speed `s`) | exact per-machine admission, non-migratory |
+//! | [`NonpreemptiveEdf`] | Corollary 1 | non-preemptive; `m/(1−α)²` on agreeable α-loose |
+//! | [`MediumFit`] | Lemma 8 | `16m/α` machines on agreeable α-tight, non-preemptive |
+//! | [`AgreeableSplit`] | Theorem 12 | `≈32.70·m` machines, non-preemptive, agreeable |
+//! | [`LaminarBudget`] | Theorem 9 | `O(m log m)` machines, non-migratory, laminar |
+//! | [`run_loose`] | Theorems 5/6/8 | `O(m)` machines, non-migratory, α-loose |
+//! | [`NonPreemptivePools`] | §1 related work (Saha) | non-preemptive, class pools |
+//! | [`DoublingAgreeable`] | §2 remark | Theorem 12 without knowing `m` |
+//!
+//! # Example
+//!
+//! ```
+//! use mm_core::EdfFirstFit;
+//! use mm_instance::Instance;
+//! use mm_sim::{run_policy, SimConfig};
+//!
+//! let inst = Instance::from_ints([(0, 3, 2), (0, 3, 2), (5, 9, 3)]);
+//! let out = run_policy(&inst, EdfFirstFit::new(), SimConfig::nonmigratory(4)).unwrap();
+//! assert!(out.feasible());
+//! assert_eq!(out.machines_used(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod agreeable;
+mod doubling;
+mod edf;
+mod laminar;
+mod llf;
+mod loose;
+mod medium_fit;
+mod nonpreemptive;
+
+pub use agreeable::{optimal_alpha, theorem12_budgets, theorem12_total, AgreeableSplit};
+pub use doubling::{estimate_optimum, DoublingAgreeable};
+pub use edf::{fits_single_machine, Edf, EdfFirstFit, NonpreemptiveEdf};
+pub use laminar::{AssignMode, LaminarBudget};
+pub use llf::Llf;
+pub use loose::{clt_machines, clt_speed, loose_epsilon, run_loose, LooseRun};
+pub use medium_fit::MediumFit;
+pub use nonpreemptive::NonPreemptivePools;

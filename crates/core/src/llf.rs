@@ -1,0 +1,158 @@
+//! Least Laxity First (LLF).
+//!
+//! At any time the `m'` active jobs with the smallest *remaining laxity*
+//! `ℓ_j(t) = d_j − t − p_j(t)` run. Phillips et al. prove LLF is
+//! `O(log Δ)`-machine-competitive (migratory), in contrast to EDF's `Ω(Δ)` —
+//! the contrast reproduced by experiment E10.
+//!
+//! Laxity of a *running* job is constant (deadline minus both time and work
+//! shrink together at unit speed); laxity of a *waiting* job decreases at
+//! rate 1. The policy therefore computes the exact next crossing time where
+//! some waiting job's laxity drops below the laxity of some chosen job and
+//! requests a wake-up there; incumbents win ties, so the schedule cannot
+//! thrash at equal laxities.
+
+use std::collections::BTreeSet;
+
+use mm_instance::JobId;
+use mm_numeric::Rat;
+use mm_sim::{Decision, OnlinePolicy, SimState};
+
+/// Migratory Least Laxity First on the driver-provided machines.
+#[derive(Debug, Default)]
+pub struct Llf {
+    /// Jobs chosen in the previous decision (tie-breaking incumbents).
+    incumbents: BTreeSet<JobId>,
+}
+
+impl Llf {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl OnlinePolicy for Llf {
+    fn decide(&mut self, state: &SimState<'_>) -> Decision {
+        // Rank: (laxity, not-incumbent, id). Incumbents win ties so equal
+        // laxities do not oscillate.
+        let mut ranked: Vec<(Rat, bool, JobId)> = state
+            .active
+            .values()
+            .map(|a| {
+                (
+                    a.laxity_at(state.time, state.speed),
+                    !self.incumbents.contains(&a.job.id),
+                    a.job.id,
+                )
+            })
+            .collect();
+        ranked.sort();
+        let chosen: Vec<JobId> =
+            ranked.iter().take(state.machines).map(|(_, _, id)| *id).collect();
+        // Highest laxity among chosen jobs: a waiting job preempts when its
+        // (decreasing) laxity falls strictly below this constant.
+        let threshold =
+            ranked.iter().take(state.machines).map(|(l, _, _)| l.clone()).max();
+        let mut wake: Option<Rat> = None;
+        let consider = |t: Rat, wake: &mut Option<Rat>| {
+            if t > *state.time {
+                match wake {
+                    Some(w) if *w <= t => {}
+                    _ => *wake = Some(t),
+                }
+            }
+        };
+        if let Some(thr) = threshold {
+            for (lax, _, _) in ranked.iter().skip(state.machines) {
+                // Waiting laxity at t+δ is lax−δ. Two exact wake-ups per
+                // waiting job: the crossing with the chosen set's maximum
+                // laxity (after which the next decision re-ranks it in), and
+                // its must-start time t+lax where its laxity reaches zero and
+                // it strictly beats any positive-laxity runner.
+                let delta = lax - &thr;
+                if delta.is_positive() {
+                    consider(state.time + &delta, &mut wake);
+                }
+                consider(state.time + lax, &mut wake);
+            }
+        }
+        self.incumbents = chosen.iter().copied().collect();
+        Decision {
+            run: chosen.into_iter().enumerate().collect(),
+            wake_at: wake,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "llf"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_instance::Instance;
+    use mm_sim::{run_policy, verify, SimConfig, VerifyOptions};
+
+    #[test]
+    fn llf_single_job() {
+        let inst = Instance::from_ints([(0, 5, 3)]);
+        let mut out = run_policy(&inst, Llf::new(), SimConfig::migratory(1)).unwrap();
+        assert!(out.feasible());
+        verify(&out.instance, &mut out.schedule, &VerifyOptions::migratory()).unwrap();
+    }
+
+    #[test]
+    fn llf_prioritizes_low_laxity() {
+        // j0 laxity 6, j1 laxity 0: LLF must run j1 immediately.
+        let inst = Instance::from_ints([(0, 10, 4), (0, 4, 4)]);
+        let mut out = run_policy(&inst, Llf::new(), SimConfig::migratory(1)).unwrap();
+        assert!(out.feasible());
+        let segs = out.schedule.segments();
+        // first segment runs the laxity-0 job (which has processing 4 and
+        // deadline 4 -> it is canonical j1? canonical order: (0,10,4) first).
+        assert_eq!(out.instance.job(segs[0].job).laxity(), Rat::zero());
+    }
+
+    #[test]
+    fn llf_preempts_at_exact_crossing() {
+        // j0: (0,10,4) laxity 6. j1: (0,8,5) laxity 3. One machine.
+        // LLF runs j1 (laxity 3, constant while running); j0's laxity falls
+        // from 6; crossing at t=3. After that they alternate/share.
+        // Feasibility on one machine: total 9 > 8 — infeasible, so use the
+        // crossing only to check exactness on two jobs that do fit:
+        // j0: (0,12,4) laxity 8; j1: (0,8,5) laxity 3. Total 9 ≤ 12. LLF:
+        // runs j1; j0 laxity hits 3 at t=5; j1 finishes at t=5 exactly.
+        let inst = Instance::from_ints([(0, 12, 4), (0, 8, 5)]);
+        let mut out = run_policy(&inst, Llf::new(), SimConfig::migratory(1)).unwrap();
+        assert!(out.feasible());
+        verify(&out.instance, &mut out.schedule, &VerifyOptions::migratory()).unwrap();
+    }
+
+    #[test]
+    fn llf_feasible_on_generated_instances_with_headroom() {
+        use mm_instance::generators::{uniform, UniformCfg};
+        use mm_opt::optimal_machines;
+        for seed in 0..4 {
+            let inst = uniform(&UniformCfg { n: 25, ..Default::default() }, seed);
+            let m = optimal_machines(&inst);
+            // Generous budget; E10 measures the real requirement curve.
+            let budget = (3 * m + 2) as usize;
+            let mut out = run_policy(&inst, Llf::new(), SimConfig::migratory(budget)).unwrap();
+            assert!(out.feasible(), "seed {seed} with budget {budget}");
+            verify(&out.instance, &mut out.schedule, &VerifyOptions::migratory()).unwrap();
+        }
+    }
+
+    #[test]
+    fn llf_zero_laxity_stream() {
+        // back-to-back zero-laxity jobs must all run exactly in-window
+        let inst = Instance::from_ints([(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        let mut out = run_policy(&inst, Llf::new(), SimConfig::migratory(1)).unwrap();
+        assert!(out.feasible());
+        let stats =
+            verify(&out.instance, &mut out.schedule, &VerifyOptions::migratory()).unwrap();
+        assert_eq!(stats.machines_used, 1);
+    }
+}

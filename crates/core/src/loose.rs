@@ -1,0 +1,190 @@
+//! The α-loose-job reduction of Section 4 (Theorems 5, 6, 8).
+//!
+//! Theorem 6 turns any non-migratory algorithm `A` on `f(m)` speed-`s`
+//! machines into a unit-speed non-migratory algorithm for α-loose instances
+//! (`α < 1/s`): multiply every processing time by `s` (the instance `J^s`,
+//! still feasible because the jobs are loose), run `A` at speed `s`, and
+//! replay each original job in exactly the time slots where its scaled copy
+//! ran. Lemma 4 bounds `m(J^s) = O(m(J))` via the window-shrinking Lemma 3,
+//! so plugging in Chan–Lam–To's Theorem 7 black box yields `O(m)` machines
+//! (Theorem 5) and `O(1)`-competitiveness (Theorem 8).
+//!
+//! Our Theorem 7 stand-in is first-fit EDF with an exact speed-`s` admission
+//! test ([`crate::EdfFirstFit`] + [`clt_speed`]/[`clt_machines`]; see
+//! DESIGN.md, substitution 1). Its decisions are scale-invariant — the
+//! admission test for `s·p_j` at speed `s` equals the unit test for `p_j` —
+//! so with this particular black box the composed pipeline provably
+//! coincides with plain unit-speed first-fit EDF. [`run_loose`] executes the
+//! pipeline literally (scale → speed-`s` run → map back) and the tests
+//! assert both facts: the mapped-back schedule is feasible and identical in
+//! machine usage to the direct run.
+
+use mm_instance::Instance;
+use mm_numeric::Rat;
+use mm_sim::{run_policy, Schedule, Segment, SimConfig, SimError};
+
+use crate::EdfFirstFit;
+
+/// Theorem 7 speed: `(1+ε)²`.
+pub fn clt_speed(eps: &Rat) -> Rat {
+    let f = Rat::one() + eps;
+    &f * &f
+}
+
+/// Theorem 7 machine budget: `⌈(1+1/ε)²⌉ · m`.
+pub fn clt_machines(eps: &Rat, m: u64) -> u64 {
+    let f = Rat::one() + eps.recip();
+    (&f * &f).ceil_u64() * m
+}
+
+/// A rational `ε > 0` with `(1+ε)² < 1/α`, as required to apply Theorem 6
+/// with the Theorem 7 black box on α-loose jobs:
+/// `ε = min{(1/α − 1)/3, 1/2}`.
+pub fn loose_epsilon(alpha: &Rat) -> Rat {
+    assert!(alpha.is_positive() && *alpha < Rat::one(), "alpha ∈ (0,1)");
+    let third = Rat::ratio(1, 3);
+    let candidate = (alpha.recip() - Rat::one()) * third;
+    candidate.min(Rat::half())
+}
+
+/// Result of the Theorem 6 pipeline.
+#[derive(Debug)]
+pub struct LooseRun {
+    /// Chosen ε.
+    pub eps: Rat,
+    /// Speed `s = (1+ε)²` used internally.
+    pub speed: Rat,
+    /// The final unit-speed non-migratory schedule for the *original*
+    /// instance.
+    pub schedule: Schedule,
+    /// Jobs that missed (none expected within the machine budget).
+    pub misses: Vec<mm_instance::JobId>,
+    /// Machines used.
+    pub machines_used: usize,
+}
+
+/// Executes the Theorem 6 reduction on an α-loose instance with the given
+/// machine budget: scales processing times by `s`, runs the speed-`s`
+/// black box, and maps the schedule back to unit speed.
+pub fn run_loose(instance: &Instance, alpha: &Rat, machines: u64) -> Result<LooseRun, SimError> {
+    assert!(instance.all_loose(alpha), "instance must be α-loose");
+    let eps = loose_epsilon(alpha);
+    let speed = clt_speed(&eps);
+    // J^s is feasible: α·s < 1 by construction of ε.
+    let scaled = instance.scale_processing(&speed);
+    let cfg = SimConfig::nonmigratory(machines as usize).with_speed(speed.clone());
+    let out = run_policy(&scaled, EdfFirstFit::new(), cfg)?;
+    // Map back: same segments, unit speed, original jobs. The scaled job
+    // occupied exactly `p_j` time units (volume s·p_j at speed s), which is
+    // precisely what the original job needs at unit speed.
+    let mut schedule = Schedule::new();
+    for seg in out.schedule.raw_segments() {
+        schedule.push(Segment {
+            machine: seg.machine,
+            interval: seg.interval.clone(),
+            job: seg.job,
+            speed: Rat::one(),
+        });
+    }
+    // Ids survive the scaling (scale_processing keeps canonical order since
+    // windows are unchanged).
+    Ok(LooseRun {
+        eps,
+        speed,
+        machines_used: schedule.machines_used(),
+        schedule,
+        misses: out.misses,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_instance::generators::{loose, UniformCfg};
+    use mm_opt::optimal_machines;
+    use mm_sim::{verify, VerifyOptions};
+
+    #[test]
+    fn epsilon_satisfies_speed_constraint() {
+        for (n, d) in [(1i64, 10i64), (1, 4), (1, 2), (3, 4), (9, 10), (99, 100)] {
+            let alpha = Rat::ratio(n, d);
+            let eps = loose_epsilon(&alpha);
+            assert!(eps.is_positive(), "alpha {alpha}");
+            let s = clt_speed(&eps);
+            assert!(
+                &alpha * &s < Rat::one(),
+                "alpha {alpha}: s={s} violates α·s<1"
+            );
+        }
+    }
+
+    #[test]
+    fn clt_budget_formula() {
+        // ε = 1: speed 4, machines ⌈4⌉·m = 4m.
+        assert_eq!(clt_speed(&Rat::one()), Rat::from(4i64));
+        assert_eq!(clt_machines(&Rat::one(), 3), 12);
+        // ε = 1/2: speed 9/4, machines ⌈9⌉·m = 9m.
+        assert_eq!(clt_speed(&Rat::half()), Rat::ratio(9, 4));
+        assert_eq!(clt_machines(&Rat::half(), 2), 18);
+    }
+
+    #[test]
+    fn pipeline_produces_feasible_unit_speed_schedules() {
+        let alpha = Rat::ratio(1, 3);
+        for seed in 0..4 {
+            let inst = loose(&UniformCfg { n: 30, ..Default::default() }, &alpha, seed);
+            let m = optimal_machines(&inst);
+            let eps = loose_epsilon(&alpha);
+            let budget = clt_machines(&eps, m).max(inst.len() as u64);
+            let run = run_loose(&inst, &alpha, budget).unwrap();
+            assert!(run.misses.is_empty(), "seed {seed}");
+            let mut sched = run.schedule;
+            let stats = verify(&inst, &mut sched, &VerifyOptions::nonmigratory())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+            assert_eq!(stats.migrations, 0);
+        }
+    }
+
+    #[test]
+    fn pipeline_matches_direct_edf_first_fit() {
+        // With the scale-invariant CLT stand-in, the Theorem 6 pipeline must
+        // coincide with plain unit-speed EDF first-fit (see module docs).
+        use mm_sim::run_policy;
+        let alpha = Rat::ratio(2, 5);
+        let inst = loose(&UniformCfg { n: 25, ..Default::default() }, &alpha, 11);
+        let m = optimal_machines(&inst);
+        let budget = clt_machines(&loose_epsilon(&alpha), m).max(inst.len() as u64);
+        let pipeline = run_loose(&inst, &alpha, budget).unwrap();
+        let direct = run_policy(
+            &inst,
+            EdfFirstFit::new(),
+            SimConfig::nonmigratory(budget as usize),
+        )
+        .unwrap();
+        assert_eq!(pipeline.machines_used, direct.machines_used());
+    }
+
+    #[test]
+    fn theorem5_machine_usage_is_linear_in_m() {
+        // O(1)-competitiveness in practice: machines used ≤ clt budget.
+        let alpha = Rat::ratio(1, 4);
+        let inst = loose(&UniformCfg { n: 50, horizon: 40, ..Default::default() }, &alpha, 7);
+        let m = optimal_machines(&inst);
+        let eps = loose_epsilon(&alpha);
+        let budget = clt_machines(&eps, m);
+        let run = run_loose(&inst, &alpha, budget.max(inst.len() as u64)).unwrap();
+        assert!(run.misses.is_empty());
+        assert!(
+            (run.machines_used as u64) <= budget,
+            "{} machines used vs budget {budget} (m={m})",
+            run.machines_used
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be α-loose")]
+    fn rejects_tight_instances() {
+        let inst = mm_instance::Instance::from_ints([(0, 10, 9)]);
+        let _ = run_loose(&inst, &Rat::half(), 4);
+    }
+}

@@ -1,0 +1,186 @@
+//! MediumFit (Section 6.1): the α-tight half of the agreeable algorithm.
+//!
+//! Every job `j` runs *exactly* in the centered interval
+//! `[r_j + ℓ_j/2, d_j − ℓ_j/2)` — whose length is precisely `p_j` —
+//! independently of all other jobs. Lemma 8 proves via a load argument
+//! against Theorem 1 that on agreeable α-tight instances at most `16m/α`
+//! such intervals overlap at any time, so greedy interval coloring on that
+//! many machines always succeeds. The paper notes the centering is
+//! essential: running in `[r_j, d_j − ℓ_j)` or `[r_j + ℓ_j, d_j)` does *not*
+//! give `O(m)` machines.
+
+use std::collections::BTreeMap;
+
+use mm_instance::{Interval, JobId};
+use mm_numeric::Rat;
+use mm_sim::{Decision, OnlinePolicy, SimState};
+
+/// The MediumFit policy. Produces a non-preemptive (hence non-migratory)
+/// schedule; jobs that cannot be given a conflict-free machine within the
+/// driver's machine budget overflow to the highest machine and may miss.
+#[derive(Debug, Default)]
+pub struct MediumFit {
+    /// Fixed execution interval and machine per assigned job.
+    assigned: BTreeMap<JobId, (Interval, usize)>,
+}
+
+impl MediumFit {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The fixed execution interval `[r+ℓ/2, d−ℓ/2)` of a job.
+    pub fn fixed_interval(job: &mm_instance::Job) -> Interval {
+        let half_lax = job.laxity() * Rat::half();
+        Interval::new(&job.release + &half_lax, &job.deadline - &half_lax)
+    }
+
+    /// Machine chosen for `job`, if assigned.
+    pub fn machine_of(&self, job: JobId) -> Option<usize> {
+        self.assigned.get(&job).map(|(_, m)| *m)
+    }
+}
+
+impl OnlinePolicy for MediumFit {
+    fn decide(&mut self, state: &SimState<'_>) -> Decision {
+        // Assign newly released jobs greedily (first machine whose already
+        // assigned fixed intervals do not overlap the new one).
+        let mut new: Vec<_> = state
+            .active
+            .values()
+            .filter(|a| !self.assigned.contains_key(&a.job.id))
+            .collect();
+        new.sort_by_key(|a| a.job.id);
+        for a in new {
+            let iv = Self::fixed_interval(&a.job);
+            let mut machine = state.machines - 1;
+            for m in 0..state.machines {
+                let clash = self
+                    .assigned
+                    .values()
+                    .any(|(other, om)| *om == m && other.overlaps(&iv));
+                if !clash {
+                    machine = m;
+                    break;
+                }
+            }
+            self.assigned.insert(a.job.id, (iv, machine));
+        }
+        // Drop assignments of jobs that are gone (finished or missed).
+        self.assigned.retain(|id, _| state.active.contains_key(id));
+
+        // Run every job whose fixed interval covers the current time; wake at
+        // the next fixed start among the remaining ones. If the machine
+        // budget overflowed, several jobs may share the fallback machine —
+        // run the earliest-ending one and let the others miss gracefully.
+        let mut run: BTreeMap<usize, (Rat, JobId)> = BTreeMap::new();
+        let mut wake: Option<Rat> = None;
+        for (id, (iv, m)) in &self.assigned {
+            if iv.contains(state.time) {
+                match run.get(m) {
+                    Some((end, _)) if *end <= iv.end => {}
+                    _ => {
+                        run.insert(*m, (iv.end.clone(), *id));
+                    }
+                }
+            } else if iv.start > *state.time {
+                match &wake {
+                    Some(w) if *w <= iv.start => {}
+                    _ => wake = Some(iv.start.clone()),
+                }
+            }
+        }
+        Decision {
+            run: run.into_iter().map(|(m, (_, id))| (m, id)).collect(),
+            wake_at: wake,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "medium-fit"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_instance::{Instance, Job};
+    use mm_sim::{run_policy, verify, SimConfig, VerifyOptions};
+
+    fn rat(v: i64) -> Rat {
+        Rat::from(v)
+    }
+
+    #[test]
+    fn fixed_interval_is_centered() {
+        let j = Job::new(JobId(0), rat(0), rat(10), rat(6)); // laxity 4
+        let iv = MediumFit::fixed_interval(&j);
+        assert_eq!(iv.start, rat(2));
+        assert_eq!(iv.end, rat(8));
+        assert_eq!(iv.length(), rat(6));
+    }
+
+    #[test]
+    fn zero_laxity_fixed_interval_is_whole_window() {
+        let j = Job::new(JobId(0), rat(0), rat(4), rat(4));
+        let iv = MediumFit::fixed_interval(&j);
+        assert_eq!(iv, Interval::ints(0, 4));
+    }
+
+    #[test]
+    fn single_job_runs_in_center() {
+        let inst = Instance::from_ints([(0, 10, 6)]);
+        let mut out = run_policy(&inst, MediumFit::new(), SimConfig::nonmigratory(1)).unwrap();
+        assert!(out.feasible());
+        let segs = out.schedule.segments();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].interval, Interval::ints(2, 8));
+    }
+
+    #[test]
+    fn conflicting_centers_use_two_machines() {
+        let inst = Instance::from_ints([(0, 10, 6), (0, 10, 6)]);
+        let mut out = run_policy(&inst, MediumFit::new(), SimConfig::nonmigratory(4)).unwrap();
+        assert!(out.feasible());
+        assert_eq!(out.machines_used(), 2);
+        let stats =
+            verify(&out.instance, &mut out.schedule, &VerifyOptions::nonpreemptive()).unwrap();
+        assert_eq!(stats.preemptions, 0);
+        assert_eq!(stats.migrations, 0);
+    }
+
+    #[test]
+    fn disjoint_centers_share_a_machine() {
+        // windows overlap, but centered intervals do not
+        let inst = Instance::from_ints([(0, 6, 2), (4, 10, 2)]); // centers [2,4) and [6,8)
+        let mut out = run_policy(&inst, MediumFit::new(), SimConfig::nonmigratory(4)).unwrap();
+        assert!(out.feasible());
+        assert_eq!(out.machines_used(), 1);
+        let _ = out.schedule.segments();
+    }
+
+    #[test]
+    fn lemma8_budget_on_agreeable_tight_instances() {
+        // α-tight agreeable jobs: MediumFit must fit in 16·m/α machines.
+        use mm_instance::generators::{tight, UniformCfg};
+        use mm_opt::optimal_machines;
+        let alpha = Rat::half();
+        for seed in 0..4 {
+            // agreeable-ify: equal windows make any instance agreeable
+            let base = tight(
+                &UniformCfg { n: 30, min_window: 8, max_window: 8, ..Default::default() },
+                &alpha,
+                seed,
+            );
+            assert!(base.is_agreeable());
+            let m = optimal_machines(&base);
+            let budget = (Rat::from(16 * m) / &alpha).ceil_u64() as usize;
+            let mut out =
+                run_policy(&base, MediumFit::new(), SimConfig::nonmigratory(budget)).unwrap();
+            assert!(out.feasible(), "seed {seed}: MediumFit missed within Lemma 8 budget");
+            verify(&out.instance, &mut out.schedule, &VerifyOptions::nonpreemptive())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+        }
+    }
+}

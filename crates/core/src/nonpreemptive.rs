@@ -1,0 +1,267 @@
+//! Non-preemptive machine minimization (related-work baseline, Saha).
+//!
+//! Section 1 of the paper contrasts its results with the *non-preemptive*
+//! problem: no `f(m)`-competitive algorithm exists, the lower bound is
+//! `Ω(log Δ)`, and Saha [11] gives a matching `O(log Δ)`-competitive
+//! algorithm by grouping jobs into `O(log Δ)` processing-time classes. This
+//! module implements that strategy in the online model:
+//!
+//! * [`NonPreemptivePools`] — each job joins a pool by `⌊log₂ p_j⌋`; within
+//!   a pool, an idle machine immediately starts the waiting job with the
+//!   earliest deadline, and a job whose *latest start time* `d_j − p_j`
+//!   arrives is started on a fresh pool machine if none is idle. Jobs are
+//!   never interrupted once started, so feasibility is by construction
+//!   (modulo machine budget).
+//! * The single-pool variant ([`NonPreemptivePools::global`]) is the naive
+//!   baseline whose machine usage degrades when processing times are mixed —
+//!   the contrast experiment E13 measures both against `Δ`.
+
+use std::collections::BTreeMap;
+
+use mm_instance::JobId;
+use mm_numeric::Rat;
+use mm_sim::{Decision, OnlinePolicy, SimState};
+
+/// Non-preemptive scheduling with processing-time-class machine pools.
+#[derive(Debug)]
+pub struct NonPreemptivePools {
+    /// If false, every job lands in a single pool (the naive baseline).
+    classed: bool,
+    /// Pool id → machines owned by that pool (global machine indices).
+    pools: BTreeMap<i64, Vec<usize>>,
+    /// Machines allocated so far.
+    allocated: usize,
+    /// Running job per machine.
+    running: BTreeMap<usize, JobId>,
+    /// Jobs already started (never restarted).
+    started: BTreeMap<JobId, usize>,
+}
+
+impl NonPreemptivePools {
+    /// The Saha-style classed algorithm.
+    pub fn new() -> Self {
+        NonPreemptivePools {
+            classed: true,
+            pools: BTreeMap::new(),
+            allocated: 0,
+            running: BTreeMap::new(),
+            started: BTreeMap::new(),
+        }
+    }
+
+    /// The naive single-pool variant.
+    pub fn global() -> Self {
+        NonPreemptivePools { classed: false, ..Self::new() }
+    }
+
+    /// Machines allocated so far.
+    pub fn machines_allocated(&self) -> usize {
+        self.allocated
+    }
+
+    fn class_of(&self, p: &Rat) -> i64 {
+        if !self.classed {
+            return 0;
+        }
+        // log₂ p within ±1, via exact bit lengths of the reduced fraction —
+        // pooling only needs constant-factor granularity.
+        let num_bits = p.numer().bits() as i64;
+        let den_bits = p.denom().bits() as i64;
+        num_bits - den_bits
+    }
+
+    /// An idle machine of `pool`, if any.
+    fn idle_machine(&self, pool: i64) -> Option<usize> {
+        self.pools
+            .get(&pool)?
+            .iter()
+            .copied()
+            .find(|m| !self.running.contains_key(m))
+    }
+
+    fn allocate(&mut self, pool: i64, budget: usize) -> Option<usize> {
+        if self.allocated >= budget {
+            return None;
+        }
+        let m = self.allocated;
+        self.allocated += 1;
+        self.pools.entry(pool).or_default().push(m);
+        Some(m)
+    }
+}
+
+impl Default for NonPreemptivePools {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OnlinePolicy for NonPreemptivePools {
+    fn decide(&mut self, state: &SimState<'_>) -> Decision {
+        // Clear finished (or missed) jobs off their machines.
+        self.running.retain(|_, j| state.active.contains_key(j));
+        self.started.retain(|j, _| state.active.contains_key(j));
+
+        // Waiting jobs by class, earliest deadline first.
+        let mut waiting: BTreeMap<i64, Vec<(&Rat, &Rat, JobId)>> = BTreeMap::new();
+        for a in state.active.values() {
+            if self.started.contains_key(&a.job.id) {
+                continue;
+            }
+            waiting
+                .entry(self.class_of(&a.job.processing))
+                .or_default()
+                .push((&a.job.deadline, &a.job.release, a.job.id));
+        }
+        let mut wake: Option<Rat> = None;
+        for (pool, mut jobs) in waiting {
+            jobs.sort();
+            for (deadline, _, id) in jobs {
+                let a = &state.active[&id];
+                // Latest start: d − p/σ (at machine speed σ).
+                let latest_start = deadline - &a.remaining / state.speed;
+                let must_start = *state.time >= latest_start;
+                let machine = match self.idle_machine(pool) {
+                    Some(m) => Some(m),
+                    None if must_start => self.allocate(pool, state.machines),
+                    None => None,
+                };
+                match machine {
+                    Some(m) => {
+                        self.running.insert(m, id);
+                        self.started.insert(id, m);
+                    }
+                    None => {
+                        // Re-decide at the forced-start moment.
+                        if latest_start > *state.time {
+                            match &wake {
+                                Some(w) if *w <= latest_start => {}
+                                _ => wake = Some(latest_start),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Decision {
+            run: self.running.iter().map(|(m, j)| (*m, *j)).collect(),
+            wake_at: wake,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        if self.classed {
+            "nonpreemptive-pools"
+        } else {
+            "nonpreemptive-global"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_instance::Instance;
+    use mm_sim::{run_policy, verify, SimConfig, VerifyOptions};
+
+    #[test]
+    fn class_boundaries() {
+        let p = NonPreemptivePools::new();
+        assert_eq!(p.class_of(&Rat::one()), 0);
+        assert_eq!(p.class_of(&Rat::from(2i64)), 1);
+        assert_eq!(p.class_of(&Rat::from(3i64)), 1);
+        assert_eq!(p.class_of(&Rat::from(4i64)), 2);
+        // log₂(1/2) = −1: bits(1) − bits(2) = 1 − 2.
+        assert_eq!(p.class_of(&Rat::half()), -1);
+        let g = NonPreemptivePools::global();
+        assert_eq!(g.class_of(&Rat::from(1000i64)), 0);
+    }
+
+    #[test]
+    fn single_job_starts_and_finishes() {
+        let inst = Instance::from_ints([(0, 10, 4)]);
+        let mut out =
+            run_policy(&inst, NonPreemptivePools::new(), SimConfig::nonmigratory(4)).unwrap();
+        assert!(out.feasible());
+        let stats =
+            verify(&out.instance, &mut out.schedule, &VerifyOptions::nonpreemptive()).unwrap();
+        assert_eq!(stats.preemptions, 0);
+        assert_eq!(stats.machines_used, 1);
+    }
+
+    #[test]
+    fn forced_start_opens_new_machine() {
+        // Two identical zero-laxity jobs: both must start at t=0.
+        let inst = Instance::from_ints([(0, 4, 4), (0, 4, 4)]);
+        let out =
+            run_policy(&inst, NonPreemptivePools::new(), SimConfig::nonmigratory(4)).unwrap();
+        assert!(out.feasible());
+        assert_eq!(out.machines_used(), 2);
+    }
+
+    #[test]
+    fn idle_machine_reuse_within_class() {
+        // Sequential same-class jobs share one machine.
+        let inst = Instance::from_ints([(0, 4, 2), (4, 8, 2), (8, 12, 2)]);
+        let out =
+            run_policy(&inst, NonPreemptivePools::new(), SimConfig::nonmigratory(4)).unwrap();
+        assert!(out.feasible());
+        assert_eq!(out.machines_used(), 1);
+    }
+
+    #[test]
+    fn classes_use_separate_pools() {
+        // A zero-laxity long job pins machine 0 during [0,8); a later short
+        // job finds that machine idle. The global variant reuses it; the
+        // classed variant opens a short-pool machine instead.
+        let inst = Instance::from_ints([(0, 8, 8), (8, 20, 1)]);
+        let out =
+            run_policy(&inst, NonPreemptivePools::global(), SimConfig::nonmigratory(4)).unwrap();
+        assert!(out.feasible());
+        assert_eq!(out.machines_used(), 1);
+        let out =
+            run_policy(&inst, NonPreemptivePools::new(), SimConfig::nonmigratory(4)).unwrap();
+        assert!(out.feasible());
+        assert_eq!(out.machines_used(), 2); // separate pools
+    }
+
+    #[test]
+    fn lazy_start_uses_latest_start_times() {
+        // With no machine yet in the pool, a lax job procrastinates to its
+        // latest start time d − p.
+        let inst = Instance::from_ints([(0, 20, 8)]);
+        let mut out =
+            run_policy(&inst, NonPreemptivePools::new(), SimConfig::nonmigratory(2)).unwrap();
+        assert!(out.feasible());
+        let segs = out.schedule.segments();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].interval.start, Rat::from(12i64));
+        assert_eq!(segs[0].interval.end, Rat::from(20i64));
+    }
+
+    #[test]
+    fn nonpreemptive_on_generated_workloads() {
+        use mm_instance::generators::{uniform, UniformCfg};
+        for seed in 0..4 {
+            let inst = uniform(&UniformCfg { n: 30, ..Default::default() }, seed);
+            let budget = inst.len();
+            let mut out =
+                run_policy(&inst, NonPreemptivePools::new(), SimConfig::nonmigratory(budget))
+                    .unwrap();
+            assert!(out.feasible(), "seed {seed}");
+            let stats =
+                verify(&out.instance, &mut out.schedule, &VerifyOptions::nonpreemptive())
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+            assert_eq!(stats.preemptions, 0);
+            assert_eq!(stats.migrations, 0);
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_degrades_to_misses() {
+        let inst = Instance::from_ints([(0, 2, 2), (0, 2, 2), (0, 2, 2)]);
+        let out =
+            run_policy(&inst, NonPreemptivePools::new(), SimConfig::nonmigratory(2)).unwrap();
+        assert_eq!(out.misses.len(), 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for the online policies: per-policy invariants on
+//! generated instances from their target classes.
+
+use mm_core::{AgreeableSplit, Edf, EdfFirstFit, LaminarBudget, MediumFit, NonPreemptivePools};
+use mm_instance::generators::{agreeable, laminar, AgreeableCfg, LaminarCfg};
+use mm_instance::Instance;
+use mm_numeric::Rat;
+use mm_opt::optimal_machines;
+use mm_sim::{run_policy, verify, SimConfig, VerifyOptions};
+use proptest::prelude::*;
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    let job = (0i64..25, 1i64..12, 1i64..9).prop_map(|(r, w, p)| (r, r + w, p.min(w)));
+    proptest::collection::vec(job, 1..18).prop_map(Instance::from_ints)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// With full headroom, MediumFit completes every job exactly inside its
+    /// centered interval `[r+ℓ/2, d−ℓ/2)` and never preempts.
+    #[test]
+    fn medium_fit_runs_centered(inst in arb_instance()) {
+        let budget = inst.len();
+        let mut out = run_policy(&inst, MediumFit::new(), SimConfig::nonmigratory(budget))
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert!(out.feasible());
+        let segs = out.schedule.segments().to_vec();
+        for seg in &segs {
+            let job = out.instance.job(seg.job);
+            let half = job.laxity() * Rat::half();
+            prop_assert_eq!(&seg.interval.start, &(&job.release + &half));
+            prop_assert_eq!(&seg.interval.end, &(&job.deadline - &half));
+        }
+        // one segment per job = non-preemptive
+        prop_assert_eq!(segs.len(), out.instance.len());
+    }
+
+    /// EDF first-fit never uses more machines than one-job-per-machine and
+    /// at least the optimum.
+    #[test]
+    fn edf_first_fit_machine_count_sandwich(inst in arb_instance()) {
+        let budget = inst.len();
+        let out = run_policy(&inst, EdfFirstFit::new(), SimConfig::nonmigratory(budget))
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert!(out.feasible());
+        let used = out.machines_used() as u64;
+        let m = optimal_machines(&out.instance);
+        prop_assert!(used >= m, "used {used} below optimum {m}");
+        prop_assert!(used <= inst.len() as u64);
+    }
+
+    /// Non-preemptive pools: once started, every job runs in one unbroken
+    /// segment (structural non-preemption even under misses).
+    #[test]
+    fn nonpreemptive_pools_single_segments(inst in arb_instance(), budget in 1usize..6) {
+        let out = run_policy(&inst, NonPreemptivePools::new(), SimConfig::nonmigratory(budget))
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let mut sched = out.schedule;
+        sched.normalize();
+        let mut per_job = std::collections::BTreeMap::new();
+        for s in sched.raw_segments() {
+            *per_job.entry(s.job).or_insert(0usize) += 1;
+        }
+        for (job, count) in per_job {
+            prop_assert_eq!(count, 1, "{} was split", job);
+        }
+    }
+
+    /// Migratory EDF dominates EDF-first-fit: with the same budget, if the
+    /// non-migratory variant succeeds, migratory EDF's load argument cannot
+    /// be worse than one-job-per-machine feasibility.
+    #[test]
+    fn edf_with_headroom_never_worse_than_first_fit(inst in arb_instance()) {
+        let budget = inst.len();
+        let ff = run_policy(&inst, EdfFirstFit::new(), SimConfig::nonmigratory(budget))
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let edf = run_policy(&inst, Edf, SimConfig::migratory(budget))
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert!(edf.feasible());
+        prop_assert!(ff.feasible());
+        // EDF greedily packs the earliest deadlines onto low machine ids, so
+        // its machine usage is at most first-fit's span.
+        prop_assert!(edf.machines_used() <= budget);
+    }
+
+    /// The Theorem 12 policy is feasible and non-preemptive on arbitrary
+    /// agreeable instances (not just the default generator settings).
+    #[test]
+    fn agreeable_split_feasible_on_agreeable(seed in 0u64..200, n in 5usize..30, gap in 0i64..5) {
+        let inst = agreeable(
+            &AgreeableCfg { n, release_gap: gap, ..Default::default() },
+            seed,
+        );
+        let m = optimal_machines(&inst);
+        let policy = AgreeableSplit::for_optimum(m);
+        let total = policy.total_machines();
+        let mut out = run_policy(&inst, policy, SimConfig::nonmigratory(total))
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert!(out.feasible(), "misses {:?}", out.misses);
+        let stats = verify(&out.instance, &mut out.schedule, &VerifyOptions::nonpreemptive())
+            .map_err(|e| TestCaseError::fail(format!("{e:?}")))?;
+        prop_assert_eq!(stats.preemptions, 0);
+    }
+
+    /// The Theorem 9 policy is feasible and non-migratory on generated
+    /// laminar instances across shapes.
+    #[test]
+    fn laminar_budget_feasible_on_laminar(seed in 0u64..100, depth in 1usize..4, branching in 1usize..4) {
+        let inst = laminar(
+            &LaminarCfg { depth, branching, ..Default::default() },
+            seed,
+        );
+        let m = optimal_machines(&inst);
+        let policy = LaminarBudget::new(
+            LaminarBudget::suggested_m_prime(m, 4),
+            (4 * m) as usize,
+            Rat::half(),
+        );
+        let total = policy.total_machines();
+        let mut out = run_policy(&inst, policy, SimConfig::nonmigratory(total))
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert!(out.feasible(), "misses {:?}", out.misses);
+        let stats = verify(&out.instance, &mut out.schedule, &VerifyOptions::nonmigratory())
+            .map_err(|e| TestCaseError::fail(format!("{e:?}")))?;
+        prop_assert_eq!(stats.migrations, 0);
+    }
+}

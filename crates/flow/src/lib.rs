@@ -1,0 +1,439 @@
+//! Exact maximum-flow substrate (Dinic's algorithm), generic over the
+//! capacity type.
+//!
+//! The offline feasibility test for preemptive migratory scheduling on `m`
+//! machines is a max-flow problem on the bipartite job/event-interval network
+//! (see `mm-opt`). Because `machmin` instances carry exact rational time
+//! coordinates — with adversarially large denominators — the flow solver is
+//! generic over a [`FlowNum`] capacity type and instantiated with both `u64`
+//! and [`mm_numeric::Rat`].
+//!
+//! Dinic's phase count is `O(V)` independent of capacity magnitudes, so exact
+//! rational capacities terminate and stay exact.
+//!
+//! # Example
+//!
+//! ```
+//! use mm_flow::FlowNetwork;
+//!
+//! let mut net = FlowNetwork::<u64>::new(4);
+//! let s = 0; let t = 3;
+//! net.add_edge(s, 1, 3);
+//! net.add_edge(s, 2, 2);
+//! net.add_edge(1, 3, 2);
+//! net.add_edge(2, 3, 3);
+//! net.add_edge(1, 2, 5);
+//! assert_eq!(net.max_flow(s, t), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+
+use mm_numeric::Rat;
+
+/// Capacity/flow numeric type for [`FlowNetwork`].
+pub trait FlowNum: Clone + Ord {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// `self + other`.
+    fn add(&self, other: &Self) -> Self;
+    /// `self − other` (callers guarantee non-negative results).
+    fn sub(&self, other: &Self) -> Self;
+    /// Whether the value is zero.
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+}
+
+impl FlowNum for u64 {
+    fn zero() -> Self {
+        0
+    }
+    fn add(&self, other: &Self) -> Self {
+        self.checked_add(*other).expect("u64 flow overflow")
+    }
+    fn sub(&self, other: &Self) -> Self {
+        self.checked_sub(*other).expect("u64 flow underflow")
+    }
+}
+
+impl FlowNum for Rat {
+    fn zero() -> Self {
+        Rat::zero()
+    }
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn sub(&self, other: &Self) -> Self {
+        self - other
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Edge<N> {
+    to: usize,
+    cap: N,
+    /// Index of the reverse edge in `graph[to]`.
+    rev: usize,
+    /// Whether this is a forward (original) edge, for flow read-back.
+    forward: bool,
+}
+
+/// A directed flow network with exact capacities.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork<N: FlowNum> {
+    graph: Vec<Vec<Edge<N>>>,
+    /// Location `(from, index)` of each forward edge, by handle.
+    originals: Vec<(usize, usize)>,
+    original_caps: Vec<N>,
+}
+
+/// Handle to an edge added with [`FlowNetwork::add_edge`]; lets callers read
+/// back the flow on that edge after [`FlowNetwork::max_flow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeHandle(usize);
+
+impl<N: FlowNum> FlowNetwork<N> {
+    /// Creates a network with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            graph: vec![Vec::new(); n],
+            originals: Vec::new(),
+            original_caps: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Whether the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// Adds a node, returning its index.
+    pub fn add_node(&mut self) -> usize {
+        self.graph.push(Vec::new());
+        self.graph.len() - 1
+    }
+
+    /// Adds a directed edge `from → to` with the given capacity.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: N) -> EdgeHandle {
+        assert!(from < self.graph.len() && to < self.graph.len(), "node out of range");
+        assert!(from != to, "self-loops are not supported");
+        let rev_from = self.graph[to].len();
+        let rev_to = self.graph[from].len();
+        self.graph[from].push(Edge { to, cap: cap.clone(), rev: rev_from, forward: true });
+        self.graph[to].push(Edge { to: from, cap: N::zero(), rev: rev_to, forward: false });
+        self.originals.push((from, rev_to));
+        self.original_caps.push(cap);
+        EdgeHandle(self.originals.len() - 1)
+    }
+
+    /// Flow currently routed through an edge (valid after `max_flow`).
+    pub fn flow(&self, handle: EdgeHandle) -> N {
+        let (from, idx) = self.originals[handle.0];
+        // flow = original capacity − residual capacity
+        self.original_caps[handle.0].sub(&self.graph[from][idx].cap)
+    }
+
+    /// Computes the maximum `source → sink` flow (Dinic). Residual
+    /// capacities are updated in place; call [`Self::flow`] afterwards to
+    /// read per-edge flows. Calling again continues from the current state.
+    pub fn max_flow(&mut self, source: usize, sink: usize) -> N {
+        assert!(source != sink, "source must differ from sink");
+        let n = self.graph.len();
+        let mut total = N::zero();
+        loop {
+            // BFS level graph on residual edges.
+            let mut level = vec![usize::MAX; n];
+            level[source] = 0;
+            let mut q = VecDeque::new();
+            q.push_back(source);
+            while let Some(u) = q.pop_front() {
+                for e in &self.graph[u] {
+                    if !e.cap.is_zero() && level[e.to] == usize::MAX {
+                        level[e.to] = level[u] + 1;
+                        q.push_back(e.to);
+                    }
+                }
+            }
+            if level[sink] == usize::MAX {
+                return total;
+            }
+            // DFS blocking flow with iteration pointers.
+            let mut it = vec![0usize; n];
+            while let Some(f) = self.dfs(source, sink, None, &level, &mut it) {
+                total = total.add(&f);
+            }
+        }
+    }
+
+    fn dfs(
+        &mut self,
+        u: usize,
+        sink: usize,
+        limit: Option<N>,
+        level: &[usize],
+        it: &mut [usize],
+    ) -> Option<N> {
+        if u == sink {
+            return limit;
+        }
+        while it[u] < self.graph[u].len() {
+            let i = it[u];
+            let (to, cap) = {
+                let e = &self.graph[u][i];
+                (e.to, e.cap.clone())
+            };
+            if !cap.is_zero() && level[to] == level[u] + 1 {
+                let next_limit = match &limit {
+                    Some(l) => Some(if *l < cap { l.clone() } else { cap }),
+                    None => Some(cap),
+                };
+                if let Some(f) = self.dfs(to, sink, next_limit, level, it) {
+                    let rev = self.graph[u][i].rev;
+                    self.graph[u][i].cap = self.graph[u][i].cap.sub(&f);
+                    self.graph[to][rev].cap = self.graph[to][rev].cap.add(&f);
+                    return Some(f);
+                }
+            }
+            it[u] += 1;
+        }
+        None
+    }
+
+    /// Sum of *residual* capacities of forward edges out of `node`
+    /// (diagnostic helper for feasibility callers).
+    pub fn out_capacity(&self, node: usize) -> N {
+        let mut t = N::zero();
+        for e in &self.graph[node] {
+            if e.forward {
+                t = t.add(&e.cap);
+            }
+        }
+        t
+    }
+
+    /// After [`Self::max_flow`], returns a minimum `s`–`t` cut as the set of
+    /// saturated forward edges from the source-reachable side to the rest.
+    /// By max-flow/min-cut duality their total capacity equals the flow
+    /// value, which the tests verify — a second certificate of optimality.
+    pub fn min_cut(&self, source: usize) -> Vec<EdgeHandle> {
+        // Residual reachability from the source.
+        let n = self.graph.len();
+        let mut seen = vec![false; n];
+        seen[source] = true;
+        let mut stack = vec![source];
+        while let Some(u) = stack.pop() {
+            for e in &self.graph[u] {
+                if !e.cap.is_zero() && !seen[e.to] {
+                    seen[e.to] = true;
+                    stack.push(e.to);
+                }
+            }
+        }
+        let mut cut = Vec::new();
+        for (idx, &(from, eidx)) in self.originals.iter().enumerate() {
+            let to = self.graph[from][eidx].to;
+            if seen[from] && !seen[to] {
+                cut.push(EdgeHandle(idx));
+            }
+        }
+        cut
+    }
+
+    /// Original capacity of an edge.
+    pub fn capacity(&self, handle: EdgeHandle) -> N {
+        self.original_caps[handle.0].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rat {
+        Rat::ratio(n, d)
+    }
+
+    #[test]
+    fn single_edge() {
+        let mut net = FlowNetwork::<u64>::new(2);
+        let e = net.add_edge(0, 1, 7);
+        assert_eq!(net.max_flow(0, 1), 7);
+        assert_eq!(net.flow(e), 7);
+    }
+
+    #[test]
+    fn classic_diamond() {
+        // s→a (3), s→b (2), a→b (5), a→t (2), b→t (3): max flow 5
+        let mut net = FlowNetwork::<u64>::new(4);
+        net.add_edge(0, 1, 3);
+        net.add_edge(0, 2, 2);
+        net.add_edge(1, 2, 5);
+        net.add_edge(1, 3, 2);
+        net.add_edge(2, 3, 3);
+        assert_eq!(net.max_flow(0, 3), 5);
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let mut net = FlowNetwork::<u64>::new(4);
+        net.add_edge(0, 1, 5);
+        net.add_edge(2, 3, 5);
+        assert_eq!(net.max_flow(0, 3), 0);
+    }
+
+    #[test]
+    fn bottleneck_path() {
+        let mut net = FlowNetwork::<u64>::new(4);
+        net.add_edge(0, 1, 10);
+        net.add_edge(1, 2, 1);
+        net.add_edge(2, 3, 10);
+        assert_eq!(net.max_flow(0, 3), 1);
+    }
+
+    #[test]
+    fn bipartite_matching() {
+        // 3 left, 3 right, perfect matching exists.
+        let mut net = FlowNetwork::<u64>::new(8);
+        let (s, t) = (0, 7);
+        for l in 1..=3 {
+            net.add_edge(s, l, 1);
+        }
+        for rn in 4..=6 {
+            net.add_edge(rn, t, 1);
+        }
+        // L1-{R1,R2}, L2-{R1}, L3-{R2,R3}
+        net.add_edge(1, 4, 1);
+        net.add_edge(1, 5, 1);
+        net.add_edge(2, 4, 1);
+        net.add_edge(3, 5, 1);
+        net.add_edge(3, 6, 1);
+        assert_eq!(net.max_flow(s, t), 3);
+    }
+
+    #[test]
+    fn rational_capacities() {
+        // Same diamond with capacities scaled by 1/3.
+        let mut net = FlowNetwork::<Rat>::new(4);
+        net.add_edge(0, 1, r(3, 3));
+        net.add_edge(0, 2, r(2, 3));
+        net.add_edge(1, 2, r(5, 3));
+        net.add_edge(1, 3, r(2, 3));
+        net.add_edge(2, 3, r(3, 3));
+        assert_eq!(net.max_flow(0, 3), r(5, 3));
+    }
+
+    #[test]
+    fn rational_mixed_denominators() {
+        let mut net = FlowNetwork::<Rat>::new(3);
+        net.add_edge(0, 1, r(1, 2));
+        net.add_edge(0, 1, r(1, 3));
+        net.add_edge(1, 2, r(1, 7));
+        assert_eq!(net.max_flow(0, 2), r(1, 7));
+    }
+
+    #[test]
+    fn flow_readback_and_conservation() {
+        let mut net = FlowNetwork::<u64>::new(4);
+        let e1 = net.add_edge(0, 1, 3);
+        let e2 = net.add_edge(0, 2, 2);
+        let e3 = net.add_edge(1, 3, 2);
+        let e4 = net.add_edge(2, 3, 3);
+        let e5 = net.add_edge(1, 2, 5);
+        let f = net.max_flow(0, 3);
+        assert_eq!(f, 5);
+        assert_eq!(net.flow(e1) + net.flow(e2), 5);
+        assert_eq!(net.flow(e3) + net.flow(e4), 5);
+        // conservation at node 1: in = out
+        assert_eq!(net.flow(e1), net.flow(e3) + net.flow(e5));
+    }
+
+    #[test]
+    fn incremental_max_flow_is_idempotent() {
+        let mut net = FlowNetwork::<u64>::new(3);
+        net.add_edge(0, 1, 4);
+        net.add_edge(1, 2, 4);
+        assert_eq!(net.max_flow(0, 2), 4);
+        // Re-running finds no augmenting path.
+        assert_eq!(net.max_flow(0, 2), 0);
+    }
+
+    #[test]
+    fn add_node_grows_network() {
+        let mut net = FlowNetwork::<u64>::new(2);
+        let v = net.add_node();
+        assert_eq!(v, 2);
+        net.add_edge(0, 2, 3);
+        net.add_edge(2, 1, 2);
+        assert_eq!(net.max_flow(0, 1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let mut net = FlowNetwork::<u64>::new(2);
+        net.add_edge(1, 1, 3);
+    }
+
+    #[test]
+    fn min_cut_matches_flow_value() {
+        let mut net = FlowNetwork::<u64>::new(4);
+        net.add_edge(0, 1, 3);
+        net.add_edge(0, 2, 2);
+        net.add_edge(1, 2, 5);
+        net.add_edge(1, 3, 2);
+        net.add_edge(2, 3, 3);
+        let f = net.max_flow(0, 3);
+        let cut = net.min_cut(0);
+        let cut_cap: u64 = cut.iter().map(|h| net.capacity(*h)).sum();
+        assert_eq!(cut_cap, f);
+        // every cut edge is saturated
+        for h in cut {
+            assert_eq!(net.flow(h), net.capacity(h));
+        }
+    }
+
+    #[test]
+    fn min_cut_on_bottleneck_is_the_bottleneck() {
+        let mut net = FlowNetwork::<u64>::new(4);
+        net.add_edge(0, 1, 10);
+        let mid = net.add_edge(1, 2, 1);
+        net.add_edge(2, 3, 10);
+        net.max_flow(0, 3);
+        let cut = net.min_cut(0);
+        assert_eq!(cut, vec![mid]);
+    }
+
+    #[test]
+    fn min_cut_rational() {
+        let mut net = FlowNetwork::<Rat>::new(3);
+        net.add_edge(0, 1, r(2, 3));
+        net.add_edge(0, 1, r(1, 6));
+        net.add_edge(1, 2, r(1, 2));
+        let f = net.max_flow(0, 2);
+        assert_eq!(f, r(1, 2));
+        let cut = net.min_cut(0);
+        let mut total = Rat::zero();
+        for h in &cut {
+            total += net.capacity(*h);
+        }
+        assert_eq!(total, f);
+    }
+
+    #[test]
+    fn out_capacity_reports_residual() {
+        let mut net = FlowNetwork::<u64>::new(3);
+        net.add_edge(0, 1, 5);
+        net.add_edge(1, 2, 3);
+        assert_eq!(net.out_capacity(0), 5);
+        net.max_flow(0, 2);
+        assert_eq!(net.out_capacity(0), 2); // 3 units consumed
+    }
+}

@@ -1,0 +1,492 @@
+//! Workload generators.
+//!
+//! Each generator is deterministic given its seed and produces instances that
+//! are feasible by construction (`0 < p_j ≤ d_j − r_j`). The families mirror
+//! the instance classes studied in the paper: general, α-loose, α-tight,
+//! agreeable (Section 6), laminar (Section 5), plus the adversarial-flavoured
+//! deterministic families used as baselines for the experiments.
+
+use mm_numeric::Rat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Instance;
+
+/// Configuration for the general-purpose uniform generator.
+#[derive(Debug, Clone)]
+pub struct UniformCfg {
+    /// Number of jobs.
+    pub n: usize,
+    /// Releases are drawn uniformly from `{0, …, horizon−1}`.
+    pub horizon: i64,
+    /// Window lengths are drawn uniformly from `{min_window, …, max_window}`.
+    pub min_window: i64,
+    /// See `min_window`.
+    pub max_window: i64,
+}
+
+impl Default for UniformCfg {
+    fn default() -> Self {
+        UniformCfg { n: 50, horizon: 100, min_window: 1, max_window: 20 }
+    }
+}
+
+/// General instances: uniform releases, uniform window lengths, processing
+/// uniform in `[1, window]`.
+pub fn uniform(cfg: &UniformCfg, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let triples = (0..cfg.n).map(|_| {
+        let r = rng.gen_range(0..cfg.horizon);
+        let w = rng.gen_range(cfg.min_window..=cfg.max_window);
+        let p = rng.gen_range(1..=w);
+        (Rat::from(r), Rat::from(r + w), Rat::from(p))
+    });
+    Instance::from_triples(triples.collect::<Vec<_>>())
+}
+
+/// α-loose instances: every job satisfies `p_j ≤ α (d_j − r_j)`.
+///
+/// `alpha` is given as a rational; windows are chosen so that `⌊α·w⌋ ≥ 1`.
+pub fn loose(cfg: &UniformCfg, alpha: &Rat, seed: u64) -> Instance {
+    assert!(alpha.is_positive() && *alpha < Rat::one(), "alpha ∈ (0,1)");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let triples = (0..cfg.n)
+        .map(|_| {
+            let r = rng.gen_range(0..cfg.horizon);
+            // Ensure the loose budget α·w admits at least one unit of work.
+            let min_w = cfg
+                .min_window
+                .max(alpha.recip().ceil().to_i64().expect("alpha too small"));
+            let w = rng.gen_range(min_w..=cfg.max_window.max(min_w));
+            let budget = (alpha * Rat::from(w)).floor().to_i64().unwrap().max(1);
+            let p = rng.gen_range(1..=budget);
+            (Rat::from(r), Rat::from(r + w), Rat::from(p))
+        })
+        .collect::<Vec<_>>();
+    Instance::from_triples(triples)
+}
+
+/// α-tight instances: every job satisfies `p_j > α (d_j − r_j)`.
+pub fn tight(cfg: &UniformCfg, alpha: &Rat, seed: u64) -> Instance {
+    assert!(alpha.is_positive() && *alpha < Rat::one(), "alpha ∈ (0,1)");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let triples = (0..cfg.n)
+        .map(|_| {
+            let r = rng.gen_range(0..cfg.horizon);
+            let w = rng.gen_range(cfg.min_window.max(1)..=cfg.max_window);
+            // p uniform in (α·w, w]: strictly tight, still feasible.
+            let lo = (alpha * Rat::from(w)).floor().to_i64().unwrap() + 1;
+            let p = rng.gen_range(lo.min(w)..=w).max(1);
+            (Rat::from(r), Rat::from(r + w), Rat::from(p))
+        })
+        .collect::<Vec<_>>();
+    Instance::from_triples(triples)
+}
+
+/// Configuration for the agreeable generator.
+#[derive(Debug, Clone)]
+pub struct AgreeableCfg {
+    /// Number of jobs.
+    pub n: usize,
+    /// Mean gap between consecutive releases.
+    pub release_gap: i64,
+    /// Minimum and maximum window length.
+    pub min_window: i64,
+    /// See `min_window`.
+    pub max_window: i64,
+    /// If set, all jobs get this identical processing time (the Theorem 15
+    /// setting); otherwise processing is uniform in `[1, window]`.
+    pub unit_processing: Option<i64>,
+}
+
+impl Default for AgreeableCfg {
+    fn default() -> Self {
+        AgreeableCfg {
+            n: 50,
+            release_gap: 2,
+            min_window: 4,
+            max_window: 20,
+            unit_processing: None,
+        }
+    }
+}
+
+/// Agreeable instances: releases are non-decreasing and deadlines follow the
+/// same order (`r_j < r_{j'}` ⟹ `d_j ≤ d_{j'}`).
+pub fn agreeable(cfg: &AgreeableCfg, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut triples = Vec::with_capacity(cfg.n);
+    let mut r = 0i64;
+    let mut last_d = 0i64;
+    for _ in 0..cfg.n {
+        r += rng.gen_range(0..=cfg.release_gap);
+        let w = rng.gen_range(cfg.min_window..=cfg.max_window);
+        // Force the deadline to respect agreeability w.r.t. earlier jobs.
+        let d = (r + w).max(last_d);
+        last_d = d;
+        let window = d - r;
+        let p = match cfg.unit_processing {
+            Some(p) => p.min(window).max(1),
+            None => rng.gen_range(1..=window),
+        };
+        triples.push((Rat::from(r), Rat::from(d), Rat::from(p)));
+    }
+    Instance::from_triples(triples)
+}
+
+/// Configuration for the laminar generator.
+#[derive(Debug, Clone)]
+pub struct LaminarCfg {
+    /// Recursion depth of the nesting tree.
+    pub depth: usize,
+    /// Children per node.
+    pub branching: usize,
+    /// Length of the root window.
+    pub root_length: i64,
+    /// Upper bound on `p_j / |I(j)|` as a rational in (0, 1].
+    pub max_fill: Rat,
+}
+
+impl Default for LaminarCfg {
+    fn default() -> Self {
+        LaminarCfg {
+            depth: 4,
+            branching: 3,
+            root_length: 3i64.pow(6),
+            max_fill: Rat::ratio(9, 10),
+        }
+    }
+}
+
+/// Laminar instances: a recursive nesting tree. Every node owns a window; a
+/// node's children get disjoint sub-windows, so any two overlapping windows
+/// are nested.
+pub fn laminar(cfg: &LaminarCfg, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut triples = Vec::new();
+    fn rec(
+        rng: &mut StdRng,
+        out: &mut Vec<(Rat, Rat, Rat)>,
+        start: Rat,
+        end: Rat,
+        depth: usize,
+        branching: usize,
+        max_fill: &Rat,
+    ) {
+        let len = &end - &start;
+        if !len.is_positive() {
+            return;
+        }
+        // One job per node; fill factor uniform in (0, max_fill].
+        let fill_num = rng.gen_range(1..=1000i64);
+        let fill = Rat::ratio(fill_num, 1000) * max_fill.clone();
+        let p = &len * &fill;
+        if p.is_positive() {
+            out.push((start.clone(), end.clone(), p));
+        }
+        if depth == 0 {
+            return;
+        }
+        // Children occupy disjoint equal slices separated by small gaps.
+        let k = branching.max(1);
+        let slice = &len / Rat::from((2 * k) as i64);
+        for c in 0..k {
+            let s = &start + Rat::from((2 * c) as i64) * &slice;
+            let e = &s + &slice;
+            rec(rng, out, s, e, depth - 1, branching, max_fill);
+        }
+    }
+    rec(
+        &mut rng,
+        &mut triples,
+        Rat::zero(),
+        Rat::from(cfg.root_length),
+        cfg.depth,
+        cfg.branching,
+        &cfg.max_fill,
+    );
+    Instance::from_triples(triples)
+}
+
+/// A *hard* laminar family in the spirit of Phillips et al. [10, Thm 2.13]
+/// (referenced in Section 5.1 as defeating the greedy min-candidate rule):
+/// a deep chain of nested jobs whose laxities shrink geometrically, overlaid
+/// with bursts of small jobs that must share the chain jobs' machines.
+pub fn laminar_hard_chain(levels: usize, burst: usize) -> Instance {
+    // Level i: window [0, 4^(levels-i)), processing chosen so the laxity is
+    // one quarter of the window. Bursts at each level: `burst` short jobs
+    // inside the level's exclusive region.
+    let mut triples = Vec::new();
+    for i in 0..levels {
+        let window = Rat::from(4i64.pow((levels - i) as u32));
+        let p = &window * Rat::ratio(3, 4);
+        triples.push((Rat::zero(), window.clone(), p));
+        // Burst jobs live in [window/2, window), which the next level does
+        // not cover (next window is window/4).
+        let burst_start = &window * Rat::half();
+        let slot = (&window - &burst_start) / Rat::from((burst.max(1)) as i64);
+        for b in 0..burst {
+            let s = &burst_start + Rat::from(b as i64) * &slot;
+            let e = &s + &slot;
+            let p = (&e - &s) * Rat::ratio(9, 10);
+            triples.push((s, e, p));
+        }
+    }
+    Instance::from_triples(triples)
+}
+
+/// Deterministic “EDF trap” family (baseline experiment E10, exposing the
+/// laxity-blindness of EDF that Phillips et al. exploit in their lower
+/// bounds): each phase releases
+///
+/// * `tracks` zero-laxity *long* jobs with window `[t, t+10)` and `p = 10`
+///   (late deadline, **no** slack), and
+/// * `shorts` high-laxity *short* jobs with window `[t, t+3)` and `p = 1`
+///   (early deadline, plenty of slack).
+///
+/// EDF prioritizes the shorts (earlier deadline) and starves the longs, so
+/// it needs `tracks + shorts` machines; the optimum — and LLF, which runs
+/// the zero-laxity longs first — needs only `tracks + ⌈shorts/3⌉`.
+pub fn edf_trap(tracks: usize, shorts: usize, phases: usize) -> Instance {
+    let mut triples = Vec::new();
+    for phase in 0..phases.max(1) {
+        let t = Rat::from((12 * phase) as i64);
+        for _ in 0..tracks {
+            triples.push((t.clone(), &t + Rat::from(10i64), Rat::from(10i64)));
+        }
+        for _ in 0..shorts {
+            triples.push((t.clone(), &t + Rat::from(3i64), Rat::one()));
+        }
+    }
+    Instance::from_triples(triples)
+}
+
+/// A periodic hard-real-time task, for [`periodic`].
+#[derive(Debug, Clone)]
+pub struct PeriodicTask {
+    /// Activation period.
+    pub period: i64,
+    /// Worst-case execution time (the job processing time), `≤ deadline`.
+    pub wcet: i64,
+    /// Relative deadline from each activation, `≤ period` (constrained
+    /// deadlines) or `> period` (arbitrary deadlines) both allowed.
+    pub deadline: i64,
+    /// Initial phase offset.
+    pub phase: i64,
+}
+
+impl PeriodicTask {
+    /// Utilization `wcet / period`.
+    pub fn utilization(&self) -> Rat {
+        Rat::ratio(self.wcet, self.period)
+    }
+}
+
+/// Expands periodic tasks into the job instance over `[0, horizon)`: task
+/// `τ` releases a job at `phase + k·period` for every activation whose
+/// window fits the horizon. With `jitter > 0`, each release is delayed by a
+/// uniform amount in `{0, …, jitter}` (deadlines stay absolute, so laxity
+/// shrinks — the classic release-jitter model).
+pub fn periodic(tasks: &[PeriodicTask], horizon: i64, jitter: i64, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut triples = Vec::new();
+    for t in tasks {
+        assert!(t.period > 0 && t.wcet > 0 && t.wcet <= t.deadline);
+        let mut release = t.phase;
+        while release + t.deadline <= horizon {
+            let j = if jitter > 0 { rng.gen_range(0..=jitter) } else { 0 };
+            let d = release + t.deadline;
+            let r = (release + j).min(d - t.wcet); // jitter never kills feasibility
+            triples.push((Rat::from(r), Rat::from(d), Rat::from(t.wcet)));
+            release += t.period;
+        }
+    }
+    Instance::from_triples(triples)
+}
+
+/// Total utilization `Σ wcet/period` of a task set — a lower bound on the
+/// machine count of any schedule of a long-enough horizon.
+pub fn total_utilization(tasks: &[PeriodicTask]) -> Rat {
+    let mut u = Rat::zero();
+    for t in tasks {
+        u += t.utilization();
+    }
+    u
+}
+
+/// Mixed-granularity workload with controlled processing-time ratio `Δ`:
+/// half the jobs are unit jobs with 3-unit windows, half are `Δ`-length jobs
+/// with `3Δ`-unit windows (all 1/3-loose). Used by the non-preemptive
+/// baseline experiment (E13), where machine usage is studied as a function
+/// of `Δ`.
+pub fn delta_mix(n: usize, delta: i64, seed: u64) -> Instance {
+    assert!(delta >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let horizon = 3 * delta * (n as i64) / 4;
+    let triples = (0..n)
+        .map(|i| {
+            let r = rng.gen_range(0..horizon.max(1));
+            if i % 2 == 0 {
+                (Rat::from(r), Rat::from(r + 3), Rat::one())
+            } else {
+                (Rat::from(r), Rat::from(r + 3 * delta), Rat::from(delta))
+            }
+        })
+        .collect::<Vec<_>>();
+    Instance::from_triples(triples)
+}
+
+/// Batched workload with a target parallelism: `m` waves of overlapping jobs
+/// so the optimum is close to a chosen `m` (used by sweep experiments to
+/// control the x-axis).
+pub fn parallel_waves(m: usize, waves: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut triples = Vec::new();
+    for w in 0..waves {
+        let base = (w as i64) * 10;
+        for _ in 0..m {
+            let jitter = rng.gen_range(0..3);
+            let r = base + jitter;
+            let len = rng.gen_range(6..=10);
+            let p = rng.gen_range(4..=len.min(8));
+            triples.push((Rat::from(r), Rat::from(r + len), Rat::from(p)));
+        }
+    }
+    Instance::from_triples(triples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_feasible_and_deterministic() {
+        let cfg = UniformCfg::default();
+        let a = uniform(&cfg, 7);
+        let b = uniform(&cfg, 7);
+        let c = uniform(&cfg, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), cfg.n);
+        // feasibility is enforced by Job::new; also check positive laxity optional
+        for j in a.iter() {
+            assert!(j.processing <= j.window_length());
+        }
+    }
+
+    #[test]
+    fn loose_respects_alpha() {
+        let alpha = Rat::ratio(1, 3);
+        let inst = loose(&UniformCfg { n: 200, ..Default::default() }, &alpha, 42);
+        assert!(inst.all_loose(&alpha));
+        assert_eq!(inst.len(), 200);
+    }
+
+    #[test]
+    fn tight_respects_alpha() {
+        let alpha = Rat::ratio(1, 2);
+        let inst = tight(&UniformCfg { n: 200, ..Default::default() }, &alpha, 42);
+        for j in inst.iter() {
+            assert!(j.is_tight(&alpha), "{j} should be tight");
+        }
+    }
+
+    #[test]
+    fn agreeable_is_agreeable() {
+        for seed in 0..5 {
+            let inst = agreeable(&AgreeableCfg::default(), seed);
+            assert!(inst.is_agreeable(), "seed {seed}");
+            assert_eq!(inst.len(), 50);
+        }
+    }
+
+    #[test]
+    fn agreeable_unit_processing() {
+        let cfg = AgreeableCfg { unit_processing: Some(3), min_window: 5, ..Default::default() };
+        let inst = agreeable(&cfg, 1);
+        assert!(inst.is_agreeable());
+        for j in inst.iter() {
+            assert_eq!(j.processing, Rat::from(3i64));
+        }
+    }
+
+    #[test]
+    fn laminar_is_laminar() {
+        for seed in 0..5 {
+            let inst = laminar(&LaminarCfg::default(), seed);
+            assert!(inst.is_laminar(), "seed {seed}");
+            assert!(inst.len() > 10);
+        }
+    }
+
+    #[test]
+    fn laminar_hard_chain_is_laminar() {
+        let inst = laminar_hard_chain(5, 3);
+        assert!(inst.is_laminar());
+        assert_eq!(inst.len(), 5 + 5 * 3);
+    }
+
+    #[test]
+    fn edf_trap_structure() {
+        let inst = edf_trap(3, 6, 2);
+        assert_eq!(inst.len(), 2 * (3 + 6));
+        assert_eq!(inst.delta().unwrap(), Rat::from(10i64));
+        // long jobs have zero laxity, shorts have laxity 2
+        let zero_lax = inst.iter().filter(|j| j.laxity().is_zero()).count();
+        assert_eq!(zero_lax, 6);
+        let lax2 = inst.iter().filter(|j| j.laxity() == Rat::from(2i64)).count();
+        assert_eq!(lax2, 12);
+    }
+
+    #[test]
+    fn periodic_expansion() {
+        let tasks = vec![
+            PeriodicTask { period: 4, wcet: 2, deadline: 4, phase: 0 },
+            PeriodicTask { period: 8, wcet: 3, deadline: 6, phase: 1 },
+        ];
+        let inst = periodic(&tasks, 17, 0, 0);
+        // task 1: releases 0,4,8,12 (deadline ≤ 17 ⇒ release+4 ≤ 17): 0,4,8,12 → 4 jobs... release 13? 13+4=17 ≤ 17 ✓ → 0,4,8,12 gives d=4,8,12,16; release 16 → d=20 ✗. So 4 jobs.
+        // task 2: releases 1,9 (d=7,15); release 17 ✗. 2 jobs.
+        assert_eq!(inst.len(), 6);
+        assert_eq!(total_utilization(&tasks), Rat::ratio(7, 8));
+        // deterministic without jitter
+        assert_eq!(inst, periodic(&tasks, 17, 0, 99));
+    }
+
+    #[test]
+    fn periodic_jitter_keeps_feasibility() {
+        let tasks = vec![PeriodicTask { period: 5, wcet: 3, deadline: 5, phase: 0 }];
+        let inst = periodic(&tasks, 50, 4, 7);
+        for j in inst.iter() {
+            assert!(j.processing <= j.window_length());
+        }
+        assert_eq!(inst.len(), 10);
+    }
+
+    #[test]
+    fn harmonic_tasks_are_agreeable_without_jitter() {
+        // Same relative deadline & period across tasks ⇒ agreeable releases.
+        let tasks = vec![
+            PeriodicTask { period: 6, wcet: 2, deadline: 6, phase: 0 },
+            PeriodicTask { period: 6, wcet: 3, deadline: 6, phase: 2 },
+        ];
+        let inst = periodic(&tasks, 40, 0, 0);
+        assert!(inst.is_agreeable());
+    }
+
+    #[test]
+    fn delta_mix_controls_delta() {
+        for d in [1i64, 4, 16] {
+            let inst = delta_mix(20, d, 3);
+            assert_eq!(inst.delta().unwrap(), Rat::from(d));
+            assert!(inst.all_loose(&Rat::ratio(1, 3)));
+        }
+    }
+
+    #[test]
+    fn parallel_waves_shape() {
+        let inst = parallel_waves(4, 3, 9);
+        assert_eq!(inst.len(), 12);
+        assert!(inst.volume_lower_bound() >= 2);
+    }
+}

@@ -1,0 +1,621 @@
+//! Instances: finite sets of jobs, their structural classification, and the
+//! window/processing transforms used by Lemmas 3 and 4 of the paper.
+
+use core::fmt;
+use mm_numeric::Rat;
+
+use crate::{Interval, IntervalSet, Job, JobId};
+
+/// An instance of the machine-minimization problem: a finite set of jobs.
+///
+/// Jobs are stored indexed by [`JobId`] in the paper's canonical order:
+/// non-decreasing release date, ties broken by non-increasing deadline
+/// (the indexing convention assumed in Section 5).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Instance {
+    /// Jobs in canonical order.
+    jobs: Vec<Job>,
+    /// Position of each id in `jobs`: `jobs[by_id[id]]` has that id. Ids are
+    /// dense (`0..n`) but need not coincide with canonical positions when the
+    /// instance was built with [`Instance::from_jobs_with_ids`] (e.g. by the
+    /// online driver, which ids jobs in arrival order).
+    by_id: Vec<u32>,
+}
+
+/// Structural class of an instance (Section 1: agreeable and laminar are the
+/// two complementary special cases studied by the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StructureClass {
+    /// Any two overlapping windows are nested: laminar (Section 5).
+    Laminar,
+    /// `r_j < r_j'` implies `d_j ≤ d_j'`: agreeable (Section 6).
+    Agreeable,
+    /// Both laminar and agreeable (e.g. pairwise disjoint windows).
+    Both,
+    /// Neither.
+    General,
+}
+
+impl Instance {
+    /// Builds an instance from raw `(release, deadline, processing)` triples,
+    /// assigning ids in canonical order.
+    pub fn from_triples<I>(triples: I) -> Self
+    where
+        I: IntoIterator<Item = (Rat, Rat, Rat)>,
+    {
+        let mut raw: Vec<(Rat, Rat, Rat)> = triples.into_iter().collect();
+        raw.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+        let jobs: Vec<Job> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, (r, d, p))| Job::new(JobId(i as u32), r, d, p))
+            .collect();
+        let by_id = (0..jobs.len() as u32).collect();
+        Instance { jobs, by_id }
+    }
+
+    /// Builds an instance from jobs that already carry meaningful ids (dense,
+    /// unique, `0..n`), preserving those ids while storing jobs in canonical
+    /// order. Used by the online driver, which ids jobs in arrival order.
+    ///
+    /// # Panics
+    /// Panics if the ids are not a permutation of `0..n`.
+    pub fn from_jobs_with_ids<I: IntoIterator<Item = Job>>(jobs: I) -> Self {
+        let mut jobs: Vec<Job> = jobs.into_iter().collect();
+        jobs.sort_by(|a, b| {
+            a.release
+                .cmp(&b.release)
+                .then_with(|| b.deadline.cmp(&a.deadline))
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        let n = jobs.len();
+        let mut by_id = vec![u32::MAX; n];
+        for (pos, j) in jobs.iter().enumerate() {
+            let slot = by_id
+                .get_mut(j.id.index())
+                .unwrap_or_else(|| panic!("job id {} out of range 0..{n}", j.id));
+            assert_eq!(*slot, u32::MAX, "duplicate job id {}", j.id);
+            *slot = pos as u32;
+        }
+        Instance { jobs, by_id }
+    }
+
+    /// Builds an instance from integer triples (test convenience).
+    pub fn from_ints<I>(triples: I) -> Self
+    where
+        I: IntoIterator<Item = (i64, i64, i64)>,
+    {
+        Instance::from_triples(
+            triples
+                .into_iter()
+                .map(|(r, d, p)| (Rat::from(r), Rat::from(d), Rat::from(p))),
+        )
+    }
+
+    /// Builds from pre-constructed jobs; re-sorts and re-ids canonically.
+    pub fn from_jobs<I: IntoIterator<Item = Job>>(jobs: I) -> Self {
+        Instance::from_triples(jobs.into_iter().map(|j| (j.release, j.deadline, j.processing)))
+    }
+
+    /// The empty instance.
+    pub fn empty() -> Self {
+        Instance { jobs: Vec::new(), by_id: Vec::new() }
+    }
+
+    /// Number of jobs `n`.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the instance has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The jobs in canonical (release-date) order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Job lookup by id.
+    pub fn job(&self, id: JobId) -> &Job {
+        &self.jobs[self.by_id[id.index()] as usize]
+    }
+
+    /// Iterator over jobs.
+    pub fn iter(&self) -> core::slice::Iter<'_, Job> {
+        self.jobs.iter()
+    }
+
+    /// Total processing volume `Σ p_j`.
+    pub fn total_processing(&self) -> Rat {
+        let mut t = Rat::zero();
+        for j in &self.jobs {
+            t += &j.processing;
+        }
+        t
+    }
+
+    /// Earliest release date, or `None` if empty.
+    pub fn min_release(&self) -> Option<Rat> {
+        self.jobs.first().map(|j| j.release.clone())
+    }
+
+    /// Latest deadline, or `None` if empty.
+    pub fn max_deadline(&self) -> Option<Rat> {
+        self.jobs.iter().map(|j| j.deadline.clone()).max()
+    }
+
+    /// `Δ`: ratio of the largest to smallest processing time.
+    pub fn delta(&self) -> Option<Rat> {
+        let max = self.jobs.iter().map(|j| &j.processing).max()?;
+        let min = self.jobs.iter().map(|j| &j.processing).min()?;
+        Some(max / min)
+    }
+
+    /// All distinct release dates and deadlines, sorted ascending. These are
+    /// the *event points*; between consecutive events the set of available
+    /// jobs is constant, which is what the flow formulation exploits.
+    pub fn event_points(&self) -> Vec<Rat> {
+        let mut pts: Vec<Rat> = Vec::with_capacity(2 * self.jobs.len());
+        for j in &self.jobs {
+            pts.push(j.release.clone());
+            pts.push(j.deadline.clone());
+        }
+        pts.sort();
+        pts.dedup();
+        pts
+    }
+
+    /// Union of all job windows `I(S)`.
+    pub fn window_union(&self) -> IntervalSet {
+        IntervalSet::from_intervals(self.jobs.iter().map(|j| j.window()))
+    }
+
+    /// Contribution of the whole instance to a union `I` (Theorem 1):
+    /// `C(S, I) = Σ_j C(j, I)`.
+    pub fn contribution(&self, union: &IntervalSet) -> Rat {
+        let mut t = Rat::zero();
+        for j in &self.jobs {
+            t += j.contribution(union);
+        }
+        t
+    }
+
+    /// Whether the instance is agreeable: `r_j < r_{j'}` implies
+    /// `d_j ≤ d_{j'}` for all pairs.
+    pub fn is_agreeable(&self) -> bool {
+        // Jobs are sorted by (release asc, deadline desc). For every job, all
+        // deadlines of strictly-earlier releases must be ≤ its deadline.
+        let mut max_d_before: Option<Rat> = None;
+        let mut i = 0;
+        while i < self.jobs.len() {
+            // group of equal releases
+            let r = self.jobs[i].release.clone();
+            let mut k = i;
+            let mut group_max = self.jobs[i].deadline.clone();
+            while k < self.jobs.len() && self.jobs[k].release == r {
+                if let Some(prev) = &max_d_before {
+                    if self.jobs[k].deadline < *prev {
+                        return false;
+                    }
+                }
+                if self.jobs[k].deadline > group_max {
+                    group_max = self.jobs[k].deadline.clone();
+                }
+                k += 1;
+            }
+            max_d_before = Some(match max_d_before {
+                Some(prev) => prev.max(group_max),
+                None => group_max,
+            });
+            i = k;
+        }
+        true
+    }
+
+    /// Whether the instance is laminar: any two overlapping windows are
+    /// nested.
+    pub fn is_laminar(&self) -> bool {
+        // Sweep in canonical order with a nesting stack.
+        let mut stack: Vec<Interval> = Vec::new();
+        for j in &self.jobs {
+            let w = j.window();
+            while let Some(top) = stack.last() {
+                if top.end <= w.start {
+                    stack.pop(); // disjoint, closed before w starts
+                } else {
+                    break;
+                }
+            }
+            if let Some(top) = stack.last() {
+                // overlapping: must be nested (w ⊆ top)
+                if !top.contains_interval(&w) {
+                    return false;
+                }
+            }
+            stack.push(w);
+        }
+        true
+    }
+
+    /// Classifies the instance.
+    pub fn classify(&self) -> StructureClass {
+        match (self.is_laminar(), self.is_agreeable()) {
+            (true, true) => StructureClass::Both,
+            (true, false) => StructureClass::Laminar,
+            (false, true) => StructureClass::Agreeable,
+            (false, false) => StructureClass::General,
+        }
+    }
+
+    /// Whether every job is α-loose.
+    pub fn all_loose(&self, alpha: &Rat) -> bool {
+        self.jobs.iter().all(|j| j.is_loose(alpha))
+    }
+
+    /// Splits into (α-loose, α-tight) sub-instances. Ids are reassigned
+    /// within each part; the mapping back is by `(r, d, p)` value.
+    pub fn split_loose_tight(&self, alpha: &Rat) -> (Instance, Instance) {
+        let (loose, tight): (Vec<_>, Vec<_>) =
+            self.jobs.iter().cloned().partition(|j| j.is_loose(alpha));
+        (Instance::from_jobs(loose), Instance::from_jobs(tight))
+    }
+
+    // ---- transforms of Lemmas 3 & 4 ----
+
+    /// `J^s`: every processing time multiplied by `s ≥ 1` (Lemma 4). Panics
+    /// if some job would no longer fit its window.
+    pub fn scale_processing(&self, s: &Rat) -> Instance {
+        Instance::from_triples(self.jobs.iter().map(|j| {
+            (
+                j.release.clone(),
+                j.deadline.clone(),
+                &j.processing * s,
+            )
+        }))
+    }
+
+    /// `J^{γ,0}` of Lemma 3: remove a `γ`-fraction of the laxity from the
+    /// *right* of every window: `I(j^0) = [r_j, d_j − γ·ℓ_j)`.
+    pub fn shrink_windows_right(&self, gamma: &Rat) -> Instance {
+        assert!(
+            !gamma.is_negative() && *gamma < Rat::one(),
+            "gamma must lie in [0,1)"
+        );
+        Instance::from_triples(self.jobs.iter().map(|j| {
+            (
+                j.release.clone(),
+                &j.deadline - gamma * j.laxity(),
+                j.processing.clone(),
+            )
+        }))
+    }
+
+    /// `J^{0,γ}` of Lemma 3: remove a `γ`-fraction of the laxity from the
+    /// *left* of every window: `I(j^γ) = [r_j + γ·ℓ_j, d_j)`.
+    pub fn shrink_windows_left(&self, gamma: &Rat) -> Instance {
+        assert!(
+            !gamma.is_negative() && *gamma < Rat::one(),
+            "gamma must lie in [0,1)"
+        );
+        Instance::from_triples(self.jobs.iter().map(|j| {
+            (
+                &j.release + gamma * j.laxity(),
+                j.deadline.clone(),
+                j.processing.clone(),
+            )
+        }))
+    }
+
+    /// The piece families `J_1, …, J_⌈s⌉` from the proof of Lemma 4.
+    ///
+    /// For each α-loose job `j` (with `α·s < 1`) define
+    /// `δ_j = (1−αs)(d_j−r_j)/⌈s⌉ ∈ (0, ℓ_j/⌈s⌉]` and split the scaled job
+    /// `j^s` into `⌈s⌉` consecutive pieces:
+    /// piece `i < ⌈s⌉` has window `[r_j+(i−1)(p_j+δ_j), r_j+i(p_j+δ_j))` and
+    /// processing `p_j`; the last piece has processing `(s−⌈s⌉+1)·p_j` and
+    /// window ending at `r_j + s·p_j + ⌈s⌉·δ_j ≤ d_j`. Any feasible schedule
+    /// of all the `J_i` yields a feasible schedule of `J^s` because the
+    /// pieces of one job are disjoint and ordered, which is how the proof
+    /// reduces `m(J^s)` to the `m(J_i)` and then, via Lemma 3, to `O(m(J))`.
+    ///
+    /// # Panics
+    /// Panics unless `s ≥ 1`, `α ∈ (0,1)`, `α·s < 1`, and every job is
+    /// α-loose.
+    pub fn lemma4_pieces(&self, s: &Rat, alpha: &Rat) -> Vec<Instance> {
+        assert!(*s >= Rat::one(), "s ≥ 1 required");
+        assert!(alpha.is_positive() && *alpha < Rat::one(), "alpha ∈ (0,1)");
+        assert!(alpha * s < Rat::one(), "need α·s < 1");
+        assert!(self.all_loose(alpha), "Lemma 4 requires α-loose jobs");
+        let ceil_s = s.ceil().to_u64().expect("s fits u64");
+        let ceil_s_rat = Rat::from(ceil_s);
+        let mut families: Vec<Vec<(Rat, Rat, Rat)>> =
+            vec![Vec::with_capacity(self.len()); ceil_s as usize];
+        for j in &self.jobs {
+            let delta = (Rat::one() - alpha * s) * j.window_length() / &ceil_s_rat;
+            debug_assert!(delta.is_positive());
+            let step = &j.processing + &delta;
+            for i in 0..ceil_s {
+                let start = &j.release + Rat::from(i) * &step;
+                let (end, proc) = if i + 1 < ceil_s {
+                    (&start + &step, j.processing.clone())
+                } else {
+                    (
+                        &j.release + s * &j.processing + &ceil_s_rat * &delta,
+                        (s - &ceil_s_rat + Rat::one()) * &j.processing,
+                    )
+                };
+                debug_assert!(end <= j.deadline, "piece escapes the window");
+                families[i as usize].push((start, end, proc));
+            }
+        }
+        families.into_iter().map(Instance::from_triples).collect()
+    }
+
+    /// Affine time transform `t ↦ offset + scale·(t − origin)` applied to all
+    /// windows and processing times; used by the adversary to embed scaled
+    /// copies of instances into small idle windows.
+    pub fn affine(&self, origin: &Rat, offset: &Rat, scale: &Rat) -> Instance {
+        assert!(scale.is_positive(), "affine scale must be positive");
+        Instance::from_triples(self.jobs.iter().map(|j| {
+            (
+                offset + scale * (&j.release - origin),
+                offset + scale * (&j.deadline - origin),
+                scale * &j.processing,
+            )
+        }))
+    }
+
+    /// A trivial volume lower bound on the number of machines:
+    /// `⌈ Σp_j / |I(S)| ⌉`.
+    pub fn volume_lower_bound(&self) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        (self.total_processing() / self.window_union().length()).ceil_u64()
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "instance with {} jobs:", self.jobs.len())?;
+        for j in &self.jobs {
+            writeln!(f, "  {j}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_ordering() {
+        let inst = Instance::from_ints([(5, 10, 1), (0, 8, 2), (0, 9, 1)]);
+        let rs: Vec<i64> = inst.iter().map(|j| j.release.to_f64() as i64).collect();
+        assert_eq!(rs, vec![0, 0, 5]);
+        // equal releases: larger deadline first
+        assert_eq!(inst.jobs()[0].deadline, Rat::from(9i64));
+        assert_eq!(inst.jobs()[1].deadline, Rat::from(8i64));
+        assert_eq!(inst.jobs()[0].id, JobId(0));
+    }
+
+    #[test]
+    fn from_jobs_with_ids_preserves_ids() {
+        // Arrival order differs from canonical order (same release, the
+        // smaller deadline arrives first).
+        let jobs = vec![
+            Job::new(JobId(0), Rat::zero(), Rat::from(5i64), Rat::one()),
+            Job::new(JobId(1), Rat::zero(), Rat::from(9i64), Rat::one()),
+            Job::new(JobId(2), Rat::from(1i64), Rat::from(3i64), Rat::one()),
+        ];
+        let inst = Instance::from_jobs_with_ids(jobs);
+        // canonical order: (0,9) then (0,5) then (1,3)
+        assert_eq!(inst.jobs()[0].id, JobId(1));
+        assert_eq!(inst.jobs()[1].id, JobId(0));
+        assert_eq!(inst.jobs()[2].id, JobId(2));
+        // lookup by id still works
+        assert_eq!(inst.job(JobId(0)).deadline, Rat::from(5i64));
+        assert_eq!(inst.job(JobId(1)).deadline, Rat::from(9i64));
+        assert_eq!(inst.job(JobId(2)).release, Rat::from(1i64));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate job id")]
+    fn from_jobs_with_ids_rejects_duplicates() {
+        let jobs = vec![
+            Job::new(JobId(0), Rat::zero(), Rat::from(5i64), Rat::one()),
+            Job::new(JobId(0), Rat::zero(), Rat::from(9i64), Rat::one()),
+        ];
+        let _ = Instance::from_jobs_with_ids(jobs);
+    }
+
+    #[test]
+    fn events_and_volume() {
+        let inst = Instance::from_ints([(0, 4, 2), (2, 6, 2), (0, 4, 1)]);
+        let evs = inst.event_points();
+        assert_eq!(evs.len(), 4); // 0, 2, 4, 6
+        assert_eq!(inst.total_processing(), Rat::from(5i64));
+        assert_eq!(inst.window_union().length(), Rat::from(6i64));
+        assert_eq!(inst.volume_lower_bound(), 1);
+    }
+
+    #[test]
+    fn volume_bound_rounds_up() {
+        // 7 units of work in a 2-unit union -> at least 4 machines.
+        let inst = Instance::from_ints([(0, 2, 2), (0, 2, 2), (0, 2, 2), (0, 2, 1)]);
+        assert_eq!(inst.volume_lower_bound(), 4);
+    }
+
+    #[test]
+    fn agreeable_detection() {
+        assert!(Instance::from_ints([(0, 4, 1), (1, 5, 1), (2, 6, 1)]).is_agreeable());
+        // nested with distinct releases -> not agreeable
+        assert!(!Instance::from_ints([(0, 10, 1), (1, 5, 1)]).is_agreeable());
+        // equal releases with different deadlines are fine
+        assert!(Instance::from_ints([(0, 10, 1), (0, 5, 1), (1, 11, 1)]).is_agreeable());
+        // equal releases, later job must still dominate earlier releases
+        assert!(!Instance::from_ints([(0, 10, 1), (1, 11, 1), (1, 9, 1)]).is_agreeable());
+        assert!(Instance::empty().is_agreeable());
+    }
+
+    #[test]
+    fn laminar_detection() {
+        // properly nested
+        assert!(Instance::from_ints([(0, 10, 1), (1, 5, 1), (2, 4, 1), (6, 9, 1)]).is_laminar());
+        // crossing windows
+        assert!(!Instance::from_ints([(0, 5, 1), (3, 8, 1)]).is_laminar());
+        // disjoint windows are laminar
+        assert!(Instance::from_ints([(0, 2, 1), (3, 5, 1)]).is_laminar());
+        // identical windows are laminar (mutually contained)
+        assert!(Instance::from_ints([(0, 5, 2), (0, 5, 3)]).is_laminar());
+        assert!(Instance::empty().is_laminar());
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(
+            Instance::from_ints([(0, 2, 1), (3, 5, 1)]).classify(),
+            StructureClass::Both
+        );
+        assert_eq!(
+            Instance::from_ints([(0, 10, 1), (1, 5, 1)]).classify(),
+            StructureClass::Laminar
+        );
+        assert_eq!(
+            Instance::from_ints([(0, 4, 1), (1, 5, 1)]).classify(),
+            StructureClass::Agreeable
+        );
+        assert_eq!(
+            Instance::from_ints([(0, 5, 1), (3, 8, 1), (4, 6, 1)]).classify(),
+            StructureClass::General
+        );
+    }
+
+    #[test]
+    fn loose_tight_split() {
+        let inst = Instance::from_ints([(0, 10, 2), (0, 10, 9)]);
+        let alpha = Rat::ratio(1, 2);
+        assert!(!inst.all_loose(&alpha));
+        let (loose, tight) = inst.split_loose_tight(&alpha);
+        assert_eq!(loose.len(), 1);
+        assert_eq!(tight.len(), 1);
+        assert_eq!(loose.jobs()[0].processing, Rat::from(2i64));
+        assert_eq!(tight.jobs()[0].processing, Rat::from(9i64));
+    }
+
+    #[test]
+    fn scale_processing_lemma4() {
+        let inst = Instance::from_ints([(0, 10, 2)]);
+        let scaled = inst.scale_processing(&Rat::ratio(3, 1));
+        assert_eq!(scaled.jobs()[0].processing, Rat::from(6i64));
+        assert_eq!(scaled.jobs()[0].window(), inst.jobs()[0].window());
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible window")]
+    fn scale_processing_rejects_overflow() {
+        let inst = Instance::from_ints([(0, 10, 6)]);
+        let _ = inst.scale_processing(&Rat::from(2i64));
+    }
+
+    #[test]
+    fn window_shrink_lemma3() {
+        let inst = Instance::from_ints([(0, 10, 4)]); // laxity 6
+        let gamma = Rat::ratio(1, 2);
+        let right = inst.shrink_windows_right(&gamma);
+        assert_eq!(right.jobs()[0].deadline, Rat::from(7i64)); // 10 - 3
+        assert_eq!(right.jobs()[0].release, Rat::zero());
+        let left = inst.shrink_windows_left(&gamma);
+        assert_eq!(left.jobs()[0].release, Rat::from(3i64));
+        assert_eq!(left.jobs()[0].deadline, Rat::from(10i64));
+        // processing unchanged, still feasible
+        assert_eq!(left.jobs()[0].processing, Rat::from(4i64));
+    }
+
+    #[test]
+    fn lemma4_pieces_structure() {
+        // One job (0, 12, 3), α = 1/3, s = 3/2 (αs = 1/2 < 1), ⌈s⌉ = 2.
+        // δ = (1 − 1/2)·12/2 = 3; step = 6.
+        let inst = Instance::from_ints([(0, 12, 3)]);
+        let s = Rat::ratio(3, 2);
+        let alpha = Rat::ratio(1, 3);
+        let families = inst.lemma4_pieces(&s, &alpha);
+        assert_eq!(families.len(), 2);
+        let p1 = &families[0].jobs()[0];
+        let p2 = &families[1].jobs()[0];
+        // piece 1: [0, 6), processing 3
+        assert_eq!(p1.release, Rat::zero());
+        assert_eq!(p1.deadline, Rat::from(6i64));
+        assert_eq!(p1.processing, Rat::from(3i64));
+        // piece 2: [6, s·p + 2δ) = [6, 4.5 + 6 = 21/2), processing (s−1)p = 3/2
+        assert_eq!(p2.release, Rat::from(6i64));
+        assert_eq!(p2.deadline, Rat::ratio(21, 2));
+        assert_eq!(p2.processing, Rat::ratio(3, 2));
+        // total piece volume = s·p, windows inside I(j), ordered disjoint
+        assert_eq!(
+            &p1.processing + &p2.processing,
+            &s * &inst.jobs()[0].processing
+        );
+        assert!(p2.deadline <= inst.jobs()[0].deadline);
+        assert!(p1.deadline <= p2.release);
+    }
+
+    #[test]
+    fn lemma4_pieces_integral_speed() {
+        // s = 2 integral: both pieces carry full processing p.
+        let inst = Instance::from_ints([(0, 20, 4)]);
+        let families = inst.lemma4_pieces(&Rat::from(2i64), &Rat::ratio(1, 4));
+        assert_eq!(families.len(), 2);
+        for f in &families {
+            assert_eq!(f.jobs()[0].processing, Rat::from(4i64));
+        }
+        // scaled instance J^s is exactly covered: 2·4 = 8 = s·p.
+    }
+
+    #[test]
+    #[should_panic(expected = "α·s < 1")]
+    fn lemma4_rejects_fast_speeds() {
+        let inst = Instance::from_ints([(0, 12, 3)]);
+        let _ = inst.lemma4_pieces(&Rat::from(4i64), &Rat::ratio(1, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires α-loose")]
+    fn lemma4_rejects_tight_jobs() {
+        let inst = Instance::from_ints([(0, 4, 3)]);
+        let _ = inst.lemma4_pieces(&Rat::ratio(3, 2), &Rat::ratio(1, 3));
+    }
+
+    #[test]
+    fn affine_embedding() {
+        let inst = Instance::from_ints([(0, 8, 4)]);
+        // embed [0,8) into [100, 102): scale 1/4
+        let emb = inst.affine(&Rat::zero(), &Rat::from(100i64), &Rat::ratio(1, 4));
+        let j = &emb.jobs()[0];
+        assert_eq!(j.release, Rat::from(100i64));
+        assert_eq!(j.deadline, Rat::from(102i64));
+        assert_eq!(j.processing, Rat::from(1i64));
+        // laxity scales linearly
+        assert_eq!(j.laxity(), Rat::from(1i64));
+    }
+
+    #[test]
+    fn contribution_sums() {
+        let inst = Instance::from_ints([(0, 4, 4), (0, 4, 2)]);
+        let full = IntervalSet::from_intervals([Interval::ints(0, 4)]);
+        // job 1 contributes 4 (laxity 0), job 2 contributes 4-2=2... wait:
+        // job 2 has laxity 2 so contributes 4-2 = 2.
+        assert_eq!(inst.contribution(&full), Rat::from(6i64));
+    }
+
+    #[test]
+    fn delta_ratio() {
+        let inst = Instance::from_ints([(0, 10, 1), (0, 10, 8)]);
+        assert_eq!(inst.delta(), Some(Rat::from(8i64)));
+        assert_eq!(Instance::empty().delta(), None);
+    }
+}

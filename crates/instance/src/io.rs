@@ -1,0 +1,112 @@
+//! Instance (de)serialization.
+//!
+//! Instances round-trip through JSON with exact rational coordinates encoded
+//! as `"num/den"` strings, so adversarial instances (whose denominators
+//! overflow any float or fixed-width integer) survive storage losslessly.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::Instance;
+
+/// Serialization error.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+}
+
+impl core::fmt::Display for IoError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Json(e) => write!(f, "json error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for IoError {
+    fn from(e: serde_json::Error) -> Self {
+        IoError::Json(e)
+    }
+}
+
+/// Serializes an instance to pretty JSON.
+pub fn to_json(instance: &Instance) -> Result<String, IoError> {
+    Ok(serde_json::to_string_pretty(instance)?)
+}
+
+/// Deserializes an instance from JSON.
+pub fn from_json(json: &str) -> Result<Instance, IoError> {
+    Ok(serde_json::from_str(json)?)
+}
+
+/// Writes an instance to a JSON file.
+pub fn save<P: AsRef<Path>>(instance: &Instance, path: P) -> Result<(), IoError> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_json(instance)?.as_bytes())?;
+    Ok(())
+}
+
+/// Reads an instance from a JSON file.
+pub fn load<P: AsRef<Path>>(path: P) -> Result<Instance, IoError> {
+    let mut s = String::new();
+    std::fs::File::open(path)?.read_to_string(&mut s)?;
+    from_json(&s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_numeric::Rat;
+
+    #[test]
+    fn json_roundtrip_integers() {
+        let inst = Instance::from_ints([(0, 4, 2), (1, 5, 3)]);
+        let json = to_json(&inst).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn json_roundtrip_deep_rationals() {
+        // Coordinates like the Lemma 2 adversary produces.
+        let mut r = Rat::ratio(1, 3);
+        for p in [7i64, 11, 13, 17, 19, 23] {
+            r = r * Rat::ratio(p - 2, p);
+        }
+        let d = &r + Rat::ratio(1, 1_000_003);
+        let p = (&d - &r) * Rat::half();
+        let inst = Instance::from_triples([(r, d, p)]);
+        let back = from_json(&to_json(&inst).unwrap()).unwrap();
+        assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let inst = Instance::from_ints([(0, 10, 4), (2, 6, 4)]);
+        let dir = std::env::temp_dir().join("machmin_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inst.json");
+        save(&inst, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(inst, back);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(from_json("{not json").is_err());
+        assert!(from_json("{\"jobs\": 3}").is_err());
+    }
+}

@@ -1,0 +1,189 @@
+//! Jobs with release dates, deadlines and processing times.
+
+use core::fmt;
+use mm_numeric::Rat;
+
+use crate::Interval;
+
+/// Identifier of a job within an [`crate::Instance`].
+///
+/// Ids are dense indices assigned in release order by the instance builder
+/// (ties broken by non-increasing deadline, matching the indexing convention
+/// of Section 5 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct JobId(pub u32);
+
+impl JobId {
+    /// The id as an index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+/// A preemptable job `j = (r_j, d_j, p_j)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Job {
+    /// The job's identifier.
+    pub id: JobId,
+    /// Release date `r_j`: earliest time processing may start.
+    pub release: Rat,
+    /// Deadline `d_j`: processing must finish strictly within `[r_j, d_j)`.
+    pub deadline: Rat,
+    /// Processing requirement `p_j > 0`.
+    pub processing: Rat,
+}
+
+impl Job {
+    /// Builds a job, checking `0 < p_j ≤ d_j − r_j`.
+    pub fn new(id: JobId, release: Rat, deadline: Rat, processing: Rat) -> Self {
+        assert!(processing.is_positive(), "job {id}: processing must be positive");
+        assert!(
+            processing <= &deadline - &release,
+            "job {id}: infeasible window (p={processing}, window={})",
+            &deadline - &release
+        );
+        Job { id, release, deadline, processing }
+    }
+
+    /// The processing interval (time window) `I(j) = [r_j, d_j)`.
+    pub fn window(&self) -> Interval {
+        Interval::new(self.release.clone(), self.deadline.clone())
+    }
+
+    /// Window length `d_j − r_j`.
+    pub fn window_length(&self) -> Rat {
+        &self.deadline - &self.release
+    }
+
+    /// Laxity `ℓ_j = d_j − r_j − p_j ≥ 0`.
+    pub fn laxity(&self) -> Rat {
+        &self.deadline - &self.release - &self.processing
+    }
+
+    /// `a_j = r_j + ℓ_j`: the latest time at which the job must have been
+    /// started (assigned to a machine) in any feasible schedule.
+    pub fn assign_by(&self) -> Rat {
+        &self.release + &self.laxity()
+    }
+
+    /// `f_j = d_j − ℓ_j`: the earliest time the job can be finished.
+    pub fn finish_earliest(&self) -> Rat {
+        &self.deadline - &self.laxity()
+    }
+
+    /// Whether the job is α-loose: `p_j ≤ α · (d_j − r_j)`.
+    pub fn is_loose(&self, alpha: &Rat) -> bool {
+        self.processing <= alpha * self.window_length()
+    }
+
+    /// Whether the job is α-tight (not α-loose).
+    pub fn is_tight(&self, alpha: &Rat) -> bool {
+        !self.is_loose(alpha)
+    }
+
+    /// Contribution `C(j, I) = max{0, |I ∩ I(j)| − ℓ_j}`: the least amount of
+    /// processing `j` receives inside the union `I` in *any* feasible
+    /// schedule (Theorem 1).
+    pub fn contribution(&self, union: &crate::IntervalSet) -> Rat {
+        let inside = union.overlap_length(&self.window());
+        let slack = &inside - &self.laxity();
+        if slack.is_positive() {
+            slack
+        } else {
+            Rat::zero()
+        }
+    }
+
+    /// Whether `j` covers the time point `t` (i.e. `t ∈ I(j)`).
+    pub fn covers(&self, t: &Rat) -> bool {
+        self.window().contains(t)
+    }
+}
+
+impl fmt::Display for Job {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}(r={}, d={}, p={})",
+            self.id, self.release, self.deadline, self.processing
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IntervalSet;
+
+    fn job(r: i64, d: i64, p: i64) -> Job {
+        Job::new(JobId(0), Rat::from(r), Rat::from(d), Rat::from(p))
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let j = job(2, 10, 3);
+        assert_eq!(j.window_length(), Rat::from(8i64));
+        assert_eq!(j.laxity(), Rat::from(5i64));
+        assert_eq!(j.assign_by(), Rat::from(7i64));
+        assert_eq!(j.finish_earliest(), Rat::from(5i64));
+        assert!(j.covers(&Rat::from(2i64)));
+        assert!(j.covers(&Rat::from(9i64)));
+        assert!(!j.covers(&Rat::from(10i64)));
+    }
+
+    #[test]
+    fn zero_laxity_job() {
+        let j = job(0, 4, 4);
+        assert_eq!(j.laxity(), Rat::zero());
+        assert_eq!(j.assign_by(), Rat::zero());
+        assert_eq!(j.finish_earliest(), Rat::from(4i64));
+    }
+
+    #[test]
+    #[should_panic(expected = "processing must be positive")]
+    fn zero_processing_rejected() {
+        let _ = job(0, 4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible window")]
+    fn overlong_processing_rejected() {
+        let _ = job(0, 4, 5);
+    }
+
+    #[test]
+    fn looseness() {
+        let j = job(0, 10, 3);
+        assert!(j.is_loose(&Rat::ratio(3, 10)));
+        assert!(j.is_loose(&Rat::ratio(1, 2)));
+        assert!(j.is_tight(&Rat::ratio(1, 4)));
+        // boundary: p = α·|I(j)| counts as loose
+        assert!(!j.is_loose(&Rat::ratio(29, 100)));
+    }
+
+    #[test]
+    fn contribution_matches_theorem1_definition() {
+        // j covers [0,10), laxity 5.
+        let j = job(0, 10, 5);
+        // union covering [0,10) entirely: contribution = 10 - 5 = 5 = p_j.
+        let full = IntervalSet::from_intervals([Interval::ints(0, 10)]);
+        assert_eq!(j.contribution(&full), Rat::from(5i64));
+        // union covering 6 units: contribution = 1.
+        let six = IntervalSet::from_intervals([Interval::ints(0, 3), Interval::ints(5, 8)]);
+        assert_eq!(j.contribution(&six), Rat::from(1i64));
+        // union covering ≤ laxity: contribution = 0.
+        let small = IntervalSet::from_intervals([Interval::ints(0, 5)]);
+        assert_eq!(j.contribution(&small), Rat::zero());
+        // disjoint union: 0.
+        let off = IntervalSet::from_intervals([Interval::ints(20, 30)]);
+        assert_eq!(j.contribution(&off), Rat::zero());
+    }
+}

@@ -1,0 +1,45 @@
+//! Job and instance model for online machine minimization.
+//!
+//! This crate defines the problem data of Chen–Megow–Schewior (SPAA'16):
+//! preemptable jobs `j = (r_j, d_j, p_j)` to be scheduled inside their time
+//! windows `[r_j, d_j)` on identical machines. It provides:
+//!
+//! * [`Job`], [`JobId`], [`Instance`] — the core model with the paper's
+//!   derived quantities (laxity `ℓ_j`, latest assignment time `a_j`, earliest
+//!   finish time `f_j`, α-loose/tight classification, contributions
+//!   `C(j, I)` from Theorem 1);
+//! * [`Interval`] / [`IntervalSet`] — half-open intervals and finite disjoint
+//!   unions, the objects Theorem 1 quantifies over;
+//! * structural classification ([`Instance::is_agreeable`],
+//!   [`Instance::is_laminar`]) of the special cases from Sections 5 and 6;
+//! * the window/processing transforms of Lemmas 3 and 4
+//!   ([`Instance::shrink_windows_left`], [`Instance::shrink_windows_right`],
+//!   [`Instance::scale_processing`]) and the affine embedding used by the
+//!   lower-bound adversary;
+//! * deterministic, seeded workload [`generators`].
+//!
+//! # Example
+//!
+//! ```
+//! use mm_instance::{Instance, StructureClass};
+//! use mm_numeric::Rat;
+//!
+//! let inst = Instance::from_ints([(0, 10, 4), (1, 5, 2), (6, 9, 1)]);
+//! assert!(inst.is_laminar());
+//! assert_eq!(inst.classify(), StructureClass::Laminar);
+//! assert!(inst.jobs()[0].is_loose(&Rat::ratio(1, 2)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+mod instance;
+#[cfg(feature = "serde")]
+pub mod io;
+mod interval;
+mod job;
+
+pub use instance::{Instance, StructureClass};
+pub use interval::{Interval, IntervalSet};
+pub use job::{Job, JobId};

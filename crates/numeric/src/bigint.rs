@@ -1,0 +1,934 @@
+//! Sign–magnitude arbitrary-precision integers.
+//!
+//! The magnitude is a little-endian vector of 32-bit limbs with no trailing
+//! zero limbs; all intermediate arithmetic fits in `u64`. Division uses
+//! Knuth's Algorithm D with the standard normalization step.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::hash::{Hash, Hasher};
+use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+use core::str::FromStr;
+
+use crate::ParseNumError;
+
+const BASE_BITS: u32 = 32;
+
+/// Sign of a [`BigInt`]. Zero has its own sign so that the magnitude of a
+/// zero value is always the empty limb vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Strictly negative.
+    Minus,
+    /// Exactly zero.
+    Zero,
+    /// Strictly positive.
+    Plus,
+}
+
+impl Sign {
+    fn flip(self) -> Sign {
+        match self {
+            Sign::Minus => Sign::Plus,
+            Sign::Zero => Sign::Zero,
+            Sign::Plus => Sign::Minus,
+        }
+    }
+
+    fn mul(self, other: Sign) -> Sign {
+        match (self, other) {
+            (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
+            (a, b) if a == b => Sign::Plus,
+            _ => Sign::Minus,
+        }
+    }
+}
+
+/// An arbitrary-precision signed integer.
+///
+/// Invariants: `mag` has no trailing zero limbs; `sign == Sign::Zero` iff
+/// `mag.is_empty()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BigInt {
+    sign: Sign,
+    mag: Vec<u32>,
+}
+
+impl BigInt {
+    /// The integer `0`.
+    pub fn zero() -> Self {
+        BigInt { sign: Sign::Zero, mag: Vec::new() }
+    }
+
+    /// The integer `1`.
+    pub fn one() -> Self {
+        BigInt::from(1u32)
+    }
+
+    /// Returns `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// Returns `true` iff the value is `1`.
+    pub fn is_one(&self) -> bool {
+        self.sign == Sign::Plus && self.mag.len() == 1 && self.mag[0] == 1
+    }
+
+    /// Returns `true` iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// Returns `true` iff the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Plus
+    }
+
+    /// The sign of the value.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        BigInt {
+            sign: if self.sign == Sign::Zero { Sign::Zero } else { Sign::Plus },
+            mag: self.mag.clone(),
+        }
+    }
+
+    fn from_mag(sign: Sign, mut mag: Vec<u32>) -> BigInt {
+        while mag.last() == Some(&0) {
+            mag.pop();
+        }
+        if mag.is_empty() {
+            BigInt::zero()
+        } else {
+            debug_assert_ne!(sign, Sign::Zero);
+            BigInt { sign, mag }
+        }
+    }
+
+    /// Number of significant bits of the magnitude (0 for zero).
+    pub fn bits(&self) -> u64 {
+        match self.mag.last() {
+            None => 0,
+            Some(&top) => {
+                (self.mag.len() as u64 - 1) * BASE_BITS as u64 + (32 - top.leading_zeros()) as u64
+            }
+        }
+    }
+
+    /// Compares magnitudes, ignoring sign.
+    pub fn cmp_abs(&self, other: &BigInt) -> Ordering {
+        cmp_mag(&self.mag, &other.mag)
+    }
+
+    /// Euclidean-style division returning `(quotient, remainder)` with the
+    /// remainder taking the sign of `self` (truncated division, like Rust's
+    /// primitive `/` and `%`).
+    ///
+    /// # Panics
+    /// Panics if `rhs` is zero.
+    pub fn div_rem(&self, rhs: &BigInt) -> (BigInt, BigInt) {
+        assert!(!rhs.is_zero(), "BigInt division by zero");
+        if self.is_zero() {
+            return (BigInt::zero(), BigInt::zero());
+        }
+        match cmp_mag(&self.mag, &rhs.mag) {
+            Ordering::Less => (BigInt::zero(), self.clone()),
+            Ordering::Equal => (
+                BigInt::from_mag(self.sign.mul(rhs.sign), vec![1]),
+                BigInt::zero(),
+            ),
+            Ordering::Greater => {
+                let (q, r) = div_rem_mag(&self.mag, &rhs.mag);
+                (
+                    BigInt::from_mag(self.sign.mul(rhs.sign), q),
+                    BigInt::from_mag(self.sign, r),
+                )
+            }
+        }
+    }
+
+    /// Greatest common divisor of the absolute values; `gcd(0, x) = |x|`.
+    pub fn gcd(&self, other: &BigInt) -> BigInt {
+        let mut a = self.abs();
+        let mut b = other.abs();
+        while !b.is_zero() {
+            let (_, r) = a.div_rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Raises `self` to the power `exp` by repeated squaring.
+    pub fn pow(&self, mut exp: u32) -> BigInt {
+        let mut base = self.clone();
+        let mut acc = BigInt::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Approximate conversion to `f64` (round-to-nearest on the top bits;
+    /// returns ±∞ when out of range).
+    pub fn to_f64(&self) -> f64 {
+        let bits = self.bits();
+        let v = if bits <= 63 {
+            self.low_u64() as f64
+        } else {
+            // Take the top 64 bits and scale by the dropped exponent.
+            let shift = bits - 64;
+            let top = self.shr_bits(shift).low_u64();
+            top as f64 * 2f64.powi(shift as i32)
+        };
+        match self.sign {
+            Sign::Minus => -v,
+            Sign::Zero => 0.0,
+            Sign::Plus => v,
+        }
+    }
+
+    /// The low 64 bits of the magnitude.
+    pub fn low_u64(&self) -> u64 {
+        let lo = *self.mag.first().unwrap_or(&0) as u64;
+        let hi = *self.mag.get(1).unwrap_or(&0) as u64;
+        lo | (hi << 32)
+    }
+
+    /// Converts to `i64` if it fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        if self.bits() > 63 {
+            // i64::MIN is representable but we do not need that edge here.
+            return None;
+        }
+        let v = self.low_u64() as i64;
+        Some(match self.sign {
+            Sign::Minus => -v,
+            _ => v,
+        })
+    }
+
+    /// Converts to `u64` if it fits and is non-negative.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.is_negative() || self.bits() > 64 {
+            None
+        } else {
+            Some(self.low_u64())
+        }
+    }
+
+    /// Right shift by `n` bits (arithmetic on the magnitude, sign kept).
+    pub fn shr_bits(&self, n: u64) -> BigInt {
+        if self.is_zero() {
+            return BigInt::zero();
+        }
+        let limb_shift = (n / BASE_BITS as u64) as usize;
+        let bit_shift = (n % BASE_BITS as u64) as u32;
+        if limb_shift >= self.mag.len() {
+            return BigInt::zero();
+        }
+        let mut out = self.mag[limb_shift..].to_vec();
+        if bit_shift > 0 {
+            let mut carry = 0u32;
+            for limb in out.iter_mut().rev() {
+                let new_carry = *limb << (BASE_BITS - bit_shift);
+                *limb = (*limb >> bit_shift) | carry;
+                carry = new_carry;
+            }
+        }
+        BigInt::from_mag(self.sign, out)
+    }
+
+    /// Left shift by `n` bits.
+    pub fn shl_bits(&self, n: u64) -> BigInt {
+        if self.is_zero() {
+            return BigInt::zero();
+        }
+        let limb_shift = (n / BASE_BITS as u64) as usize;
+        let bit_shift = (n % BASE_BITS as u64) as u32;
+        let mut out = vec![0u32; limb_shift];
+        out.extend_from_slice(&self.mag);
+        if bit_shift > 0 {
+            let mut carry = 0u32;
+            for limb in out.iter_mut().skip(limb_shift) {
+                let new_carry = *limb >> (BASE_BITS - bit_shift);
+                *limb = (*limb << bit_shift) | carry;
+                carry = new_carry;
+            }
+            if carry > 0 {
+                out.push(carry);
+            }
+        }
+        BigInt::from_mag(self.sign, out)
+    }
+
+    /// Returns `true` iff the value is even.
+    pub fn is_even(&self) -> bool {
+        self.mag.first().is_none_or(|l| l & 1 == 0)
+    }
+}
+
+fn cmp_mag(a: &[u32], b: &[u32]) -> Ordering {
+    if a.len() != b.len() {
+        return a.len().cmp(&b.len());
+    }
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        match x.cmp(y) {
+            Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+fn add_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for (i, &limb) in long.iter().enumerate() {
+        let sum = limb as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
+        out.push(sum as u32);
+        carry = sum >> BASE_BITS;
+    }
+    if carry > 0 {
+        out.push(carry as u32);
+    }
+    out
+}
+
+/// Requires `a >= b` limbwise-comparison-wise.
+fn sub_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+    debug_assert!(cmp_mag(a, b) != Ordering::Less);
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow = 0i64;
+    for (i, &limb) in a.iter().enumerate() {
+        let diff = limb as i64 - *b.get(i).unwrap_or(&0) as i64 - borrow;
+        if diff < 0 {
+            out.push((diff + (1i64 << BASE_BITS)) as u32);
+            borrow = 1;
+        } else {
+            out.push(diff as u32);
+            borrow = 0;
+        }
+    }
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+/// Limb count above which multiplication switches to Karatsuba. Chosen from
+/// the criterion benchmarks: below ~32 limbs (1024 bits) the schoolbook
+/// inner loop wins on constants.
+const KARATSUBA_THRESHOLD: usize = 32;
+
+fn mul_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    if a.len().min(b.len()) >= KARATSUBA_THRESHOLD {
+        return karatsuba_mag(a, b);
+    }
+    schoolbook_mag(a, b)
+}
+
+/// Karatsuba: splits at `m` limbs and recombines with three recursive
+/// multiplications: `z1 = (a0+a1)(b0+b1) − z0 − z2`.
+fn karatsuba_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let m = a.len().max(b.len()) / 2;
+    let (a0, a1) = a.split_at(a.len().min(m));
+    let (b0, b1) = b.split_at(b.len().min(m));
+    let z0 = mul_mag(a0, b0);
+    let z2 = mul_mag(a1, b1);
+    let a01 = add_mag(a0, a1);
+    let b01 = add_mag(b0, b1);
+    let mut z1 = mul_mag(&a01, &b01);
+    z1 = sub_mag(&z1, &z0);
+    z1 = sub_mag(&z1, &z2);
+    // result = z0 + z1·B^m + z2·B^{2m}
+    let mut out = vec![0u32; a.len() + b.len()];
+    add_into(&mut out, &z0, 0);
+    add_into(&mut out, &z1, m);
+    add_into(&mut out, &z2, 2 * m);
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+/// `out += v · B^offset` in place (out must be long enough; carries cannot
+/// escape because the true product fits `a.len()+b.len()` limbs).
+fn add_into(out: &mut [u32], v: &[u32], offset: usize) {
+    let mut carry = 0u64;
+    let mut i = 0;
+    while i < v.len() || carry > 0 {
+        let idx = offset + i;
+        let add = *v.get(i).unwrap_or(&0) as u64;
+        debug_assert!(idx < out.len() || (add == 0 && carry == 0));
+        if idx >= out.len() {
+            break;
+        }
+        let sum = out[idx] as u64 + add + carry;
+        out[idx] = sum as u32;
+        carry = sum >> BASE_BITS;
+        i += 1;
+    }
+}
+
+fn schoolbook_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = vec![0u32; a.len() + b.len()];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0 {
+            continue;
+        }
+        let mut carry = 0u64;
+        for (j, &y) in b.iter().enumerate() {
+            let t = x as u64 * y as u64 + out[i + j] as u64 + carry;
+            out[i + j] = t as u32;
+            carry = t >> BASE_BITS;
+        }
+        let mut k = i + b.len();
+        while carry > 0 {
+            let t = out[k] as u64 + carry;
+            out[k] = t as u32;
+            carry = t >> BASE_BITS;
+            k += 1;
+        }
+    }
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+/// Knuth Algorithm D. Requires `a > b`, `b` non-empty.
+fn div_rem_mag(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    if b.len() == 1 {
+        return div_rem_small(a, b[0]);
+    }
+    // Normalize so the top limb of the divisor has its high bit set.
+    let shift = b.last().unwrap().leading_zeros() as u64;
+    let u = BigInt { sign: Sign::Plus, mag: a.to_vec() }.shl_bits(shift);
+    let v = BigInt { sign: Sign::Plus, mag: b.to_vec() }.shl_bits(shift);
+    let mut u = u.mag;
+    let v = v.mag;
+    let n = v.len();
+    let m = u.len() - n;
+    u.push(0);
+    let mut q = vec![0u32; m + 1];
+    let v_top = v[n - 1] as u64;
+    let v_next = v[n - 2] as u64;
+    for j in (0..=m).rev() {
+        // Estimate the quotient digit from the top two/three limbs.
+        let num = ((u[j + n] as u64) << BASE_BITS) | u[j + n - 1] as u64;
+        let mut qhat = num / v_top;
+        let mut rhat = num % v_top;
+        while qhat >= 1u64 << BASE_BITS
+            || qhat * v_next > ((rhat << BASE_BITS) | u[j + n - 2] as u64)
+        {
+            qhat -= 1;
+            rhat += v_top;
+            if rhat >= 1u64 << BASE_BITS {
+                break;
+            }
+        }
+        // Multiply-and-subtract; fix up with at most one add-back.
+        let mut borrow = 0i64;
+        let mut carry = 0u64;
+        for i in 0..n {
+            let p = qhat * v[i] as u64 + carry;
+            carry = p >> BASE_BITS;
+            let t = u[j + i] as i64 - (p as u32) as i64 - borrow;
+            if t < 0 {
+                u[j + i] = (t + (1i64 << BASE_BITS)) as u32;
+                borrow = 1;
+            } else {
+                u[j + i] = t as u32;
+                borrow = 0;
+            }
+        }
+        let t = u[j + n] as i64 - carry as i64 - borrow;
+        if t < 0 {
+            // qhat was one too large: add the divisor back.
+            u[j + n] = (t + (1i64 << BASE_BITS)) as u32;
+            qhat -= 1;
+            let mut carry = 0u64;
+            for i in 0..n {
+                let s = u[j + i] as u64 + v[i] as u64 + carry;
+                u[j + i] = s as u32;
+                carry = s >> BASE_BITS;
+            }
+            u[j + n] = u[j + n].wrapping_add(carry as u32);
+        } else {
+            u[j + n] = t as u32;
+        }
+        q[j] = qhat as u32;
+    }
+    u.truncate(n);
+    let rem = BigInt::from_mag(Sign::Plus, u).shr_bits(shift);
+    while q.last() == Some(&0) {
+        q.pop();
+    }
+    (q, rem.mag)
+}
+
+fn div_rem_small(a: &[u32], d: u32) -> (Vec<u32>, Vec<u32>) {
+    debug_assert!(d != 0);
+    let mut q = vec![0u32; a.len()];
+    let mut rem = 0u64;
+    for i in (0..a.len()).rev() {
+        let cur = (rem << BASE_BITS) | a[i] as u64;
+        q[i] = (cur / d as u64) as u32;
+        rem = cur % d as u64;
+    }
+    while q.last() == Some(&0) {
+        q.pop();
+    }
+    let r = if rem == 0 { Vec::new() } else { vec![rem as u32] };
+    (q, r)
+}
+
+// ---- conversions ----
+
+macro_rules! impl_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> Self {
+                let mut v = v as u128;
+                if v == 0 {
+                    return BigInt::zero();
+                }
+                let mut mag = Vec::new();
+                while v > 0 {
+                    mag.push(v as u32);
+                    v >>= BASE_BITS;
+                }
+                BigInt { sign: Sign::Plus, mag }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> Self {
+                if v < 0 {
+                    let m = BigInt::from((v as i128).unsigned_abs());
+                    BigInt { sign: Sign::Minus, mag: m.mag }
+                } else {
+                    BigInt::from(v as u128)
+                }
+            }
+        }
+    )*};
+}
+
+impl_from_unsigned!(u8, u16, u32, u64, u128, usize);
+impl_from_signed!(i8, i16, i32, i64, i128, isize);
+
+// ---- ordering / hashing ----
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (Sign::Minus, Sign::Minus) => cmp_mag(&other.mag, &self.mag),
+            (Sign::Minus, _) => Ordering::Less,
+            (Sign::Zero, Sign::Minus) => Ordering::Greater,
+            (Sign::Zero, Sign::Zero) => Ordering::Equal,
+            (Sign::Zero, Sign::Plus) => Ordering::Less,
+            (Sign::Plus, Sign::Plus) => cmp_mag(&self.mag, &other.mag),
+            (Sign::Plus, _) => Ordering::Greater,
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Hash for BigInt {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.sign.hash(state);
+        self.mag.hash(state);
+    }
+}
+
+impl Default for BigInt {
+    fn default() -> Self {
+        BigInt::zero()
+    }
+}
+
+// ---- arithmetic operators ----
+
+impl<'b> Add<&'b BigInt> for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &'b BigInt) -> BigInt {
+        match (self.sign, rhs.sign) {
+            (Sign::Zero, _) => rhs.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => BigInt::from_mag(a, add_mag(&self.mag, &rhs.mag)),
+            (a, _) => match cmp_mag(&self.mag, &rhs.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => BigInt::from_mag(a, sub_mag(&self.mag, &rhs.mag)),
+                Ordering::Less => BigInt::from_mag(a.flip(), sub_mag(&rhs.mag, &self.mag)),
+            },
+        }
+    }
+}
+
+impl<'b> Sub<&'b BigInt> for &BigInt {
+    type Output = BigInt;
+    #[allow(clippy::suspicious_arithmetic_impl)] // subtraction = negate + add
+    fn sub(self, rhs: &'b BigInt) -> BigInt {
+        let neg = BigInt { sign: rhs.sign.flip(), mag: rhs.mag.clone() };
+        self + &neg
+    }
+}
+
+impl<'b> Mul<&'b BigInt> for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &'b BigInt) -> BigInt {
+        BigInt::from_mag(self.sign.mul(rhs.sign), mul_mag(&self.mag, &rhs.mag))
+    }
+}
+
+impl<'b> Div<&'b BigInt> for &BigInt {
+    type Output = BigInt;
+    fn div(self, rhs: &'b BigInt) -> BigInt {
+        self.div_rem(rhs).0
+    }
+}
+
+impl<'b> Rem<&'b BigInt> for &BigInt {
+    type Output = BigInt;
+    fn rem(self, rhs: &'b BigInt) -> BigInt {
+        self.div_rem(rhs).1
+    }
+}
+
+macro_rules! forward_binop {
+    ($($trait:ident :: $method:ident),*) => {$(
+        impl $trait<BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt { (&self).$method(&rhs) }
+        }
+        impl<'b> $trait<&'b BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &'b BigInt) -> BigInt { (&self).$method(rhs) }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt { self.$method(&rhs) }
+        }
+    )*};
+}
+
+forward_binop!(Add::add, Sub::sub, Mul::mul, Div::div, Rem::rem);
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt { sign: self.sign.flip(), mag: self.mag }
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt { sign: self.sign.flip(), mag: self.mag.clone() }
+    }
+}
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, rhs: &BigInt) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&BigInt> for BigInt {
+    fn mul_assign(&mut self, rhs: &BigInt) {
+        *self = &*self * rhs;
+    }
+}
+
+// ---- formatting / parsing ----
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        // Repeatedly divide by 10^9 to peel decimal chunks.
+        let mut mag = self.mag.clone();
+        let mut chunks = Vec::new();
+        while !mag.is_empty() {
+            let (q, r) = div_rem_small(&mag, 1_000_000_000);
+            chunks.push(r.first().copied().unwrap_or(0));
+            mag = q;
+        }
+        let mut s = chunks.last().unwrap().to_string();
+        for c in chunks.iter().rev().skip(1) {
+            s.push_str(&format!("{c:09}"));
+        }
+        f.pad_integral(self.sign != Sign::Minus, "", &s)
+    }
+}
+
+impl FromStr for BigInt {
+    type Err = ParseNumError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (sign, digits) = match s.strip_prefix('-') {
+            Some(rest) => (Sign::Minus, rest),
+            None => (Sign::Plus, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if digits.is_empty() {
+            return Err(ParseNumError::new("empty digit string"));
+        }
+        let mut acc = BigInt::zero();
+        let billion = BigInt::from(1_000_000_000u32);
+        let bytes = digits.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let take = (bytes.len() - i).min(9);
+            let chunk = &digits[i..i + take];
+            let v: u32 = chunk
+                .parse()
+                .map_err(|_| ParseNumError::new("non-digit character"))?;
+            let scale = BigInt::from(10u32).pow(take as u32);
+            acc = if take == 9 { &acc * &billion } else { &acc * &scale };
+            acc = &acc + &BigInt::from(v);
+            i += take;
+        }
+        if sign == Sign::Minus && !acc.is_zero() {
+            acc.sign = Sign::Minus;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for BigInt {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&self.to_string())
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<'de> serde::Deserialize<'de> for BigInt {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bi(v: i128) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigInt::zero().is_zero());
+        assert!(BigInt::one().is_one());
+        assert_eq!(BigInt::zero(), bi(0));
+        assert_eq!(BigInt::one(), bi(1));
+        assert!(!bi(-1).is_one());
+    }
+
+    #[test]
+    fn small_roundtrip_display() {
+        for v in [-1_000_000_007i128, -1, 0, 1, 42, i64::MAX as i128] {
+            assert_eq!(bi(v).to_string(), v.to_string());
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for s in ["0", "-1", "123456789012345678901234567890", "-99999999999999999999"] {
+            let v: BigInt = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+        assert!("".parse::<BigInt>().is_err());
+        assert!("12x".parse::<BigInt>().is_err());
+        assert!("-".parse::<BigInt>().is_err());
+    }
+
+    #[test]
+    fn add_sub_small() {
+        for a in [-7i128, -1, 0, 3, 1 << 40] {
+            for b in [-9i128, 0, 5, (1 << 41) + 3] {
+                assert_eq!(bi(a) + bi(b), bi(a + b), "{a}+{b}");
+                assert_eq!(bi(a) - bi(b), bi(a - b), "{a}-{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_small() {
+        for a in [-7i128, 0, 3, 1 << 40] {
+            for b in [-9i128, 0, 5, 1 << 41] {
+                assert_eq!(bi(a) * bi(b), bi(a * b));
+            }
+        }
+    }
+
+    #[test]
+    fn div_rem_matches_primitive() {
+        for a in [-100i128, -37, 0, 1, 99, 12345678901234567890] {
+            for b in [-7i128, -1, 1, 3, 1000000007] {
+                let (q, r) = bi(a).div_rem(&bi(b));
+                assert_eq!(q, bi(a / b), "{a}/{b}");
+                assert_eq!(r, bi(a % b), "{a}%{b}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = bi(5).div_rem(&BigInt::zero());
+    }
+
+    #[test]
+    fn multi_limb_mul_div() {
+        let a: BigInt = "123456789012345678901234567890123456789".parse().unwrap();
+        let b: BigInt = "987654321098765432109876543210".parse().unwrap();
+        let p = &a * &b;
+        let (q, r) = p.div_rem(&b);
+        assert_eq!(q, a);
+        assert!(r.is_zero());
+        let (q2, r2) = (&p + &BigInt::from(17u32)).div_rem(&b);
+        assert_eq!(q2, a);
+        assert_eq!(r2, BigInt::from(17u32));
+    }
+
+    #[test]
+    fn knuth_d_addback_case() {
+        // A divisor whose second limb forces the qhat correction path.
+        let a = BigInt::from(u128::MAX) * BigInt::from(u64::MAX) + BigInt::from(12345u32);
+        let b = BigInt::from((1u128 << 96) - (1u128 << 32) + 7);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(&q * &b + &r, a);
+        assert!(r.cmp_abs(&b) == Ordering::Less);
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(bi(12).gcd(&bi(18)), bi(6));
+        assert_eq!(bi(-12).gcd(&bi(18)), bi(6));
+        assert_eq!(bi(0).gcd(&bi(5)), bi(5));
+        assert_eq!(bi(5).gcd(&bi(0)), bi(5));
+        assert_eq!(bi(0).gcd(&bi(0)), bi(0));
+        let a = BigInt::from(2u32).pow(200) * BigInt::from(3u32).pow(5);
+        let b = BigInt::from(2u32).pow(150) * BigInt::from(5u32).pow(3);
+        assert_eq!(a.gcd(&b), BigInt::from(2u32).pow(150));
+    }
+
+    #[test]
+    fn pow_and_bits() {
+        assert_eq!(bi(2).pow(10), bi(1024));
+        assert_eq!(bi(10).pow(0), bi(1));
+        assert_eq!(bi(0).pow(5), bi(0));
+        assert_eq!(bi(1024).bits(), 11);
+        assert_eq!(BigInt::zero().bits(), 0);
+        assert_eq!(bi(2).pow(100).bits(), 101);
+    }
+
+    #[test]
+    fn shifts() {
+        let v = bi(0b1011);
+        assert_eq!(v.shl_bits(100).shr_bits(100), v);
+        assert_eq!(bi(1).shl_bits(64), BigInt::from(1u128 << 64));
+        assert_eq!(bi(12345).shr_bits(3), bi(12345 >> 3));
+        assert_eq!(bi(1).shr_bits(1), bi(0));
+    }
+
+    #[test]
+    fn ordering() {
+        let mut v = vec![bi(5), bi(-3), bi(0), bi(100), bi(-100)];
+        v.sort();
+        assert_eq!(v, vec![bi(-100), bi(-3), bi(0), bi(5), bi(100)]);
+        let big: BigInt = "99999999999999999999999999".parse().unwrap();
+        assert!(big > bi(i128::MAX >> 44));
+        assert!(-&big < bi(0));
+    }
+
+    #[test]
+    fn to_f64_accuracy() {
+        assert_eq!(bi(0).to_f64(), 0.0);
+        assert_eq!(bi(-5).to_f64(), -5.0);
+        assert_eq!(bi(1i128 << 80).to_f64(), 2f64.powi(80));
+        let huge = BigInt::from(3u32).pow(100);
+        let approx = huge.to_f64();
+        let exact = 3f64.powi(100);
+        assert!((approx / exact - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_primitive() {
+        assert_eq!(bi(42).to_i64(), Some(42));
+        assert_eq!(bi(-42).to_i64(), Some(-42));
+        assert_eq!(bi(42).to_u64(), Some(42));
+        assert_eq!(bi(-42).to_u64(), None);
+        assert_eq!((bi(1) << 70u32).to_i64(), None);
+    }
+
+    impl core::ops::Shl<u32> for BigInt {
+        type Output = BigInt;
+        fn shl(self, n: u32) -> BigInt {
+            self.shl_bits(n as u64)
+        }
+    }
+
+    #[test]
+    fn neg_and_abs() {
+        assert_eq!(-bi(5), bi(-5));
+        assert_eq!(-bi(0), bi(0));
+        assert_eq!(bi(-5).abs(), bi(5));
+        assert_eq!(bi(5).abs(), bi(5));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut x = bi(10);
+        x += &bi(5);
+        assert_eq!(x, bi(15));
+        x -= &bi(20);
+        assert_eq!(x, bi(-5));
+        x *= &bi(-3);
+        assert_eq!(x, bi(15));
+    }
+
+    #[test]
+    fn even_odd() {
+        assert!(bi(0).is_even());
+        assert!(bi(2).is_even());
+        assert!(!bi(3).is_even());
+        assert!(bi(-4).is_even());
+    }
+
+}

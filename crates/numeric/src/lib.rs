@@ -1,0 +1,61 @@
+//! Exact arbitrary-precision arithmetic for `machmin`.
+//!
+//! The lower-bound adversary of Chen–Megow–Schewior (SPAA'16, Lemma 2)
+//! rescales time windows geometrically with rational factors at every level
+//! of its recursion, so the time coordinates of the constructed instances
+//! have denominators that grow exponentially in the recursion depth. Native
+//! integer rationals overflow after a handful of levels, and floating point
+//! silently breaks the feasibility certificates. This crate therefore
+//! provides, from scratch:
+//!
+//! * [`BigInt`] — sign–magnitude arbitrary-precision integers with the full
+//!   set of arithmetic, comparison and formatting operations;
+//! * [`Rat`] — always-reduced rationals over [`BigInt`] with a strictly
+//!   positive denominator, used as the time/processing type throughout the
+//!   workspace.
+//!
+//! Both types implement the usual operator traits for owned and borrowed
+//! operands, `Ord`, `Hash`, `Display`, `FromStr`, and (behind the default
+//! `serde` feature) `Serialize`/`Deserialize` via their decimal string form.
+//!
+//! # Example
+//!
+//! ```
+//! use mm_numeric::{BigInt, Rat};
+//!
+//! let a = BigInt::from(1u64 << 60) * BigInt::from(1u64 << 60);
+//! assert_eq!(a.to_string(), "1329227995784915872903807060280344576");
+//!
+//! let third = Rat::ratio(1, 3);
+//! let sum = &third + &third + &third;
+//! assert_eq!(sum, Rat::from(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bigint;
+mod rational;
+
+pub use bigint::{BigInt, Sign};
+pub use rational::Rat;
+
+/// Parse error for [`BigInt`] / [`Rat`] string conversions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNumError {
+    msg: &'static str,
+}
+
+impl ParseNumError {
+    pub(crate) fn new(msg: &'static str) -> Self {
+        Self { msg }
+    }
+}
+
+impl core::fmt::Display for ParseNumError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid number literal: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ParseNumError {}

@@ -1,0 +1,521 @@
+//! Always-reduced exact rational numbers over [`BigInt`].
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::hash::{Hash, Hasher};
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use core::str::FromStr;
+
+use crate::{BigInt, ParseNumError};
+
+/// An exact rational number `num/den`.
+///
+/// Invariants: `den > 0`, `gcd(|num|, den) = 1`, and zero is `0/1`.
+/// Used as the time and processing-volume type throughout `machmin`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rat {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl Rat {
+    /// The rational `0`.
+    pub fn zero() -> Self {
+        Rat { num: BigInt::zero(), den: BigInt::one() }
+    }
+
+    /// The rational `1`.
+    pub fn one() -> Self {
+        Rat { num: BigInt::one(), den: BigInt::one() }
+    }
+
+    /// The rational `1/2`.
+    pub fn half() -> Self {
+        Rat::ratio(1, 2)
+    }
+
+    /// Builds `n/d` from primitive integers. Panics if `d == 0`.
+    pub fn ratio(n: i64, d: i64) -> Self {
+        Rat::new(BigInt::from(n), BigInt::from(d))
+    }
+
+    /// Builds and reduces `num/den`. Panics if `den` is zero.
+    pub fn new(num: BigInt, den: BigInt) -> Self {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        if num.is_zero() {
+            return Rat::zero();
+        }
+        let (num, den) = if den.is_negative() { (-num, -den) } else { (num, den) };
+        let g = num.gcd(&den);
+        if g.is_one() {
+            Rat { num, den }
+        } else {
+            Rat { num: &num / &g, den: &den / &g }
+        }
+    }
+
+    /// The (reduced) numerator.
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// The (reduced, strictly positive) denominator.
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// Returns `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns `true` iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Returns `true` iff the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// Returns `true` iff the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rat {
+        Rat { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Largest integer `≤ self`.
+    pub fn floor(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if r.is_zero() || !self.num.is_negative() {
+            q
+        } else {
+            q - BigInt::one()
+        }
+    }
+
+    /// Smallest integer `≥ self`.
+    pub fn ceil(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if r.is_zero() || self.num.is_negative() {
+            q
+        } else {
+            q + BigInt::one()
+        }
+    }
+
+    /// `⌈self⌉` as `u64`; panics if negative or out of range. Convenience for
+    /// machine counts.
+    pub fn ceil_u64(&self) -> u64 {
+        self.ceil().to_u64().expect("ceil_u64 on negative or huge rational")
+    }
+
+    /// Approximate `f64` value (for reporting only; never used in decisions).
+    ///
+    /// Takes the top 64 bits of numerator and denominator separately and
+    /// recombines the exponents, so arbitrarily large operands still give an
+    /// accurate ratio as long as the *ratio* is within `f64` range.
+    pub fn to_f64(&self) -> f64 {
+        if self.num.is_zero() {
+            return 0.0;
+        }
+        let top = |v: &BigInt| -> (f64, i64) {
+            let bits = v.bits();
+            if bits <= 64 {
+                (v.low_u64() as f64, 0)
+            } else {
+                (v.abs().shr_bits(bits - 64).low_u64() as f64, (bits - 64) as i64)
+            }
+        };
+        let (mn, en) = top(&self.num.abs());
+        let (md, ed) = top(&self.den);
+        let v = (mn / md) * 2f64.powi((en - ed).clamp(i32::MIN as i64, i32::MAX as i64) as i32);
+        if self.num.is_negative() {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// `min` by value.
+    pub fn min(self, other: Rat) -> Rat {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// `max` by value.
+    pub fn max(self, other: Rat) -> Rat {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Multiplicative inverse. Panics on zero.
+    pub fn recip(&self) -> Rat {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rat::new(self.den.clone(), self.num.clone())
+    }
+
+    /// The midpoint `(self + other) / 2`.
+    pub fn midpoint(&self, other: &Rat) -> Rat {
+        (self + other) * Rat::half()
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(v: i64) -> Self {
+        Rat { num: BigInt::from(v), den: BigInt::one() }
+    }
+}
+
+impl From<u64> for Rat {
+    fn from(v: u64) -> Self {
+        Rat { num: BigInt::from(v), den: BigInt::one() }
+    }
+}
+
+impl From<i32> for Rat {
+    fn from(v: i32) -> Self {
+        Rat::from(v as i64)
+    }
+}
+
+impl From<u32> for Rat {
+    fn from(v: u32) -> Self {
+        Rat::from(v as u64)
+    }
+}
+
+impl From<usize> for Rat {
+    fn from(v: usize) -> Self {
+        Rat { num: BigInt::from(v), den: BigInt::one() }
+    }
+}
+
+impl From<BigInt> for Rat {
+    fn from(v: BigInt) -> Self {
+        Rat { num: v, den: BigInt::one() }
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Self {
+        Rat::zero()
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // den > 0 on both sides, so cross-multiplying preserves order.
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Hash for Rat {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.num.hash(state);
+        self.den.hash(state);
+    }
+}
+
+impl<'b> Add<&'b Rat> for &Rat {
+    type Output = Rat;
+    fn add(self, rhs: &'b Rat) -> Rat {
+        Rat::new(
+            &self.num * &rhs.den + &rhs.num * &self.den,
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl<'b> Sub<&'b Rat> for &Rat {
+    type Output = Rat;
+    fn sub(self, rhs: &'b Rat) -> Rat {
+        Rat::new(
+            &self.num * &rhs.den - &rhs.num * &self.den,
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl<'b> Mul<&'b Rat> for &Rat {
+    type Output = Rat;
+    fn mul(self, rhs: &'b Rat) -> Rat {
+        Rat::new(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+
+impl<'b> Div<&'b Rat> for &Rat {
+    type Output = Rat;
+    fn div(self, rhs: &'b Rat) -> Rat {
+        assert!(!rhs.is_zero(), "rational division by zero");
+        Rat::new(&self.num * &rhs.den, &self.den * &rhs.num)
+    }
+}
+
+macro_rules! forward_rat_binop {
+    ($($trait:ident :: $method:ident),*) => {$(
+        impl $trait<Rat> for Rat {
+            type Output = Rat;
+            fn $method(self, rhs: Rat) -> Rat { (&self).$method(&rhs) }
+        }
+        impl<'b> $trait<&'b Rat> for Rat {
+            type Output = Rat;
+            fn $method(self, rhs: &'b Rat) -> Rat { (&self).$method(rhs) }
+        }
+        impl $trait<Rat> for &Rat {
+            type Output = Rat;
+            fn $method(self, rhs: Rat) -> Rat { self.$method(&rhs) }
+        }
+    )*};
+}
+
+forward_rat_binop!(Add::add, Sub::sub, Mul::mul, Div::div);
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat { num: -self.num, den: self.den }
+    }
+}
+
+impl Neg for &Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat { num: -(&self.num), den: self.den.clone() }
+    }
+}
+
+impl AddAssign<&Rat> for Rat {
+    fn add_assign(&mut self, rhs: &Rat) {
+        *self = &*self + rhs;
+    }
+}
+
+impl AddAssign<Rat> for Rat {
+    fn add_assign(&mut self, rhs: Rat) {
+        *self = &*self + &rhs;
+    }
+}
+
+impl SubAssign<&Rat> for Rat {
+    fn sub_assign(&mut self, rhs: &Rat) {
+        *self = &*self - rhs;
+    }
+}
+
+impl SubAssign<Rat> for Rat {
+    fn sub_assign(&mut self, rhs: Rat) {
+        *self = &*self - &rhs;
+    }
+}
+
+impl MulAssign<&Rat> for Rat {
+    fn mul_assign(&mut self, rhs: &Rat) {
+        *self = &*self * rhs;
+    }
+}
+
+impl DivAssign<&Rat> for Rat {
+    fn div_assign(&mut self, rhs: &Rat) {
+        *self = &*self / rhs;
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl FromStr for Rat {
+    type Err = ParseNumError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.split_once('/') {
+            Some((n, d)) => {
+                let num: BigInt = n.trim().parse()?;
+                let den: BigInt = d.trim().parse()?;
+                if den.is_zero() {
+                    return Err(ParseNumError::new("zero denominator"));
+                }
+                Ok(Rat::new(num, den))
+            }
+            None => {
+                let num: BigInt = s.trim().parse()?;
+                Ok(Rat::from(num))
+            }
+        }
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for Rat {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&self.to_string())
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<'de> serde::Deserialize<'de> for Rat {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rat {
+        Rat::ratio(n, d)
+    }
+
+    #[test]
+    fn reduction_and_sign_normalization() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(2, -4), r(-1, 2));
+        assert_eq!(r(0, 5), Rat::zero());
+        assert_eq!(r(6, 3), Rat::from(2i64));
+        assert!(r(1, 2).denom().is_positive());
+        assert!(r(-1, 2).denom().is_positive());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = r(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(1, 2) / r(1, 4), Rat::from(2i64));
+        assert_eq!(-r(1, 2), r(-1, 2));
+        assert_eq!(r(1, 3) + r(2, 3), Rat::one());
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut x = r(1, 2);
+        x += r(1, 4);
+        assert_eq!(x, r(3, 4));
+        x -= &r(1, 2);
+        assert_eq!(x, r(1, 4));
+        x *= &r(4, 1);
+        assert_eq!(x, Rat::one());
+        x /= &r(1, 3);
+        assert_eq!(x, Rat::from(3i64));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(7, 7) == Rat::one());
+        let mut v = vec![r(3, 4), r(-5, 2), Rat::zero(), r(1, 8)];
+        v.sort();
+        assert_eq!(v, vec![r(-5, 2), Rat::zero(), r(1, 8), r(3, 4)]);
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(r(7, 2).floor(), BigInt::from(3));
+        assert_eq!(r(7, 2).ceil(), BigInt::from(4));
+        assert_eq!(r(-7, 2).floor(), BigInt::from(-4));
+        assert_eq!(r(-7, 2).ceil(), BigInt::from(-3));
+        assert_eq!(r(4, 2).floor(), BigInt::from(2));
+        assert_eq!(r(4, 2).ceil(), BigInt::from(2));
+        assert_eq!(Rat::zero().floor(), BigInt::zero());
+        assert_eq!(r(7, 2).ceil_u64(), 4);
+    }
+
+    #[test]
+    fn to_f64() {
+        assert_eq!(r(1, 2).to_f64(), 0.5);
+        assert_eq!(r(-3, 4).to_f64(), -0.75);
+        assert_eq!(Rat::zero().to_f64(), 0.0);
+        // Huge numerator/denominator pair still yields an accurate ratio.
+        let two_1000 = Rat::from(BigInt::from(2u32).pow(1000));
+        let v = (&two_1000 / (&two_1000 * Rat::from(3u64))).to_f64();
+        assert!((v - 1.0 / 3.0).abs() < 1e-12, "{v}");
+    }
+
+    #[test]
+    fn recip_and_midpoint() {
+        assert_eq!(r(2, 3).recip(), r(3, 2));
+        assert_eq!(r(-2, 3).recip(), r(-3, 2));
+        assert_eq!(r(0, 1).midpoint(&Rat::one()), Rat::half());
+        assert_eq!(r(1, 3).midpoint(&r(2, 3)), Rat::half());
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn recip_zero_panics() {
+        let _ = Rat::zero().recip();
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for s in ["0", "1", "-1", "1/2", "-7/3", "123456789012345678901/997"] {
+            let v: Rat = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+        assert_eq!("2/4".parse::<Rat>().unwrap().to_string(), "1/2");
+        assert!("1/0".parse::<Rat>().is_err());
+        assert!("x/2".parse::<Rat>().is_err());
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(r(1, 2).min(r(1, 3)), r(1, 3));
+        assert_eq!(r(1, 2).max(r(1, 3)), r(1, 2));
+    }
+
+    #[test]
+    fn deep_scaling_stays_exact() {
+        // Emulates the adversary's geometric rescaling: repeatedly map
+        // x -> x * 3/7 + 1/9 and undo it; exactness must be preserved.
+        let a = r(3, 7);
+        let b = r(1, 9);
+        let mut x = r(5, 11);
+        let x0 = x.clone();
+        for _ in 0..60 {
+            x = &x * &a + &b;
+        }
+        for _ in 0..60 {
+            x = (&x - &b) / &a;
+        }
+        assert_eq!(x, x0);
+    }
+
+    #[test]
+    fn is_integer() {
+        assert!(Rat::from(5i64).is_integer());
+        assert!(!r(5, 2).is_integer());
+        assert!(Rat::zero().is_integer());
+    }
+}

@@ -1,0 +1,235 @@
+//! Property-based tests for `mm-numeric` against `i128` reference arithmetic
+//! and algebraic identities that hold at any magnitude.
+
+use mm_numeric::{BigInt, Rat};
+use proptest::prelude::*;
+
+fn bi(v: i128) -> BigInt {
+    BigInt::from(v)
+}
+
+proptest! {
+    #[test]
+    fn add_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(bi(a as i128) + bi(b as i128), bi(a as i128 + b as i128));
+    }
+
+    #[test]
+    fn sub_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(bi(a as i128) - bi(b as i128), bi(a as i128 - b as i128));
+    }
+
+    #[test]
+    fn mul_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(bi(a as i128) * bi(b as i128), bi(a as i128 * b as i128));
+    }
+
+    #[test]
+    fn div_rem_matches_i128(a in any::<i64>(), b in any::<i64>().prop_filter("nonzero", |v| *v != 0)) {
+        let (q, r) = bi(a as i128).div_rem(&bi(b as i128));
+        prop_assert_eq!(q, bi(a as i128 / b as i128));
+        prop_assert_eq!(r, bi(a as i128 % b as i128));
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in any::<i128>(), b in any::<i128>().prop_filter("nonzero", |v| *v != 0)) {
+        let (q, r) = bi(a).div_rem(&bi(b));
+        prop_assert_eq!(&q * &bi(b) + &r, bi(a));
+        prop_assert!(r.cmp_abs(&bi(b)).is_lt());
+    }
+
+    /// Division identity at magnitudes far beyond primitive width: multiply
+    /// two wide values, divide back, compare.
+    #[test]
+    fn wide_mul_div_roundtrip(a in any::<u128>(), b in 1u128.., c in any::<u64>()) {
+        let a = BigInt::from(a) * BigInt::from(u128::MAX) + BigInt::from(c);
+        let b = BigInt::from(b);
+        let prod = &a * &b;
+        let (q, r) = prod.div_rem(&b);
+        prop_assert_eq!(q, a);
+        prop_assert!(r.is_zero());
+    }
+
+    #[test]
+    fn display_parse_roundtrip(a in any::<i128>(), scale in 0u32..5) {
+        let v = bi(a) * BigInt::from(10u64).pow(scale * 9) + bi(a);
+        let s = v.to_string();
+        prop_assert_eq!(s.parse::<BigInt>().unwrap(), v);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in any::<i64>(), b in any::<i64>()) {
+        let g = bi(a as i128).gcd(&bi(b as i128));
+        if !g.is_zero() {
+            prop_assert!(bi(a as i128).div_rem(&g).1.is_zero());
+            prop_assert!(bi(b as i128).div_rem(&g).1.is_zero());
+        } else {
+            prop_assert_eq!((a, b), (0, 0));
+        }
+    }
+
+    #[test]
+    fn ordering_matches_i128(a in any::<i128>(), b in any::<i128>()) {
+        prop_assert_eq!(bi(a).cmp(&bi(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn shifts_invert(a in any::<u128>(), n in 0u64..300) {
+        let v = BigInt::from(a);
+        prop_assert_eq!(v.shl_bits(n).shr_bits(n), v);
+    }
+
+    #[test]
+    fn to_f64_close(a in any::<i64>()) {
+        let v = bi(a as i128).to_f64();
+        let expect = a as f64;
+        if expect == 0.0 {
+            prop_assert_eq!(v, 0.0);
+        } else {
+            prop_assert!((v / expect - 1.0).abs() < 1e-9);
+        }
+    }
+}
+
+proptest! {
+    /// Knuth Algorithm D stress: divisors shaped to trigger the qhat
+    /// correction (top limb near 2^32, second limb extreme).
+    #[test]
+    fn division_addback_stress(hi in 1u32.., lo in any::<u32>(), a in any::<u128>(), b in any::<u128>()) {
+        let divisor = BigInt::from(hi).shl_bits(64)
+            + BigInt::from(u32::MAX - (hi % 7)).shl_bits(32)
+            + BigInt::from(lo);
+        let dividend = BigInt::from(a) * BigInt::from(b) + BigInt::from(lo);
+        let (q, r) = dividend.div_rem(&divisor);
+        prop_assert_eq!(&q * &divisor + &r, dividend);
+        prop_assert!(r.cmp_abs(&divisor).is_lt());
+        prop_assert!(!r.is_negative());
+    }
+
+    /// Multiplication distributes over addition at arbitrary widths.
+    #[test]
+    fn mul_distributes(a in any::<u128>(), b in any::<u128>(), c in any::<u128>()) {
+        let (a, b, c) = (BigInt::from(a), BigInt::from(b), BigInt::from(c));
+        prop_assert_eq!(&a * (&b + &c), &a * &b + &a * &c);
+    }
+
+    /// Karatsuba (wide operands) agrees with products assembled from
+    /// narrow schoolbook pieces: (p·B^k + q)(r·B^k + s) expanded by hand.
+    #[test]
+    fn karatsuba_matches_schoolbook_assembly(p in any::<u128>(), q in any::<u128>(), r in any::<u128>(), s in any::<u128>(), k in 36u64..90) {
+        let shift = 32 * k;
+        let a = BigInt::from(p).shl_bits(shift) + BigInt::from(q);
+        let b = BigInt::from(r).shl_bits(shift) + BigInt::from(s);
+        // a·b via the (Karatsuba) public path:
+        let prod = &a * &b;
+        // assembled from ≤8-limb schoolbook products:
+        let expect = (BigInt::from(p) * BigInt::from(r)).shl_bits(2 * shift)
+            + (BigInt::from(p) * BigInt::from(s)).shl_bits(shift)
+            + (BigInt::from(q) * BigInt::from(r)).shl_bits(shift)
+            + BigInt::from(q) * BigInt::from(s);
+        prop_assert_eq!(prod, expect);
+    }
+
+    /// Deep-width closed form: (2^a − 1)(2^b − 1) = 2^(a+b) − 2^a − 2^b + 1.
+    #[test]
+    fn mersenne_product_identity(a in 1200u64..4000, b in 1200u64..4000) {
+        let one = BigInt::one();
+        let ma = BigInt::one().shl_bits(a) - &one;
+        let mb = BigInt::one().shl_bits(b) - &one;
+        let lhs = &ma * &mb;
+        let rhs = BigInt::one().shl_bits(a + b) - BigInt::one().shl_bits(a)
+            - BigInt::one().shl_bits(b) + one;
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// pow matches repeated multiplication.
+    #[test]
+    fn pow_matches_repeated_mul(base in -50i128..50, exp in 0u32..12) {
+        let b = BigInt::from(base);
+        let mut expect = BigInt::one();
+        for _ in 0..exp {
+            expect = &expect * &b;
+        }
+        prop_assert_eq!(b.pow(exp), expect);
+    }
+}
+
+// ---- rationals ----
+
+fn rat(n: i64, d: i64) -> Rat {
+    Rat::ratio(n, d)
+}
+
+fn nonzero_den() -> impl Strategy<Value = i64> {
+    (1i64..=1_000_000).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)])
+}
+
+proptest! {
+    #[test]
+    fn rat_field_axioms(
+        an in -1000i64..1000, ad in nonzero_den(),
+        bn in -1000i64..1000, bd in nonzero_den(),
+        cn in -1000i64..1000, cd in nonzero_den(),
+    ) {
+        let a = rat(an, ad);
+        let b = rat(bn, bd);
+        let c = rat(cn, cd);
+        // commutativity / associativity / distributivity
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!((&a + &b) + &c, &a + (&b + &c));
+        prop_assert_eq!((&a * &b) * &c, &a * (&b * &c));
+        prop_assert_eq!(&a * (&b + &c), &a * &b + &a * &c);
+        // identities and inverses
+        prop_assert_eq!(&a + Rat::zero(), a.clone());
+        prop_assert_eq!(&a * Rat::one(), a.clone());
+        prop_assert_eq!(&a - &a, Rat::zero());
+        if !a.is_zero() {
+            prop_assert_eq!(&a * a.recip(), Rat::one());
+        }
+    }
+
+    #[test]
+    fn rat_ordering_matches_f64_sign(
+        an in -1000i64..1000, ad in nonzero_den(),
+        bn in -1000i64..1000, bd in nonzero_den(),
+    ) {
+        let a = rat(an, ad);
+        let b = rat(bn, bd);
+        let exact = a.cmp(&b);
+        let approx = (an as f64 / ad as f64).partial_cmp(&(bn as f64 / bd as f64)).unwrap();
+        // f64 is exact at these magnitudes.
+        prop_assert_eq!(exact, approx);
+    }
+
+    #[test]
+    fn rat_floor_ceil_consistent(n in -100_000i64..100_000, d in nonzero_den()) {
+        let v = rat(n, d);
+        let fl = Rat::from(v.floor());
+        let ce = Rat::from(v.ceil());
+        prop_assert!(fl <= v && v <= ce);
+        prop_assert!(&v - &fl < Rat::one());
+        prop_assert!(&ce - &v < Rat::one());
+        if v.is_integer() {
+            prop_assert_eq!(fl, ce);
+        } else {
+            prop_assert_eq!(&ce - &fl, Rat::one());
+        }
+    }
+
+    #[test]
+    fn rat_display_parse_roundtrip(n in any::<i64>(), d in nonzero_den()) {
+        let v = rat(n, d);
+        prop_assert_eq!(v.to_string().parse::<Rat>().unwrap(), v);
+    }
+
+    #[test]
+    fn rat_midpoint_between(an in -1000i64..1000, ad in nonzero_den(), bn in -1000i64..1000, bd in nonzero_den()) {
+        let a = rat(an, ad);
+        let b = rat(bn, bd);
+        let m = a.midpoint(&b);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(lo <= m && m <= hi);
+        prop_assert_eq!(&m - &lo, &hi - &m);
+    }
+}

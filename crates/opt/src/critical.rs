@@ -1,0 +1,209 @@
+//! `(µ, β)`-critical pairs (Definition 1) and the Theorem 10 lower bound.
+//!
+//! The analysis of the laminar algorithm (Section 5.2) extracts from any
+//! failed assignment a *witness set* `(F, T)` that is `(m', 1/m')`-critical,
+//! and invokes Theorem 10 (from [4]): the existence of a `(µ, β)`-critical
+//! pair of α-tight jobs forces `m = Ω(µ / log(1/β))`. This module provides
+//! the machine-checkable side of that argument: an exact checker for
+//! Definition 1 and the bound's shape, with tests that exercise both
+//! directions.
+
+use mm_instance::{IntervalSet, Job};
+use mm_numeric::Rat;
+
+/// Why a pair fails Definition 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CriticalityFailure {
+    /// `T` is empty (Definition 1 requires a non-empty union).
+    EmptyUnion,
+    /// Some job is not α-tight.
+    NotTight {
+        /// Index into the candidate job slice.
+        job_index: usize,
+    },
+    /// Some point of `T` is covered by fewer than µ jobs.
+    UndercoveredPoint {
+        /// A witness time point with insufficient coverage.
+        at: Rat,
+        /// The coverage found there.
+        coverage: usize,
+    },
+    /// Some job overlaps `T` by less than `β·ℓ_j`.
+    InsufficientOverlap {
+        /// Index into the candidate job slice.
+        job_index: usize,
+    },
+}
+
+/// Checks Definition 1: `(jobs, union)` is a `(µ, β)`-critical pair of
+/// α-tight jobs. Returns `Ok(())` or the first failure found.
+pub fn check_critical_pair(
+    jobs: &[Job],
+    union: &IntervalSet,
+    mu: usize,
+    beta: &Rat,
+    alpha: &Rat,
+) -> Result<(), CriticalityFailure> {
+    if union.is_empty() {
+        return Err(CriticalityFailure::EmptyUnion);
+    }
+    for (i, j) in jobs.iter().enumerate() {
+        if !j.is_tight(alpha) {
+            return Err(CriticalityFailure::NotTight { job_index: i });
+        }
+    }
+    // Coverage: the number of covering jobs is piecewise constant between
+    // event points, so it suffices to check one interior sample per
+    // elementary piece of T.
+    let mut cuts: Vec<Rat> = Vec::new();
+    for part in union.parts() {
+        cuts.push(part.start.clone());
+        cuts.push(part.end.clone());
+    }
+    for j in jobs {
+        cuts.push(j.release.clone());
+        cuts.push(j.deadline.clone());
+    }
+    cuts.sort();
+    cuts.dedup();
+    for w in cuts.windows(2) {
+        let midpoint = w[0].midpoint(&w[1]);
+        if !union.contains(&midpoint) {
+            continue;
+        }
+        let coverage = jobs.iter().filter(|j| j.covers(&midpoint)).count();
+        if coverage < mu {
+            return Err(CriticalityFailure::UndercoveredPoint { at: midpoint, coverage });
+        }
+    }
+    // Overlap: |T ∩ I(j)| ≥ β·ℓ_j.
+    for (i, j) in jobs.iter().enumerate() {
+        let overlap = union.overlap_length(&j.window());
+        if overlap < beta * j.laxity() {
+            return Err(CriticalityFailure::InsufficientOverlap { job_index: i });
+        }
+    }
+    Ok(())
+}
+
+/// The Theorem 10 lower-bound *shape*: a `(µ, β)`-critical pair forces
+/// `m ≥ c · µ / log₂(1/β)` for a universal constant `c`. Returns
+/// `µ / max(1, log₂(1/β))` — the quantity the paper compares `m` against in
+/// the proof of Theorem 9 (`m = Ω(m'/log m')` for `β = 1/m'`).
+pub fn theorem10_shape(mu: usize, beta: &Rat) -> f64 {
+    let inv = beta.recip().to_f64();
+    mu as f64 / inv.log2().max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_instance::{Interval, JobId};
+
+    fn job(id: u32, r: i64, d: i64, p: i64) -> Job {
+        Job::new(JobId(id), Rat::from(r), Rat::from(d), Rat::from(p))
+    }
+
+    fn full(a: i64, b: i64) -> IntervalSet {
+        IntervalSet::single(Interval::ints(a, b))
+    }
+
+    #[test]
+    fn parallel_tight_jobs_are_critical() {
+        // Three zero-laxity jobs covering [0,4): a (3, β)-critical pair for
+        // any β, at any α < 1.
+        let jobs = vec![job(0, 0, 4, 4), job(1, 0, 4, 4), job(2, 0, 4, 4)];
+        let t = full(0, 4);
+        assert_eq!(
+            check_critical_pair(&jobs, &t, 3, &Rat::half(), &Rat::half()),
+            Ok(())
+        );
+        // ...but not (4, ·)-critical.
+        assert!(matches!(
+            check_critical_pair(&jobs, &t, 4, &Rat::half(), &Rat::half()),
+            Err(CriticalityFailure::UndercoveredPoint { coverage: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn coverage_gap_detected() {
+        // Two jobs covering [0,2) and [3,5); T spans the gap.
+        let jobs = vec![job(0, 0, 2, 2), job(1, 3, 5, 2)];
+        let t = full(0, 5);
+        assert!(matches!(
+            check_critical_pair(&jobs, &t, 1, &Rat::half(), &Rat::half()),
+            Err(CriticalityFailure::UndercoveredPoint { .. })
+        ));
+        // Restricting T to the union of the windows fixes it.
+        let t = IntervalSet::from_intervals([Interval::ints(0, 2), Interval::ints(3, 5)]);
+        assert_eq!(
+            check_critical_pair(&jobs, &t, 1, &Rat::half(), &Rat::half()),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn loose_jobs_rejected() {
+        let jobs = vec![job(0, 0, 10, 2)]; // p = 2 ≤ α(d−r) = 5 → loose
+        let t = full(0, 10);
+        assert!(matches!(
+            check_critical_pair(&jobs, &t, 1, &Rat::half(), &Rat::half()),
+            Err(CriticalityFailure::NotTight { job_index: 0 })
+        ));
+    }
+
+    #[test]
+    fn insufficient_overlap_detected() {
+        // Tight job with laxity 2 on window [0,10); T only grazes it by 1/2.
+        let jobs = vec![job(0, 0, 10, 8)];
+        let t = IntervalSet::single(Interval::new(Rat::zero(), Rat::half()));
+        assert!(matches!(
+            check_critical_pair(&jobs, &t, 1, &Rat::half(), &Rat::ratio(7, 10)),
+            Err(CriticalityFailure::InsufficientOverlap { job_index: 0 })
+        ));
+        // β small enough and it passes (overlap 1/2 ≥ β·2 for β = 1/4).
+        assert_eq!(
+            check_critical_pair(&jobs, &t, 1, &Rat::ratio(1, 4), &Rat::ratio(7, 10)),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn empty_union_rejected() {
+        let jobs = vec![job(0, 0, 4, 4)];
+        assert_eq!(
+            check_critical_pair(&jobs, &IntervalSet::empty(), 1, &Rat::half(), &Rat::half()),
+            Err(CriticalityFailure::EmptyUnion)
+        );
+    }
+
+    #[test]
+    fn theorem10_shape_matches_section5_usage() {
+        // β = 1/m': the bound degrades by exactly log₂ m', the m'/log m'
+        // shape used at the end of Section 5.
+        let m_prime = 64usize;
+        let beta = Rat::ratio(1, m_prime as i64);
+        let v = theorem10_shape(m_prime, &beta);
+        assert!((v - 64.0 / 6.0).abs() < 1e-9);
+        // monotone in µ
+        assert!(theorem10_shape(128, &beta) > v);
+    }
+
+    #[test]
+    fn critical_pair_lower_bounds_the_flow_optimum() {
+        // Consistency with Theorem 1: µ parallel tight jobs are a (µ, ·)
+        // critical pair AND force m = µ exactly.
+        use crate::feasibility::optimal_machines;
+        use mm_instance::Instance;
+        for mu in 2..=4 {
+            let jobs: Vec<Job> = (0..mu).map(|i| job(i, 0, 3, 3)).collect();
+            let t = full(0, 3);
+            assert_eq!(
+                check_critical_pair(&jobs, &t, mu as usize, &Rat::half(), &Rat::half()),
+                Ok(())
+            );
+            let inst = Instance::from_jobs(jobs);
+            assert_eq!(optimal_machines(&inst), mu as u64);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Schedule extraction from a feasible flow: McNaughton's wrap-around rule.
+//!
+//! Within one elementary interval every job has an allocation `x_j ≤ |E|` and
+//! the total is at most `m·|E|`. Laying the allocations end-to-end on a
+//! virtual timeline of length `m·|E|` and cutting it into `m` machine-rows
+//! yields a feasible (migratory, preemptive) schedule for the interval: a job
+//! split across a cut runs at the end of one machine's row and the start of
+//! the next one's, and `x_j ≤ |E|` guarantees the two pieces never overlap in
+//! real time.
+
+use mm_instance::Interval;
+use mm_numeric::Rat;
+use mm_sim::{Schedule, Segment};
+
+use crate::feasibility::{feasible_allocation, optimal_machines, FlowAllocation};
+use mm_instance::Instance;
+
+/// Builds a migratory schedule on `m` machines from a feasible allocation.
+pub fn schedule_from_allocation(alloc: &FlowAllocation, m: u64) -> Schedule {
+    let mut schedule = Schedule::new();
+    for (iv, amounts) in alloc.intervals.iter().zip(&alloc.amounts) {
+        let len = iv.length();
+        if len.is_zero() {
+            continue;
+        }
+        // Virtual offset within the m·|E| timeline.
+        let mut cursor = Rat::zero();
+        for (job, volume) in amounts {
+            debug_assert!(*volume <= len, "allocation exceeds interval length");
+            let mut start = cursor.clone();
+            let end = &cursor + volume;
+            cursor = end.clone();
+            // Emit one segment per machine-row the span [start, end) crosses.
+            while start < end {
+                let row_int = (&start / &len).floor();
+                let row_u = row_int.to_u64().expect("row fits u64") as usize;
+                let row_rat = Rat::from(row_int);
+                let row_end = (&row_rat + Rat::one()) * &len;
+                let piece_end = end.clone().min(row_end);
+                // Translate the virtual piece into real time on machine `row`.
+                let real_start = &iv.start + (&start - &row_rat * &len);
+                let real_end = &iv.start + (&piece_end - &row_rat * &len);
+                schedule.push(Segment {
+                    machine: row_u,
+                    interval: Interval::new(real_start, real_end),
+                    job: *job,
+                    speed: Rat::one(),
+                });
+                start = piece_end;
+            }
+        }
+        debug_assert!(cursor <= Rat::from(m) * &len, "allocation exceeds machine capacity");
+    }
+    schedule
+}
+
+/// Computes an optimal migratory schedule: the minimum machine count `m(J)`
+/// and a feasible schedule realizing it.
+pub fn optimal_schedule(instance: &Instance) -> (u64, Schedule) {
+    let m = optimal_machines(instance);
+    let alloc = feasible_allocation(instance, m).expect("optimal m must be feasible");
+    (m, schedule_from_allocation(&alloc, m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_sim::{verify, VerifyOptions};
+
+    #[test]
+    fn mcnaughton_classic_three_jobs_two_machines() {
+        let inst = Instance::from_ints([(0, 3, 2), (0, 3, 2), (0, 3, 2)]);
+        let (m, mut sched) = optimal_schedule(&inst);
+        assert_eq!(m, 2);
+        let stats = verify(&inst, &mut sched, &VerifyOptions::migratory()).unwrap();
+        assert_eq!(stats.machines_used, 2);
+        // Exactly one job must migrate in this classic configuration.
+        assert!(stats.migrations >= 1);
+    }
+
+    #[test]
+    fn extraction_is_always_feasible_on_generated_instances() {
+        use mm_instance::generators::{uniform, UniformCfg};
+        for seed in 0..8 {
+            let inst = uniform(&UniformCfg { n: 30, ..Default::default() }, seed);
+            let (m, mut sched) = optimal_schedule(&inst);
+            let stats = verify(&inst, &mut sched, &VerifyOptions::migratory())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+            assert!(stats.machines_used as u64 <= m);
+        }
+    }
+
+    #[test]
+    fn single_machine_extraction_has_no_migration() {
+        let inst = Instance::from_ints([(0, 4, 2), (4, 8, 2)]);
+        let (m, mut sched) = optimal_schedule(&inst);
+        assert_eq!(m, 1);
+        let stats = verify(&inst, &mut sched, &VerifyOptions::migratory()).unwrap();
+        assert_eq!(stats.migrations, 0);
+    }
+
+    #[test]
+    fn fractional_allocation_extraction() {
+        let inst = Instance::from_triples([
+            (Rat::zero(), Rat::one(), Rat::ratio(2, 3)),
+            (Rat::zero(), Rat::one(), Rat::ratio(2, 3)),
+            (Rat::zero(), Rat::one(), Rat::ratio(2, 3)),
+        ]);
+        let (m, mut sched) = optimal_schedule(&inst);
+        assert_eq!(m, 2);
+        verify(&inst, &mut sched, &VerifyOptions::migratory()).unwrap();
+    }
+}

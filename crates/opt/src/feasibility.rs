@@ -1,0 +1,216 @@
+//! Exact migratory feasibility via maximum flow.
+//!
+//! Between two consecutive event points (release dates / deadlines) the set
+//! of available jobs is constant, so a feasible preemptive migratory schedule
+//! on `m` machines exists iff the classic bipartite flow network saturates
+//! all job demand (Horn'74; referenced in the paper as the
+//! polynomial-time-solvable offline problem [6]):
+//!
+//! * source → job `j` with capacity `p_j`;
+//! * job `j` → elementary interval `E ⊆ I(j)` with capacity `|E|`
+//!   (a job cannot run in parallel with itself);
+//! * elementary interval `E` → sink with capacity `m·|E|`
+//!   (machine capacity).
+
+use mm_flow::FlowNetwork;
+use mm_instance::{Instance, Interval, JobId};
+use mm_numeric::Rat;
+
+/// Per-interval processing allocation of a feasible flow: how much of each
+/// job is processed inside each elementary interval.
+#[derive(Debug, Clone)]
+pub struct FlowAllocation {
+    /// The elementary intervals, in increasing time order.
+    pub intervals: Vec<Interval>,
+    /// `amounts[k]` lists `(job, volume)` pairs with positive volume for
+    /// `intervals[k]`.
+    pub amounts: Vec<Vec<(JobId, Rat)>>,
+}
+
+/// Elementary intervals between consecutive event points.
+pub fn elementary_intervals(instance: &Instance) -> Vec<Interval> {
+    let pts = instance.event_points();
+    pts.windows(2)
+        .map(|w| Interval::new(w[0].clone(), w[1].clone()))
+        .filter(|iv| !iv.is_empty())
+        .collect()
+}
+
+/// Decides whether `instance` fits on `m` unit-speed machines with migration,
+/// returning the per-interval allocation on success.
+pub fn feasible_allocation(instance: &Instance, m: u64) -> Option<FlowAllocation> {
+    if instance.is_empty() {
+        return Some(FlowAllocation { intervals: Vec::new(), amounts: Vec::new() });
+    }
+    if m == 0 {
+        return None;
+    }
+    let intervals = elementary_intervals(instance);
+    let n = instance.len();
+    let k = intervals.len();
+    // node layout: 0 = source, 1..=n jobs, n+1..=n+k intervals, n+k+1 sink
+    let source = 0usize;
+    let sink = n + k + 1;
+    let mut net = FlowNetwork::<Rat>::new(n + k + 2);
+    let mut demand = Rat::zero();
+    let mut job_edges = Vec::with_capacity(n);
+    let mut alloc_edges: Vec<Vec<(usize, mm_flow::EdgeHandle, JobId)>> = vec![Vec::new(); k];
+    for (ji, job) in instance.iter().enumerate() {
+        demand += &job.processing;
+        job_edges.push(net.add_edge(source, 1 + ji, job.processing.clone()));
+        for (ki, iv) in intervals.iter().enumerate() {
+            if job.window().contains_interval(iv) {
+                let h = net.add_edge(1 + ji, 1 + n + ki, iv.length());
+                alloc_edges[ki].push((ji, h, job.id));
+            }
+        }
+    }
+    let m_rat = Rat::from(m);
+    for (ki, iv) in intervals.iter().enumerate() {
+        net.add_edge(1 + n + ki, sink, &m_rat * iv.length());
+    }
+    let flow = net.max_flow(source, sink);
+    if flow != demand {
+        return None;
+    }
+    let _ = job_edges;
+    let amounts = alloc_edges
+        .into_iter()
+        .map(|edges| {
+            edges
+                .into_iter()
+                .filter_map(|(_, h, id)| {
+                    let f = net.flow(h);
+                    if f.is_zero() {
+                        None
+                    } else {
+                        Some((id, f))
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Some(FlowAllocation { intervals, amounts })
+}
+
+/// Decides migratory feasibility on `m` machines.
+pub fn feasible_on(instance: &Instance, m: u64) -> bool {
+    feasible_allocation(instance, m).is_some()
+}
+
+/// The minimum number of machines for a migratory schedule, by binary search
+/// over the monotone predicate [`feasible_on`].
+pub fn optimal_machines(instance: &Instance) -> u64 {
+    if instance.is_empty() {
+        return 0;
+    }
+    let mut lo = instance.volume_lower_bound().max(1);
+    // Upper bound: one machine per job always suffices.
+    let mut hi = instance.len() as u64;
+    if feasible_on(instance, lo) {
+        return lo;
+    }
+    // invariant: infeasible(lo), feasible(hi)
+    debug_assert!(feasible_on(instance, hi));
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if feasible_on(instance, mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_instance_needs_zero() {
+        assert_eq!(optimal_machines(&Instance::empty()), 0);
+        assert!(feasible_on(&Instance::empty(), 0));
+    }
+
+    #[test]
+    fn single_job_needs_one() {
+        let inst = Instance::from_ints([(0, 4, 2)]);
+        assert!(!feasible_on(&inst, 0));
+        assert!(feasible_on(&inst, 1));
+        assert_eq!(optimal_machines(&inst), 1);
+    }
+
+    #[test]
+    fn k_parallel_tight_jobs_need_k() {
+        for k in 1..=5i64 {
+            let inst = Instance::from_ints((0..k).map(|_| (0, 3, 3)).collect::<Vec<_>>());
+            assert_eq!(optimal_machines(&inst), k as u64, "k={k}");
+            assert!(!feasible_on(&inst, (k - 1) as u64));
+        }
+    }
+
+    #[test]
+    fn migration_enables_m_machines() {
+        // Three jobs, each needing 2 units in [0,3): total 6 = 2 machines * 3.
+        // Feasible on 2 machines only by migrating (classic McNaughton case).
+        let inst = Instance::from_ints([(0, 3, 2), (0, 3, 2), (0, 3, 2)]);
+        assert!(feasible_on(&inst, 2));
+        assert!(!feasible_on(&inst, 1));
+        assert_eq!(optimal_machines(&inst), 2);
+    }
+
+    #[test]
+    fn staggered_windows() {
+        // j0: [0,2) full, j1: [1,3) full — overlap at [1,2) forces 2 machines.
+        let inst = Instance::from_ints([(0, 2, 2), (1, 3, 2)]);
+        assert_eq!(optimal_machines(&inst), 2);
+        // Loosen j1's window and one machine suffices.
+        let inst2 = Instance::from_ints([(0, 2, 2), (1, 5, 2)]);
+        assert_eq!(optimal_machines(&inst2), 1);
+    }
+
+    #[test]
+    fn laxity_is_respected_by_flow() {
+        // A job with laxity can be squeezed around others.
+        let inst = Instance::from_ints([(0, 4, 2), (0, 2, 2), (2, 4, 2)]);
+        // [0,2) and [2,4) are full; j0 has nowhere to go on 1 machine.
+        assert!(!feasible_on(&inst, 1));
+        assert!(feasible_on(&inst, 2));
+    }
+
+    #[test]
+    fn allocation_sums_match_processing() {
+        let inst = Instance::from_ints([(0, 3, 2), (0, 3, 2), (0, 3, 2)]);
+        let alloc = feasible_allocation(&inst, 2).unwrap();
+        let mut per_job = std::collections::BTreeMap::<JobId, Rat>::new();
+        for (iv, amts) in alloc.intervals.iter().zip(&alloc.amounts) {
+            let mut interval_total = Rat::zero();
+            for (id, v) in amts {
+                assert!(*v <= iv.length(), "no self-parallelism");
+                interval_total += v;
+                *per_job.entry(*id).or_default() += v;
+            }
+            assert!(interval_total <= Rat::from(2i64) * iv.length());
+        }
+        for job in inst.iter() {
+            assert_eq!(per_job[&job.id], job.processing);
+        }
+    }
+
+    #[test]
+    fn fractional_windows() {
+        let inst = Instance::from_triples([
+            (Rat::zero(), Rat::ratio(1, 3), Rat::ratio(1, 3)),
+            (Rat::zero(), Rat::ratio(1, 3), Rat::ratio(1, 6)),
+        ]);
+        assert_eq!(optimal_machines(&inst), 2);
+    }
+
+    #[test]
+    fn elementary_interval_structure() {
+        let inst = Instance::from_ints([(0, 4, 1), (2, 6, 1)]);
+        let ivs = elementary_intervals(&inst);
+        assert_eq!(ivs, vec![Interval::ints(0, 2), Interval::ints(2, 4), Interval::ints(4, 6)]);
+    }
+}

@@ -1,0 +1,88 @@
+//! ASCII Gantt rendering of schedules, for examples and debugging.
+
+use mm_numeric::Rat;
+
+use crate::Schedule;
+
+/// Renders the schedule as one ASCII lane per machine, quantizing time into
+/// `width` columns between the earliest segment start and the latest end.
+/// Each cell shows the last digit of the job id running there (`.` = idle).
+pub fn render_gantt(schedule: &mut Schedule, width: usize) -> String {
+    schedule.normalize();
+    let segs = schedule.raw_segments().to_vec();
+    if segs.is_empty() {
+        return String::from("(empty schedule)\n");
+    }
+    let width = width.max(10);
+    let start = segs.iter().map(|s| s.interval.start.clone()).min().unwrap();
+    let end = segs.iter().map(|s| s.interval.end.clone()).max().unwrap();
+    let span = &end - &start;
+    if !span.is_positive() {
+        return String::from("(zero-length schedule)\n");
+    }
+    let machines = schedule.machine_span();
+    let mut lanes = vec![vec!['.'; width]; machines];
+    for seg in &segs {
+        // Map [seg.start, seg.end) onto columns.
+        let from = (&(&seg.interval.start - &start) * Rat::from(width as u64) / &span)
+            .floor()
+            .to_u64()
+            .unwrap_or(0) as usize;
+        let to = (&(&seg.interval.end - &start) * Rat::from(width as u64) / &span)
+            .ceil()
+            .to_u64()
+            .unwrap_or(0) as usize;
+        let glyph = char::from_digit(seg.job.0 % 10, 10).unwrap_or('#');
+        for cell in lanes[seg.machine]
+            .iter_mut()
+            .take(to.min(width))
+            .skip(from.min(width))
+        {
+            *cell = glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("time {start} .. {end}\n"));
+    for (m, lane) in lanes.iter().enumerate() {
+        out.push_str(&format!("M{m:>2} |{}|\n", lane.iter().collect::<String>()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_instance::JobId;
+
+    fn rat(v: i64) -> Rat {
+        Rat::from(v)
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let mut s = Schedule::new();
+        assert_eq!(render_gantt(&mut s, 40), "(empty schedule)\n");
+    }
+
+    #[test]
+    fn lanes_and_glyphs() {
+        let mut s = Schedule::new();
+        s.push_unit(0, JobId(1), rat(0), rat(5));
+        s.push_unit(1, JobId(2), rat(5), rat(10));
+        let g = render_gantt(&mut s, 10);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains("11111"));
+        assert!(lines[1].contains("....."));
+        assert!(lines[2].ends_with("22222|"));
+    }
+
+    #[test]
+    fn fractional_times_quantize_without_panic() {
+        let mut s = Schedule::new();
+        s.push_unit(0, JobId(3), Rat::ratio(1, 7), Rat::ratio(5, 7));
+        let g = render_gantt(&mut s, 21);
+        assert!(g.contains('3'));
+        assert!(g.starts_with("time 1/7 .. 5/7"));
+    }
+}

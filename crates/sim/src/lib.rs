@@ -1,0 +1,56 @@
+//! Exact continuous-time scheduling simulation for `machmin`.
+//!
+//! Three pieces:
+//!
+//! * [`Schedule`] / [`Segment`] — the exact representation of who runs where
+//!   and when (at which speed);
+//! * [`verify`] — an independent feasibility checker implementing the
+//!   definition from Section 2 of the paper (window containment, one job per
+//!   machine, no self-parallelism, exact volumes, optional non-migration /
+//!   non-preemption);
+//! * [`Simulation`] — an event-driven driver running any [`OnlinePolicy`]
+//!   in exact rational time, with support for *adaptive* job injection so
+//!   lower-bound adversaries can react to the policy's visible decisions.
+//!
+//! # Example: a trivial single-machine policy
+//!
+//! ```
+//! use mm_instance::Instance;
+//! use mm_numeric::Rat;
+//! use mm_sim::{run_policy, Decision, OnlinePolicy, SimConfig, SimState, VerifyOptions};
+//!
+//! /// Runs the active job with the earliest deadline on machine 0.
+//! struct Edf1;
+//! impl OnlinePolicy for Edf1 {
+//!     fn decide(&mut self, state: &SimState<'_>) -> Decision {
+//!         let job = state
+//!             .active
+//!             .values()
+//!             .min_by(|a, b| a.job.deadline.cmp(&b.job.deadline))
+//!             .map(|a| a.job.id);
+//!         Decision { run: job.into_iter().map(|j| (0, j)).collect(), wake_at: None }
+//!     }
+//! }
+//!
+//! let inst = Instance::from_ints([(0, 2, 1), (1, 4, 2)]);
+//! let mut outcome = run_policy(&inst, Edf1, SimConfig::nonmigratory(1)).unwrap();
+//! assert!(outcome.feasible());
+//! mm_sim::verify(&outcome.instance, &mut outcome.schedule, &VerifyOptions::nonmigratory())
+//!     .unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod driver;
+mod gantt;
+mod schedule;
+mod verify;
+
+pub use driver::{
+    run_policy, ActiveJob, Decision, OnlinePolicy, SimConfig, SimError, SimOutcome, SimState,
+    Simulation,
+};
+pub use gantt::render_gantt;
+pub use schedule::{Schedule, Segment};
+pub use verify::{verify, ScheduleError, ScheduleStats, VerifyOptions};

@@ -1,0 +1,387 @@
+//! Exact schedule representation.
+//!
+//! A [`Schedule`] is a finite set of [`Segment`]s: "machine `i` runs job `j`
+//! during `[s, e)` at speed `σ`". All analysis in the workspace — machine
+//! counts, migration/preemption statistics, feasibility verification — is
+//! computed from this one representation, so algorithms and verifiers cannot
+//! drift apart.
+
+use std::collections::BTreeMap;
+
+use mm_instance::{Interval, JobId};
+use mm_numeric::Rat;
+
+/// A maximal piece of uninterrupted processing of one job on one machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Machine index (0-based).
+    pub machine: usize,
+    /// The half-open execution interval.
+    pub interval: Interval,
+    /// The job being processed.
+    pub job: JobId,
+    /// The machine speed during this segment (volume = length × speed).
+    pub speed: Rat,
+}
+
+impl Segment {
+    /// Processing volume delivered by this segment.
+    pub fn volume(&self) -> Rat {
+        self.interval.length() * &self.speed
+    }
+}
+
+/// A (partial) schedule on identical parallel machines.
+#[derive(Debug, Clone, Default)]
+pub struct Schedule {
+    segments: Vec<Segment>,
+    normalized: bool,
+}
+
+impl Schedule {
+    /// The empty schedule.
+    pub fn new() -> Self {
+        Schedule { segments: Vec::new(), normalized: true }
+    }
+
+    /// Appends a segment. Zero-length segments are ignored.
+    pub fn push(&mut self, seg: Segment) {
+        if seg.interval.is_empty() {
+            return;
+        }
+        assert!(seg.speed.is_positive(), "segment speed must be positive");
+        self.segments.push(seg);
+        self.normalized = false;
+    }
+
+    /// Convenience: append `job` on `machine` during `[start, end)` at speed 1.
+    pub fn push_unit(&mut self, machine: usize, job: JobId, start: Rat, end: Rat) {
+        self.push(Segment {
+            machine,
+            interval: Interval::new(start, end),
+            job,
+            speed: Rat::one(),
+        });
+    }
+
+    /// All segments (normalized: sorted by machine then start, adjacent
+    /// same-job segments merged).
+    pub fn segments(&mut self) -> &[Segment] {
+        self.normalize();
+        &self.segments
+    }
+
+    /// Read-only access without normalization.
+    pub fn raw_segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Sorts segments and merges touching same-machine same-job same-speed
+    /// runs into maximal segments.
+    pub fn normalize(&mut self) {
+        if self.normalized {
+            return;
+        }
+        self.segments.sort_by(|a, b| {
+            a.machine
+                .cmp(&b.machine)
+                .then_with(|| a.interval.start.cmp(&b.interval.start))
+        });
+        let mut out: Vec<Segment> = Vec::with_capacity(self.segments.len());
+        for seg in self.segments.drain(..) {
+            match out.last_mut() {
+                Some(last)
+                    if last.machine == seg.machine
+                        && last.job == seg.job
+                        && last.speed == seg.speed
+                        && last.interval.end == seg.interval.start =>
+                {
+                    last.interval.end = seg.interval.end;
+                }
+                _ => out.push(seg),
+            }
+        }
+        self.segments = out;
+        self.normalized = true;
+    }
+
+    /// Total processing volume delivered to `job`.
+    pub fn processed(&self, job: JobId) -> Rat {
+        let mut t = Rat::zero();
+        for s in &self.segments {
+            if s.job == job {
+                t += s.volume();
+            }
+        }
+        t
+    }
+
+    /// The set of machines that ever process `job`, in ascending order.
+    pub fn machines_of(&self, job: JobId) -> Vec<usize> {
+        let mut ms: Vec<usize> =
+            self.segments.iter().filter(|s| s.job == job).map(|s| s.machine).collect();
+        ms.sort_unstable();
+        ms.dedup();
+        ms
+    }
+
+    /// Number of distinct machines with at least one segment.
+    pub fn machines_used(&self) -> usize {
+        let mut ms: Vec<usize> = self.segments.iter().map(|s| s.machine).collect();
+        ms.sort_unstable();
+        ms.dedup();
+        ms.len()
+    }
+
+    /// Highest machine index used plus one (0 if empty).
+    pub fn machine_span(&self) -> usize {
+        self.segments.iter().map(|s| s.machine + 1).max().unwrap_or(0)
+    }
+
+    /// Number of migrations: for each job, (distinct machines − 1), summed.
+    pub fn migrations(&mut self) -> usize {
+        self.normalize();
+        let mut by_job: BTreeMap<JobId, Vec<usize>> = BTreeMap::new();
+        for s in &self.segments {
+            by_job.entry(s.job).or_default().push(s.machine);
+        }
+        by_job
+            .values_mut()
+            .map(|ms| {
+                ms.sort_unstable();
+                ms.dedup();
+                ms.len().saturating_sub(1)
+            })
+            .sum()
+    }
+
+    /// Number of preemptions: for each job, (maximal segments − 1), summed,
+    /// where back-to-back segments on different machines also count (they
+    /// interrupt the run on the original machine).
+    pub fn preemptions(&mut self) -> usize {
+        self.normalize();
+        let mut by_job: BTreeMap<JobId, usize> = BTreeMap::new();
+        for s in &self.segments {
+            *by_job.entry(s.job).or_insert(0) += 1;
+        }
+        by_job.values().map(|c| c.saturating_sub(1)).sum()
+    }
+
+    /// Whether no job ever runs on two distinct machines.
+    pub fn is_nonmigratory(&mut self) -> bool {
+        self.migrations() == 0
+    }
+
+    /// All segments of one machine, normalized and sorted by start time.
+    pub fn machine_segments(&mut self, machine: usize) -> Vec<Segment> {
+        self.normalize();
+        self.segments.iter().filter(|s| s.machine == machine).cloned().collect()
+    }
+
+    /// Number of segments (after normalization).
+    pub fn len(&mut self) -> usize {
+        self.normalize();
+        self.segments.len()
+    }
+
+    /// Whether the schedule has no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// The latest segment end time, if any.
+    pub fn makespan(&self) -> Option<Rat> {
+        self.segments.iter().map(|s| s.interval.end.clone()).max()
+    }
+
+    /// Total busy time of one machine.
+    pub fn busy_time(&self, machine: usize) -> Rat {
+        let mut t = Rat::zero();
+        for s in &self.segments {
+            if s.machine == machine {
+                t += s.interval.length();
+            }
+        }
+        t
+    }
+
+    /// Mean utilization of the used machines over `[start, end)`: total busy
+    /// time divided by `machines_used · (end − start)`. Returns `None` for an
+    /// empty schedule or an empty horizon.
+    pub fn utilization(&self, start: &Rat, end: &Rat) -> Option<Rat> {
+        let horizon = end - start;
+        let used = self.machines_used();
+        if used == 0 || !horizon.is_positive() {
+            return None;
+        }
+        let mut busy = Rat::zero();
+        for s in &self.segments {
+            busy += s.interval.length();
+        }
+        Some(busy / (Rat::from(used as u64) * horizon))
+    }
+
+    /// Renumbers machines so that used machines are `0..machines_used()`,
+    /// preserving relative order. Returns the mapping old → new.
+    pub fn compact_machines(&mut self) -> BTreeMap<usize, usize> {
+        let mut used: Vec<usize> = self.segments.iter().map(|s| s.machine).collect();
+        used.sort_unstable();
+        used.dedup();
+        let map: BTreeMap<usize, usize> =
+            used.into_iter().enumerate().map(|(new, old)| (old, new)).collect();
+        for s in &mut self.segments {
+            s.machine = map[&s.machine];
+        }
+        self.normalized = false;
+        map
+    }
+
+    /// Shifts every segment of `job` onto `machine` (used by offline
+    /// transformations). The caller is responsible for re-verifying.
+    pub fn reassign_job(&mut self, job: JobId, machine: usize) {
+        for s in &mut self.segments {
+            if s.job == job {
+                s.machine = machine;
+            }
+        }
+        self.normalized = false;
+    }
+
+    /// Merges another schedule whose machines are renumbered with `offset`.
+    pub fn merge_with_offset(&mut self, other: &Schedule, offset: usize) {
+        for s in &other.segments {
+            self.segments.push(Segment {
+                machine: s.machine + offset,
+                interval: s.interval.clone(),
+                job: s.job,
+                speed: s.speed.clone(),
+            });
+        }
+        self.normalized = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rat(v: i64) -> Rat {
+        Rat::from(v)
+    }
+
+    #[test]
+    fn push_and_volume() {
+        let mut s = Schedule::new();
+        s.push_unit(0, JobId(1), rat(0), rat(3));
+        s.push_unit(0, JobId(1), rat(5), rat(6));
+        assert_eq!(s.processed(JobId(1)), rat(4));
+        assert_eq!(s.processed(JobId(2)), Rat::zero());
+        assert_eq!(s.machines_used(), 1);
+    }
+
+    #[test]
+    fn zero_length_ignored() {
+        let mut s = Schedule::new();
+        s.push_unit(0, JobId(1), rat(2), rat(2));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn normalization_merges_touching_runs() {
+        let mut s = Schedule::new();
+        s.push_unit(0, JobId(1), rat(0), rat(1));
+        s.push_unit(0, JobId(1), rat(1), rat(2));
+        s.push_unit(0, JobId(2), rat(2), rat(3));
+        s.push_unit(0, JobId(1), rat(3), rat(4));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.preemptions(), 1); // job 1 split in two runs
+    }
+
+    #[test]
+    fn speed_affects_volume() {
+        let mut s = Schedule::new();
+        s.push(Segment {
+            machine: 0,
+            interval: Interval::ints(0, 4),
+            job: JobId(1),
+            speed: Rat::ratio(3, 2),
+        });
+        assert_eq!(s.processed(JobId(1)), rat(6));
+    }
+
+    #[test]
+    fn different_speeds_do_not_merge() {
+        let mut s = Schedule::new();
+        s.push(Segment {
+            machine: 0,
+            interval: Interval::ints(0, 1),
+            job: JobId(1),
+            speed: Rat::one(),
+        });
+        s.push(Segment {
+            machine: 0,
+            interval: Interval::ints(1, 2),
+            job: JobId(1),
+            speed: Rat::from(2i64),
+        });
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn migration_counting() {
+        let mut s = Schedule::new();
+        s.push_unit(0, JobId(1), rat(0), rat(1));
+        s.push_unit(1, JobId(1), rat(1), rat(2));
+        s.push_unit(0, JobId(2), rat(1), rat(2));
+        assert_eq!(s.migrations(), 1);
+        assert!(!s.is_nonmigratory());
+        assert_eq!(s.machines_of(JobId(1)), vec![0, 1]);
+        assert_eq!(s.machines_of(JobId(2)), vec![0]);
+    }
+
+    #[test]
+    fn machine_span_vs_used() {
+        let mut s = Schedule::new();
+        s.push_unit(5, JobId(1), rat(0), rat(1));
+        assert_eq!(s.machines_used(), 1);
+        assert_eq!(s.machine_span(), 6);
+        let map = s.compact_machines();
+        assert_eq!(map[&5], 0);
+        assert_eq!(s.machine_span(), 1);
+    }
+
+    #[test]
+    fn reassign_and_merge() {
+        let mut a = Schedule::new();
+        a.push_unit(0, JobId(1), rat(0), rat(1));
+        let mut b = Schedule::new();
+        b.push_unit(0, JobId(2), rat(0), rat(1));
+        a.merge_with_offset(&b, 3);
+        assert_eq!(a.machines_of(JobId(2)), vec![3]);
+        a.reassign_job(JobId(2), 1);
+        assert_eq!(a.machines_of(JobId(2)), vec![1]);
+    }
+
+    #[test]
+    fn busy_time_and_utilization() {
+        let mut s = Schedule::new();
+        s.push_unit(0, JobId(1), rat(0), rat(4));
+        s.push_unit(1, JobId(2), rat(2), rat(4));
+        assert_eq!(s.busy_time(0), rat(4));
+        assert_eq!(s.busy_time(1), rat(2));
+        assert_eq!(s.busy_time(7), Rat::zero());
+        // 6 busy units over 2 machines × 4 horizon = 3/4
+        assert_eq!(s.utilization(&rat(0), &rat(4)), Some(Rat::ratio(3, 4)));
+        assert_eq!(s.utilization(&rat(0), &rat(0)), None);
+        assert_eq!(Schedule::new().utilization(&rat(0), &rat(4)), None);
+    }
+
+    #[test]
+    fn makespan() {
+        let mut s = Schedule::new();
+        assert_eq!(s.makespan(), None);
+        s.push_unit(0, JobId(1), rat(0), rat(4));
+        s.push_unit(1, JobId(2), rat(2), rat(7));
+        assert_eq!(s.makespan(), Some(rat(7)));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests of the driver itself: a "chaos" policy making arbitrary
+//! (but rule-abiding) decisions must always produce schedules the
+//! independent verifier accepts structurally — window containment, no
+//! overlaps, never over-processing, and non-migration when pinned.
+
+use mm_instance::{Instance, JobId};
+use mm_numeric::Rat;
+use mm_sim::{
+    run_policy, verify, Decision, OnlinePolicy, SimConfig, SimState, VerifyOptions,
+};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random policy: every decision picks an arbitrary
+/// subset of active jobs for an arbitrary subset of machines, respecting
+/// pinning constraints. The chosen jobs depend on the internal counter, so
+/// the schedule preempts and idles erratically.
+struct Chaos {
+    counter: u64,
+    salt: u64,
+    pins: std::collections::BTreeMap<JobId, usize>,
+}
+
+impl Chaos {
+    fn new(salt: u64) -> Self {
+        Chaos { counter: 0, salt, pins: Default::default() }
+    }
+
+    fn coin(&mut self) -> u64 {
+        self.counter = self
+            .counter
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(self.salt | 1);
+        self.counter >> 33
+    }
+}
+
+impl OnlinePolicy for Chaos {
+    fn decide(&mut self, state: &SimState<'_>) -> Decision {
+        let mut run = Vec::new();
+        let mut used = vec![false; state.machines];
+        for a in state.active.values() {
+            if self.coin().is_multiple_of(3) {
+                continue; // randomly idle this job
+            }
+            let pin = self.pins.get(&a.job.id).copied();
+            let machine = match pin {
+                Some(m) => m,
+                None => (self.coin() as usize) % state.machines,
+            };
+            if machine < state.machines && !used[machine] {
+                used[machine] = true;
+                self.pins.insert(a.job.id, machine);
+                run.push((machine, a.job.id));
+            }
+        }
+        // Occasionally request a wake-up to exercise mid-flight decisions.
+        let wake = if self.coin().is_multiple_of(4) {
+            Some(state.time + Rat::ratio(1, 3))
+        } else {
+            None
+        };
+        Decision { run, wake_at: wake }
+    }
+
+    fn name(&self) -> &'static str {
+        "chaos"
+    }
+}
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    let job = (0i64..20, 1i64..10, 1i64..8).prop_map(|(r, w, p)| (r, r + w, p.min(w)));
+    proptest::collection::vec(job, 1..15).prop_map(Instance::from_ints)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chaos_schedules_are_structurally_sound(inst in arb_instance(), salt in any::<u64>(), machines in 1usize..5) {
+        let out = run_policy(&inst, Chaos::new(salt), SimConfig::nonmigratory(machines))
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let mut sched = out.schedule;
+        // Structural verification: partial volumes allowed (chaos misses),
+        // but everything else must hold, including non-migration.
+        let opts = VerifyOptions::nonmigratory().partial();
+        verify(&out.instance, &mut sched, &opts)
+            .map_err(|e| TestCaseError::fail(format!("{e:?}")))?;
+        // Conservation: processed + missed-remainder accounts for all volume.
+        for job in out.instance.iter() {
+            let processed = sched.processed(job.id);
+            prop_assert!(processed <= job.processing);
+            if !out.misses.contains(&job.id) {
+                prop_assert_eq!(&processed, &job.processing, "{} not missed but incomplete", job.id);
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_time_is_monotone_and_bounded(inst in arb_instance(), salt in any::<u64>()) {
+        let out = run_policy(&inst, Chaos::new(salt), SimConfig::migratory(3))
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        // The driver never runs past the last deadline plus nothing — every
+        // segment ends by the global deadline horizon.
+        let horizon = out.instance.max_deadline().unwrap();
+        if let Some(mk) = out.schedule.makespan() {
+            prop_assert!(mk <= horizon);
+        }
+        // Steps stay bounded well below the safety cap.
+        prop_assert!(out.steps < 100_000);
+    }
+}

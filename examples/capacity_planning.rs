@@ -1,0 +1,60 @@
+//! Scenario: capacity planning without knowing the load in advance.
+//!
+//! The paper assumes the optimal machine count `m` is known to the online
+//! algorithm (Section 2), citing the standard doubling trick to remove the
+//! assumption. This example runs [`DoublingAgreeable`] — Theorem 12 pools
+//! provisioned for doubling estimates driven by the Theorem 1 certificate —
+//! on an agreeable workload it has never seen, then saves the workload to
+//! JSON (exact rational coordinates) and reloads it bit-for-bit.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+
+use machmin::core::{estimate_optimum, DoublingAgreeable};
+use machmin::instance::generators::{agreeable, AgreeableCfg};
+use machmin::instance::io;
+use machmin::opt::optimal_machines;
+use machmin::sim::{render_gantt, run_policy, verify, SimConfig, VerifyOptions};
+
+fn main() {
+    let workload = agreeable(&AgreeableCfg { n: 40, ..Default::default() }, 99);
+    let m = optimal_machines(&workload);
+    let cert = estimate_optimum(workload.jobs());
+    println!(
+        "workload: {} agreeable jobs | exact optimum m = {m} | Theorem 1 certificate ≥ {cert}",
+        workload.len()
+    );
+
+    // Online, with no knowledge of m: the policy provisions pools as its
+    // certificate-driven estimate doubles.
+    // Headroom for the geometric series of Theorem 12 pools (each pool is
+    // ≈ 32.7·m̂ machines and the estimates double up to 2m); the measurement
+    // below is what counts.
+    let budget = 1500;
+    let mut out = run_policy(&workload, DoublingAgreeable::new(), SimConfig::nonmigratory(budget))
+        .expect("simulation ok");
+    assert!(out.feasible(), "doubling wrapper must not miss");
+    let stats = verify(&out.instance, &mut out.schedule, &VerifyOptions::nonmigratory())
+        .expect("schedule verifies");
+    println!(
+        "doubling run: {} machines used (never told m), migrations = {}",
+        stats.machines_used, stats.migrations
+    );
+
+    println!("\nschedule (machines renumbered densely):");
+    out.schedule.compact_machines();
+    let gantt = render_gantt(&mut out.schedule, 72);
+    for line in gantt.lines().take(12) {
+        println!("  {line}");
+    }
+
+    // Persist and reload the workload losslessly.
+    let json = io::to_json(&workload).expect("serialize");
+    let reloaded = io::from_json(&json).expect("deserialize");
+    assert_eq!(workload, reloaded);
+    println!(
+        "\nworkload round-tripped through {} bytes of JSON with exact rationals",
+        json.len()
+    );
+}

@@ -1,0 +1,45 @@
+//! Live demo of the paper's headline result (Theorem 3): an adaptive
+//! adversary forces a non-migratory online scheduler to open machine after
+//! machine, while the instance it is releasing never needs more than
+//! **three** machines for an offline scheduler that may migrate.
+//!
+//! ```sh
+//! cargo run --release --example migration_gap_demo [k_max]
+//! ```
+
+use machmin::adversary::run_migration_gap;
+use machmin::core::EdfFirstFit;
+use machmin::opt::optimal_machines;
+
+fn main() {
+    let k_max: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
+
+    println!("The power of migration (Chen–Megow–Schewior, SPAA'16, Theorem 3)");
+    println!("victim: non-migratory first-fit EDF with exact admission tests\n");
+    println!("{:>2}  {:>7}  {:>16}  {:>13}  {:>8}", "k", "jobs n", "machines forced", "migratory OPT", "log2(n)");
+
+    for k in 2..=k_max {
+        let res = run_migration_gap(EdfFirstFit::new(), k, 64).expect("simulation ok");
+        // Re-derive the offline optimum independently as a sanity check.
+        let opt = optimal_machines(&res.instance);
+        assert_eq!(opt, res.offline_optimum);
+        println!(
+            "{:>2}  {:>7}  {:>16}  {:>13}  {:>8.2}{}",
+            k,
+            res.jobs_released,
+            res.machines_forced,
+            opt,
+            (res.jobs_released as f64).log2(),
+            if res.policy_missed { "   (policy also missed a deadline!)" } else { "" }
+        );
+    }
+
+    println!("\nEvery row: an online non-migratory scheduler needed k machines on an");
+    println!("instance that fits on ≤ 3 machines with migration — the gap is");
+    println!("unbounded in m, growing as Ω(log n). The 3-machine feasibility of each");
+    println!("instance is certified by an exact max-flow computation, and the idle");
+    println!("windows the adversary recurses into are certified the same way.");
+}

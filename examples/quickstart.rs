@@ -1,0 +1,67 @@
+//! Quickstart: model jobs, compute the exact offline optimum, run an online
+//! non-migratory policy, and verify the schedule it produced.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use machmin::core::EdfFirstFit;
+use machmin::opt::{contribution_bound, optimal_machines, optimal_schedule};
+use machmin::prelude::*;
+use machmin::sim::{render_gantt, run_policy, verify, SimConfig, VerifyOptions};
+
+fn main() {
+    // Five jobs (release, deadline, processing). Integer literals are
+    // convenient; every computation below is exact rational arithmetic.
+    let instance = Instance::from_ints([
+        (0, 10, 4),  // a relaxed background task
+        (0, 4, 3),   // urgent early work
+        (2, 6, 4),   // zero-laxity burst
+        (5, 12, 3),  //
+        (6, 9, 2),   //
+    ]);
+    println!("{instance}");
+
+    // --- Offline: the exact migratory optimum (flow-based) ---------------
+    let m = optimal_machines(&instance);
+    println!("offline migratory optimum: {m} machines");
+
+    // Theorem 1 certificate: a union of intervals whose load forces m.
+    let cert = contribution_bound(&instance);
+    println!(
+        "Theorem 1 certificate: density {} on witness {} ⇒ m ≥ {}",
+        cert.density, cert.witness, cert.bound
+    );
+
+    // An explicit optimal (migratory) schedule via McNaughton extraction.
+    let (_, mut migratory) = optimal_schedule(&instance);
+    let stats = verify(&instance, &mut migratory, &VerifyOptions::migratory())
+        .expect("optimal schedule must verify");
+    println!(
+        "optimal schedule: {} machines, {} migrations, {} preemptions",
+        stats.machines_used, stats.migrations, stats.preemptions
+    );
+
+    // --- Online: non-migratory first-fit EDF ------------------------------
+    let budget = instance.len(); // give the policy headroom; count usage
+    let mut outcome = run_policy(&instance, EdfFirstFit::new(), SimConfig::nonmigratory(budget))
+        .expect("simulation must not fault");
+    assert!(outcome.feasible(), "no job may miss its deadline");
+    let stats = verify(&outcome.instance, &mut outcome.schedule, &VerifyOptions::nonmigratory())
+        .expect("online schedule must verify");
+    println!(
+        "online EDF first-fit: {} machines (vs optimum {m}), non-migratory, {} preemptions",
+        stats.machines_used, stats.preemptions
+    );
+
+    println!("\nonline schedule segments:");
+    for seg in outcome.schedule.segments() {
+        println!(
+            "  machine {}  {}  runs {}",
+            seg.machine, seg.interval, seg.job
+        );
+    }
+
+    println!("\nas a Gantt chart:");
+    print!("{}", render_gantt(&mut outcome.schedule, 60));
+}

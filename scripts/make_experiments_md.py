@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Assembles EXPERIMENTS.md from the narrative template and the measured
+tables in experiments_output.txt (produced by `exp_all`)."""
+
+import re
+import sys
+from pathlib import Path
+
+root = Path(__file__).resolve().parent.parent
+raw = (root / "experiments_output.txt").read_text()
+
+# Split the exp_all output into blocks keyed by their "## Exx" headers.
+blocks: dict[str, str] = {}
+current_key = None
+current: list[str] = []
+for line in raw.splitlines():
+    m = re.match(r"## (E\d+[ab]?)\b", line)
+    if m:
+        if current_key:
+            blocks[current_key] = "\n".join(current).rstrip() + "\n"
+        current_key = m.group(1)
+        current = [line]
+    elif current_key is not None:
+        # The Corollary 1 line belongs to E8's block.
+        current.append(line)
+if current_key:
+    blocks[current_key] = "\n".join(current).rstrip() + "\n"
+
+template = (root / "scripts" / "EXPERIMENTS.template.md").read_text()
+
+def sub(m: re.Match) -> str:
+    key = m.group(1)
+    if key not in blocks:
+        sys.exit(f"missing experiment block {key} in experiments_output.txt")
+    return "```text\n" + blocks[key].rstrip() + "\n```"
+
+out = re.sub(r"\{\{(E\d+[ab]?)\}\}", sub, template)
+(root / "EXPERIMENTS.md").write_text(out)
+print(f"EXPERIMENTS.md written ({len(out)} bytes, {len(blocks)} tables)")

@@ -1,0 +1,12 @@
+//! The `machmin` command-line tool. See `machmin help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match machmin::cli::parse(&args).and_then(machmin::cli::execute) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! Implementation of the `machmin` command-line tool.
+//!
+//! Kept in the library (rather than the binary) so the argument parsing and
+//! command logic are unit-testable; `src/bin/machmin.rs` is a thin shim.
+
+use std::fmt::Write as _;
+
+use mm_core::{AgreeableSplit, Edf, EdfFirstFit, LaminarBudget, Llf, MediumFit};
+use mm_instance::generators::{
+    agreeable, laminar, loose, uniform, AgreeableCfg, LaminarCfg, UniformCfg,
+};
+use mm_instance::{io, Instance};
+use mm_numeric::Rat;
+use mm_opt::{contribution_bound, demigrate, optimal_machines, theorem2_bound};
+use mm_sim::{render_gantt, run_policy, verify, SimConfig, VerifyOptions};
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `solve <instance.json>` — exact optimum + Theorem 1 certificate.
+    Solve {
+        /// Instance file.
+        path: String,
+    },
+    /// `classify <instance.json>` — structure, Δ, looseness report.
+    Classify {
+        /// Instance file.
+        path: String,
+    },
+    /// `schedule <instance.json> --policy <name> [--machines N]`.
+    Schedule {
+        /// Instance file.
+        path: String,
+        /// Policy name (edf, llf, edf-ff, medium-fit, agreeable, laminar).
+        policy: String,
+        /// Machine budget (defaults to one per job).
+        machines: Option<usize>,
+    },
+    /// `demigrate <instance.json>` — offline migratory → non-migratory.
+    Demigrate {
+        /// Instance file.
+        path: String,
+    },
+    /// `generate <family> --n N --seed S --out <file.json>`.
+    Generate {
+        /// Family: uniform, agreeable, laminar, loose.
+        family: String,
+        /// Number of jobs (ignored for laminar).
+        n: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Output file.
+        out: String,
+    },
+    /// `help`.
+    Help,
+}
+
+/// CLI error with a user-facing message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl core::fmt::Display for CliError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Parses raw arguments (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "solve" => Ok(Command::Solve {
+            path: args.get(1).cloned().ok_or_else(usage_solve)?,
+        }),
+        "classify" => Ok(Command::Classify {
+            path: args.get(1).cloned().ok_or_else(usage_classify)?,
+        }),
+        "demigrate" => Ok(Command::Demigrate {
+            path: args.get(1).cloned().ok_or_else(|| CliError("usage: machmin demigrate <instance.json>".into()))?,
+        }),
+        "schedule" => {
+            let path = args.get(1).cloned().ok_or_else(usage_schedule)?;
+            let policy = flag(args, "--policy").ok_or_else(usage_schedule)?;
+            let machines = match flag(args, "--machines") {
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| CliError(format!("invalid --machines value: {v}")))?,
+                ),
+                None => None,
+            };
+            Ok(Command::Schedule { path, policy, machines })
+        }
+        "generate" => {
+            let family = args.get(1).cloned().ok_or_else(usage_generate)?;
+            let n = flag(args, "--n")
+                .unwrap_or_else(|| "50".into())
+                .parse()
+                .map_err(|_| CliError("invalid --n".into()))?;
+            let seed = flag(args, "--seed")
+                .unwrap_or_else(|| "0".into())
+                .parse()
+                .map_err(|_| CliError("invalid --seed".into()))?;
+            let out = flag(args, "--out").ok_or_else(usage_generate)?;
+            Ok(Command::Generate { family, n, seed, out })
+        }
+        other => Err(CliError(format!(
+            "unknown command `{other}`; run `machmin help`"
+        ))),
+    }
+}
+
+fn usage_solve() -> CliError {
+    CliError("usage: machmin solve <instance.json>".into())
+}
+
+fn usage_classify() -> CliError {
+    CliError("usage: machmin classify <instance.json>".into())
+}
+
+fn usage_schedule() -> CliError {
+    CliError(
+        "usage: machmin schedule <instance.json> --policy <edf|llf|edf-ff|medium-fit|agreeable|laminar> [--machines N]"
+            .into(),
+    )
+}
+
+fn usage_generate() -> CliError {
+    CliError(
+        "usage: machmin generate <uniform|agreeable|laminar|loose> [--n N] [--seed S] --out <file.json>"
+            .into(),
+    )
+}
+
+/// Help text.
+pub fn help_text() -> &'static str {
+    "machmin — online machine minimization (SPAA'16 reproduction)\n\
+     \n\
+     commands:\n\
+       solve <inst.json>                        exact migratory optimum + Theorem 1 certificate\n\
+       classify <inst.json>                     structure (agreeable/laminar), Δ, looseness\n\
+       schedule <inst.json> --policy P [--machines N]\n\
+                                                run an online policy and verify its schedule\n\
+                                                P ∈ {edf, llf, edf-ff, medium-fit, agreeable, laminar}\n\
+       demigrate <inst.json>                    offline migratory → non-migratory transformation\n\
+       generate <family> [--n N] [--seed S] --out <file.json>\n\
+                                                family ∈ {uniform, agreeable, laminar, loose}\n\
+       help                                     this text\n"
+}
+
+fn load(path: &str) -> Result<Instance, CliError> {
+    io::load(path).map_err(|e| CliError(format!("cannot load {path}: {e}")))
+}
+
+/// Executes a command, returning the text to print.
+pub fn execute(cmd: Command) -> Result<String, CliError> {
+    let mut out = String::new();
+    match cmd {
+        Command::Help => out.push_str(help_text()),
+        Command::Solve { path } => {
+            let inst = load(&path)?;
+            let m = optimal_machines(&inst);
+            let cert = contribution_bound(&inst);
+            let _ = writeln!(out, "jobs: {}", inst.len());
+            let _ = writeln!(out, "migratory optimum m(J): {m}");
+            let _ = writeln!(
+                out,
+                "Theorem 1 certificate: ⌈{}⌉ = {} on witness {}",
+                cert.density, cert.bound, cert.witness
+            );
+        }
+        Command::Classify { path } => {
+            let inst = load(&path)?;
+            let _ = writeln!(out, "jobs: {}", inst.len());
+            let _ = writeln!(out, "structure: {:?}", inst.classify());
+            if let Some(d) = inst.delta() {
+                let _ = writeln!(out, "Δ (max/min processing): {}", d);
+            }
+            for (num, den) in [(1i64, 2i64), (63, 100), (9, 10)] {
+                let alpha = Rat::ratio(num, den);
+                let loose = inst.iter().filter(|j| j.is_loose(&alpha)).count();
+                let _ = writeln!(
+                    out,
+                    "α = {num}/{den}: {loose} loose / {} tight",
+                    inst.len() - loose
+                );
+            }
+        }
+        Command::Demigrate { path } => {
+            let inst = load(&path)?;
+            let m = optimal_machines(&inst);
+            let res = demigrate(&inst);
+            let mut sched = res.schedule;
+            verify(&inst, &mut sched, &VerifyOptions::nonmigratory())
+                .map_err(|e| CliError(format!("internal: demigrated schedule invalid: {e:?}")))?;
+            let _ = writeln!(out, "migratory optimum: {m}");
+            let _ = writeln!(
+                out,
+                "non-migratory machines: {} (Theorem 2 bound: {})",
+                res.machines,
+                theorem2_bound(m)
+            );
+        }
+        Command::Schedule { path, policy, machines } => {
+            let inst = load(&path)?;
+            let budget = machines.unwrap_or(inst.len()).max(1);
+            let m = optimal_machines(&inst);
+            let (outcome, opts) = match policy.as_str() {
+                "edf" => (
+                    run_policy(&inst, Edf, SimConfig::migratory(budget)),
+                    VerifyOptions::migratory(),
+                ),
+                "llf" => (
+                    run_policy(&inst, Llf::new(), SimConfig::migratory(budget)),
+                    VerifyOptions::migratory(),
+                ),
+                "edf-ff" => (
+                    run_policy(&inst, EdfFirstFit::new(), SimConfig::nonmigratory(budget)),
+                    VerifyOptions::nonmigratory(),
+                ),
+                "medium-fit" => (
+                    run_policy(&inst, MediumFit::new(), SimConfig::nonmigratory(budget)),
+                    VerifyOptions::nonpreemptive(),
+                ),
+                "agreeable" => (
+                    run_policy(
+                        &inst,
+                        AgreeableSplit::for_optimum(m),
+                        SimConfig::nonmigratory(
+                            AgreeableSplit::for_optimum(m).total_machines().max(budget),
+                        ),
+                    ),
+                    VerifyOptions::nonmigratory(),
+                ),
+                "laminar" => {
+                    let p = LaminarBudget::new(
+                        LaminarBudget::suggested_m_prime(m, 4),
+                        (4 * m) as usize,
+                        Rat::half(),
+                    );
+                    let total = p.total_machines().max(budget);
+                    (
+                        run_policy(&inst, p, SimConfig::nonmigratory(total)),
+                        VerifyOptions::nonmigratory(),
+                    )
+                }
+                other => return Err(CliError(format!("unknown policy `{other}`"))),
+            };
+            let mut outcome = match outcome {
+                Ok(o) => o,
+                Err(e) => return Err(CliError(format!("simulation failed: {e}"))),
+            };
+            let _ = writeln!(out, "policy: {policy}, budget: {budget}, optimum m: {m}");
+            if outcome.feasible() {
+                let stats = verify(&outcome.instance, &mut outcome.schedule, &opts)
+                    .map_err(|e| CliError(format!("schedule failed verification: {e:?}")))?;
+                let _ = writeln!(
+                    out,
+                    "feasible: yes | machines used: {} | migrations: {} | preemptions: {}",
+                    stats.machines_used, stats.migrations, stats.preemptions
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "feasible: NO ({} deadline misses within budget {budget})",
+                    outcome.misses.len()
+                );
+            }
+            outcome.schedule.compact_machines();
+            out.push_str(&render_gantt(&mut outcome.schedule, 72));
+        }
+        Command::Generate { family, n, seed, out: path } => {
+            let inst = match family.as_str() {
+                "uniform" => uniform(&UniformCfg { n, ..Default::default() }, seed),
+                "agreeable" => agreeable(&AgreeableCfg { n, ..Default::default() }, seed),
+                "laminar" => laminar(&LaminarCfg::default(), seed),
+                "loose" => loose(
+                    &UniformCfg { n, ..Default::default() },
+                    &Rat::ratio(1, 2),
+                    seed,
+                ),
+                other => return Err(CliError(format!("unknown family `{other}`"))),
+            };
+            io::save(&inst, &path).map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+            let _ = writeln!(out, "wrote {} jobs to {path}", inst.len());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_commands() {
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(
+            parse(&argv("solve a.json")).unwrap(),
+            Command::Solve { path: "a.json".into() }
+        );
+        assert_eq!(
+            parse(&argv("schedule a.json --policy edf --machines 3")).unwrap(),
+            Command::Schedule {
+                path: "a.json".into(),
+                policy: "edf".into(),
+                machines: Some(3)
+            }
+        );
+        assert_eq!(
+            parse(&argv("generate uniform --n 10 --seed 7 --out x.json")).unwrap(),
+            Command::Generate {
+                family: "uniform".into(),
+                n: 10,
+                seed: 7,
+                out: "x.json".into()
+            }
+        );
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("schedule a.json")).is_err());
+        assert!(parse(&argv("schedule a.json --policy edf --machines x")).is_err());
+        // empty argv = help
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn roundtrip_generate_solve_schedule() {
+        let dir = std::env::temp_dir().join("machmin_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inst.json").to_string_lossy().to_string();
+
+        let msg = execute(Command::Generate {
+            family: "agreeable".into(),
+            n: 12,
+            seed: 3,
+            out: path.clone(),
+        })
+        .unwrap();
+        assert!(msg.contains("wrote 12 jobs"));
+
+        let msg = execute(Command::Solve { path: path.clone() }).unwrap();
+        assert!(msg.contains("migratory optimum"));
+        assert!(msg.contains("Theorem 1 certificate"));
+
+        let msg = execute(Command::Classify { path: path.clone() }).unwrap();
+        assert!(msg.contains("Agreeable") || msg.contains("Both"));
+
+        let msg = execute(Command::Schedule {
+            path: path.clone(),
+            policy: "edf-ff".into(),
+            machines: None,
+        })
+        .unwrap();
+        assert!(msg.contains("feasible: yes"), "{msg}");
+        assert!(msg.contains("machines used"));
+
+        let msg = execute(Command::Demigrate { path: path.clone() }).unwrap();
+        assert!(msg.contains("non-migratory machines"));
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn schedule_reports_misses_gracefully() {
+        let dir = std::env::temp_dir().join("machmin_cli_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tight.json").to_string_lossy().to_string();
+        let inst = Instance::from_ints([(0, 2, 2), (0, 2, 2), (0, 2, 2)]);
+        io::save(&inst, &path).unwrap();
+        let msg = execute(Command::Schedule {
+            path: path.clone(),
+            policy: "edf".into(),
+            machines: Some(1),
+        })
+        .unwrap();
+        assert!(msg.contains("feasible: NO"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_policy_and_family_error() {
+        assert!(execute(Command::Schedule {
+            path: "/nonexistent.json".into(),
+            policy: "edf".into(),
+            machines: None
+        })
+        .is_err());
+        let dir = std::env::temp_dir();
+        assert!(execute(Command::Generate {
+            family: "nope".into(),
+            n: 3,
+            seed: 0,
+            out: dir.join("x.json").to_string_lossy().to_string()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn help_mentions_all_commands() {
+        let h = help_text();
+        for cmd in ["solve", "classify", "schedule", "demigrate", "generate"] {
+            assert!(h.contains(cmd), "help is missing `{cmd}`");
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Cross-crate integration tests: generators → offline solver → online
+//! policies → independent verification, for every instance family.
+
+use machmin::core::{
+    AgreeableSplit, Edf, EdfFirstFit, LaminarBudget, Llf, MediumFit, NonpreemptiveEdf,
+};
+use machmin::instance::generators::{
+    agreeable, laminar, loose, tight, uniform, AgreeableCfg, LaminarCfg, UniformCfg,
+};
+use machmin::instance::StructureClass;
+use machmin::numeric::Rat;
+use machmin::opt::{
+    contribution_bound, demigrate, optimal_machines, optimal_schedule, theorem2_bound,
+};
+use machmin::prelude::*;
+use machmin::sim::{run_policy, verify, SimConfig, VerifyOptions};
+
+/// The offline pipeline is self-consistent on every family:
+/// certificate ≤ optimum, optimal schedule verifies, demigration verifies
+/// and respects Theorem 2.
+#[test]
+fn offline_pipeline_consistency() {
+    let instances: Vec<(&str, Instance)> = vec![
+        ("uniform", uniform(&UniformCfg { n: 30, ..Default::default() }, 1)),
+        ("agreeable", agreeable(&AgreeableCfg { n: 30, ..Default::default() }, 1)),
+        (
+            "laminar",
+            laminar(&LaminarCfg { depth: 3, branching: 2, ..Default::default() }, 1),
+        ),
+        (
+            "loose",
+            loose(&UniformCfg { n: 30, ..Default::default() }, &Rat::ratio(1, 3), 1),
+        ),
+        ("tight", tight(&UniformCfg { n: 30, ..Default::default() }, &Rat::half(), 1)),
+    ];
+    for (name, inst) in instances {
+        let m = optimal_machines(&inst);
+        let cert = contribution_bound(&inst);
+        assert!(cert.bound <= m, "{name}: certificate exceeds optimum");
+
+        let (m2, mut sched) = optimal_schedule(&inst);
+        assert_eq!(m, m2);
+        let stats = verify(&inst, &mut sched, &VerifyOptions::migratory())
+            .unwrap_or_else(|e| panic!("{name}: optimal schedule invalid: {e:?}"));
+        assert!(stats.machines_used as u64 <= m);
+
+        let res = demigrate(&inst);
+        let mut nm = res.schedule;
+        let stats = verify(&inst, &mut nm, &VerifyOptions::nonmigratory())
+            .unwrap_or_else(|e| panic!("{name}: demigrated schedule invalid: {e:?}"));
+        assert_eq!(stats.migrations, 0);
+        assert!(
+            (res.machines as u64) <= theorem2_bound(m),
+            "{name}: demigration used {} > 6m−5 = {}",
+            res.machines,
+            theorem2_bound(m)
+        );
+    }
+}
+
+/// Every online policy, on the family it targets, produces a verifiable
+/// schedule of the promised kind within its theorem's machine budget.
+#[test]
+fn online_policies_meet_their_guarantees() {
+    // EDF (migratory) on loose jobs — Theorem 13 budget m/(1−α)².
+    let alpha = Rat::half();
+    let inst = loose(&UniformCfg { n: 30, ..Default::default() }, &alpha, 7);
+    let m = optimal_machines(&inst);
+    let mut out = run_policy(&inst, Edf, SimConfig::migratory((4 * m) as usize)).unwrap();
+    assert!(out.feasible());
+    verify(&out.instance, &mut out.schedule, &VerifyOptions::migratory()).unwrap();
+
+    // LLF (migratory) with headroom on general instances.
+    let inst = uniform(&UniformCfg { n: 30, ..Default::default() }, 7);
+    let m = optimal_machines(&inst);
+    let mut out =
+        run_policy(&inst, Llf::new(), SimConfig::migratory((3 * m + 2) as usize)).unwrap();
+    assert!(out.feasible());
+    verify(&out.instance, &mut out.schedule, &VerifyOptions::migratory()).unwrap();
+
+    // Agreeable split — Theorem 12: non-preemptive.
+    let inst = agreeable(&AgreeableCfg { n: 30, ..Default::default() }, 7);
+    let m = optimal_machines(&inst);
+    let policy = AgreeableSplit::for_optimum(m);
+    let budget = policy.total_machines();
+    let mut out = run_policy(&inst, policy, SimConfig::nonmigratory(budget)).unwrap();
+    assert!(out.feasible());
+    let stats =
+        verify(&out.instance, &mut out.schedule, &VerifyOptions::nonpreemptive()).unwrap();
+    assert_eq!(stats.preemptions, 0);
+
+    // Laminar budget — Theorem 9: non-migratory on c·m·log m machines.
+    let inst = laminar(&LaminarCfg { depth: 3, branching: 2, ..Default::default() }, 7);
+    let m = optimal_machines(&inst);
+    let policy = LaminarBudget::new(
+        LaminarBudget::suggested_m_prime(m, 4),
+        (4 * m) as usize,
+        Rat::half(),
+    );
+    let budget = policy.total_machines();
+    let mut out = run_policy(&inst, policy, SimConfig::nonmigratory(budget)).unwrap();
+    assert!(out.feasible());
+    let stats =
+        verify(&out.instance, &mut out.schedule, &VerifyOptions::nonmigratory()).unwrap();
+    assert_eq!(stats.migrations, 0);
+}
+
+/// Structure detection matches the generators' promises.
+#[test]
+fn generated_structures_classify_correctly() {
+    for seed in 0..3 {
+        assert!(matches!(
+            agreeable(&AgreeableCfg::default(), seed).classify(),
+            StructureClass::Agreeable | StructureClass::Both
+        ));
+        assert!(matches!(
+            laminar(&LaminarCfg::default(), seed).classify(),
+            StructureClass::Laminar | StructureClass::Both
+        ));
+    }
+}
+
+/// The non-migratory policies never migrate even when badly overloaded:
+/// misses are allowed, pin violations are not.
+#[test]
+fn nonmigratory_policies_never_migrate_under_pressure() {
+    let inst = uniform(&UniformCfg { n: 40, horizon: 20, ..Default::default() }, 3);
+    // Tiny budget: policies will miss jobs, but must not migrate or crash.
+    for budget in [1usize, 2, 3] {
+        let out =
+            run_policy(&inst, EdfFirstFit::new(), SimConfig::nonmigratory(budget)).unwrap();
+        let mut sched = out.schedule;
+        sched.normalize();
+        assert!(sched.is_nonmigratory());
+
+        let out =
+            run_policy(&inst, MediumFit::new(), SimConfig::nonmigratory(budget)).unwrap();
+        let mut sched = out.schedule;
+        assert!(sched.is_nonmigratory());
+
+        let out = run_policy(&inst, NonpreemptiveEdf::new(), SimConfig::nonmigratory(budget))
+            .unwrap();
+        let mut sched = out.schedule;
+        assert!(sched.is_nonmigratory());
+        assert_eq!(sched.preemptions(), 0);
+    }
+}
+
+/// Processed volume of partial (missed) jobs never exceeds their demand and
+/// all segments stay inside windows, even on overloaded runs.
+#[test]
+fn overloaded_runs_stay_structurally_sound() {
+    let inst = uniform(&UniformCfg { n: 30, horizon: 10, ..Default::default() }, 9);
+    let out = run_policy(&inst, Edf, SimConfig::migratory(2)).unwrap();
+    let mut sched = out.schedule;
+    sched.normalize();
+    for job in out.instance.iter() {
+        let processed = sched.processed(job.id);
+        assert!(processed <= job.processing, "{}: overprocessed", job.id);
+        for seg in sched.raw_segments().iter().filter(|s| s.job == job.id) {
+            assert!(job.window().contains_interval(&seg.interval));
+        }
+    }
+}

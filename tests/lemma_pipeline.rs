@@ -1,0 +1,76 @@
+//! Integration tests of the Section 4 proof pipeline: Lemma 3 (window
+//! shrinking) feeding Lemma 4 (piece splitting) feeding Theorem 6 (the
+//! speed-scaling reduction), all checked against the exact offline solver.
+
+use machmin::instance::generators::{loose, UniformCfg};
+use machmin::numeric::Rat;
+use machmin::opt::optimal_machines;
+
+/// Lemma 4, checked constructively: the optimum of every piece family `J_i`
+/// stays within a small multiple of `m(J)`, and the piece families together
+/// dominate the scaled instance `J^s`.
+#[test]
+fn lemma4_piece_families_bound_the_scaled_instance() {
+    let alpha = Rat::ratio(1, 4);
+    let s = Rat::from(2i64); // α·s = 1/2 < 1
+    for seed in 0..4 {
+        let inst = loose(&UniformCfg { n: 25, ..Default::default() }, &alpha, seed);
+        let m = optimal_machines(&inst);
+        let families = inst.lemma4_pieces(&s, &alpha);
+        assert_eq!(families.len(), 2);
+        let mut family_sum = 0u64;
+        for (i, f) in families.iter().enumerate() {
+            let mi = optimal_machines(f);
+            family_sum += mi;
+            // Lemma 4's claim m(J_i) = O(m(J)): generous explicit constant.
+            assert!(
+                mi <= 4 * m + 2,
+                "seed {seed}, family {i}: m(J_i) = {mi} vs m(J) = {m}"
+            );
+        }
+        // Scheduling the families on disjoint machine sets schedules J^s, so
+        // m(J^s) is at most the sum of the family optima.
+        let scaled = inst.scale_processing(&s);
+        let ms = optimal_machines(&scaled);
+        assert!(
+            ms <= family_sum,
+            "seed {seed}: m(J^s) = {ms} > Σ m(J_i) = {family_sum}"
+        );
+        // and of course scaling can only increase the optimum
+        assert!(ms >= m);
+    }
+}
+
+/// The Lemma 3 / Lemma 4 constants compose: `m(J^s) = O(m(J))` directly,
+/// the statement Theorem 6 actually consumes.
+#[test]
+fn scaled_instances_stay_linear_in_m() {
+    let alpha = Rat::ratio(1, 3);
+    let s = Rat::ratio(3, 2); // α·s = 1/2 < 1
+    for seed in 0..4 {
+        let inst = loose(&UniformCfg { n: 30, ..Default::default() }, &alpha, seed);
+        let m = optimal_machines(&inst);
+        let ms = optimal_machines(&inst.scale_processing(&s));
+        assert!(
+            ms <= 6 * m + 2,
+            "seed {seed}: m(J^s) = {ms} blows past O(m(J)) with m = {m}"
+        );
+    }
+}
+
+/// Degenerate and edge inputs of the transforms.
+#[test]
+fn transform_edges() {
+    use machmin::prelude::*;
+    // Single minimal loose job.
+    let inst = Instance::from_ints([(0, 10, 1)]);
+    let fams = inst.lemma4_pieces(&Rat::from(2i64), &Rat::ratio(1, 5));
+    assert_eq!(fams.len(), 2);
+    for f in &fams {
+        assert_eq!(f.len(), 1);
+        assert_eq!(optimal_machines(f), 1);
+    }
+    // γ = 0 shrink is the identity on windows.
+    let same = inst.shrink_windows_left(&Rat::zero());
+    assert_eq!(same.jobs()[0].window(), inst.jobs()[0].window());
+}

@@ -1,0 +1,142 @@
+//! Cross-crate property tests: invariants that must hold for *arbitrary*
+//! (generated) instances, tying the solver, simulator, verifier and
+//! policies together.
+
+use machmin::core::{Edf, EdfFirstFit};
+use machmin::numeric::Rat;
+use machmin::opt::{
+    contribution_bound, demigrate, exhaustive_contribution_bound, feasible_on,
+    optimal_machines, optimal_schedule, EXHAUSTIVE_LIMIT,
+};
+use machmin::prelude::*;
+use machmin::sim::{run_policy, verify, SimConfig, VerifyOptions};
+use proptest::prelude::*;
+
+/// Strategy: arbitrary feasible instances with small integer coordinates.
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    let job = (0i64..30, 1i64..15, 1i64..10).prop_map(|(r, w, p)| {
+        let p = p.min(w);
+        (r, r + w, p)
+    });
+    proptest::collection::vec(job, 1..25)
+        .prop_map(Instance::from_ints)
+}
+
+/// Tiny instances for the exponential oracle.
+fn arb_small_instance() -> impl Strategy<Value = Instance> {
+    let job = (0i64..10, 1i64..6, 1i64..5).prop_map(|(r, w, p)| {
+        let p = p.min(w);
+        (r, r + w, p)
+    });
+    proptest::collection::vec(job, 1..7).prop_map(Instance::from_ints)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Feasibility is monotone in the machine count and the binary-searched
+    /// optimum sits exactly at the boundary.
+    #[test]
+    fn optimum_is_the_feasibility_boundary(inst in arb_instance()) {
+        let m = optimal_machines(&inst);
+        prop_assert!(m >= 1);
+        prop_assert!(feasible_on(&inst, m));
+        prop_assert!(feasible_on(&inst, m + 1));
+        if m > 1 {
+            prop_assert!(!feasible_on(&inst, m - 1));
+        }
+    }
+
+    /// Theorem 1 machine-checked both ways on tiny instances: the exhaustive
+    /// union enumeration (independent oracle) equals the flow-based optimum.
+    #[test]
+    fn exhaustive_oracle_agrees_with_flow(inst in arb_small_instance()) {
+        if machmin::opt::elementary_intervals(&inst).len() <= EXHAUSTIVE_LIMIT {
+            let m = optimal_machines(&inst);
+            let c = exhaustive_contribution_bound(&inst);
+            prop_assert_eq!(c.bound, m);
+        }
+    }
+
+    /// The Theorem 1 certificate never exceeds the optimum.
+    #[test]
+    fn certificate_is_sound(inst in arb_instance()) {
+        let m = optimal_machines(&inst);
+        let cert = contribution_bound(&inst);
+        prop_assert!(cert.bound <= m);
+        // the witness density also lower-bounds m directly
+        prop_assert!(cert.density <= Rat::from(m));
+    }
+
+    /// Removing any job never increases the optimum.
+    #[test]
+    fn optimum_is_monotone_under_job_removal(inst in arb_instance()) {
+        let m = optimal_machines(&inst);
+        if inst.len() > 1 {
+            let dropped: Vec<_> = inst.iter().skip(1).cloned().collect();
+            let sub = Instance::from_jobs(dropped);
+            prop_assert!(optimal_machines(&sub) <= m);
+        }
+    }
+
+    /// McNaughton extraction always verifies on the exact optimum.
+    #[test]
+    fn optimal_schedule_always_verifies(inst in arb_instance()) {
+        let (m, mut sched) = optimal_schedule(&inst);
+        let stats = verify(&inst, &mut sched, &VerifyOptions::migratory())
+            .map_err(|e| TestCaseError::fail(format!("{e:?}")))?;
+        prop_assert!(stats.machines_used as u64 <= m);
+    }
+
+    /// Demigration always yields a feasible non-migratory schedule.
+    #[test]
+    fn demigration_always_verifies(inst in arb_instance()) {
+        let res = demigrate(&inst);
+        let mut sched = res.schedule;
+        let stats = verify(&inst, &mut sched, &VerifyOptions::nonmigratory())
+            .map_err(|e| TestCaseError::fail(format!("{e:?}")))?;
+        prop_assert_eq!(stats.migrations, 0);
+    }
+
+    /// With one machine per job, first-fit EDF never misses and its schedule
+    /// verifies as non-migratory.
+    #[test]
+    fn edf_first_fit_with_full_headroom_is_feasible(inst in arb_instance()) {
+        let budget = inst.len();
+        let mut out = run_policy(&inst, EdfFirstFit::new(), SimConfig::nonmigratory(budget))
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert!(out.feasible(), "misses: {:?}", out.misses);
+        verify(&out.instance, &mut out.schedule, &VerifyOptions::nonmigratory())
+            .map_err(|e| TestCaseError::fail(format!("{e:?}")))?;
+    }
+
+    /// Migratory EDF with one machine per job is trivially feasible and the
+    /// simulation's schedule always passes the independent verifier.
+    #[test]
+    fn edf_with_full_headroom_verifies(inst in arb_instance()) {
+        let budget = inst.len();
+        let mut out = run_policy(&inst, Edf, SimConfig::migratory(budget))
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert!(out.feasible());
+        verify(&out.instance, &mut out.schedule, &VerifyOptions::migratory())
+            .map_err(|e| TestCaseError::fail(format!("{e:?}")))?;
+    }
+
+    /// Window-shrinking (Lemma 3 transforms) preserves job volumes and never
+    /// decreases the optimum.
+    #[test]
+    fn shrinking_never_helps(inst in arb_instance(), pct in 1i64..90) {
+        let gamma = Rat::ratio(pct, 100);
+        let m = optimal_machines(&inst);
+        let left = inst.shrink_windows_left(&gamma);
+        let right = inst.shrink_windows_right(&gamma);
+        prop_assert_eq!(left.total_processing(), inst.total_processing());
+        prop_assert_eq!(right.total_processing(), inst.total_processing());
+        prop_assert!(optimal_machines(&left) >= m);
+        prop_assert!(optimal_machines(&right) >= m);
+        // Lemma 3 bound
+        let bound = (Rat::from(m) / (Rat::one() - &gamma) + Rat::one()).ceil_u64();
+        prop_assert!(optimal_machines(&left) <= bound);
+        prop_assert!(optimal_machines(&right) <= bound);
+    }
+}
