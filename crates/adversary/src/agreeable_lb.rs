@@ -242,7 +242,11 @@ mod tests {
     fn generous_budget_survives() {
         // With 2m machines (β = 1 ≫ threshold) LLF survives comfortably.
         let res = run_agreeable_lb(Llf::new(), 8, 16, 12).unwrap();
-        assert!(res.failed_round.is_none(), "failed at round {:?}", res.failed_round);
+        assert!(
+            res.failed_round.is_none(),
+            "failed at round {:?}",
+            res.failed_round
+        );
         // ...and is never behind by more than one round's volume.
         let cap = Rat::from(16i64) * (Rat::one() + lemma9_alpha());
         for w in &res.behind {

@@ -33,7 +33,7 @@
 pub mod agreeable_lb;
 pub mod migration_gap;
 
-pub use agreeable_lb::{
-    lemma9_alpha, lemma9_threshold, run_agreeable_lb, AgreeableLbResult,
+pub use agreeable_lb::{lemma9_alpha, lemma9_threshold, run_agreeable_lb, AgreeableLbResult};
+pub use migration_gap::{
+    run_migration_gap, run_migration_gap_traced, GapResult, GapStop, MigrationGapAdversary,
 };
-pub use migration_gap::{run_migration_gap, GapResult, GapStop, MigrationGapAdversary};

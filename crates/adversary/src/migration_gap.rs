@@ -25,6 +25,7 @@ use mm_instance::{Instance, JobId};
 use mm_numeric::Rat;
 use mm_opt::feasible_on;
 use mm_sim::{OnlinePolicy, SimConfig, SimError, Simulation};
+use mm_trace::{NoopSink, TraceEvent, TraceSink};
 
 /// α = 3/4 (long-job fill factor; the paper requires α ∈ (1/2, 1)).
 fn alpha() -> Rat {
@@ -83,17 +84,31 @@ pub struct GapResult {
 }
 
 /// The adversary driver.
-pub struct MigrationGapAdversary<P: OnlinePolicy> {
-    sim: Simulation<P>,
+///
+/// Generic over a [`TraceSink`] like the simulator: with the default
+/// [`NoopSink`] nothing is recorded; with a real sink the driver's events
+/// are joined by the adversary's own [`TraceEvent::RoundStarted`] (one per
+/// `build` level) and [`TraceEvent::ForcedOpen`] (one per certified level).
+pub struct MigrationGapAdversary<P: OnlinePolicy, S: TraceSink = NoopSink> {
+    sim: Simulation<P, S>,
 }
 
 impl<P: OnlinePolicy> MigrationGapAdversary<P> {
     /// Creates the adversary against `policy`, giving it `machine_budget`
     /// machines (generous; the point is to count how many get used).
     pub fn new(policy: P, machine_budget: usize) -> Self {
+        MigrationGapAdversary::with_sink(policy, machine_budget, NoopSink)
+    }
+}
+
+impl<P: OnlinePolicy, S: TraceSink> MigrationGapAdversary<P, S> {
+    /// Like [`MigrationGapAdversary::new`], reporting the run to `sink`.
+    pub fn with_sink(policy: P, machine_budget: usize, sink: S) -> Self {
         let mut cfg = SimConfig::nonmigratory(machine_budget);
         cfg.max_steps = 10_000_000;
-        MigrationGapAdversary { sim: Simulation::new(cfg, policy) }
+        MigrationGapAdversary {
+            sim: Simulation::with_sink(cfg, policy, sink),
+        }
     }
 
     /// Runs the construction aiming for `k` critical machines. The top-level
@@ -129,6 +144,13 @@ impl<P: OnlinePolicy> MigrationGapAdversary<P> {
         start: Rat,
         deadline: Rat,
     ) -> Result<Result<Level, (usize, GapStop)>, SimError> {
+        if self.sim.sink_mut().enabled() {
+            let jobs = self.sim.all_jobs().len();
+            self.sim.sink_mut().record(&TraceEvent::RoundStarted {
+                round: k as u32,
+                jobs,
+            });
+        }
         if k == 2 {
             return self.build_base(start, deadline);
         }
@@ -164,8 +186,11 @@ impl<P: OnlinePolicy> MigrationGapAdversary<P> {
             Ok(level) => level,
             Err(stop) => return Ok(Err(stop)),
         };
-        let outer_machines: BTreeSet<usize> =
-            outer.critical.iter().filter_map(|id| self.sim.machine_of(*id)).collect();
+        let outer_machines: BTreeSet<usize> = outer
+            .critical
+            .iter()
+            .filter_map(|id| self.sim.machine_of(*id))
+            .collect();
         let inner_machines: Vec<(JobId, usize)> = inner
             .critical
             .iter()
@@ -174,8 +199,9 @@ impl<P: OnlinePolicy> MigrationGapAdversary<P> {
 
         // Case 1: some inner critical job sits on a machine the outer
         // critical jobs do not use.
-        if let Some((fresh_job, _)) =
-            inner_machines.iter().find(|(_, m)| !outer_machines.contains(m))
+        if let Some((fresh_job, _)) = inner_machines
+            .iter()
+            .find(|(_, m)| !outer_machines.contains(m))
         {
             let mut critical = outer.critical.clone();
             critical.push(*fresh_job);
@@ -198,8 +224,7 @@ impl<P: OnlinePolicy> MigrationGapAdversary<P> {
         for id in &inner.critical {
             if let Some(rem) = self.sim.remaining(*id) {
                 if rem.is_positive() {
-                    min_rem_inner =
-                        Some(min_rem_inner.map_or(rem.clone(), |c: Rat| c.min(rem)));
+                    min_rem_inner = Some(min_rem_inner.map_or(rem.clone(), |c: Rat| c.min(rem)));
                 }
             }
         }
@@ -265,12 +290,9 @@ impl<P: OnlinePolicy> MigrationGapAdversary<P> {
             }
             match self.sim.remaining(*id) {
                 Some(rem) if rem.is_positive() => {
-                    eps_candidate =
-                        Some(eps_candidate.map_or(rem.clone(), |c: Rat| c.min(rem)));
+                    eps_candidate = Some(eps_candidate.map_or(rem.clone(), |c: Rat| c.min(rem)));
                 }
-                Some(_) => {
-                    return Err((prev_depth, GapStop::Degenerate("critical job finished")))
-                }
+                Some(_) => return Err((prev_depth, GapStop::Degenerate("critical job finished"))),
                 None => return Err((prev_depth, GapStop::PolicyMissed)),
             }
         }
@@ -279,8 +301,19 @@ impl<P: OnlinePolicy> MigrationGapAdversary<P> {
         // moved past t0 (remaining volumes were read now).
         let t0 = t0.max(self.sim.time().clone());
         match self.certify_idle(&t0, candidate) {
-            Some(eps) => Ok(Level { critical, t0, eps }),
-            None => Err((prev_depth, GapStop::Degenerate("idle window certification failed"))),
+            Some(eps) => {
+                if self.sim.sink_mut().enabled() {
+                    self.sim.sink_mut().record(&TraceEvent::ForcedOpen {
+                        machines: critical.len() as u64,
+                        round: critical.len() as u32,
+                    });
+                }
+                Ok(Level { critical, t0, eps })
+            }
+            None => Err((
+                prev_depth,
+                GapStop::Degenerate("idle window certification failed"),
+            )),
         }
     }
 
@@ -338,7 +371,7 @@ impl<P: OnlinePolicy> MigrationGapAdversary<P> {
         let j1 = self.sim.inject(start.clone(), deadline.clone(), &a * &len);
         let lax1 = (Rat::one() - &a) * &len; // ℓ_{j₁}
         let a_j1 = &start + &lax1; // latest start of j₁
-        // Short jobs: window β·len, fill α, released back to back from a_{j₁}.
+                                   // Short jobs: window β·len, fill α, released back to back from a_{j₁}.
         let short_win = &b * &len;
         let short_p = &a * &short_win;
         let short_lax = &short_win - &short_p;
@@ -381,4 +414,15 @@ pub fn run_migration_gap<P: OnlinePolicy>(
     machine_budget: usize,
 ) -> Result<GapResult, SimError> {
     MigrationGapAdversary::new(policy, machine_budget).run(k)
+}
+
+/// [`run_migration_gap`] with adversary rounds and the victim's simulation
+/// events reported to `sink`.
+pub fn run_migration_gap_traced<P: OnlinePolicy, S: TraceSink>(
+    policy: P,
+    k: usize,
+    machine_budget: usize,
+    sink: S,
+) -> Result<GapResult, SimError> {
+    MigrationGapAdversary::with_sink(policy, machine_budget, sink).run(k)
 }

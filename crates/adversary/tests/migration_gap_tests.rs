@@ -24,7 +24,11 @@ fn deeper_levels_force_more_machines_on_edf_first_fit() {
     let mut last = 0;
     for k in 2..=4 {
         let res = run_migration_gap(EdfFirstFit::new(), k, 32).unwrap();
-        assert!(res.offline_optimum <= 3, "k={k}: offline optimum {}", res.offline_optimum);
+        assert!(
+            res.offline_optimum <= 3,
+            "k={k}: offline optimum {}",
+            res.offline_optimum
+        );
         if res.policy_missed {
             // A miss on a 3-feasible instance is the strongest win; accept.
             return;
@@ -101,7 +105,8 @@ fn static_replay_is_deterministic_and_adaptivity_matters() {
     // a completely different rule.
     let other = run_policy(&res.instance, MediumFit::new(), SimConfig::nonmigratory(64)).unwrap();
     assert!(
-        other.machines_used() != res.machines_used || !other.misses.is_empty()
+        other.machines_used() != res.machines_used
+            || !other.misses.is_empty()
             || other.machines_used() <= res.machines_used,
         "sanity: static replay measured"
     );
@@ -119,5 +124,8 @@ fn constructed_instance_is_not_a_simple_special_case() {
     let alpha = Rat::ratio(7, 10);
     let has_tight = res.instance.iter().any(|j| j.is_tight(&alpha));
     assert!(has_tight, "construction must contain tight jobs");
-    assert!(!res.instance.is_laminar(), "j* should cross the inner copy's windows");
+    assert!(
+        !res.instance.is_laminar(),
+        "j* should cross the inner copy's windows"
+    );
 }

@@ -10,14 +10,23 @@ use mm_opt::{elementary_intervals, feasible_on};
 fn scheduling_network(c: &mut Criterion) {
     let mut g = c.benchmark_group("flow/scheduling_network");
     for n in [20usize, 40, 80] {
-        let inst = uniform(&UniformCfg { n, horizon: (2 * n) as i64, ..Default::default() }, 7);
+        let inst = uniform(
+            &UniformCfg {
+                n,
+                horizon: (2 * n) as i64,
+                ..Default::default()
+            },
+            7,
+        );
         let m = mm_opt::optimal_machines(&inst);
         g.bench_with_input(BenchmarkId::new("feasible_on_opt", n), &inst, |b, inst| {
             b.iter(|| assert!(feasible_on(std::hint::black_box(inst), m)))
         });
-        g.bench_with_input(BenchmarkId::new("infeasible_on_opt_minus_1", n), &inst, |b, inst| {
-            b.iter(|| assert!(!feasible_on(std::hint::black_box(inst), m - 1) || m == 1))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("infeasible_on_opt_minus_1", n),
+            &inst,
+            |b, inst| b.iter(|| assert!(!feasible_on(std::hint::black_box(inst), m - 1) || m == 1)),
+        );
     }
     g.finish();
 }
@@ -46,7 +55,14 @@ fn raw_dinic(c: &mut Criterion) {
 }
 
 fn event_intervals(c: &mut Criterion) {
-    let inst = uniform(&UniformCfg { n: 200, horizon: 400, ..Default::default() }, 3);
+    let inst = uniform(
+        &UniformCfg {
+            n: 200,
+            horizon: 400,
+            ..Default::default()
+        },
+        3,
+    );
     c.bench_function("flow/elementary_intervals_n200", |b| {
         b.iter(|| elementary_intervals(std::hint::black_box(&inst)))
     });

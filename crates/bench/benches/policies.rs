@@ -9,27 +9,36 @@ use mm_sim::{run_policy, SimConfig};
 
 fn baselines(c: &mut Criterion) {
     let mut g = c.benchmark_group("policies/baselines");
-    let inst = uniform(&UniformCfg { n: 60, horizon: 120, ..Default::default() }, 9);
+    let inst = uniform(
+        &UniformCfg {
+            n: 60,
+            horizon: 120,
+            ..Default::default()
+        },
+        9,
+    );
     let budget = 40;
     g.bench_function("edf_n60", |b| {
-        b.iter(|| {
-            run_policy(&inst, Edf, SimConfig::migratory(budget)).unwrap()
-        })
+        b.iter(|| run_policy(&inst, Edf, SimConfig::migratory(budget)).unwrap())
     });
     g.bench_function("llf_n60", |b| {
         b.iter(|| run_policy(&inst, Llf::new(), SimConfig::migratory(budget)).unwrap())
     });
     g.bench_function("edf_first_fit_n60", |b| {
-        b.iter(|| {
-            run_policy(&inst, EdfFirstFit::new(), SimConfig::nonmigratory(budget)).unwrap()
-        })
+        b.iter(|| run_policy(&inst, EdfFirstFit::new(), SimConfig::nonmigratory(budget)).unwrap())
     });
     g.finish();
 }
 
 fn paper_algorithms(c: &mut Criterion) {
     let mut g = c.benchmark_group("policies/paper");
-    let agr = agreeable(&AgreeableCfg { n: 60, ..Default::default() }, 9);
+    let agr = agreeable(
+        &AgreeableCfg {
+            n: 60,
+            ..Default::default()
+        },
+        9,
+    );
     let m = mm_opt::optimal_machines(&agr);
     g.bench_function("agreeable_split_n60", |b| {
         b.iter(|| {
@@ -39,11 +48,16 @@ fn paper_algorithms(c: &mut Criterion) {
         })
     });
     g.bench_function("medium_fit_n60", |b| {
-        b.iter(|| {
-            run_policy(&agr, MediumFit::new(), SimConfig::nonmigratory(60)).unwrap()
-        })
+        b.iter(|| run_policy(&agr, MediumFit::new(), SimConfig::nonmigratory(60)).unwrap())
     });
-    let lam = laminar(&LaminarCfg { depth: 3, branching: 2, ..Default::default() }, 9);
+    let lam = laminar(
+        &LaminarCfg {
+            depth: 3,
+            branching: 2,
+            ..Default::default()
+        },
+        9,
+    );
     let ml = mm_opt::optimal_machines(&lam);
     g.bench_function("laminar_budget_d3", |b| {
         b.iter(|| {

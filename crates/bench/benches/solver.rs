@@ -8,7 +8,14 @@ use mm_opt::{contribution_bound, demigrate, optimal_machines, optimal_schedule};
 fn optimum(c: &mut Criterion) {
     let mut g = c.benchmark_group("solver/optimal_machines");
     for n in [20usize, 40, 80] {
-        let inst = uniform(&UniformCfg { n, horizon: (2 * n) as i64, ..Default::default() }, 5);
+        let inst = uniform(
+            &UniformCfg {
+                n,
+                horizon: (2 * n) as i64,
+                ..Default::default()
+            },
+            5,
+        );
         g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
             b.iter(|| optimal_machines(std::hint::black_box(inst)))
         });
@@ -19,7 +26,14 @@ fn optimum(c: &mut Criterion) {
 fn certificate(c: &mut Criterion) {
     let mut g = c.benchmark_group("solver/contribution_bound");
     for n in [20usize, 40] {
-        let inst = uniform(&UniformCfg { n, horizon: (2 * n) as i64, ..Default::default() }, 5);
+        let inst = uniform(
+            &UniformCfg {
+                n,
+                horizon: (2 * n) as i64,
+                ..Default::default()
+            },
+            5,
+        );
         g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
             b.iter(|| contribution_bound(std::hint::black_box(inst)))
         });
@@ -28,7 +42,13 @@ fn certificate(c: &mut Criterion) {
 }
 
 fn extraction(c: &mut Criterion) {
-    let inst = uniform(&UniformCfg { n: 40, ..Default::default() }, 5);
+    let inst = uniform(
+        &UniformCfg {
+            n: 40,
+            ..Default::default()
+        },
+        5,
+    );
     c.bench_function("solver/optimal_schedule_n40", |b| {
         b.iter(|| optimal_schedule(std::hint::black_box(&inst)))
     });
@@ -36,10 +56,27 @@ fn extraction(c: &mut Criterion) {
 
 fn demigration(c: &mut Criterion) {
     let mut g = c.benchmark_group("solver/demigrate");
-    let uni = uniform(&UniformCfg { n: 40, ..Default::default() }, 5);
-    g.bench_function("uniform_n40", |b| b.iter(|| demigrate(std::hint::black_box(&uni))));
-    let lam = laminar(&LaminarCfg { depth: 3, branching: 2, ..Default::default() }, 5);
-    g.bench_function("laminar_d3", |b| b.iter(|| demigrate(std::hint::black_box(&lam))));
+    let uni = uniform(
+        &UniformCfg {
+            n: 40,
+            ..Default::default()
+        },
+        5,
+    );
+    g.bench_function("uniform_n40", |b| {
+        b.iter(|| demigrate(std::hint::black_box(&uni)))
+    });
+    let lam = laminar(
+        &LaminarCfg {
+            depth: 3,
+            branching: 2,
+            ..Default::default()
+        },
+        5,
+    );
+    g.bench_function("laminar_d3", |b| {
+        b.iter(|| demigrate(std::hint::black_box(&lam)))
+    });
     g.finish();
 }
 

@@ -2,7 +2,13 @@
 use mm_bench::experiments::e09_agreeable_lb as e;
 
 fn main() {
-    let m: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20);
-    let rounds: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(60);
+    let m: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let rounds: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
     e::table(&e::run(m, rounds)).print();
 }

@@ -2,46 +2,85 @@
 //! `cargo run --release -p mm-bench --bin exp_all [--csv <dir>]`
 //!
 //! With `--csv <dir>`, each table is additionally written as a CSV file for
-//! downstream plotting.
+//! downstream plotting, together with a `<name>.metrics.json` aggregating the
+//! trace counters (simulator events, feasibility probes, adversary rounds)
+//! recorded while that experiment ran.
 use mm_bench::experiments as ex;
-use mm_bench::Table;
+use mm_bench::{meter, Table};
 
 fn csv_dir() -> Option<std::path::PathBuf> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == "--csv").and_then(|i| args.get(i + 1)).map(|d| {
-        let p = std::path::PathBuf::from(d);
-        std::fs::create_dir_all(&p).expect("create csv dir");
-        p
-    })
+    args.iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(|d| {
+            let p = std::path::PathBuf::from(d);
+            std::fs::create_dir_all(&p).expect("create csv dir");
+            p
+        })
 }
 
-fn emit(dir: &Option<std::path::PathBuf>, name: &str, table: &Table) {
+fn emit(dir: &Option<std::path::PathBuf>, name: &str, build: impl FnOnce() -> Table) {
+    meter::reset();
+    let table = build();
     table.print();
     println!();
     if let Some(d) = dir {
-        table.save_csv(d.join(format!("{name}.csv"))).expect("write csv");
+        table
+            .save_csv(d.join(format!("{name}.csv")))
+            .expect("write csv");
+        let metrics = meter::snapshot().to_json().to_pretty();
+        std::fs::write(d.join(format!("{name}.metrics.json")), metrics).expect("write metrics");
     }
 }
 
 fn main() {
     let dir = csv_dir();
     println!("machmin experiment suite — Chen/Megow/Schewior SPAA'16 reproduction\n");
-    emit(&dir, "e01_lower_bound", &ex::e01_lower_bound::table(&ex::e01_lower_bound::run(6)));
-    emit(&dir, "e02_characterization", &ex::e02_characterization::table(&ex::e02_characterization::run(20)));
-    emit(&dir, "e03_demigration", &ex::e03_demigration::table(&ex::e03_demigration::run(5)));
-    emit(&dir, "e04_loose", &ex::e04_loose::table(&ex::e04_loose::run(10)));
-    emit(&dir, "e05_speed_tradeoff", &ex::e05_speed_tradeoff::table(&ex::e05_speed_tradeoff::run(10)));
-    emit(&dir, "e06_laminar", &ex::e06_laminar::table(&ex::e06_laminar::run(8)));
-    emit(&dir, "e07a_agreeable_curve", &ex::e07_agreeable::curve_table(&ex::e07_agreeable::curve(5)));
-    emit(&dir, "e07b_agreeable_runs", &ex::e07_agreeable::run_table(&ex::e07_agreeable::run(8)));
-    emit(&dir, "e08_edf_loose", &ex::e08_edf_loose::table(&ex::e08_edf_loose::run(8)));
+    emit(&dir, "e01_lower_bound", || {
+        ex::e01_lower_bound::table(&ex::e01_lower_bound::run(6))
+    });
+    emit(&dir, "e02_characterization", || {
+        ex::e02_characterization::table(&ex::e02_characterization::run(20))
+    });
+    emit(&dir, "e03_demigration", || {
+        ex::e03_demigration::table(&ex::e03_demigration::run(5))
+    });
+    emit(&dir, "e04_loose", || {
+        ex::e04_loose::table(&ex::e04_loose::run(10))
+    });
+    emit(&dir, "e05_speed_tradeoff", || {
+        ex::e05_speed_tradeoff::table(&ex::e05_speed_tradeoff::run(10))
+    });
+    emit(&dir, "e06_laminar", || {
+        ex::e06_laminar::table(&ex::e06_laminar::run(8))
+    });
+    emit(&dir, "e07a_agreeable_curve", || {
+        ex::e07_agreeable::curve_table(&ex::e07_agreeable::curve(5))
+    });
+    emit(&dir, "e07b_agreeable_runs", || {
+        ex::e07_agreeable::run_table(&ex::e07_agreeable::run(8))
+    });
+    emit(&dir, "e08_edf_loose", || {
+        ex::e08_edf_loose::table(&ex::e08_edf_loose::run(8))
+    });
     println!(
         "Corollary 1 check: {} preemptions (expect 0)\n",
         ex::e08_edf_loose::corollary1_preemptions(8)
     );
-    emit(&dir, "e09_agreeable_lb", &ex::e09_agreeable_lb::table(&ex::e09_agreeable_lb::run(20, 60)));
-    emit(&dir, "e10_baselines", &ex::e10_baselines::table(&ex::e10_baselines::run(3, 8)));
-    emit(&dir, "e11_laminar_ablation", &ex::e11_laminar_ablation::table(&ex::e11_laminar_ablation::run(5)));
-    emit(&dir, "e12_window_shrink", &ex::e12_window_shrink::table(&ex::e12_window_shrink::run(10)));
-    emit(&dir, "e13_nonpreemptive", &ex::e13_nonpreemptive::table(&ex::e13_nonpreemptive::run(30, 5)));
+    emit(&dir, "e09_agreeable_lb", || {
+        ex::e09_agreeable_lb::table(&ex::e09_agreeable_lb::run(20, 60))
+    });
+    emit(&dir, "e10_baselines", || {
+        ex::e10_baselines::table(&ex::e10_baselines::run(3, 8))
+    });
+    emit(&dir, "e11_laminar_ablation", || {
+        ex::e11_laminar_ablation::table(&ex::e11_laminar_ablation::run(5))
+    });
+    emit(&dir, "e12_window_shrink", || {
+        ex::e12_window_shrink::table(&ex::e12_window_shrink::run(10))
+    });
+    emit(&dir, "e13_nonpreemptive", || {
+        ex::e13_nonpreemptive::table(&ex::e13_nonpreemptive::run(30, 5))
+    });
 }

@@ -3,8 +3,13 @@
 use mm_bench::experiments::e10_baselines as e;
 
 fn main() {
-    let tracks: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
-    let max_mult: usize =
-        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let tracks: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let max_mult: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
     e::table(&e::run(tracks, max_mult)).print();
 }

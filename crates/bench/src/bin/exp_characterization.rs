@@ -2,6 +2,9 @@
 use mm_bench::experiments::e02_characterization as e;
 
 fn main() {
-    let seeds: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
     e::table(&e::run(seeds)).print();
 }

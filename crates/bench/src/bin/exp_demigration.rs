@@ -2,6 +2,9 @@
 use mm_bench::experiments::e03_demigration as e;
 
 fn main() {
-    let seeds: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
     e::table(&e::run(seeds)).print();
 }

@@ -2,6 +2,9 @@
 use mm_bench::experiments::e06_laminar as e;
 
 fn main() {
-    let seeds: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
     e::table(&e::run(seeds)).print();
 }

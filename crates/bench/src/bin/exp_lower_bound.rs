@@ -2,7 +2,10 @@
 use mm_bench::experiments::e01_lower_bound as e;
 
 fn main() {
-    let k_max: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let k_max: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
     let rows = e::run(k_max);
     e::table(&rows).print();
 }

@@ -2,6 +2,9 @@
 use mm_bench::experiments::e05_speed_tradeoff as e;
 
 fn main() {
-    let seeds: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
     e::table(&e::run(seeds)).print();
 }

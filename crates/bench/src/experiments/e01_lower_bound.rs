@@ -7,12 +7,12 @@
 //! 3 machines — i.e. non-migratory online machine requirement `Ω(log n)`,
 //! unbounded in `m`.
 
-use mm_adversary::{run_migration_gap, GapResult};
+use mm_adversary::{run_migration_gap_traced, GapResult};
 use mm_core::{EdfFirstFit, LaminarBudget, MediumFit};
 use mm_numeric::Rat;
 use mm_opt::demigrate;
 
-use crate::Table;
+use crate::{MeterSink, Table};
 
 /// One adversary run.
 #[derive(Debug, Clone)]
@@ -52,11 +52,11 @@ fn to_row(policy: &'static str, k: usize, r: GapResult) -> Row {
 pub fn run(k_max: usize) -> Vec<Row> {
     let mut rows = Vec::new();
     for k in 2..=k_max {
-        let r = run_migration_gap(EdfFirstFit::new(), k, 64).expect("sim error");
+        let r = run_migration_gap_traced(EdfFirstFit::new(), k, 64, MeterSink).expect("sim error");
         rows.push(to_row("edf-first-fit", k, r));
-        let r = run_migration_gap(MediumFit::new(), k, 64).expect("sim error");
+        let r = run_migration_gap_traced(MediumFit::new(), k, 64, MeterSink).expect("sim error");
         rows.push(to_row("medium-fit", k, r));
-        let r = run_migration_gap(LaminarBudget::new(32, 16, Rat::half()), k, 64)
+        let r = run_migration_gap_traced(LaminarBudget::new(32, 16, Rat::half()), k, 64, MeterSink)
             .expect("sim error");
         rows.push(to_row("laminar-budget", k, r));
     }
@@ -113,7 +113,10 @@ mod tests {
             );
         }
         // growth: n grows with k for the same policy
-        let eff: Vec<&Row> = rows.iter().filter(|r| r.policy == "edf-first-fit").collect();
+        let eff: Vec<&Row> = rows
+            .iter()
+            .filter(|r| r.policy == "edf-first-fit")
+            .collect();
         assert!(eff.windows(2).all(|w| w[1].n >= w[0].n));
     }
 }

@@ -11,9 +11,9 @@ use mm_instance::generators::{
 };
 use mm_instance::Instance;
 use mm_numeric::Rat;
-use mm_opt::{contribution_bound, optimal_machines};
+use mm_opt::{contribution_bound, optimal_machines_traced};
 
-use crate::{parallel_map, Table};
+use crate::{parallel_map, MeterSink, Table};
 
 /// One family's aggregate.
 #[derive(Debug, Clone)]
@@ -34,7 +34,7 @@ pub struct Row {
 
 fn family(name: &'static str, instances: Vec<Instance>) -> Row {
     let results = parallel_map(instances, 8, |inst| {
-        let m = optimal_machines(&inst);
+        let m = optimal_machines_traced(&inst, MeterSink);
         let c = contribution_bound(&inst);
         assert!(c.bound <= m, "certificate must lower-bound the optimum");
         (m, c.bound)
@@ -44,7 +44,14 @@ fn family(name: &'static str, instances: Vec<Instance>) -> Row {
     let within_one = results.iter().filter(|(m, b)| m - b <= 1).count();
     let max_gap = results.iter().map(|(m, b)| m - b).max().unwrap_or(0);
     let mean_m = results.iter().map(|(m, _)| *m as f64).sum::<f64>() / instances as f64;
-    Row { family: name, instances, tight, within_one, max_gap, mean_m }
+    Row {
+        family: name,
+        instances,
+        tight,
+        within_one,
+        max_gap,
+        mean_m,
+    }
 }
 
 /// Runs E2 with `seeds` instances per family.
@@ -53,24 +60,50 @@ pub fn run(seeds: u64) -> Vec<Row> {
     rows.push(family(
         "uniform",
         (0..seeds)
-            .map(|s| uniform(&UniformCfg { n: 40, ..Default::default() }, s))
+            .map(|s| {
+                uniform(
+                    &UniformCfg {
+                        n: 40,
+                        ..Default::default()
+                    },
+                    s,
+                )
+            })
             .collect(),
     ));
     rows.push(family(
         "agreeable",
-        (0..seeds).map(|s| agreeable(&AgreeableCfg::default(), s)).collect(),
+        (0..seeds)
+            .map(|s| agreeable(&AgreeableCfg::default(), s))
+            .collect(),
     ));
     rows.push(family(
         "laminar",
         (0..seeds)
-            .map(|s| laminar(&LaminarCfg { depth: 3, branching: 2, ..Default::default() }, s))
+            .map(|s| {
+                laminar(
+                    &LaminarCfg {
+                        depth: 3,
+                        branching: 2,
+                        ..Default::default()
+                    },
+                    s,
+                )
+            })
             .collect(),
     ));
     rows.push(family(
         "loose-1/3",
         (0..seeds)
             .map(|s| {
-                loose(&UniformCfg { n: 40, ..Default::default() }, &Rat::ratio(1, 3), s)
+                loose(
+                    &UniformCfg {
+                        n: 40,
+                        ..Default::default()
+                    },
+                    &Rat::ratio(1, 3),
+                    s,
+                )
             })
             .collect(),
     ));
@@ -81,7 +114,14 @@ pub fn run(seeds: u64) -> Vec<Row> {
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "E2  Theorem 1 — contribution certificate vs flow-exact optimum",
-        &["family", "instances", "tight", "within 1", "max gap", "mean m"],
+        &[
+            "family",
+            "instances",
+            "tight",
+            "within 1",
+            "max gap",
+            "mean m",
+        ],
     );
     for r in rows {
         t.row(&[

@@ -8,9 +8,9 @@
 //! that makes Theorem 3's online gap surprising.
 
 use mm_instance::generators::{parallel_waves, uniform, UniformCfg};
-use mm_opt::{demigrate, optimal_machines, theorem2_bound};
+use mm_opt::{demigrate, optimal_machines_traced, theorem2_bound};
 
-use crate::{parallel_map, Table};
+use crate::{parallel_map, MeterSink, Table};
 
 /// One instance's measurement.
 #[derive(Debug, Clone)]
@@ -41,11 +41,17 @@ pub fn run(seeds: u64) -> Vec<Row> {
     for seed in 0..seeds {
         inputs.push((
             "uniform(n=40)".to_string(),
-            uniform(&UniformCfg { n: 40, ..Default::default() }, seed),
+            uniform(
+                &UniformCfg {
+                    n: 40,
+                    ..Default::default()
+                },
+                seed,
+            ),
         ));
     }
     parallel_map(inputs, 8, |(workload, inst)| {
-        let m = optimal_machines(&inst);
+        let m = optimal_machines_traced(&inst, MeterSink);
         let res = demigrate(&inst);
         Row {
             workload,

@@ -5,12 +5,12 @@
 //! `machines used / m` stays bounded by a constant that depends on α but
 //! **not** on `n` — flat rows as `n` grows.
 
-use mm_core::{clt_machines, loose_epsilon, run_loose};
+use mm_core::{clt_machines, loose_epsilon, run_loose_traced};
 use mm_instance::generators::{loose, UniformCfg};
 use mm_numeric::Rat;
-use mm_opt::optimal_machines;
+use mm_opt::optimal_machines_traced;
 
-use crate::{parallel_map, Table};
+use crate::{parallel_map, MeterSink, Table};
 
 /// One (α, n) cell aggregated over seeds.
 #[derive(Debug, Clone)]
@@ -45,14 +45,18 @@ pub fn run(seeds: u64) -> Vec<Row> {
             let alpha_c = alpha.clone();
             let results = parallel_map(inputs, 8, move |seed| {
                 let inst = loose(
-                    &UniformCfg { n, horizon: (2 * n) as i64, ..Default::default() },
+                    &UniformCfg {
+                        n,
+                        horizon: (2 * n) as i64,
+                        ..Default::default()
+                    },
                     &alpha_c,
                     seed,
                 );
-                let m = optimal_machines(&inst);
+                let m = optimal_machines_traced(&inst, MeterSink);
                 let eps = loose_epsilon(&alpha_c);
                 let budget = clt_machines(&eps, m).max(inst.len() as u64);
-                let res = run_loose(&inst, &alpha_c, budget).expect("sim error");
+                let res = run_loose_traced(&inst, &alpha_c, budget, MeterSink).expect("sim error");
                 (m, res.machines_used, res.misses.len())
             });
             let k = results.len() as f64;
@@ -78,7 +82,15 @@ pub fn run(seeds: u64) -> Vec<Row> {
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "E4  Theorems 5/8 — α-loose pipeline: machines/m flat in n",
-        &["alpha", "n", "mean m", "mean used", "used/m", "Thm7 budget ×m", "misses"],
+        &[
+            "alpha",
+            "n",
+            "mean m",
+            "mean used",
+            "used/m",
+            "Thm7 budget ×m",
+            "misses",
+        ],
     );
     for r in rows {
         t.row(&[

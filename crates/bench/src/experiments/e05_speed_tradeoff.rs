@@ -9,10 +9,10 @@
 use mm_core::{clt_machines, clt_speed, EdfFirstFit};
 use mm_instance::generators::{uniform, UniformCfg};
 use mm_numeric::Rat;
-use mm_opt::optimal_machines;
-use mm_sim::{run_policy, SimConfig};
+use mm_opt::optimal_machines_traced;
+use mm_sim::{run_policy_traced, SimConfig};
 
-use crate::{parallel_map, Table};
+use crate::{parallel_map, MeterSink, Table};
 
 /// One ε cell.
 #[derive(Debug, Clone)]
@@ -39,12 +39,18 @@ pub fn run(seeds: u64) -> Vec<Row> {
         let eps = Rat::ratio(num, den);
         let speed = clt_speed(&eps);
         let results = parallel_map((0..seeds).collect::<Vec<u64>>(), 8, |seed| {
-            let inst = uniform(&UniformCfg { n: 40, ..Default::default() }, seed);
-            let m = optimal_machines(&inst);
+            let inst = uniform(
+                &UniformCfg {
+                    n: 40,
+                    ..Default::default()
+                },
+                seed,
+            );
+            let m = optimal_machines_traced(&inst, MeterSink);
             let budget = clt_machines(&eps, m);
-            let cfg =
-                SimConfig::nonmigratory(budget as usize).with_speed(speed.clone());
-            let out = run_policy(&inst, EdfFirstFit::new(), cfg).expect("sim error");
+            let cfg = SimConfig::nonmigratory(budget as usize).with_speed(speed.clone());
+            let out =
+                run_policy_traced(&inst, EdfFirstFit::new(), cfg, MeterSink).expect("sim error");
             (m, out.machines_used(), out.feasible())
         });
         let feasible = results.iter().filter(|(_, _, f)| *f).count();
@@ -69,7 +75,14 @@ pub fn run(seeds: u64) -> Vec<Row> {
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "E5  Theorem 7 — speed-(1+ε)² machines ⌈(1+1/ε)²⌉·m trade-off",
-        &["eps", "speed", "budget ×m", "instances", "feasible", "used/m"],
+        &[
+            "eps",
+            "speed",
+            "budget ×m",
+            "instances",
+            "feasible",
+            "used/m",
+        ],
     );
     for r in rows {
         t.row(&[

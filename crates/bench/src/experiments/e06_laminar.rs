@@ -9,10 +9,10 @@
 use mm_core::LaminarBudget;
 use mm_instance::generators::{laminar, LaminarCfg};
 use mm_numeric::Rat;
-use mm_opt::optimal_machines;
-use mm_sim::{run_policy, SimConfig};
+use mm_opt::optimal_machines_traced;
+use mm_sim::{run_policy_traced, SimConfig};
 
-use crate::{parallel_map, Table};
+use crate::{parallel_map, MeterSink, Table};
 
 /// One (depth, c) cell aggregated over seeds.
 #[derive(Debug, Clone)]
@@ -40,16 +40,21 @@ pub fn run(seeds: u64) -> Vec<Row> {
         for c in [1u64, 2, 4] {
             let results = parallel_map((0..seeds).collect::<Vec<u64>>(), 8, |seed| {
                 let inst = laminar(
-                    &LaminarCfg { depth, branching: 2, ..Default::default() },
+                    &LaminarCfg {
+                        depth,
+                        branching: 2,
+                        ..Default::default()
+                    },
                     seed,
                 );
-                let m = optimal_machines(&inst);
+                let m = optimal_machines_traced(&inst, MeterSink);
                 let m_prime = LaminarBudget::suggested_m_prime(m, c);
                 let loose_pool = (4 * m) as usize;
                 let policy = LaminarBudget::new(m_prime, loose_pool, Rat::half());
                 let total = policy.total_machines();
-                let out = run_policy(&inst, policy, SimConfig::nonmigratory(total))
-                    .expect("sim error");
+                let out =
+                    run_policy_traced(&inst, policy, SimConfig::nonmigratory(total), MeterSink)
+                        .expect("sim error");
                 (m, m_prime, out.feasible(), out.machines_used())
             });
             let k = results.len();
@@ -57,12 +62,10 @@ pub fn run(seeds: u64) -> Vec<Row> {
                 depth,
                 c,
                 mean_m: results.iter().map(|(m, _, _, _)| *m as f64).sum::<f64>() / k as f64,
-                mean_m_prime: results.iter().map(|(_, p, _, _)| *p as f64).sum::<f64>()
-                    / k as f64,
+                mean_m_prime: results.iter().map(|(_, p, _, _)| *p as f64).sum::<f64>() / k as f64,
                 feasible: results.iter().filter(|(_, _, f, _)| *f).count(),
                 instances: k,
-                mean_used: results.iter().map(|(_, _, _, u)| *u as f64).sum::<f64>()
-                    / k as f64,
+                mean_used: results.iter().map(|(_, _, _, u)| *u as f64).sum::<f64>() / k as f64,
             });
         }
     }
@@ -73,7 +76,15 @@ pub fn run(seeds: u64) -> Vec<Row> {
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "E6  Theorem 9 — laminar sub-budget algorithm on c·m·log m machines",
-        &["depth", "c", "mean m", "mean m'", "feasible", "instances", "mean used"],
+        &[
+            "depth",
+            "c",
+            "mean m",
+            "mean m'",
+            "feasible",
+            "instances",
+            "mean used",
+        ],
     );
     for r in rows {
         t.row(&[

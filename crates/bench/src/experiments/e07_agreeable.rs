@@ -10,10 +10,10 @@
 use mm_core::{theorem12_total, AgreeableSplit};
 use mm_instance::generators::{agreeable, AgreeableCfg};
 use mm_numeric::Rat;
-use mm_opt::optimal_machines;
-use mm_sim::{run_policy, SimConfig, VerifyOptions};
+use mm_opt::optimal_machines_traced;
+use mm_sim::{run_policy_traced, SimConfig, VerifyOptions};
 
-use crate::{parallel_map, Table};
+use crate::{parallel_map, MeterSink, Table};
 
 /// One point of the α curve.
 #[derive(Debug, Clone)]
@@ -70,12 +70,19 @@ pub fn run(seeds: u64) -> Vec<RunRow> {
     let mut rows = Vec::new();
     for n in [20usize, 40, 80] {
         let results = parallel_map((0..seeds).collect::<Vec<u64>>(), 8, |seed| {
-            let inst = agreeable(&AgreeableCfg { n, ..Default::default() }, seed);
-            let m = optimal_machines(&inst);
+            let inst = agreeable(
+                &AgreeableCfg {
+                    n,
+                    ..Default::default()
+                },
+                seed,
+            );
+            let m = optimal_machines_traced(&inst, MeterSink);
             let policy = AgreeableSplit::for_optimum(m);
             let total = policy.total_machines();
-            let mut out = run_policy(&inst, policy, SimConfig::nonmigratory(total))
-                .expect("sim error");
+            let mut out =
+                run_policy_traced(&inst, policy, SimConfig::nonmigratory(total), MeterSink)
+                    .expect("sim error");
             let feas = out.feasible();
             let stats = mm_sim::verify(
                 &out.instance,
@@ -123,7 +130,14 @@ pub fn curve_table(rows: &[CurveRow]) -> Table {
 pub fn run_table(rows: &[RunRow]) -> Table {
     let mut t = Table::new(
         "E7b  Theorem 12 — non-preemptive agreeable runs at α = 0.63",
-        &["n", "mean m", "feasible", "instances", "used/m", "preemptions"],
+        &[
+            "n",
+            "mean m",
+            "feasible",
+            "instances",
+            "used/m",
+            "preemptions",
+        ],
     );
     for r in rows {
         t.row(&[
@@ -154,7 +168,11 @@ mod tests {
             "minimum at alpha 0.{:02}",
             best.alpha_pct
         );
-        assert!((best.total - 32.70).abs() < 0.1, "minimum value {}", best.total);
+        assert!(
+            (best.total - 32.70).abs() < 0.1,
+            "minimum value {}",
+            best.total
+        );
     }
 
     #[test]
@@ -162,8 +180,16 @@ mod tests {
         let rows = run(3);
         for r in &rows {
             assert_eq!(r.feasible, r.instances, "n {}", r.n);
-            assert_eq!(r.preemptions, 0, "Theorem 12 promises non-preemptive schedules");
-            assert!(r.mean_used_over_m <= 33.0, "n {}: {}", r.n, r.mean_used_over_m);
+            assert_eq!(
+                r.preemptions, 0,
+                "Theorem 12 promises non-preemptive schedules"
+            );
+            assert!(
+                r.mean_used_over_m <= 33.0,
+                "n {}: {}",
+                r.n,
+                r.mean_used_over_m
+            );
         }
     }
 }

@@ -8,11 +8,11 @@
 use mm_core::{Edf, NonpreemptiveEdf};
 use mm_instance::generators::{agreeable, loose, AgreeableCfg, UniformCfg};
 use mm_numeric::Rat;
-use mm_opt::optimal_machines;
-use mm_sim::{run_policy, SimConfig, VerifyOptions};
+use mm_opt::optimal_machines_traced;
+use mm_sim::{run_policy_traced, SimConfig, VerifyOptions};
 
 use crate::experiments::min_feasible_machines;
-use crate::{parallel_map, Table};
+use crate::{parallel_map, MeterSink, Table};
 
 /// One α cell.
 #[derive(Debug, Clone)]
@@ -38,13 +38,19 @@ pub fn run(seeds: u64) -> Vec<Row> {
     for (num, den) in alphas {
         let alpha = Rat::ratio(num, den);
         let results = parallel_map((0..seeds).collect::<Vec<u64>>(), 8, |seed| {
-            let inst = loose(&UniformCfg { n: 30, ..Default::default() }, &alpha, seed);
-            let m = optimal_machines(&inst);
+            let inst = loose(
+                &UniformCfg {
+                    n: 30,
+                    ..Default::default()
+                },
+                &alpha,
+                seed,
+            );
+            let m = optimal_machines_traced(&inst, MeterSink);
             let one = Rat::one();
             let bound = (Rat::from(m) / ((&one - &alpha) * (&one - &alpha))).ceil_u64();
             let min_budget =
-                min_feasible_machines(&inst, m, bound + 4, true, Edf::default)
-                    .unwrap_or(bound + 5);
+                min_feasible_machines(&inst, m, bound + 4, true, Edf::default).unwrap_or(bound + 5);
             (m, min_budget, bound)
         });
         let k = results.len();
@@ -53,7 +59,10 @@ pub fn run(seeds: u64) -> Vec<Row> {
             mean_m: results.iter().map(|(m, _, _)| *m as f64).sum::<f64>() / k as f64,
             mean_edf_min: results.iter().map(|(_, b, _)| *b as f64).sum::<f64>() / k as f64,
             mean_bound: results.iter().map(|(_, _, b)| *b as f64).sum::<f64>() / k as f64,
-            within_bound: results.iter().filter(|(_, got, bound)| got <= bound).count(),
+            within_bound: results
+                .iter()
+                .filter(|(_, got, bound)| got <= bound)
+                .count(),
             instances: k,
         });
     }
@@ -65,15 +74,21 @@ pub fn corollary1_preemptions(seeds: u64) -> usize {
     let mut total = 0;
     for seed in 0..seeds {
         let inst = agreeable(
-            &AgreeableCfg { n: 30, min_window: 8, max_window: 16, ..Default::default() },
+            &AgreeableCfg {
+                n: 30,
+                min_window: 8,
+                max_window: 16,
+                ..Default::default()
+            },
             seed,
         );
-        let m = optimal_machines(&inst);
+        let m = optimal_machines_traced(&inst, MeterSink);
         let budget = (4 * m) as usize + 2;
-        let mut out = run_policy(
+        let mut out = run_policy_traced(
             &inst,
             NonpreemptiveEdf::new(),
             SimConfig::nonmigratory(budget),
+            MeterSink,
         )
         .expect("sim error");
         if !out.feasible() {
@@ -94,7 +109,14 @@ pub fn corollary1_preemptions(seeds: u64) -> usize {
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "E8  Theorem 13 — minimal EDF budget vs m/(1−α)² on α-loose instances",
-        &["alpha", "mean m", "EDF min budget", "bound m/(1−α)²", "within bound", "instances"],
+        &[
+            "alpha",
+            "mean m",
+            "EDF min budget",
+            "bound m/(1−α)²",
+            "within bound",
+            "instances",
+        ],
     );
     for r in rows {
         t.row(&[

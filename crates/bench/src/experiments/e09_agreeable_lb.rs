@@ -63,10 +63,15 @@ pub fn run(m: u64, max_rounds: usize) -> Vec<Row> {
 pub fn table(rows: &[Row]) -> Table {
     let thr = lemma9_threshold(&lemma9_alpha()).to_f64();
     let mut t = Table::new(
-        &format!(
-            "E9  Theorem 15 — agreeable adversary vs budget (1+β)m, threshold β* ≈ {thr:.4}"
-        ),
-        &["policy", "beta", "m", "budget", "failed at round", "rounds played"],
+        &format!("E9  Theorem 15 — agreeable adversary vs budget (1+β)m, threshold β* ≈ {thr:.4}"),
+        &[
+            "policy",
+            "beta",
+            "m",
+            "budget",
+            "failed at round",
+            "rounds played",
+        ],
     );
     for r in rows {
         t.row(&[
@@ -74,7 +79,8 @@ pub fn table(rows: &[Row]) -> Table {
             format!("{:.3}", r.beta_permille as f64 / 1000.0),
             r.m.to_string(),
             r.budget.to_string(),
-            r.failed_round.map_or("survived".to_string(), |x| x.to_string()),
+            r.failed_round
+                .map_or("survived".to_string(), |x| x.to_string()),
             r.rounds.to_string(),
         ]);
     }

@@ -11,10 +11,10 @@
 
 use mm_core::{Edf, Llf};
 use mm_instance::generators::edf_trap;
-use mm_opt::optimal_machines;
+use mm_opt::optimal_machines_traced;
 
 use crate::experiments::min_feasible_machines;
-use crate::Table;
+use crate::{MeterSink, Table};
 
 /// One trap configuration.
 #[derive(Debug, Clone)]
@@ -38,13 +38,17 @@ pub fn run(tracks: usize, max_mult: usize) -> Vec<Row> {
     while mult <= max_mult {
         let shorts = 3 * tracks * mult;
         let inst = edf_trap(tracks, shorts, 2);
-        let opt = optimal_machines(&inst);
+        let opt = optimal_machines_traced(&inst, MeterSink);
         let cap = (tracks + shorts) as u64 + 4;
-        let edf_min =
-            min_feasible_machines(&inst, opt, cap, true, Edf::default).unwrap_or(cap + 1);
-        let llf_min =
-            min_feasible_machines(&inst, opt, cap, true, Llf::new).unwrap_or(cap + 1);
-        rows.push(Row { tracks, shorts, m: opt, edf_min, llf_min });
+        let edf_min = min_feasible_machines(&inst, opt, cap, true, Edf::default).unwrap_or(cap + 1);
+        let llf_min = min_feasible_machines(&inst, opt, cap, true, Llf::new).unwrap_or(cap + 1);
+        rows.push(Row {
+            tracks,
+            shorts,
+            m: opt,
+            edf_min,
+            llf_min,
+        });
         mult *= 2;
     }
     rows
@@ -54,7 +58,9 @@ pub fn run(tracks: usize, max_mult: usize) -> Vec<Row> {
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "E10  Baselines — EDF starves zero-laxity jobs; LLF matches OPT (edf_trap)",
-        &["tracks", "shorts", "m (OPT)", "EDF min", "LLF min", "EDF/OPT", "LLF/OPT"],
+        &[
+            "tracks", "shorts", "m (OPT)", "EDF min", "LLF min", "EDF/OPT", "LLF/OPT",
+        ],
     );
     for r in rows {
         t.row(&[
@@ -98,7 +104,9 @@ mod tests {
             "trap never separated EDF from LLF: {rows:?}"
         );
         // the gap grows with the short-job load
-        assert!(rows.last().unwrap().edf_min - rows.last().unwrap().llf_min
-            >= rows[0].edf_min - rows[0].llf_min);
+        assert!(
+            rows.last().unwrap().edf_min - rows.last().unwrap().llf_min
+                >= rows[0].edf_min - rows[0].llf_min
+        );
     }
 }

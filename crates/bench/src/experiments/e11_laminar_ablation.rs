@@ -12,10 +12,10 @@ use mm_core::{AssignMode, LaminarBudget};
 use mm_instance::generators::{laminar, laminar_hard_chain, LaminarCfg};
 use mm_instance::Instance;
 use mm_numeric::Rat;
-use mm_opt::optimal_machines;
-use mm_sim::{run_policy, SimConfig};
+use mm_opt::optimal_machines_traced;
+use mm_sim::{run_policy_traced, SimConfig};
 
-use crate::Table;
+use crate::{MeterSink, Table};
 
 /// One workload × mode cell: the *minimal* tight-pool budget `m'` at which
 /// the assignment rule schedules the instance without misses, plus the
@@ -37,12 +37,13 @@ pub struct Row {
 fn feasible_with(inst: &Instance, m: u64, m_prime: usize, mode: AssignMode) -> usize {
     let policy = LaminarBudget::new(m_prime, (4 * m) as usize, Rat::half()).with_mode(mode);
     let total = policy.total_machines();
-    let out = run_policy(inst, policy, SimConfig::nonmigratory(total)).expect("sim error");
+    let out = run_policy_traced(inst, policy, SimConfig::nonmigratory(total), MeterSink)
+        .expect("sim error");
     out.misses.len()
 }
 
 fn run_one(label: &str, inst: &Instance, mode: AssignMode) -> Row {
-    let m = optimal_machines(inst);
+    let m = optimal_machines_traced(inst, MeterSink);
     let cap = 4 * LaminarBudget::suggested_m_prime(m, 4);
     let mut min_m_prime = None;
     for m_prime in 1..=cap {
@@ -73,7 +74,14 @@ pub fn run(seeds: u64) -> Vec<Row> {
         rows.push(run_one(&label, &inst, AssignMode::GreedyTotal));
     }
     for seed in 0..seeds {
-        let inst = laminar(&LaminarCfg { depth: 3, branching: 3, ..Default::default() }, seed);
+        let inst = laminar(
+            &LaminarCfg {
+                depth: 3,
+                branching: 3,
+                ..Default::default()
+            },
+            seed,
+        );
         let label = format!("laminar(seed {seed})");
         rows.push(run_one(&label, &inst, AssignMode::Balanced));
         rows.push(run_one(&label, &inst, AssignMode::GreedyTotal));
@@ -113,7 +121,9 @@ mod tests {
         for (w, pair) in by_workload {
             let balanced = pair.iter().find(|r| r.mode == "balanced").unwrap();
             let greedy = pair.iter().find(|r| r.mode == "greedy").unwrap();
-            let b = balanced.min_m_prime.unwrap_or_else(|| panic!("{w}: balanced never fit"));
+            let b = balanced
+                .min_m_prime
+                .unwrap_or_else(|| panic!("{w}: balanced never fit"));
             // The Theorem 9 guarantee applies to the balanced rule: its
             // minimal budget must stay within the suggested O(m log m).
             assert!(

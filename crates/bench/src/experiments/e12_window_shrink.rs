@@ -8,9 +8,9 @@
 
 use mm_instance::generators::{uniform, UniformCfg};
 use mm_numeric::Rat;
-use mm_opt::optimal_machines;
+use mm_opt::optimal_machines_traced;
 
-use crate::{parallel_map, Table};
+use crate::{parallel_map, MeterSink, Table};
 
 /// One γ cell aggregated over seeds.
 #[derive(Debug, Clone)]
@@ -37,10 +37,16 @@ pub fn run(seeds: u64) -> Vec<Row> {
     for pct in [10i64, 30, 50, 70, 90] {
         let gamma = Rat::ratio(pct, 100);
         let results = parallel_map((0..seeds).collect::<Vec<u64>>(), 8, |seed| {
-            let inst = uniform(&UniformCfg { n: 30, ..Default::default() }, seed);
-            let m = optimal_machines(&inst);
-            let left = optimal_machines(&inst.shrink_windows_left(&gamma));
-            let right = optimal_machines(&inst.shrink_windows_right(&gamma));
+            let inst = uniform(
+                &UniformCfg {
+                    n: 30,
+                    ..Default::default()
+                },
+                seed,
+            );
+            let m = optimal_machines_traced(&inst, MeterSink);
+            let left = optimal_machines_traced(&inst.shrink_windows_left(&gamma), MeterSink);
+            let right = optimal_machines_traced(&inst.shrink_windows_right(&gamma), MeterSink);
             // Lemma 3 bound: m(J^γ) ≤ m(J)/(1−γ) + 1.
             let bound = (Rat::from(m) / (Rat::one() - &gamma) + Rat::one()).ceil_u64();
             let violated = left > bound || right > bound;
@@ -64,7 +70,15 @@ pub fn run(seeds: u64) -> Vec<Row> {
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "E12  Lemma 3 — window shrinking: m(J^γ) vs m(J)/(1−γ) + 1",
-        &["gamma", "1/(1−γ)", "mean m(J)", "mean m(left)", "mean m(right)", "violations", "instances"],
+        &[
+            "gamma",
+            "1/(1−γ)",
+            "mean m(J)",
+            "mean m(left)",
+            "mean m(right)",
+            "violations",
+            "instances",
+        ],
     );
     for r in rows {
         t.row(&[

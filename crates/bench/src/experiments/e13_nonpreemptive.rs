@@ -12,10 +12,10 @@
 
 use mm_core::NonPreemptivePools;
 use mm_instance::generators::delta_mix;
-use mm_opt::optimal_machines;
+use mm_opt::optimal_machines_traced;
 
 use crate::experiments::min_feasible_machines;
-use crate::Table;
+use crate::{MeterSink, Table};
 
 /// One Δ cell.
 #[derive(Debug, Clone)]
@@ -37,16 +37,20 @@ pub fn run(n: usize, seed: u64) -> Vec<Row> {
     let mut rows = Vec::new();
     for delta in [1i64, 4, 16, 64] {
         let inst = delta_mix(n, delta, seed);
-        let m = optimal_machines(&inst);
+        let m = optimal_machines_traced(&inst, MeterSink);
         let cap = n as u64;
         let classed_min =
-            min_feasible_machines(&inst, m, cap, false, NonPreemptivePools::new)
-                .unwrap_or(cap + 1);
-        let global_min =
-            min_feasible_machines(&inst, m, cap, false, NonPreemptivePools::global)
-                .unwrap_or(cap + 1);
+            min_feasible_machines(&inst, m, cap, false, NonPreemptivePools::new).unwrap_or(cap + 1);
+        let global_min = min_feasible_machines(&inst, m, cap, false, NonPreemptivePools::global)
+            .unwrap_or(cap + 1);
         let classes = if delta == 1 { 1 } else { 2 };
-        rows.push(Row { delta, m, classed_min, global_min, classes });
+        rows.push(Row {
+            delta,
+            m,
+            classed_min,
+            global_min,
+            classes,
+        });
     }
     rows
 }
@@ -55,7 +59,14 @@ pub fn run(n: usize, seed: u64) -> Vec<Row> {
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "E13  Non-preemptive baseline (Saha) — class pools vs single pool over Δ",
-        &["Δ", "m (preemptive OPT)", "classed min", "global min", "classed/m", "global/m"],
+        &[
+            "Δ",
+            "m (preemptive OPT)",
+            "classed min",
+            "global min",
+            "classed/m",
+            "global/m",
+        ],
     );
     for r in rows {
         t.row(&[
@@ -78,7 +89,10 @@ mod tests {
     fn nonpreemptive_baselines_stay_bounded() {
         let rows = run(24, 5);
         for r in &rows {
-            assert!(r.classed_min >= r.m, "non-preemption cannot beat the optimum");
+            assert!(
+                r.classed_min >= r.m,
+                "non-preemption cannot beat the optimum"
+            );
             // both variants stay within a small multiple of m on loose mixes
             assert!(
                 r.classed_min <= 6 * r.m + 2,

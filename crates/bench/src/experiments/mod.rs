@@ -15,7 +15,9 @@ pub mod e12_window_shrink;
 pub mod e13_nonpreemptive;
 
 use mm_instance::Instance;
-use mm_sim::{run_policy, OnlinePolicy, SimConfig};
+use mm_sim::{run_policy_traced, OnlinePolicy, SimConfig};
+
+use crate::MeterSink;
 
 /// Smallest machine budget (searched upward from `lo`) on which `make()`'s
 /// policy schedules `instance` without misses. Returns `None` if even
@@ -40,7 +42,7 @@ where
         } else {
             SimConfig::nonmigratory(budget as usize)
         };
-        if let Ok(out) = run_policy(instance, make(), cfg) {
+        if let Ok(out) = run_policy_traced(instance, make(), cfg, MeterSink) {
             if out.feasible() {
                 return Some(budget);
             }

@@ -14,8 +14,10 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod meter;
 pub mod table;
 
+pub use meter::MeterSink;
 pub use table::Table;
 
 /// Runs `f` over `items` in parallel with crossbeam scoped threads and

@@ -80,7 +80,9 @@ impl AgreeableSplit {
 impl OnlinePolicy for AgreeableSplit {
     fn decide(&mut self, state: &SimState<'_>) -> Decision {
         for a in state.active.values() {
-            self.routing.entry(a.job.id).or_insert_with(|| a.job.is_loose(&self.alpha));
+            self.routing
+                .entry(a.job.id)
+                .or_insert_with(|| a.job.is_loose(&self.alpha));
         }
         let routing = &self.routing;
         // Present each sub-policy a filtered view of the active set.
@@ -157,16 +159,28 @@ mod tests {
     #[test]
     fn nonpreemptive_feasible_on_agreeable_instances_with_theorem_budget() {
         for seed in 0..5 {
-            let inst = agreeable(&AgreeableCfg { n: 40, ..Default::default() }, seed);
+            let inst = agreeable(
+                &AgreeableCfg {
+                    n: 40,
+                    ..Default::default()
+                },
+                seed,
+            );
             let m = optimal_machines(&inst);
             let policy = AgreeableSplit::for_optimum(m);
             let total = policy.total_machines();
             let mut out = run_policy(&inst, policy, SimConfig::nonmigratory(total)).unwrap();
             assert!(out.feasible(), "seed {seed}: misses {:?}", out.misses);
-            let stats =
-                verify(&out.instance, &mut out.schedule, &VerifyOptions::nonpreemptive())
-                    .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
-            assert_eq!(stats.preemptions, 0, "Theorem 12 promises non-preemptive schedules");
+            let stats = verify(
+                &out.instance,
+                &mut out.schedule,
+                &VerifyOptions::nonpreemptive(),
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+            assert_eq!(
+                stats.preemptions, 0,
+                "Theorem 12 promises non-preemptive schedules"
+            );
             assert!(stats.machines_used as u64 <= (33 * m).max(1));
         }
     }
@@ -183,16 +197,28 @@ mod tests {
         for s in &segs {
             let job = out.instance.job(s.job);
             if job.processing == Rat::from(9i64) {
-                assert!(s.machine >= 2, "tight job ran on loose pool machine {}", s.machine);
+                assert!(
+                    s.machine >= 2,
+                    "tight job ran on loose pool machine {}",
+                    s.machine
+                );
             } else {
-                assert!(s.machine < 2, "loose job ran on tight pool machine {}", s.machine);
+                assert!(
+                    s.machine < 2,
+                    "loose job ran on tight pool machine {}",
+                    s.machine
+                );
             }
         }
     }
 
     #[test]
     fn unit_processing_agreeable_instances() {
-        let cfg = AgreeableCfg { n: 30, unit_processing: Some(2), ..Default::default() };
+        let cfg = AgreeableCfg {
+            n: 30,
+            unit_processing: Some(2),
+            ..Default::default()
+        };
         let inst = agreeable(&cfg, 3);
         let m = optimal_machines(&inst);
         let policy = AgreeableSplit::for_optimum(m);

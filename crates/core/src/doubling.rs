@@ -146,7 +146,13 @@ mod tests {
 
     #[test]
     fn estimator_is_sound_and_useful() {
-        let inst = agreeable(&AgreeableCfg { n: 25, ..Default::default() }, 3);
+        let inst = agreeable(
+            &AgreeableCfg {
+                n: 25,
+                ..Default::default()
+            },
+            3,
+        );
         let est = estimate_optimum(inst.jobs());
         let m = optimal_machines(&inst);
         assert!(est <= m);
@@ -156,7 +162,13 @@ mod tests {
     #[test]
     fn doubling_schedules_agreeable_instances_without_knowing_m() {
         for seed in 0..4 {
-            let inst = agreeable(&AgreeableCfg { n: 30, ..Default::default() }, seed);
+            let inst = agreeable(
+                &AgreeableCfg {
+                    n: 30,
+                    ..Default::default()
+                },
+                seed,
+            );
             let m = optimal_machines(&inst);
             // Budget: geometric series of Theorem 12 pools up to 2m.
             let budget = {
@@ -168,22 +180,46 @@ mod tests {
                 }
                 total + AgreeableSplit::for_optimum(2 * m).total_machines()
             };
-            let mut out =
-                run_policy(&inst, DoublingAgreeable::new(), SimConfig::nonmigratory(budget))
-                    .unwrap();
+            let mut out = run_policy(
+                &inst,
+                DoublingAgreeable::new(),
+                SimConfig::nonmigratory(budget),
+            )
+            .unwrap();
             assert!(out.feasible(), "seed {seed}: misses {:?}", out.misses);
-            let stats =
-                verify(&out.instance, &mut out.schedule, &VerifyOptions::nonmigratory())
-                    .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+            let stats = verify(
+                &out.instance,
+                &mut out.schedule,
+                &VerifyOptions::nonmigratory(),
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
             assert_eq!(stats.migrations, 0);
         }
     }
 
     #[test]
     fn epochs_grow_geometrically_not_linearly() {
-        let inst = agreeable(&AgreeableCfg { n: 40, ..Default::default() }, 11);
+        let inst = agreeable(
+            &AgreeableCfg {
+                n: 40,
+                ..Default::default()
+            },
+            11,
+        );
         let mut policy = DoublingAgreeable::new();
-        let budget = 600;
+        // Budget: geometric series of Theorem 12 pools up to 2m (a fixed
+        // budget is wrong here — the workload generator's stream decides how
+        // many pool machines the doubling policy opens).
+        let budget = {
+            let m = optimal_machines(&inst);
+            let mut total = 0usize;
+            let mut g = 1u64;
+            while g < 2 * m {
+                total += AgreeableSplit::for_optimum(g).total_machines();
+                g *= 2;
+            }
+            total + AgreeableSplit::for_optimum(2 * m).total_machines()
+        };
         // Drive manually so we can inspect the policy afterwards.
         let mut sim =
             mm_sim::Simulation::from_instance(SimConfig::nonmigratory(budget), &mut policy, &inst);

@@ -28,7 +28,12 @@ pub struct Edf;
 impl OnlinePolicy for Edf {
     fn decide(&mut self, state: &SimState<'_>) -> Decision {
         let mut jobs: Vec<&ActiveJob> = state.active.values().collect();
-        jobs.sort_by(|a, b| a.job.deadline.cmp(&b.job.deadline).then(a.job.id.cmp(&b.job.id)));
+        jobs.sort_by(|a, b| {
+            a.job
+                .deadline
+                .cmp(&b.job.deadline)
+                .then(a.job.id.cmp(&b.job.id))
+        });
         Decision {
             run: jobs
                 .iter()
@@ -68,7 +73,12 @@ impl OnlinePolicy for NonpreemptiveEdf {
             .values()
             .filter(|a| !self.running.values().any(|r| *r == a.job.id))
             .collect();
-        waiting.sort_by(|a, b| a.job.deadline.cmp(&b.job.deadline).then(a.job.id.cmp(&b.job.id)));
+        waiting.sort_by(|a, b| {
+            a.job
+                .deadline
+                .cmp(&b.job.deadline)
+                .then(a.job.id.cmp(&b.job.id))
+        });
         let mut waiting = waiting.into_iter();
         for m in 0..state.machines {
             if let std::collections::btree_map::Entry::Vacant(e) = self.running.entry(m) {
@@ -166,10 +176,11 @@ impl OnlinePolicy for EdfFirstFit {
         // Per machine: run the assigned active job with the earliest deadline.
         let mut best: BTreeMap<usize, (&Rat, JobId)> = BTreeMap::new();
         for a in state.active.values() {
-            let Some(&m) = self.assignment.get(&a.job.id) else { continue };
+            let Some(&m) = self.assignment.get(&a.job.id) else {
+                continue;
+            };
             match best.get(&m) {
-                Some((d, id))
-                    if (*d, *id) <= (&a.job.deadline, a.job.id) => {}
+                Some((d, id)) if (*d, *id) <= (&a.job.deadline, a.job.id) => {}
                 _ => {
                     best.insert(m, (&a.job.deadline, a.job.id));
                 }
@@ -201,13 +212,29 @@ mod tests {
         let t = Rat::zero();
         let one = Rat::one();
         // two jobs, deadlines 2 and 4, volumes 2 and 2: exactly fits
-        assert!(fits_single_machine(&t, &one, &[(rat(2), rat(2)), (rat(4), rat(2))]));
+        assert!(fits_single_machine(
+            &t,
+            &one,
+            &[(rat(2), rat(2)), (rat(4), rat(2))]
+        ));
         // same with volumes 2 and 3: second misses
-        assert!(!fits_single_machine(&t, &one, &[(rat(2), rat(2)), (rat(4), rat(3))]));
+        assert!(!fits_single_machine(
+            &t,
+            &one,
+            &[(rat(2), rat(2)), (rat(4), rat(3))]
+        ));
         // earliest deadline overloaded
-        assert!(!fits_single_machine(&t, &one, &[(rat(1), rat(2)), (rat(9), rat(1))]));
+        assert!(!fits_single_machine(
+            &t,
+            &one,
+            &[(rat(1), rat(2)), (rat(9), rat(1))]
+        ));
         // doubling the speed rescues it
-        assert!(fits_single_machine(&t, &rat(2), &[(rat(1), rat(2)), (rat(9), rat(1))]));
+        assert!(fits_single_machine(
+            &t,
+            &rat(2),
+            &[(rat(1), rat(2)), (rat(9), rat(1))]
+        ));
         // empty set fits
         assert!(fits_single_machine(&t, &one, &[]));
     }
@@ -217,7 +244,12 @@ mod tests {
         let inst = Instance::from_ints([(0, 10, 3), (1, 4, 2), (5, 9, 2)]);
         let mut out = run_policy(&inst, Edf, SimConfig::migratory(1)).unwrap();
         assert!(out.feasible());
-        verify(&out.instance, &mut out.schedule, &VerifyOptions::migratory()).unwrap();
+        verify(
+            &out.instance,
+            &mut out.schedule,
+            &VerifyOptions::migratory(),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -227,12 +259,24 @@ mod tests {
         use mm_opt::optimal_machines;
         let alpha = Rat::half();
         for seed in 0..4 {
-            let inst = loose(&UniformCfg { n: 40, ..Default::default() }, &alpha, seed);
+            let inst = loose(
+                &UniformCfg {
+                    n: 40,
+                    ..Default::default()
+                },
+                &alpha,
+                seed,
+            );
             let m = optimal_machines(&inst);
             let budget = (4 * m) as usize;
             let mut out = run_policy(&inst, Edf, SimConfig::migratory(budget)).unwrap();
             assert!(out.feasible(), "seed {seed}: EDF infeasible on 4m machines");
-            verify(&out.instance, &mut out.schedule, &VerifyOptions::migratory()).unwrap();
+            verify(
+                &out.instance,
+                &mut out.schedule,
+                &VerifyOptions::migratory(),
+            )
+            .unwrap();
         }
     }
 
@@ -242,13 +286,19 @@ mod tests {
         for seed in 0..4 {
             let inst = agreeable(&AgreeableCfg::default(), seed);
             let budget = inst.len();
-            let mut out =
-                run_policy(&inst, NonpreemptiveEdf::new(), SimConfig::nonmigratory(budget))
-                    .unwrap();
+            let mut out = run_policy(
+                &inst,
+                NonpreemptiveEdf::new(),
+                SimConfig::nonmigratory(budget),
+            )
+            .unwrap();
             assert!(out.feasible(), "seed {seed}");
-            let stats =
-                verify(&out.instance, &mut out.schedule, &VerifyOptions::nonpreemptive())
-                    .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+            let stats = verify(
+                &out.instance,
+                &mut out.schedule,
+                &VerifyOptions::nonpreemptive(),
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
             assert_eq!(stats.preemptions, 0);
         }
     }
@@ -257,13 +307,23 @@ mod tests {
     fn edf_first_fit_is_nonmigratory_and_feasible_with_headroom() {
         use mm_instance::generators::{uniform, UniformCfg};
         for seed in 0..4 {
-            let inst = uniform(&UniformCfg { n: 30, ..Default::default() }, seed);
+            let inst = uniform(
+                &UniformCfg {
+                    n: 30,
+                    ..Default::default()
+                },
+                seed,
+            );
             let budget = inst.len(); // ample headroom: first-fit must not miss
             let mut out =
                 run_policy(&inst, EdfFirstFit::new(), SimConfig::nonmigratory(budget)).unwrap();
             assert!(out.feasible(), "seed {seed}");
-            let stats = verify(&out.instance, &mut out.schedule, &VerifyOptions::nonmigratory())
-                .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+            let stats = verify(
+                &out.instance,
+                &mut out.schedule,
+                &VerifyOptions::nonmigratory(),
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
             assert_eq!(stats.migrations, 0);
         }
     }

@@ -153,8 +153,10 @@ impl LaminarBudget {
             }
             AssignMode::GreedyTotal => {
                 for (_, cand, laxity, mi) in candidates.iter() {
-                    let slots =
-                        self.consumed.entry(*cand).or_insert_with(|| vec![Rat::zero(); 1]);
+                    let slots = self
+                        .consumed
+                        .entry(*cand)
+                        .or_insert_with(|| vec![Rat::zero(); 1]);
                     if laxity - &slots[0] >= need {
                         slots[0] += &need;
                         return Some(*mi);
@@ -256,8 +258,7 @@ mod tests {
         loose: usize,
         mode: AssignMode,
     ) -> (mm_sim::SimOutcome, usize) {
-        let policy =
-            LaminarBudget::new(m_prime, loose, Rat::half()).with_mode(mode);
+        let policy = LaminarBudget::new(m_prime, loose, Rat::half()).with_mode(mode);
         let total = policy.total_machines();
         let out = run_policy(inst, policy, SimConfig::nonmigratory(total)).unwrap();
         (out, total)
@@ -271,7 +272,12 @@ mod tests {
         assert!(inst.is_laminar());
         let (mut out, _) = run_laminar(&inst, 2, 2, AssignMode::Balanced);
         assert!(out.feasible());
-        verify(&out.instance, &mut out.schedule, &VerifyOptions::nonmigratory()).unwrap();
+        verify(
+            &out.instance,
+            &mut out.schedule,
+            &VerifyOptions::nonmigratory(),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -281,28 +287,41 @@ mod tests {
         let inst = Instance::from_ints([(0, 8, 7), (2, 4, 2)]);
         let (mut out, _) = run_laminar(&inst, 4, 0, AssignMode::Balanced);
         assert!(out.feasible(), "misses: {:?}", out.misses);
-        let stats =
-            verify(&out.instance, &mut out.schedule, &VerifyOptions::nonmigratory()).unwrap();
+        let stats = verify(
+            &out.instance,
+            &mut out.schedule,
+            &VerifyOptions::nonmigratory(),
+        )
+        .unwrap();
         assert!(stats.machines_used >= 2);
     }
 
     #[test]
     fn feasible_on_generated_laminar_instances() {
         for seed in 0..5 {
-            let inst = laminar(&LaminarCfg { depth: 3, branching: 2, ..Default::default() }, seed);
+            let inst = laminar(
+                &LaminarCfg {
+                    depth: 3,
+                    branching: 2,
+                    ..Default::default()
+                },
+                seed,
+            );
             assert!(inst.is_laminar());
             let m = optimal_machines(&inst);
             let m_prime = LaminarBudget::suggested_m_prime(m, 4);
-            let (mut out, _) =
-                run_laminar(&inst, m_prime, 4 * m as usize, AssignMode::Balanced);
+            let (mut out, _) = run_laminar(&inst, m_prime, 4 * m as usize, AssignMode::Balanced);
             assert!(
                 out.feasible(),
                 "seed {seed}: m={m}, m'={m_prime}, misses={:?}",
                 out.misses
             );
-            let stats =
-                verify(&out.instance, &mut out.schedule, &VerifyOptions::nonmigratory())
-                    .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+            let stats = verify(
+                &out.instance,
+                &mut out.schedule,
+                &VerifyOptions::nonmigratory(),
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
             assert_eq!(stats.migrations, 0);
         }
     }
@@ -322,7 +341,12 @@ mod tests {
         assert!(inst.is_laminar());
         let (mut out, _) = run_laminar(&inst, 2, 0, AssignMode::Balanced);
         assert!(out.feasible());
-        verify(&out.instance, &mut out.schedule, &VerifyOptions::nonmigratory()).unwrap();
+        verify(
+            &out.instance,
+            &mut out.schedule,
+            &VerifyOptions::nonmigratory(),
+        )
+        .unwrap();
     }
 
     #[test]

@@ -48,6 +48,6 @@ pub use doubling::{estimate_optimum, DoublingAgreeable};
 pub use edf::{fits_single_machine, Edf, EdfFirstFit, NonpreemptiveEdf};
 pub use laminar::{AssignMode, LaminarBudget};
 pub use llf::Llf;
-pub use loose::{clt_machines, clt_speed, loose_epsilon, run_loose, LooseRun};
+pub use loose::{clt_machines, clt_speed, loose_epsilon, run_loose, run_loose_traced, LooseRun};
 pub use medium_fit::MediumFit;
 pub use nonpreemptive::NonPreemptivePools;

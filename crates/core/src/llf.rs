@@ -48,12 +48,18 @@ impl OnlinePolicy for Llf {
             })
             .collect();
         ranked.sort();
-        let chosen: Vec<JobId> =
-            ranked.iter().take(state.machines).map(|(_, _, id)| *id).collect();
+        let chosen: Vec<JobId> = ranked
+            .iter()
+            .take(state.machines)
+            .map(|(_, _, id)| *id)
+            .collect();
         // Highest laxity among chosen jobs: a waiting job preempts when its
         // (decreasing) laxity falls strictly below this constant.
-        let threshold =
-            ranked.iter().take(state.machines).map(|(l, _, _)| l.clone()).max();
+        let threshold = ranked
+            .iter()
+            .take(state.machines)
+            .map(|(l, _, _)| l.clone())
+            .max();
         let mut wake: Option<Rat> = None;
         let consider = |t: Rat, wake: &mut Option<Rat>| {
             if t > *state.time {
@@ -100,7 +106,12 @@ mod tests {
         let inst = Instance::from_ints([(0, 5, 3)]);
         let mut out = run_policy(&inst, Llf::new(), SimConfig::migratory(1)).unwrap();
         assert!(out.feasible());
-        verify(&out.instance, &mut out.schedule, &VerifyOptions::migratory()).unwrap();
+        verify(
+            &out.instance,
+            &mut out.schedule,
+            &VerifyOptions::migratory(),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -127,7 +138,12 @@ mod tests {
         let inst = Instance::from_ints([(0, 12, 4), (0, 8, 5)]);
         let mut out = run_policy(&inst, Llf::new(), SimConfig::migratory(1)).unwrap();
         assert!(out.feasible());
-        verify(&out.instance, &mut out.schedule, &VerifyOptions::migratory()).unwrap();
+        verify(
+            &out.instance,
+            &mut out.schedule,
+            &VerifyOptions::migratory(),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -135,13 +151,24 @@ mod tests {
         use mm_instance::generators::{uniform, UniformCfg};
         use mm_opt::optimal_machines;
         for seed in 0..4 {
-            let inst = uniform(&UniformCfg { n: 25, ..Default::default() }, seed);
+            let inst = uniform(
+                &UniformCfg {
+                    n: 25,
+                    ..Default::default()
+                },
+                seed,
+            );
             let m = optimal_machines(&inst);
             // Generous budget; E10 measures the real requirement curve.
             let budget = (3 * m + 2) as usize;
             let mut out = run_policy(&inst, Llf::new(), SimConfig::migratory(budget)).unwrap();
             assert!(out.feasible(), "seed {seed} with budget {budget}");
-            verify(&out.instance, &mut out.schedule, &VerifyOptions::migratory()).unwrap();
+            verify(
+                &out.instance,
+                &mut out.schedule,
+                &VerifyOptions::migratory(),
+            )
+            .unwrap();
         }
     }
 
@@ -151,8 +178,12 @@ mod tests {
         let inst = Instance::from_ints([(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
         let mut out = run_policy(&inst, Llf::new(), SimConfig::migratory(1)).unwrap();
         assert!(out.feasible());
-        let stats =
-            verify(&out.instance, &mut out.schedule, &VerifyOptions::migratory()).unwrap();
+        let stats = verify(
+            &out.instance,
+            &mut out.schedule,
+            &VerifyOptions::migratory(),
+        )
+        .unwrap();
         assert_eq!(stats.machines_used, 1);
     }
 }

@@ -21,7 +21,8 @@
 
 use mm_instance::Instance;
 use mm_numeric::Rat;
-use mm_sim::{run_policy, Schedule, Segment, SimConfig, SimError};
+use mm_sim::{run_policy_traced, Schedule, Segment, SimConfig, SimError};
+use mm_trace::{NoopSink, TraceSink};
 
 use crate::EdfFirstFit;
 
@@ -67,13 +68,23 @@ pub struct LooseRun {
 /// machine budget: scales processing times by `s`, runs the speed-`s`
 /// black box, and maps the schedule back to unit speed.
 pub fn run_loose(instance: &Instance, alpha: &Rat, machines: u64) -> Result<LooseRun, SimError> {
+    run_loose_traced(instance, alpha, machines, NoopSink)
+}
+
+/// [`run_loose`] with the internal speed-`s` simulation reported to `sink`.
+pub fn run_loose_traced<S: TraceSink>(
+    instance: &Instance,
+    alpha: &Rat,
+    machines: u64,
+    sink: S,
+) -> Result<LooseRun, SimError> {
     assert!(instance.all_loose(alpha), "instance must be α-loose");
     let eps = loose_epsilon(alpha);
     let speed = clt_speed(&eps);
     // J^s is feasible: α·s < 1 by construction of ε.
     let scaled = instance.scale_processing(&speed);
     let cfg = SimConfig::nonmigratory(machines as usize).with_speed(speed.clone());
-    let out = run_policy(&scaled, EdfFirstFit::new(), cfg)?;
+    let out = run_policy_traced(&scaled, EdfFirstFit::new(), cfg, sink)?;
     // Map back: same segments, unit speed, original jobs. The scaled job
     // occupied exactly `p_j` time units (volume s·p_j at speed s), which is
     // precisely what the original job needs at unit speed.
@@ -132,7 +143,14 @@ mod tests {
     fn pipeline_produces_feasible_unit_speed_schedules() {
         let alpha = Rat::ratio(1, 3);
         for seed in 0..4 {
-            let inst = loose(&UniformCfg { n: 30, ..Default::default() }, &alpha, seed);
+            let inst = loose(
+                &UniformCfg {
+                    n: 30,
+                    ..Default::default()
+                },
+                &alpha,
+                seed,
+            );
             let m = optimal_machines(&inst);
             let eps = loose_epsilon(&alpha);
             let budget = clt_machines(&eps, m).max(inst.len() as u64);
@@ -151,7 +169,14 @@ mod tests {
         // coincide with plain unit-speed EDF first-fit (see module docs).
         use mm_sim::run_policy;
         let alpha = Rat::ratio(2, 5);
-        let inst = loose(&UniformCfg { n: 25, ..Default::default() }, &alpha, 11);
+        let inst = loose(
+            &UniformCfg {
+                n: 25,
+                ..Default::default()
+            },
+            &alpha,
+            11,
+        );
         let m = optimal_machines(&inst);
         let budget = clt_machines(&loose_epsilon(&alpha), m).max(inst.len() as u64);
         let pipeline = run_loose(&inst, &alpha, budget).unwrap();
@@ -168,7 +193,15 @@ mod tests {
     fn theorem5_machine_usage_is_linear_in_m() {
         // O(1)-competitiveness in practice: machines used ≤ clt budget.
         let alpha = Rat::ratio(1, 4);
-        let inst = loose(&UniformCfg { n: 50, horizon: 40, ..Default::default() }, &alpha, 7);
+        let inst = loose(
+            &UniformCfg {
+                n: 50,
+                horizon: 40,
+                ..Default::default()
+            },
+            &alpha,
+            7,
+        );
         let m = optimal_machines(&inst);
         let eps = loose_epsilon(&alpha);
         let budget = clt_machines(&eps, m);

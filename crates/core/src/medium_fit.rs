@@ -144,8 +144,12 @@ mod tests {
         let mut out = run_policy(&inst, MediumFit::new(), SimConfig::nonmigratory(4)).unwrap();
         assert!(out.feasible());
         assert_eq!(out.machines_used(), 2);
-        let stats =
-            verify(&out.instance, &mut out.schedule, &VerifyOptions::nonpreemptive()).unwrap();
+        let stats = verify(
+            &out.instance,
+            &mut out.schedule,
+            &VerifyOptions::nonpreemptive(),
+        )
+        .unwrap();
         assert_eq!(stats.preemptions, 0);
         assert_eq!(stats.migrations, 0);
     }
@@ -169,7 +173,12 @@ mod tests {
         for seed in 0..4 {
             // agreeable-ify: equal windows make any instance agreeable
             let base = tight(
-                &UniformCfg { n: 30, min_window: 8, max_window: 8, ..Default::default() },
+                &UniformCfg {
+                    n: 30,
+                    min_window: 8,
+                    max_window: 8,
+                    ..Default::default()
+                },
                 &alpha,
                 seed,
             );
@@ -178,9 +187,16 @@ mod tests {
             let budget = (Rat::from(16 * m) / &alpha).ceil_u64() as usize;
             let mut out =
                 run_policy(&base, MediumFit::new(), SimConfig::nonmigratory(budget)).unwrap();
-            assert!(out.feasible(), "seed {seed}: MediumFit missed within Lemma 8 budget");
-            verify(&out.instance, &mut out.schedule, &VerifyOptions::nonpreemptive())
-                .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+            assert!(
+                out.feasible(),
+                "seed {seed}: MediumFit missed within Lemma 8 budget"
+            );
+            verify(
+                &out.instance,
+                &mut out.schedule,
+                &VerifyOptions::nonpreemptive(),
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
         }
     }
 }

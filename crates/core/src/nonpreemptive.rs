@@ -51,7 +51,10 @@ impl NonPreemptivePools {
 
     /// The naive single-pool variant.
     pub fn global() -> Self {
-        NonPreemptivePools { classed: false, ..Self::new() }
+        NonPreemptivePools {
+            classed: false,
+            ..Self::new()
+        }
     }
 
     /// Machines allocated so far.
@@ -183,8 +186,12 @@ mod tests {
         let mut out =
             run_policy(&inst, NonPreemptivePools::new(), SimConfig::nonmigratory(4)).unwrap();
         assert!(out.feasible());
-        let stats =
-            verify(&out.instance, &mut out.schedule, &VerifyOptions::nonpreemptive()).unwrap();
+        let stats = verify(
+            &out.instance,
+            &mut out.schedule,
+            &VerifyOptions::nonpreemptive(),
+        )
+        .unwrap();
         assert_eq!(stats.preemptions, 0);
         assert_eq!(stats.machines_used, 1);
     }
@@ -193,8 +200,7 @@ mod tests {
     fn forced_start_opens_new_machine() {
         // Two identical zero-laxity jobs: both must start at t=0.
         let inst = Instance::from_ints([(0, 4, 4), (0, 4, 4)]);
-        let out =
-            run_policy(&inst, NonPreemptivePools::new(), SimConfig::nonmigratory(4)).unwrap();
+        let out = run_policy(&inst, NonPreemptivePools::new(), SimConfig::nonmigratory(4)).unwrap();
         assert!(out.feasible());
         assert_eq!(out.machines_used(), 2);
     }
@@ -203,8 +209,7 @@ mod tests {
     fn idle_machine_reuse_within_class() {
         // Sequential same-class jobs share one machine.
         let inst = Instance::from_ints([(0, 4, 2), (4, 8, 2), (8, 12, 2)]);
-        let out =
-            run_policy(&inst, NonPreemptivePools::new(), SimConfig::nonmigratory(4)).unwrap();
+        let out = run_policy(&inst, NonPreemptivePools::new(), SimConfig::nonmigratory(4)).unwrap();
         assert!(out.feasible());
         assert_eq!(out.machines_used(), 1);
     }
@@ -215,12 +220,15 @@ mod tests {
         // job finds that machine idle. The global variant reuses it; the
         // classed variant opens a short-pool machine instead.
         let inst = Instance::from_ints([(0, 8, 8), (8, 20, 1)]);
-        let out =
-            run_policy(&inst, NonPreemptivePools::global(), SimConfig::nonmigratory(4)).unwrap();
+        let out = run_policy(
+            &inst,
+            NonPreemptivePools::global(),
+            SimConfig::nonmigratory(4),
+        )
+        .unwrap();
         assert!(out.feasible());
         assert_eq!(out.machines_used(), 1);
-        let out =
-            run_policy(&inst, NonPreemptivePools::new(), SimConfig::nonmigratory(4)).unwrap();
+        let out = run_policy(&inst, NonPreemptivePools::new(), SimConfig::nonmigratory(4)).unwrap();
         assert!(out.feasible());
         assert_eq!(out.machines_used(), 2); // separate pools
     }
@@ -243,15 +251,27 @@ mod tests {
     fn nonpreemptive_on_generated_workloads() {
         use mm_instance::generators::{uniform, UniformCfg};
         for seed in 0..4 {
-            let inst = uniform(&UniformCfg { n: 30, ..Default::default() }, seed);
+            let inst = uniform(
+                &UniformCfg {
+                    n: 30,
+                    ..Default::default()
+                },
+                seed,
+            );
             let budget = inst.len();
-            let mut out =
-                run_policy(&inst, NonPreemptivePools::new(), SimConfig::nonmigratory(budget))
-                    .unwrap();
+            let mut out = run_policy(
+                &inst,
+                NonPreemptivePools::new(),
+                SimConfig::nonmigratory(budget),
+            )
+            .unwrap();
             assert!(out.feasible(), "seed {seed}");
-            let stats =
-                verify(&out.instance, &mut out.schedule, &VerifyOptions::nonpreemptive())
-                    .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+            let stats = verify(
+                &out.instance,
+                &mut out.schedule,
+                &VerifyOptions::nonpreemptive(),
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
             assert_eq!(stats.preemptions, 0);
             assert_eq!(stats.migrations, 0);
         }
@@ -260,8 +280,7 @@ mod tests {
     #[test]
     fn budget_exhaustion_degrades_to_misses() {
         let inst = Instance::from_ints([(0, 2, 2), (0, 2, 2), (0, 2, 2)]);
-        let out =
-            run_policy(&inst, NonPreemptivePools::new(), SimConfig::nonmigratory(2)).unwrap();
+        let out = run_policy(&inst, NonPreemptivePools::new(), SimConfig::nonmigratory(2)).unwrap();
         assert_eq!(out.misses.len(), 1);
     }
 }

@@ -123,12 +123,25 @@ impl<N: FlowNum> FlowNetwork<N> {
 
     /// Adds a directed edge `from → to` with the given capacity.
     pub fn add_edge(&mut self, from: usize, to: usize, cap: N) -> EdgeHandle {
-        assert!(from < self.graph.len() && to < self.graph.len(), "node out of range");
+        assert!(
+            from < self.graph.len() && to < self.graph.len(),
+            "node out of range"
+        );
         assert!(from != to, "self-loops are not supported");
         let rev_from = self.graph[to].len();
         let rev_to = self.graph[from].len();
-        self.graph[from].push(Edge { to, cap: cap.clone(), rev: rev_from, forward: true });
-        self.graph[to].push(Edge { to: from, cap: N::zero(), rev: rev_to, forward: false });
+        self.graph[from].push(Edge {
+            to,
+            cap: cap.clone(),
+            rev: rev_from,
+            forward: true,
+        });
+        self.graph[to].push(Edge {
+            to: from,
+            cap: N::zero(),
+            rev: rev_to,
+            forward: false,
+        });
         self.originals.push((from, rev_to));
         self.original_caps.push(cap);
         EdgeHandle(self.originals.len() - 1)

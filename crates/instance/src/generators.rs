@@ -27,7 +27,12 @@ pub struct UniformCfg {
 
 impl Default for UniformCfg {
     fn default() -> Self {
-        UniformCfg { n: 50, horizon: 100, min_window: 1, max_window: 20 }
+        UniformCfg {
+            n: 50,
+            horizon: 100,
+            min_window: 1,
+            max_window: 20,
+        }
     }
 }
 
@@ -294,7 +299,11 @@ pub fn periodic(tasks: &[PeriodicTask], horizon: i64, jitter: i64, seed: u64) ->
         assert!(t.period > 0 && t.wcet > 0 && t.wcet <= t.deadline);
         let mut release = t.phase;
         while release + t.deadline <= horizon {
-            let j = if jitter > 0 { rng.gen_range(0..=jitter) } else { 0 };
+            let j = if jitter > 0 {
+                rng.gen_range(0..=jitter)
+            } else {
+                0
+            };
             let d = release + t.deadline;
             let r = (release + j).min(d - t.wcet); // jitter never kills feasibility
             triples.push((Rat::from(r), Rat::from(d), Rat::from(t.wcet)));
@@ -345,9 +354,9 @@ pub fn parallel_waves(m: usize, waves: usize, seed: u64) -> Instance {
     for w in 0..waves {
         let base = (w as i64) * 10;
         for _ in 0..m {
-            let jitter = rng.gen_range(0..3);
+            let jitter: i64 = rng.gen_range(0..3);
             let r = base + jitter;
-            let len = rng.gen_range(6..=10);
+            let len: i64 = rng.gen_range(6..=10);
             let p = rng.gen_range(4..=len.min(8));
             triples.push((Rat::from(r), Rat::from(r + len), Rat::from(p)));
         }
@@ -377,7 +386,14 @@ mod tests {
     #[test]
     fn loose_respects_alpha() {
         let alpha = Rat::ratio(1, 3);
-        let inst = loose(&UniformCfg { n: 200, ..Default::default() }, &alpha, 42);
+        let inst = loose(
+            &UniformCfg {
+                n: 200,
+                ..Default::default()
+            },
+            &alpha,
+            42,
+        );
         assert!(inst.all_loose(&alpha));
         assert_eq!(inst.len(), 200);
     }
@@ -385,7 +401,14 @@ mod tests {
     #[test]
     fn tight_respects_alpha() {
         let alpha = Rat::ratio(1, 2);
-        let inst = tight(&UniformCfg { n: 200, ..Default::default() }, &alpha, 42);
+        let inst = tight(
+            &UniformCfg {
+                n: 200,
+                ..Default::default()
+            },
+            &alpha,
+            42,
+        );
         for j in inst.iter() {
             assert!(j.is_tight(&alpha), "{j} should be tight");
         }
@@ -402,7 +425,11 @@ mod tests {
 
     #[test]
     fn agreeable_unit_processing() {
-        let cfg = AgreeableCfg { unit_processing: Some(3), min_window: 5, ..Default::default() };
+        let cfg = AgreeableCfg {
+            unit_processing: Some(3),
+            min_window: 5,
+            ..Default::default()
+        };
         let inst = agreeable(&cfg, 1);
         assert!(inst.is_agreeable());
         for j in inst.iter() {
@@ -434,15 +461,28 @@ mod tests {
         // long jobs have zero laxity, shorts have laxity 2
         let zero_lax = inst.iter().filter(|j| j.laxity().is_zero()).count();
         assert_eq!(zero_lax, 6);
-        let lax2 = inst.iter().filter(|j| j.laxity() == Rat::from(2i64)).count();
+        let lax2 = inst
+            .iter()
+            .filter(|j| j.laxity() == Rat::from(2i64))
+            .count();
         assert_eq!(lax2, 12);
     }
 
     #[test]
     fn periodic_expansion() {
         let tasks = vec![
-            PeriodicTask { period: 4, wcet: 2, deadline: 4, phase: 0 },
-            PeriodicTask { period: 8, wcet: 3, deadline: 6, phase: 1 },
+            PeriodicTask {
+                period: 4,
+                wcet: 2,
+                deadline: 4,
+                phase: 0,
+            },
+            PeriodicTask {
+                period: 8,
+                wcet: 3,
+                deadline: 6,
+                phase: 1,
+            },
         ];
         let inst = periodic(&tasks, 17, 0, 0);
         // task 1: releases 0,4,8,12 (deadline ≤ 17 ⇒ release+4 ≤ 17): 0,4,8,12 → 4 jobs... release 13? 13+4=17 ≤ 17 ✓ → 0,4,8,12 gives d=4,8,12,16; release 16 → d=20 ✗. So 4 jobs.
@@ -455,7 +495,12 @@ mod tests {
 
     #[test]
     fn periodic_jitter_keeps_feasibility() {
-        let tasks = vec![PeriodicTask { period: 5, wcet: 3, deadline: 5, phase: 0 }];
+        let tasks = vec![PeriodicTask {
+            period: 5,
+            wcet: 3,
+            deadline: 5,
+            phase: 0,
+        }];
         let inst = periodic(&tasks, 50, 4, 7);
         for j in inst.iter() {
             assert!(j.processing <= j.window_length());
@@ -467,8 +512,18 @@ mod tests {
     fn harmonic_tasks_are_agreeable_without_jitter() {
         // Same relative deadline & period across tasks ⇒ agreeable releases.
         let tasks = vec![
-            PeriodicTask { period: 6, wcet: 2, deadline: 6, phase: 0 },
-            PeriodicTask { period: 6, wcet: 3, deadline: 6, phase: 2 },
+            PeriodicTask {
+                period: 6,
+                wcet: 2,
+                deadline: 6,
+                phase: 0,
+            },
+            PeriodicTask {
+                period: 6,
+                wcet: 3,
+                deadline: 6,
+                phase: 2,
+            },
         ];
         let inst = periodic(&tasks, 40, 0, 0);
         assert!(inst.is_agreeable());

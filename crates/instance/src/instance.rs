@@ -12,7 +12,6 @@ use crate::{Interval, IntervalSet, Job, JobId};
 /// non-decreasing release date, ties broken by non-increasing deadline
 /// (the indexing convention assumed in Section 5).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Instance {
     /// Jobs in canonical order.
     jobs: Vec<Job>,
@@ -95,12 +94,18 @@ impl Instance {
 
     /// Builds from pre-constructed jobs; re-sorts and re-ids canonically.
     pub fn from_jobs<I: IntoIterator<Item = Job>>(jobs: I) -> Self {
-        Instance::from_triples(jobs.into_iter().map(|j| (j.release, j.deadline, j.processing)))
+        Instance::from_triples(
+            jobs.into_iter()
+                .map(|j| (j.release, j.deadline, j.processing)),
+        )
     }
 
     /// The empty instance.
     pub fn empty() -> Self {
-        Instance { jobs: Vec::new(), by_id: Vec::new() }
+        Instance {
+            jobs: Vec::new(),
+            by_id: Vec::new(),
+        }
     }
 
     /// Number of jobs `n`.
@@ -268,13 +273,11 @@ impl Instance {
     /// `J^s`: every processing time multiplied by `s ≥ 1` (Lemma 4). Panics
     /// if some job would no longer fit its window.
     pub fn scale_processing(&self, s: &Rat) -> Instance {
-        Instance::from_triples(self.jobs.iter().map(|j| {
-            (
-                j.release.clone(),
-                j.deadline.clone(),
-                &j.processing * s,
-            )
-        }))
+        Instance::from_triples(
+            self.jobs
+                .iter()
+                .map(|j| (j.release.clone(), j.deadline.clone(), &j.processing * s)),
+        )
     }
 
     /// `J^{γ,0}` of Lemma 3: remove a `γ`-fraction of the laxity from the

@@ -9,7 +9,6 @@ use mm_numeric::Rat;
 
 /// A half-open interval `[start, end)` on the rational time line.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Interval {
     /// Inclusive left endpoint.
     pub start: Rat,
@@ -76,7 +75,6 @@ impl fmt::Display for Interval {
 /// A finite union of disjoint half-open intervals, sorted by start, with
 /// positive gaps between consecutive members (adjacent intervals are merged).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct IntervalSet {
     parts: Vec<Interval>,
 }

@@ -3,11 +3,26 @@
 //! Instances round-trip through JSON with exact rational coordinates encoded
 //! as `"num/den"` strings, so adversarial instances (whose denominators
 //! overflow any float or fixed-width integer) survive storage losslessly.
+//!
+//! The document shape is
+//!
+//! ```json
+//! {
+//!   "jobs": [
+//!     {"id": 0, "release": "0", "deadline": "4", "processing": "3/2"}
+//!   ]
+//! }
+//! ```
+//!
+//! with ids forming a permutation of `0..n`.
 
 use std::io::{Read, Write};
 use std::path::Path;
 
-use crate::Instance;
+use mm_json::Json;
+use mm_numeric::Rat;
+
+use crate::{Instance, Job, JobId};
 
 /// Serialization error.
 #[derive(Debug)]
@@ -15,7 +30,7 @@ pub enum IoError {
     /// Underlying I/O failure.
     Io(std::io::Error),
     /// JSON (de)serialization failure.
-    Json(serde_json::Error),
+    Json(String),
 }
 
 impl core::fmt::Display for IoError {
@@ -35,20 +50,77 @@ impl From<std::io::Error> for IoError {
     }
 }
 
-impl From<serde_json::Error> for IoError {
-    fn from(e: serde_json::Error) -> Self {
-        IoError::Json(e)
+impl From<mm_json::ParseError> for IoError {
+    fn from(e: mm_json::ParseError) -> Self {
+        IoError::Json(e.to_string())
     }
+}
+
+fn bad(message: impl Into<String>) -> IoError {
+    IoError::Json(message.into())
 }
 
 /// Serializes an instance to pretty JSON.
 pub fn to_json(instance: &Instance) -> Result<String, IoError> {
-    Ok(serde_json::to_string_pretty(instance)?)
+    let jobs: Vec<Json> = instance
+        .jobs()
+        .iter()
+        .map(|j| {
+            Json::obj([
+                ("id", Json::Int(j.id.0 as i64)),
+                ("release", Json::str(j.release.to_string())),
+                ("deadline", Json::str(j.deadline.to_string())),
+                ("processing", Json::str(j.processing.to_string())),
+            ])
+        })
+        .collect();
+    Ok(Json::obj([("jobs", Json::Arr(jobs))]).to_pretty())
+}
+
+fn rat_field(obj: &Json, key: &str, job: usize) -> Result<Rat, IoError> {
+    let text = obj
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad(format!("job {job}: missing string field \"{key}\"")))?;
+    text.parse().map_err(|e| {
+        bad(format!(
+            "job {job}: invalid rational \"{text}\" for \"{key}\": {e}"
+        ))
+    })
 }
 
 /// Deserializes an instance from JSON.
 pub fn from_json(json: &str) -> Result<Instance, IoError> {
-    Ok(serde_json::from_str(json)?)
+    let doc = mm_json::parse(json)?;
+    let entries = doc
+        .get("jobs")
+        .ok_or_else(|| bad("missing \"jobs\" field"))?
+        .as_arr()
+        .ok_or_else(|| bad("\"jobs\" must be an array"))?;
+    let n = entries.len();
+    let mut jobs = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for (i, entry) in entries.iter().enumerate() {
+        let id = entry
+            .get("id")
+            .and_then(Json::as_i64)
+            .ok_or_else(|| bad(format!("job {i}: missing integer field \"id\"")))?;
+        let id = usize::try_from(id)
+            .ok()
+            .filter(|&id| id < n)
+            .ok_or_else(|| bad(format!("job {i}: id {id} outside 0..{n}")))?;
+        if seen[id] {
+            return Err(bad(format!("duplicate job id {id}")));
+        }
+        seen[id] = true;
+        jobs.push(Job::new(
+            JobId(id as u32),
+            rat_field(entry, "release", i)?,
+            rat_field(entry, "deadline", i)?,
+            rat_field(entry, "processing", i)?,
+        ));
+    }
+    Ok(Instance::from_jobs_with_ids(jobs))
 }
 
 /// Writes an instance to a JSON file.
@@ -108,5 +180,47 @@ mod tests {
     fn malformed_json_is_an_error() {
         assert!(from_json("{not json").is_err());
         assert!(from_json("{\"jobs\": 3}").is_err());
+    }
+
+    #[test]
+    fn bad_ids_are_errors_not_panics() {
+        // Duplicate id.
+        let dup = r#"{"jobs": [
+            {"id": 0, "release": "0", "deadline": "2", "processing": "1"},
+            {"id": 0, "release": "1", "deadline": "3", "processing": "1"}
+        ]}"#;
+        assert!(from_json(dup).is_err());
+        // Id out of range.
+        let oob = r#"{"jobs": [
+            {"id": 5, "release": "0", "deadline": "2", "processing": "1"}
+        ]}"#;
+        assert!(from_json(oob).is_err());
+        // Non-rational coordinate.
+        let nonrat = r#"{"jobs": [
+            {"id": 0, "release": "zero", "deadline": "2", "processing": "1"}
+        ]}"#;
+        assert!(from_json(nonrat).is_err());
+    }
+
+    #[test]
+    fn preserves_arrival_order_ids() {
+        // Ids deliberately disagree with canonical (release-sorted) order.
+        let jobs = [
+            Job::new(
+                JobId(1),
+                Rat::ratio(0, 1),
+                Rat::ratio(4, 1),
+                Rat::ratio(1, 1),
+            ),
+            Job::new(
+                JobId(0),
+                Rat::ratio(2, 1),
+                Rat::ratio(6, 1),
+                Rat::ratio(1, 1),
+            ),
+        ];
+        let inst = Instance::from_jobs_with_ids(jobs);
+        let back = from_json(&to_json(&inst).unwrap()).unwrap();
+        assert_eq!(inst, back);
     }
 }

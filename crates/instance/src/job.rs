@@ -11,7 +11,6 @@ use crate::Interval;
 /// (ties broken by non-increasing deadline, matching the indexing convention
 /// of Section 5 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct JobId(pub u32);
 
 impl JobId {
@@ -29,7 +28,6 @@ impl fmt::Display for JobId {
 
 /// A preemptable job `j = (r_j, d_j, p_j)`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Job {
     /// The job's identifier.
     pub id: JobId,
@@ -44,13 +42,21 @@ pub struct Job {
 impl Job {
     /// Builds a job, checking `0 < p_j ≤ d_j − r_j`.
     pub fn new(id: JobId, release: Rat, deadline: Rat, processing: Rat) -> Self {
-        assert!(processing.is_positive(), "job {id}: processing must be positive");
+        assert!(
+            processing.is_positive(),
+            "job {id}: processing must be positive"
+        );
         assert!(
             processing <= &deadline - &release,
             "job {id}: infeasible window (p={processing}, window={})",
             &deadline - &release
         );
-        Job { id, release, deadline, processing }
+        Job {
+            id,
+            release,
+            deadline,
+            processing,
+        }
     }
 
     /// The processing interval (time window) `I(j) = [r_j, d_j)`.

@@ -35,9 +35,8 @@
 
 pub mod generators;
 mod instance;
-#[cfg(feature = "serde")]
-pub mod io;
 mod interval;
+pub mod io;
 mod job;
 
 pub use instance::{Instance, StructureClass};

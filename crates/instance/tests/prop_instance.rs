@@ -7,10 +7,7 @@ use mm_numeric::Rat;
 use proptest::prelude::*;
 
 fn arb_intervals() -> impl Strategy<Value = Vec<(i64, i64)>> {
-    proptest::collection::vec(
-        (0i64..50, 1i64..12).prop_map(|(a, w)| (a, a + w)),
-        0..12,
-    )
+    proptest::collection::vec((0i64..50, 1i64..12).prop_map(|(a, w)| (a, a + w)), 0..12)
 }
 
 fn set_of(v: &[(i64, i64)]) -> IntervalSet {

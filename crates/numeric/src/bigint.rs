@@ -57,7 +57,10 @@ pub struct BigInt {
 impl BigInt {
     /// The integer `0`.
     pub fn zero() -> Self {
-        BigInt { sign: Sign::Zero, mag: Vec::new() }
+        BigInt {
+            sign: Sign::Zero,
+            mag: Vec::new(),
+        }
     }
 
     /// The integer `1`.
@@ -93,7 +96,11 @@ impl BigInt {
     /// Absolute value.
     pub fn abs(&self) -> BigInt {
         BigInt {
-            sign: if self.sign == Sign::Zero { Sign::Zero } else { Sign::Plus },
+            sign: if self.sign == Sign::Zero {
+                Sign::Zero
+            } else {
+                Sign::Plus
+            },
             mag: self.mag.clone(),
         }
     }
@@ -419,8 +426,16 @@ fn div_rem_mag(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
     }
     // Normalize so the top limb of the divisor has its high bit set.
     let shift = b.last().unwrap().leading_zeros() as u64;
-    let u = BigInt { sign: Sign::Plus, mag: a.to_vec() }.shl_bits(shift);
-    let v = BigInt { sign: Sign::Plus, mag: b.to_vec() }.shl_bits(shift);
+    let u = BigInt {
+        sign: Sign::Plus,
+        mag: a.to_vec(),
+    }
+    .shl_bits(shift);
+    let v = BigInt {
+        sign: Sign::Plus,
+        mag: b.to_vec(),
+    }
+    .shl_bits(shift);
     let mut u = u.mag;
     let v = v.mag;
     let n = v.len();
@@ -495,7 +510,11 @@ fn div_rem_small(a: &[u32], d: u32) -> (Vec<u32>, Vec<u32>) {
     while q.last() == Some(&0) {
         q.pop();
     }
-    let r = if rem == 0 { Vec::new() } else { vec![rem as u32] };
+    let r = if rem == 0 {
+        Vec::new()
+    } else {
+        vec![rem as u32]
+    };
     (q, r)
 }
 
@@ -595,7 +614,10 @@ impl<'b> Sub<&'b BigInt> for &BigInt {
     type Output = BigInt;
     #[allow(clippy::suspicious_arithmetic_impl)] // subtraction = negate + add
     fn sub(self, rhs: &'b BigInt) -> BigInt {
-        let neg = BigInt { sign: rhs.sign.flip(), mag: rhs.mag.clone() };
+        let neg = BigInt {
+            sign: rhs.sign.flip(),
+            mag: rhs.mag.clone(),
+        };
         self + &neg
     }
 }
@@ -643,14 +665,20 @@ forward_binop!(Add::add, Sub::sub, Mul::mul, Div::div, Rem::rem);
 impl Neg for BigInt {
     type Output = BigInt;
     fn neg(self) -> BigInt {
-        BigInt { sign: self.sign.flip(), mag: self.mag }
+        BigInt {
+            sign: self.sign.flip(),
+            mag: self.mag,
+        }
     }
 }
 
 impl Neg for &BigInt {
     type Output = BigInt;
     fn neg(self) -> BigInt {
-        BigInt { sign: self.sign.flip(), mag: self.mag.clone() }
+        BigInt {
+            sign: self.sign.flip(),
+            mag: self.mag.clone(),
+        }
     }
 }
 
@@ -716,7 +744,11 @@ impl FromStr for BigInt {
                 .parse()
                 .map_err(|_| ParseNumError::new("non-digit character"))?;
             let scale = BigInt::from(10u32).pow(take as u32);
-            acc = if take == 9 { &acc * &billion } else { &acc * &scale };
+            acc = if take == 9 {
+                &acc * &billion
+            } else {
+                &acc * &scale
+            };
             acc = &acc + &BigInt::from(v);
             i += take;
         }
@@ -724,21 +756,6 @@ impl FromStr for BigInt {
             acc.sign = Sign::Minus;
         }
         Ok(acc)
-    }
-}
-
-#[cfg(feature = "serde")]
-impl serde::Serialize for BigInt {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_str(&self.to_string())
-    }
-}
-
-#[cfg(feature = "serde")]
-impl<'de> serde::Deserialize<'de> for BigInt {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(d)?;
-        s.parse().map_err(serde::de::Error::custom)
     }
 }
 
@@ -768,7 +785,12 @@ mod tests {
 
     #[test]
     fn parse_roundtrip() {
-        for s in ["0", "-1", "123456789012345678901234567890", "-99999999999999999999"] {
+        for s in [
+            "0",
+            "-1",
+            "123456789012345678901234567890",
+            "-99999999999999999999",
+        ] {
             let v: BigInt = s.parse().unwrap();
             assert_eq!(v.to_string(), s);
         }
@@ -930,5 +952,4 @@ mod tests {
         assert!(!bi(3).is_even());
         assert!(bi(-4).is_even());
     }
-
 }

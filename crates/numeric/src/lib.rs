@@ -15,8 +15,8 @@
 //!   workspace.
 //!
 //! Both types implement the usual operator traits for owned and borrowed
-//! operands, `Ord`, `Hash`, `Display`, `FromStr`, and (behind the default
-//! `serde` feature) `Serialize`/`Deserialize` via their decimal string form.
+//! operands, `Ord`, `Hash`, `Display`, and `FromStr`; their decimal string
+//! form is what `mm_instance::io` serialises.
 //!
 //! # Example
 //!

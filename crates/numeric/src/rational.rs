@@ -21,12 +21,18 @@ pub struct Rat {
 impl Rat {
     /// The rational `0`.
     pub fn zero() -> Self {
-        Rat { num: BigInt::zero(), den: BigInt::one() }
+        Rat {
+            num: BigInt::zero(),
+            den: BigInt::one(),
+        }
     }
 
     /// The rational `1`.
     pub fn one() -> Self {
-        Rat { num: BigInt::one(), den: BigInt::one() }
+        Rat {
+            num: BigInt::one(),
+            den: BigInt::one(),
+        }
     }
 
     /// The rational `1/2`.
@@ -45,12 +51,19 @@ impl Rat {
         if num.is_zero() {
             return Rat::zero();
         }
-        let (num, den) = if den.is_negative() { (-num, -den) } else { (num, den) };
+        let (num, den) = if den.is_negative() {
+            (-num, -den)
+        } else {
+            (num, den)
+        };
         let g = num.gcd(&den);
         if g.is_one() {
             Rat { num, den }
         } else {
-            Rat { num: &num / &g, den: &den / &g }
+            Rat {
+                num: &num / &g,
+                den: &den / &g,
+            }
         }
     }
 
@@ -86,7 +99,10 @@ impl Rat {
 
     /// Absolute value.
     pub fn abs(&self) -> Rat {
-        Rat { num: self.num.abs(), den: self.den.clone() }
+        Rat {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
     }
 
     /// Largest integer `≤ self`.
@@ -112,7 +128,9 @@ impl Rat {
     /// `⌈self⌉` as `u64`; panics if negative or out of range. Convenience for
     /// machine counts.
     pub fn ceil_u64(&self) -> u64 {
-        self.ceil().to_u64().expect("ceil_u64 on negative or huge rational")
+        self.ceil()
+            .to_u64()
+            .expect("ceil_u64 on negative or huge rational")
     }
 
     /// Approximate `f64` value (for reporting only; never used in decisions).
@@ -129,7 +147,10 @@ impl Rat {
             if bits <= 64 {
                 (v.low_u64() as f64, 0)
             } else {
-                (v.abs().shr_bits(bits - 64).low_u64() as f64, (bits - 64) as i64)
+                (
+                    v.abs().shr_bits(bits - 64).low_u64() as f64,
+                    (bits - 64) as i64,
+                )
             }
         };
         let (mn, en) = top(&self.num.abs());
@@ -174,13 +195,19 @@ impl Rat {
 
 impl From<i64> for Rat {
     fn from(v: i64) -> Self {
-        Rat { num: BigInt::from(v), den: BigInt::one() }
+        Rat {
+            num: BigInt::from(v),
+            den: BigInt::one(),
+        }
     }
 }
 
 impl From<u64> for Rat {
     fn from(v: u64) -> Self {
-        Rat { num: BigInt::from(v), den: BigInt::one() }
+        Rat {
+            num: BigInt::from(v),
+            den: BigInt::one(),
+        }
     }
 }
 
@@ -198,13 +225,19 @@ impl From<u32> for Rat {
 
 impl From<usize> for Rat {
     fn from(v: usize) -> Self {
-        Rat { num: BigInt::from(v), den: BigInt::one() }
+        Rat {
+            num: BigInt::from(v),
+            den: BigInt::one(),
+        }
     }
 }
 
 impl From<BigInt> for Rat {
     fn from(v: BigInt) -> Self {
-        Rat { num: v, den: BigInt::one() }
+        Rat {
+            num: v,
+            den: BigInt::one(),
+        }
     }
 }
 
@@ -291,14 +324,20 @@ forward_rat_binop!(Add::add, Sub::sub, Mul::mul, Div::div);
 impl Neg for Rat {
     type Output = Rat;
     fn neg(self) -> Rat {
-        Rat { num: -self.num, den: self.den }
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 
 impl Neg for &Rat {
     type Output = Rat;
     fn neg(self) -> Rat {
-        Rat { num: -(&self.num), den: self.den.clone() }
+        Rat {
+            num: -(&self.num),
+            den: self.den.clone(),
+        }
     }
 }
 
@@ -365,21 +404,6 @@ impl FromStr for Rat {
                 Ok(Rat::from(num))
             }
         }
-    }
-}
-
-#[cfg(feature = "serde")]
-impl serde::Serialize for Rat {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_str(&self.to_string())
-    }
-}
-
-#[cfg(feature = "serde")]
-impl<'de> serde::Deserialize<'de> for Rat {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(d)?;
-        s.parse().map_err(serde::de::Error::custom)
     }
 }
 

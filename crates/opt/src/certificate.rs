@@ -75,9 +75,7 @@ pub fn contribution_bound(instance: &Instance) -> Certificate {
                 continue;
             }
             let d = density(instance, &u);
-            if d > best_density
-                && best_step.as_ref().is_none_or(|(_, bd)| d > *bd)
-            {
+            if d > best_density && best_step.as_ref().is_none_or(|(_, bd)| d > *bd) {
                 best_step = Some((u, d));
             }
         }
@@ -151,10 +149,20 @@ mod tests {
     fn certificate_is_valid_lower_bound_on_random_instances() {
         use mm_instance::generators::{uniform, UniformCfg};
         for seed in 0..10 {
-            let inst = uniform(&UniformCfg { n: 25, ..Default::default() }, seed);
+            let inst = uniform(
+                &UniformCfg {
+                    n: 25,
+                    ..Default::default()
+                },
+                seed,
+            );
             let c = contribution_bound(&inst);
             let m = optimal_machines(&inst);
-            assert!(c.bound <= m, "seed {seed}: certificate {} exceeds optimum {m}", c.bound);
+            assert!(
+                c.bound <= m,
+                "seed {seed}: certificate {} exceeds optimum {m}",
+                c.bound
+            );
         }
     }
 
@@ -167,6 +175,10 @@ mod tests {
         let c = contribution_bound(&inst);
         let m = optimal_machines(&inst);
         assert!(c.bound <= m);
-        assert!(m - c.bound <= 1, "certificate {} far from optimum {m}", c.bound);
+        assert!(
+            m - c.bound <= 1,
+            "certificate {} far from optimum {m}",
+            c.bound
+        );
     }
 }

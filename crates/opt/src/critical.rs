@@ -73,7 +73,10 @@ pub fn check_critical_pair(
         }
         let coverage = jobs.iter().filter(|j| j.covers(&midpoint)).count();
         if coverage < mu {
-            return Err(CriticalityFailure::UndercoveredPoint { at: midpoint, coverage });
+            return Err(CriticalityFailure::UndercoveredPoint {
+                at: midpoint,
+                coverage,
+            });
         }
     }
     // Overlap: |T ∩ I(j)| ≥ β·ℓ_j.

@@ -35,7 +35,7 @@ pub fn edf_single(jobs: &[Job]) -> Result<Vec<(JobId, Rat, Rat)>, JobId> {
     }
     let mut pending: Vec<&Job> = jobs.iter().collect();
     pending.sort_by(|a, b| b.release.cmp(&a.release)); // pop earliest from back
-    // Active jobs keyed by (deadline, id) with remaining volume.
+                                                       // Active jobs keyed by (deadline, id) with remaining volume.
     let mut active: std::collections::BTreeMap<(Rat, JobId), Rat> = Default::default();
     let mut segments = Vec::new();
     let mut t = pending.last().unwrap().release.clone();
@@ -133,7 +133,11 @@ pub fn demigrate(instance: &Instance) -> Demigration {
             schedule.push_unit(mi, id, s, e);
         }
     }
-    Demigration { machines: machine_jobs.len(), schedule, assignment }
+    Demigration {
+        machines: machine_jobs.len(),
+        schedule,
+        assignment,
+    }
 }
 
 #[cfg(test)]
@@ -157,7 +161,10 @@ mod tests {
         ];
         let segs = edf_single(&jobs).unwrap();
         // total processed = 3
-        let total: Rat = segs.iter().map(|(_, s, e)| e - s).fold(Rat::zero(), |a, b| a + b);
+        let total: Rat = segs
+            .iter()
+            .map(|(_, s, e)| e - s)
+            .fold(Rat::zero(), |a, b| a + b);
         assert_eq!(total, Rat::from(3i64));
     }
 
@@ -201,7 +208,13 @@ mod tests {
     fn demigration_produces_valid_nonmigratory_schedules() {
         use mm_instance::generators::{uniform, UniformCfg};
         for seed in 0..6 {
-            let inst = uniform(&UniformCfg { n: 40, ..Default::default() }, seed);
+            let inst = uniform(
+                &UniformCfg {
+                    n: 40,
+                    ..Default::default()
+                },
+                seed,
+            );
             let res = demigrate(&inst);
             let mut sched = res.schedule;
             let stats = verify(&inst, &mut sched, &VerifyOptions::nonmigratory())
@@ -217,7 +230,13 @@ mod tests {
         // transformation stays within the 6m−5 budget on these workloads.
         use mm_instance::generators::{uniform, UniformCfg};
         for seed in 0..6 {
-            let inst = uniform(&UniformCfg { n: 30, ..Default::default() }, seed);
+            let inst = uniform(
+                &UniformCfg {
+                    n: 30,
+                    ..Default::default()
+                },
+                seed,
+            );
             let m = optimal_machines(&inst);
             let res = demigrate(&inst);
             assert!(

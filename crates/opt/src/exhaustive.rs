@@ -48,7 +48,11 @@ pub fn exhaustive_contribution_bound(instance: &Instance) -> Certificate {
     let jobs = instance.jobs();
     let inside: Vec<Vec<bool>> = cells
         .iter()
-        .map(|cell| jobs.iter().map(|j| j.window().contains_interval(cell)).collect())
+        .map(|cell| {
+            jobs.iter()
+                .map(|j| j.window().contains_interval(cell))
+                .collect()
+        })
         .collect();
     let lengths: Vec<Rat> = cells.iter().map(|c| c.length()).collect();
     let laxities: Vec<Rat> = jobs.iter().map(|j| j.laxity()).collect();
@@ -89,7 +93,11 @@ pub fn exhaustive_contribution_bound(instance: &Instance) -> Certificate {
             .filter(|(i, _)| best_mask & (1 << i) != 0)
             .map(|(_, c)| c.clone()),
     );
-    Certificate { bound: best_density.ceil_u64(), density: best_density, witness }
+    Certificate {
+        bound: best_density.ceil_u64(),
+        density: best_density,
+        witness,
+    }
 }
 
 #[cfg(test)]
@@ -111,7 +119,12 @@ mod tests {
         use mm_instance::generators::{uniform, UniformCfg};
         for seed in 0..20 {
             let inst = uniform(
-                &UniformCfg { n: 7, horizon: 12, min_window: 1, max_window: 6 },
+                &UniformCfg {
+                    n: 7,
+                    horizon: 12,
+                    min_window: 1,
+                    max_window: 6,
+                },
                 seed,
             );
             if elementary_intervals(&inst).len() > EXHAUSTIVE_LIMIT {
@@ -135,13 +148,7 @@ mod tests {
     fn union_witness_recovered() {
         // The two-burst + low-laxity background construction from the
         // certificate tests: the exhaustive oracle must find density 5/2.
-        let inst = Instance::from_ints([
-            (0, 10, 9),
-            (0, 1, 1),
-            (0, 1, 1),
-            (9, 10, 1),
-            (9, 10, 1),
-        ]);
+        let inst = Instance::from_ints([(0, 10, 9), (0, 1, 1), (0, 1, 1), (9, 10, 1), (9, 10, 1)]);
         let c = exhaustive_contribution_bound(&inst);
         assert_eq!(c.density, Rat::ratio(5, 2));
         assert_eq!(c.bound, 3);
@@ -152,7 +159,13 @@ mod tests {
     #[should_panic(expected = "exceed the exhaustive enumeration limit")]
     fn refuses_large_instances() {
         use mm_instance::generators::{uniform, UniformCfg};
-        let inst = uniform(&UniformCfg { n: 40, ..Default::default() }, 1);
+        let inst = uniform(
+            &UniformCfg {
+                n: 40,
+                ..Default::default()
+            },
+            1,
+        );
         let _ = exhaustive_contribution_bound(&inst);
     }
 }

@@ -49,7 +49,10 @@ pub fn schedule_from_allocation(alloc: &FlowAllocation, m: u64) -> Schedule {
                 start = piece_end;
             }
         }
-        debug_assert!(cursor <= Rat::from(m) * &len, "allocation exceeds machine capacity");
+        debug_assert!(
+            cursor <= Rat::from(m) * &len,
+            "allocation exceeds machine capacity"
+        );
     }
     schedule
 }
@@ -82,7 +85,13 @@ mod tests {
     fn extraction_is_always_feasible_on_generated_instances() {
         use mm_instance::generators::{uniform, UniformCfg};
         for seed in 0..8 {
-            let inst = uniform(&UniformCfg { n: 30, ..Default::default() }, seed);
+            let inst = uniform(
+                &UniformCfg {
+                    n: 30,
+                    ..Default::default()
+                },
+                seed,
+            );
             let (m, mut sched) = optimal_schedule(&inst);
             let stats = verify(&inst, &mut sched, &VerifyOptions::migratory())
                 .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));

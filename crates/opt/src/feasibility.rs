@@ -15,6 +15,7 @@
 use mm_flow::FlowNetwork;
 use mm_instance::{Instance, Interval, JobId};
 use mm_numeric::Rat;
+use mm_trace::{NoopSink, TraceEvent, TraceSink};
 
 /// Per-interval processing allocation of a feasible flow: how much of each
 /// job is processed inside each elementary interval.
@@ -40,7 +41,10 @@ pub fn elementary_intervals(instance: &Instance) -> Vec<Interval> {
 /// returning the per-interval allocation on success.
 pub fn feasible_allocation(instance: &Instance, m: u64) -> Option<FlowAllocation> {
     if instance.is_empty() {
-        return Some(FlowAllocation { intervals: Vec::new(), amounts: Vec::new() });
+        return Some(FlowAllocation {
+            intervals: Vec::new(),
+            amounts: Vec::new(),
+        });
     }
     if m == 0 {
         return None;
@@ -98,26 +102,49 @@ pub fn feasible_on(instance: &Instance, m: u64) -> bool {
     feasible_allocation(instance, m).is_some()
 }
 
+/// [`feasible_on`] with the probe reported to `sink` as a
+/// [`TraceEvent::FeasibilityProbe`].
+pub fn feasible_on_traced<S: TraceSink>(instance: &Instance, m: u64, mut sink: S) -> bool {
+    let feasible = feasible_on(instance, m);
+    if sink.enabled() {
+        sink.record(&TraceEvent::FeasibilityProbe {
+            machines: m,
+            jobs: instance.len(),
+            feasible,
+        });
+    }
+    feasible
+}
+
 /// The minimum number of machines for a migratory schedule, by binary search
 /// over the monotone predicate [`feasible_on`].
 pub fn optimal_machines(instance: &Instance) -> u64 {
+    optimal_machines_traced(instance, NoopSink)
+}
+
+/// [`optimal_machines`] with every feasibility probe and every binary-search
+/// bracket update reported to `sink`. Pass `&mut sink` to keep ownership.
+pub fn optimal_machines_traced<S: TraceSink>(instance: &Instance, mut sink: S) -> u64 {
     if instance.is_empty() {
         return 0;
     }
     let mut lo = instance.volume_lower_bound().max(1);
     // Upper bound: one machine per job always suffices.
     let mut hi = instance.len() as u64;
-    if feasible_on(instance, lo) {
+    if feasible_on_traced(instance, lo, &mut sink) {
         return lo;
     }
     // invariant: infeasible(lo), feasible(hi)
     debug_assert!(feasible_on(instance, hi));
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
-        if feasible_on(instance, mid) {
+        if feasible_on_traced(instance, mid, &mut sink) {
             hi = mid;
         } else {
             lo = mid;
+        }
+        if sink.enabled() {
+            sink.record(&TraceEvent::BinarySearchStep { lo, hi });
         }
     }
     hi
@@ -211,6 +238,13 @@ mod tests {
     fn elementary_interval_structure() {
         let inst = Instance::from_ints([(0, 4, 1), (2, 6, 1)]);
         let ivs = elementary_intervals(&inst);
-        assert_eq!(ivs, vec![Interval::ints(0, 2), Interval::ints(2, 4), Interval::ints(4, 6)]);
+        assert_eq!(
+            ivs,
+            vec![
+                Interval::ints(0, 2),
+                Interval::ints(2, 4),
+                Interval::ints(4, 6)
+            ]
+        );
     }
 }

@@ -40,11 +40,10 @@ mod feasibility;
 
 pub use certificate::{contribution_bound, Certificate};
 pub use critical::{check_critical_pair, theorem10_shape, CriticalityFailure};
+pub use demigrate::{demigrate, edf_single, single_machine_feasible, theorem2_bound, Demigration};
 pub use exhaustive::{exhaustive_contribution_bound, EXHAUSTIVE_LIMIT};
-pub use demigrate::{
-    demigrate, edf_single, single_machine_feasible, theorem2_bound, Demigration,
-};
 pub use extract::{optimal_schedule, schedule_from_allocation};
 pub use feasibility::{
-    elementary_intervals, feasible_allocation, feasible_on, optimal_machines, FlowAllocation,
+    elementary_intervals, feasible_allocation, feasible_on, feasible_on_traced, optimal_machines,
+    optimal_machines_traced, FlowAllocation,
 };

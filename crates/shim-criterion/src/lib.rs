@@ -1,0 +1,326 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this workspace-local
+//! crate implements the subset of criterion's API the bench suite uses:
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`BenchmarkId`], and [`BatchSize`].
+//!
+//! Measurement is deliberately simple: each benchmark is warmed up once,
+//! then timed over a handful of fixed-size batches, and the per-iteration
+//! median is printed. There are no statistical reports, plots, or saved
+//! baselines. A benchmark binary still accepts a positional substring
+//! filter (and ignores `--bench`/`--test` flags cargo passes), so
+//! `cargo bench <name>` narrows to matching benchmarks.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export for call sites that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// How batched setup output is sized. Only a hint; the shim ignores it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifies a parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just a parameter, rendered on its own.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Times closures handed to it by a benchmark function.
+pub struct Bencher {
+    /// Median per-iteration time of the last `iter` call, if any.
+    elapsed: Option<Duration>,
+    iters_per_batch: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over repeated batches and records the median
+    /// per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one call, also sizes the batch so cheap routines are
+        // timed in bulk while slow ones run only a few times.
+        let warm = Instant::now();
+        black_box(routine());
+        let once = warm.elapsed();
+        let per_batch = if once < Duration::from_micros(10) {
+            1000
+        } else if once < Duration::from_millis(1) {
+            50
+        } else {
+            1
+        };
+        self.iters_per_batch = per_batch;
+
+        let batches = 7usize;
+        let mut samples = Vec::with_capacity(batches);
+        for _ in 0..batches {
+            let t = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            samples.push(t.elapsed() / per_batch as u32);
+        }
+        samples.sort();
+        self.elapsed = Some(samples[batches / 2]);
+    }
+
+    /// Like [`Bencher::iter`], but excludes `setup` time from measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let batches = 7usize;
+        let mut samples = Vec::with_capacity(batches);
+        // Warm-up.
+        black_box(routine(setup()));
+        for _ in 0..batches {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            samples.push(t.elapsed());
+        }
+        samples.sort();
+        self.iters_per_batch = 1;
+        self.elapsed = Some(samples[batches / 2]);
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    list_only: bool,
+}
+
+impl Criterion {
+    /// Builds a driver from command-line arguments: a positional substring
+    /// filter plus the flags cargo's bench runner passes.
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" | "--test" | "--nocapture" | "--quiet" | "-q" => {}
+                "--list" => c.list_only = true,
+                a if a.starts_with('-') => {}
+                a => c.filter = Some(a.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Alias for [`Criterion::from_args`] kept for upstream compatibility.
+    pub fn configure_from_args(self) -> Self {
+        Criterion::from_args()
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        if !self.matches(id) {
+            return;
+        }
+        if self.list_only {
+            println!("{id}: bench");
+            return;
+        }
+        let mut b = Bencher {
+            elapsed: None,
+            iters_per_batch: 0,
+        };
+        f(&mut b);
+        match b.elapsed {
+            Some(d) => println!(
+                "{id:<48} {:>12}/iter  ({} iters/batch)",
+                format_duration(d),
+                b.iters_per_batch
+            ),
+            None => println!("{id:<48} (no measurement)"),
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        self.run_one(id, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Upstream runs pending reports here; the shim prints eagerly.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample-size hint; the shim uses a fixed batch plan, so this is a no-op.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measurement-time hint; ignored by the shim.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Runs a benchmark that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_records_a_sample() {
+        let mut b = Bencher {
+            elapsed: None,
+            iters_per_batch: 0,
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert!(b.elapsed.is_some());
+        assert!(b.iters_per_batch >= 1);
+    }
+
+    #[test]
+    fn iter_batched_uses_fresh_inputs() {
+        let mut b = Bencher {
+            elapsed: None,
+            iters_per_batch: 0,
+        };
+        let mut setups = 0u32;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8; 8]
+            },
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        assert!(setups >= 2);
+        assert!(b.elapsed.is_some());
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn filter_matches_substrings() {
+        let c = Criterion {
+            filter: Some("mul".into()),
+            list_only: false,
+        };
+        assert!(c.matches("bigint/mul_400"));
+        assert!(!c.matches("bigint/gcd"));
+        let all = Criterion::default();
+        assert!(all.matches("anything"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides [`scope`] with crossbeam's calling convention (the spawn closure
+//! receives the scope handle, the scope returns a `Result`), implemented on
+//! top of `std::thread::scope`. One behavioral difference: a panicking child
+//! thread propagates the panic out of [`scope`] instead of surfacing as
+//! `Err`, which is equivalent for callers that `.expect()` the result.
+
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+
+/// A handle for spawning threads inside a [`scope`]. `Copy`, so it can be
+/// captured by many spawn closures at once.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. As in crossbeam, the closure receives the
+    /// scope handle so it can spawn further threads.
+    pub fn spawn<F, T>(self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(Scope { inner }))
+    }
+}
+
+/// Creates a scope in which borrowed data can be shared with spawned
+/// threads; all threads are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_share_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let total = std::sync::Mutex::new(0u64);
+        super::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    let part: u64 = chunk.iter().sum();
+                    *total.lock().unwrap() += part;
+                });
+            }
+        })
+        .expect("worker panicked");
+        assert_eq!(total.into_inner().unwrap(), 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

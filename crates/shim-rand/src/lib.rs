@@ -1,0 +1,171 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace-local
+//! crate provides the exact (tiny) API surface the workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and
+//! [`Rng::gen_range`] over integer ranges. The generator is deterministic
+//! per seed (splitmix64 mixing on a 64-bit counter), which is all the
+//! workload generators require — reproducible, well-distributed streams.
+//! It is **not** the upstream StdRng stream and is not cryptographic.
+
+#![forbid(unsafe_code)]
+
+use core::ops::{Range, RangeFrom, RangeInclusive};
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core uniform bit source.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (half-open, inclusive, or from-ranges
+    /// over primitive integers).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Samples a `bool` with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one sample. Panics on empty ranges.
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty => $wide:ty),+ $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end as $wide).wrapping_sub(self.start as $wide) as u128;
+                let draw = wide_u128(rng) % width;
+                ((self.start as $wide as u128).wrapping_add(draw)) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let width = (end as $wide).wrapping_sub(start as $wide) as u128;
+                if width == u128::MAX {
+                    return wide_u128(rng) as $t;
+                }
+                let draw = wide_u128(rng) % (width + 1);
+                ((start as $wide as u128).wrapping_add(draw)) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeFrom<$t> {
+            fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                (self.start..=<$t>::MAX).sample_single(rng)
+            }
+        }
+    )+};
+}
+
+impl_sample_int!(
+    i8 => i128, i16 => i128, i32 => i128, i64 => i128, i128 => i128, isize => i128,
+    u8 => u128, u16 => u128, u32 => u128, u64 => u128, u128 => u128, usize => u128,
+);
+
+fn wide_u128<G: RngCore + ?Sized>(rng: &mut G) -> u128 {
+    ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+}
+
+/// Deterministic generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: splitmix64 applied
+    /// to an incrementing 64-bit counter.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (Steele, Lea, Flood 2014): passes BigCrush when used
+            // as a counter-mode mixer.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<i64> = (0..32).map(|_| a.gen_range(0..1000)).collect();
+        let ys: Vec<i64> = (0..32).map(|_| b.gen_range(0..1000)).collect();
+        let zs: Vec<i64> = (0..32).map(|_| c.gen_range(0..1000)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&v));
+            let w: i64 = rng.gen_range(1..=3);
+            assert!((1..=3).contains(&w));
+            let u: usize = rng.gen_range(0..7);
+            assert!(u < 7);
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_endpoints() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let v: i64 = rng.gen_range(0..=2);
+            seen[v as usize] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn full_u64_range_from() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // Must not hang or panic on width 2^64.
+        let v: u64 = rng.gen_range(0u64..);
+        let _ = v;
+        let w: u128 = rng.gen_range(1u128..);
+        assert!(w >= 1);
+    }
+}

@@ -16,6 +16,7 @@ use std::collections::BTreeMap;
 
 use mm_instance::{Instance, Job, JobId};
 use mm_numeric::Rat;
+use mm_trace::{NoopSink, TraceEvent, TraceSink};
 
 use crate::{Schedule, Segment};
 
@@ -48,7 +49,10 @@ impl SimConfig {
 
     /// Unit-speed non-migratory configuration with `machines` machines.
     pub fn nonmigratory(machines: usize) -> Self {
-        SimConfig { forbid_migration: true, ..SimConfig::migratory(machines) }
+        SimConfig {
+            forbid_migration: true,
+            ..SimConfig::migratory(machines)
+        }
     }
 
     /// Sets the machine speed.
@@ -178,7 +182,12 @@ pub enum SimError {
         requested: usize,
     },
     /// `max_steps` was exceeded (runaway wake-up loop).
-    StepLimitExceeded,
+    StepLimitExceeded {
+        /// Decision events executed (equals the configured budget).
+        steps: usize,
+        /// Simulation time when the budget ran out.
+        time: Rat,
+    },
 }
 
 impl core::fmt::Display for SimError {
@@ -192,11 +201,20 @@ impl core::fmt::Display for SimError {
             }
             SimError::DuplicateJob { job } => write!(f, "{job} assigned to two machines"),
             SimError::UnknownJob { job } => write!(f, "{job} is not active"),
-            SimError::MigrationForbidden { job, pinned, requested } => write!(
+            SimError::MigrationForbidden {
+                job,
+                pinned,
+                requested,
+            } => write!(
                 f,
                 "{job} is pinned to machine {pinned} but was sent to {requested}"
             ),
-            SimError::StepLimitExceeded => write!(f, "step limit exceeded"),
+            SimError::StepLimitExceeded { steps, time } => {
+                write!(
+                    f,
+                    "step limit of {steps} decision events exceeded at time {time}"
+                )
+            }
         }
     }
 }
@@ -230,7 +248,12 @@ impl SimOutcome {
 }
 
 /// An in-progress simulation. See the module docs for the interaction model.
-pub struct Simulation<P: OnlinePolicy> {
+///
+/// The sink parameter defaults to [`NoopSink`], whose `enabled()` is a
+/// constant `false`: untraced simulations skip all event bookkeeping at
+/// compile time. Pass a real sink (or `&mut` / `Option` of one) through
+/// [`Simulation::with_sink`] to observe the run as typed [`TraceEvent`]s.
+pub struct Simulation<P: OnlinePolicy, S: TraceSink = NoopSink> {
     policy: P,
     cfg: SimConfig,
     time: Rat,
@@ -241,12 +264,35 @@ pub struct Simulation<P: OnlinePolicy> {
     misses: Vec<JobId>,
     all_jobs: Vec<Job>,
     steps: usize,
+    sink: S,
+    /// Trace bookkeeping (maintained only while the sink is enabled):
+    /// machines that already received a segment, ...
+    traced_opened: Vec<bool>,
+    /// ... each job's distinct machines in first-use order, ...
+    traced_job_machines: BTreeMap<JobId, Vec<usize>>,
+    /// ... and each job's last segment as `(machine, end)`, to tell merging
+    /// continuations from preemptions the way `Schedule::normalize` does.
+    traced_last_run: BTreeMap<JobId, (usize, Rat)>,
 }
 
 impl<P: OnlinePolicy> Simulation<P> {
-    /// Creates an empty simulation at time 0.
+    /// Creates an empty, untraced simulation at time 0.
     pub fn new(cfg: SimConfig, policy: P) -> Self {
+        Simulation::with_sink(cfg, policy, NoopSink)
+    }
+
+    /// Creates an untraced simulation preloaded with all jobs of `instance`
+    /// (their ids are preserved).
+    pub fn from_instance(cfg: SimConfig, policy: P, instance: &Instance) -> Self {
+        Simulation::from_instance_with_sink(cfg, policy, instance, NoopSink)
+    }
+}
+
+impl<P: OnlinePolicy, S: TraceSink> Simulation<P, S> {
+    /// Creates an empty simulation at time 0 that reports to `sink`.
+    pub fn with_sink(cfg: SimConfig, policy: P, sink: S) -> Self {
         assert!(cfg.speed.is_positive(), "speed must be positive");
+        let machines = cfg.machines;
         Simulation {
             policy,
             cfg,
@@ -257,17 +303,32 @@ impl<P: OnlinePolicy> Simulation<P> {
             misses: Vec::new(),
             all_jobs: Vec::new(),
             steps: 0,
+            sink,
+            traced_opened: vec![false; machines],
+            traced_job_machines: BTreeMap::new(),
+            traced_last_run: BTreeMap::new(),
         }
     }
 
-    /// Creates a simulation preloaded with all jobs of `instance` (their ids
-    /// are preserved).
-    pub fn from_instance(cfg: SimConfig, policy: P, instance: &Instance) -> Self {
-        let mut sim = Simulation::new(cfg, policy);
+    /// Creates a simulation preloaded with all jobs of `instance` (ids
+    /// preserved) that reports to `sink`.
+    pub fn from_instance_with_sink(
+        cfg: SimConfig,
+        policy: P,
+        instance: &Instance,
+        sink: S,
+    ) -> Self {
+        let mut sim = Simulation::with_sink(cfg, policy, sink);
         for job in instance.iter() {
             sim.push_job(job.clone());
         }
         sim
+    }
+
+    /// Mutable access to the trace sink, letting embedding components (the
+    /// adversary, custom drivers) emit their own events into the same trace.
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
     }
 
     fn push_job(&mut self, job: Job) {
@@ -313,7 +374,11 @@ impl<P: OnlinePolicy> Simulation<P> {
         if self.misses.contains(&job) {
             return None;
         }
-        if self.all_jobs.iter().any(|j| j.id == job && j.release <= self.time) {
+        if self
+            .all_jobs
+            .iter()
+            .any(|j| j.id == job && j.release <= self.time)
+        {
             return Some(Rat::zero());
         }
         None
@@ -350,9 +415,19 @@ impl<P: OnlinePolicy> Simulation<P> {
             if last.release <= self.time {
                 let job = self.pending.pop().unwrap();
                 debug_assert!(job.release == self.time || self.time == Rat::zero());
+                if self.sink.enabled() {
+                    self.sink.record(&TraceEvent::JobReleased {
+                        job: job.id.0,
+                        time: job.release.clone(),
+                    });
+                }
                 self.active.insert(
                     job.id,
-                    ActiveJob { remaining: job.processing.clone(), job, pinned: None },
+                    ActiveJob {
+                        remaining: job.processing.clone(),
+                        job,
+                        pinned: None,
+                    },
                 );
             } else {
                 break;
@@ -361,16 +436,65 @@ impl<P: OnlinePolicy> Simulation<P> {
     }
 
     fn collect_misses(&mut self) {
-        let due: Vec<JobId> = self
+        let due: Vec<(JobId, Rat)> = self
             .active
             .iter()
             .filter(|(_, a)| a.job.deadline <= self.time && !a.remaining.is_zero())
-            .map(|(id, _)| *id)
+            .map(|(id, a)| (*id, a.job.deadline.clone()))
             .collect();
-        for id in due {
+        for (id, deadline) in due {
             self.active.remove(&id);
+            if self.sink.enabled() {
+                self.sink.record(&TraceEvent::DeadlineMissed {
+                    job: id.0,
+                    time: deadline,
+                });
+            }
             self.misses.push(id);
         }
+    }
+
+    /// Trace bookkeeping for one freshly pushed segment. Emission rules
+    /// mirror the schedule's derived stats exactly: `MachineOpened` fires at
+    /// each machine's first segment, `Migrated` when a job first touches
+    /// each machine beyond its first, and `Preempted` when a segment does
+    /// not merge with the job's previous one (different machine, or a gap).
+    fn trace_segment(&mut self, machine: usize, job: JobId, start: &Rat, end: &Rat) {
+        if !self.traced_opened[machine] {
+            self.traced_opened[machine] = true;
+            self.sink.record(&TraceEvent::MachineOpened {
+                machine,
+                time: start.clone(),
+            });
+        }
+        let machines = self.traced_job_machines.entry(job).or_default();
+        if machines.is_empty() {
+            machines.push(machine);
+            self.sink.record(&TraceEvent::JobStarted {
+                job: job.0,
+                machine,
+                time: start.clone(),
+            });
+        } else if !machines.contains(&machine) {
+            machines.push(machine);
+            let from = self.traced_last_run[&job].0;
+            self.sink.record(&TraceEvent::Migrated {
+                job: job.0,
+                from,
+                to: machine,
+                time: start.clone(),
+            });
+        }
+        if let Some((prev_machine, prev_end)) = self.traced_last_run.get(&job) {
+            if *prev_machine != machine || prev_end != start {
+                self.sink.record(&TraceEvent::Preempted {
+                    job: job.0,
+                    machine,
+                    time: start.clone(),
+                });
+            }
+        }
+        self.traced_last_run.insert(job, (machine, end.clone()));
     }
 
     /// Advances through one decision event, stopping at `limit` if given.
@@ -382,7 +506,16 @@ impl<P: OnlinePolicy> Simulation<P> {
             return Ok(false);
         }
         if self.steps >= self.cfg.max_steps {
-            return Err(SimError::StepLimitExceeded);
+            if self.sink.enabled() {
+                self.sink.record(&TraceEvent::StepLimitExceeded {
+                    steps: self.steps as u64,
+                    time: self.time.clone(),
+                });
+            }
+            return Err(SimError::StepLimitExceeded {
+                steps: self.steps,
+                time: self.time.clone(),
+            });
         }
         self.steps += 1;
 
@@ -481,8 +614,19 @@ impl<P: OnlinePolicy> Simulation<P> {
                 end = &self.time + &dv / &self.cfg.speed;
             }
             a.remaining = &a.remaining - &dv;
+            let completed = a.remaining.is_zero();
             if a.pinned.is_none() {
                 a.pinned = Some(machine);
+            }
+            if self.sink.enabled() {
+                let start = self.time.clone();
+                self.trace_segment(machine, job, &start, &end);
+                if completed {
+                    self.sink.record(&TraceEvent::Completed {
+                        job: job.0,
+                        time: end.clone(),
+                    });
+                }
             }
             self.schedule.push(Segment {
                 machine,
@@ -563,4 +707,15 @@ pub fn run_policy<P: OnlinePolicy>(
     cfg: SimConfig,
 ) -> Result<SimOutcome, SimError> {
     Simulation::from_instance(cfg, policy, instance).finish()
+}
+
+/// Like [`run_policy`], but reports every simulation event to `sink`.
+/// Pass `&mut sink` to keep ownership (a `&mut S` is itself a sink).
+pub fn run_policy_traced<P: OnlinePolicy, S: TraceSink>(
+    instance: &Instance,
+    policy: P,
+    cfg: SimConfig,
+    sink: S,
+) -> Result<SimOutcome, SimError> {
+    Simulation::from_instance_with_sink(cfg, policy, instance, sink).finish()
 }

@@ -48,8 +48,8 @@ mod schedule;
 mod verify;
 
 pub use driver::{
-    run_policy, ActiveJob, Decision, OnlinePolicy, SimConfig, SimError, SimOutcome, SimState,
-    Simulation,
+    run_policy, run_policy_traced, ActiveJob, Decision, OnlinePolicy, SimConfig, SimError,
+    SimOutcome, SimState, Simulation,
 };
 pub use gantt::render_gantt;
 pub use schedule::{Schedule, Segment};

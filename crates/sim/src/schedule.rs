@@ -41,7 +41,10 @@ pub struct Schedule {
 impl Schedule {
     /// The empty schedule.
     pub fn new() -> Self {
-        Schedule { segments: Vec::new(), normalized: true }
+        Schedule {
+            segments: Vec::new(),
+            normalized: true,
+        }
     }
 
     /// Appends a segment. Zero-length segments are ignored.
@@ -118,8 +121,12 @@ impl Schedule {
 
     /// The set of machines that ever process `job`, in ascending order.
     pub fn machines_of(&self, job: JobId) -> Vec<usize> {
-        let mut ms: Vec<usize> =
-            self.segments.iter().filter(|s| s.job == job).map(|s| s.machine).collect();
+        let mut ms: Vec<usize> = self
+            .segments
+            .iter()
+            .filter(|s| s.job == job)
+            .map(|s| s.machine)
+            .collect();
         ms.sort_unstable();
         ms.dedup();
         ms
@@ -135,7 +142,11 @@ impl Schedule {
 
     /// Highest machine index used plus one (0 if empty).
     pub fn machine_span(&self) -> usize {
-        self.segments.iter().map(|s| s.machine + 1).max().unwrap_or(0)
+        self.segments
+            .iter()
+            .map(|s| s.machine + 1)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of migrations: for each job, (distinct machines − 1), summed.
@@ -175,7 +186,11 @@ impl Schedule {
     /// All segments of one machine, normalized and sorted by start time.
     pub fn machine_segments(&mut self, machine: usize) -> Vec<Segment> {
         self.normalize();
-        self.segments.iter().filter(|s| s.machine == machine).cloned().collect()
+        self.segments
+            .iter()
+            .filter(|s| s.machine == machine)
+            .cloned()
+            .collect()
     }
 
     /// Number of segments (after normalization).
@@ -227,8 +242,11 @@ impl Schedule {
         let mut used: Vec<usize> = self.segments.iter().map(|s| s.machine).collect();
         used.sort_unstable();
         used.dedup();
-        let map: BTreeMap<usize, usize> =
-            used.into_iter().enumerate().map(|(new, old)| (old, new)).collect();
+        let map: BTreeMap<usize, usize> = used
+            .into_iter()
+            .enumerate()
+            .map(|(new, old)| (old, new))
+            .collect();
         for s in &mut self.segments {
             s.machine = map[&s.machine];
         }

@@ -40,7 +40,10 @@ impl VerifyOptions {
 
     /// Non-migratory preemptive feasibility at unit speed.
     pub fn nonmigratory() -> Self {
-        VerifyOptions { require_nonmigratory: true, ..Default::default() }
+        VerifyOptions {
+            require_nonmigratory: true,
+            ..Default::default()
+        }
     }
 
     /// Non-preemptive (hence non-migratory) feasibility at unit speed.
@@ -131,7 +134,12 @@ pub enum ScheduleError {
 impl core::fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            ScheduleError::MachineOverlap { machine, first, second, at } => write!(
+            ScheduleError::MachineOverlap {
+                machine,
+                first,
+                second,
+                at,
+            } => write!(
                 f,
                 "machine {machine} runs {first} and {second} simultaneously at t={at}"
             ),
@@ -141,7 +149,11 @@ impl core::fmt::Display for ScheduleError {
             ScheduleError::OutsideWindow { job, segment } => {
                 write!(f, "{job} runs outside its window during {segment}")
             }
-            ScheduleError::WrongVolume { job, processed, required } => {
+            ScheduleError::WrongVolume {
+                job,
+                processed,
+                required,
+            } => {
                 write!(f, "{job} processed {processed}, requires {required}")
             }
             ScheduleError::UnknownJob { job } => write!(f, "unknown job {job}"),
@@ -195,7 +207,10 @@ pub fn verify(
             });
         }
         if seg.speed > speed_cap {
-            errors.push(ScheduleError::Overspeed { job: seg.job, speed: seg.speed.clone() });
+            errors.push(ScheduleError::Overspeed {
+                job: seg.job,
+                speed: seg.speed.clone(),
+            });
         }
     }
 
@@ -253,7 +268,10 @@ pub fn verify(
             ms.sort_unstable();
             ms.dedup();
             if ms.len() > 1 {
-                errors.push(ScheduleError::Migration { job: *job, machines: ms });
+                errors.push(ScheduleError::Migration {
+                    job: *job,
+                    machines: ms,
+                });
             }
         }
     }
@@ -323,7 +341,9 @@ mod tests {
         s.push_unit(0, JobId(0), rat(0), rat(2));
         s.push_unit(1, JobId(0), rat(1), rat(3));
         let errs = verify(&inst, &mut s, &VerifyOptions::migratory()).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ScheduleError::ParallelSelf { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ScheduleError::ParallelSelf { .. })));
     }
 
     #[test]
@@ -333,7 +353,9 @@ mod tests {
         s.push_unit(0, JobId(0), rat(3), rat(5)); // deadline is 4
         s.push_unit(1, JobId(1), rat(1), rat(3));
         let errs = verify(&inst, &mut s, &VerifyOptions::migratory()).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ScheduleError::OutsideWindow { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ScheduleError::OutsideWindow { .. })));
     }
 
     #[test]
@@ -343,10 +365,9 @@ mod tests {
         s.push_unit(0, JobId(0), rat(0), rat(1)); // needs 2
         s.push_unit(1, JobId(1), rat(1), rat(3));
         let errs = verify(&inst, &mut s, &VerifyOptions::migratory()).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(
-            e,
-            ScheduleError::WrongVolume { job: JobId(0), .. }
-        )));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ScheduleError::WrongVolume { job: JobId(0), .. })));
     }
 
     #[test]
@@ -357,7 +378,9 @@ mod tests {
         s.push_unit(1, JobId(1), rat(1), rat(3));
         s.push_unit(2, JobId(9), rat(0), rat(1));
         let errs = verify(&inst, &mut s, &VerifyOptions::migratory()).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ScheduleError::UnknownJob { job: JobId(9) })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ScheduleError::UnknownJob { job: JobId(9) })));
     }
 
     #[test]
@@ -368,7 +391,9 @@ mod tests {
         s.push_unit(1, JobId(0), rat(1), rat(2));
         assert!(verify(&inst, &mut s, &VerifyOptions::migratory()).is_ok());
         let errs = verify(&inst, &mut s, &VerifyOptions::nonmigratory()).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ScheduleError::Migration { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ScheduleError::Migration { .. })));
     }
 
     #[test]
@@ -381,7 +406,9 @@ mod tests {
         s.push_unit(0, JobId(0), rat(3), rat(4));
         assert!(verify(&inst, &mut s, &VerifyOptions::nonmigratory()).is_ok());
         let errs = verify(&inst, &mut s, &VerifyOptions::nonpreemptive()).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ScheduleError::Preemption { job: JobId(0) })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ScheduleError::Preemption { job: JobId(0) })));
     }
 
     #[test]
@@ -396,10 +423,16 @@ mod tests {
         });
         // At unit speed this is overspeed...
         let errs = verify(&inst, &mut s, &VerifyOptions::migratory()).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ScheduleError::Overspeed { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ScheduleError::Overspeed { .. })));
         // ...but fine when speed 2 is allowed.
-        assert!(verify(&inst, &mut s, &VerifyOptions::migratory().with_speed(Rat::from(2i64)))
-            .is_ok());
+        assert!(verify(
+            &inst,
+            &mut s,
+            &VerifyOptions::migratory().with_speed(Rat::from(2i64))
+        )
+        .is_ok());
     }
 
     #[test]

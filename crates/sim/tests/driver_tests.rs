@@ -21,9 +21,19 @@ struct EdfTest;
 impl OnlinePolicy for EdfTest {
     fn decide(&mut self, state: &SimState<'_>) -> Decision {
         let mut jobs: Vec<_> = state.active.values().collect();
-        jobs.sort_by(|a, b| a.job.deadline.cmp(&b.job.deadline).then(a.job.id.cmp(&b.job.id)));
+        jobs.sort_by(|a, b| {
+            a.job
+                .deadline
+                .cmp(&b.job.deadline)
+                .then(a.job.id.cmp(&b.job.id))
+        });
         Decision {
-            run: jobs.iter().take(state.machines).enumerate().map(|(m, a)| (m, a.job.id)).collect(),
+            run: jobs
+                .iter()
+                .take(state.machines)
+                .enumerate()
+                .map(|(m, a)| (m, a.job.id))
+                .collect(),
             wake_at: None,
         }
     }
@@ -40,13 +50,16 @@ struct PinnedFirstFit {
 
 impl PinnedFirstFit {
     fn new() -> Self {
-        PinnedFirstFit { assignment: BTreeMap::new() }
+        PinnedFirstFit {
+            assignment: BTreeMap::new(),
+        }
     }
 }
 
 impl OnlinePolicy for PinnedFirstFit {
     fn decide(&mut self, state: &SimState<'_>) -> Decision {
-        self.assignment.retain(|id, _| state.active.contains_key(id));
+        self.assignment
+            .retain(|id, _| state.active.contains_key(id));
         for a in state.active.values() {
             if !self.assignment.contains_key(&a.job.id) {
                 let used: Vec<usize> = self.assignment.values().copied().collect();
@@ -78,7 +91,12 @@ fn two_jobs_one_machine_edf_order() {
     let inst = Instance::from_ints([(0, 10, 3), (1, 4, 2)]);
     let mut out = run_policy(&inst, EdfTest, SimConfig::migratory(1)).unwrap();
     assert!(out.feasible());
-    mm_sim::verify(&out.instance, &mut out.schedule, &VerifyOptions::migratory()).unwrap();
+    mm_sim::verify(
+        &out.instance,
+        &mut out.schedule,
+        &VerifyOptions::migratory(),
+    )
+    .unwrap();
     assert_eq!(out.schedule.preemptions(), 1);
 }
 
@@ -88,7 +106,12 @@ fn parallel_machines_used() {
     let mut out = run_policy(&inst, EdfTest, SimConfig::migratory(3)).unwrap();
     assert!(out.feasible());
     assert_eq!(out.machines_used(), 3);
-    mm_sim::verify(&out.instance, &mut out.schedule, &VerifyOptions::migratory()).unwrap();
+    mm_sim::verify(
+        &out.instance,
+        &mut out.schedule,
+        &VerifyOptions::migratory(),
+    )
+    .unwrap();
 }
 
 #[test]
@@ -121,7 +144,7 @@ fn speed_augmentation_halves_time() {
     let segs = out.schedule.segments();
     assert_eq!(segs.len(), 1);
     assert_eq!(segs[0].interval.end, rat(2)); // 4 units at speed 2
-    // Verification must allow speed 2.
+                                              // Verification must allow speed 2.
     mm_sim::verify(
         &out.instance,
         &mut out.schedule,
@@ -142,7 +165,10 @@ fn migration_forbidden_is_enforced() {
             let m = if self.flip { 0 } else { 1 };
             let run = state.active.keys().take(1).map(|j| (m, *j)).collect();
             // wake up midway so the second decision happens before completion
-            Decision { run, wake_at: Some(state.time + Rat::one()) }
+            Decision {
+                run,
+                wake_at: Some(state.time + Rat::one()),
+            }
         }
     }
     let inst = Instance::from_ints([(0, 10, 5)]);
@@ -158,7 +184,12 @@ fn pinned_first_fit_is_nonmigratory() {
     let inst = Instance::from_ints([(0, 4, 2), (0, 4, 2), (2, 8, 3), (3, 9, 2)]);
     let mut out = run_policy(&inst, PinnedFirstFit::new(), SimConfig::nonmigratory(4)).unwrap();
     assert!(out.feasible());
-    mm_sim::verify(&out.instance, &mut out.schedule, &VerifyOptions::nonmigratory()).unwrap();
+    mm_sim::verify(
+        &out.instance,
+        &mut out.schedule,
+        &VerifyOptions::nonmigratory(),
+    )
+    .unwrap();
 }
 
 #[test]
@@ -166,7 +197,10 @@ fn invalid_decisions_are_rejected() {
     struct BadMachine;
     impl OnlinePolicy for BadMachine {
         fn decide(&mut self, state: &SimState<'_>) -> Decision {
-            Decision { run: state.active.keys().map(|j| (99, *j)).collect(), wake_at: None }
+            Decision {
+                run: state.active.keys().map(|j| (99, *j)).collect(),
+                wake_at: None,
+            }
         }
     }
     let inst = Instance::from_ints([(0, 2, 1)]);
@@ -177,7 +211,10 @@ fn invalid_decisions_are_rejected() {
     impl OnlinePolicy for DoubleBook {
         fn decide(&mut self, state: &SimState<'_>) -> Decision {
             let j = *state.active.keys().next().unwrap();
-            Decision { run: vec![(0, j), (1, j)], wake_at: None }
+            Decision {
+                run: vec![(0, j), (1, j)],
+                wake_at: None,
+            }
         }
     }
     let err = run_policy(&inst, DoubleBook, SimConfig::migratory(2)).unwrap_err();
@@ -186,7 +223,10 @@ fn invalid_decisions_are_rejected() {
     struct SameMachineTwice;
     impl OnlinePolicy for SameMachineTwice {
         fn decide(&mut self, _state: &SimState<'_>) -> Decision {
-            Decision { run: vec![(0, JobId(0)), (0, JobId(1))], wake_at: None }
+            Decision {
+                run: vec![(0, JobId(0)), (0, JobId(1))],
+                wake_at: None,
+            }
         }
     }
     let inst2 = Instance::from_ints([(0, 2, 1), (0, 2, 1)]);
@@ -196,7 +236,10 @@ fn invalid_decisions_are_rejected() {
     struct GhostJob;
     impl OnlinePolicy for GhostJob {
         fn decide(&mut self, _state: &SimState<'_>) -> Decision {
-            Decision { run: vec![(0, JobId(77))], wake_at: None }
+            Decision {
+                run: vec![(0, JobId(77))],
+                wake_at: None,
+            }
         }
     }
     let err = run_policy(&inst, GhostJob, SimConfig::migratory(2)).unwrap_err();
@@ -233,7 +276,14 @@ fn wake_at_reinvokes_policy() {
     }
     let calls = std::rc::Rc::new(std::cell::Cell::new(0));
     let inst = Instance::from_ints([(0, 4, 2)]);
-    let out = run_policy(&inst, Waker { calls: calls.clone() }, SimConfig::migratory(1)).unwrap();
+    let out = run_policy(
+        &inst,
+        Waker {
+            calls: calls.clone(),
+        },
+        SimConfig::migratory(1),
+    )
+    .unwrap();
     assert!(out.feasible());
     // job of length 2 with wake-ups every 1/2: 4 running decisions
     assert_eq!(calls.get(), 4);
@@ -248,14 +298,21 @@ fn step_limit_guards_runaway_wakeups() {
             // is approached but decision count explodes.
             let quarter = Rat::ratio(1, 4);
             let gap = (Rat::from(2i64) - state.time) * quarter;
-            Decision { run: vec![], wake_at: Some(state.time + gap) }
+            Decision {
+                run: vec![],
+                wake_at: Some(state.time + gap),
+            }
         }
     }
     let inst = Instance::from_ints([(0, 2, 1)]);
     let mut cfg = SimConfig::migratory(1);
     cfg.max_steps = 100;
     let err = run_policy(&inst, Spinner, cfg).unwrap_err();
-    assert!(matches!(err, SimError::StepLimitExceeded));
+    // The error reports how far the run got before the budget ran out.
+    assert!(matches!(
+        err,
+        SimError::StepLimitExceeded { steps: 100, .. }
+    ));
 }
 
 #[test]
@@ -308,11 +365,7 @@ fn instance_ids_match_schedule_ids() {
 #[test]
 fn fractional_times_are_exact() {
     // Windows with denominator 7; completion times must be exact.
-    let inst = Instance::from_triples([(
-        Rat::ratio(1, 7),
-        Rat::ratio(6, 7),
-        Rat::ratio(2, 7),
-    )]);
+    let inst = Instance::from_triples([(Rat::ratio(1, 7), Rat::ratio(6, 7), Rat::ratio(2, 7))]);
     let mut out = run_policy(&inst, EdfTest, SimConfig::migratory(1)).unwrap();
     assert!(out.feasible());
     let segs = out.schedule.segments();

@@ -5,9 +5,7 @@
 
 use mm_instance::{Instance, JobId};
 use mm_numeric::Rat;
-use mm_sim::{
-    run_policy, verify, Decision, OnlinePolicy, SimConfig, SimState, VerifyOptions,
-};
+use mm_sim::{run_policy, verify, Decision, OnlinePolicy, SimConfig, SimState, VerifyOptions};
 use proptest::prelude::*;
 
 /// Deterministic pseudo-random policy: every decision picks an arbitrary
@@ -22,7 +20,11 @@ struct Chaos {
 
 impl Chaos {
     fn new(salt: u64) -> Self {
-        Chaos { counter: 0, salt, pins: Default::default() }
+        Chaos {
+            counter: 0,
+            salt,
+            pins: Default::default(),
+        }
     }
 
     fn coin(&mut self) -> u64 {

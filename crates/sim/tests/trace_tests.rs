@@ -1,0 +1,254 @@
+//! Trace invariants: the event stream emitted by the driver must agree with
+//! the facts the independent verifier extracts from the finished schedule —
+//! machines opened, migrations, preemptions — and with the simulation
+//! outcome (misses, completions), on both hand-built and property-generated
+//! instances.
+
+use mm_instance::{Instance, JobId};
+use mm_numeric::Rat;
+use mm_sim::{
+    run_policy_traced, verify, Decision, OnlinePolicy, SimConfig, SimState, VerifyOptions,
+};
+use mm_trace::{MetricsSink, TeeSink, TraceEvent, VecSink};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random policy. With `pin: true` it never moves a job
+/// off the machine that first ran it (legal under `forbid_migration`); with
+/// `pin: false` it scatters jobs across machines to force migrations.
+struct Scatter {
+    counter: u64,
+    salt: u64,
+    pin: bool,
+    pins: std::collections::BTreeMap<JobId, usize>,
+}
+
+impl Scatter {
+    fn new(salt: u64, pin: bool) -> Self {
+        Scatter {
+            counter: 0,
+            salt,
+            pin,
+            pins: Default::default(),
+        }
+    }
+
+    fn coin(&mut self) -> u64 {
+        self.counter = self
+            .counter
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(self.salt | 1);
+        self.counter >> 33
+    }
+}
+
+impl OnlinePolicy for Scatter {
+    fn decide(&mut self, state: &SimState<'_>) -> Decision {
+        let mut run = Vec::new();
+        let mut used = vec![false; state.machines];
+        for a in state.active.values() {
+            if self.coin().is_multiple_of(5) {
+                continue; // randomly idle this job
+            }
+            let candidate = (self.coin() as usize) % state.machines;
+            let machine = if self.pin {
+                *self.pins.entry(a.job.id).or_insert(candidate)
+            } else {
+                candidate
+            };
+            if machine < state.machines && !used[machine] {
+                used[machine] = true;
+                run.push((machine, a.job.id));
+            }
+        }
+        Decision { run, wake_at: None }
+    }
+
+    fn name(&self) -> &'static str {
+        "scatter"
+    }
+}
+
+fn run_traced(
+    inst: &Instance,
+    cfg: SimConfig,
+    pin: bool,
+    salt: u64,
+) -> (mm_sim::SimOutcome, VecSink, MetricsSink) {
+    let mut events = VecSink::new();
+    let mut metrics = MetricsSink::new();
+    let out = run_policy_traced(
+        inst,
+        Scatter::new(salt, pin),
+        cfg,
+        TeeSink(&mut events, &mut metrics),
+    )
+    .expect("sim error");
+    (out, events, metrics)
+}
+
+#[test]
+fn forbid_migration_means_zero_migrated_events() {
+    let inst = Instance::from_ints([(0, 8, 3), (0, 6, 2), (1, 9, 4), (2, 10, 3), (3, 12, 2)]);
+    for salt in 0..8 {
+        let (out, events, metrics) = run_traced(&inst, SimConfig::nonmigratory(3), true, salt);
+        assert_eq!(
+            events.count(|e| matches!(e, TraceEvent::Migrated { .. })),
+            0,
+            "salt {salt}"
+        );
+        assert_eq!(metrics.metrics.migrations, 0);
+        let mut sched = out.schedule;
+        let stats = verify(
+            &out.instance,
+            &mut sched,
+            &VerifyOptions::nonmigratory().partial(),
+        )
+        .expect("structurally sound");
+        assert_eq!(stats.migrations, 0);
+    }
+}
+
+#[test]
+fn machine_opened_count_equals_machines_used() {
+    let inst = Instance::from_ints([(0, 4, 2), (0, 4, 2), (0, 4, 2), (2, 8, 3), (4, 9, 2)]);
+    for salt in 0..8 {
+        let (out, events, metrics) = run_traced(&inst, SimConfig::migratory(4), false, salt);
+        let opened = events.count(|e| matches!(e, TraceEvent::MachineOpened { .. }));
+        assert_eq!(opened, out.machines_used(), "salt {salt}");
+        assert_eq!(
+            metrics.metrics.machines_opened as usize,
+            out.machines_used()
+        );
+    }
+}
+
+#[test]
+fn scattering_policy_migrations_match_verifier() {
+    // Three full-window jobs on two machines: EDF-like sharing forces real
+    // migrations, which the trace and the verifier must count identically.
+    let inst = Instance::from_ints([(0, 6, 4), (0, 6, 4), (0, 8, 5), (1, 9, 3)]);
+    let mut saw_migration = false;
+    for salt in 0..16 {
+        let (out, events, metrics) = run_traced(&inst, SimConfig::migratory(3), false, salt);
+        let mut sched = out.schedule;
+        let stats = verify(
+            &out.instance,
+            &mut sched,
+            &VerifyOptions::migratory().partial(),
+        )
+        .expect("structurally sound");
+        assert_eq!(
+            metrics.metrics.migrations as usize, stats.migrations,
+            "salt {salt}"
+        );
+        assert_eq!(
+            events.count(|e| matches!(e, TraceEvent::Migrated { .. })),
+            stats.migrations,
+            "salt {salt}"
+        );
+        saw_migration |= stats.migrations > 0;
+    }
+    assert!(
+        saw_migration,
+        "test instance never migrated — not exercising the invariant"
+    );
+}
+
+/// A policy that idles forever but keeps requesting wake-ups: every decision
+/// event burns a step with no progress, so any step cap is exhausted.
+struct WakeLoop;
+
+impl OnlinePolicy for WakeLoop {
+    fn decide(&mut self, state: &SimState<'_>) -> Decision {
+        Decision {
+            run: Vec::new(),
+            wake_at: Some(state.time + Rat::ratio(1, 8)),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "wake-loop"
+    }
+}
+
+#[test]
+fn step_limit_event_accompanies_the_error() {
+    let inst = Instance::from_ints([(0, 50, 10), (0, 50, 10), (0, 50, 10)]);
+    let mut cfg = SimConfig::migratory(1);
+    cfg.max_steps = 4;
+    let mut events = VecSink::new();
+    let err = run_policy_traced(&inst, WakeLoop, cfg, &mut events)
+        .expect_err("must exhaust the step cap");
+    assert!(
+        matches!(err, mm_sim::SimError::StepLimitExceeded { steps: 4, .. }),
+        "{err}"
+    );
+    assert_eq!(
+        events.count(|e| matches!(e, TraceEvent::StepLimitExceeded { .. })),
+        1
+    );
+    let msg = err.to_string();
+    assert!(msg.contains("step limit"), "{msg}");
+    assert!(msg.contains('4'), "{msg}");
+}
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    let job = (0i64..20, 1i64..10, 1i64..8).prop_map(|(r, w, p)| (r, r + w, p.min(w)));
+    proptest::collection::vec(job, 1..12).prop_map(Instance::from_ints)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn trace_counters_match_schedule_facts(
+        inst in arb_instance(),
+        salt in any::<u64>(),
+        machines in 1usize..4,
+        pin in any::<bool>(),
+    ) {
+        let cfg = if pin {
+            SimConfig::nonmigratory(machines)
+        } else {
+            SimConfig::migratory(machines)
+        };
+        let opts = if pin {
+            VerifyOptions::nonmigratory().partial()
+        } else {
+            VerifyOptions::migratory().partial()
+        };
+        let (out, events, metrics) = run_traced(&inst, cfg, pin, salt);
+        let m = &metrics.metrics;
+
+        // Release / completion accounting against the simulation outcome.
+        prop_assert_eq!(m.jobs_released as usize, out.instance.len());
+        prop_assert_eq!(m.deadline_misses as usize, out.misses.len());
+        prop_assert_eq!(
+            (m.completions + m.deadline_misses) as usize,
+            out.instance.len(),
+            "every job either completes or misses exactly once"
+        );
+
+        // Schedule-fact accounting against the independent verifier.
+        let mut sched = out.schedule;
+        let stats = verify(&out.instance, &mut sched, &opts)
+            .map_err(|e| TestCaseError::fail(format!("{e:?}")))?;
+        prop_assert_eq!(m.machines_opened as usize, stats.machines_used);
+        prop_assert_eq!(m.migrations as usize, stats.migrations);
+        prop_assert_eq!(m.preemptions as usize, stats.preemptions);
+
+        // The event stream and the aggregated counters agree.
+        prop_assert_eq!(
+            events.count(|e| matches!(e, TraceEvent::MachineOpened { .. })) as u64,
+            m.machines_opened
+        );
+        prop_assert_eq!(
+            events.count(|e| matches!(e, TraceEvent::Preempted { .. })) as u64,
+            m.preemptions
+        );
+
+        // Histograms are consistent with their scalar totals.
+        prop_assert_eq!(m.preemptions_per_job.iter().sum::<u64>(), m.preemptions);
+        prop_assert!(m.events_per_machine.len() >= stats.machines_used);
+    }
+}

@@ -1,0 +1,709 @@
+//! Typed event tracing for the machmin workspace.
+//!
+//! Every interesting transition in the simulator, the offline solver, and
+//! the lower-bound adversary is described by a [`TraceEvent`]. Components
+//! are generic over a [`TraceSink`] that receives those events; the default
+//! sink is [`NoopSink`], whose `enabled()` is a compile-time `false`, so an
+//! untraced run pays nothing — event construction sits behind the
+//! `enabled()` check and is optimised out entirely.
+//!
+//! Three real sinks are provided:
+//!
+//! * [`JsonlSink`] appends one compact JSON object per event to a writer —
+//!   the `--trace file.jsonl` format (see `DESIGN.md` for the schema);
+//! * [`MetricsSink`] aggregates events into [`Metrics`]: monotonic counters
+//!   plus per-machine and per-job histograms, exported as the
+//!   `--metrics file.json` document;
+//! * [`VecSink`] buffers events in memory, for tests and ad-hoc inspection.
+//!
+//! Sinks compose: [`TeeSink`] duplicates events to two sinks, and
+//! `&mut S` / [`Option<S>`] are themselves sinks, so call sites can lend a
+//! sink they keep owning (`Option<S>`'s `None` behaves like [`NoopSink`]).
+//!
+//! The counter semantics deliberately mirror `Schedule`'s derived
+//! statistics: `migrations` counts [`TraceEvent::Migrated`] events, emitted
+//! when a job first runs on each machine beyond its first (so the total is
+//! Σ over jobs of distinct-machines − 1); `preemptions` counts
+//! [`TraceEvent::Preempted`], emitted when a job resumes somewhere that
+//! does not merge with its previous run (Σ of maximal-runs − 1); and
+//! `machines_opened` counts [`TraceEvent::MachineOpened`], emitted at each
+//! machine's first segment. A verified schedule's stats and its trace's
+//! metrics therefore agree exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Write;
+
+use mm_json::Json;
+use mm_numeric::Rat;
+
+/// One observable transition in a simulation, solve, or adversary run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A job's release date was reached and it entered the active set.
+    JobReleased {
+        /// Job id.
+        job: u32,
+        /// Simulation time.
+        time: Rat,
+    },
+    /// A job started running for the first time.
+    JobStarted {
+        /// Job id.
+        job: u32,
+        /// Machine index.
+        machine: usize,
+        /// Simulation time.
+        time: Rat,
+    },
+    /// A job resumed in a way that does not merge with its previous run
+    /// (its earlier execution was cut short or it changed machines).
+    Preempted {
+        /// Job id.
+        job: u32,
+        /// Machine the job now runs on.
+        machine: usize,
+        /// Time the non-contiguous run begins.
+        time: Rat,
+    },
+    /// A job first ran on a machine distinct from all machines it used
+    /// before.
+    Migrated {
+        /// Job id.
+        job: u32,
+        /// Machine of the job's previous segment.
+        from: usize,
+        /// Machine of the new segment.
+        to: usize,
+        /// Simulation time.
+        time: Rat,
+    },
+    /// A machine received its first segment.
+    MachineOpened {
+        /// Machine index.
+        machine: usize,
+        /// Simulation time.
+        time: Rat,
+    },
+    /// A job's deadline passed with processing left.
+    DeadlineMissed {
+        /// Job id.
+        job: u32,
+        /// The deadline that was missed.
+        time: Rat,
+    },
+    /// A job's remaining processing reached zero.
+    Completed {
+        /// Job id.
+        job: u32,
+        /// Simulation time.
+        time: Rat,
+    },
+    /// The simulation aborted after exhausting its step budget.
+    StepLimitExceeded {
+        /// Steps executed (equals the configured budget).
+        steps: u64,
+        /// Simulation time at abort.
+        time: Rat,
+    },
+    /// The solver ran one feasibility check at a machine count.
+    FeasibilityProbe {
+        /// Machine count probed.
+        machines: u64,
+        /// Number of jobs in the probed instance.
+        jobs: usize,
+        /// Whether a feasible schedule exists on that many machines.
+        feasible: bool,
+    },
+    /// The solver's binary search narrowed its bracket.
+    BinarySearchStep {
+        /// Lower bound after the step (infeasible side).
+        lo: u64,
+        /// Upper bound after the step (feasible side).
+        hi: u64,
+    },
+    /// The adversary began a release round.
+    RoundStarted {
+        /// Recursion depth of the round (level `k` counts down to 0).
+        round: u32,
+        /// Jobs released so far, before this round.
+        jobs: usize,
+    },
+    /// The adversary certified that the online policy was forced to open
+    /// an additional machine.
+    ForcedOpen {
+        /// Machines the policy provably uses after this round.
+        machines: u64,
+        /// The round that forced it.
+        round: u32,
+    },
+}
+
+impl TraceEvent {
+    /// The event's snake_case tag, the `"event"` field of its JSON form.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TraceEvent::JobReleased { .. } => "job_released",
+            TraceEvent::JobStarted { .. } => "job_started",
+            TraceEvent::Preempted { .. } => "preempted",
+            TraceEvent::Migrated { .. } => "migrated",
+            TraceEvent::MachineOpened { .. } => "machine_opened",
+            TraceEvent::DeadlineMissed { .. } => "deadline_missed",
+            TraceEvent::Completed { .. } => "completed",
+            TraceEvent::StepLimitExceeded { .. } => "step_limit_exceeded",
+            TraceEvent::FeasibilityProbe { .. } => "feasibility_probe",
+            TraceEvent::BinarySearchStep { .. } => "binary_search_step",
+            TraceEvent::RoundStarted { .. } => "round_started",
+            TraceEvent::ForcedOpen { .. } => "forced_open",
+        }
+    }
+
+    /// The event as a JSON object (one JSONL record). Times are exact
+    /// `"num/den"` strings.
+    pub fn to_json(&self) -> Json {
+        let time = |t: &Rat| Json::str(t.to_string());
+        match self {
+            TraceEvent::JobReleased { job, time: t } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("job", Json::Int(*job as i64)),
+                ("time", time(t)),
+            ]),
+            TraceEvent::JobStarted {
+                job,
+                machine,
+                time: t,
+            } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("job", Json::Int(*job as i64)),
+                ("machine", Json::Int(*machine as i64)),
+                ("time", time(t)),
+            ]),
+            TraceEvent::Preempted {
+                job,
+                machine,
+                time: t,
+            } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("job", Json::Int(*job as i64)),
+                ("machine", Json::Int(*machine as i64)),
+                ("time", time(t)),
+            ]),
+            TraceEvent::Migrated {
+                job,
+                from,
+                to,
+                time: t,
+            } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("job", Json::Int(*job as i64)),
+                ("from", Json::Int(*from as i64)),
+                ("to", Json::Int(*to as i64)),
+                ("time", time(t)),
+            ]),
+            TraceEvent::MachineOpened { machine, time: t } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("machine", Json::Int(*machine as i64)),
+                ("time", time(t)),
+            ]),
+            TraceEvent::DeadlineMissed { job, time: t } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("job", Json::Int(*job as i64)),
+                ("time", time(t)),
+            ]),
+            TraceEvent::Completed { job, time: t } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("job", Json::Int(*job as i64)),
+                ("time", time(t)),
+            ]),
+            TraceEvent::StepLimitExceeded { steps, time: t } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("steps", Json::Int(*steps as i64)),
+                ("time", time(t)),
+            ]),
+            TraceEvent::FeasibilityProbe {
+                machines,
+                jobs,
+                feasible,
+            } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("machines", Json::Int(*machines as i64)),
+                ("jobs", Json::Int(*jobs as i64)),
+                ("feasible", Json::Bool(*feasible)),
+            ]),
+            TraceEvent::BinarySearchStep { lo, hi } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("lo", Json::Int(*lo as i64)),
+                ("hi", Json::Int(*hi as i64)),
+            ]),
+            TraceEvent::RoundStarted { round, jobs } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("round", Json::Int(*round as i64)),
+                ("jobs", Json::Int(*jobs as i64)),
+            ]),
+            TraceEvent::ForcedOpen { machines, round } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("machines", Json::Int(*machines as i64)),
+                ("round", Json::Int(*round as i64)),
+            ]),
+        }
+    }
+}
+
+/// Receives [`TraceEvent`]s from instrumented components.
+///
+/// Emission sites must guard event construction with [`TraceSink::enabled`]:
+///
+/// ```ignore
+/// if sink.enabled() {
+///     sink.record(&TraceEvent::Completed { job, time });
+/// }
+/// ```
+///
+/// so a disabled sink skips the (allocating) event construction entirely.
+pub trait TraceSink {
+    /// Whether events should be constructed and recorded at all.
+    fn enabled(&self) -> bool;
+
+    /// Consumes one event. Only called when [`TraceSink::enabled`] is true.
+    fn record(&mut self, event: &TraceEvent);
+}
+
+/// The default sink: drops everything, `enabled()` is a constant `false`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn record(&mut self, _event: &TraceEvent) {}
+}
+
+impl<S: TraceSink> TraceSink for &mut S {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    fn record(&mut self, event: &TraceEvent) {
+        (**self).record(event)
+    }
+}
+
+impl<S: TraceSink> TraceSink for Option<S> {
+    fn enabled(&self) -> bool {
+        self.as_ref().is_some_and(TraceSink::enabled)
+    }
+
+    fn record(&mut self, event: &TraceEvent) {
+        if let Some(sink) = self {
+            sink.record(event);
+        }
+    }
+}
+
+/// Buffers events in memory. Intended for tests.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    /// The recorded events, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl VecSink {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// How many recorded events satisfy `pred`.
+    pub fn count(&self, pred: impl Fn(&TraceEvent) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(e)).count()
+    }
+}
+
+impl TraceSink for VecSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, event: &TraceEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// Duplicates every event to two sinks.
+#[derive(Debug, Default)]
+pub struct TeeSink<A, B>(pub A, pub B);
+
+impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
+    fn enabled(&self) -> bool {
+        self.0.enabled() || self.1.enabled()
+    }
+
+    fn record(&mut self, event: &TraceEvent) {
+        if self.0.enabled() {
+            self.0.record(event);
+        }
+        if self.1.enabled() {
+            self.1.record(event);
+        }
+    }
+}
+
+/// Streams events as JSON Lines: one compact object per event.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    /// First write error, if any; later records are dropped.
+    error: Option<std::io::Error>,
+    written: u64,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer (callers usually pass a `BufWriter<File>`).
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer,
+            error: None,
+            written: 0,
+        }
+    }
+
+    /// Events successfully written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and returns the writer, or the first error encountered
+    /// while recording.
+    pub fn finish(mut self) -> Result<W, std::io::Error> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn enabled(&self) -> bool {
+        self.error.is_none()
+    }
+
+    fn record(&mut self, event: &TraceEvent) {
+        let mut line = event.to_json().to_compact();
+        line.push('\n');
+        if let Err(e) = self.writer.write_all(line.as_bytes()) {
+            self.error = Some(e);
+        } else {
+            self.written += 1;
+        }
+    }
+}
+
+/// Monotonic counters and histograms aggregated from a trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// `job_released` events.
+    pub jobs_released: u64,
+    /// `job_started` events.
+    pub jobs_started: u64,
+    /// `completed` events.
+    pub completions: u64,
+    /// `deadline_missed` events.
+    pub deadline_misses: u64,
+    /// `machine_opened` events; equals the schedule's `machines_used`.
+    pub machines_opened: u64,
+    /// `migrated` events; equals the schedule's migration count.
+    pub migrations: u64,
+    /// `preempted` events; equals the schedule's preemption count.
+    pub preemptions: u64,
+    /// `step_limit_exceeded` events (0 or 1 per run).
+    pub step_limit_hits: u64,
+    /// `feasibility_probe` events.
+    pub feasibility_probes: u64,
+    /// Probes that answered feasible.
+    pub feasible_probes: u64,
+    /// `binary_search_step` events.
+    pub binary_search_steps: u64,
+    /// `round_started` events.
+    pub adversary_rounds: u64,
+    /// `forced_open` events.
+    pub forced_opens: u64,
+    /// Events touching each machine (index = machine id): opens, starts,
+    /// preemptions, and incoming migrations.
+    pub events_per_machine: Vec<u64>,
+    /// `preempted` events per job (index = job id).
+    pub preemptions_per_job: Vec<u64>,
+}
+
+impl Metrics {
+    fn bump(vec: &mut Vec<u64>, index: usize) {
+        if vec.len() <= index {
+            vec.resize(index + 1, 0);
+        }
+        vec[index] += 1;
+    }
+
+    /// Folds one event into the counters.
+    pub fn observe(&mut self, event: &TraceEvent) {
+        match event {
+            TraceEvent::JobReleased { .. } => self.jobs_released += 1,
+            TraceEvent::JobStarted { machine, .. } => {
+                self.jobs_started += 1;
+                Self::bump(&mut self.events_per_machine, *machine);
+            }
+            TraceEvent::Preempted { job, machine, .. } => {
+                self.preemptions += 1;
+                Self::bump(&mut self.events_per_machine, *machine);
+                Self::bump(&mut self.preemptions_per_job, *job as usize);
+            }
+            TraceEvent::Migrated { to, .. } => {
+                self.migrations += 1;
+                Self::bump(&mut self.events_per_machine, *to);
+            }
+            TraceEvent::MachineOpened { machine, .. } => {
+                self.machines_opened += 1;
+                Self::bump(&mut self.events_per_machine, *machine);
+            }
+            TraceEvent::DeadlineMissed { .. } => self.deadline_misses += 1,
+            TraceEvent::Completed { .. } => self.completions += 1,
+            TraceEvent::StepLimitExceeded { .. } => self.step_limit_hits += 1,
+            TraceEvent::FeasibilityProbe { feasible, .. } => {
+                self.feasibility_probes += 1;
+                if *feasible {
+                    self.feasible_probes += 1;
+                }
+            }
+            TraceEvent::BinarySearchStep { .. } => self.binary_search_steps += 1,
+            TraceEvent::RoundStarted { .. } => self.adversary_rounds += 1,
+            TraceEvent::ForcedOpen { .. } => self.forced_opens += 1,
+        }
+    }
+
+    /// The metrics document written by `--metrics file.json`.
+    pub fn to_json(&self) -> Json {
+        let counts = |v: &[u64]| Json::Arr(v.iter().map(|&c| Json::Int(c as i64)).collect());
+        Json::obj([
+            (
+                "schedule",
+                Json::obj([
+                    ("jobs_released", Json::Int(self.jobs_released as i64)),
+                    ("jobs_started", Json::Int(self.jobs_started as i64)),
+                    ("completions", Json::Int(self.completions as i64)),
+                    ("deadline_misses", Json::Int(self.deadline_misses as i64)),
+                    ("machines_opened", Json::Int(self.machines_opened as i64)),
+                    ("migrations", Json::Int(self.migrations as i64)),
+                    ("preemptions", Json::Int(self.preemptions as i64)),
+                    ("step_limit_hits", Json::Int(self.step_limit_hits as i64)),
+                ]),
+            ),
+            (
+                "solver",
+                Json::obj([
+                    (
+                        "feasibility_probes",
+                        Json::Int(self.feasibility_probes as i64),
+                    ),
+                    ("feasible", Json::Int(self.feasible_probes as i64)),
+                    (
+                        "infeasible",
+                        Json::Int((self.feasibility_probes - self.feasible_probes) as i64),
+                    ),
+                    (
+                        "binary_search_steps",
+                        Json::Int(self.binary_search_steps as i64),
+                    ),
+                ]),
+            ),
+            (
+                "adversary",
+                Json::obj([
+                    ("rounds", Json::Int(self.adversary_rounds as i64)),
+                    ("forced_opens", Json::Int(self.forced_opens as i64)),
+                ]),
+            ),
+            (
+                "histograms",
+                Json::obj([
+                    ("events_per_machine", counts(&self.events_per_machine)),
+                    ("preemptions_per_job", counts(&self.preemptions_per_job)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Aggregates events into [`Metrics`].
+#[derive(Debug, Default)]
+pub struct MetricsSink {
+    /// The running totals.
+    pub metrics: Metrics,
+}
+
+impl MetricsSink {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        MetricsSink::default()
+    }
+}
+
+impl TraceSink for MetricsSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, event: &TraceEvent) {
+        self.metrics.observe(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: i64) -> Rat {
+        Rat::ratio(n, 1)
+    }
+
+    #[test]
+    fn noop_sink_is_disabled() {
+        assert!(!NoopSink.enabled());
+        let mut none: Option<VecSink> = None;
+        assert!(!none.enabled());
+        none.record(&TraceEvent::Completed { job: 0, time: t(1) });
+    }
+
+    #[test]
+    fn borrowed_and_optional_sinks_delegate() {
+        let mut v = VecSink::new();
+        {
+            let lent = &mut v;
+            assert!(lent.enabled());
+            lent.record(&TraceEvent::JobReleased { job: 3, time: t(0) });
+        }
+        let mut opt = Some(v);
+        assert!(opt.enabled());
+        opt.record(&TraceEvent::Completed { job: 3, time: t(2) });
+        assert_eq!(opt.unwrap().events.len(), 2);
+    }
+
+    #[test]
+    fn tee_duplicates() {
+        let mut tee = TeeSink(VecSink::new(), MetricsSink::new());
+        tee.record(&TraceEvent::MachineOpened {
+            machine: 1,
+            time: t(0),
+        });
+        tee.record(&TraceEvent::Migrated {
+            job: 0,
+            from: 1,
+            to: 2,
+            time: t(1),
+        });
+        assert_eq!(tee.0.events.len(), 2);
+        assert_eq!(tee.1.metrics.machines_opened, 1);
+        assert_eq!(tee.1.metrics.migrations, 1);
+    }
+
+    #[test]
+    fn metrics_histograms_grow() {
+        let mut m = Metrics::default();
+        m.observe(&TraceEvent::Preempted {
+            job: 5,
+            machine: 2,
+            time: t(1),
+        });
+        m.observe(&TraceEvent::Preempted {
+            job: 5,
+            machine: 0,
+            time: t(2),
+        });
+        assert_eq!(m.preemptions, 2);
+        assert_eq!(m.preemptions_per_job, vec![0, 0, 0, 0, 0, 2]);
+        assert_eq!(m.events_per_machine, vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn jsonl_lines_parse_back() {
+        let mut sink = JsonlSink::new(Vec::new());
+        let events = [
+            TraceEvent::JobReleased {
+                job: 0,
+                time: Rat::ratio(1, 3),
+            },
+            TraceEvent::JobStarted {
+                job: 0,
+                machine: 2,
+                time: Rat::ratio(1, 3),
+            },
+            TraceEvent::FeasibilityProbe {
+                machines: 4,
+                jobs: 9,
+                feasible: true,
+            },
+            TraceEvent::BinarySearchStep { lo: 2, hi: 4 },
+            TraceEvent::StepLimitExceeded {
+                steps: 100,
+                time: t(7),
+            },
+        ];
+        for e in &events {
+            sink.record(e);
+        }
+        assert_eq!(sink.written(), events.len() as u64);
+        let bytes = sink.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), events.len());
+        for (line, event) in lines.iter().zip(&events) {
+            let parsed = mm_json::parse(line).unwrap();
+            assert_eq!(parsed.get("event").unwrap().as_str().unwrap(), event.tag());
+        }
+        // Exact rational time survives.
+        assert_eq!(
+            mm_json::parse(lines[0])
+                .unwrap()
+                .get("time")
+                .unwrap()
+                .as_str(),
+            Some("1/3")
+        );
+    }
+
+    #[test]
+    fn metrics_json_shape() {
+        let mut sink = MetricsSink::new();
+        sink.record(&TraceEvent::MachineOpened {
+            machine: 0,
+            time: t(0),
+        });
+        sink.record(&TraceEvent::FeasibilityProbe {
+            machines: 2,
+            jobs: 3,
+            feasible: false,
+        });
+        let doc = sink.metrics.to_json();
+        assert_eq!(
+            doc.get("schedule")
+                .unwrap()
+                .get("machines_opened")
+                .unwrap()
+                .as_i64(),
+            Some(1)
+        );
+        assert_eq!(
+            doc.get("solver")
+                .unwrap()
+                .get("infeasible")
+                .unwrap()
+                .as_i64(),
+            Some(1)
+        );
+        // The document reparses.
+        assert!(mm_json::parse(&doc.to_pretty()).is_ok());
+    }
+}

@@ -18,7 +18,13 @@ use machmin::opt::optimal_machines;
 use machmin::sim::{render_gantt, run_policy, verify, SimConfig, VerifyOptions};
 
 fn main() {
-    let workload = agreeable(&AgreeableCfg { n: 40, ..Default::default() }, 99);
+    let workload = agreeable(
+        &AgreeableCfg {
+            n: 40,
+            ..Default::default()
+        },
+        99,
+    );
     let m = optimal_machines(&workload);
     let cert = estimate_optimum(workload.jobs());
     println!(
@@ -32,11 +38,19 @@ fn main() {
     // ≈ 32.7·m̂ machines and the estimates double up to 2m); the measurement
     // below is what counts.
     let budget = 1500;
-    let mut out = run_policy(&workload, DoublingAgreeable::new(), SimConfig::nonmigratory(budget))
-        .expect("simulation ok");
+    let mut out = run_policy(
+        &workload,
+        DoublingAgreeable::new(),
+        SimConfig::nonmigratory(budget),
+    )
+    .expect("simulation ok");
     assert!(out.feasible(), "doubling wrapper must not miss");
-    let stats = verify(&out.instance, &mut out.schedule, &VerifyOptions::nonmigratory())
-        .expect("schedule verifies");
+    let stats = verify(
+        &out.instance,
+        &mut out.schedule,
+        &VerifyOptions::nonmigratory(),
+    )
+    .expect("schedule verifies");
     println!(
         "doubling run: {} machines used (never told m), migrations = {}",
         stats.machines_used, stats.migrations

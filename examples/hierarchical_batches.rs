@@ -36,7 +36,11 @@ fn run_with_mode(
 fn main() {
     // A nightly pipeline tree: depth-4 nesting, 3 children per stage.
     let pipeline = laminar(
-        &LaminarCfg { depth: 4, branching: 3, ..Default::default() },
+        &LaminarCfg {
+            depth: 4,
+            branching: 3,
+            ..Default::default()
+        },
         7,
     );
     assert!(pipeline.is_laminar());
@@ -60,8 +64,12 @@ fn main() {
     );
     let budget = policy.total_machines();
     let mut out = run_policy(&pipeline, policy, SimConfig::nonmigratory(budget)).unwrap();
-    let stats = verify(&out.instance, &mut out.schedule, &VerifyOptions::nonmigratory())
-        .expect("schedule verifies");
+    let stats = verify(
+        &out.instance,
+        &mut out.schedule,
+        &VerifyOptions::nonmigratory(),
+    )
+    .expect("schedule verifies");
     println!(
         "verified: {} segments, {} migrations (must be 0), {} preemptions\n",
         stats.segments, stats.migrations, stats.preemptions

@@ -19,7 +19,10 @@ fn main() {
 
     println!("The power of migration (Chen–Megow–Schewior, SPAA'16, Theorem 3)");
     println!("victim: non-migratory first-fit EDF with exact admission tests\n");
-    println!("{:>2}  {:>7}  {:>16}  {:>13}  {:>8}", "k", "jobs n", "machines forced", "migratory OPT", "log2(n)");
+    println!(
+        "{:>2}  {:>7}  {:>16}  {:>13}  {:>8}",
+        "k", "jobs n", "machines forced", "migratory OPT", "log2(n)"
+    );
 
     for k in 2..=k_max {
         let res = run_migration_gap(EdfFirstFit::new(), k, 64).expect("simulation ok");
@@ -33,7 +36,11 @@ fn main() {
             res.machines_forced,
             opt,
             (res.jobs_released as f64).log2(),
-            if res.policy_missed { "   (policy also missed a deadline!)" } else { "" }
+            if res.policy_missed {
+                "   (policy also missed a deadline!)"
+            } else {
+                ""
+            }
         );
     }
 

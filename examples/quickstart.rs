@@ -14,11 +14,11 @@ fn main() {
     // Five jobs (release, deadline, processing). Integer literals are
     // convenient; every computation below is exact rational arithmetic.
     let instance = Instance::from_ints([
-        (0, 10, 4),  // a relaxed background task
-        (0, 4, 3),   // urgent early work
-        (2, 6, 4),   // zero-laxity burst
-        (5, 12, 3),  //
-        (6, 9, 2),   //
+        (0, 10, 4), // a relaxed background task
+        (0, 4, 3),  // urgent early work
+        (2, 6, 4),  // zero-laxity burst
+        (5, 12, 3), //
+        (6, 9, 2),  //
     ]);
     println!("{instance}");
 
@@ -44,11 +44,19 @@ fn main() {
 
     // --- Online: non-migratory first-fit EDF ------------------------------
     let budget = instance.len(); // give the policy headroom; count usage
-    let mut outcome = run_policy(&instance, EdfFirstFit::new(), SimConfig::nonmigratory(budget))
-        .expect("simulation must not fault");
+    let mut outcome = run_policy(
+        &instance,
+        EdfFirstFit::new(),
+        SimConfig::nonmigratory(budget),
+    )
+    .expect("simulation must not fault");
     assert!(outcome.feasible(), "no job may miss its deadline");
-    let stats = verify(&outcome.instance, &mut outcome.schedule, &VerifyOptions::nonmigratory())
-        .expect("online schedule must verify");
+    let stats = verify(
+        &outcome.instance,
+        &mut outcome.schedule,
+        &VerifyOptions::nonmigratory(),
+    )
+    .expect("online schedule must verify");
     println!(
         "online EDF first-fit: {} machines (vs optimum {m}), non-migratory, {} preemptions",
         stats.machines_used, stats.preemptions

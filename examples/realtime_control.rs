@@ -13,7 +13,7 @@
 //! cargo run --release --example realtime_control
 //! ```
 
-use machmin::core::{theorem12_budgets, AgreeableSplit, optimal_alpha};
+use machmin::core::{optimal_alpha, theorem12_budgets, AgreeableSplit};
 use machmin::instance::generators::{
     agreeable, periodic, total_utilization, AgreeableCfg, PeriodicTask,
 };
@@ -23,9 +23,30 @@ use machmin::sim::{run_policy, verify, SimConfig, VerifyOptions};
 fn main() {
     // Three shifts of sensor/control batches with different load levels.
     let shifts = [
-        ("night shift (light)", AgreeableCfg { n: 30, release_gap: 4, ..Default::default() }),
-        ("day shift (normal)", AgreeableCfg { n: 60, release_gap: 2, ..Default::default() }),
-        ("rush order (heavy)", AgreeableCfg { n: 90, release_gap: 1, ..Default::default() }),
+        (
+            "night shift (light)",
+            AgreeableCfg {
+                n: 30,
+                release_gap: 4,
+                ..Default::default()
+            },
+        ),
+        (
+            "day shift (normal)",
+            AgreeableCfg {
+                n: 60,
+                release_gap: 2,
+                ..Default::default()
+            },
+        ),
+        (
+            "rush order (heavy)",
+            AgreeableCfg {
+                n: 90,
+                release_gap: 1,
+                ..Default::default()
+            },
+        ),
     ];
 
     let alpha = optimal_alpha();
@@ -42,9 +63,12 @@ fn main() {
         // Online execution with the provisioned pools.
         let policy = AgreeableSplit::for_optimum(m);
         let budget = policy.total_machines();
-        let mut outcome = run_policy(&workload, policy, SimConfig::nonmigratory(budget))
-            .expect("simulation ok");
-        assert!(outcome.feasible(), "{label}: Theorem 12 guarantees feasibility");
+        let mut outcome =
+            run_policy(&workload, policy, SimConfig::nonmigratory(budget)).expect("simulation ok");
+        assert!(
+            outcome.feasible(),
+            "{label}: Theorem 12 guarantees feasibility"
+        );
 
         let stats = verify(
             &outcome.instance,
@@ -73,17 +97,45 @@ fn main() {
     // A classic hard-real-time task set, expanded over one hyperperiod and
     // solved exactly: how many cores does the control firmware really need?
     let tasks = vec![
-        PeriodicTask { period: 4, wcet: 2, deadline: 4, phase: 0 },  // gyro filter
-        PeriodicTask { period: 8, wcet: 3, deadline: 6, phase: 1 },  // motor loop
-        PeriodicTask { period: 16, wcet: 9, deadline: 16, phase: 0 }, // telemetry
-        PeriodicTask { period: 16, wcet: 6, deadline: 12, phase: 4 }, // logging
+        PeriodicTask {
+            period: 4,
+            wcet: 2,
+            deadline: 4,
+            phase: 0,
+        }, // gyro filter
+        PeriodicTask {
+            period: 8,
+            wcet: 3,
+            deadline: 6,
+            phase: 1,
+        }, // motor loop
+        PeriodicTask {
+            period: 16,
+            wcet: 9,
+            deadline: 16,
+            phase: 0,
+        }, // telemetry
+        PeriodicTask {
+            period: 16,
+            wcet: 6,
+            deadline: 12,
+            phase: 4,
+        }, // logging
     ];
     let u = total_utilization(&tasks);
     let jobs = periodic(&tasks, 64, 1, 7); // 4 hyperperiods, 1 tick of jitter
     let m = optimal_machines(&jobs);
-    println!("\nperiodic task set: utilization {} ≈ {:.2}, {} jobs over 4 hyperperiods", u, u.to_f64(), jobs.len());
+    println!(
+        "\nperiodic task set: utilization {} ≈ {:.2}, {} jobs over 4 hyperperiods",
+        u,
+        u.to_f64(),
+        jobs.len()
+    );
     println!("exact machine requirement (with release jitter): {m} cores");
-    assert!(Rat::from(m) >= u.clone().max(Rat::one()) - Rat::one(), "optimum cannot beat utilization by a core");
+    assert!(
+        Rat::from(m) >= u.clone().max(Rat::one()) - Rat::one(),
+        "optimum cannot beat utilization by a core"
+    );
 }
 
 use machmin::numeric::Rat;

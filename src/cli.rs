@@ -4,6 +4,7 @@
 //! command logic are unit-testable; `src/bin/machmin.rs` is a thin shim.
 
 use std::fmt::Write as _;
+use std::io::BufWriter;
 
 use mm_core::{AgreeableSplit, Edf, EdfFirstFit, LaminarBudget, Llf, MediumFit};
 use mm_instance::generators::{
@@ -11,23 +12,32 @@ use mm_instance::generators::{
 };
 use mm_instance::{io, Instance};
 use mm_numeric::Rat;
-use mm_opt::{contribution_bound, demigrate, optimal_machines, theorem2_bound};
-use mm_sim::{render_gantt, run_policy, verify, SimConfig, VerifyOptions};
+use mm_opt::{
+    contribution_bound, demigrate, optimal_machines, optimal_machines_traced, theorem2_bound,
+};
+use mm_sim::{render_gantt, run_policy_traced, verify, SimConfig, VerifyOptions};
+use mm_trace::{JsonlSink, Metrics, MetricsSink, TeeSink};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
-    /// `solve <instance.json>` — exact optimum + Theorem 1 certificate.
+    /// `solve <instance.json> [--trace f.jsonl] [--metrics f.json]` — exact
+    /// optimum + Theorem 1 certificate.
     Solve {
         /// Instance file.
         path: String,
+        /// JSONL event-trace output file.
+        trace: Option<String>,
+        /// Aggregated metrics JSON output file.
+        metrics: Option<String>,
     },
     /// `classify <instance.json>` — structure, Δ, looseness report.
     Classify {
         /// Instance file.
         path: String,
     },
-    /// `schedule <instance.json> --policy <name> [--machines N]`.
+    /// `schedule <instance.json> --policy <name> [--machines N]
+    /// [--trace f.jsonl] [--metrics f.json]`.
     Schedule {
         /// Instance file.
         path: String,
@@ -35,6 +45,10 @@ pub enum Command {
         policy: String,
         /// Machine budget (defaults to one per job).
         machines: Option<usize>,
+        /// JSONL event-trace output file.
+        trace: Option<String>,
+        /// Aggregated metrics JSON output file.
+        metrics: Option<String>,
     },
     /// `demigrate <instance.json>` — offline migratory → non-migratory.
     Demigrate {
@@ -75,6 +89,18 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .cloned()
 }
 
+/// Like [`flag`], but a flag present without a value is an error instead of
+/// being silently ignored (a typo'd `--trace` must not drop the trace).
+fn value_flag(args: &[String], name: &str) -> Result<Option<String>, CliError> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) => Ok(Some(v.clone())),
+            None => Err(CliError(format!("{name} requires a value"))),
+        },
+    }
+}
+
 /// Parses raw arguments (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let cmd = args.first().map(String::as_str).unwrap_or("help");
@@ -82,12 +108,17 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "solve" => Ok(Command::Solve {
             path: args.get(1).cloned().ok_or_else(usage_solve)?,
+            trace: value_flag(args, "--trace")?,
+            metrics: value_flag(args, "--metrics")?,
         }),
         "classify" => Ok(Command::Classify {
             path: args.get(1).cloned().ok_or_else(usage_classify)?,
         }),
         "demigrate" => Ok(Command::Demigrate {
-            path: args.get(1).cloned().ok_or_else(|| CliError("usage: machmin demigrate <instance.json>".into()))?,
+            path: args
+                .get(1)
+                .cloned()
+                .ok_or_else(|| CliError("usage: machmin demigrate <instance.json>".into()))?,
         }),
         "schedule" => {
             let path = args.get(1).cloned().ok_or_else(usage_schedule)?;
@@ -99,7 +130,13 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 ),
                 None => None,
             };
-            Ok(Command::Schedule { path, policy, machines })
+            Ok(Command::Schedule {
+                path,
+                policy,
+                machines,
+                trace: value_flag(args, "--trace")?,
+                metrics: value_flag(args, "--metrics")?,
+            })
         }
         "generate" => {
             let family = args.get(1).cloned().ok_or_else(usage_generate)?;
@@ -112,7 +149,12 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 .parse()
                 .map_err(|_| CliError("invalid --seed".into()))?;
             let out = flag(args, "--out").ok_or_else(usage_generate)?;
-            Ok(Command::Generate { family, n, seed, out })
+            Ok(Command::Generate {
+                family,
+                n,
+                seed,
+                out,
+            })
         }
         other => Err(CliError(format!(
             "unknown command `{other}`; run `machmin help`"
@@ -121,7 +163,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
 }
 
 fn usage_solve() -> CliError {
-    CliError("usage: machmin solve <instance.json>".into())
+    CliError("usage: machmin solve <instance.json> [--trace f.jsonl] [--metrics f.json]".into())
 }
 
 fn usage_classify() -> CliError {
@@ -130,7 +172,7 @@ fn usage_classify() -> CliError {
 
 fn usage_schedule() -> CliError {
     CliError(
-        "usage: machmin schedule <instance.json> --policy <edf|llf|edf-ff|medium-fit|agreeable|laminar> [--machines N]"
+        "usage: machmin schedule <instance.json> --policy <edf|llf|edf-ff|medium-fit|agreeable|laminar> [--machines N] [--trace f.jsonl] [--metrics f.json]"
             .into(),
     )
 }
@@ -155,11 +197,71 @@ pub fn help_text() -> &'static str {
        demigrate <inst.json>                    offline migratory → non-migratory transformation\n\
        generate <family> [--n N] [--seed S] --out <file.json>\n\
                                                 family ∈ {uniform, agreeable, laminar, loose}\n\
-       help                                     this text\n"
+       help                                     this text\n\
+     \n\
+     observability (solve, schedule):\n\
+       --trace <file.jsonl>                     stream typed events (one JSON object per line)\n\
+       --metrics <file.json>                    write aggregated counters and histograms\n"
 }
 
 fn load(path: &str) -> Result<Instance, CliError> {
     io::load(path).map_err(|e| CliError(format!("cannot load {path}: {e}")))
+}
+
+/// The `--trace` / `--metrics` sink pair. Both are optional; with neither
+/// requested the composed sink is disabled and the traced code paths cost
+/// nothing beyond one boolean check per event site.
+struct CliSinks {
+    jsonl: Option<JsonlSink<BufWriter<std::fs::File>>>,
+    metrics: Option<MetricsSink>,
+    trace_path: Option<String>,
+    metrics_path: Option<String>,
+}
+
+impl CliSinks {
+    fn open(trace: Option<String>, metrics: Option<String>) -> Result<Self, CliError> {
+        let jsonl = match &trace {
+            Some(path) => {
+                let file = std::fs::File::create(path)
+                    .map_err(|e| CliError(format!("cannot create {path}: {e}")))?;
+                Some(JsonlSink::new(BufWriter::new(file)))
+            }
+            None => None,
+        };
+        let metrics_sink = metrics.is_some().then(MetricsSink::new);
+        Ok(CliSinks {
+            jsonl,
+            metrics: metrics_sink,
+            trace_path: trace,
+            metrics_path: metrics,
+        })
+    }
+
+    /// A borrowed sink to lend to one traced run (tee of both outputs).
+    #[allow(clippy::type_complexity)]
+    fn sink(
+        &mut self,
+    ) -> TeeSink<&mut Option<JsonlSink<BufWriter<std::fs::File>>>, &mut Option<MetricsSink>> {
+        TeeSink(&mut self.jsonl, &mut self.metrics)
+    }
+
+    /// Flushes the trace, writes the metrics file, appends report lines to
+    /// `out`, and hands back the aggregated metrics for cross-checks.
+    fn finish(self, out: &mut String) -> Result<Option<Metrics>, CliError> {
+        if let (Some(sink), Some(path)) = (self.jsonl, &self.trace_path) {
+            let events = sink.written();
+            sink.finish()
+                .map_err(|e| CliError(format!("cannot write trace {path}: {e}")))?;
+            let _ = writeln!(out, "trace: {events} events -> {path}");
+        }
+        let metrics = self.metrics.map(|s| s.metrics);
+        if let (Some(metrics), Some(path)) = (&metrics, &self.metrics_path) {
+            std::fs::write(path, metrics.to_json().to_pretty())
+                .map_err(|e| CliError(format!("cannot write metrics {path}: {e}")))?;
+            let _ = writeln!(out, "metrics -> {path}");
+        }
+        Ok(metrics)
+    }
 }
 
 /// Executes a command, returning the text to print.
@@ -167,9 +269,14 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
     let mut out = String::new();
     match cmd {
         Command::Help => out.push_str(help_text()),
-        Command::Solve { path } => {
+        Command::Solve {
+            path,
+            trace,
+            metrics,
+        } => {
             let inst = load(&path)?;
-            let m = optimal_machines(&inst);
+            let mut sinks = CliSinks::open(trace, metrics)?;
+            let m = optimal_machines_traced(&inst, sinks.sink());
             let cert = contribution_bound(&inst);
             let _ = writeln!(out, "jobs: {}", inst.len());
             let _ = writeln!(out, "migratory optimum m(J): {m}");
@@ -178,6 +285,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 "Theorem 1 certificate: ⌈{}⌉ = {} on witness {}",
                 cert.density, cert.bound, cert.witness
             );
+            sinks.finish(&mut out)?;
         }
         Command::Classify { path } => {
             let inst = load(&path)?;
@@ -211,34 +319,57 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 theorem2_bound(m)
             );
         }
-        Command::Schedule { path, policy, machines } => {
+        Command::Schedule {
+            path,
+            policy,
+            machines,
+            trace,
+            metrics,
+        } => {
             let inst = load(&path)?;
             let budget = machines.unwrap_or(inst.len()).max(1);
-            let m = optimal_machines(&inst);
+            let mut sinks = CliSinks::open(trace, metrics)?;
+            let m = optimal_machines_traced(&inst, sinks.sink());
             let (outcome, opts) = match policy.as_str() {
                 "edf" => (
-                    run_policy(&inst, Edf, SimConfig::migratory(budget)),
+                    run_policy_traced(&inst, Edf, SimConfig::migratory(budget), sinks.sink()),
                     VerifyOptions::migratory(),
                 ),
                 "llf" => (
-                    run_policy(&inst, Llf::new(), SimConfig::migratory(budget)),
+                    run_policy_traced(
+                        &inst,
+                        Llf::new(),
+                        SimConfig::migratory(budget),
+                        sinks.sink(),
+                    ),
                     VerifyOptions::migratory(),
                 ),
                 "edf-ff" => (
-                    run_policy(&inst, EdfFirstFit::new(), SimConfig::nonmigratory(budget)),
+                    run_policy_traced(
+                        &inst,
+                        EdfFirstFit::new(),
+                        SimConfig::nonmigratory(budget),
+                        sinks.sink(),
+                    ),
                     VerifyOptions::nonmigratory(),
                 ),
                 "medium-fit" => (
-                    run_policy(&inst, MediumFit::new(), SimConfig::nonmigratory(budget)),
+                    run_policy_traced(
+                        &inst,
+                        MediumFit::new(),
+                        SimConfig::nonmigratory(budget),
+                        sinks.sink(),
+                    ),
                     VerifyOptions::nonpreemptive(),
                 ),
                 "agreeable" => (
-                    run_policy(
+                    run_policy_traced(
                         &inst,
                         AgreeableSplit::for_optimum(m),
                         SimConfig::nonmigratory(
                             AgreeableSplit::for_optimum(m).total_machines().max(budget),
                         ),
+                        sinks.sink(),
                     ),
                     VerifyOptions::nonmigratory(),
                 ),
@@ -250,7 +381,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                     );
                     let total = p.total_machines().max(budget);
                     (
-                        run_policy(&inst, p, SimConfig::nonmigratory(total)),
+                        run_policy_traced(&inst, p, SimConfig::nonmigratory(total), sinks.sink()),
                         VerifyOptions::nonmigratory(),
                     )
                 }
@@ -258,10 +389,16 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             };
             let mut outcome = match outcome {
                 Ok(o) => o,
-                Err(e) => return Err(CliError(format!("simulation failed: {e}"))),
+                Err(e) => {
+                    // Still flush the partial trace: runs that die against the
+                    // step cap (or a policy bug) are exactly the ones worth
+                    // inspecting offline.
+                    sinks.finish(&mut out)?;
+                    return Err(CliError(format!("simulation failed: {e}")));
+                }
             };
             let _ = writeln!(out, "policy: {policy}, budget: {budget}, optimum m: {m}");
-            if outcome.feasible() {
+            let stats = if outcome.feasible() {
                 let stats = verify(&outcome.instance, &mut outcome.schedule, &opts)
                     .map_err(|e| CliError(format!("schedule failed verification: {e:?}")))?;
                 let _ = writeln!(
@@ -269,23 +406,68 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                     "feasible: yes | machines used: {} | migrations: {} | preemptions: {}",
                     stats.machines_used, stats.migrations, stats.preemptions
                 );
+                Some(stats)
             } else {
                 let _ = writeln!(
                     out,
                     "feasible: NO ({} deadline misses within budget {budget})",
                     outcome.misses.len()
                 );
+                None
+            };
+            if let Some(metrics) = sinks.finish(&mut out)? {
+                // The trace counters are defined to agree with the verified
+                // schedule's stats; refuse to report silently-diverging ones.
+                if let Some(stats) = &stats {
+                    let ok = metrics.machines_opened == stats.machines_used as u64
+                        && metrics.migrations == stats.migrations as u64
+                        && metrics.preemptions == stats.preemptions as u64;
+                    if !ok {
+                        return Err(CliError(format!(
+                            "trace/verifier disagreement: metrics say \
+                             {}/{}/{} (machines/migrations/preemptions), \
+                             verifier says {}/{}/{}",
+                            metrics.machines_opened,
+                            metrics.migrations,
+                            metrics.preemptions,
+                            stats.machines_used,
+                            stats.migrations,
+                            stats.preemptions
+                        )));
+                    }
+                    let _ = writeln!(out, "trace counters agree with verified schedule");
+                }
             }
             outcome.schedule.compact_machines();
             out.push_str(&render_gantt(&mut outcome.schedule, 72));
         }
-        Command::Generate { family, n, seed, out: path } => {
+        Command::Generate {
+            family,
+            n,
+            seed,
+            out: path,
+        } => {
             let inst = match family.as_str() {
-                "uniform" => uniform(&UniformCfg { n, ..Default::default() }, seed),
-                "agreeable" => agreeable(&AgreeableCfg { n, ..Default::default() }, seed),
+                "uniform" => uniform(
+                    &UniformCfg {
+                        n,
+                        ..Default::default()
+                    },
+                    seed,
+                ),
+                "agreeable" => agreeable(
+                    &AgreeableCfg {
+                        n,
+                        ..Default::default()
+                    },
+                    seed,
+                ),
                 "laminar" => laminar(&LaminarCfg::default(), seed),
                 "loose" => loose(
-                    &UniformCfg { n, ..Default::default() },
+                    &UniformCfg {
+                        n,
+                        ..Default::default()
+                    },
                     &Rat::ratio(1, 2),
                     seed,
                 ),
@@ -311,14 +493,38 @@ mod tests {
         assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
         assert_eq!(
             parse(&argv("solve a.json")).unwrap(),
-            Command::Solve { path: "a.json".into() }
+            Command::Solve {
+                path: "a.json".into(),
+                trace: None,
+                metrics: None
+            }
+        );
+        assert_eq!(
+            parse(&argv("solve a.json --trace t.jsonl --metrics m.json")).unwrap(),
+            Command::Solve {
+                path: "a.json".into(),
+                trace: Some("t.jsonl".into()),
+                metrics: Some("m.json".into())
+            }
         );
         assert_eq!(
             parse(&argv("schedule a.json --policy edf --machines 3")).unwrap(),
             Command::Schedule {
                 path: "a.json".into(),
                 policy: "edf".into(),
-                machines: Some(3)
+                machines: Some(3),
+                trace: None,
+                metrics: None
+            }
+        );
+        assert_eq!(
+            parse(&argv("schedule a.json --policy llf --trace t.jsonl")).unwrap(),
+            Command::Schedule {
+                path: "a.json".into(),
+                policy: "llf".into(),
+                machines: None,
+                trace: Some("t.jsonl".into()),
+                metrics: None
             }
         );
         assert_eq!(
@@ -333,6 +539,10 @@ mod tests {
         assert!(parse(&argv("frobnicate")).is_err());
         assert!(parse(&argv("schedule a.json")).is_err());
         assert!(parse(&argv("schedule a.json --policy edf --machines x")).is_err());
+        // --trace/--metrics without a value must error, not silently no-op
+        let err = parse(&argv("schedule a.json --policy edf --trace")).unwrap_err();
+        assert!(err.0.contains("--trace requires a value"), "{}", err.0);
+        assert!(parse(&argv("solve a.json --metrics")).is_err());
         // empty argv = help
         assert_eq!(parse(&[]).unwrap(), Command::Help);
     }
@@ -352,7 +562,12 @@ mod tests {
         .unwrap();
         assert!(msg.contains("wrote 12 jobs"));
 
-        let msg = execute(Command::Solve { path: path.clone() }).unwrap();
+        let msg = execute(Command::Solve {
+            path: path.clone(),
+            trace: None,
+            metrics: None,
+        })
+        .unwrap();
         assert!(msg.contains("migratory optimum"));
         assert!(msg.contains("Theorem 1 certificate"));
 
@@ -363,6 +578,8 @@ mod tests {
             path: path.clone(),
             policy: "edf-ff".into(),
             machines: None,
+            trace: None,
+            metrics: None,
         })
         .unwrap();
         assert!(msg.contains("feasible: yes"), "{msg}");
@@ -385,6 +602,8 @@ mod tests {
             path: path.clone(),
             policy: "edf".into(),
             machines: Some(1),
+            trace: None,
+            metrics: None,
         })
         .unwrap();
         assert!(msg.contains("feasible: NO"));
@@ -396,7 +615,9 @@ mod tests {
         assert!(execute(Command::Schedule {
             path: "/nonexistent.json".into(),
             policy: "edf".into(),
-            machines: None
+            machines: None,
+            trace: None,
+            metrics: None
         })
         .is_err());
         let dir = std::env::temp_dir();
@@ -407,6 +628,75 @@ mod tests {
             out: dir.join("x.json").to_string_lossy().to_string()
         })
         .is_err());
+    }
+
+    #[test]
+    fn schedule_trace_and_metrics_agree_with_verifier() {
+        let dir = std::env::temp_dir().join("machmin_cli_test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inst.json").to_string_lossy().to_string();
+        let trace_path = dir.join("t.jsonl").to_string_lossy().to_string();
+        let metrics_path = dir.join("m.json").to_string_lossy().to_string();
+
+        execute(Command::Generate {
+            family: "uniform".into(),
+            n: 10,
+            seed: 11,
+            out: path.clone(),
+        })
+        .unwrap();
+
+        let msg = execute(Command::Schedule {
+            path: path.clone(),
+            policy: "edf".into(),
+            machines: None,
+            trace: Some(trace_path.clone()),
+            metrics: Some(metrics_path.clone()),
+        })
+        .unwrap();
+        assert!(
+            msg.contains("trace counters agree with verified schedule"),
+            "{msg}"
+        );
+        assert!(msg.contains("trace:"), "{msg}");
+        assert!(msg.contains("metrics ->"), "{msg}");
+
+        // Every trace line is a standalone JSON object tagged with "event".
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        let mut events = 0usize;
+        for line in trace.lines() {
+            let v = mm_json::parse(line).unwrap();
+            assert!(
+                v.get("event").and_then(mm_json::Json::as_str).is_some(),
+                "{line}"
+            );
+            events += 1;
+        }
+        assert!(events > 0, "trace should not be empty");
+
+        // The metrics file parses and mirrors the trace's released-job count.
+        let metrics = mm_json::parse(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+        let released = metrics
+            .get("schedule")
+            .and_then(|s| s.get("jobs_released"))
+            .and_then(mm_json::Json::as_i64)
+            .unwrap();
+        assert_eq!(released, 10);
+
+        // Solve with tracing emits feasibility probes into the same formats.
+        let msg = execute(Command::Solve {
+            path: path.clone(),
+            trace: Some(trace_path.clone()),
+            metrics: Some(metrics_path.clone()),
+        })
+        .unwrap();
+        assert!(msg.contains("migratory optimum"), "{msg}");
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(trace.contains("\"feasibility_probe\""), "{trace}");
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&trace_path).ok();
+        std::fs::remove_file(&metrics_path).ok();
     }
 
     #[test]

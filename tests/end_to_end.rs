@@ -21,17 +21,59 @@ use machmin::sim::{run_policy, verify, SimConfig, VerifyOptions};
 #[test]
 fn offline_pipeline_consistency() {
     let instances: Vec<(&str, Instance)> = vec![
-        ("uniform", uniform(&UniformCfg { n: 30, ..Default::default() }, 1)),
-        ("agreeable", agreeable(&AgreeableCfg { n: 30, ..Default::default() }, 1)),
+        (
+            "uniform",
+            uniform(
+                &UniformCfg {
+                    n: 30,
+                    ..Default::default()
+                },
+                1,
+            ),
+        ),
+        (
+            "agreeable",
+            agreeable(
+                &AgreeableCfg {
+                    n: 30,
+                    ..Default::default()
+                },
+                1,
+            ),
+        ),
         (
             "laminar",
-            laminar(&LaminarCfg { depth: 3, branching: 2, ..Default::default() }, 1),
+            laminar(
+                &LaminarCfg {
+                    depth: 3,
+                    branching: 2,
+                    ..Default::default()
+                },
+                1,
+            ),
         ),
         (
             "loose",
-            loose(&UniformCfg { n: 30, ..Default::default() }, &Rat::ratio(1, 3), 1),
+            loose(
+                &UniformCfg {
+                    n: 30,
+                    ..Default::default()
+                },
+                &Rat::ratio(1, 3),
+                1,
+            ),
         ),
-        ("tight", tight(&UniformCfg { n: 30, ..Default::default() }, &Rat::half(), 1)),
+        (
+            "tight",
+            tight(
+                &UniformCfg {
+                    n: 30,
+                    ..Default::default()
+                },
+                &Rat::half(),
+                1,
+            ),
+        ),
     ];
     for (name, inst) in instances {
         let m = optimal_machines(&inst);
@@ -64,33 +106,77 @@ fn offline_pipeline_consistency() {
 fn online_policies_meet_their_guarantees() {
     // EDF (migratory) on loose jobs — Theorem 13 budget m/(1−α)².
     let alpha = Rat::half();
-    let inst = loose(&UniformCfg { n: 30, ..Default::default() }, &alpha, 7);
+    let inst = loose(
+        &UniformCfg {
+            n: 30,
+            ..Default::default()
+        },
+        &alpha,
+        7,
+    );
     let m = optimal_machines(&inst);
     let mut out = run_policy(&inst, Edf, SimConfig::migratory((4 * m) as usize)).unwrap();
     assert!(out.feasible());
-    verify(&out.instance, &mut out.schedule, &VerifyOptions::migratory()).unwrap();
+    verify(
+        &out.instance,
+        &mut out.schedule,
+        &VerifyOptions::migratory(),
+    )
+    .unwrap();
 
     // LLF (migratory) with headroom on general instances.
-    let inst = uniform(&UniformCfg { n: 30, ..Default::default() }, 7);
+    let inst = uniform(
+        &UniformCfg {
+            n: 30,
+            ..Default::default()
+        },
+        7,
+    );
     let m = optimal_machines(&inst);
-    let mut out =
-        run_policy(&inst, Llf::new(), SimConfig::migratory((3 * m + 2) as usize)).unwrap();
+    let mut out = run_policy(
+        &inst,
+        Llf::new(),
+        SimConfig::migratory((3 * m + 2) as usize),
+    )
+    .unwrap();
     assert!(out.feasible());
-    verify(&out.instance, &mut out.schedule, &VerifyOptions::migratory()).unwrap();
+    verify(
+        &out.instance,
+        &mut out.schedule,
+        &VerifyOptions::migratory(),
+    )
+    .unwrap();
 
     // Agreeable split — Theorem 12: non-preemptive.
-    let inst = agreeable(&AgreeableCfg { n: 30, ..Default::default() }, 7);
+    let inst = agreeable(
+        &AgreeableCfg {
+            n: 30,
+            ..Default::default()
+        },
+        7,
+    );
     let m = optimal_machines(&inst);
     let policy = AgreeableSplit::for_optimum(m);
     let budget = policy.total_machines();
     let mut out = run_policy(&inst, policy, SimConfig::nonmigratory(budget)).unwrap();
     assert!(out.feasible());
-    let stats =
-        verify(&out.instance, &mut out.schedule, &VerifyOptions::nonpreemptive()).unwrap();
+    let stats = verify(
+        &out.instance,
+        &mut out.schedule,
+        &VerifyOptions::nonpreemptive(),
+    )
+    .unwrap();
     assert_eq!(stats.preemptions, 0);
 
     // Laminar budget — Theorem 9: non-migratory on c·m·log m machines.
-    let inst = laminar(&LaminarCfg { depth: 3, branching: 2, ..Default::default() }, 7);
+    let inst = laminar(
+        &LaminarCfg {
+            depth: 3,
+            branching: 2,
+            ..Default::default()
+        },
+        7,
+    );
     let m = optimal_machines(&inst);
     let policy = LaminarBudget::new(
         LaminarBudget::suggested_m_prime(m, 4),
@@ -100,8 +186,12 @@ fn online_policies_meet_their_guarantees() {
     let budget = policy.total_machines();
     let mut out = run_policy(&inst, policy, SimConfig::nonmigratory(budget)).unwrap();
     assert!(out.feasible());
-    let stats =
-        verify(&out.instance, &mut out.schedule, &VerifyOptions::nonmigratory()).unwrap();
+    let stats = verify(
+        &out.instance,
+        &mut out.schedule,
+        &VerifyOptions::nonmigratory(),
+    )
+    .unwrap();
     assert_eq!(stats.migrations, 0);
 }
 
@@ -124,22 +214,31 @@ fn generated_structures_classify_correctly() {
 /// misses are allowed, pin violations are not.
 #[test]
 fn nonmigratory_policies_never_migrate_under_pressure() {
-    let inst = uniform(&UniformCfg { n: 40, horizon: 20, ..Default::default() }, 3);
+    let inst = uniform(
+        &UniformCfg {
+            n: 40,
+            horizon: 20,
+            ..Default::default()
+        },
+        3,
+    );
     // Tiny budget: policies will miss jobs, but must not migrate or crash.
     for budget in [1usize, 2, 3] {
-        let out =
-            run_policy(&inst, EdfFirstFit::new(), SimConfig::nonmigratory(budget)).unwrap();
+        let out = run_policy(&inst, EdfFirstFit::new(), SimConfig::nonmigratory(budget)).unwrap();
         let mut sched = out.schedule;
         sched.normalize();
         assert!(sched.is_nonmigratory());
 
-        let out =
-            run_policy(&inst, MediumFit::new(), SimConfig::nonmigratory(budget)).unwrap();
+        let out = run_policy(&inst, MediumFit::new(), SimConfig::nonmigratory(budget)).unwrap();
         let mut sched = out.schedule;
         assert!(sched.is_nonmigratory());
 
-        let out = run_policy(&inst, NonpreemptiveEdf::new(), SimConfig::nonmigratory(budget))
-            .unwrap();
+        let out = run_policy(
+            &inst,
+            NonpreemptiveEdf::new(),
+            SimConfig::nonmigratory(budget),
+        )
+        .unwrap();
         let mut sched = out.schedule;
         assert!(sched.is_nonmigratory());
         assert_eq!(sched.preemptions(), 0);
@@ -150,7 +249,14 @@ fn nonmigratory_policies_never_migrate_under_pressure() {
 /// all segments stay inside windows, even on overloaded runs.
 #[test]
 fn overloaded_runs_stay_structurally_sound() {
-    let inst = uniform(&UniformCfg { n: 30, horizon: 10, ..Default::default() }, 9);
+    let inst = uniform(
+        &UniformCfg {
+            n: 30,
+            horizon: 10,
+            ..Default::default()
+        },
+        9,
+    );
     let out = run_policy(&inst, Edf, SimConfig::migratory(2)).unwrap();
     let mut sched = out.schedule;
     sched.normalize();

@@ -14,7 +14,14 @@ fn lemma4_piece_families_bound_the_scaled_instance() {
     let alpha = Rat::ratio(1, 4);
     let s = Rat::from(2i64); // α·s = 1/2 < 1
     for seed in 0..4 {
-        let inst = loose(&UniformCfg { n: 25, ..Default::default() }, &alpha, seed);
+        let inst = loose(
+            &UniformCfg {
+                n: 25,
+                ..Default::default()
+            },
+            &alpha,
+            seed,
+        );
         let m = optimal_machines(&inst);
         let families = inst.lemma4_pieces(&s, &alpha);
         assert_eq!(families.len(), 2);
@@ -48,7 +55,14 @@ fn scaled_instances_stay_linear_in_m() {
     let alpha = Rat::ratio(1, 3);
     let s = Rat::ratio(3, 2); // α·s = 1/2 < 1
     for seed in 0..4 {
-        let inst = loose(&UniformCfg { n: 30, ..Default::default() }, &alpha, seed);
+        let inst = loose(
+            &UniformCfg {
+                n: 30,
+                ..Default::default()
+            },
+            &alpha,
+            seed,
+        );
         let m = optimal_machines(&inst);
         let ms = optimal_machines(&inst.scale_processing(&s));
         assert!(

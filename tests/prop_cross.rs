@@ -5,8 +5,8 @@
 use machmin::core::{Edf, EdfFirstFit};
 use machmin::numeric::Rat;
 use machmin::opt::{
-    contribution_bound, demigrate, exhaustive_contribution_bound, feasible_on,
-    optimal_machines, optimal_schedule, EXHAUSTIVE_LIMIT,
+    contribution_bound, demigrate, exhaustive_contribution_bound, feasible_on, optimal_machines,
+    optimal_schedule, EXHAUSTIVE_LIMIT,
 };
 use machmin::prelude::*;
 use machmin::sim::{run_policy, verify, SimConfig, VerifyOptions};
@@ -18,8 +18,7 @@ fn arb_instance() -> impl Strategy<Value = Instance> {
         let p = p.min(w);
         (r, r + w, p)
     });
-    proptest::collection::vec(job, 1..25)
-        .prop_map(Instance::from_ints)
+    proptest::collection::vec(job, 1..25).prop_map(Instance::from_ints)
 }
 
 /// Tiny instances for the exponential oracle.
