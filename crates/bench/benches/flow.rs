@@ -68,5 +68,47 @@ fn event_intervals(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, scheduling_network, raw_dinic, event_intervals);
+/// Pins in-place network reuse: rebuilding the bipartite network per flow
+/// versus `reset()` + re-solve on one allocation-free network.
+fn reuse_vs_rebuild(c: &mut Criterion) {
+    let l = 40usize;
+    let (s, t) = (0, 2 * l + 1);
+    let build = || {
+        let mut net = FlowNetwork::<Rat>::new(2 * l + 2);
+        for i in 0..l {
+            net.add_edge(s, 1 + i, Rat::ratio(3, 2));
+            net.add_edge(1 + l + i, t, Rat::ratio(3, 2));
+            for j in 0..l {
+                if (i + j) % 3 != 0 {
+                    net.add_edge(1 + i, 1 + l + j, Rat::ratio(1, 2));
+                }
+            }
+        }
+        net
+    };
+    let mut g = c.benchmark_group("flow/reuse");
+    g.bench_function("rebuild_and_flow_40x40", |b| {
+        b.iter(|| {
+            let mut net = build();
+            net.max_flow(s, t)
+        })
+    });
+    g.bench_function("reset_and_flow_40x40", |b| {
+        let mut net = build();
+        net.max_flow(s, t);
+        b.iter(|| {
+            net.reset();
+            net.max_flow(s, t)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    scheduling_network,
+    raw_dinic,
+    event_intervals,
+    reuse_vs_rebuild
+);
 criterion_main!(benches);

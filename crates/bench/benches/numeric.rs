@@ -2,7 +2,7 @@
 //! every simulation step and flow computation.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use mm_numeric::{BigInt, Rat};
+use mm_numeric::{fastpath, BigInt, Rat};
 
 fn bigint_ops(c: &mut Criterion) {
     let mut g = c.benchmark_group("bigint");
@@ -58,5 +58,57 @@ fn rational_ops(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bigint_ops, rational_ops);
+/// Pins the small-word fast path: the same i64-range workload with inline
+/// `i128` arithmetic (default) and with the limb path forced. The gap between
+/// the two is the optimization this crate's baseline tracks.
+fn small_word_fast_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("small_word");
+    let ints: Vec<BigInt> = (0..64)
+        .map(|k: i64| BigInt::from(k * 7_654_321 - 99))
+        .collect();
+    let rats: Vec<Rat> = (0..64).map(|k| Rat::ratio(3 * k - 17, k + 65)).collect();
+    let bigint_sum = |xs: &[BigInt]| {
+        let mut acc = BigInt::zero();
+        for x in xs {
+            acc = &acc + &(x * x);
+        }
+        acc
+    };
+    let rat_fold = |xs: &[Rat]| {
+        let mut acc = Rat::zero();
+        for x in xs {
+            acc = &acc + x;
+            acc = &acc * x;
+        }
+        acc
+    };
+    g.bench_function("bigint_mul_add_64", |b| {
+        b.iter(|| bigint_sum(std::hint::black_box(&ints)))
+    });
+    g.bench_function("bigint_mul_add_64_forced_limb", |b| {
+        let _guard = fastpath::force_bigint();
+        b.iter(|| bigint_sum(std::hint::black_box(&ints)))
+    });
+    g.bench_function("rat_fold_64", |b| {
+        b.iter(|| rat_fold(std::hint::black_box(&rats)))
+    });
+    g.bench_function("rat_fold_64_forced_limb", |b| {
+        let _guard = fastpath::force_bigint();
+        b.iter(|| rat_fold(std::hint::black_box(&rats)))
+    });
+    let sorted: Vec<Rat> = rats.clone();
+    g.bench_function("rat_sort_64", |b| {
+        b.iter_batched(
+            || sorted.clone(),
+            |mut v| {
+                v.sort();
+                v
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bigint_ops, rational_ops, small_word_fast_path);
 criterion_main!(benches);

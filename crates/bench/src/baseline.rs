@@ -1,0 +1,389 @@
+//! Tracked performance baseline for `machmin bench`.
+//!
+//! Runs a fixed, seeded set of solver and simulator workloads twice — once
+//! on the small-word fast path with the shared [`mm_opt::FeasibilityProber`]
+//! (`prober_fast`), once with the fast path disabled and a fresh network per
+//! probe (`fresh_slow`, the pre-optimization reference) — and emits a
+//! machine-readable JSON document (`BENCH_<pr>.json` at the repo root).
+//!
+//! Wall times are environment-dependent and recorded for trajectory only;
+//! the trace counters (probes, flow augmentations, sim steps) are
+//! deterministic given the seeds, so CI's bench-smoke job gates on those via
+//! [`check_against`].
+
+use std::time::Instant;
+
+use mm_core::EdfFirstFit;
+use mm_instance::generators::{agreeable, laminar, uniform, AgreeableCfg, LaminarCfg, UniformCfg};
+use mm_instance::Instance;
+use mm_json::Json;
+use mm_numeric::{fastpath, Rat};
+use mm_opt::{optimal_machines_fresh_traced, optimal_machines_traced};
+use mm_sim::{run_policy, SimConfig};
+use mm_trace::Metrics;
+
+use crate::meter::{self, MeterSink};
+
+/// Schema tag written into the document, bumped on layout changes.
+pub const SCHEMA: &str = "machmin-bench-v1";
+
+/// Timing repetitions per workload half; the minimum is reported.
+const REPS: usize = 3;
+
+/// The seeded `optimal_machines` probe workloads. The `--quick` set is a
+/// strict subset of the full set (same names and seeds), so a quick CI run
+/// can be checked against a committed full-run baseline.
+fn probe_workloads(quick: bool) -> Vec<(&'static str, Instance)> {
+    let uni = |n: usize, seed: u64| {
+        uniform(
+            &UniformCfg {
+                n,
+                horizon: (2 * n) as i64,
+                ..Default::default()
+            },
+            seed,
+        )
+    };
+    let mut v = vec![
+        ("uniform_n40", uni(40, 5)),
+        ("uniform_n80", uni(80, 7)),
+        (
+            "laminar_d3",
+            laminar(
+                &LaminarCfg {
+                    depth: 3,
+                    branching: 2,
+                    ..Default::default()
+                },
+                11,
+            ),
+        ),
+        (
+            "agreeable_n60",
+            agreeable(
+                &AgreeableCfg {
+                    n: 60,
+                    ..Default::default()
+                },
+                13,
+            ),
+        ),
+    ];
+    if !quick {
+        v.push(("uniform_n160", uni(160, 17)));
+        // Deep-denominator variant: repeated affine rescaling gives the
+        // event coordinates denominators around 7^24 > i64::MAX, so even
+        // the fast mode spills to limb arithmetic — tracking the spilled
+        // path (its speedup comes from prober reuse alone).
+        let mut deep = uni(40, 5);
+        let scale = Rat::ratio(3, 7);
+        let offset = Rat::ratio(1, 9);
+        for _ in 0..24 {
+            deep = deep.affine(&Rat::zero(), &offset, &scale);
+        }
+        v.push(("uniform_n40_deep", deep));
+    }
+    v
+}
+
+/// Minimum wall time of `REPS` runs of `f`, in nanoseconds, plus the last
+/// result.
+fn time_best<R>(mut f: impl FnMut() -> R) -> (u64, R) {
+    let mut best = u64::MAX;
+    let mut out = None;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_nanos() as u64);
+        out = Some(r);
+    }
+    (best, out.expect("REPS >= 1"))
+}
+
+fn mode_json(wall_ns: u64, m: &Metrics) -> Json {
+    Json::obj([
+        ("wall_ns", Json::Int(wall_ns as i64)),
+        ("probes", Json::Int(m.feasibility_probes as i64)),
+        ("incremental", Json::Int(m.prober_incremental as i64)),
+        ("resets", Json::Int(m.prober_resets as i64)),
+        ("augmentations", Json::Int(m.flow_augmentations as i64)),
+    ])
+}
+
+/// Runs every workload in both modes and returns the baseline document.
+pub fn run(quick: bool) -> Json {
+    let mut workloads = Vec::new();
+    let mut fast_total_ns = 0u64;
+    let mut slow_total_ns = 0u64;
+    let mut total_probes = 0i64;
+    let mut total_augs = 0i64;
+    for (name, inst) in probe_workloads(quick) {
+        // Fast: small-word arithmetic + one prober shared across the search.
+        fastpath::set_enabled(true);
+        meter::reset();
+        let (fast_ns, fast_m) = time_best(|| optimal_machines_traced(&inst, MeterSink));
+        let fast_metrics = scaled_counters(meter::snapshot());
+        // Slow: limb arithmetic everywhere + a fresh network per probe.
+        let (slow_ns, slow_m) = {
+            let _force = fastpath::force_bigint();
+            meter::reset();
+            let r = time_best(|| optimal_machines_fresh_traced(&inst, MeterSink));
+            (r.0, r.1)
+        };
+        let slow_metrics = scaled_counters(meter::snapshot());
+        assert_eq!(fast_m, slow_m, "modes disagree on optimum for {name}");
+        fast_total_ns += fast_ns;
+        slow_total_ns += slow_ns;
+        total_probes += fast_metrics.feasibility_probes as i64;
+        total_augs += fast_metrics.flow_augmentations as i64;
+        workloads.push(Json::obj([
+            ("name", Json::str(name)),
+            ("kind", Json::str("probe")),
+            ("jobs", Json::Int(inst.len() as i64)),
+            ("optimal_machines", Json::Int(fast_m as i64)),
+            ("prober_fast", mode_json(fast_ns, &fast_metrics)),
+            ("fresh_slow", mode_json(slow_ns, &slow_metrics)),
+            (
+                "speedup",
+                Json::Float(slow_ns as f64 / fast_ns.max(1) as f64),
+            ),
+        ]));
+    }
+    fastpath::set_enabled(true);
+    let (sim_name, sim_steps, sim_ns) = sim_workload(quick);
+    Json::obj([
+        ("schema", Json::str(SCHEMA)),
+        ("quick", Json::Bool(quick)),
+        ("workloads", Json::Arr(workloads)),
+        (
+            "sim",
+            Json::obj([
+                ("name", Json::str(sim_name)),
+                ("steps", Json::Int(sim_steps as i64)),
+                ("wall_ns", Json::Int(sim_ns as i64)),
+            ]),
+        ),
+        (
+            "totals",
+            Json::obj([
+                ("fast_wall_ns", Json::Int(fast_total_ns as i64)),
+                ("slow_wall_ns", Json::Int(slow_total_ns as i64)),
+                (
+                    "speedup",
+                    Json::Float(slow_total_ns as f64 / fast_total_ns.max(1) as f64),
+                ),
+                ("probes", Json::Int(total_probes)),
+                ("augmentations", Json::Int(total_augs)),
+            ]),
+        ),
+    ])
+}
+
+/// The meter accumulates over all `REPS` timing repetitions; scale the
+/// counters back to a single run (they are identical per run).
+fn scaled_counters(mut m: Metrics) -> Metrics {
+    let reps = REPS as u64;
+    m.feasibility_probes /= reps;
+    m.feasible_probes /= reps;
+    m.binary_search_steps /= reps;
+    m.prober_incremental /= reps;
+    m.prober_resets /= reps;
+    m.flow_augmentations /= reps;
+    m
+}
+
+/// A deterministic EDF-first-fit simulation; returns (name, steps, wall).
+fn sim_workload(quick: bool) -> (&'static str, usize, u64) {
+    let n = if quick { 60 } else { 150 };
+    let inst = uniform(
+        &UniformCfg {
+            n,
+            horizon: (2 * n) as i64,
+            ..Default::default()
+        },
+        23,
+    );
+    let (ns, outcome) = time_best(|| {
+        run_policy(&inst, EdfFirstFit::new(), SimConfig::migratory(n)).expect("sim workload runs")
+    });
+    let name = if quick {
+        "edf_uniform_n60"
+    } else {
+        "edf_uniform_n150"
+    };
+    (name, outcome.steps, ns)
+}
+
+fn counter(doc: &Json, workload: &str, mode: &str, key: &str) -> Option<i64> {
+    doc.get("workloads")?
+        .as_arr()?
+        .iter()
+        .find(|w| w.get("name").and_then(Json::as_str) == Some(workload))?
+        .get(mode)?
+        .get(key)?
+        .as_i64()
+}
+
+fn workload_names(doc: &Json) -> Vec<String> {
+    doc.get("workloads")
+        .and_then(Json::as_arr)
+        .map(|ws| {
+            ws.iter()
+                .filter_map(|w| w.get("name").and_then(Json::as_str).map(str::to_owned))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Gates the deterministic counters of `current` against a `committed`
+/// baseline: for every workload present in both documents, the probe count
+/// and augmentation count of the optimized mode must not exceed the
+/// committed values, and the computed optimum must match. Wall times are
+/// never gated. Returns the list of regressions.
+pub fn check_against(current: &Json, committed: &Json) -> Result<(), Vec<String>> {
+    let mut problems = Vec::new();
+    let committed_names = workload_names(committed);
+    let mut compared = 0usize;
+    for name in workload_names(current) {
+        if !committed_names.contains(&name) {
+            continue; // new workload: no baseline yet
+        }
+        compared += 1;
+        let opt = |doc: &Json| {
+            doc.get("workloads")
+                .and_then(Json::as_arr)
+                .and_then(|ws| {
+                    ws.iter()
+                        .find(|w| w.get("name").and_then(Json::as_str) == Some(name.as_str()))
+                })
+                .and_then(|w| w.get("optimal_machines"))
+                .and_then(Json::as_i64)
+        };
+        if opt(current) != opt(committed) {
+            problems.push(format!(
+                "{name}: optimal_machines changed ({:?} vs committed {:?})",
+                opt(current),
+                opt(committed)
+            ));
+        }
+        for key in ["probes", "augmentations"] {
+            let cur = counter(current, &name, "prober_fast", key);
+            let base = counter(committed, &name, "prober_fast", key);
+            match (cur, base) {
+                (Some(c), Some(b)) if c > b => {
+                    problems.push(format!("{name}: {key} regressed ({c} > committed {b})"));
+                }
+                (None, _) | (_, None) => {
+                    problems.push(format!("{name}: missing {key} counter"));
+                }
+                _ => {}
+            }
+        }
+    }
+    if compared == 0 {
+        problems.push("no common workloads between current and committed baseline".to_owned());
+    }
+    let (cur_steps, base_steps) = (
+        current
+            .get("sim")
+            .and_then(|s| s.get("steps"))
+            .and_then(Json::as_i64),
+        committed
+            .get("sim")
+            .and_then(|s| s.get("steps"))
+            .and_then(Json::as_i64),
+    );
+    if let (Some(c), Some(b)) = (cur_steps, base_steps) {
+        let (cur_name, base_name) = (
+            current
+                .get("sim")
+                .and_then(|s| s.get("name"))
+                .and_then(Json::as_str),
+            committed
+                .get("sim")
+                .and_then(|s| s.get("name"))
+                .and_then(Json::as_str),
+        );
+        if cur_name == base_name && c > b {
+            problems.push(format!("sim steps regressed ({c} > committed {b})"));
+        }
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_workloads_are_a_subset_of_full() {
+        let quick: Vec<&str> = probe_workloads(true).iter().map(|(n, _)| *n).collect();
+        let full: Vec<&str> = probe_workloads(false).iter().map(|(n, _)| *n).collect();
+        for name in &quick {
+            assert!(full.contains(name), "{name} missing from full set");
+        }
+        assert!(full.len() > quick.len());
+    }
+
+    #[test]
+    fn check_accepts_itself_and_flags_regressions() {
+        let doc = |probes: i64, augs: i64| {
+            Json::obj([
+                ("schema", Json::str(SCHEMA)),
+                (
+                    "workloads",
+                    Json::Arr(vec![Json::obj([
+                        ("name", Json::str("w")),
+                        ("optimal_machines", Json::Int(3)),
+                        (
+                            "prober_fast",
+                            Json::obj([
+                                ("probes", Json::Int(probes)),
+                                ("augmentations", Json::Int(augs)),
+                            ]),
+                        ),
+                    ])]),
+                ),
+                (
+                    "sim",
+                    Json::obj([("name", Json::str("s")), ("steps", Json::Int(100))]),
+                ),
+            ])
+        };
+        assert!(check_against(&doc(5, 40), &doc(5, 40)).is_ok());
+        // Equal-or-lower counters pass; higher ones fail.
+        assert!(check_against(&doc(4, 30), &doc(5, 40)).is_ok());
+        let err = check_against(&doc(6, 40), &doc(5, 40)).unwrap_err();
+        assert!(err.iter().any(|p| p.contains("probes regressed")));
+    }
+
+    #[test]
+    fn run_quick_emits_consistent_document() {
+        let doc = run(true);
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        let workloads = doc.get("workloads").and_then(Json::as_arr).unwrap();
+        assert!(!workloads.is_empty());
+        for w in workloads {
+            let fast_augs = w
+                .get("prober_fast")
+                .and_then(|m| m.get("augmentations"))
+                .and_then(Json::as_i64)
+                .unwrap();
+            let slow_augs = w
+                .get("fresh_slow")
+                .and_then(|m| m.get("augmentations"))
+                .and_then(Json::as_i64)
+                .unwrap();
+            // The prober never does more flow work than the fresh reference.
+            assert!(fast_augs <= slow_augs, "{:?}", w.get("name"));
+        }
+        // A run is a valid baseline for itself.
+        assert!(check_against(&doc, &doc).is_ok());
+        // The document round-trips through the serialiser.
+        assert!(mm_json::parse(&doc.to_pretty()).is_ok());
+    }
+}

@@ -33,7 +33,7 @@ pub struct Row {
 }
 
 fn family(name: &'static str, instances: Vec<Instance>) -> Row {
-    let results = parallel_map(instances, 8, |inst| {
+    let results = parallel_map(instances, crate::default_workers(), |inst| {
         let m = optimal_machines_traced(&inst, MeterSink);
         let c = contribution_bound(&inst);
         assert!(c.bound <= m, "certificate must lower-bound the optimum");

@@ -50,7 +50,7 @@ pub fn run(seeds: u64) -> Vec<Row> {
             ),
         ));
     }
-    parallel_map(inputs, 8, |(workload, inst)| {
+    parallel_map(inputs, crate::default_workers(), |(workload, inst)| {
         let m = optimal_machines_traced(&inst, MeterSink);
         let res = demigrate(&inst);
         Row {

@@ -43,7 +43,7 @@ pub fn run(seeds: u64) -> Vec<Row> {
         for n in ns {
             let inputs: Vec<u64> = (0..seeds).collect();
             let alpha_c = alpha.clone();
-            let results = parallel_map(inputs, 8, move |seed| {
+            let results = parallel_map(inputs, crate::default_workers(), move |seed| {
                 let inst = loose(
                     &UniformCfg {
                         n,

@@ -38,21 +38,25 @@ pub fn run(seeds: u64) -> Vec<Row> {
     for (num, den) in epsilons {
         let eps = Rat::ratio(num, den);
         let speed = clt_speed(&eps);
-        let results = parallel_map((0..seeds).collect::<Vec<u64>>(), 8, |seed| {
-            let inst = uniform(
-                &UniformCfg {
-                    n: 40,
-                    ..Default::default()
-                },
-                seed,
-            );
-            let m = optimal_machines_traced(&inst, MeterSink);
-            let budget = clt_machines(&eps, m);
-            let cfg = SimConfig::nonmigratory(budget as usize).with_speed(speed.clone());
-            let out =
-                run_policy_traced(&inst, EdfFirstFit::new(), cfg, MeterSink).expect("sim error");
-            (m, out.machines_used(), out.feasible())
-        });
+        let results = parallel_map(
+            (0..seeds).collect::<Vec<u64>>(),
+            crate::default_workers(),
+            |seed| {
+                let inst = uniform(
+                    &UniformCfg {
+                        n: 40,
+                        ..Default::default()
+                    },
+                    seed,
+                );
+                let m = optimal_machines_traced(&inst, MeterSink);
+                let budget = clt_machines(&eps, m);
+                let cfg = SimConfig::nonmigratory(budget as usize).with_speed(speed.clone());
+                let out = run_policy_traced(&inst, EdfFirstFit::new(), cfg, MeterSink)
+                    .expect("sim error");
+                (m, out.machines_used(), out.feasible())
+            },
+        );
         let feasible = results.iter().filter(|(_, _, f)| *f).count();
         let mean = results
             .iter()

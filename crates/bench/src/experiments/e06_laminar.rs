@@ -38,25 +38,29 @@ pub fn run(seeds: u64) -> Vec<Row> {
     let mut rows = Vec::new();
     for depth in [2usize, 3, 4] {
         for c in [1u64, 2, 4] {
-            let results = parallel_map((0..seeds).collect::<Vec<u64>>(), 8, |seed| {
-                let inst = laminar(
-                    &LaminarCfg {
-                        depth,
-                        branching: 2,
-                        ..Default::default()
-                    },
-                    seed,
-                );
-                let m = optimal_machines_traced(&inst, MeterSink);
-                let m_prime = LaminarBudget::suggested_m_prime(m, c);
-                let loose_pool = (4 * m) as usize;
-                let policy = LaminarBudget::new(m_prime, loose_pool, Rat::half());
-                let total = policy.total_machines();
-                let out =
-                    run_policy_traced(&inst, policy, SimConfig::nonmigratory(total), MeterSink)
-                        .expect("sim error");
-                (m, m_prime, out.feasible(), out.machines_used())
-            });
+            let results = parallel_map(
+                (0..seeds).collect::<Vec<u64>>(),
+                crate::default_workers(),
+                |seed| {
+                    let inst = laminar(
+                        &LaminarCfg {
+                            depth,
+                            branching: 2,
+                            ..Default::default()
+                        },
+                        seed,
+                    );
+                    let m = optimal_machines_traced(&inst, MeterSink);
+                    let m_prime = LaminarBudget::suggested_m_prime(m, c);
+                    let loose_pool = (4 * m) as usize;
+                    let policy = LaminarBudget::new(m_prime, loose_pool, Rat::half());
+                    let total = policy.total_machines();
+                    let out =
+                        run_policy_traced(&inst, policy, SimConfig::nonmigratory(total), MeterSink)
+                            .expect("sim error");
+                    (m, m_prime, out.feasible(), out.machines_used())
+                },
+            );
             let k = results.len();
             rows.push(Row {
                 depth,

@@ -69,29 +69,33 @@ pub struct RunRow {
 pub fn run(seeds: u64) -> Vec<RunRow> {
     let mut rows = Vec::new();
     for n in [20usize, 40, 80] {
-        let results = parallel_map((0..seeds).collect::<Vec<u64>>(), 8, |seed| {
-            let inst = agreeable(
-                &AgreeableCfg {
-                    n,
-                    ..Default::default()
-                },
-                seed,
-            );
-            let m = optimal_machines_traced(&inst, MeterSink);
-            let policy = AgreeableSplit::for_optimum(m);
-            let total = policy.total_machines();
-            let mut out =
-                run_policy_traced(&inst, policy, SimConfig::nonmigratory(total), MeterSink)
-                    .expect("sim error");
-            let feas = out.feasible();
-            let stats = mm_sim::verify(
-                &out.instance,
-                &mut out.schedule,
-                &VerifyOptions::nonmigratory(),
-            );
-            let preempts = stats.map(|s| s.preemptions).unwrap_or(usize::MAX);
-            (m, out.machines_used(), feas, preempts)
-        });
+        let results = parallel_map(
+            (0..seeds).collect::<Vec<u64>>(),
+            crate::default_workers(),
+            |seed| {
+                let inst = agreeable(
+                    &AgreeableCfg {
+                        n,
+                        ..Default::default()
+                    },
+                    seed,
+                );
+                let m = optimal_machines_traced(&inst, MeterSink);
+                let policy = AgreeableSplit::for_optimum(m);
+                let total = policy.total_machines();
+                let mut out =
+                    run_policy_traced(&inst, policy, SimConfig::nonmigratory(total), MeterSink)
+                        .expect("sim error");
+                let feas = out.feasible();
+                let stats = mm_sim::verify(
+                    &out.instance,
+                    &mut out.schedule,
+                    &VerifyOptions::nonmigratory(),
+                );
+                let preempts = stats.map(|s| s.preemptions).unwrap_or(usize::MAX);
+                (m, out.machines_used(), feas, preempts)
+            },
+        );
         let k = results.len();
         rows.push(RunRow {
             n,

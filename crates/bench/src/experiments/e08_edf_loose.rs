@@ -37,22 +37,26 @@ pub fn run(seeds: u64) -> Vec<Row> {
     let mut rows = Vec::new();
     for (num, den) in alphas {
         let alpha = Rat::ratio(num, den);
-        let results = parallel_map((0..seeds).collect::<Vec<u64>>(), 8, |seed| {
-            let inst = loose(
-                &UniformCfg {
-                    n: 30,
-                    ..Default::default()
-                },
-                &alpha,
-                seed,
-            );
-            let m = optimal_machines_traced(&inst, MeterSink);
-            let one = Rat::one();
-            let bound = (Rat::from(m) / ((&one - &alpha) * (&one - &alpha))).ceil_u64();
-            let min_budget =
-                min_feasible_machines(&inst, m, bound + 4, true, Edf::default).unwrap_or(bound + 5);
-            (m, min_budget, bound)
-        });
+        let results = parallel_map(
+            (0..seeds).collect::<Vec<u64>>(),
+            crate::default_workers(),
+            |seed| {
+                let inst = loose(
+                    &UniformCfg {
+                        n: 30,
+                        ..Default::default()
+                    },
+                    &alpha,
+                    seed,
+                );
+                let m = optimal_machines_traced(&inst, MeterSink);
+                let one = Rat::one();
+                let bound = (Rat::from(m) / ((&one - &alpha) * (&one - &alpha))).ceil_u64();
+                let min_budget = min_feasible_machines(&inst, m, bound + 4, true, Edf::default)
+                    .unwrap_or(bound + 5);
+                (m, min_budget, bound)
+            },
+        );
         let k = results.len();
         rows.push(Row {
             alpha: format!("{num}/{den}"),

@@ -36,22 +36,26 @@ pub fn run(seeds: u64) -> Vec<Row> {
     let mut rows = Vec::new();
     for pct in [10i64, 30, 50, 70, 90] {
         let gamma = Rat::ratio(pct, 100);
-        let results = parallel_map((0..seeds).collect::<Vec<u64>>(), 8, |seed| {
-            let inst = uniform(
-                &UniformCfg {
-                    n: 30,
-                    ..Default::default()
-                },
-                seed,
-            );
-            let m = optimal_machines_traced(&inst, MeterSink);
-            let left = optimal_machines_traced(&inst.shrink_windows_left(&gamma), MeterSink);
-            let right = optimal_machines_traced(&inst.shrink_windows_right(&gamma), MeterSink);
-            // Lemma 3 bound: m(J^γ) ≤ m(J)/(1−γ) + 1.
-            let bound = (Rat::from(m) / (Rat::one() - &gamma) + Rat::one()).ceil_u64();
-            let violated = left > bound || right > bound;
-            (m, left, right, violated)
-        });
+        let results = parallel_map(
+            (0..seeds).collect::<Vec<u64>>(),
+            crate::default_workers(),
+            |seed| {
+                let inst = uniform(
+                    &UniformCfg {
+                        n: 30,
+                        ..Default::default()
+                    },
+                    seed,
+                );
+                let m = optimal_machines_traced(&inst, MeterSink);
+                let left = optimal_machines_traced(&inst.shrink_windows_left(&gamma), MeterSink);
+                let right = optimal_machines_traced(&inst.shrink_windows_right(&gamma), MeterSink);
+                // Lemma 3 bound: m(J^γ) ≤ m(J)/(1−γ) + 1.
+                let bound = (Rat::from(m) / (Rat::one() - &gamma) + Rat::one()).ceil_u64();
+                let violated = left > bound || right > bound;
+                (m, left, right, violated)
+            },
+        );
         let k = results.len();
         rows.push(Row {
             gamma_pct: pct,

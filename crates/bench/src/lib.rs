@@ -13,12 +13,29 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod experiments;
 pub mod meter;
 pub mod table;
 
 pub use meter::MeterSink;
 pub use table::Table;
+
+/// Default worker-thread count for parallel sweeps: the `MACHMIN_JOBS`
+/// environment variable when it parses as a positive integer, otherwise
+/// [`std::thread::available_parallelism`], otherwise 8.
+pub fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("MACHMIN_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8)
+}
 
 /// Runs `f` over `items` in parallel with crossbeam scoped threads and
 /// returns results in input order.

@@ -88,6 +88,13 @@ pub struct FlowNetwork<N: FlowNum> {
     /// Location `(from, index)` of each forward edge, by handle.
     originals: Vec<(usize, usize)>,
     original_caps: Vec<N>,
+    /// Total augmenting paths found over the network's lifetime.
+    augmentations: u64,
+    // Scratch buffers reused across max_flow phases (and calls), so repeated
+    // probes on the same network don't churn the allocator.
+    level: Vec<usize>,
+    iter: Vec<usize>,
+    queue: VecDeque<usize>,
 }
 
 /// Handle to an edge added with [`FlowNetwork::add_edge`]; lets callers read
@@ -102,6 +109,10 @@ impl<N: FlowNum> FlowNetwork<N> {
             graph: vec![Vec::new(); n],
             originals: Vec::new(),
             original_caps: Vec::new(),
+            augmentations: 0,
+            level: Vec::new(),
+            iter: Vec::new(),
+            queue: VecDeque::new(),
         }
     }
 
@@ -161,11 +172,18 @@ impl<N: FlowNum> FlowNetwork<N> {
         assert!(source != sink, "source must differ from sink");
         let n = self.graph.len();
         let mut total = N::zero();
+        // Detach the scratch buffers so the borrow checker allows the
+        // recursive `&mut self` DFS; reattached before returning.
+        let mut level = std::mem::take(&mut self.level);
+        let mut it = std::mem::take(&mut self.iter);
+        let mut q = std::mem::take(&mut self.queue);
+        level.resize(n, usize::MAX);
+        it.resize(n, 0);
         loop {
             // BFS level graph on residual edges.
-            let mut level = vec![usize::MAX; n];
+            level.fill(usize::MAX);
             level[source] = 0;
-            let mut q = VecDeque::new();
+            q.clear();
             q.push_back(source);
             while let Some(u) = q.pop_front() {
                 for e in &self.graph[u] {
@@ -176,14 +194,67 @@ impl<N: FlowNum> FlowNetwork<N> {
                 }
             }
             if level[sink] == usize::MAX {
+                self.level = level;
+                self.iter = it;
+                self.queue = q;
                 return total;
             }
             // DFS blocking flow with iteration pointers.
-            let mut it = vec![0usize; n];
+            it.fill(0);
             while let Some(f) = self.dfs(source, sink, None, &level, &mut it) {
+                self.augmentations += 1;
                 total = total.add(&f);
             }
         }
+    }
+
+    /// Total augmenting paths found by [`Self::max_flow`] over the
+    /// network's lifetime (not reset by [`Self::reset`]).
+    pub fn augmentations(&self) -> u64 {
+        self.augmentations
+    }
+
+    /// Clears all flow in place: every forward edge returns to its original
+    /// capacity and every reverse edge to zero. Keeps nodes, edges, and
+    /// scratch allocations.
+    pub fn reset(&mut self) {
+        for (idx, &(from, eidx)) in self.originals.iter().enumerate() {
+            let (to, rev) = {
+                let e = &self.graph[from][eidx];
+                (e.to, e.rev)
+            };
+            self.graph[from][eidx].cap = self.original_caps[idx].clone();
+            self.graph[to][rev].cap = N::zero();
+        }
+    }
+
+    /// Replaces an edge's capacity, clearing any flow on that edge (its
+    /// residual becomes the full new capacity). Flow conservation at its
+    /// endpoints is *not* restored — callers are expected to [`Self::reset`]
+    /// first or otherwise re-run [`Self::max_flow`] from a consistent state.
+    pub fn set_capacity(&mut self, handle: EdgeHandle, cap: N) {
+        let (from, eidx) = self.originals[handle.0];
+        let (to, rev) = {
+            let e = &self.graph[from][eidx];
+            (e.to, e.rev)
+        };
+        self.graph[from][eidx].cap = cap.clone();
+        self.graph[to][rev].cap = N::zero();
+        self.original_caps[handle.0] = cap;
+    }
+
+    /// Raises an edge's capacity to `cap` (which must be ≥ the current
+    /// capacity), preserving the flow already routed through it. Residual
+    /// capacities stay consistent, so a subsequent [`Self::max_flow`]
+    /// continues incrementally from the existing flow.
+    pub fn raise_capacity(&mut self, handle: EdgeHandle, cap: N) {
+        let (from, eidx) = self.originals[handle.0];
+        let old = self.original_caps[handle.0].clone();
+        assert!(cap >= old, "raise_capacity would lower the capacity");
+        let delta = cap.sub(&old);
+        let e = &mut self.graph[from][eidx];
+        e.cap = e.cap.add(&delta);
+        self.original_caps[handle.0] = cap;
     }
 
     fn dfs(
@@ -448,5 +519,80 @@ mod tests {
         assert_eq!(net.out_capacity(0), 5);
         net.max_flow(0, 2);
         assert_eq!(net.out_capacity(0), 2); // 3 units consumed
+    }
+
+    #[test]
+    fn reset_restores_original_capacities() {
+        let mut net = FlowNetwork::<u64>::new(4);
+        let e1 = net.add_edge(0, 1, 3);
+        net.add_edge(0, 2, 2);
+        net.add_edge(1, 3, 2);
+        net.add_edge(2, 3, 3);
+        net.add_edge(1, 2, 5);
+        assert_eq!(net.max_flow(0, 3), 5);
+        net.reset();
+        assert_eq!(net.flow(e1), 0);
+        // The same max flow is found again from scratch.
+        assert_eq!(net.max_flow(0, 3), 5);
+    }
+
+    #[test]
+    fn set_capacity_rescales_after_reset() {
+        let mut net = FlowNetwork::<u64>::new(3);
+        net.add_edge(0, 1, 10);
+        let bottleneck = net.add_edge(1, 2, 1);
+        assert_eq!(net.max_flow(0, 2), 1);
+        net.reset();
+        net.set_capacity(bottleneck, 7);
+        assert_eq!(net.capacity(bottleneck), 7);
+        assert_eq!(net.max_flow(0, 2), 7);
+    }
+
+    #[test]
+    fn raise_capacity_continues_incrementally() {
+        let mut net = FlowNetwork::<u64>::new(3);
+        net.add_edge(0, 1, 10);
+        let bottleneck = net.add_edge(1, 2, 2);
+        assert_eq!(net.max_flow(0, 2), 2);
+        let before = net.augmentations();
+        net.raise_capacity(bottleneck, 6);
+        // Existing flow is kept: only the extra 4 units are found.
+        assert_eq!(net.max_flow(0, 2), 4);
+        assert_eq!(net.flow(bottleneck), 6);
+        assert!(net.augmentations() > before);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower the capacity")]
+    fn raise_capacity_rejects_decrease() {
+        let mut net = FlowNetwork::<u64>::new(2);
+        let e = net.add_edge(0, 1, 5);
+        net.raise_capacity(e, 3);
+    }
+
+    #[test]
+    fn augmentations_count_paths() {
+        let mut net = FlowNetwork::<u64>::new(4);
+        net.add_edge(0, 1, 1);
+        net.add_edge(0, 2, 1);
+        net.add_edge(1, 3, 1);
+        net.add_edge(2, 3, 1);
+        assert_eq!(net.augmentations(), 0);
+        assert_eq!(net.max_flow(0, 3), 2);
+        assert_eq!(net.augmentations(), 2);
+        // Idempotent re-run finds no new paths.
+        net.max_flow(0, 3);
+        assert_eq!(net.augmentations(), 2);
+    }
+
+    #[test]
+    fn rational_reset_and_rescale() {
+        let mut net = FlowNetwork::<Rat>::new(3);
+        net.add_edge(0, 1, r(1, 2));
+        let e = net.add_edge(1, 2, r(1, 3));
+        assert_eq!(net.max_flow(0, 2), r(1, 3));
+        net.reset();
+        net.set_capacity(e, r(2, 5));
+        assert_eq!(net.max_flow(0, 2), r(2, 5));
     }
 }

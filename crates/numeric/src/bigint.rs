@@ -1,16 +1,24 @@
-//! Sign–magnitude arbitrary-precision integers.
+//! Sign–magnitude arbitrary-precision integers with a small-word fast path.
 //!
-//! The magnitude is a little-endian vector of 32-bit limbs with no trailing
-//! zero limbs; all intermediate arithmetic fits in `u64`. Division uses
+//! Values that fit a machine word are stored inline as an `i64` and use
+//! primitive `i128` arithmetic; only values outside the `i64` range spill to
+//! a little-endian vector of 32-bit limbs (with no trailing zero limbs, all
+//! intermediate arithmetic fitting in `u64`). The representation is
+//! canonical — a value is limb-backed **iff** it does not fit `i64` — so
+//! equality and hashing are structural. Division on the limb path uses
 //! Knuth's Algorithm D with the standard normalization step.
+//!
+//! The fast path can be disabled at runtime via [`crate::fastpath`], which
+//! forces every operation through the limb algorithms (the representation
+//! stays canonical either way); the property-test suite uses this to check
+//! that both paths agree bit-for-bit.
 
 use core::cmp::Ordering;
 use core::fmt;
-use core::hash::{Hash, Hasher};
 use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
 use core::str::FromStr;
 
-use crate::ParseNumError;
+use crate::{fastpath, ParseNumError};
 
 const BASE_BITS: u32 = 32;
 
@@ -44,64 +52,159 @@ impl Sign {
     }
 }
 
+/// Internal representation. Canonical: `Small` holds every value in
+/// `i64::MIN..=i64::MAX`; `Large` holds everything else (so its magnitude
+/// never has trailing zero limbs and never fits `i64`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    Small(i64),
+    Large { sign: Sign, mag: Vec<u32> },
+}
+
 /// An arbitrary-precision signed integer.
-///
-/// Invariants: `mag` has no trailing zero limbs; `sign == Sign::Zero` iff
-/// `mag.is_empty()`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct BigInt {
-    sign: Sign,
-    mag: Vec<u32>,
+    repr: Repr,
+}
+
+/// Writes the limbs of a small magnitude into `buf`, returning the
+/// occupied prefix.
+fn small_limbs(v: u64, buf: &mut [u32; 2]) -> &[u32] {
+    buf[0] = v as u32;
+    buf[1] = (v >> BASE_BITS) as u32;
+    let len = if buf[1] != 0 {
+        2
+    } else if buf[0] != 0 {
+        1
+    } else {
+        0
+    };
+    &buf[..len]
+}
+
+fn sign_of_i64(v: i64) -> Sign {
+    match v.cmp(&0) {
+        Ordering::Less => Sign::Minus,
+        Ordering::Equal => Sign::Zero,
+        Ordering::Greater => Sign::Plus,
+    }
+}
+
+fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
 }
 
 impl BigInt {
     /// The integer `0`.
     pub fn zero() -> Self {
         BigInt {
-            sign: Sign::Zero,
-            mag: Vec::new(),
+            repr: Repr::Small(0),
         }
     }
 
     /// The integer `1`.
     pub fn one() -> Self {
-        BigInt::from(1u32)
+        BigInt {
+            repr: Repr::Small(1),
+        }
+    }
+
+    fn small(v: i64) -> Self {
+        BigInt {
+            repr: Repr::Small(v),
+        }
+    }
+
+    /// The inline value, when the integer fits `i64`. By the canonical
+    /// representation invariant this is `Some` exactly for such values.
+    pub(crate) fn as_small(&self) -> Option<i64> {
+        match self.repr {
+            Repr::Small(v) => Some(v),
+            Repr::Large { .. } => None,
+        }
+    }
+
+    fn from_u128(v: u128) -> Self {
+        if v <= i64::MAX as u128 {
+            return BigInt::small(v as i64);
+        }
+        let mut mag = Vec::with_capacity(4);
+        let mut v = v;
+        while v > 0 {
+            mag.push(v as u32);
+            v >>= BASE_BITS;
+        }
+        BigInt {
+            repr: Repr::Large {
+                sign: Sign::Plus,
+                mag,
+            },
+        }
+    }
+
+    fn from_i128(v: i128) -> Self {
+        if (i64::MIN as i128..=i64::MAX as i128).contains(&v) {
+            return BigInt::small(v as i64);
+        }
+        let m = BigInt::from_u128(v.unsigned_abs());
+        if v < 0 {
+            -m
+        } else {
+            m
+        }
     }
 
     /// Returns `true` iff the value is zero.
     pub fn is_zero(&self) -> bool {
-        self.sign == Sign::Zero
+        matches!(self.repr, Repr::Small(0))
     }
 
     /// Returns `true` iff the value is `1`.
     pub fn is_one(&self) -> bool {
-        self.sign == Sign::Plus && self.mag.len() == 1 && self.mag[0] == 1
+        matches!(self.repr, Repr::Small(1))
     }
 
     /// Returns `true` iff the value is strictly negative.
     pub fn is_negative(&self) -> bool {
-        self.sign == Sign::Minus
+        self.sign() == Sign::Minus
     }
 
     /// Returns `true` iff the value is strictly positive.
     pub fn is_positive(&self) -> bool {
-        self.sign == Sign::Plus
+        self.sign() == Sign::Plus
     }
 
     /// The sign of the value.
     pub fn sign(&self) -> Sign {
-        self.sign
+        match &self.repr {
+            Repr::Small(v) => sign_of_i64(*v),
+            Repr::Large { sign, .. } => *sign,
+        }
     }
 
     /// Absolute value.
     pub fn abs(&self) -> BigInt {
-        BigInt {
-            sign: if self.sign == Sign::Zero {
-                Sign::Zero
-            } else {
-                Sign::Plus
+        match &self.repr {
+            Repr::Small(v) => BigInt::from_u128(v.unsigned_abs() as u128),
+            Repr::Large { mag, .. } => BigInt {
+                repr: Repr::Large {
+                    sign: Sign::Plus,
+                    mag: mag.clone(),
+                },
             },
-            mag: self.mag.clone(),
+        }
+    }
+
+    /// The sign and magnitude limbs of the value. Small values borrow `buf`.
+    fn parts<'a>(&'a self, buf: &'a mut [u32; 2]) -> (Sign, &'a [u32]) {
+        match &self.repr {
+            Repr::Small(v) => (sign_of_i64(*v), small_limbs(v.unsigned_abs(), buf)),
+            Repr::Large { sign, mag } => (*sign, mag.as_slice()),
         }
     }
 
@@ -110,26 +213,43 @@ impl BigInt {
             mag.pop();
         }
         if mag.is_empty() {
-            BigInt::zero()
-        } else {
-            debug_assert_ne!(sign, Sign::Zero);
-            BigInt { sign, mag }
+            return BigInt::zero();
+        }
+        debug_assert_ne!(sign, Sign::Zero);
+        if mag.len() <= 2 {
+            let v = mag[0] as u64 | ((*mag.get(1).unwrap_or(&0) as u64) << BASE_BITS);
+            match sign {
+                Sign::Plus if v <= i64::MAX as u64 => return BigInt::small(v as i64),
+                Sign::Minus if v <= 1u64 << 63 => return BigInt::small((-(v as i128)) as i64),
+                _ => {}
+            }
+        }
+        BigInt {
+            repr: Repr::Large { sign, mag },
         }
     }
 
     /// Number of significant bits of the magnitude (0 for zero).
     pub fn bits(&self) -> u64 {
-        match self.mag.last() {
-            None => 0,
-            Some(&top) => {
-                (self.mag.len() as u64 - 1) * BASE_BITS as u64 + (32 - top.leading_zeros()) as u64
+        match &self.repr {
+            Repr::Small(0) => 0,
+            Repr::Small(v) => (64 - v.unsigned_abs().leading_zeros()) as u64,
+            Repr::Large { mag, .. } => {
+                let top = *mag.last().expect("canonical Large is non-empty");
+                (mag.len() as u64 - 1) * BASE_BITS as u64 + (32 - top.leading_zeros()) as u64
             }
         }
     }
 
     /// Compares magnitudes, ignoring sign.
     pub fn cmp_abs(&self, other: &BigInt) -> Ordering {
-        cmp_mag(&self.mag, &other.mag)
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            return a.unsigned_abs().cmp(&b.unsigned_abs());
+        }
+        let (mut ab, mut bb) = ([0u32; 2], [0u32; 2]);
+        let (_, amag) = self.parts(&mut ab);
+        let (_, bmag) = other.parts(&mut bb);
+        cmp_mag(amag, bmag)
     }
 
     /// Euclidean-style division returning `(quotient, remainder)` with the
@@ -140,20 +260,27 @@ impl BigInt {
     /// Panics if `rhs` is zero.
     pub fn div_rem(&self, rhs: &BigInt) -> (BigInt, BigInt) {
         assert!(!rhs.is_zero(), "BigInt division by zero");
+        if fastpath::enabled() {
+            if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+                // i128 avoids the i64::MIN / -1 overflow edge.
+                let (a, b) = (*a as i128, *b as i128);
+                return (BigInt::from_i128(a / b), BigInt::from_i128(a % b));
+            }
+        }
         if self.is_zero() {
             return (BigInt::zero(), BigInt::zero());
         }
-        match cmp_mag(&self.mag, &rhs.mag) {
+        let (mut ab, mut bb) = ([0u32; 2], [0u32; 2]);
+        let (asign, amag) = self.parts(&mut ab);
+        let (bsign, bmag) = rhs.parts(&mut bb);
+        match cmp_mag(amag, bmag) {
             Ordering::Less => (BigInt::zero(), self.clone()),
-            Ordering::Equal => (
-                BigInt::from_mag(self.sign.mul(rhs.sign), vec![1]),
-                BigInt::zero(),
-            ),
+            Ordering::Equal => (BigInt::from_mag(asign.mul(bsign), vec![1]), BigInt::zero()),
             Ordering::Greater => {
-                let (q, r) = div_rem_mag(&self.mag, &rhs.mag);
+                let (q, r) = div_rem_mag(amag, bmag);
                 (
-                    BigInt::from_mag(self.sign.mul(rhs.sign), q),
-                    BigInt::from_mag(self.sign, r),
+                    BigInt::from_mag(asign.mul(bsign), q),
+                    BigInt::from_mag(asign, r),
                 )
             }
         }
@@ -161,6 +288,12 @@ impl BigInt {
 
     /// Greatest common divisor of the absolute values; `gcd(0, x) = |x|`.
     pub fn gcd(&self, other: &BigInt) -> BigInt {
+        if fastpath::enabled() {
+            if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+                let g = gcd_u64(a.unsigned_abs(), b.unsigned_abs());
+                return BigInt::from_u128(g as u128);
+            }
+        }
         let mut a = self.abs();
         let mut b = other.abs();
         while !b.is_zero() {
@@ -199,7 +332,7 @@ impl BigInt {
             let top = self.shr_bits(shift).low_u64();
             top as f64 * 2f64.powi(shift as i32)
         };
-        match self.sign {
+        match self.sign() {
             Sign::Minus => -v,
             Sign::Zero => 0.0,
             Sign::Plus => v,
@@ -208,44 +341,49 @@ impl BigInt {
 
     /// The low 64 bits of the magnitude.
     pub fn low_u64(&self) -> u64 {
-        let lo = *self.mag.first().unwrap_or(&0) as u64;
-        let hi = *self.mag.get(1).unwrap_or(&0) as u64;
-        lo | (hi << 32)
+        match &self.repr {
+            Repr::Small(v) => v.unsigned_abs(),
+            Repr::Large { mag, .. } => {
+                let lo = *mag.first().unwrap_or(&0) as u64;
+                let hi = *mag.get(1).unwrap_or(&0) as u64;
+                lo | (hi << BASE_BITS)
+            }
+        }
     }
 
     /// Converts to `i64` if it fits.
     pub fn to_i64(&self) -> Option<i64> {
-        if self.bits() > 63 {
-            // i64::MIN is representable but we do not need that edge here.
-            return None;
-        }
-        let v = self.low_u64() as i64;
-        Some(match self.sign {
-            Sign::Minus => -v,
-            _ => v,
-        })
+        self.as_small()
     }
 
     /// Converts to `u64` if it fits and is non-negative.
     pub fn to_u64(&self) -> Option<u64> {
-        if self.is_negative() || self.bits() > 64 {
-            None
-        } else {
-            Some(self.low_u64())
+        match &self.repr {
+            Repr::Small(v) if *v >= 0 => Some(*v as u64),
+            Repr::Small(_) => None,
+            Repr::Large { sign, .. } => {
+                if *sign == Sign::Minus || self.bits() > 64 {
+                    None
+                } else {
+                    Some(self.low_u64())
+                }
+            }
         }
     }
 
     /// Right shift by `n` bits (arithmetic on the magnitude, sign kept).
     pub fn shr_bits(&self, n: u64) -> BigInt {
-        if self.is_zero() {
+        let mut buf = [0u32; 2];
+        let (sign, mag) = self.parts(&mut buf);
+        if sign == Sign::Zero {
             return BigInt::zero();
         }
         let limb_shift = (n / BASE_BITS as u64) as usize;
         let bit_shift = (n % BASE_BITS as u64) as u32;
-        if limb_shift >= self.mag.len() {
+        if limb_shift >= mag.len() {
             return BigInt::zero();
         }
-        let mut out = self.mag[limb_shift..].to_vec();
+        let mut out = mag[limb_shift..].to_vec();
         if bit_shift > 0 {
             let mut carry = 0u32;
             for limb in out.iter_mut().rev() {
@@ -254,18 +392,20 @@ impl BigInt {
                 carry = new_carry;
             }
         }
-        BigInt::from_mag(self.sign, out)
+        BigInt::from_mag(sign, out)
     }
 
     /// Left shift by `n` bits.
     pub fn shl_bits(&self, n: u64) -> BigInt {
-        if self.is_zero() {
+        let mut buf = [0u32; 2];
+        let (sign, mag) = self.parts(&mut buf);
+        if sign == Sign::Zero {
             return BigInt::zero();
         }
         let limb_shift = (n / BASE_BITS as u64) as usize;
         let bit_shift = (n % BASE_BITS as u64) as u32;
         let mut out = vec![0u32; limb_shift];
-        out.extend_from_slice(&self.mag);
+        out.extend_from_slice(mag);
         if bit_shift > 0 {
             let mut carry = 0u32;
             for limb in out.iter_mut().skip(limb_shift) {
@@ -277,12 +417,15 @@ impl BigInt {
                 out.push(carry);
             }
         }
-        BigInt::from_mag(self.sign, out)
+        BigInt::from_mag(sign, out)
     }
 
     /// Returns `true` iff the value is even.
     pub fn is_even(&self) -> bool {
-        self.mag.first().is_none_or(|l| l & 1 == 0)
+        match &self.repr {
+            Repr::Small(v) => v & 1 == 0,
+            Repr::Large { mag, .. } => mag.first().is_none_or(|l| l & 1 == 0),
+        }
     }
 }
 
@@ -333,6 +476,20 @@ fn sub_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
         out.pop();
     }
     out
+}
+
+/// Signed addition over (sign, magnitude) views.
+fn add_signed(asign: Sign, amag: &[u32], bsign: Sign, bmag: &[u32]) -> BigInt {
+    match (asign, bsign) {
+        (Sign::Zero, _) => BigInt::from_mag(bsign, bmag.to_vec()),
+        (_, Sign::Zero) => BigInt::from_mag(asign, amag.to_vec()),
+        (a, b) if a == b => BigInt::from_mag(a, add_mag(amag, bmag)),
+        (a, _) => match cmp_mag(amag, bmag) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt::from_mag(a, sub_mag(amag, bmag)),
+            Ordering::Less => BigInt::from_mag(a.flip(), sub_mag(bmag, amag)),
+        },
+    }
 }
 
 /// Limb count above which multiplication switches to Karatsuba. Chosen from
@@ -419,25 +576,49 @@ fn schoolbook_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
     out
 }
 
+/// Shift a magnitude left by `shift < 32` bits.
+fn shl_mag_bits(mag: &[u32], shift: u32) -> Vec<u32> {
+    debug_assert!(shift < BASE_BITS);
+    let mut out = mag.to_vec();
+    if shift > 0 {
+        let mut carry = 0u32;
+        for limb in out.iter_mut() {
+            let new_carry = *limb >> (BASE_BITS - shift);
+            *limb = (*limb << shift) | carry;
+            carry = new_carry;
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+    }
+    out
+}
+
+/// Shift a magnitude right by `shift < 32` bits, in place.
+fn shr_mag_bits(mag: &mut Vec<u32>, shift: u32) {
+    debug_assert!(shift < BASE_BITS);
+    if shift > 0 {
+        let mut carry = 0u32;
+        for limb in mag.iter_mut().rev() {
+            let new_carry = *limb << (BASE_BITS - shift);
+            *limb = (*limb >> shift) | carry;
+            carry = new_carry;
+        }
+    }
+    while mag.last() == Some(&0) {
+        mag.pop();
+    }
+}
+
 /// Knuth Algorithm D. Requires `a > b`, `b` non-empty.
 fn div_rem_mag(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
     if b.len() == 1 {
         return div_rem_small(a, b[0]);
     }
     // Normalize so the top limb of the divisor has its high bit set.
-    let shift = b.last().unwrap().leading_zeros() as u64;
-    let u = BigInt {
-        sign: Sign::Plus,
-        mag: a.to_vec(),
-    }
-    .shl_bits(shift);
-    let v = BigInt {
-        sign: Sign::Plus,
-        mag: b.to_vec(),
-    }
-    .shl_bits(shift);
-    let mut u = u.mag;
-    let v = v.mag;
+    let shift = b.last().unwrap().leading_zeros();
+    let mut u = shl_mag_bits(a, shift);
+    let v = shl_mag_bits(b, shift);
     let n = v.len();
     let m = u.len() - n;
     u.push(0);
@@ -491,11 +672,11 @@ fn div_rem_mag(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
         q[j] = qhat as u32;
     }
     u.truncate(n);
-    let rem = BigInt::from_mag(Sign::Plus, u).shr_bits(shift);
+    shr_mag_bits(&mut u, shift);
     while q.last() == Some(&0) {
         q.pop();
     }
-    (q, rem.mag)
+    (q, u)
 }
 
 fn div_rem_small(a: &[u32], d: u32) -> (Vec<u32>, Vec<u32>) {
@@ -524,16 +705,7 @@ macro_rules! impl_from_unsigned {
     ($($t:ty),*) => {$(
         impl From<$t> for BigInt {
             fn from(v: $t) -> Self {
-                let mut v = v as u128;
-                if v == 0 {
-                    return BigInt::zero();
-                }
-                let mut mag = Vec::new();
-                while v > 0 {
-                    mag.push(v as u32);
-                    v >>= BASE_BITS;
-                }
-                BigInt { sign: Sign::Plus, mag }
+                BigInt::from_u128(v as u128)
             }
         }
     )*};
@@ -543,12 +715,7 @@ macro_rules! impl_from_signed {
     ($($t:ty),*) => {$(
         impl From<$t> for BigInt {
             fn from(v: $t) -> Self {
-                if v < 0 {
-                    let m = BigInt::from((v as i128).unsigned_abs());
-                    BigInt { sign: Sign::Minus, mag: m.mag }
-                } else {
-                    BigInt::from(v as u128)
-                }
+                BigInt::from_i128(v as i128)
             }
         }
     )*};
@@ -557,17 +724,22 @@ macro_rules! impl_from_signed {
 impl_from_unsigned!(u8, u16, u32, u64, u128, usize);
 impl_from_signed!(i8, i16, i32, i64, i128, isize);
 
-// ---- ordering / hashing ----
+// ---- ordering ----
 
 impl Ord for BigInt {
     fn cmp(&self, other: &Self) -> Ordering {
-        match (self.sign, other.sign) {
-            (Sign::Minus, Sign::Minus) => cmp_mag(&other.mag, &self.mag),
+        if fastpath::enabled() {
+            if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+                return a.cmp(b);
+            }
+        }
+        match (self.sign(), other.sign()) {
+            (Sign::Minus, Sign::Minus) => other.cmp_abs(self),
             (Sign::Minus, _) => Ordering::Less,
             (Sign::Zero, Sign::Minus) => Ordering::Greater,
             (Sign::Zero, Sign::Zero) => Ordering::Equal,
             (Sign::Zero, Sign::Plus) => Ordering::Less,
-            (Sign::Plus, Sign::Plus) => cmp_mag(&self.mag, &other.mag),
+            (Sign::Plus, Sign::Plus) => self.cmp_abs(other),
             (Sign::Plus, _) => Ordering::Greater,
         }
     }
@@ -576,13 +748,6 @@ impl Ord for BigInt {
 impl PartialOrd for BigInt {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
-    }
-}
-
-impl Hash for BigInt {
-    fn hash<H: Hasher>(&self, state: &mut H) {
-        self.sign.hash(state);
-        self.mag.hash(state);
     }
 }
 
@@ -597,35 +762,45 @@ impl Default for BigInt {
 impl<'b> Add<&'b BigInt> for &BigInt {
     type Output = BigInt;
     fn add(self, rhs: &'b BigInt) -> BigInt {
-        match (self.sign, rhs.sign) {
-            (Sign::Zero, _) => rhs.clone(),
-            (_, Sign::Zero) => self.clone(),
-            (a, b) if a == b => BigInt::from_mag(a, add_mag(&self.mag, &rhs.mag)),
-            (a, _) => match cmp_mag(&self.mag, &rhs.mag) {
-                Ordering::Equal => BigInt::zero(),
-                Ordering::Greater => BigInt::from_mag(a, sub_mag(&self.mag, &rhs.mag)),
-                Ordering::Less => BigInt::from_mag(a.flip(), sub_mag(&rhs.mag, &self.mag)),
-            },
+        if fastpath::enabled() {
+            if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+                return BigInt::from_i128(*a as i128 + *b as i128);
+            }
         }
+        let (mut ab, mut bb) = ([0u32; 2], [0u32; 2]);
+        let (asign, amag) = self.parts(&mut ab);
+        let (bsign, bmag) = rhs.parts(&mut bb);
+        add_signed(asign, amag, bsign, bmag)
     }
 }
 
 impl<'b> Sub<&'b BigInt> for &BigInt {
     type Output = BigInt;
-    #[allow(clippy::suspicious_arithmetic_impl)] // subtraction = negate + add
     fn sub(self, rhs: &'b BigInt) -> BigInt {
-        let neg = BigInt {
-            sign: rhs.sign.flip(),
-            mag: rhs.mag.clone(),
-        };
-        self + &neg
+        if fastpath::enabled() {
+            if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+                return BigInt::from_i128(*a as i128 - *b as i128);
+            }
+        }
+        let (mut ab, mut bb) = ([0u32; 2], [0u32; 2]);
+        let (asign, amag) = self.parts(&mut ab);
+        let (bsign, bmag) = rhs.parts(&mut bb);
+        add_signed(asign, amag, bsign.flip(), bmag)
     }
 }
 
 impl<'b> Mul<&'b BigInt> for &BigInt {
     type Output = BigInt;
     fn mul(self, rhs: &'b BigInt) -> BigInt {
-        BigInt::from_mag(self.sign.mul(rhs.sign), mul_mag(&self.mag, &rhs.mag))
+        if fastpath::enabled() {
+            if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+                return BigInt::from_i128(*a as i128 * *b as i128);
+            }
+        }
+        let (mut ab, mut bb) = ([0u32; 2], [0u32; 2]);
+        let (asign, amag) = self.parts(&mut ab);
+        let (bsign, bmag) = rhs.parts(&mut bb);
+        BigInt::from_mag(asign.mul(bsign), mul_mag(amag, bmag))
     }
 }
 
@@ -665,9 +840,10 @@ forward_binop!(Add::add, Sub::sub, Mul::mul, Div::div, Rem::rem);
 impl Neg for BigInt {
     type Output = BigInt;
     fn neg(self) -> BigInt {
-        BigInt {
-            sign: self.sign.flip(),
-            mag: self.mag,
+        match self.repr {
+            Repr::Small(v) => BigInt::from_i128(-(v as i128)),
+            // from_mag renormalizes the ±2^63 boundary back to Small.
+            Repr::Large { sign, mag } => BigInt::from_mag(sign.flip(), mag),
         }
     }
 }
@@ -675,10 +851,7 @@ impl Neg for BigInt {
 impl Neg for &BigInt {
     type Output = BigInt;
     fn neg(self) -> BigInt {
-        BigInt {
-            sign: self.sign.flip(),
-            mag: self.mag.clone(),
-        }
+        self.clone().neg()
     }
 }
 
@@ -704,11 +877,15 @@ impl MulAssign<&BigInt> for BigInt {
 
 impl fmt::Display for BigInt {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.is_zero() {
-            return f.pad_integral(true, "", "0");
-        }
+        let (sign, mag) = match &self.repr {
+            Repr::Small(0) => return f.pad_integral(true, "", "0"),
+            Repr::Small(v) => {
+                return f.pad_integral(*v >= 0, "", &v.unsigned_abs().to_string());
+            }
+            Repr::Large { sign, mag } => (*sign, mag),
+        };
         // Repeatedly divide by 10^9 to peel decimal chunks.
-        let mut mag = self.mag.clone();
+        let mut mag = mag.clone();
         let mut chunks = Vec::new();
         while !mag.is_empty() {
             let (q, r) = div_rem_small(&mag, 1_000_000_000);
@@ -719,16 +896,23 @@ impl fmt::Display for BigInt {
         for c in chunks.iter().rev().skip(1) {
             s.push_str(&format!("{c:09}"));
         }
-        f.pad_integral(self.sign != Sign::Minus, "", &s)
+        f.pad_integral(sign != Sign::Minus, "", &s)
     }
 }
 
 impl FromStr for BigInt {
     type Err = ParseNumError;
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (sign, digits) = match s.strip_prefix('-') {
-            Some(rest) => (Sign::Minus, rest),
-            None => (Sign::Plus, s.strip_prefix('+').unwrap_or(s)),
+        // Values that fit i64 — nearly everything machmin serialises — parse
+        // on the primitive path. (An overflow falls through to the limb
+        // accumulator below; a malformed string fails there with a proper
+        // error either way.)
+        if let Ok(v) = s.parse::<i64>() {
+            return Ok(BigInt::small(v));
+        }
+        let (negative, digits) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
         };
         if digits.is_empty() {
             return Err(ParseNumError::new("empty digit string"));
@@ -752,8 +936,8 @@ impl FromStr for BigInt {
             acc = &acc + &BigInt::from(v);
             i += take;
         }
-        if sign == Sign::Minus && !acc.is_zero() {
-            acc.sign = Sign::Minus;
+        if negative {
+            acc = -acc;
         }
         Ok(acc)
     }
@@ -951,5 +1135,69 @@ mod tests {
         assert!(bi(2).is_even());
         assert!(!bi(3).is_even());
         assert!(bi(-4).is_even());
+    }
+
+    /// The ±2^63 boundary is where the inline representation spills; every
+    /// canonicalization edge lives there.
+    #[test]
+    fn small_large_boundary_is_canonical() {
+        let max = bi(i64::MAX as i128);
+        let min = bi(i64::MIN as i128);
+        assert_eq!(max.to_i64(), Some(i64::MAX));
+        assert_eq!(min.to_i64(), Some(i64::MIN));
+        // One past the boundary no longer fits.
+        assert_eq!((&max + &BigInt::one()).to_i64(), None);
+        assert_eq!((&min - &BigInt::one()).to_i64(), None);
+        // Crossing back re-inlines (2^63 − 1 and −2^63 fit again).
+        assert_eq!(
+            (&max + &BigInt::one() - &BigInt::one()).to_i64(),
+            Some(i64::MAX)
+        );
+        assert_eq!(
+            (&min - &BigInt::one() + &BigInt::one()).to_i64(),
+            Some(i64::MIN)
+        );
+        // Negation across the asymmetric boundary.
+        assert_eq!((-min.clone()).to_i64(), None);
+        assert_eq!((-(-min.clone())).to_i64(), Some(i64::MIN));
+        assert_eq!(min.abs(), bi(-(i64::MIN as i128)));
+        // Equality/hash canonicality: the same value built two ways.
+        let via_parse: BigInt = i64::MIN.to_string().parse().unwrap();
+        assert_eq!(via_parse, min);
+        assert_eq!(via_parse.to_i64(), Some(i64::MIN));
+    }
+
+    #[test]
+    fn forced_bigint_path_agrees() {
+        let _serial = crate::fastpath::test_lock();
+        let vals = [
+            0i128,
+            1,
+            -1,
+            42,
+            i64::MAX as i128,
+            i64::MIN as i128,
+            1 << 40,
+        ];
+        for &a in &vals {
+            for &b in &vals {
+                let fast = (
+                    bi(a) + bi(b),
+                    bi(a) - bi(b),
+                    bi(a) * bi(b),
+                    bi(a).gcd(&bi(b)),
+                );
+                let slow = {
+                    let _guard = crate::fastpath::force_bigint();
+                    (
+                        bi(a) + bi(b),
+                        bi(a) - bi(b),
+                        bi(a) * bi(b),
+                        bi(a).gcd(&bi(b)),
+                    )
+                };
+                assert_eq!(fast, slow, "a={a} b={b}");
+            }
+        }
     }
 }

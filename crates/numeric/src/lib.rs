@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 mod bigint;
+pub mod fastpath;
 mod rational;
 
 pub use bigint::{BigInt, Sign};

@@ -6,7 +6,16 @@ use core::hash::{Hash, Hasher};
 use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 use core::str::FromStr;
 
-use crate::{BigInt, ParseNumError};
+use crate::{fastpath, BigInt, ParseNumError};
+
+fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
 
 /// An exact rational number `num/den`.
 ///
@@ -48,6 +57,11 @@ impl Rat {
     /// Builds and reduces `num/den`. Panics if `den` is zero.
     pub fn new(num: BigInt, den: BigInt) -> Self {
         assert!(!den.is_zero(), "rational with zero denominator");
+        if fastpath::enabled() {
+            if let (Some(n), Some(d)) = (num.as_small(), den.as_small()) {
+                return Rat::small_new(n as i128, d as i128);
+            }
+        }
         if num.is_zero() {
             return Rat::zero();
         }
@@ -64,6 +78,34 @@ impl Rat {
                 num: &num / &g,
                 den: &den / &g,
             }
+        }
+    }
+
+    /// Inline numerator/denominator when both fit a machine word. With the
+    /// canonical [`BigInt`] representation this is `Some` for every rational
+    /// whose reduced parts fit `i64`.
+    fn small_parts(&self) -> Option<(i64, i64)> {
+        Some((self.num.as_small()?, self.den.as_small()?))
+    }
+
+    /// Reduces `n/d` with primitive `u128` gcd and sign-normalisation.
+    ///
+    /// Callers guarantee `d != 0` and that both operands are sums/products
+    /// of at most two `i64` factors, so every intermediate (including the
+    /// negations below) stays within `i128`.
+    fn small_new(mut n: i128, mut d: i128) -> Rat {
+        debug_assert!(d != 0);
+        if n == 0 {
+            return Rat::zero();
+        }
+        if d < 0 {
+            n = -n;
+            d = -d;
+        }
+        let g = gcd_u128(n.unsigned_abs(), d as u128) as i128;
+        Rat {
+            num: BigInt::from(n / g),
+            den: BigInt::from(d / g),
         }
     }
 
@@ -250,6 +292,11 @@ impl Default for Rat {
 impl Ord for Rat {
     fn cmp(&self, other: &Self) -> Ordering {
         // den > 0 on both sides, so cross-multiplying preserves order.
+        if fastpath::enabled() {
+            if let (Some((an, ad)), Some((bn, bd))) = (self.small_parts(), other.small_parts()) {
+                return (an as i128 * bd as i128).cmp(&(bn as i128 * ad as i128));
+            }
+        }
         (&self.num * &other.den).cmp(&(&other.num * &self.den))
     }
 }
@@ -270,6 +317,15 @@ impl Hash for Rat {
 impl<'b> Add<&'b Rat> for &Rat {
     type Output = Rat;
     fn add(self, rhs: &'b Rat) -> Rat {
+        if fastpath::enabled() {
+            if let (Some((an, ad)), Some((bn, bd))) = (self.small_parts(), rhs.small_parts()) {
+                // |an·bd + bn·ad| ≤ 2·2^63·(2^63−1) < 2^127, so no overflow.
+                return Rat::small_new(
+                    an as i128 * bd as i128 + bn as i128 * ad as i128,
+                    ad as i128 * bd as i128,
+                );
+            }
+        }
         Rat::new(
             &self.num * &rhs.den + &rhs.num * &self.den,
             &self.den * &rhs.den,
@@ -280,6 +336,14 @@ impl<'b> Add<&'b Rat> for &Rat {
 impl<'b> Sub<&'b Rat> for &Rat {
     type Output = Rat;
     fn sub(self, rhs: &'b Rat) -> Rat {
+        if fastpath::enabled() {
+            if let (Some((an, ad)), Some((bn, bd))) = (self.small_parts(), rhs.small_parts()) {
+                return Rat::small_new(
+                    an as i128 * bd as i128 - bn as i128 * ad as i128,
+                    ad as i128 * bd as i128,
+                );
+            }
+        }
         Rat::new(
             &self.num * &rhs.den - &rhs.num * &self.den,
             &self.den * &rhs.den,
@@ -290,6 +354,11 @@ impl<'b> Sub<&'b Rat> for &Rat {
 impl<'b> Mul<&'b Rat> for &Rat {
     type Output = Rat;
     fn mul(self, rhs: &'b Rat) -> Rat {
+        if fastpath::enabled() {
+            if let (Some((an, ad)), Some((bn, bd))) = (self.small_parts(), rhs.small_parts()) {
+                return Rat::small_new(an as i128 * bn as i128, ad as i128 * bd as i128);
+            }
+        }
         Rat::new(&self.num * &rhs.num, &self.den * &rhs.den)
     }
 }
@@ -298,6 +367,11 @@ impl<'b> Div<&'b Rat> for &Rat {
     type Output = Rat;
     fn div(self, rhs: &'b Rat) -> Rat {
         assert!(!rhs.is_zero(), "rational division by zero");
+        if fastpath::enabled() {
+            if let (Some((an, ad)), Some((bn, bd))) = (self.small_parts(), rhs.small_parts()) {
+                return Rat::small_new(an as i128 * bd as i128, ad as i128 * bn as i128);
+            }
+        }
         Rat::new(&self.num * &rhs.den, &self.den * &rhs.num)
     }
 }
@@ -541,5 +615,28 @@ mod tests {
         assert!(Rat::from(5i64).is_integer());
         assert!(!r(5, 2).is_integer());
         assert!(Rat::zero().is_integer());
+    }
+
+    #[test]
+    fn forced_bigint_path_agrees_at_boundaries() {
+        let parts = [
+            (1i64, 1i64),
+            (-1, 2),
+            (i64::MAX, 1),
+            (i64::MAX - 1, i64::MAX),
+            (i64::MIN + 1, 3),
+            (7, i64::MAX),
+        ];
+        for &(an, ad) in &parts {
+            for &(bn, bd) in &parts {
+                let (a, b) = (r(an, ad), r(bn, bd));
+                let fast = (&a + &b, &a - &b, &a * &b, &a / &b, a.cmp(&b));
+                let slow = {
+                    let _guard = crate::fastpath::force_bigint();
+                    (&a + &b, &a - &b, &a * &b, &a / &b, a.cmp(&b))
+                };
+                assert_eq!(fast, slow, "a={a} b={b}");
+            }
+        }
     }
 }

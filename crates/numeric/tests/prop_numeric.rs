@@ -233,3 +233,64 @@ proptest! {
         prop_assert_eq!(&m - &lo, &hi - &m);
     }
 }
+
+// ---- small-word fast path vs forced limb path ----
+//
+// The operands are biased toward the `i64` overflow boundaries, where the
+// inline representation must spill to limbs mid-operation. The guard only
+// redirects the arithmetic *path*; both paths must produce bit-identical
+// canonical representations, so equality here is exact (including Hash via
+// the derived impls).
+
+fn boundary_i64() -> impl Strategy<Value = i64> {
+    prop_oneof![
+        any::<i64>(),
+        (0i64..4).prop_map(|k| i64::MAX - k),
+        (0i64..4).prop_map(|k| i64::MIN + k),
+        -4i64..5,
+    ]
+}
+
+proptest! {
+    #[test]
+    fn bigint_fast_path_agrees_with_forced_limb(a in boundary_i64(), b in boundary_i64()) {
+        let (fa, fb) = (BigInt::from(a), BigInt::from(b));
+        let compute = || (
+            &fa + &fb,
+            &fa - &fb,
+            &fa * &fb,
+            fa.gcd(&fb),
+            fa.cmp(&fb),
+            (!fb.is_zero()).then(|| fa.div_rem(&fb)),
+            -fa.clone(),
+        );
+        let fast = compute();
+        let slow = {
+            let _guard = mm_numeric::fastpath::force_bigint();
+            compute()
+        };
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn rat_fast_path_agrees_with_forced_limb(
+        an in boundary_i64(), ad in boundary_i64().prop_filter("nonzero", |v| *v != 0),
+        bn in boundary_i64(), bd in boundary_i64().prop_filter("nonzero", |v| *v != 0),
+    ) {
+        let a = rat(an, ad);
+        let b = rat(bn, bd);
+        let compute = || (
+            &a + &b,
+            &a - &b,
+            &a * &b,
+            (!b.is_zero()).then(|| &a / &b),
+            a.cmp(&b),
+        );
+        let fast = compute();
+        let slow = {
+            let _guard = mm_numeric::fastpath::force_bigint();
+            compute()
+        };
+        prop_assert_eq!(fast, slow);
+    }
+}

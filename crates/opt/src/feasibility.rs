@@ -11,8 +11,18 @@
 //!   (a job cannot run in parallel with itself);
 //! * elementary interval `E` → sink with capacity `m·|E|`
 //!   (machine capacity).
+//!
+//! Only the interval→sink capacities depend on `m`, so probing many machine
+//! counts on one instance — the binary search in [`optimal_machines`], or an
+//! online algorithm re-deciding after every release — does not need to
+//! rebuild the network. [`FeasibilityProber`] constructs the elementary
+//! intervals, the node layout, and the job→interval edges once, then answers
+//! each probe by rescaling the sink capacities in place: monotonically
+//! *ascending* probes keep the flow already routed (max-flow only grows with
+//! `m`) and merely continue augmenting; descending probes reset the flow in
+//! place, which still reuses every allocation.
 
-use mm_flow::FlowNetwork;
+use mm_flow::{EdgeHandle, FlowNetwork};
 use mm_instance::{Instance, Interval, JobId};
 use mm_numeric::Rat;
 use mm_trace::{NoopSink, TraceEvent, TraceSink};
@@ -37,69 +47,238 @@ pub fn elementary_intervals(instance: &Instance) -> Vec<Interval> {
         .collect()
 }
 
+/// Cumulative work counters of a [`FeasibilityProber`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProberStats {
+    /// Probes answered (including trivial `m = 0` / empty-instance ones).
+    pub probes: u64,
+    /// Network probes that kept the previously routed flow and only
+    /// augmented further (ascending machine counts).
+    pub incremental: u64,
+    /// Network probes that reset the flow in place first (the initial
+    /// build and any descending machine count).
+    pub resets: u64,
+    /// Augmenting paths found across all probes.
+    pub augmentations: u64,
+}
+
+/// Answers migratory-feasibility probes for one instance at many machine
+/// counts, reusing the event-interval flow network across probes.
+///
+/// # Reuse contract
+///
+/// The network topology (elementary intervals, node layout, job→interval
+/// edges) is built once in [`FeasibilityProber::new`]; only the
+/// interval→sink capacities `m·|E|` change between probes.
+///
+/// * A probe at `m` ≥ the previous probe's machine count is *incremental*:
+///   sink capacities are raised in place and the existing flow is extended
+///   (max flow is monotone in `m`, so no routed flow ever has to be
+///   withdrawn). Its cost is only the *additional* augmenting paths.
+/// * A probe at a smaller `m` resets the flow in place (no reallocation)
+///   and recomputes from zero, exactly like a fresh build.
+///
+/// Probe *answers* are always identical to the fresh-build
+/// [`feasible_on`]; only intermediate flow routings may differ after
+/// incremental probes. [`FeasibilityProber::allocation`] therefore forces a
+/// reset first, making its flow bit-identical to [`feasible_allocation`].
+#[derive(Debug, Clone)]
+pub struct FeasibilityProber {
+    intervals: Vec<Interval>,
+    net: FlowNetwork<Rat>,
+    source: usize,
+    sink: usize,
+    jobs: usize,
+    demand: Rat,
+    /// Interval→sink edge and interval length, per elementary interval.
+    sink_edges: Vec<(EdgeHandle, Rat)>,
+    /// Job→interval edges per interval, for allocation read-back.
+    alloc_edges: Vec<Vec<(EdgeHandle, JobId)>>,
+    /// Machine count and flow value of the last network probe.
+    state: Option<(u64, Rat)>,
+    stats: ProberStats,
+}
+
+impl FeasibilityProber {
+    /// Builds the probe network for `instance` (no flow is computed yet).
+    pub fn new(instance: &Instance) -> Self {
+        let intervals = elementary_intervals(instance);
+        let n = instance.len();
+        let k = intervals.len();
+        // node layout: 0 = source, 1..=n jobs, n+1..=n+k intervals, n+k+1 sink
+        let source = 0usize;
+        let sink = n + k + 1;
+        let mut net = FlowNetwork::<Rat>::new(n + k + 2);
+        let mut demand = Rat::zero();
+        let mut alloc_edges: Vec<Vec<(EdgeHandle, JobId)>> = vec![Vec::new(); k];
+        for (ji, job) in instance.iter().enumerate() {
+            demand += &job.processing;
+            net.add_edge(source, 1 + ji, job.processing.clone());
+            for (ki, iv) in intervals.iter().enumerate() {
+                if job.window().contains_interval(iv) {
+                    let h = net.add_edge(1 + ji, 1 + n + ki, iv.length());
+                    alloc_edges[ki].push((h, job.id));
+                }
+            }
+        }
+        // Sink capacities are per-probe (`m·|E|`); insert the edges in the
+        // same order as a fresh build so Dinic explores identically.
+        let sink_edges = intervals
+            .iter()
+            .enumerate()
+            .map(|(ki, iv)| {
+                let h = net.add_edge(1 + n + ki, sink, Rat::zero());
+                (h, iv.length())
+            })
+            .collect();
+        FeasibilityProber {
+            intervals,
+            net,
+            source,
+            sink,
+            jobs: n,
+            demand,
+            sink_edges,
+            alloc_edges,
+            state: None,
+            stats: ProberStats::default(),
+        }
+    }
+
+    /// The elementary intervals of the probed instance.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Cumulative work counters.
+    pub fn stats(&self) -> ProberStats {
+        self.stats
+    }
+
+    /// Decides feasibility on `m` machines. Same answer as
+    /// [`feasible_on`] on the probed instance, at incremental cost for
+    /// ascending `m`.
+    pub fn probe(&mut self, m: u64) -> bool {
+        self.probe_traced(m, NoopSink)
+    }
+
+    /// [`FeasibilityProber::probe`] with the probe reported to `sink` as a
+    /// [`TraceEvent::FeasibilityProbe`] plus a [`TraceEvent::ProbeReuse`]
+    /// carrying the reuse mode and augmentation cost.
+    pub fn probe_traced<S: TraceSink>(&mut self, m: u64, mut sink: S) -> bool {
+        let trivial = self.jobs == 0 || m == 0;
+        let mut incremental = false;
+        let mut aug_delta = 0u64;
+        let feasible = if self.jobs == 0 {
+            true
+        } else if m == 0 {
+            false
+        } else {
+            let aug_before = self.net.augmentations();
+            let m_rat = Rat::from(m);
+            let flow = match self.state.take() {
+                Some((prev_m, prev_flow)) if prev_m <= m => {
+                    // Ascending: keep the routed flow, raise sink capacities,
+                    // and only search for the additional augmenting paths.
+                    incremental = true;
+                    for (h, len) in &self.sink_edges {
+                        self.net.raise_capacity(*h, &m_rat * len);
+                    }
+                    let extra = self.net.max_flow(self.source, self.sink);
+                    prev_flow + extra
+                }
+                _ => {
+                    // First probe or descending: clear the flow in place and
+                    // recompute — identical to a fresh build.
+                    self.net.reset();
+                    for (h, len) in &self.sink_edges {
+                        self.net.set_capacity(*h, &m_rat * len);
+                    }
+                    self.net.max_flow(self.source, self.sink)
+                }
+            };
+            aug_delta = self.net.augmentations() - aug_before;
+            if incremental {
+                self.stats.incremental += 1;
+            } else {
+                self.stats.resets += 1;
+            }
+            let feasible = flow == self.demand;
+            self.state = Some((m, flow));
+            feasible
+        };
+        self.stats.probes += 1;
+        self.stats.augmentations += aug_delta;
+        if sink.enabled() {
+            sink.record(&TraceEvent::FeasibilityProbe {
+                machines: m,
+                jobs: self.jobs,
+                feasible,
+            });
+            if !trivial {
+                sink.record(&TraceEvent::ProbeReuse {
+                    machines: m,
+                    incremental,
+                    augmentations: aug_delta,
+                });
+            }
+        }
+        feasible
+    }
+
+    /// The per-interval allocation of a feasible flow on `m` machines, or
+    /// `None` if infeasible. Forces a flow reset first, so the returned
+    /// allocation is bit-identical to [`feasible_allocation`] regardless of
+    /// earlier incremental probes.
+    pub fn allocation(&mut self, m: u64) -> Option<FlowAllocation> {
+        if self.jobs == 0 {
+            return Some(FlowAllocation {
+                intervals: Vec::new(),
+                amounts: Vec::new(),
+            });
+        }
+        if m == 0 {
+            return None;
+        }
+        // Drop any incremental state: the read-back flow must match a fresh
+        // build exactly.
+        self.state = None;
+        if !self.probe(m) {
+            return None;
+        }
+        let amounts = self
+            .alloc_edges
+            .iter()
+            .map(|edges| {
+                edges
+                    .iter()
+                    .filter_map(|&(h, id)| {
+                        let f = self.net.flow(h);
+                        if f.is_zero() {
+                            None
+                        } else {
+                            Some((id, f))
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Some(FlowAllocation {
+            intervals: self.intervals.clone(),
+            amounts,
+        })
+    }
+}
+
 /// Decides whether `instance` fits on `m` unit-speed machines with migration,
 /// returning the per-interval allocation on success.
 pub fn feasible_allocation(instance: &Instance, m: u64) -> Option<FlowAllocation> {
-    if instance.is_empty() {
-        return Some(FlowAllocation {
-            intervals: Vec::new(),
-            amounts: Vec::new(),
-        });
-    }
-    if m == 0 {
-        return None;
-    }
-    let intervals = elementary_intervals(instance);
-    let n = instance.len();
-    let k = intervals.len();
-    // node layout: 0 = source, 1..=n jobs, n+1..=n+k intervals, n+k+1 sink
-    let source = 0usize;
-    let sink = n + k + 1;
-    let mut net = FlowNetwork::<Rat>::new(n + k + 2);
-    let mut demand = Rat::zero();
-    let mut job_edges = Vec::with_capacity(n);
-    let mut alloc_edges: Vec<Vec<(usize, mm_flow::EdgeHandle, JobId)>> = vec![Vec::new(); k];
-    for (ji, job) in instance.iter().enumerate() {
-        demand += &job.processing;
-        job_edges.push(net.add_edge(source, 1 + ji, job.processing.clone()));
-        for (ki, iv) in intervals.iter().enumerate() {
-            if job.window().contains_interval(iv) {
-                let h = net.add_edge(1 + ji, 1 + n + ki, iv.length());
-                alloc_edges[ki].push((ji, h, job.id));
-            }
-        }
-    }
-    let m_rat = Rat::from(m);
-    for (ki, iv) in intervals.iter().enumerate() {
-        net.add_edge(1 + n + ki, sink, &m_rat * iv.length());
-    }
-    let flow = net.max_flow(source, sink);
-    if flow != demand {
-        return None;
-    }
-    let _ = job_edges;
-    let amounts = alloc_edges
-        .into_iter()
-        .map(|edges| {
-            edges
-                .into_iter()
-                .filter_map(|(_, h, id)| {
-                    let f = net.flow(h);
-                    if f.is_zero() {
-                        None
-                    } else {
-                        Some((id, f))
-                    }
-                })
-                .collect()
-        })
-        .collect();
-    Some(FlowAllocation { intervals, amounts })
+    FeasibilityProber::new(instance).allocation(m)
 }
 
 /// Decides migratory feasibility on `m` machines.
 pub fn feasible_on(instance: &Instance, m: u64) -> bool {
-    feasible_allocation(instance, m).is_some()
+    FeasibilityProber::new(instance).probe(m)
 }
 
 /// [`feasible_on`] with the probe reported to `sink` as a
@@ -117,28 +296,67 @@ pub fn feasible_on_traced<S: TraceSink>(instance: &Instance, m: u64, mut sink: S
 }
 
 /// The minimum number of machines for a migratory schedule, by binary search
-/// over the monotone predicate [`feasible_on`].
+/// over the monotone predicate [`feasible_on`]. The search shares one
+/// [`FeasibilityProber`] across all probes.
 pub fn optimal_machines(instance: &Instance) -> u64 {
     optimal_machines_traced(instance, NoopSink)
 }
 
-/// [`optimal_machines`] with every feasibility probe and every binary-search
-/// bracket update reported to `sink`. Pass `&mut sink` to keep ownership.
+/// [`optimal_machines`] with every feasibility probe, probe reuse, and
+/// binary-search bracket update reported to `sink`. Pass `&mut sink` to keep
+/// ownership.
 pub fn optimal_machines_traced<S: TraceSink>(instance: &Instance, mut sink: S) -> u64 {
     if instance.is_empty() {
         return 0;
     }
+    let mut prober = FeasibilityProber::new(instance);
     let mut lo = instance.volume_lower_bound().max(1);
     // Upper bound: one machine per job always suffices.
     let mut hi = instance.len() as u64;
-    if feasible_on_traced(instance, lo, &mut sink) {
+    if prober.probe_traced(lo, &mut sink) {
         return lo;
     }
-    // invariant: infeasible(lo), feasible(hi)
+    // invariant: infeasible(lo), feasible(hi). Checked statelessly so the
+    // prober's probe sequence is identical in debug and release builds.
     debug_assert!(feasible_on(instance, hi));
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
-        if feasible_on_traced(instance, mid, &mut sink) {
+        if prober.probe_traced(mid, &mut sink) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if sink.enabled() {
+            sink.record(&TraceEvent::BinarySearchStep { lo, hi });
+        }
+    }
+    hi
+}
+
+/// [`optimal_machines`] computed the pre-prober way: an identical binary
+/// search, but every probe rebuilds the flow network from scratch. Kept as
+/// the reference implementation for `machmin bench` A/B runs and the
+/// property tests; answers are always identical to [`optimal_machines`].
+pub fn optimal_machines_fresh(instance: &Instance) -> u64 {
+    optimal_machines_fresh_traced(instance, NoopSink)
+}
+
+/// [`optimal_machines_fresh`] with probes reported to `sink` (each probe
+/// also emits a non-incremental [`TraceEvent::ProbeReuse`], so augmentation
+/// counts are comparable with [`optimal_machines_traced`]).
+pub fn optimal_machines_fresh_traced<S: TraceSink>(instance: &Instance, mut sink: S) -> u64 {
+    if instance.is_empty() {
+        return 0;
+    }
+    let mut lo = instance.volume_lower_bound().max(1);
+    let mut hi = instance.len() as u64;
+    if FeasibilityProber::new(instance).probe_traced(lo, &mut sink) {
+        return lo;
+    }
+    debug_assert!(feasible_on(instance, hi));
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if FeasibilityProber::new(instance).probe_traced(mid, &mut sink) {
             hi = mid;
         } else {
             lo = mid;
@@ -153,6 +371,7 @@ pub fn optimal_machines_traced<S: TraceSink>(instance: &Instance, mut sink: S) -
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mm_trace::VecSink;
 
     #[test]
     fn empty_instance_needs_zero() {
@@ -245,6 +464,129 @@ mod tests {
                 Interval::ints(2, 4),
                 Interval::ints(4, 6)
             ]
+        );
+    }
+
+    #[test]
+    fn prober_agrees_with_fresh_in_any_probe_order() {
+        let inst = Instance::from_ints([
+            (0, 6, 3),
+            (0, 3, 2),
+            (2, 5, 2),
+            (1, 8, 4),
+            (4, 9, 3),
+            (0, 9, 1),
+        ]);
+        let mut prober = FeasibilityProber::new(&inst);
+        // Ascending, descending, repeated, and boundary probes.
+        for m in [1u64, 2, 3, 4, 3, 2, 5, 1, 6, 6, 0] {
+            assert_eq!(prober.probe(m), feasible_on(&inst, m), "m={m}");
+        }
+        let stats = prober.stats();
+        assert_eq!(stats.probes, 11);
+        assert!(stats.incremental >= 1);
+        assert!(stats.resets >= 1);
+    }
+
+    #[test]
+    fn ascending_probes_are_incremental() {
+        let inst = Instance::from_ints([(0, 3, 3), (0, 3, 3), (0, 3, 3), (0, 3, 3)]);
+        let mut prober = FeasibilityProber::new(&inst);
+        for m in 1..=4 {
+            assert_eq!(prober.probe(m), m >= 4);
+        }
+        let stats = prober.stats();
+        // First probe builds; the other three reuse the routed flow.
+        assert_eq!(stats.resets, 1);
+        assert_eq!(stats.incremental, 3);
+    }
+
+    #[test]
+    fn prober_allocation_is_bit_identical_to_fresh() {
+        let inst = Instance::from_ints([(0, 3, 2), (0, 3, 2), (0, 3, 2), (1, 5, 3)]);
+        let fresh = feasible_allocation(&inst, 3).unwrap();
+        let mut prober = FeasibilityProber::new(&inst);
+        // Dirty the prober's flow state first.
+        for m in [1u64, 3, 2, 4] {
+            prober.probe(m);
+        }
+        let reused = prober.allocation(3).unwrap();
+        assert_eq!(fresh.intervals, reused.intervals);
+        assert_eq!(fresh.amounts, reused.amounts);
+    }
+
+    #[test]
+    fn fresh_reference_matches_prober_search() {
+        for jobs in [
+            vec![(0i64, 4i64, 2i64)],
+            vec![(0, 3, 3), (0, 3, 3), (0, 3, 3)],
+            vec![(0, 2, 2), (1, 3, 2), (2, 6, 3), (0, 8, 5)],
+            vec![(0, 10, 1), (3, 6, 3), (3, 6, 3), (5, 9, 4), (0, 4, 4)],
+        ] {
+            let inst = Instance::from_ints(jobs);
+            assert_eq!(optimal_machines(&inst), optimal_machines_fresh(&inst));
+        }
+    }
+
+    #[test]
+    fn probe_reuse_events_and_counters() {
+        // Three tight jobs force 3 machines, but the loose fillers keep the
+        // volume lower bound at 1, so the binary search probes 1, 3, 2.
+        let inst = Instance::from_ints([
+            (0, 2, 2),
+            (0, 2, 2),
+            (0, 2, 2),
+            (0, 12, 1),
+            (0, 12, 1),
+            (0, 12, 1),
+        ]);
+        let mut sink = VecSink::new();
+        let m = optimal_machines_traced(&inst, &mut sink);
+        assert_eq!(m, 3);
+        let probes = sink.count(|e| matches!(e, TraceEvent::FeasibilityProbe { .. }));
+        let reuses = sink.count(|e| matches!(e, TraceEvent::ProbeReuse { .. }));
+        // Every network probe reports its reuse mode.
+        assert_eq!(probes, reuses);
+        let incremental = sink.count(|e| {
+            matches!(
+                e,
+                TraceEvent::ProbeReuse {
+                    incremental: true,
+                    ..
+                }
+            )
+        });
+        assert!(incremental >= 1, "binary search ascends at least once");
+        // The prober never augments more than the fresh-build reference.
+        let total_augs = |events: &[TraceEvent]| -> u64 {
+            events
+                .iter()
+                .filter_map(|e| match e {
+                    TraceEvent::ProbeReuse { augmentations, .. } => Some(*augmentations),
+                    _ => None,
+                })
+                .sum()
+        };
+        let mut fresh_sink = VecSink::new();
+        assert_eq!(optimal_machines_fresh_traced(&inst, &mut fresh_sink), m);
+        assert!(total_augs(&sink.events) <= total_augs(&fresh_sink.events));
+    }
+
+    #[test]
+    fn trivial_probes_do_not_touch_the_network() {
+        let mut empty = FeasibilityProber::new(&Instance::empty());
+        assert!(empty.probe(0));
+        assert!(empty.probe(5));
+        assert_eq!(empty.stats().resets, 0);
+        let inst = Instance::from_ints([(0, 2, 1)]);
+        let mut prober = FeasibilityProber::new(&inst);
+        assert!(!prober.probe(0));
+        assert_eq!(
+            prober.stats(),
+            ProberStats {
+                probes: 1,
+                ..ProberStats::default()
+            }
         );
     }
 }

@@ -45,5 +45,6 @@ pub use exhaustive::{exhaustive_contribution_bound, EXHAUSTIVE_LIMIT};
 pub use extract::{optimal_schedule, schedule_from_allocation};
 pub use feasibility::{
     elementary_intervals, feasible_allocation, feasible_on, feasible_on_traced, optimal_machines,
-    optimal_machines_traced, FlowAllocation,
+    optimal_machines_fresh, optimal_machines_fresh_traced, optimal_machines_traced,
+    FeasibilityProber, FlowAllocation, ProberStats,
 };

@@ -1,0 +1,87 @@
+//! Property tests: the incremental [`FeasibilityProber`] must be
+//! observationally identical to the stateless fresh-build feasibility path —
+//! same verdicts under arbitrary probe orders, same binary-search result,
+//! and bit-identical extracted allocations — on randomly generated
+//! instances.
+
+use mm_instance::generators::{agreeable, laminar, uniform, AgreeableCfg, LaminarCfg, UniformCfg};
+use mm_instance::Instance;
+use mm_opt::{
+    feasible_allocation, feasible_on, optimal_machines, optimal_machines_fresh, FeasibilityProber,
+};
+use proptest::prelude::*;
+
+fn random_instance(family: u8, n: usize, seed: u64) -> Instance {
+    match family % 3 {
+        0 => uniform(
+            &UniformCfg {
+                n,
+                horizon: (2 * n) as i64,
+                ..Default::default()
+            },
+            seed,
+        ),
+        1 => agreeable(
+            &AgreeableCfg {
+                n,
+                ..Default::default()
+            },
+            seed,
+        ),
+        _ => laminar(
+            &LaminarCfg {
+                depth: 2,
+                branching: (n % 3) + 2,
+                ..Default::default()
+            },
+            seed,
+        ),
+    }
+}
+
+proptest! {
+    /// Any probe sequence — ascending, descending, repeated — answers
+    /// exactly as the stateless path does.
+    #[test]
+    fn prober_agrees_with_fresh_in_any_order(
+        family in any::<u8>(),
+        n in 1usize..24,
+        seed in any::<u64>(),
+        probes in proptest::collection::vec(0u64..12, 1..10),
+    ) {
+        let inst = random_instance(family, n, seed);
+        let mut prober = FeasibilityProber::new(&inst);
+        for m in probes {
+            prop_assert_eq!(prober.probe(m), feasible_on(&inst, m));
+        }
+    }
+
+    /// The prober-backed binary search and the fresh-network-per-probe
+    /// reference compute the same optimum.
+    #[test]
+    fn search_paths_agree(family in any::<u8>(), n in 1usize..24, seed in any::<u64>()) {
+        let inst = random_instance(family, n, seed);
+        prop_assert_eq!(optimal_machines(&inst), optimal_machines_fresh(&inst));
+    }
+
+    /// Allocations extracted through a dirtied prober are bit-identical to
+    /// fresh-build ones (same Dinic augmentation order after a reset).
+    #[test]
+    fn prober_allocation_matches_fresh(
+        family in any::<u8>(),
+        n in 1usize..16,
+        seed in any::<u64>(),
+        dirty in proptest::collection::vec(0u64..10, 0..6),
+    ) {
+        let inst = random_instance(family, n, seed);
+        let m = optimal_machines(&inst);
+        let fresh = feasible_allocation(&inst, m).expect("m is the optimum");
+        let mut prober = FeasibilityProber::new(&inst);
+        for d in dirty {
+            prober.probe(d);
+        }
+        let reused = prober.allocation(m).expect("m is the optimum");
+        prop_assert_eq!(fresh.intervals, reused.intervals);
+        prop_assert_eq!(fresh.amounts, reused.amounts);
+    }
+}

@@ -123,6 +123,17 @@ pub enum TraceEvent {
         /// Upper bound after the step (feasible side).
         hi: u64,
     },
+    /// A `FeasibilityProber` answered a probe by reusing its prebuilt flow
+    /// network instead of rebuilding it.
+    ProbeReuse {
+        /// Machine count probed.
+        machines: u64,
+        /// `true` if the existing flow was extended in place (monotone
+        /// capacity raise); `false` if the flow was reset first.
+        incremental: bool,
+        /// Augmenting paths this probe cost.
+        augmentations: u64,
+    },
     /// The adversary began a release round.
     RoundStarted {
         /// Recursion depth of the round (level `k` counts down to 0).
@@ -154,6 +165,7 @@ impl TraceEvent {
             TraceEvent::StepLimitExceeded { .. } => "step_limit_exceeded",
             TraceEvent::FeasibilityProbe { .. } => "feasibility_probe",
             TraceEvent::BinarySearchStep { .. } => "binary_search_step",
+            TraceEvent::ProbeReuse { .. } => "probe_reuse",
             TraceEvent::RoundStarted { .. } => "round_started",
             TraceEvent::ForcedOpen { .. } => "forced_open",
         }
@@ -235,6 +247,16 @@ impl TraceEvent {
                 ("event", Json::str(self.tag())),
                 ("lo", Json::Int(*lo as i64)),
                 ("hi", Json::Int(*hi as i64)),
+            ]),
+            TraceEvent::ProbeReuse {
+                machines,
+                incremental,
+                augmentations,
+            } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("machines", Json::Int(*machines as i64)),
+                ("incremental", Json::Bool(*incremental)),
+                ("augmentations", Json::Int(*augmentations as i64)),
             ]),
             TraceEvent::RoundStarted { round, jobs } => Json::obj([
                 ("event", Json::str(self.tag())),
@@ -429,6 +451,13 @@ pub struct Metrics {
     pub feasible_probes: u64,
     /// `binary_search_step` events.
     pub binary_search_steps: u64,
+    /// `probe_reuse` events with `incremental: true` (flow extended in
+    /// place across successive machine counts).
+    pub prober_incremental: u64,
+    /// `probe_reuse` events with `incremental: false` (flow reset in place).
+    pub prober_resets: u64,
+    /// Augmenting paths summed over `probe_reuse` events.
+    pub flow_augmentations: u64,
     /// `round_started` events.
     pub adversary_rounds: u64,
     /// `forced_open` events.
@@ -479,6 +508,18 @@ impl Metrics {
                 }
             }
             TraceEvent::BinarySearchStep { .. } => self.binary_search_steps += 1,
+            TraceEvent::ProbeReuse {
+                incremental,
+                augmentations,
+                ..
+            } => {
+                if *incremental {
+                    self.prober_incremental += 1;
+                } else {
+                    self.prober_resets += 1;
+                }
+                self.flow_augmentations += augmentations;
+            }
             TraceEvent::RoundStarted { .. } => self.adversary_rounds += 1,
             TraceEvent::ForcedOpen { .. } => self.forced_opens += 1,
         }
@@ -516,6 +557,15 @@ impl Metrics {
                     (
                         "binary_search_steps",
                         Json::Int(self.binary_search_steps as i64),
+                    ),
+                    (
+                        "prober_incremental",
+                        Json::Int(self.prober_incremental as i64),
+                    ),
+                    ("prober_resets", Json::Int(self.prober_resets as i64)),
+                    (
+                        "flow_augmentations",
+                        Json::Int(self.flow_augmentations as i64),
                     ),
                 ]),
             ),

@@ -66,6 +66,16 @@ pub enum Command {
         /// Output file.
         out: String,
     },
+    /// `bench [--quick] [--out f.json] [--check f.json]` — tracked
+    /// performance baseline (see `mm_bench::baseline`).
+    Bench {
+        /// Run the reduced workload set (CI smoke mode).
+        quick: bool,
+        /// Baseline JSON output file (default `BENCH_2.json`).
+        out: String,
+        /// Committed baseline to gate deterministic counters against.
+        check: Option<String>,
+    },
     /// `help`.
     Help,
 }
@@ -156,6 +166,11 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 out,
             })
         }
+        "bench" => Ok(Command::Bench {
+            quick: args.iter().any(|a| a == "--quick"),
+            out: value_flag(args, "--out")?.unwrap_or_else(|| "BENCH_2.json".into()),
+            check: value_flag(args, "--check")?,
+        }),
         other => Err(CliError(format!(
             "unknown command `{other}`; run `machmin help`"
         ))),
@@ -197,6 +212,10 @@ pub fn help_text() -> &'static str {
        demigrate <inst.json>                    offline migratory → non-migratory transformation\n\
        generate <family> [--n N] [--seed S] --out <file.json>\n\
                                                 family ∈ {uniform, agreeable, laminar, loose}\n\
+       bench [--quick] [--out f.json] [--check f.json]\n\
+                                                seeded perf baseline: fast path + prober reuse vs\n\
+                                                BigInt + fresh-network reference (default out\n\
+                                                BENCH_2.json); --check gates deterministic counters\n\
        help                                     this text\n\
      \n\
      observability (solve, schedule):\n\
@@ -441,6 +460,54 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             outcome.schedule.compact_machines();
             out.push_str(&render_gantt(&mut outcome.schedule, 72));
         }
+        Command::Bench {
+            quick,
+            out: path,
+            check,
+        } => {
+            let doc = mm_bench::baseline::run(quick);
+            if let Some(workloads) = doc.get("workloads").and_then(mm_json::Json::as_arr) {
+                for w in workloads {
+                    let name = w.get("name").and_then(mm_json::Json::as_str).unwrap_or("?");
+                    let speedup = w
+                        .get("speedup")
+                        .and_then(mm_json::Json::as_f64)
+                        .unwrap_or(0.0);
+                    let m = w
+                        .get("optimal_machines")
+                        .and_then(mm_json::Json::as_i64)
+                        .unwrap_or(-1);
+                    let _ = writeln!(out, "{name}: m = {m}, speedup {speedup:.2}x");
+                }
+            }
+            if let Some(total) = doc
+                .get("totals")
+                .and_then(|t| t.get("speedup"))
+                .and_then(mm_json::Json::as_f64)
+            {
+                let _ = writeln!(out, "total probe-workload speedup: {total:.2}x");
+            }
+            std::fs::write(&path, doc.to_pretty())
+                .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+            let _ = writeln!(out, "baseline -> {path}");
+            if let Some(check_path) = check {
+                let committed = std::fs::read_to_string(&check_path)
+                    .map_err(|e| CliError(format!("cannot read baseline {check_path}: {e}")))?;
+                let committed = mm_json::parse(&committed)
+                    .map_err(|e| CliError(format!("cannot parse baseline {check_path}: {e}")))?;
+                match mm_bench::baseline::check_against(&doc, &committed) {
+                    Ok(()) => {
+                        let _ = writeln!(out, "counters within committed baseline {check_path}");
+                    }
+                    Err(problems) => {
+                        return Err(CliError(format!(
+                            "bench counter regression vs {check_path}:\n  {}",
+                            problems.join("\n  ")
+                        )));
+                    }
+                }
+            }
+        }
         Command::Generate {
             family,
             n,
@@ -534,6 +601,22 @@ mod tests {
                 n: 10,
                 seed: 7,
                 out: "x.json".into()
+            }
+        );
+        assert_eq!(
+            parse(&argv("bench")).unwrap(),
+            Command::Bench {
+                quick: false,
+                out: "BENCH_2.json".into(),
+                check: None
+            }
+        );
+        assert_eq!(
+            parse(&argv("bench --quick --out b.json --check BENCH_2.json")).unwrap(),
+            Command::Bench {
+                quick: true,
+                out: "b.json".into(),
+                check: Some("BENCH_2.json".into())
             }
         );
         assert!(parse(&argv("frobnicate")).is_err());
@@ -700,9 +783,39 @@ mod tests {
     }
 
     #[test]
+    fn bench_writes_baseline_and_checks_itself() {
+        let dir = std::env::temp_dir().join("machmin_cli_bench");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json").to_string_lossy().to_string();
+        let msg = execute(Command::Bench {
+            quick: true,
+            out: path.clone(),
+            check: None,
+        })
+        .unwrap();
+        assert!(msg.contains("baseline ->"), "{msg}");
+        // A run is a valid baseline for itself: counters are deterministic.
+        let msg = execute(Command::Bench {
+            quick: true,
+            out: path.clone(),
+            check: Some(path.clone()),
+        })
+        .unwrap();
+        assert!(msg.contains("counters within committed baseline"), "{msg}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn help_mentions_all_commands() {
         let h = help_text();
-        for cmd in ["solve", "classify", "schedule", "demigrate", "generate"] {
+        for cmd in [
+            "solve",
+            "classify",
+            "schedule",
+            "demigrate",
+            "generate",
+            "bench",
+        ] {
             assert!(h.contains(cmd), "help is missing `{cmd}`");
         }
     }
