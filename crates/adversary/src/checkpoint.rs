@@ -1,0 +1,243 @@
+//! Checkpoint/resume state for long adversary sweeps.
+//!
+//! A sweep runs the migration-gap adversary for every target depth
+//! `k = 2..=k_target` against one policy. Each depth is an independent run,
+//! so the natural checkpoint granularity is "which depths are done and what
+//! did they prove". The state round-trips through `mm-json`, letting
+//! `machmin adversary --checkpoint f.json --resume` skip completed depths
+//! after an interruption (or a budget-driven abort).
+
+use std::path::Path;
+
+use mm_json::Json;
+
+use crate::migration_gap::GapResult;
+
+/// One completed adversary run at a fixed target depth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletedRun {
+    /// The requested depth `k`.
+    pub k: usize,
+    /// Machines the policy was provably forced to use.
+    pub machines_forced: usize,
+    /// Jobs released during the run.
+    pub jobs_released: usize,
+    /// Whether the policy missed a deadline on a 3-feasible instance.
+    pub policy_missed: bool,
+    /// Machines the policy used overall.
+    pub machines_used: usize,
+    /// Flow-certified offline optimum of the constructed instance.
+    pub offline_optimum: u64,
+    /// Why the construction stopped early, if it did.
+    pub stopped: Option<String>,
+}
+
+impl CompletedRun {
+    /// Extracts the checkpoint-relevant facts of a finished run.
+    pub fn from_result(res: &GapResult) -> Self {
+        CompletedRun {
+            k: res.k_target,
+            machines_forced: res.machines_forced,
+            jobs_released: res.jobs_released,
+            policy_missed: res.policy_missed,
+            machines_used: res.machines_used,
+            offline_optimum: res.offline_optimum,
+            stopped: res.stopped.as_ref().map(|s| format!("{s:?}")),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("k", Json::Int(self.k as i64)),
+            ("machines_forced", Json::Int(self.machines_forced as i64)),
+            ("jobs_released", Json::Int(self.jobs_released as i64)),
+            ("policy_missed", Json::Bool(self.policy_missed)),
+            ("machines_used", Json::Int(self.machines_used as i64)),
+            ("offline_optimum", Json::Int(self.offline_optimum as i64)),
+        ];
+        if let Some(stopped) = &self.stopped {
+            fields.push(("stopped", Json::str(stopped)));
+        }
+        Json::obj(fields)
+    }
+
+    fn from_json(json: &Json) -> Result<Self, String> {
+        let int = |key: &str| -> Result<i64, String> {
+            json.get(key)
+                .and_then(Json::as_i64)
+                .ok_or_else(|| format!("checkpoint run missing integer field `{key}`"))
+        };
+        Ok(CompletedRun {
+            k: int("k")? as usize,
+            machines_forced: int("machines_forced")? as usize,
+            jobs_released: int("jobs_released")? as usize,
+            policy_missed: json
+                .get("policy_missed")
+                .and_then(Json::as_bool)
+                .ok_or("checkpoint run missing `policy_missed`")?,
+            machines_used: int("machines_used")? as usize,
+            offline_optimum: int("offline_optimum")? as u64,
+            stopped: json
+                .get("stopped")
+                .and_then(Json::as_str)
+                .map(str::to_owned),
+        })
+    }
+}
+
+/// Persistent state of one adversary sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepCheckpoint {
+    /// Name of the policy under attack (sanity-checked on resume).
+    pub policy: String,
+    /// Deepest depth the sweep targets.
+    pub k_target: usize,
+    /// Completed runs, in completion order.
+    pub completed: Vec<CompletedRun>,
+}
+
+impl SweepCheckpoint {
+    /// A fresh checkpoint with no completed runs.
+    pub fn new(policy: impl Into<String>, k_target: usize) -> Self {
+        SweepCheckpoint {
+            policy: policy.into(),
+            k_target,
+            completed: Vec::new(),
+        }
+    }
+
+    /// Whether depth `k` has a completed run recorded.
+    pub fn is_done(&self, k: usize) -> bool {
+        self.completed.iter().any(|r| r.k == k)
+    }
+
+    /// The smallest unfinished depth in `2..=k_target`, if any.
+    pub fn next_k(&self) -> Option<usize> {
+        (2..=self.k_target).find(|&k| !self.is_done(k))
+    }
+
+    /// Jobs released across all completed runs.
+    pub fn total_jobs(&self) -> usize {
+        self.completed.iter().map(|r| r.jobs_released).sum()
+    }
+
+    /// Records a completed run (replacing any earlier record for its depth).
+    pub fn record(&mut self, run: CompletedRun) {
+        self.completed.retain(|r| r.k != run.k);
+        self.completed.push(run);
+    }
+
+    /// The checkpoint document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("policy", Json::str(&self.policy)),
+            ("k_target", Json::Int(self.k_target as i64)),
+            (
+                "completed",
+                Json::Arr(self.completed.iter().map(CompletedRun::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a checkpoint document.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let policy = json
+            .get("policy")
+            .and_then(Json::as_str)
+            .ok_or("checkpoint missing `policy`")?
+            .to_owned();
+        let k_target = json
+            .get("k_target")
+            .and_then(Json::as_i64)
+            .ok_or("checkpoint missing `k_target`")? as usize;
+        let completed = json
+            .get("completed")
+            .and_then(Json::as_arr)
+            .ok_or("checkpoint missing `completed` array")?
+            .iter()
+            .map(CompletedRun::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SweepCheckpoint {
+            policy,
+            k_target,
+            completed,
+        })
+    }
+
+    /// Writes the checkpoint to `path` (pretty-printed JSON).
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().to_pretty() + "\n")
+    }
+
+    /// Loads a checkpoint from `path`.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read checkpoint {}: {e}", path.display()))?;
+        let json = mm_json::parse(&text)
+            .map_err(|e| format!("malformed checkpoint {}: {e}", path.display()))?;
+        SweepCheckpoint::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(k: usize) -> CompletedRun {
+        CompletedRun {
+            k,
+            machines_forced: k,
+            jobs_released: 10 * k,
+            policy_missed: false,
+            machines_used: k + 1,
+            offline_optimum: 3,
+            stopped: if k == 4 {
+                Some("Degenerate(\"x\")".into())
+            } else {
+                None
+            },
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let mut cp = SweepCheckpoint::new("edf-ff", 5);
+        cp.record(run(2));
+        cp.record(run(4));
+        let text = cp.to_json().to_pretty();
+        let back = SweepCheckpoint::from_json(&mm_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(cp, back);
+    }
+
+    #[test]
+    fn next_k_skips_completed_depths() {
+        let mut cp = SweepCheckpoint::new("p", 4);
+        assert_eq!(cp.next_k(), Some(2));
+        cp.record(run(2));
+        assert_eq!(cp.next_k(), Some(3));
+        cp.record(run(3));
+        cp.record(run(4));
+        assert_eq!(cp.next_k(), None);
+        assert_eq!(cp.total_jobs(), 20 + 30 + 40);
+    }
+
+    #[test]
+    fn recording_a_depth_twice_replaces_it() {
+        let mut cp = SweepCheckpoint::new("p", 3);
+        cp.record(run(2));
+        let mut again = run(2);
+        again.machines_forced = 99;
+        cp.record(again);
+        assert_eq!(cp.completed.len(), 1);
+        assert_eq!(cp.completed[0].machines_forced, 99);
+    }
+
+    #[test]
+    fn malformed_checkpoint_is_an_error_not_a_panic() {
+        assert!(SweepCheckpoint::from_json(&mm_json::parse("{}").unwrap()).is_err());
+        assert!(SweepCheckpoint::from_json(
+            &mm_json::parse(r#"{"policy": 3, "k_target": 2}"#).unwrap()
+        )
+        .is_err());
+    }
+}

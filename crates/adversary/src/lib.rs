@@ -31,9 +31,11 @@
 #![warn(missing_docs)]
 
 pub mod agreeable_lb;
+pub mod checkpoint;
 pub mod migration_gap;
 
 pub use agreeable_lb::{lemma9_alpha, lemma9_threshold, run_agreeable_lb, AgreeableLbResult};
+pub use checkpoint::{CompletedRun, SweepCheckpoint};
 pub use migration_gap::{
     run_migration_gap, run_migration_gap_traced, GapResult, GapStop, MigrationGapAdversary,
 };

@@ -21,6 +21,7 @@
 
 use std::collections::BTreeSet;
 
+use mm_fault::{FaultInjector, FaultSite};
 use mm_instance::{Instance, JobId};
 use mm_numeric::Rat;
 use mm_opt::feasible_on;
@@ -91,6 +92,7 @@ pub struct GapResult {
 /// `build` level) and [`TraceEvent::ForcedOpen`] (one per certified level).
 pub struct MigrationGapAdversary<P: OnlinePolicy, S: TraceSink = NoopSink> {
     sim: Simulation<P, S>,
+    injector: FaultInjector,
 }
 
 impl<P: OnlinePolicy> MigrationGapAdversary<P> {
@@ -108,7 +110,16 @@ impl<P: OnlinePolicy, S: TraceSink> MigrationGapAdversary<P, S> {
         cfg.max_steps = 10_000_000;
         MigrationGapAdversary {
             sim: Simulation::with_sink(cfg, policy, sink),
+            injector: FaultInjector::disabled(),
         }
+    }
+
+    /// Arms deterministic fault injection: every `build` level registers one
+    /// hit at [`FaultSite::AdversaryAbort`]; a firing rule aborts that round
+    /// (the run still finishes cleanly and reports the depth reached).
+    pub fn with_faults(mut self, injector: FaultInjector) -> Self {
+        self.injector = injector;
+        self
     }
 
     /// Runs the construction aiming for `k` critical machines. The top-level
@@ -150,6 +161,16 @@ impl<P: OnlinePolicy, S: TraceSink> MigrationGapAdversary<P, S> {
                 round: k as u32,
                 jobs,
             });
+        }
+        if self.injector.is_active() && self.injector.fire(FaultSite::AdversaryAbort) {
+            let count = self.injector.fired(FaultSite::AdversaryAbort);
+            if self.sim.sink_mut().enabled() {
+                self.sim.sink_mut().record(&TraceEvent::FaultInjected {
+                    site: FaultSite::AdversaryAbort.tag(),
+                    count,
+                });
+            }
+            return Ok(Err((0, GapStop::Degenerate("round aborted by fault plan"))));
         }
         if k == 2 {
             return self.build_base(start, deadline);

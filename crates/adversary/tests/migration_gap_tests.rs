@@ -129,3 +129,32 @@ fn constructed_instance_is_not_a_simple_special_case() {
         "j* should cross the inner copy's windows"
     );
 }
+
+#[test]
+fn adversary_abort_fault_stops_round_cleanly_and_deterministically() {
+    use mm_adversary::MigrationGapAdversary;
+    use mm_fault::{FaultInjector, FaultPlan, FaultSite};
+    use mm_trace::VecSink;
+
+    let run = |nth: u64| {
+        let mut sink = VecSink::new();
+        let res = MigrationGapAdversary::with_sink(EdfFirstFit::new(), 16, &mut sink)
+            .with_faults(FaultInjector::new(FaultPlan::once(
+                FaultSite::AdversaryAbort,
+                nth,
+            )))
+            .run(3)
+            .unwrap();
+        let tags: Vec<&'static str> = sink.events.iter().map(|e| e.tag()).collect();
+        (res.stopped.clone(), tags)
+    };
+    // Aborting the very first build level stops the whole construction.
+    let (stopped, tags) = run(1);
+    assert_eq!(
+        stopped,
+        Some(GapStop::Degenerate("round aborted by fault plan"))
+    );
+    assert!(tags.contains(&"fault_injected"));
+    // Determinism: an identical plan yields an identical trace sequence.
+    assert_eq!(run(1), (stopped, tags));
+}

@@ -31,6 +31,7 @@
 
 use std::collections::VecDeque;
 
+use mm_fault::{BudgetExceeded, BudgetMeter};
 use mm_numeric::Rat;
 
 /// Capacity/flow numeric type for [`FlowNetwork`].
@@ -169,6 +170,25 @@ impl<N: FlowNum> FlowNetwork<N> {
     /// capacities are updated in place; call [`Self::flow`] afterwards to
     /// read per-edge flows. Calling again continues from the current state.
     pub fn max_flow(&mut self, source: usize, sink: usize) -> N {
+        match self.max_flow_budgeted(source, sink, &mut BudgetMeter::unlimited()) {
+            Ok(total) => total,
+            Err(_) => unreachable!("unlimited meter never trips"),
+        }
+    }
+
+    /// [`Self::max_flow`] with cooperative cancellation: the meter is ticked
+    /// once per BFS phase and once per augmenting path. On
+    /// `Err(BudgetExceeded)` the network holds a *valid partial flow*
+    /// (conservation holds; total routed flow is the sum of completed
+    /// augmentations), so a later call with a fresh meter resumes
+    /// incrementally from where cancellation struck. The returned value on
+    /// `Ok` is the flow added by *this* call, matching [`Self::max_flow`].
+    pub fn max_flow_budgeted(
+        &mut self,
+        source: usize,
+        sink: usize,
+        meter: &mut BudgetMeter,
+    ) -> Result<N, BudgetExceeded> {
         assert!(source != sink, "source must differ from sink");
         let n = self.graph.len();
         let mut total = N::zero();
@@ -179,7 +199,20 @@ impl<N: FlowNum> FlowNetwork<N> {
         let mut q = std::mem::take(&mut self.queue);
         level.resize(n, usize::MAX);
         it.resize(n, 0);
+        // Reattaches scratch space on every exit path, including
+        // cancellation, so the network stays reusable.
+        macro_rules! finish {
+            ($result:expr) => {{
+                self.level = level;
+                self.iter = it;
+                self.queue = q;
+                return $result;
+            }};
+        }
         loop {
+            if let Err(e) = meter.tick_phase() {
+                finish!(Err(e));
+            }
             // BFS level graph on residual edges.
             level.fill(usize::MAX);
             level[source] = 0;
@@ -194,16 +227,23 @@ impl<N: FlowNum> FlowNetwork<N> {
                 }
             }
             if level[sink] == usize::MAX {
-                self.level = level;
-                self.iter = it;
-                self.queue = q;
-                return total;
+                finish!(Ok(total));
             }
-            // DFS blocking flow with iteration pointers.
+            // DFS blocking flow with iteration pointers. The checkpoint
+            // precedes each attempt so a tripped meter never routes more
+            // than `max_augmentations` paths in this call.
             it.fill(0);
-            while let Some(f) = self.dfs(source, sink, None, &level, &mut it) {
-                self.augmentations += 1;
-                total = total.add(&f);
+            loop {
+                if let Err(e) = meter.tick_augmentation() {
+                    finish!(Err(e));
+                }
+                match self.dfs(source, sink, None, &level, &mut it) {
+                    Some(f) => {
+                        self.augmentations += 1;
+                        total = total.add(&f);
+                    }
+                    None => break,
+                }
             }
         }
     }
@@ -594,5 +634,41 @@ mod tests {
         net.reset();
         net.set_capacity(e, r(2, 5));
         assert_eq!(net.max_flow(0, 2), r(2, 5));
+    }
+
+    #[test]
+    fn budgeted_cancellation_resumes_incrementally() {
+        use mm_fault::{Budget, BudgetExceeded, BudgetMeter};
+        // Four disjoint unit paths: the full flow needs 4 augmentations.
+        let mut net = FlowNetwork::<u64>::new(6);
+        for mid in 1..5 {
+            net.add_edge(0, mid, 1);
+            net.add_edge(mid, 5, 1);
+        }
+        let budget = Budget::unlimited().with_augmentations(2);
+        let mut meter = BudgetMeter::new(&budget);
+        let err = net.max_flow_budgeted(0, 5, &mut meter).unwrap_err();
+        assert!(matches!(err, BudgetExceeded::Augmentations { limit: 2 }));
+        // Cancellation leaves a valid partial flow; an unbudgeted follow-up
+        // call routes exactly the remaining 2 units.
+        assert_eq!(net.max_flow(0, 5), 2);
+        assert_eq!(net.augmentations(), 4);
+    }
+
+    #[test]
+    fn unlimited_meter_matches_max_flow() {
+        let mut a = FlowNetwork::<u64>::new(4);
+        let mut b = FlowNetwork::<u64>::new(4);
+        for net in [&mut a, &mut b] {
+            net.add_edge(0, 1, 3);
+            net.add_edge(0, 2, 2);
+            net.add_edge(1, 3, 2);
+            net.add_edge(2, 3, 3);
+            net.add_edge(1, 2, 5);
+        }
+        let mut meter = mm_fault::BudgetMeter::unlimited();
+        assert_eq!(a.max_flow_budgeted(0, 3, &mut meter).unwrap(), 5);
+        assert_eq!(b.max_flow(0, 3), 5);
+        assert_eq!(a.augmentations(), b.augmentations());
     }
 }

@@ -5,6 +5,11 @@
 //! the instance classes studied in the paper: general, α-loose, α-tight,
 //! agreeable (Section 6), laminar (Section 5), plus the adversarial-flavoured
 //! deterministic families used as baselines for the experiments.
+//!
+//! Every generator routes its triples through
+//! [`Instance::sanitize_triples`], so even a pathological configuration
+//! (e.g. a zero-length window produced by extreme parameters) degrades to a
+//! smaller valid instance instead of panicking.
 
 use mm_numeric::Rat;
 use rand::rngs::StdRng;
@@ -46,7 +51,7 @@ pub fn uniform(cfg: &UniformCfg, seed: u64) -> Instance {
         let p = rng.gen_range(1..=w);
         (Rat::from(r), Rat::from(r + w), Rat::from(p))
     });
-    Instance::from_triples(triples.collect::<Vec<_>>())
+    Instance::sanitize_triples(triples.collect::<Vec<_>>()).0
 }
 
 /// α-loose instances: every job satisfies `p_j ≤ α (d_j − r_j)`.
@@ -68,7 +73,7 @@ pub fn loose(cfg: &UniformCfg, alpha: &Rat, seed: u64) -> Instance {
             (Rat::from(r), Rat::from(r + w), Rat::from(p))
         })
         .collect::<Vec<_>>();
-    Instance::from_triples(triples)
+    Instance::sanitize_triples(triples).0
 }
 
 /// α-tight instances: every job satisfies `p_j > α (d_j − r_j)`.
@@ -85,7 +90,7 @@ pub fn tight(cfg: &UniformCfg, alpha: &Rat, seed: u64) -> Instance {
             (Rat::from(r), Rat::from(r + w), Rat::from(p))
         })
         .collect::<Vec<_>>();
-    Instance::from_triples(triples)
+    Instance::sanitize_triples(triples).0
 }
 
 /// Configuration for the agreeable generator.
@@ -136,7 +141,7 @@ pub fn agreeable(cfg: &AgreeableCfg, seed: u64) -> Instance {
         };
         triples.push((Rat::from(r), Rat::from(d), Rat::from(p)));
     }
-    Instance::from_triples(triples)
+    Instance::sanitize_triples(triples).0
 }
 
 /// Configuration for the laminar generator.
@@ -210,7 +215,7 @@ pub fn laminar(cfg: &LaminarCfg, seed: u64) -> Instance {
         cfg.branching,
         &cfg.max_fill,
     );
-    Instance::from_triples(triples)
+    Instance::sanitize_triples(triples).0
 }
 
 /// A *hard* laminar family in the spirit of Phillips et al. [10, Thm 2.13]
@@ -237,7 +242,7 @@ pub fn laminar_hard_chain(levels: usize, burst: usize) -> Instance {
             triples.push((s, e, p));
         }
     }
-    Instance::from_triples(triples)
+    Instance::sanitize_triples(triples).0
 }
 
 /// Deterministic “EDF trap” family (baseline experiment E10, exposing the
@@ -263,7 +268,7 @@ pub fn edf_trap(tracks: usize, shorts: usize, phases: usize) -> Instance {
             triples.push((t.clone(), &t + Rat::from(3i64), Rat::one()));
         }
     }
-    Instance::from_triples(triples)
+    Instance::sanitize_triples(triples).0
 }
 
 /// A periodic hard-real-time task, for [`periodic`].
@@ -310,7 +315,7 @@ pub fn periodic(tasks: &[PeriodicTask], horizon: i64, jitter: i64, seed: u64) ->
             release += t.period;
         }
     }
-    Instance::from_triples(triples)
+    Instance::sanitize_triples(triples).0
 }
 
 /// Total utilization `Σ wcet/period` of a task set — a lower bound on the
@@ -342,7 +347,7 @@ pub fn delta_mix(n: usize, delta: i64, seed: u64) -> Instance {
             }
         })
         .collect::<Vec<_>>();
-    Instance::from_triples(triples)
+    Instance::sanitize_triples(triples).0
 }
 
 /// Batched workload with a target parallelism: `m` waves of overlapping jobs
@@ -361,7 +366,7 @@ pub fn parallel_waves(m: usize, waves: usize, seed: u64) -> Instance {
             triples.push((Rat::from(r), Rat::from(r + len), Rat::from(p)));
         }
     }
-    Instance::from_triples(triples)
+    Instance::sanitize_triples(triples).0
 }
 
 #[cfg(test)]

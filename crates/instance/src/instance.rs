@@ -4,7 +4,47 @@
 use core::fmt;
 use mm_numeric::Rat;
 
-use crate::{Interval, IntervalSet, Job, JobId};
+use crate::{Interval, IntervalSet, Job, JobDefect, JobId};
+
+/// Typed report of degenerate jobs found by [`Instance::validate`] or
+/// dropped/normalized by [`Instance::sanitize_triples`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// `(record, defect)` pairs — `record` is the 0-based position in the
+    /// input (for [`Instance::validate`], the [`JobId`] index).
+    pub defects: Vec<(usize, JobDefect)>,
+    /// Jobs dropped outright by sanitization (unsalvageable: `p_j ≤ 0` or
+    /// `d_j ≤ r_j`).
+    pub dropped: usize,
+    /// Jobs normalized by sanitization (`p_j` clamped to the window length).
+    pub clamped: usize,
+}
+
+impl ValidationReport {
+    /// Whether every job was valid.
+    pub fn is_ok(&self) -> bool {
+        self.defects.is_empty()
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_ok() {
+            return write!(f, "all jobs valid");
+        }
+        write!(
+            f,
+            "{} degenerate job(s) ({} dropped, {} clamped):",
+            self.defects.len(),
+            self.dropped,
+            self.clamped
+        )?;
+        for (record, defect) in &self.defects {
+            write!(f, " [{record}: {defect}]")?;
+        }
+        Ok(())
+    }
+}
 
 /// An instance of the machine-minimization problem: a finite set of jobs.
 ///
@@ -106,6 +146,49 @@ impl Instance {
             jobs: Vec::new(),
             by_id: Vec::new(),
         }
+    }
+
+    /// Re-checks every job's triple (see [`JobDefect`]). Instances built
+    /// through the panicking constructors are always valid; this is the
+    /// panic-free gate for CLI entry points and any future unchecked
+    /// construction path. Records are reported by [`JobId`] index.
+    pub fn validate(&self) -> ValidationReport {
+        let mut report = ValidationReport::default();
+        for job in &self.jobs {
+            if let Some(defect) = job.defect() {
+                report.defects.push((job.id.index(), defect));
+            }
+        }
+        report
+    }
+
+    /// Builds an instance from untrusted triples, normalizing degenerate
+    /// jobs instead of panicking: an overlong `p_j` is clamped to the window
+    /// length `d_j − r_j`; jobs with `p_j ≤ 0` or `d_j ≤ r_j` are dropped.
+    /// The report records every intervention by input position.
+    pub fn sanitize_triples<I>(triples: I) -> (Self, ValidationReport)
+    where
+        I: IntoIterator<Item = (Rat, Rat, Rat)>,
+    {
+        let mut report = ValidationReport::default();
+        let mut kept: Vec<(Rat, Rat, Rat)> = Vec::new();
+        for (i, (r, d, p)) in triples.into_iter().enumerate() {
+            let window = &d - &r;
+            if !p.is_positive() {
+                report.defects.push((i, JobDefect::NonPositiveProcessing));
+                report.dropped += 1;
+            } else if !window.is_positive() {
+                report.defects.push((i, JobDefect::EmptyWindow));
+                report.dropped += 1;
+            } else if p > window {
+                report.defects.push((i, JobDefect::OverlongProcessing));
+                report.clamped += 1;
+                kept.push((r, d, window));
+            } else {
+                kept.push((r, d, p));
+            }
+        }
+        (Instance::from_triples(kept), report)
     }
 
     /// Number of jobs `n`.
@@ -394,6 +477,39 @@ impl fmt::Display for Instance {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn validate_is_clean_on_constructed_instances() {
+        assert!(Instance::empty().validate().is_ok());
+        assert!(Instance::from_ints([(0, 4, 2), (1, 5, 3)])
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn sanitize_drops_and_clamps_degenerate_triples() {
+        let r = |v: i64| Rat::from(v);
+        let (inst, report) = Instance::sanitize_triples([
+            (r(0), r(4), r(2)), // fine
+            (r(0), r(4), r(0)), // dropped: p = 0
+            (r(5), r(4), r(1)), // dropped: inverted window
+            (r(0), r(3), r(7)), // clamped to p = 3
+            (r(2), r(2), r(1)), // dropped: empty window
+        ]);
+        assert_eq!(inst.len(), 2);
+        assert_eq!(report.dropped, 3);
+        assert_eq!(report.clamped, 1);
+        assert_eq!(report.defects.len(), 4);
+        assert!(!report.is_ok());
+        assert!(inst.validate().is_ok());
+        // The clamped job became a zero-laxity job on [0,3).
+        assert!(inst.iter().any(|j| j.processing == r(3)));
+        assert_eq!(
+            report.defects[1],
+            (2, crate::JobDefect::EmptyWindow),
+            "inverted window reported at input position 2"
+        );
+    }
 
     #[test]
     fn canonical_ordering() {

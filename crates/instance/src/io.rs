@@ -31,6 +31,15 @@ pub enum IoError {
     Io(std::io::Error),
     /// JSON (de)serialization failure.
     Json(String),
+    /// A structurally parsable record that does not describe a valid job.
+    /// `record` is the 1-based position: the array index + 1 for JSON
+    /// documents, the line number for JSONL.
+    Record {
+        /// 1-based record position.
+        record: usize,
+        /// What is wrong with it.
+        message: String,
+    },
 }
 
 impl core::fmt::Display for IoError {
@@ -38,6 +47,9 @@ impl core::fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "io error: {e}"),
             IoError::Json(e) => write!(f, "json error: {e}"),
+            IoError::Record { record, message } => {
+                write!(f, "record {record}: {message}")
+            }
         }
     }
 }
@@ -77,15 +89,61 @@ pub fn to_json(instance: &Instance) -> Result<String, IoError> {
     Ok(Json::obj([("jobs", Json::Arr(jobs))]).to_pretty())
 }
 
-fn rat_field(obj: &Json, key: &str, job: usize) -> Result<Rat, IoError> {
+fn record_err(record: usize, message: impl Into<String>) -> IoError {
+    IoError::Record {
+        record,
+        message: message.into(),
+    }
+}
+
+fn rat_field(obj: &Json, key: &str, record: usize) -> Result<Rat, IoError> {
     let text = obj
         .get(key)
         .and_then(Json::as_str)
-        .ok_or_else(|| bad(format!("job {job}: missing string field \"{key}\"")))?;
+        .ok_or_else(|| record_err(record, format!("missing string field \"{key}\"")))?;
     text.parse().map_err(|e| {
-        bad(format!(
-            "job {job}: invalid rational \"{text}\" for \"{key}\": {e}"
-        ))
+        record_err(
+            record,
+            format!("invalid rational \"{text}\" for \"{key}\": {e}"),
+        )
+    })
+}
+
+/// Parses one job record at 1-based position `record`, registering its id in
+/// `seen` (of length `n`, the expected job count). Degenerate triples are
+/// [`IoError::Record`]s, never panics.
+fn job_from_entry(
+    entry: &Json,
+    record: usize,
+    n: usize,
+    seen: &mut [bool],
+) -> Result<Job, IoError> {
+    let id = entry
+        .get("id")
+        .and_then(Json::as_i64)
+        .ok_or_else(|| record_err(record, "missing integer field \"id\""))?;
+    let id = usize::try_from(id)
+        .ok()
+        .filter(|&id| id < n)
+        .ok_or_else(|| record_err(record, format!("id {id} outside 0..{n}")))?;
+    if seen[id] {
+        return Err(record_err(record, format!("duplicate job id {id}")));
+    }
+    seen[id] = true;
+    Job::try_new(
+        JobId(id as u32),
+        rat_field(entry, "release", record)?,
+        rat_field(entry, "deadline", record)?,
+        rat_field(entry, "processing", record)?,
+    )
+    .map_err(|(defect, job)| {
+        record_err(
+            record,
+            format!(
+                "degenerate job (r={}, d={}, p={}): {defect}",
+                job.release, job.deadline, job.processing
+            ),
+        )
     })
 }
 
@@ -101,24 +159,47 @@ pub fn from_json(json: &str) -> Result<Instance, IoError> {
     let mut jobs = Vec::with_capacity(n);
     let mut seen = vec![false; n];
     for (i, entry) in entries.iter().enumerate() {
-        let id = entry
-            .get("id")
-            .and_then(Json::as_i64)
-            .ok_or_else(|| bad(format!("job {i}: missing integer field \"id\"")))?;
-        let id = usize::try_from(id)
-            .ok()
-            .filter(|&id| id < n)
-            .ok_or_else(|| bad(format!("job {i}: id {id} outside 0..{n}")))?;
-        if seen[id] {
-            return Err(bad(format!("duplicate job id {id}")));
-        }
-        seen[id] = true;
-        jobs.push(Job::new(
-            JobId(id as u32),
-            rat_field(entry, "release", i)?,
-            rat_field(entry, "deadline", i)?,
-            rat_field(entry, "processing", i)?,
-        ));
+        jobs.push(job_from_entry(entry, i + 1, n, &mut seen)?);
+    }
+    Ok(Instance::from_jobs_with_ids(jobs))
+}
+
+/// Serializes an instance as JSONL: one compact job object per line, in id
+/// order. The streaming-friendly format for large generated workloads.
+pub fn to_jsonl(instance: &Instance) -> String {
+    let mut out = String::new();
+    for j in instance.jobs() {
+        out.push_str(
+            &Json::obj([
+                ("id", Json::Int(j.id.0 as i64)),
+                ("release", Json::str(j.release.to_string())),
+                ("deadline", Json::str(j.deadline.to_string())),
+                ("processing", Json::str(j.processing.to_string())),
+            ])
+            .to_compact(),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+/// Deserializes an instance from JSONL (one job object per line; blank lines
+/// are skipped). Errors carry the offending 1-based line number as the
+/// record position; malformed input never panics.
+pub fn from_jsonl(text: &str) -> Result<Instance, IoError> {
+    let records: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .map(|(i, line)| (i + 1, line.trim()))
+        .filter(|(_, line)| !line.is_empty())
+        .collect();
+    let n = records.len();
+    let mut jobs = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for (line_no, line) in records {
+        let entry = mm_json::parse(line)
+            .map_err(|e| record_err(line_no, format!("malformed JSON: {e}")))?;
+        jobs.push(job_from_entry(&entry, line_no, n, &mut seen)?);
     }
     Ok(Instance::from_jobs_with_ids(jobs))
 }
@@ -135,6 +216,20 @@ pub fn load<P: AsRef<Path>>(path: P) -> Result<Instance, IoError> {
     let mut s = String::new();
     std::fs::File::open(path)?.read_to_string(&mut s)?;
     from_json(&s)
+}
+
+/// Writes an instance to a JSONL file (see [`to_jsonl`]).
+pub fn save_jsonl<P: AsRef<Path>>(instance: &Instance, path: P) -> Result<(), IoError> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_jsonl(instance).as_bytes())?;
+    Ok(())
+}
+
+/// Reads an instance from a JSONL file (see [`from_jsonl`]).
+pub fn load_jsonl<P: AsRef<Path>>(path: P) -> Result<Instance, IoError> {
+    let mut s = String::new();
+    std::fs::File::open(path)?.read_to_string(&mut s)?;
+    from_jsonl(&s)
 }
 
 #[cfg(test)]
@@ -200,6 +295,74 @@ mod tests {
             {"id": 0, "release": "zero", "deadline": "2", "processing": "1"}
         ]}"#;
         assert!(from_json(nonrat).is_err());
+    }
+
+    #[test]
+    fn degenerate_jobs_are_record_errors_not_panics() {
+        // p = 0, d <= r, p > d - r: each must surface as IoError::Record
+        // with the right 1-based position.
+        for (record_json, expect) in [
+            (
+                r#"{"id": 0, "release": "0", "deadline": "2", "processing": "0"}"#,
+                "positive",
+            ),
+            (
+                r#"{"id": 0, "release": "3", "deadline": "2", "processing": "1"}"#,
+                "empty window",
+            ),
+            (
+                r#"{"id": 0, "release": "0", "deadline": "2", "processing": "5"}"#,
+                "exceeds",
+            ),
+        ] {
+            let doc = format!(r#"{{"jobs": [{record_json}]}}"#);
+            match from_json(&doc) {
+                Err(IoError::Record { record: 1, message }) => {
+                    assert!(message.contains(expect), "{message:?} missing {expect:?}");
+                }
+                other => panic!("expected Record error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn jsonl_roundtrip_and_line_context() {
+        let inst = Instance::from_ints([(0, 4, 2), (1, 5, 3), (2, 8, 1)]);
+        let text = to_jsonl(&inst);
+        assert_eq!(text.lines().count(), 3);
+        assert_eq!(from_jsonl(&text).unwrap(), inst);
+        // Blank lines are fine.
+        let spaced = text.replace('\n', "\n\n");
+        assert_eq!(from_jsonl(&spaced).unwrap(), inst);
+        // A malformed middle line reports its 1-based line number.
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines[1] = "{broken";
+        match from_jsonl(&lines.join("\n")) {
+            Err(IoError::Record { record: 2, .. }) => {}
+            other => panic!("expected line-2 Record error, got {other:?}"),
+        }
+        // A degenerate job on line 3 likewise.
+        let degenerate = [
+            r#"{"id": 0, "release": "0", "deadline": "2", "processing": "1"}"#,
+            r#"{"id": 1, "release": "0", "deadline": "2", "processing": "1"}"#,
+            r#"{"id": 2, "release": "9", "deadline": "2", "processing": "1"}"#,
+        ]
+        .join("\n");
+        match from_jsonl(&degenerate) {
+            Err(IoError::Record { record: 3, .. }) => {}
+            other => panic!("expected line-3 Record error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn jsonl_file_roundtrip() {
+        let inst = Instance::from_ints([(0, 10, 4), (2, 6, 4)]);
+        let dir = std::env::temp_dir().join("machmin_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inst.jsonl");
+        save_jsonl(&inst, &path).unwrap();
+        assert_eq!(load_jsonl(&path).unwrap(), inst);
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -39,23 +39,81 @@ pub struct Job {
     pub processing: Rat,
 }
 
+/// Why a job triple is degenerate (rejected by [`Job::try_new`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobDefect {
+    /// `p_j ≤ 0`: the job demands no (or negative) processing.
+    NonPositiveProcessing,
+    /// `d_j ≤ r_j`: the window is empty or inverted.
+    EmptyWindow,
+    /// `p_j > d_j − r_j`: the job cannot fit its own window.
+    OverlongProcessing,
+}
+
+impl fmt::Display for JobDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobDefect::NonPositiveProcessing => write!(f, "processing must be positive"),
+            JobDefect::EmptyWindow => write!(f, "empty window (d <= r)"),
+            JobDefect::OverlongProcessing => {
+                write!(f, "processing exceeds the window (p > d - r)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobDefect {}
+
 impl Job {
-    /// Builds a job, checking `0 < p_j ≤ d_j − r_j`.
+    /// Builds a job, panicking unless `0 < p_j ≤ d_j − r_j`. Use
+    /// [`Job::try_new`] on untrusted input.
     pub fn new(id: JobId, release: Rat, deadline: Rat, processing: Rat) -> Self {
-        assert!(
-            processing.is_positive(),
-            "job {id}: processing must be positive"
-        );
-        assert!(
-            processing <= &deadline - &release,
-            "job {id}: infeasible window (p={processing}, window={})",
-            &deadline - &release
-        );
-        Job {
+        match Job::try_new(id, release, deadline, processing) {
+            Ok(job) => job,
+            Err((defect @ JobDefect::NonPositiveProcessing, job)) => {
+                panic!("job {}: {defect}", job.id)
+            }
+            Err((_, job)) => panic!(
+                "job {}: infeasible window (p={}, window={})",
+                job.id,
+                job.processing,
+                &job.deadline - &job.release
+            ),
+        }
+    }
+
+    /// Builds a job, returning the defect (plus the unchecked job, for error
+    /// reporting) when the triple is degenerate: `p_j ≤ 0`, `d_j ≤ r_j`, or
+    /// `p_j > d_j − r_j`. Never panics.
+    #[allow(clippy::result_large_err)]
+    pub fn try_new(
+        id: JobId,
+        release: Rat,
+        deadline: Rat,
+        processing: Rat,
+    ) -> Result<Self, (JobDefect, Job)> {
+        let job = Job {
             id,
             release,
             deadline,
             processing,
+        };
+        match job.defect() {
+            None => Ok(job),
+            Some(defect) => Err((defect, job)),
+        }
+    }
+
+    /// The defect of this job's triple, if any (see [`JobDefect`]).
+    pub fn defect(&self) -> Option<JobDefect> {
+        if !self.processing.is_positive() {
+            Some(JobDefect::NonPositiveProcessing)
+        } else if self.deadline <= self.release {
+            Some(JobDefect::EmptyWindow)
+        } else if self.processing > &self.deadline - &self.release {
+            Some(JobDefect::OverlongProcessing)
+        } else {
+            None
         }
     }
 
@@ -163,6 +221,22 @@ mod tests {
     #[should_panic(expected = "infeasible window")]
     fn overlong_processing_rejected() {
         let _ = job(0, 4, 5);
+    }
+
+    #[test]
+    fn try_new_reports_defects_without_panicking() {
+        let t = |r: i64, d: i64, p: i64| {
+            Job::try_new(JobId(0), Rat::from(r), Rat::from(d), Rat::from(p))
+                .map_err(|(defect, _)| defect)
+        };
+        assert!(t(0, 4, 2).is_ok());
+        assert_eq!(t(0, 4, 0), Err(JobDefect::NonPositiveProcessing));
+        assert_eq!(t(0, 4, -1), Err(JobDefect::NonPositiveProcessing));
+        assert_eq!(t(4, 4, 1), Err(JobDefect::EmptyWindow));
+        assert_eq!(t(5, 4, 1), Err(JobDefect::EmptyWindow));
+        assert_eq!(t(0, 4, 5), Err(JobDefect::OverlongProcessing));
+        // Boundary: zero laxity is fine.
+        assert!(t(0, 4, 4).is_ok());
     }
 
     #[test]

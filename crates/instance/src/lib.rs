@@ -39,6 +39,6 @@ mod interval;
 pub mod io;
 mod job;
 
-pub use instance::{Instance, StructureClass};
+pub use instance::{Instance, StructureClass, ValidationReport};
 pub use interval::{Interval, IntervalSet};
-pub use job::{Job, JobId};
+pub use job::{Job, JobDefect, JobId};

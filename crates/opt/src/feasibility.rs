@@ -22,10 +22,47 @@
 //! `m`) and merely continue augmenting; descending probes reset the flow in
 //! place, which still reuses every allocation.
 
+use mm_fault::{Budget, BudgetExceeded, BudgetMeter};
 use mm_flow::{EdgeHandle, FlowNetwork};
 use mm_instance::{Instance, Interval, JobId};
 use mm_numeric::Rat;
 use mm_trace::{NoopSink, TraceEvent, TraceSink};
+
+/// Outcome of a budgeted feasibility probe.
+///
+/// A cancelled probe is *not* evidence of infeasibility: the network holds a
+/// valid partial flow when the budget trips, so the only sound conclusion is
+/// [`Verdict::Unknown`]. The partial flow is kept, and a later probe at the
+/// same or a larger machine count resumes augmenting from it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The instance fits on the probed machine count.
+    Feasible,
+    /// The instance provably does not fit on the probed machine count.
+    Infeasible,
+    /// The budget tripped before the flow saturated or was proven maximal.
+    Unknown(BudgetExceeded),
+}
+
+impl Verdict {
+    /// The definite boolean answer, if the probe reached one.
+    pub fn decided(&self) -> Option<bool> {
+        match self {
+            Verdict::Feasible => Some(true),
+            Verdict::Infeasible => Some(false),
+            Verdict::Unknown(_) => None,
+        }
+    }
+
+    /// Wraps the unbudgeted boolean answer.
+    pub fn from_bool(feasible: bool) -> Self {
+        if feasible {
+            Verdict::Feasible
+        } else {
+            Verdict::Infeasible
+        }
+    }
+}
 
 /// Per-interval processing allocation of a feasible flow: how much of each
 /// job is processed inside each elementary interval.
@@ -165,14 +202,73 @@ impl FeasibilityProber {
     /// [`FeasibilityProber::probe`] with the probe reported to `sink` as a
     /// [`TraceEvent::FeasibilityProbe`] plus a [`TraceEvent::ProbeReuse`]
     /// carrying the reuse mode and augmentation cost.
-    pub fn probe_traced<S: TraceSink>(&mut self, m: u64, mut sink: S) -> bool {
+    pub fn probe_traced<S: TraceSink>(&mut self, m: u64, sink: S) -> bool {
+        match self.probe_metered(m, &mut BudgetMeter::unlimited(), sink) {
+            Verdict::Feasible => true,
+            Verdict::Infeasible => false,
+            Verdict::Unknown(_) => unreachable!("unlimited meter never trips"),
+        }
+    }
+
+    /// [`FeasibilityProber::probe`] under a [`Budget`]: returns
+    /// [`Verdict::Unknown`] if the budget trips before the probe is decided.
+    /// The partially routed flow is kept, so re-probing the same or a larger
+    /// `m` (with a fresh or doubled budget) resumes where this call stopped.
+    pub fn probe_budgeted(&mut self, m: u64, budget: &Budget) -> Verdict {
+        self.probe_budgeted_traced(m, budget, NoopSink)
+    }
+
+    /// [`FeasibilityProber::probe_budgeted`] with trace reporting: decided
+    /// probes emit the usual [`TraceEvent::FeasibilityProbe`]; cancelled ones
+    /// emit [`TraceEvent::BudgetExceeded`] and [`TraceEvent::ProbeDegraded`]
+    /// instead.
+    pub fn probe_budgeted_traced<S: TraceSink>(
+        &mut self,
+        m: u64,
+        budget: &Budget,
+        mut sink: S,
+    ) -> Verdict {
+        let mut meter = BudgetMeter::new(budget);
+        // Admission: refuse oversized networks before touching the flow.
+        if let Err(e) = meter.admit_network(self.jobs + self.intervals.len() + 2) {
+            if sink.enabled() {
+                sink.record(&TraceEvent::BudgetExceeded {
+                    site: "probe",
+                    reason: e.tag(),
+                });
+                sink.record(&TraceEvent::ProbeDegraded {
+                    machines: m,
+                    reason: e.tag(),
+                });
+            }
+            return Verdict::Unknown(e);
+        }
+        self.probe_metered(m, &mut meter, sink)
+    }
+
+    /// Total flow currently routed into the sink (exact; used to record the
+    /// partial flow value when a budgeted probe is cancelled).
+    fn sink_flow(&self) -> Rat {
+        let mut total = Rat::zero();
+        for (h, _) in &self.sink_edges {
+            total += &self.net.flow(*h);
+        }
+        total
+    }
+
+    fn probe_metered<S: TraceSink>(
+        &mut self,
+        m: u64,
+        meter: &mut BudgetMeter,
+        mut sink: S,
+    ) -> Verdict {
         let trivial = self.jobs == 0 || m == 0;
         let mut incremental = false;
         let mut aug_delta = 0u64;
-        let feasible = if self.jobs == 0 {
-            true
+        let verdict = if self.jobs == 0 {
+            Verdict::Feasible
         } else if m == 0 {
-            false
+            Verdict::Infeasible
         } else {
             let aug_before = self.net.augmentations();
             let m_rat = Rat::from(m);
@@ -180,12 +276,15 @@ impl FeasibilityProber {
                 Some((prev_m, prev_flow)) if prev_m <= m => {
                     // Ascending: keep the routed flow, raise sink capacities,
                     // and only search for the additional augmenting paths.
+                    // A partial flow left by a cancelled probe at `prev_m` is
+                    // a valid flow, so resuming from it is sound.
                     incremental = true;
                     for (h, len) in &self.sink_edges {
                         self.net.raise_capacity(*h, &m_rat * len);
                     }
-                    let extra = self.net.max_flow(self.source, self.sink);
-                    prev_flow + extra
+                    self.net
+                        .max_flow_budgeted(self.source, self.sink, meter)
+                        .map(|extra| prev_flow + extra)
                 }
                 _ => {
                     // First probe or descending: clear the flow in place and
@@ -194,7 +293,7 @@ impl FeasibilityProber {
                     for (h, len) in &self.sink_edges {
                         self.net.set_capacity(*h, &m_rat * len);
                     }
-                    self.net.max_flow(self.source, self.sink)
+                    self.net.max_flow_budgeted(self.source, self.sink, meter)
                 }
             };
             aug_delta = self.net.augmentations() - aug_before;
@@ -203,18 +302,43 @@ impl FeasibilityProber {
             } else {
                 self.stats.resets += 1;
             }
-            let feasible = flow == self.demand;
-            self.state = Some((m, flow));
-            feasible
+            match flow {
+                Ok(flow) => {
+                    let feasible = flow == self.demand;
+                    self.state = Some((m, flow));
+                    Verdict::from_bool(feasible)
+                }
+                Err(e) => {
+                    // Cancelled mid-flow: conservation still holds, so the
+                    // routed amount is readable from the sink edges and the
+                    // probe is resumable at any `m' ≥ m`.
+                    self.state = Some((m, self.sink_flow()));
+                    Verdict::Unknown(e)
+                }
+            }
         };
         self.stats.probes += 1;
         self.stats.augmentations += aug_delta;
         if sink.enabled() {
-            sink.record(&TraceEvent::FeasibilityProbe {
-                machines: m,
-                jobs: self.jobs,
-                feasible,
-            });
+            match &verdict {
+                Verdict::Unknown(e) => {
+                    sink.record(&TraceEvent::BudgetExceeded {
+                        site: "probe",
+                        reason: e.tag(),
+                    });
+                    sink.record(&TraceEvent::ProbeDegraded {
+                        machines: m,
+                        reason: e.tag(),
+                    });
+                }
+                decided => {
+                    sink.record(&TraceEvent::FeasibilityProbe {
+                        machines: m,
+                        jobs: self.jobs,
+                        feasible: *decided == Verdict::Feasible,
+                    });
+                }
+            }
             if !trivial {
                 sink.record(&TraceEvent::ProbeReuse {
                     machines: m,
@@ -223,7 +347,7 @@ impl FeasibilityProber {
                 });
             }
         }
-        feasible
+        verdict
     }
 
     /// The per-interval allocation of a feasible flow on `m` machines, or
@@ -331,6 +455,120 @@ pub fn optimal_machines_traced<S: TraceSink>(instance: &Instance, mut sink: S) -
         }
     }
     hi
+}
+
+/// Result of [`optimal_machines_budgeted`]: a certified bracket around the
+/// optimum, exact when the search finished within budget.
+///
+/// The invariant `lo ≤ m(J) ≤ hi` always holds: `lo` is certified by the
+/// volume lower bound and by probes that proved `lo − 1` infeasible, and
+/// `hi` by the one-machine-per-job bound `n` and by probes that proved `hi`
+/// feasible. Cancelled (Unknown) probes never move either end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetedSearch {
+    /// Certified lower bound on the optimum.
+    pub lo: u64,
+    /// Certified upper bound on the optimum.
+    pub hi: u64,
+    /// The exact optimum, when the search completed (`lo == hi`).
+    pub exact: Option<u64>,
+    /// The budget violation that stopped the search, if any.
+    pub exceeded: Option<BudgetExceeded>,
+    /// Probes that returned [`Verdict::Unknown`].
+    pub unknown_probes: u64,
+}
+
+impl BudgetedSearch {
+    /// Whether the search pinned the optimum exactly.
+    pub fn is_exact(&self) -> bool {
+        self.exact.is_some()
+    }
+
+    /// Bracket width `hi − lo` (0 when exact).
+    pub fn width(&self) -> u64 {
+        self.hi - self.lo
+    }
+
+    fn exact_at(m: u64) -> Self {
+        BudgetedSearch {
+            lo: m,
+            hi: m,
+            exact: Some(m),
+            exceeded: None,
+            unknown_probes: 0,
+        }
+    }
+}
+
+/// [`optimal_machines`] under a per-probe [`Budget`]: instead of hanging on
+/// an adversarial instance, the binary search stops at the first probe the
+/// budget cancels and returns the certified bracket accumulated so far.
+/// With an unlimited budget the result is always exact and identical to
+/// [`optimal_machines`].
+pub fn optimal_machines_budgeted(instance: &Instance, budget: &Budget) -> BudgetedSearch {
+    optimal_machines_budgeted_traced(instance, budget, NoopSink)
+}
+
+/// [`optimal_machines_budgeted`] with probes, bracket updates, and
+/// degradations reported to `sink`.
+pub fn optimal_machines_budgeted_traced<S: TraceSink>(
+    instance: &Instance,
+    budget: &Budget,
+    mut sink: S,
+) -> BudgetedSearch {
+    if instance.is_empty() {
+        return BudgetedSearch::exact_at(0);
+    }
+    let mut prober = FeasibilityProber::new(instance);
+    let vol_lo = instance.volume_lower_bound().max(1);
+    // `lo_in` is the largest machine count proven infeasible (the volume
+    // bound certifies vol_lo − 1 up front); `hi` the smallest proven
+    // feasible. The optimum lies in (lo_in, hi].
+    let mut lo_in = vol_lo - 1;
+    let mut hi = instance.len() as u64;
+    let mut unknown_probes = 0u64;
+    let mut stopped: Option<BudgetExceeded> = None;
+    // Probe the volume bound first, mirroring the unbudgeted search.
+    match prober.probe_budgeted_traced(vol_lo, budget, &mut sink) {
+        Verdict::Feasible => return BudgetedSearch::exact_at(vol_lo),
+        Verdict::Infeasible => lo_in = vol_lo,
+        Verdict::Unknown(e) => {
+            unknown_probes += 1;
+            stopped = Some(e);
+        }
+    }
+    while stopped.is_none() && hi - lo_in > 1 {
+        let mid = lo_in + (hi - lo_in) / 2;
+        match prober.probe_budgeted_traced(mid, budget, &mut sink) {
+            Verdict::Feasible => hi = mid,
+            Verdict::Infeasible => lo_in = mid,
+            Verdict::Unknown(e) => {
+                unknown_probes += 1;
+                stopped = Some(e);
+            }
+        }
+        if stopped.is_none() && sink.enabled() {
+            sink.record(&TraceEvent::BinarySearchStep { lo: lo_in, hi });
+        }
+    }
+    match stopped {
+        None => BudgetedSearch::exact_at(hi),
+        Some(e) => {
+            if sink.enabled() {
+                sink.record(&TraceEvent::BudgetExceeded {
+                    site: "search",
+                    reason: e.tag(),
+                });
+            }
+            BudgetedSearch {
+                lo: lo_in + 1,
+                hi,
+                exact: None,
+                exceeded: Some(e),
+                unknown_probes,
+            }
+        }
+    }
 }
 
 /// [`optimal_machines`] computed the pre-prober way: an identical binary
@@ -570,6 +808,76 @@ mod tests {
         let mut fresh_sink = VecSink::new();
         assert_eq!(optimal_machines_fresh_traced(&inst, &mut fresh_sink), m);
         assert!(total_augs(&sink.events) <= total_augs(&fresh_sink.events));
+    }
+
+    #[test]
+    fn unlimited_budget_matches_unbudgeted_search() {
+        for jobs in [
+            vec![(0i64, 4i64, 2i64)],
+            vec![(0, 3, 3), (0, 3, 3), (0, 3, 3)],
+            vec![(0, 2, 2), (1, 3, 2), (2, 6, 3), (0, 8, 5)],
+        ] {
+            let inst = Instance::from_ints(jobs);
+            let search = optimal_machines_budgeted(&inst, &Budget::unlimited());
+            assert_eq!(search.exact, Some(optimal_machines(&inst)));
+            assert_eq!(search.lo, search.hi);
+            assert!(search.exceeded.is_none());
+        }
+    }
+
+    #[test]
+    fn budgeted_probe_degrades_to_unknown_and_resumes() {
+        // 6 tight parallel jobs: the probe at m=1 routes 6 augmenting paths.
+        let inst = Instance::from_ints((0..6).map(|_| (0, 3, 3)).collect::<Vec<_>>());
+        let budget = Budget::unlimited().with_augmentations(2);
+        let mut prober = FeasibilityProber::new(&inst);
+        let v = prober.probe_budgeted(6, &budget);
+        assert!(matches!(v, Verdict::Unknown(_)));
+        // The cancelled probe's partial flow resumes: the unbudgeted answer
+        // is still correct afterwards.
+        assert!(prober.probe(6));
+        assert!(!prober.probe(5));
+    }
+
+    #[test]
+    fn budgeted_search_returns_certified_bracket() {
+        let inst = Instance::from_ints([
+            (0, 2, 2),
+            (0, 2, 2),
+            (0, 2, 2),
+            (0, 12, 1),
+            (0, 12, 1),
+            (0, 12, 1),
+        ]);
+        let exact = optimal_machines(&inst);
+        let budget = Budget::unlimited().with_augmentations(1);
+        let mut sink = VecSink::new();
+        let search = optimal_machines_budgeted_traced(&inst, &budget, &mut sink);
+        assert!(search.exact.is_none());
+        assert!(search.exceeded.is_some());
+        assert!(search.unknown_probes >= 1);
+        assert!(
+            search.lo <= exact && exact <= search.hi,
+            "bracket [{}, {}] must contain {exact}",
+            search.lo,
+            search.hi
+        );
+        assert!(sink.count(|e| matches!(e, TraceEvent::ProbeDegraded { .. })) >= 1);
+        assert!(sink.count(|e| matches!(e, TraceEvent::BudgetExceeded { .. })) >= 2);
+    }
+
+    #[test]
+    fn network_admission_rejects_oversized_probes() {
+        let inst = Instance::from_ints([(0, 2, 1), (1, 4, 2), (3, 8, 2)]);
+        // Node count is jobs + intervals + 2; cap it below that.
+        let budget = Budget::unlimited().with_network_nodes(2);
+        let mut prober = FeasibilityProber::new(&inst);
+        match prober.probe_budgeted(1, &budget) {
+            Verdict::Unknown(mm_fault::BudgetExceeded::NetworkNodes { limit: 2, .. }) => {}
+            v => panic!("expected network admission failure, got {v:?}"),
+        }
+        // No network work was charged.
+        assert_eq!(prober.stats().resets + prober.stats().incremental, 0);
     }
 
     #[test]

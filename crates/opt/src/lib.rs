@@ -45,6 +45,7 @@ pub use exhaustive::{exhaustive_contribution_bound, EXHAUSTIVE_LIMIT};
 pub use extract::{optimal_schedule, schedule_from_allocation};
 pub use feasibility::{
     elementary_intervals, feasible_allocation, feasible_on, feasible_on_traced, optimal_machines,
-    optimal_machines_fresh, optimal_machines_fresh_traced, optimal_machines_traced,
-    FeasibilityProber, FlowAllocation, ProberStats,
+    optimal_machines_budgeted, optimal_machines_budgeted_traced, optimal_machines_fresh,
+    optimal_machines_fresh_traced, optimal_machines_traced, BudgetedSearch, FeasibilityProber,
+    FlowAllocation, ProberStats, Verdict,
 };

@@ -14,6 +14,7 @@
 
 use std::collections::BTreeMap;
 
+use mm_fault::{FaultInjector, FaultSite};
 use mm_instance::{Instance, Job, JobId};
 use mm_numeric::Rat;
 use mm_trace::{NoopSink, TraceEvent, TraceSink};
@@ -59,6 +60,13 @@ impl SimConfig {
     pub fn with_speed(mut self, speed: Rat) -> Self {
         assert!(speed.is_positive(), "speed must be positive");
         self.speed = speed;
+        self
+    }
+
+    /// Sets the decision-event safety cap (see [`SimError::StepLimitExceeded`]).
+    pub fn with_max_steps(mut self, max_steps: usize) -> Self {
+        assert!(max_steps > 0, "max_steps must be positive");
+        self.max_steps = max_steps;
         self
     }
 }
@@ -265,6 +273,7 @@ pub struct Simulation<P: OnlinePolicy, S: TraceSink = NoopSink> {
     all_jobs: Vec<Job>,
     steps: usize,
     sink: S,
+    injector: FaultInjector,
     /// Trace bookkeeping (maintained only while the sink is enabled):
     /// machines that already received a segment, ...
     traced_opened: Vec<bool>,
@@ -304,6 +313,7 @@ impl<P: OnlinePolicy, S: TraceSink> Simulation<P, S> {
             all_jobs: Vec::new(),
             steps: 0,
             sink,
+            injector: FaultInjector::disabled(),
             traced_opened: vec![false; machines],
             traced_job_machines: BTreeMap::new(),
             traced_last_run: BTreeMap::new(),
@@ -329,6 +339,23 @@ impl<P: OnlinePolicy, S: TraceSink> Simulation<P, S> {
     /// adversary, custom drivers) emit their own events into the same trace.
     pub fn sink_mut(&mut self) -> &mut S {
         &mut self.sink
+    }
+
+    /// Arms deterministic fault injection: each decision step that assigns
+    /// work registers one hit at [`FaultSite::MachineFailure`] and one at
+    /// [`FaultSite::MachineSlowdown`], and a firing rule degrades that step
+    /// (see [`Simulation::advance_once`] internals): a *failed* machine does
+    /// no work until the next event; a *slowed* machine runs at half speed.
+    /// Both are recorded as [`TraceEvent::FaultInjected`] and never produce a
+    /// [`SimError`] — consequences surface as ordinary deadline misses.
+    pub fn with_faults(mut self, injector: FaultInjector) -> Self {
+        self.injector = injector;
+        self
+    }
+
+    /// Read access to the fault injector's hit/fired counters.
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
     }
 
     fn push_job(&mut self, job: Job) {
@@ -576,6 +603,41 @@ impl<P: OnlinePolicy, S: TraceSink> Simulation<P, S> {
             }
         }
 
+        // Deterministic fault injection. The plan is consulted once per site
+        // on every step that assigns work, so firing depends only on the hit
+        // count — never on the clock or any RNG. A failed machine idles until
+        // the next event; a slowed machine runs at half speed. Neither is an
+        // error: consequences surface as ordinary deadline misses.
+        let mut failed_machine: Option<usize> = None;
+        let mut slowed_machine: Option<usize> = None;
+        if self.injector.is_active() && !decision.run.is_empty() {
+            if self.injector.fire(FaultSite::MachineFailure) {
+                failed_machine = Some(decision.run[0].0);
+                if self.sink.enabled() {
+                    self.sink.record(&TraceEvent::FaultInjected {
+                        site: FaultSite::MachineFailure.tag(),
+                        count: self.injector.fired(FaultSite::MachineFailure),
+                    });
+                }
+            }
+            if self.injector.fire(FaultSite::MachineSlowdown) {
+                if let Some(&(machine, _)) = decision
+                    .run
+                    .iter()
+                    .find(|&&(m, _)| Some(m) != failed_machine)
+                {
+                    slowed_machine = Some(machine);
+                    if self.sink.enabled() {
+                        self.sink.record(&TraceEvent::FaultInjected {
+                            site: FaultSite::MachineSlowdown.tag(),
+                            count: self.injector.fired(FaultSite::MachineSlowdown),
+                        });
+                    }
+                }
+            }
+        }
+        let half_speed = &self.cfg.speed / &Rat::from(2u64);
+
         // Next event time.
         let mut next: Option<Rat> = limit.cloned();
         let consider = |t: Rat, next: &mut Option<Rat>| {
@@ -592,9 +654,17 @@ impl<P: OnlinePolicy, S: TraceSink> Simulation<P, S> {
         for (_, a) in self.active.iter() {
             consider(a.job.deadline.clone(), &mut next);
         }
-        for &(_, job) in &decision.run {
+        for &(machine, job) in &decision.run {
+            if failed_machine == Some(machine) {
+                continue;
+            }
+            let speed = if slowed_machine == Some(machine) {
+                &half_speed
+            } else {
+                &self.cfg.speed
+            };
             let a = &self.active[&job];
-            consider(&self.time + &a.remaining / &self.cfg.speed, &mut next);
+            consider(&self.time + &a.remaining / speed, &mut next);
         }
         if let Some(w) = &decision.wake_at {
             consider(w.clone(), &mut next);
@@ -605,13 +675,22 @@ impl<P: OnlinePolicy, S: TraceSink> Simulation<P, S> {
         let dt = &next_time - &self.time;
         debug_assert!(dt.is_positive());
         for &(machine, job) in &decision.run {
+            if failed_machine == Some(machine) {
+                // Failed machine: no segment, the job stays active.
+                continue;
+            }
+            let speed = if slowed_machine == Some(machine) {
+                half_speed.clone()
+            } else {
+                self.cfg.speed.clone()
+            };
             let a = self.active.get_mut(&job).unwrap();
             let mut end = next_time.clone();
-            let mut dv = &dt * &self.cfg.speed;
+            let mut dv = &dt * &speed;
             if dv >= a.remaining {
                 // completes strictly before next_time
                 dv = a.remaining.clone();
-                end = &self.time + &dv / &self.cfg.speed;
+                end = &self.time + &dv / &speed;
             }
             a.remaining = &a.remaining - &dv;
             let completed = a.remaining.is_zero();
@@ -632,7 +711,7 @@ impl<P: OnlinePolicy, S: TraceSink> Simulation<P, S> {
                 machine,
                 interval: mm_instance::Interval::new(self.time.clone(), end),
                 job,
-                speed: self.cfg.speed.clone(),
+                speed,
             });
         }
         // Remove completed jobs.

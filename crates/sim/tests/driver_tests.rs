@@ -372,3 +372,74 @@ fn fractional_times_are_exact() {
     assert_eq!(segs[0].interval.start, Rat::ratio(1, 7));
     assert_eq!(segs[0].interval.end, Rat::ratio(3, 7));
 }
+
+#[test]
+fn machine_failure_fault_drops_work_deterministically() {
+    use mm_fault::{FaultInjector, FaultPlan, FaultSite};
+    // One machine, one job that exactly fits its window: any dropped step
+    // turns into a deadline miss.
+    let run = |plan: FaultPlan| {
+        let cfg = SimConfig::migratory(1);
+        let mut sim = Simulation::new(cfg, EdfTest).with_faults(FaultInjector::new(plan));
+        sim.inject(rat(0), rat(4), rat(4));
+        let out = sim.finish().unwrap();
+        (out.misses.len(), out.steps)
+    };
+    let clean = run(FaultPlan::none());
+    assert_eq!(clean.0, 0);
+    let faulty = run(FaultPlan::once(FaultSite::MachineFailure, 1));
+    assert_eq!(faulty.0, 1, "a failed step on a tight job forces a miss");
+    // Determinism: identical plans give identical outcomes.
+    assert_eq!(faulty, run(FaultPlan::once(FaultSite::MachineFailure, 1)));
+}
+
+#[test]
+fn machine_slowdown_fault_halves_speed_and_verifies() {
+    use mm_fault::{FaultInjector, FaultPlan, FaultSite};
+    // A loose window tolerates the slow segment; the schedule stays valid
+    // under the default speed *cap* of 1.
+    let cfg = SimConfig::migratory(1);
+    let mut sim = Simulation::new(cfg, EdfTest).with_faults(FaultInjector::new(FaultPlan::once(
+        FaultSite::MachineSlowdown,
+        1,
+    )));
+    sim.inject(rat(0), rat(10), rat(2));
+    let mut out = sim.finish().unwrap();
+    assert!(out.feasible());
+    let slow = out
+        .schedule
+        .segments()
+        .iter()
+        .filter(|s| s.speed == Rat::ratio(1, 2))
+        .count();
+    assert!(
+        slow >= 1,
+        "the slowdown fault must leave a half-speed segment"
+    );
+    mm_sim::verify(&out.instance, &mut out.schedule, &VerifyOptions::default()).unwrap();
+}
+
+#[test]
+fn with_max_steps_is_honored_with_trace_event() {
+    use mm_trace::{TraceEvent, VecSink};
+    // A wake-up-loop policy that never finishes its job.
+    struct Spinner;
+    impl OnlinePolicy for Spinner {
+        fn decide(&mut self, state: &SimState<'_>) -> Decision {
+            Decision {
+                run: vec![],
+                wake_at: Some(state.time + &Rat::ratio(1, 1000)),
+            }
+        }
+    }
+    let cfg = SimConfig::migratory(1).with_max_steps(10);
+    let mut sink = VecSink::new();
+    let mut sim = Simulation::with_sink(cfg, Spinner, &mut sink);
+    sim.inject(rat(0), rat(1_000_000), rat(1));
+    let err = sim.finish().expect_err("step limit must trip");
+    assert!(matches!(err, SimError::StepLimitExceeded { steps: 10, .. }));
+    assert_eq!(
+        sink.count(|e| matches!(e, TraceEvent::StepLimitExceeded { .. })),
+        1
+    );
+}

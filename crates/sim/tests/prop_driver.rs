@@ -111,3 +111,78 @@ proptest! {
         prop_assert!(out.steps < 100_000);
     }
 }
+
+mod faults {
+    //! Fault-injection properties: a seeded [`FaultPlan`] never panics the
+    //! driver, never breaks structural soundness, and replays bit-identically
+    //! — plus the step cap is honored on every path.
+
+    use super::{arb_instance, Chaos};
+    use mm_fault::{FaultInjector, FaultPlan, FaultSite};
+    use mm_sim::{run_policy, verify, SimConfig, SimError, Simulation, VerifyOptions};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Machine failures and slowdowns leave the run clean: no panic, a
+        /// structurally verifiable schedule, and identical outcomes (and
+        /// fired-fault counters) across two replays of the same seeds.
+        #[test]
+        fn faulty_runs_are_sound_and_deterministic(
+            inst in arb_instance(),
+            salt in any::<u64>(),
+            fseed in any::<u64>(),
+            machines in 1usize..4,
+        ) {
+            let run = || {
+                let mut sim = Simulation::from_instance(
+                    SimConfig::nonmigratory(machines),
+                    Chaos::new(salt),
+                    &inst,
+                )
+                .with_faults(FaultInjector::new(FaultPlan::chaos(fseed)));
+                sim.run_to_completion()
+                    .map_err(|e| TestCaseError::fail(e.to_string()))?;
+                let failures = sim.injector().fired(FaultSite::MachineFailure);
+                let slowdowns = sim.injector().fired(FaultSite::MachineSlowdown);
+                let out = sim
+                    .finish()
+                    .map_err(|e| TestCaseError::fail(e.to_string()))?;
+                Ok::<_, TestCaseError>((out, failures, slowdowns))
+            };
+            let (a, failures_a, slowdowns_a) = run()?;
+            let (b, failures_b, slowdowns_b) = run()?;
+            prop_assert_eq!(failures_a, failures_b);
+            prop_assert_eq!(slowdowns_a, slowdowns_b);
+            prop_assert_eq!(a.steps, b.steps);
+            prop_assert_eq!(&a.misses, &b.misses);
+            // Dropped and slowed work can only lose volume, never invent it:
+            // the schedule still verifies structurally (partial volumes OK).
+            let mut sched = a.schedule;
+            let opts = VerifyOptions::nonmigratory().partial();
+            verify(&a.instance, &mut sched, &opts)
+                .map_err(|e| TestCaseError::fail(format!("{e:?}")))?;
+            for job in a.instance.iter() {
+                prop_assert!(sched.processed(job.id) <= job.processing);
+            }
+        }
+
+        /// Every driver path honors `max_steps`: the run either finishes
+        /// within the cap or reports `StepLimitExceeded` at exactly the cap —
+        /// it never spins past it and never panics.
+        #[test]
+        fn step_limit_is_always_honored(
+            inst in arb_instance(),
+            salt in any::<u64>(),
+            cap in 1usize..40,
+        ) {
+            let cfg = SimConfig::migratory(2).with_max_steps(cap);
+            match run_policy(&inst, Chaos::new(salt), cfg) {
+                Ok(out) => prop_assert!(out.steps <= cap),
+                Err(SimError::StepLimitExceeded { steps, .. }) => prop_assert_eq!(steps, cap),
+                Err(e) => return Err(TestCaseError::fail(e.to_string())),
+            }
+        }
+    }
+}

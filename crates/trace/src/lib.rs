@@ -149,6 +149,39 @@ pub enum TraceEvent {
         /// The round that forced it.
         round: u32,
     },
+    /// A budgeted operation hit its resource limit and was cancelled at a
+    /// cooperative checkpoint.
+    BudgetExceeded {
+        /// Where the budget ran out (e.g. `"probe"`, `"search"`, `"sim"`).
+        site: &'static str,
+        /// Which limit tripped (a [`mm-fault`] `BudgetExceeded` tag:
+        /// `steps`, `augmentations`, `wall_clock`, `network_nodes`, or
+        /// `fault_injected`).
+        reason: &'static str,
+    },
+    /// A deterministic fault plan injected a failure at a named site.
+    FaultInjected {
+        /// The fault site tag (`probe_cancel`, `force_bigint`,
+        /// `machine_failure`, `machine_slowdown`, `adversary_abort`).
+        site: &'static str,
+        /// 1-based count of firings at this site so far.
+        count: u64,
+    },
+    /// A feasibility probe could not be decided within budget and degraded
+    /// to an unknown verdict.
+    ProbeDegraded {
+        /// Machine count whose probe was cancelled.
+        machines: u64,
+        /// Which limit tripped (same tags as [`TraceEvent::BudgetExceeded`]).
+        reason: &'static str,
+    },
+    /// A long adversary run persisted its round state for later resumption.
+    AdversaryCheckpoint {
+        /// Deepest fully-completed target depth `k`.
+        round: u32,
+        /// Jobs released across all completed runs.
+        jobs: usize,
+    },
 }
 
 impl TraceEvent {
@@ -168,6 +201,10 @@ impl TraceEvent {
             TraceEvent::ProbeReuse { .. } => "probe_reuse",
             TraceEvent::RoundStarted { .. } => "round_started",
             TraceEvent::ForcedOpen { .. } => "forced_open",
+            TraceEvent::BudgetExceeded { .. } => "budget_exceeded",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::ProbeDegraded { .. } => "probe_degraded",
+            TraceEvent::AdversaryCheckpoint { .. } => "adversary_checkpoint",
         }
     }
 
@@ -267,6 +304,26 @@ impl TraceEvent {
                 ("event", Json::str(self.tag())),
                 ("machines", Json::Int(*machines as i64)),
                 ("round", Json::Int(*round as i64)),
+            ]),
+            TraceEvent::BudgetExceeded { site, reason } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("site", Json::str(*site)),
+                ("reason", Json::str(*reason)),
+            ]),
+            TraceEvent::FaultInjected { site, count } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("site", Json::str(*site)),
+                ("count", Json::Int(*count as i64)),
+            ]),
+            TraceEvent::ProbeDegraded { machines, reason } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("machines", Json::Int(*machines as i64)),
+                ("reason", Json::str(*reason)),
+            ]),
+            TraceEvent::AdversaryCheckpoint { round, jobs } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("round", Json::Int(*round as i64)),
+                ("jobs", Json::Int(*jobs as i64)),
             ]),
         }
     }
@@ -462,6 +519,14 @@ pub struct Metrics {
     pub adversary_rounds: u64,
     /// `forced_open` events.
     pub forced_opens: u64,
+    /// `budget_exceeded` events.
+    pub budget_exceeded: u64,
+    /// `fault_injected` events.
+    pub faults_injected: u64,
+    /// `probe_degraded` events.
+    pub probes_degraded: u64,
+    /// `adversary_checkpoint` events.
+    pub adversary_checkpoints: u64,
     /// Events touching each machine (index = machine id): opens, starts,
     /// preemptions, and incoming migrations.
     pub events_per_machine: Vec<u64>,
@@ -522,6 +587,10 @@ impl Metrics {
             }
             TraceEvent::RoundStarted { .. } => self.adversary_rounds += 1,
             TraceEvent::ForcedOpen { .. } => self.forced_opens += 1,
+            TraceEvent::BudgetExceeded { .. } => self.budget_exceeded += 1,
+            TraceEvent::FaultInjected { .. } => self.faults_injected += 1,
+            TraceEvent::ProbeDegraded { .. } => self.probes_degraded += 1,
+            TraceEvent::AdversaryCheckpoint { .. } => self.adversary_checkpoints += 1,
         }
     }
 
@@ -574,6 +643,15 @@ impl Metrics {
                 Json::obj([
                     ("rounds", Json::Int(self.adversary_rounds as i64)),
                     ("forced_opens", Json::Int(self.forced_opens as i64)),
+                    ("checkpoints", Json::Int(self.adversary_checkpoints as i64)),
+                ]),
+            ),
+            (
+                "robustness",
+                Json::obj([
+                    ("budget_exceeded", Json::Int(self.budget_exceeded as i64)),
+                    ("faults_injected", Json::Int(self.faults_injected as i64)),
+                    ("probes_degraded", Json::Int(self.probes_degraded as i64)),
                 ]),
             ),
             (

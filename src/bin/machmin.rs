@@ -1,12 +1,35 @@
 //! The `machmin` command-line tool. See `machmin help`.
+//!
+//! The binary is a thin shim over `machmin::cli`: parse, execute, print.
+//! Failures exit with the stable code of their [`machmin::Error`] category;
+//! a panic escaping the (panic-free by contract) library is caught here and
+//! exits with code 70 instead of aborting with a raw unwind trace.
+
+use std::panic;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match machmin::cli::parse(&args).and_then(machmin::cli::execute) {
-        Ok(text) => print!("{text}"),
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
+    // The default hook would print its own "thread panicked" banner before
+    // we format the error; silence it and report through one channel.
+    panic::set_hook(Box::new(|_| {}));
+    let run = panic::catch_unwind(panic::AssertUnwindSafe(|| {
+        machmin::cli::parse(&args).and_then(machmin::cli::execute)
+    }));
+    match run {
+        Ok(Ok(text)) => print!("{text}"),
+        Ok(Err(e)) => {
+            eprintln!("error [{}]: {e}", e.tag());
+            std::process::exit(e.exit_code());
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic payload".into());
+            let e = machmin::Error::Panic(msg);
+            eprintln!("error [{}]: internal panic: {e}", e.tag());
+            std::process::exit(e.exit_code());
         }
     }
 }

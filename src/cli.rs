@@ -2,30 +2,47 @@
 //!
 //! Kept in the library (rather than the binary) so the argument parsing and
 //! command logic are unit-testable; `src/bin/machmin.rs` is a thin shim.
+//!
+//! Every failure is a categorized [`Error`] with a stable exit code (see
+//! `src/error.rs`); a budget-limited `solve` that settles for a certified
+//! bracket is a *success* (exit 0), because the bracket is still a proven
+//! answer.
 
 use std::fmt::Write as _;
 use std::io::BufWriter;
+use std::path::Path;
 
+use mm_adversary::{CompletedRun, GapResult, GapStop, MigrationGapAdversary, SweepCheckpoint};
 use mm_core::{AgreeableSplit, Edf, EdfFirstFit, LaminarBudget, Llf, MediumFit};
+use mm_fault::{Budget, FaultInjector, FaultPlan, FaultSite};
 use mm_instance::generators::{
     agreeable, laminar, loose, uniform, AgreeableCfg, LaminarCfg, UniformCfg,
 };
 use mm_instance::{io, Instance};
 use mm_numeric::Rat;
 use mm_opt::{
-    contribution_bound, demigrate, optimal_machines, optimal_machines_traced, theorem2_bound,
+    contribution_bound, demigrate, optimal_machines, optimal_machines_budgeted_traced,
+    optimal_machines_traced, theorem2_bound,
 };
-use mm_sim::{render_gantt, run_policy_traced, verify, SimConfig, VerifyOptions};
-use mm_trace::{JsonlSink, Metrics, MetricsSink, TeeSink};
+use mm_sim::{render_gantt, run_policy_traced, verify, SimConfig, Simulation, VerifyOptions};
+use mm_trace::{JsonlSink, Metrics, MetricsSink, TeeSink, TraceEvent, TraceSink};
+
+pub use crate::Error;
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
-    /// `solve <instance.json> [--trace f.jsonl] [--metrics f.json]` — exact
-    /// optimum + Theorem 1 certificate.
+    /// `solve <instance.json> [--trace f.jsonl] [--metrics f.json]
+    /// [--budget-augmentations N] [--budget-ms N] [--budget-nodes N]
+    /// [--attempts K]` — exact optimum + Theorem 1 certificate; with a
+    /// budget, geometric escalation then a certified bracket.
     Solve {
         /// Instance file.
         path: String,
+        /// Per-probe budget; `None` runs unbudgeted (always exact).
+        budget: Option<Budget>,
+        /// Escalation attempts (budget doubles between attempts).
+        attempts: u32,
         /// JSONL event-trace output file.
         trace: Option<String>,
         /// Aggregated metrics JSON output file.
@@ -66,6 +83,37 @@ pub enum Command {
         /// Output file.
         out: String,
     },
+    /// `adversary --policy <edf-ff|medium-fit> [--k K] [--machines N]
+    /// [--checkpoint f.json [--resume]]` — migration-gap sweep over depths
+    /// `k = 2..=K`, checkpointing each completed depth.
+    Adversary {
+        /// Policy under attack (edf-ff, medium-fit).
+        policy: String,
+        /// Deepest target depth (≥ 2).
+        k: usize,
+        /// Machine budget handed to the policy.
+        machines: usize,
+        /// Checkpoint file, saved after every completed depth.
+        checkpoint: Option<String>,
+        /// Resume from the checkpoint file, skipping completed depths.
+        resume: bool,
+        /// JSONL event-trace output file.
+        trace: Option<String>,
+        /// Aggregated metrics JSON output file.
+        metrics: Option<String>,
+    },
+    /// `chaos [--seed S] [--n N]` — deterministic fault-injection run
+    /// exercising every [`FaultSite`] against the full stack.
+    Chaos {
+        /// Seed deriving the fault plan and the workload.
+        seed: u64,
+        /// Workload size (jobs).
+        n: usize,
+        /// JSONL event-trace output file.
+        trace: Option<String>,
+        /// Aggregated metrics JSON output file.
+        metrics: Option<String>,
+    },
     /// `bench [--quick] [--out f.json] [--check f.json]` — tracked
     /// performance baseline (see `mm_bench::baseline`).
     Bench {
@@ -80,18 +128,6 @@ pub enum Command {
     Help,
 }
 
-/// CLI error with a user-facing message.
-#[derive(Debug)]
-pub struct CliError(pub String);
-
-impl core::fmt::Display for CliError {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "{}", self.0)
-    }
-}
-
-impl std::error::Error for CliError {}
-
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
@@ -101,26 +137,63 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 
 /// Like [`flag`], but a flag present without a value is an error instead of
 /// being silently ignored (a typo'd `--trace` must not drop the trace).
-fn value_flag(args: &[String], name: &str) -> Result<Option<String>, CliError> {
+fn value_flag(args: &[String], name: &str) -> Result<Option<String>, Error> {
     match args.iter().position(|a| a == name) {
         None => Ok(None),
         Some(i) => match args.get(i + 1) {
             Some(v) => Ok(Some(v.clone())),
-            None => Err(CliError(format!("{name} requires a value"))),
+            None => Err(Error::Usage(format!("{name} requires a value"))),
         },
     }
 }
 
+/// A numeric [`value_flag`]; a present-but-unparsable value is a usage error.
+fn num_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, Error> {
+    match value_flag(args, name)? {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<T>()
+            .map(Some)
+            .map_err(|_| Error::Usage(format!("invalid {name} value: {v}"))),
+    }
+}
+
 /// Parses raw arguments (without the program name).
-pub fn parse(args: &[String]) -> Result<Command, CliError> {
+pub fn parse(args: &[String]) -> Result<Command, Error> {
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match cmd {
         "help" | "--help" | "-h" => Ok(Command::Help),
-        "solve" => Ok(Command::Solve {
-            path: args.get(1).cloned().ok_or_else(usage_solve)?,
-            trace: value_flag(args, "--trace")?,
-            metrics: value_flag(args, "--metrics")?,
-        }),
+        "solve" => {
+            let mut budget: Option<Budget> = None;
+            if let Some(n) = num_flag::<u64>(args, "--budget-augmentations")? {
+                budget = Some(
+                    budget
+                        .unwrap_or_else(Budget::unlimited)
+                        .with_augmentations(n),
+                );
+            }
+            if let Some(ms) = num_flag::<u64>(args, "--budget-ms")? {
+                budget = Some(budget.unwrap_or_else(Budget::unlimited).with_probe_ms(ms));
+            }
+            if let Some(n) = num_flag::<usize>(args, "--budget-nodes")? {
+                budget = Some(
+                    budget
+                        .unwrap_or_else(Budget::unlimited)
+                        .with_network_nodes(n),
+                );
+            }
+            let attempts = num_flag::<u32>(args, "--attempts")?.unwrap_or(3);
+            if attempts == 0 {
+                return Err(Error::Usage("--attempts must be at least 1".into()));
+            }
+            Ok(Command::Solve {
+                path: args.get(1).cloned().ok_or_else(usage_solve)?,
+                budget,
+                attempts,
+                trace: value_flag(args, "--trace")?,
+                metrics: value_flag(args, "--metrics")?,
+            })
+        }
         "classify" => Ok(Command::Classify {
             path: args.get(1).cloned().ok_or_else(usage_classify)?,
         }),
@@ -128,18 +201,12 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             path: args
                 .get(1)
                 .cloned()
-                .ok_or_else(|| CliError("usage: machmin demigrate <instance.json>".into()))?,
+                .ok_or_else(|| Error::Usage("usage: machmin demigrate <instance.json>".into()))?,
         }),
         "schedule" => {
             let path = args.get(1).cloned().ok_or_else(usage_schedule)?;
             let policy = flag(args, "--policy").ok_or_else(usage_schedule)?;
-            let machines = match flag(args, "--machines") {
-                Some(v) => Some(
-                    v.parse()
-                        .map_err(|_| CliError(format!("invalid --machines value: {v}")))?,
-                ),
-                None => None,
-            };
+            let machines = num_flag::<usize>(args, "--machines")?;
             Ok(Command::Schedule {
                 path,
                 policy,
@@ -150,14 +217,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         }
         "generate" => {
             let family = args.get(1).cloned().ok_or_else(usage_generate)?;
-            let n = flag(args, "--n")
-                .unwrap_or_else(|| "50".into())
-                .parse()
-                .map_err(|_| CliError("invalid --n".into()))?;
-            let seed = flag(args, "--seed")
-                .unwrap_or_else(|| "0".into())
-                .parse()
-                .map_err(|_| CliError("invalid --seed".into()))?;
+            let n = num_flag::<usize>(args, "--n")?.unwrap_or(50);
+            let seed = num_flag::<u64>(args, "--seed")?.unwrap_or(0);
             let out = flag(args, "--out").ok_or_else(usage_generate)?;
             Ok(Command::Generate {
                 family,
@@ -166,35 +227,75 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 out,
             })
         }
+        "adversary" => {
+            let policy = flag(args, "--policy").ok_or_else(usage_adversary)?;
+            let k = num_flag::<usize>(args, "--k")?.unwrap_or(4);
+            if k < 2 {
+                return Err(Error::Usage("--k must be at least 2".into()));
+            }
+            let machines = num_flag::<usize>(args, "--machines")?.unwrap_or(16);
+            let checkpoint = value_flag(args, "--checkpoint")?;
+            let resume = args.iter().any(|a| a == "--resume");
+            if resume && checkpoint.is_none() {
+                return Err(Error::Usage("--resume requires --checkpoint".into()));
+            }
+            Ok(Command::Adversary {
+                policy,
+                k,
+                machines,
+                checkpoint,
+                resume,
+                trace: value_flag(args, "--trace")?,
+                metrics: value_flag(args, "--metrics")?,
+            })
+        }
+        "chaos" => Ok(Command::Chaos {
+            seed: num_flag::<u64>(args, "--seed")?.unwrap_or(0),
+            n: num_flag::<usize>(args, "--n")?.unwrap_or(16).max(1),
+            trace: value_flag(args, "--trace")?,
+            metrics: value_flag(args, "--metrics")?,
+        }),
         "bench" => Ok(Command::Bench {
             quick: args.iter().any(|a| a == "--quick"),
             out: value_flag(args, "--out")?.unwrap_or_else(|| "BENCH_2.json".into()),
             check: value_flag(args, "--check")?,
         }),
-        other => Err(CliError(format!(
+        other => Err(Error::Usage(format!(
             "unknown command `{other}`; run `machmin help`"
         ))),
     }
 }
 
-fn usage_solve() -> CliError {
-    CliError("usage: machmin solve <instance.json> [--trace f.jsonl] [--metrics f.json]".into())
+fn usage_solve() -> Error {
+    Error::Usage(
+        "usage: machmin solve <instance.json> [--trace f.jsonl] [--metrics f.json] \
+         [--budget-augmentations N] [--budget-ms N] [--budget-nodes N] [--attempts K]"
+            .into(),
+    )
 }
 
-fn usage_classify() -> CliError {
-    CliError("usage: machmin classify <instance.json>".into())
+fn usage_classify() -> Error {
+    Error::Usage("usage: machmin classify <instance.json>".into())
 }
 
-fn usage_schedule() -> CliError {
-    CliError(
+fn usage_schedule() -> Error {
+    Error::Usage(
         "usage: machmin schedule <instance.json> --policy <edf|llf|edf-ff|medium-fit|agreeable|laminar> [--machines N] [--trace f.jsonl] [--metrics f.json]"
             .into(),
     )
 }
 
-fn usage_generate() -> CliError {
-    CliError(
+fn usage_generate() -> Error {
+    Error::Usage(
         "usage: machmin generate <uniform|agreeable|laminar|loose> [--n N] [--seed S] --out <file.json>"
+            .into(),
+    )
+}
+
+fn usage_adversary() -> Error {
+    Error::Usage(
+        "usage: machmin adversary --policy <edf-ff|medium-fit> [--k K] [--machines N] \
+         [--checkpoint f.json [--resume]] [--trace f.jsonl] [--metrics f.json]"
             .into(),
     )
 }
@@ -212,19 +313,40 @@ pub fn help_text() -> &'static str {
        demigrate <inst.json>                    offline migratory → non-migratory transformation\n\
        generate <family> [--n N] [--seed S] --out <file.json>\n\
                                                 family ∈ {uniform, agreeable, laminar, loose}\n\
+       adversary --policy P [--k K] [--machines N] [--checkpoint f.json [--resume]]\n\
+                                                migration-gap sweep over depths k = 2..=K,\n\
+                                                checkpointing each completed depth (P ∈ {edf-ff, medium-fit})\n\
+       chaos [--seed S] [--n N]                 deterministic fault-injection run exercising every\n\
+                                                fault site (probe_cancel, force_bigint, machine_failure,\n\
+                                                machine_slowdown, adversary_abort) without panicking\n\
        bench [--quick] [--out f.json] [--check f.json]\n\
                                                 seeded perf baseline: fast path + prober reuse vs\n\
                                                 BigInt + fresh-network reference (default out\n\
                                                 BENCH_2.json); --check gates deterministic counters\n\
        help                                     this text\n\
      \n\
-     observability (solve, schedule):\n\
+     observability (solve, schedule, adversary, chaos):\n\
        --trace <file.jsonl>                     stream typed events (one JSON object per line)\n\
-       --metrics <file.json>                    write aggregated counters and histograms\n"
+       --metrics <file.json>                    write aggregated counters and histograms\n\
+     \n\
+     robustness (solve):\n\
+       --budget-augmentations N                 cancel a feasibility probe after N augmenting paths\n\
+       --budget-ms N                            cancel a feasibility probe after N wall-clock ms\n\
+       --budget-nodes N                         refuse flow networks larger than N nodes\n\
+       --attempts K                             double the budget up to K times, then settle for\n\
+                                                a certified bracket [lo, hi] (still exit code 0)\n\
+     \n\
+     exit codes: 0 success (incl. degraded bracket), 1 internal, 2 usage,\n\
+                 3 io/parse, 4 validation, 5 simulation, 6 verification, 70 panic\n"
 }
 
-fn load(path: &str) -> Result<Instance, CliError> {
-    io::load(path).map_err(|e| CliError(format!("cannot load {path}: {e}")))
+fn load(path: &str) -> Result<Instance, Error> {
+    let inst = io::load(path).map_err(|e| Error::Io(format!("cannot load {path}: {e}")))?;
+    let report = inst.validate();
+    if !report.is_ok() {
+        return Err(Error::Validation(format!("{path}: {report}")));
+    }
+    Ok(inst)
 }
 
 /// The `--trace` / `--metrics` sink pair. Both are optional; with neither
@@ -238,11 +360,11 @@ struct CliSinks {
 }
 
 impl CliSinks {
-    fn open(trace: Option<String>, metrics: Option<String>) -> Result<Self, CliError> {
+    fn open(trace: Option<String>, metrics: Option<String>) -> Result<Self, Error> {
         let jsonl = match &trace {
             Some(path) => {
                 let file = std::fs::File::create(path)
-                    .map_err(|e| CliError(format!("cannot create {path}: {e}")))?;
+                    .map_err(|e| Error::Io(format!("cannot create {path}: {e}")))?;
                 Some(JsonlSink::new(BufWriter::new(file)))
             }
             None => None,
@@ -264,19 +386,28 @@ impl CliSinks {
         TeeSink(&mut self.jsonl, &mut self.metrics)
     }
 
+    /// Records one event produced by the CLI layer itself (as opposed to a
+    /// traced library run).
+    fn record(&mut self, event: &TraceEvent) {
+        let mut sink = self.sink();
+        if sink.enabled() {
+            sink.record(event);
+        }
+    }
+
     /// Flushes the trace, writes the metrics file, appends report lines to
     /// `out`, and hands back the aggregated metrics for cross-checks.
-    fn finish(self, out: &mut String) -> Result<Option<Metrics>, CliError> {
+    fn finish(self, out: &mut String) -> Result<Option<Metrics>, Error> {
         if let (Some(sink), Some(path)) = (self.jsonl, &self.trace_path) {
             let events = sink.written();
             sink.finish()
-                .map_err(|e| CliError(format!("cannot write trace {path}: {e}")))?;
+                .map_err(|e| Error::Io(format!("cannot write trace {path}: {e}")))?;
             let _ = writeln!(out, "trace: {events} events -> {path}");
         }
         let metrics = self.metrics.map(|s| s.metrics);
         if let (Some(metrics), Some(path)) = (&metrics, &self.metrics_path) {
             std::fs::write(path, metrics.to_json().to_pretty())
-                .map_err(|e| CliError(format!("cannot write metrics {path}: {e}")))?;
+                .map_err(|e| Error::Io(format!("cannot write metrics {path}: {e}")))?;
             let _ = writeln!(out, "metrics -> {path}");
         }
         Ok(metrics)
@@ -284,21 +415,67 @@ impl CliSinks {
 }
 
 /// Executes a command, returning the text to print.
-pub fn execute(cmd: Command) -> Result<String, CliError> {
+pub fn execute(cmd: Command) -> Result<String, Error> {
     let mut out = String::new();
     match cmd {
         Command::Help => out.push_str(help_text()),
         Command::Solve {
             path,
+            budget,
+            attempts,
             trace,
             metrics,
         } => {
             let inst = load(&path)?;
             let mut sinks = CliSinks::open(trace, metrics)?;
-            let m = optimal_machines_traced(&inst, sinks.sink());
-            let cert = contribution_bound(&inst);
             let _ = writeln!(out, "jobs: {}", inst.len());
-            let _ = writeln!(out, "migratory optimum m(J): {m}");
+            match budget {
+                None => {
+                    let m = optimal_machines_traced(&inst, sinks.sink());
+                    let _ = writeln!(out, "migratory optimum m(J): {m}");
+                }
+                Some(initial) => {
+                    let mut budget = initial;
+                    let mut attempt = 1u32;
+                    let search = loop {
+                        let search = optimal_machines_budgeted_traced(&inst, &budget, sinks.sink());
+                        if search.is_exact() || attempt == attempts {
+                            break search;
+                        }
+                        let reason = search
+                            .exceeded
+                            .as_ref()
+                            .map(|e| e.tag())
+                            .unwrap_or("budget");
+                        let _ = writeln!(
+                            out,
+                            "attempt {attempt}/{attempts}: {reason} budget exceeded at bracket \
+                             [{}, {}]; doubling budget",
+                            search.lo, search.hi
+                        );
+                        budget = budget.doubled();
+                        attempt += 1;
+                    };
+                    match search.exact {
+                        Some(m) => {
+                            let _ = writeln!(
+                                out,
+                                "migratory optimum m(J): {m} (within budget, attempt \
+                                 {attempt}/{attempts})"
+                            );
+                        }
+                        None => {
+                            let _ = writeln!(
+                                out,
+                                "degraded: certified bracket {} <= m(J) <= {} after {attempts} \
+                                 attempt(s), {} unknown probe(s)",
+                                search.lo, search.hi, search.unknown_probes
+                            );
+                        }
+                    }
+                }
+            }
+            let cert = contribution_bound(&inst);
             let _ = writeln!(
                 out,
                 "Theorem 1 certificate: ⌈{}⌉ = {} on witness {}",
@@ -329,7 +506,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             let res = demigrate(&inst);
             let mut sched = res.schedule;
             verify(&inst, &mut sched, &VerifyOptions::nonmigratory())
-                .map_err(|e| CliError(format!("internal: demigrated schedule invalid: {e:?}")))?;
+                .map_err(|e| Error::Internal(format!("demigrated schedule invalid: {e:?}")))?;
             let _ = writeln!(out, "migratory optimum: {m}");
             let _ = writeln!(
                 out,
@@ -404,7 +581,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                         VerifyOptions::nonmigratory(),
                     )
                 }
-                other => return Err(CliError(format!("unknown policy `{other}`"))),
+                other => return Err(Error::Usage(format!("unknown policy `{other}`"))),
             };
             let mut outcome = match outcome {
                 Ok(o) => o,
@@ -413,13 +590,15 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                     // step cap (or a policy bug) are exactly the ones worth
                     // inspecting offline.
                     sinks.finish(&mut out)?;
-                    return Err(CliError(format!("simulation failed: {e}")));
+                    return Err(Error::Sim(format!("simulation failed: {e}")));
                 }
             };
             let _ = writeln!(out, "policy: {policy}, budget: {budget}, optimum m: {m}");
             let stats = if outcome.feasible() {
-                let stats = verify(&outcome.instance, &mut outcome.schedule, &opts)
-                    .map_err(|e| CliError(format!("schedule failed verification: {e:?}")))?;
+                let stats =
+                    verify(&outcome.instance, &mut outcome.schedule, &opts).map_err(|e| {
+                        Error::Verification(format!("schedule failed verification: {e:?}"))
+                    })?;
                 let _ = writeln!(
                     out,
                     "feasible: yes | machines used: {} | migrations: {} | preemptions: {}",
@@ -442,7 +621,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                         && metrics.migrations == stats.migrations as u64
                         && metrics.preemptions == stats.preemptions as u64;
                     if !ok {
-                        return Err(CliError(format!(
+                        return Err(Error::Verification(format!(
                             "trace/verifier disagreement: metrics say \
                              {}/{}/{} (machines/migrations/preemptions), \
                              verifier says {}/{}/{}",
@@ -459,6 +638,248 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             }
             outcome.schedule.compact_machines();
             out.push_str(&render_gantt(&mut outcome.schedule, 72));
+        }
+        Command::Adversary {
+            policy,
+            k,
+            machines,
+            checkpoint,
+            resume,
+            trace,
+            metrics,
+        } => {
+            let mut state = match (&checkpoint, resume) {
+                (Some(path), true) if Path::new(path).exists() => {
+                    let mut s = SweepCheckpoint::load(Path::new(path))
+                        .map_err(|e| Error::Io(format!("cannot resume from {path}: {e}")))?;
+                    if s.policy != policy {
+                        return Err(Error::Usage(format!(
+                            "checkpoint {path} was recorded for policy `{}`, not `{policy}`",
+                            s.policy
+                        )));
+                    }
+                    let done: Vec<usize> = s.completed.iter().map(|r| r.k).collect();
+                    let _ = writeln!(out, "resumed {path}: depths {done:?} already complete");
+                    // A deeper --k extends the sweep; a shallower one never
+                    // discards completed work.
+                    s.k_target = s.k_target.max(k);
+                    s
+                }
+                _ => SweepCheckpoint::new(policy.clone(), k),
+            };
+            let mut sinks = CliSinks::open(trace, metrics)?;
+            while let Some(depth) = state.next_k() {
+                let res = match policy.as_str() {
+                    "edf-ff" => {
+                        MigrationGapAdversary::with_sink(EdfFirstFit::new(), machines, sinks.sink())
+                            .run(depth)
+                    }
+                    "medium-fit" => {
+                        MigrationGapAdversary::with_sink(MediumFit::new(), machines, sinks.sink())
+                            .run(depth)
+                    }
+                    other => {
+                        return Err(Error::Usage(format!(
+                            "unknown adversary policy `{other}` (expected edf-ff or medium-fit)"
+                        )))
+                    }
+                }
+                .map_err(|e| Error::Sim(format!("adversary run at k={depth} failed: {e}")))?;
+                let _ = writeln!(
+                    out,
+                    "k={depth}: forced {} machines, {} jobs, offline optimum {}{}{}",
+                    res.machines_forced,
+                    res.jobs_released,
+                    res.offline_optimum,
+                    if res.policy_missed {
+                        ", policy missed a deadline"
+                    } else {
+                        ""
+                    },
+                    match &res.stopped {
+                        Some(stop) => format!(" (stopped: {stop:?})"),
+                        None => String::new(),
+                    }
+                );
+                state.record(CompletedRun::from_result(&res));
+                sinks.record(&TraceEvent::AdversaryCheckpoint {
+                    round: depth as u32,
+                    jobs: state.total_jobs(),
+                });
+                if let Some(path) = &checkpoint {
+                    state
+                        .save(Path::new(path))
+                        .map_err(|e| Error::Io(format!("cannot write checkpoint {path}: {e}")))?;
+                }
+            }
+            let best = state
+                .completed
+                .iter()
+                .map(|r| r.machines_forced)
+                .max()
+                .unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "sweep complete: max machines forced {best} across k=2..={}",
+                state.k_target
+            );
+            if let Some(path) = &checkpoint {
+                let _ = writeln!(out, "checkpoint -> {path}");
+            }
+            sinks.finish(&mut out)?;
+        }
+        Command::Chaos {
+            seed,
+            n,
+            trace,
+            metrics,
+        } => {
+            let plan = FaultPlan::chaos(seed);
+            let inst = uniform(
+                &UniformCfg {
+                    n,
+                    ..Default::default()
+                },
+                seed,
+            );
+            let mut sinks = CliSinks::open(trace, metrics)?;
+            let _ = writeln!(
+                out,
+                "chaos: seed {seed}, {} jobs, plan {}",
+                inst.len(),
+                plan.to_json().to_compact()
+            );
+
+            // Solver chaos: a firing `probe_cancel` cripples that attempt's
+            // probe budget (forcing a degraded bracket); a firing
+            // `force_bigint` pins the attempt to the BigInt limb path. The
+            // loop escalates until an un-crippled attempt is exact and both
+            // sites have fired at least once (chaos rules fire within their
+            // first three hits, so the cap is generous).
+            let mut injector = FaultInjector::new(plan.clone());
+            let mut attempts = 0u32;
+            let search = loop {
+                attempts += 1;
+                let cancel = injector.fire(FaultSite::ProbeCancel);
+                let force = injector.fire(FaultSite::ForceBigint);
+                if cancel {
+                    sinks.record(&TraceEvent::FaultInjected {
+                        site: FaultSite::ProbeCancel.tag(),
+                        count: injector.fired(FaultSite::ProbeCancel),
+                    });
+                }
+                if force {
+                    sinks.record(&TraceEvent::FaultInjected {
+                        site: FaultSite::ForceBigint.tag(),
+                        count: injector.fired(FaultSite::ForceBigint),
+                    });
+                }
+                let _limb_guard = force.then(mm_numeric::fastpath::force_bigint);
+                let budget = if cancel {
+                    Budget::unlimited().with_augmentations(1)
+                } else {
+                    Budget::unlimited()
+                };
+                let search = optimal_machines_budgeted_traced(&inst, &budget, sinks.sink());
+                let both_fired = injector.fired(FaultSite::ProbeCancel) > 0
+                    && injector.fired(FaultSite::ForceBigint) > 0;
+                if (search.is_exact() && both_fired) || attempts >= 16 {
+                    break search;
+                }
+            };
+            match search.exact {
+                Some(m) => {
+                    let _ = writeln!(
+                        out,
+                        "solver: optimum {m} after {attempts} attempt(s) (probe_cancel fired {}, \
+                         force_bigint fired {})",
+                        injector.fired(FaultSite::ProbeCancel),
+                        injector.fired(FaultSite::ForceBigint)
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "solver: degraded bracket [{}, {}] after {attempts} attempt(s)",
+                        search.lo, search.hi
+                    );
+                }
+            }
+
+            // Simulator chaos: machine failures drop one machine's work for
+            // a step, slowdowns halve its speed; the run must end cleanly
+            // (misses are data, not errors).
+            let cfg = SimConfig::migratory(n).with_max_steps(1_000_000);
+            let mut sim = Simulation::from_instance_with_sink(cfg, Edf, &inst, sinks.sink())
+                .with_faults(FaultInjector::new(plan.clone()));
+            sim.run_to_completion()
+                .map_err(|e| Error::Sim(format!("chaos simulation failed: {e}")))?;
+            let failures = sim.injector().fired(FaultSite::MachineFailure);
+            let slowdowns = sim.injector().fired(FaultSite::MachineSlowdown);
+            let outcome = sim
+                .finish()
+                .map_err(|e| Error::Sim(format!("chaos simulation failed: {e}")))?;
+            let _ = writeln!(
+                out,
+                "sim: {} steps, {} misses (machine_failure fired {failures}, machine_slowdown \
+                 fired {slowdowns})",
+                outcome.steps,
+                outcome.misses.len()
+            );
+
+            // Adversary chaos: an aborted round ends the construction cleanly
+            // at the depth reached.
+            let was_aborted = |res: &GapResult| {
+                matches!(&res.stopped,
+                    Some(GapStop::Degenerate(reason)) if *reason == "round aborted by fault plan")
+            };
+            let mut res = MigrationGapAdversary::with_sink(EdfFirstFit::new(), 16, sinks.sink())
+                .with_faults(FaultInjector::new(plan.clone()))
+                .run(4)
+                .map_err(|e| Error::Sim(format!("chaos adversary failed: {e}")))?;
+            if !was_aborted(&res) {
+                // The chaos rule's firing hit can sit deeper than this
+                // construction goes; fall back to a fire-once rule so the
+                // site is always exercised.
+                res = MigrationGapAdversary::with_sink(EdfFirstFit::new(), 16, sinks.sink())
+                    .with_faults(FaultInjector::new(FaultPlan::once(
+                        FaultSite::AdversaryAbort,
+                        1,
+                    )))
+                    .run(4)
+                    .map_err(|e| Error::Sim(format!("chaos adversary failed: {e}")))?;
+            }
+            let aborts = u64::from(was_aborted(&res));
+            let _ = writeln!(
+                out,
+                "adversary: {} jobs released, adversary_abort fired {aborts}",
+                res.jobs_released
+            );
+
+            let fired = [
+                (
+                    FaultSite::ProbeCancel,
+                    injector.fired(FaultSite::ProbeCancel),
+                ),
+                (
+                    FaultSite::ForceBigint,
+                    injector.fired(FaultSite::ForceBigint),
+                ),
+                (FaultSite::MachineFailure, failures),
+                (FaultSite::MachineSlowdown, slowdowns),
+                (FaultSite::AdversaryAbort, aborts),
+            ];
+            let silent: Vec<&str> = fired
+                .iter()
+                .filter(|(_, n)| *n == 0)
+                .map(|(site, _)| site.tag())
+                .collect();
+            if silent.is_empty() {
+                let _ = writeln!(out, "all five fault sites exercised; no panics escaped");
+            } else {
+                let _ = writeln!(out, "warning: sites not exercised: {}", silent.join(", "));
+            }
+            sinks.finish(&mut out)?;
         }
         Command::Bench {
             quick,
@@ -488,19 +909,19 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 let _ = writeln!(out, "total probe-workload speedup: {total:.2}x");
             }
             std::fs::write(&path, doc.to_pretty())
-                .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+                .map_err(|e| Error::Io(format!("cannot write {path}: {e}")))?;
             let _ = writeln!(out, "baseline -> {path}");
             if let Some(check_path) = check {
                 let committed = std::fs::read_to_string(&check_path)
-                    .map_err(|e| CliError(format!("cannot read baseline {check_path}: {e}")))?;
+                    .map_err(|e| Error::Io(format!("cannot read baseline {check_path}: {e}")))?;
                 let committed = mm_json::parse(&committed)
-                    .map_err(|e| CliError(format!("cannot parse baseline {check_path}: {e}")))?;
+                    .map_err(|e| Error::Io(format!("cannot parse baseline {check_path}: {e}")))?;
                 match mm_bench::baseline::check_against(&doc, &committed) {
                     Ok(()) => {
                         let _ = writeln!(out, "counters within committed baseline {check_path}");
                     }
                     Err(problems) => {
-                        return Err(CliError(format!(
+                        return Err(Error::Verification(format!(
                             "bench counter regression vs {check_path}:\n  {}",
                             problems.join("\n  ")
                         )));
@@ -538,9 +959,9 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                     &Rat::ratio(1, 2),
                     seed,
                 ),
-                other => return Err(CliError(format!("unknown family `{other}`"))),
+                other => return Err(Error::Usage(format!("unknown family `{other}`"))),
             };
-            io::save(&inst, &path).map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+            io::save(&inst, &path).map_err(|e| Error::Io(format!("cannot write {path}: {e}")))?;
             let _ = writeln!(out, "wrote {} jobs to {path}", inst.len());
         }
     }
@@ -562,6 +983,8 @@ mod tests {
             parse(&argv("solve a.json")).unwrap(),
             Command::Solve {
                 path: "a.json".into(),
+                budget: None,
+                attempts: 3,
                 trace: None,
                 metrics: None
             }
@@ -570,6 +993,8 @@ mod tests {
             parse(&argv("solve a.json --trace t.jsonl --metrics m.json")).unwrap(),
             Command::Solve {
                 path: "a.json".into(),
+                budget: None,
+                attempts: 3,
                 trace: Some("t.jsonl".into()),
                 metrics: Some("m.json".into())
             }
@@ -624,10 +1049,130 @@ mod tests {
         assert!(parse(&argv("schedule a.json --policy edf --machines x")).is_err());
         // --trace/--metrics without a value must error, not silently no-op
         let err = parse(&argv("schedule a.json --policy edf --trace")).unwrap_err();
-        assert!(err.0.contains("--trace requires a value"), "{}", err.0);
+        assert!(
+            err.to_string().contains("--trace requires a value"),
+            "{err}"
+        );
         assert!(parse(&argv("solve a.json --metrics")).is_err());
         // empty argv = help
         assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parse_budget_adversary_chaos() {
+        assert_eq!(
+            parse(&argv("solve a.json --budget-augmentations 8 --attempts 2")).unwrap(),
+            Command::Solve {
+                path: "a.json".into(),
+                budget: Some(Budget::unlimited().with_augmentations(8)),
+                attempts: 2,
+                trace: None,
+                metrics: None
+            }
+        );
+        assert_eq!(
+            parse(&argv("solve a.json --budget-ms 50 --budget-nodes 1000")).unwrap(),
+            Command::Solve {
+                path: "a.json".into(),
+                budget: Some(
+                    Budget::unlimited()
+                        .with_probe_ms(50)
+                        .with_network_nodes(1000)
+                ),
+                attempts: 3,
+                trace: None,
+                metrics: None
+            }
+        );
+        let err = parse(&argv("solve a.json --attempts 0")).unwrap_err();
+        assert_eq!(err.tag(), "usage");
+
+        assert_eq!(
+            parse(&argv(
+                "adversary --policy edf-ff --k 5 --checkpoint c.json --resume"
+            ))
+            .unwrap(),
+            Command::Adversary {
+                policy: "edf-ff".into(),
+                k: 5,
+                machines: 16,
+                checkpoint: Some("c.json".into()),
+                resume: true,
+                trace: None,
+                metrics: None
+            }
+        );
+        assert_eq!(
+            parse(&argv("adversary --policy edf-ff --k 1"))
+                .unwrap_err()
+                .tag(),
+            "usage"
+        );
+        assert_eq!(
+            parse(&argv("adversary --policy edf-ff --resume"))
+                .unwrap_err()
+                .tag(),
+            "usage"
+        );
+        assert_eq!(parse(&argv("adversary")).unwrap_err().tag(), "usage");
+
+        assert_eq!(
+            parse(&argv("chaos --seed 9 --n 8")).unwrap(),
+            Command::Chaos {
+                seed: 9,
+                n: 8,
+                trace: None,
+                metrics: None
+            }
+        );
+        assert_eq!(
+            parse(&argv("chaos")).unwrap(),
+            Command::Chaos {
+                seed: 0,
+                n: 16,
+                trace: None,
+                metrics: None
+            }
+        );
+    }
+
+    #[test]
+    fn error_categories_at_the_cli_surface() {
+        // Unknown command -> usage (exit 2).
+        assert_eq!(parse(&argv("frobnicate")).unwrap_err().exit_code(), 2);
+        // Missing file -> io (exit 3).
+        let err = execute(Command::Classify {
+            path: "/nonexistent-instance.json".into(),
+        })
+        .unwrap_err();
+        assert_eq!(err.tag(), "io");
+        assert_eq!(err.exit_code(), 3);
+        // Unknown policy -> usage.
+        let dir = std::env::temp_dir().join("machmin_cli_errors");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ok.json").to_string_lossy().to_string();
+        io::save(&Instance::from_ints([(0, 4, 2)]), &path).unwrap();
+        let err = execute(Command::Schedule {
+            path: path.clone(),
+            policy: "nope".into(),
+            machines: None,
+            trace: None,
+            metrics: None,
+        })
+        .unwrap_err();
+        assert_eq!(err.tag(), "usage");
+        // Malformed JSON -> io, with record context, no panic.
+        let bad = dir.join("bad.json").to_string_lossy().to_string();
+        std::fs::write(
+            &bad,
+            r#"{"jobs": [{"id": 0, "release": "0", "deadline": "0", "processing": "1"}]}"#,
+        )
+        .unwrap();
+        let err = execute(Command::Classify { path: bad.clone() }).unwrap_err();
+        assert_eq!(err.tag(), "io");
+        assert!(err.to_string().contains("record 1"), "{err}");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&bad).ok();
     }
 
     #[test]
@@ -647,6 +1192,8 @@ mod tests {
 
         let msg = execute(Command::Solve {
             path: path.clone(),
+            budget: None,
+            attempts: 3,
             trace: None,
             metrics: None,
         })
@@ -672,6 +1219,152 @@ mod tests {
         assert!(msg.contains("non-migratory machines"));
 
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn budgeted_solve_escalates_and_degrades() {
+        let dir = std::env::temp_dir().join("machmin_cli_budget");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inst.json").to_string_lossy().to_string();
+        execute(Command::Generate {
+            family: "uniform".into(),
+            n: 14,
+            seed: 5,
+            out: path.clone(),
+        })
+        .unwrap();
+
+        // Starved budget, one attempt: a certified bracket, not an error.
+        let msg = execute(Command::Solve {
+            path: path.clone(),
+            budget: Some(Budget::unlimited().with_augmentations(1)),
+            attempts: 1,
+            trace: None,
+            metrics: None,
+        })
+        .unwrap();
+        assert!(msg.contains("degraded: certified bracket"), "{msg}");
+
+        // Enough escalation attempts reach the exact answer; it matches the
+        // unbudgeted optimum printed by a plain solve.
+        let exact = execute(Command::Solve {
+            path: path.clone(),
+            budget: None,
+            attempts: 3,
+            trace: None,
+            metrics: None,
+        })
+        .unwrap();
+        let msg = execute(Command::Solve {
+            path: path.clone(),
+            budget: Some(Budget::unlimited().with_augmentations(1)),
+            attempts: 12,
+            trace: None,
+            metrics: None,
+        })
+        .unwrap();
+        assert!(msg.contains("doubling budget"), "{msg}");
+        let line = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("migratory optimum m(J):"))
+                .map(|l| {
+                    l.split(':')
+                        .nth(1)
+                        .unwrap()
+                        .trim()
+                        .split(' ')
+                        .next()
+                        .unwrap()
+                        .to_owned()
+                })
+        };
+        assert_eq!(line(&exact), line(&msg), "exact: {exact}\nbudgeted: {msg}");
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn adversary_sweep_checkpoints_and_resumes() {
+        let dir = std::env::temp_dir().join("machmin_cli_adv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("sweep.json").to_string_lossy().to_string();
+        let trace_path = dir.join("adv.jsonl").to_string_lossy().to_string();
+        std::fs::remove_file(&ckpt).ok();
+
+        let msg = execute(Command::Adversary {
+            policy: "edf-ff".into(),
+            k: 3,
+            machines: 16,
+            checkpoint: Some(ckpt.clone()),
+            resume: false,
+            trace: Some(trace_path.clone()),
+            metrics: None,
+        })
+        .unwrap();
+        assert!(msg.contains("k=2:"), "{msg}");
+        assert!(msg.contains("k=3:"), "{msg}");
+        assert!(msg.contains("sweep complete"), "{msg}");
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(trace.contains("\"adversary_checkpoint\""), "{trace}");
+
+        // Resuming with a deeper target only runs the missing depths.
+        let msg = execute(Command::Adversary {
+            policy: "edf-ff".into(),
+            k: 4,
+            machines: 16,
+            checkpoint: Some(ckpt.clone()),
+            resume: true,
+            trace: None,
+            metrics: None,
+        })
+        .unwrap();
+        assert!(msg.contains("resumed"), "{msg}");
+        assert!(!msg.contains("k=2:"), "{msg}");
+        assert!(!msg.contains("k=3:"), "{msg}");
+        assert!(msg.contains("k=4:"), "{msg}");
+
+        // A checkpoint for another policy is refused.
+        let err = execute(Command::Adversary {
+            policy: "medium-fit".into(),
+            k: 3,
+            machines: 16,
+            checkpoint: Some(ckpt.clone()),
+            resume: true,
+            trace: None,
+            metrics: None,
+        })
+        .unwrap_err();
+        assert_eq!(err.tag(), "usage");
+
+        std::fs::remove_file(&ckpt).ok();
+        std::fs::remove_file(&trace_path).ok();
+    }
+
+    #[test]
+    fn chaos_exercises_every_site_deterministically() {
+        let dir = std::env::temp_dir().join("machmin_cli_chaos");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("chaos.jsonl").to_string_lossy().to_string();
+        let run = || {
+            let msg = execute(Command::Chaos {
+                seed: 7,
+                n: 12,
+                trace: Some(trace_path.clone()),
+                metrics: None,
+            })
+            .unwrap();
+            let trace = std::fs::read_to_string(&trace_path).unwrap();
+            (msg, trace)
+        };
+        let (msg_a, trace_a) = run();
+        let (msg_b, trace_b) = run();
+        std::fs::remove_file(&trace_path).ok();
+        assert!(msg_a.contains("all five fault sites exercised"), "{msg_a}");
+        assert!(trace_a.contains("\"fault_injected\""), "{trace_a}");
+        assert!(trace_a.contains("\"probe_degraded\""), "{trace_a}");
+        // Determinism: same seed, byte-identical report and event stream.
+        assert_eq!(msg_a, msg_b);
+        assert_eq!(trace_a, trace_b);
     }
 
     #[test]
@@ -769,6 +1462,8 @@ mod tests {
         // Solve with tracing emits feasibility probes into the same formats.
         let msg = execute(Command::Solve {
             path: path.clone(),
+            budget: None,
+            attempts: 3,
             trace: Some(trace_path.clone()),
             metrics: Some(metrics_path.clone()),
         })
@@ -814,9 +1509,12 @@ mod tests {
             "schedule",
             "demigrate",
             "generate",
+            "adversary",
+            "chaos",
             "bench",
         ] {
             assert!(h.contains(cmd), "help is missing `{cmd}`");
         }
+        assert!(h.contains("exit codes"));
     }
 }

@@ -1,0 +1,128 @@
+//! Unified error taxonomy with stable process exit codes.
+//!
+//! Every way a `machmin` invocation can fail maps to one category here, and
+//! every category maps to one stable exit code (see [`Error::exit_code`]).
+//! Success is always exit code 0 — including *degraded* success, such as a
+//! budget-limited `solve` that reports a certified bracket `[lo, hi]`
+//! instead of the exact optimum. Degradation is an answer, not an error.
+//!
+//! | code | category                                   |
+//! |------|--------------------------------------------|
+//! | 0    | success (exact or certified-degraded)      |
+//! | 1    | internal invariant violation               |
+//! | 2    | usage (bad flags, unknown command/policy)  |
+//! | 3    | I/O or parse failure                       |
+//! | 4    | instance validation (degenerate jobs)      |
+//! | 5    | simulation failure (step cap, policy bug)  |
+//! | 6    | verification / cross-check failure         |
+//! | 70   | panic caught at the CLI boundary           |
+//!
+//! Code 70 follows the `sysexits.h` convention (`EX_SOFTWARE`). The public
+//! API is panic-free by contract; the binary still wraps execution in
+//! `catch_unwind` so that a latent bug exits with a recognizable code
+//! instead of an abort trace.
+
+use core::fmt;
+
+/// A categorized `machmin` failure. See the module docs for the exit-code
+/// table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Malformed invocation: unknown command, bad flag value, missing
+    /// required argument, unknown policy or generator family.
+    Usage(String),
+    /// Filesystem or parse failure: unreadable instance, unwritable trace,
+    /// malformed JSON/JSONL, unreadable checkpoint or baseline.
+    Io(String),
+    /// The instance failed [`mm_instance::Instance::validate`]: degenerate
+    /// jobs that no schedule could satisfy.
+    Validation(String),
+    /// The simulation driver failed: step cap exceeded, or a policy emitted
+    /// an invalid decision.
+    Sim(String),
+    /// A produced artifact failed its own check: schedule verification,
+    /// trace/verifier cross-check, or a bench counter regression.
+    Verification(String),
+    /// An internal invariant was violated (a bug in `machmin` itself).
+    Internal(String),
+    /// A panic was caught at the CLI boundary.
+    Panic(String),
+}
+
+impl Error {
+    /// Exit code for a panic caught at the binary boundary (`EX_SOFTWARE`).
+    pub const PANIC_EXIT_CODE: i32 = 70;
+
+    /// The stable process exit code for this category.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            Error::Internal(_) => 1,
+            Error::Usage(_) => 2,
+            Error::Io(_) => 3,
+            Error::Validation(_) => 4,
+            Error::Sim(_) => 5,
+            Error::Verification(_) => 6,
+            Error::Panic(_) => Error::PANIC_EXIT_CODE,
+        }
+    }
+
+    /// Short lowercase tag naming the category (stable, for logs/tests).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Error::Usage(_) => "usage",
+            Error::Io(_) => "io",
+            Error::Validation(_) => "validation",
+            Error::Sim(_) => "sim",
+            Error::Verification(_) => "verification",
+            Error::Internal(_) => "internal",
+            Error::Panic(_) => "panic",
+        }
+    }
+
+    /// The human-readable message, without the category tag.
+    pub fn message(&self) -> &str {
+        match self {
+            Error::Usage(m)
+            | Error::Io(m)
+            | Error::Validation(m)
+            | Error::Sim(m)
+            | Error::Verification(m)
+            | Error::Internal(m)
+            | Error::Panic(m) => m,
+        }
+    }
+}
+
+/// `Display` shows just the message; the category is available via
+/// [`Error::tag`] and the exit code via [`Error::exit_code`].
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message())
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_stable() {
+        assert_eq!(Error::Internal("x".into()).exit_code(), 1);
+        assert_eq!(Error::Usage("x".into()).exit_code(), 2);
+        assert_eq!(Error::Io("x".into()).exit_code(), 3);
+        assert_eq!(Error::Validation("x".into()).exit_code(), 4);
+        assert_eq!(Error::Sim("x".into()).exit_code(), 5);
+        assert_eq!(Error::Verification("x".into()).exit_code(), 6);
+        assert_eq!(Error::Panic("x".into()).exit_code(), 70);
+    }
+
+    #[test]
+    fn display_and_tag() {
+        let e = Error::Io("cannot load x.json".into());
+        assert_eq!(e.to_string(), "cannot load x.json");
+        assert_eq!(e.tag(), "io");
+        assert_eq!(e.message(), "cannot load x.json");
+    }
+}

@@ -20,6 +20,9 @@
 #![forbid(unsafe_code)]
 
 pub mod cli;
+mod error;
+
+pub use error::Error;
 
 pub use mm_adversary as adversary;
 pub use mm_core as core;
