@@ -66,6 +66,15 @@ impl CompletedRun {
             json.get(key)
                 .and_then(Json::as_i64)
                 .ok_or_else(|| format!("checkpoint run missing integer field `{key}`"))
+                .and_then(|n| {
+                    // A corrupted or hand-edited file must not wrap through
+                    // the `as usize` casts below.
+                    if n < 0 {
+                        Err(format!("checkpoint run field `{key}` is negative ({n})"))
+                    } else {
+                        Ok(n)
+                    }
+                })
         };
         Ok(CompletedRun {
             k: int("k")? as usize,
@@ -146,10 +155,11 @@ impl SweepCheckpoint {
             .and_then(Json::as_str)
             .ok_or("checkpoint missing `policy`")?
             .to_owned();
-        let k_target = json
-            .get("k_target")
-            .and_then(Json::as_i64)
-            .ok_or("checkpoint missing `k_target`")? as usize;
+        let k_target =
+            json.get("k_target")
+                .and_then(Json::as_i64)
+                .filter(|&n| n >= 0)
+                .ok_or("checkpoint missing non-negative integer `k_target`")? as usize;
         let completed = json
             .get("completed")
             .and_then(Json::as_arr)
@@ -169,13 +179,23 @@ impl SweepCheckpoint {
         std::fs::write(path, self.to_json().to_pretty() + "\n")
     }
 
-    /// Loads a checkpoint from `path`.
+    /// Loads a checkpoint from `path`. Any corruption — unreadable file,
+    /// malformed or truncated JSON (located by line and column), missing or
+    /// out-of-range fields — is a descriptive `Err`, never a panic, so the
+    /// CLI can map it onto the io exit code.
     pub fn load(path: &Path) -> Result<Self, String> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read checkpoint {}: {e}", path.display()))?;
-        let json = mm_json::parse(&text)
-            .map_err(|e| format!("malformed checkpoint {}: {e}", path.display()))?;
+        let json = mm_json::parse(&text).map_err(|e| {
+            format!(
+                "malformed checkpoint {} ({}): {}",
+                path.display(),
+                e.locate(&text),
+                e.message
+            )
+        })?;
         SweepCheckpoint::from_json(&json)
+            .map_err(|e| format!("malformed checkpoint {}: {e}", path.display()))
     }
 }
 
@@ -239,5 +259,61 @@ mod tests {
             &mm_json::parse(r#"{"policy": 3, "k_target": 2}"#).unwrap()
         )
         .is_err());
+    }
+
+    #[test]
+    fn negative_integers_are_rejected_not_wrapped() {
+        for doc in [
+            r#"{"policy": "p", "k_target": -3, "completed": []}"#,
+            concat!(
+                r#"{"policy": "p", "k_target": 3, "completed": [{"k": -2,"#,
+                r#" "machines_forced": 1, "jobs_released": 1,"#,
+                r#" "policy_missed": false, "machines_used": 1,"#,
+                r#" "offline_optimum": 1}]}"#
+            ),
+        ] {
+            let err = SweepCheckpoint::from_json(&mm_json::parse(doc).unwrap()).unwrap_err();
+            assert!(
+                err.contains("negative") || err.contains("non-negative"),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_byte_offset_is_a_located_error() {
+        let mut cp = SweepCheckpoint::new("edf-ff", 4);
+        cp.record(run(2));
+        cp.record(run(4));
+        let dir = std::env::temp_dir().join(format!(
+            "machmin-cp-trunc-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cp.json");
+        cp.save(&path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        let complete = SweepCheckpoint::load(&path).unwrap();
+        assert_eq!(complete, cp);
+        for cut in 0..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            match SweepCheckpoint::load(&path) {
+                // A prefix may only load if it merely trimmed trailing
+                // whitespace — then it must equal the full checkpoint.
+                Ok(loaded) => {
+                    assert_eq!(loaded, cp, "prefix of {cut} bytes loaded differently");
+                    assert!(full[cut..].iter().all(u8::is_ascii_whitespace));
+                }
+                Err(err) => {
+                    // Parse-level failures (the overwhelming case) carry
+                    // the line/column of the truncation point.
+                    if err.contains("malformed") && !err.contains("missing") {
+                        assert!(err.contains("line "), "no location in: {err}");
+                    }
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

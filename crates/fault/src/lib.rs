@@ -20,7 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mm_json::Json;
 
@@ -40,6 +40,12 @@ pub struct Budget {
     pub max_probe_ms: Option<u64>,
     /// Maximum nodes in the event-interval flow network.
     pub max_network_nodes: Option<usize>,
+    /// Absolute monotonic deadline (the service layer's per-request
+    /// deadline). Unlike `max_probe_ms`, which restarts with the meter on
+    /// every probe of a multi-probe search, the deadline is a fixed instant:
+    /// it survives [`BudgetMeter::restart`] and [`Budget::doubled`], so a
+    /// request's whole escalation loop runs under one clock.
+    pub deadline_at: Option<Instant>,
 }
 
 impl Budget {
@@ -54,6 +60,25 @@ impl Budget {
             && self.max_augmentations.is_none()
             && self.max_probe_ms.is_none()
             && self.max_network_nodes.is_none()
+            && self.deadline_at.is_none()
+    }
+
+    /// A budget whose only limit is a deadline `timeout` from now, measured
+    /// on the monotonic clock (`Instant`, never `SystemTime` — a backwards
+    /// system-clock jump cannot spuriously trip it).
+    pub fn deadline(timeout: Duration) -> Self {
+        Budget::unlimited().with_deadline(timeout)
+    }
+
+    /// Sets the deadline to `timeout` from now.
+    pub fn with_deadline(self, timeout: Duration) -> Self {
+        self.with_deadline_at(Instant::now() + timeout)
+    }
+
+    /// Sets the deadline to an absolute monotonic instant.
+    pub fn with_deadline_at(mut self, at: Instant) -> Self {
+        self.deadline_at = Some(at);
+        self
     }
 
     /// Sets the step limit.
@@ -81,13 +106,16 @@ impl Budget {
     }
 
     /// The budget with every finite limit doubled (saturating); the
-    /// escalation step of the CLI's bounded retry loop.
+    /// escalation step of the CLI's bounded retry loop. The deadline, being
+    /// an absolute instant, is carried over unchanged — escalation buys more
+    /// work units, never more wall-clock past the request deadline.
     pub fn doubled(&self) -> Self {
         Budget {
             max_steps: self.max_steps.map(|n| n.saturating_mul(2)),
             max_augmentations: self.max_augmentations.map(|n| n.saturating_mul(2)),
             max_probe_ms: self.max_probe_ms.map(|n| n.saturating_mul(2)),
             max_network_nodes: self.max_network_nodes.map(|n| n.saturating_mul(2)),
+            deadline_at: self.deadline_at,
         }
     }
 }
@@ -118,6 +146,8 @@ pub enum BudgetExceeded {
         /// The nodes the network would need.
         needed: usize,
     },
+    /// The absolute request deadline passed.
+    Deadline,
     /// A [`FaultPlan`] injected a cancellation at this checkpoint.
     FaultInjected {
         /// The site that fired.
@@ -133,6 +163,7 @@ impl BudgetExceeded {
             BudgetExceeded::Augmentations { .. } => "augmentations",
             BudgetExceeded::WallClock { .. } => "wall_clock",
             BudgetExceeded::NetworkNodes { .. } => "network_nodes",
+            BudgetExceeded::Deadline => "deadline",
             BudgetExceeded::FaultInjected { .. } => "fault_injected",
         }
     }
@@ -154,6 +185,7 @@ impl core::fmt::Display for BudgetExceeded {
                     "flow network needs {needed} nodes, budget allows {limit}"
                 )
             }
+            BudgetExceeded::Deadline => write!(f, "request deadline passed"),
             BudgetExceeded::FaultInjected { site } => {
                 write!(f, "fault injected at site {}", site.tag())
             }
@@ -216,7 +248,9 @@ impl BudgetMeter {
     }
 
     /// Restarts the wall clock and counters (reusing the meter for the next
-    /// probe of a multi-probe search).
+    /// probe of a multi-probe search). The budget's absolute deadline, if
+    /// any, is deliberately *not* reset: a request deadline spans every
+    /// probe issued on its behalf.
     pub fn restart(&mut self) {
         self.steps = 0;
         self.augmentations = 0;
@@ -224,14 +258,32 @@ impl BudgetMeter {
         self.started = Instant::now();
     }
 
-    fn check_wall_clock(&mut self) -> Result<(), BudgetExceeded> {
+    /// Reads the monotonic clock and checks the per-probe wall-clock limit
+    /// and the absolute deadline. Both comparisons are `Instant`-based:
+    /// `Instant::elapsed` saturates to zero rather than going negative, so
+    /// no system-clock adjustment can spuriously trip (or un-trip) either
+    /// limit.
+    fn clock_exceeded(&self) -> Result<(), BudgetExceeded> {
         if let Some(limit_ms) = self.budget.max_probe_ms {
-            self.ticks += 1;
-            if self.ticks.is_multiple_of(WALL_CLOCK_STRIDE)
-                && self.started.elapsed().as_millis() as u64 >= limit_ms
-            {
+            if self.started.elapsed().as_millis() as u64 >= limit_ms {
                 return Err(BudgetExceeded::WallClock { limit_ms });
             }
+        }
+        if let Some(at) = self.budget.deadline_at {
+            if Instant::now() >= at {
+                return Err(BudgetExceeded::Deadline);
+            }
+        }
+        Ok(())
+    }
+
+    fn check_wall_clock(&mut self) -> Result<(), BudgetExceeded> {
+        if self.budget.max_probe_ms.is_none() && self.budget.deadline_at.is_none() {
+            return Ok(());
+        }
+        self.ticks += 1;
+        if self.ticks.is_multiple_of(WALL_CLOCK_STRIDE) {
+            return self.clock_exceeded();
         }
         Ok(())
     }
@@ -261,12 +313,14 @@ impl BudgetMeter {
     /// Checkpoint for one search phase (BFS level rebuild); reads the wall
     /// clock unconditionally, since phases are rare and expensive.
     pub fn tick_phase(&mut self) -> Result<(), BudgetExceeded> {
-        if let Some(limit_ms) = self.budget.max_probe_ms {
-            if self.started.elapsed().as_millis() as u64 >= limit_ms {
-                return Err(BudgetExceeded::WallClock { limit_ms });
-            }
-        }
-        Ok(())
+        self.clock_exceeded()
+    }
+
+    /// Back-dates (or forward-dates) the meter's start instant by force;
+    /// test hook for exercising clock edge cases without sleeping.
+    #[doc(hidden)]
+    pub fn set_started_for_test(&mut self, at: Instant) {
+        self.started = at;
     }
 
     /// Up-front admission check for a network of `nodes` nodes.
@@ -305,17 +359,23 @@ pub enum FaultSite {
     MachineSlowdown,
     /// Abort an adversary construction round.
     AdversaryAbort,
+    /// Panic a service-layer worker thread mid-request (the supervisor must
+    /// catch it, recycle the worker, and retry or quarantine the request).
+    WorkerPanic,
 }
 
 impl FaultSite {
     /// All sites, in a stable order (the chaos plan and the CI matrix
-    /// iterate this).
-    pub const ALL: [FaultSite; 5] = [
+    /// iterate this). New sites are appended, never inserted, so the chaos
+    /// rules [`FaultPlan::chaos`] derives for existing sites stay identical
+    /// across releases for a given seed.
+    pub const ALL: [FaultSite; 6] = [
         FaultSite::ProbeCancel,
         FaultSite::ForceBigint,
         FaultSite::MachineFailure,
         FaultSite::MachineSlowdown,
         FaultSite::AdversaryAbort,
+        FaultSite::WorkerPanic,
     ];
 
     /// Stable snake_case tag (used in plan files and trace events).
@@ -326,6 +386,7 @@ impl FaultSite {
             FaultSite::MachineFailure => "machine_failure",
             FaultSite::MachineSlowdown => "machine_slowdown",
             FaultSite::AdversaryAbort => "adversary_abort",
+            FaultSite::WorkerPanic => "worker_panic",
         }
     }
 
@@ -576,6 +637,68 @@ impl FaultInjector {
     }
 }
 
+/// Bounded retries with decorrelated-jitter backoff, AWS-style: each delay
+/// is drawn uniformly from `[base, 3 * previous]`, clamped to `cap`.
+///
+/// Like everything else in this crate, the "randomness" is derived, not
+/// sampled: the draw for attempt `k` of request `key` under `seed` is a pure
+/// function of those three values, so a same-seed rerun of the service layer
+/// retries at identical delays and the soak transcript stays reproducible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Minimum (and first) delay in milliseconds.
+    pub base_ms: u64,
+    /// Upper clamp on any single delay in milliseconds.
+    pub cap_ms: u64,
+    /// Total execution attempts before the request is quarantined (1 means
+    /// never retry).
+    pub max_attempts: u32,
+}
+
+impl RetryPolicy {
+    /// A policy retrying up to `max_attempts` times with delays in
+    /// `[base_ms, cap_ms]`.
+    pub fn new(base_ms: u64, cap_ms: u64, max_attempts: u32) -> Self {
+        RetryPolicy {
+            base_ms: base_ms.max(1),
+            cap_ms: cap_ms.max(base_ms.max(1)),
+            max_attempts: max_attempts.max(1),
+        }
+    }
+
+    /// Whether a request that has already executed `attempts` times gets
+    /// another try.
+    pub fn should_retry(&self, attempts: u32) -> bool {
+        attempts < self.max_attempts
+    }
+
+    /// The delay before retry number `attempt` (1-based: `attempt = 1` is
+    /// the first retry) of the request identified by `key`, under `seed`.
+    /// Deterministic; monotone in expectation but individual draws jitter.
+    pub fn backoff_ms(&self, seed: u64, key: u64, attempt: u32) -> u64 {
+        let mut state = seed ^ key.rotate_left(17) ^ 0xA076_1D64_78BD_642F;
+        let mut sleep = self.base_ms.min(self.cap_ms);
+        for _ in 1..attempt {
+            let hi = sleep.saturating_mul(3).max(self.base_ms + 1);
+            let span = hi - self.base_ms;
+            sleep = (self.base_ms + splitmix(&mut state) % span).min(self.cap_ms);
+        }
+        sleep
+    }
+
+    /// [`RetryPolicy::backoff_ms`] as a [`Duration`].
+    pub fn backoff(&self, seed: u64, key: u64, attempt: u32) -> Duration {
+        Duration::from_millis(self.backoff_ms(seed, key, attempt))
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 25 ms base, 1 s cap — the service layer's default.
+    fn default() -> Self {
+        RetryPolicy::new(25, 1_000, 3)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -639,6 +762,75 @@ mod tests {
         assert_eq!(d.max_probe_ms, Some(200));
         assert_eq!(d.max_augmentations, None);
         assert!(Budget::unlimited().doubled().is_unlimited());
+    }
+
+    #[test]
+    fn deadline_budget_trips_once_passed() {
+        let budget = Budget::deadline(Duration::from_millis(0));
+        assert!(!budget.is_unlimited());
+        let mut meter = BudgetMeter::new(&budget);
+        // Deadline of zero: already passed.
+        assert_eq!(meter.tick_phase().unwrap_err(), BudgetExceeded::Deadline);
+        // The amortised path also sees it (within one stride of ticks).
+        let mut tripped = false;
+        for _ in 0..2 * 256 {
+            if meter.tick_step().is_err() {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped, "deadline must trip via the amortised checkpoints");
+        assert_eq!(BudgetExceeded::Deadline.tag(), "deadline");
+    }
+
+    #[test]
+    fn deadline_survives_restart_and_doubling() {
+        let at = Instant::now() + Duration::from_secs(3600);
+        let budget = Budget::unlimited().with_deadline_at(at).with_steps(4);
+        let doubled = budget.doubled();
+        assert_eq!(doubled.deadline_at, Some(at));
+        assert_eq!(doubled.max_steps, Some(8));
+        let mut meter = BudgetMeter::new(&budget);
+        meter.restart();
+        assert_eq!(meter.budget().deadline_at, Some(at));
+        assert!(meter.tick_phase().is_ok());
+    }
+
+    #[test]
+    fn backwards_clock_jump_cannot_trip_budget() {
+        // The meter is monotonic-clock based. Simulate the worst a clock
+        // adjustment could look like — `started` lying in the *future*
+        // (i.e. "now" jumped backwards relative to it) — and check that
+        // `Instant::elapsed`'s saturating semantics keep a tight wall-clock
+        // budget from spuriously tripping.
+        let mut meter = BudgetMeter::new(&Budget::unlimited().with_probe_ms(1));
+        meter.set_started_for_test(Instant::now() + Duration::from_secs(3600));
+        assert!(meter.tick_phase().is_ok());
+        for _ in 0..2 * 256 {
+            assert!(meter.tick_step().is_ok());
+            assert!(meter.tick_augmentation().is_ok());
+        }
+    }
+
+    #[test]
+    fn retry_policy_is_deterministic_bounded_and_jittered() {
+        let policy = RetryPolicy::new(10, 500, 4);
+        assert!(policy.should_retry(1));
+        assert!(policy.should_retry(3));
+        assert!(!policy.should_retry(4));
+        // First retry always waits the base delay.
+        assert_eq!(policy.backoff_ms(1, 2, 1), 10);
+        for attempt in 1..6 {
+            let a = policy.backoff_ms(42, 7, attempt);
+            let b = policy.backoff_ms(42, 7, attempt);
+            assert_eq!(a, b, "same inputs, same delay");
+            assert!((10..=500).contains(&a), "delay {a} out of [base, cap]");
+        }
+        // Different request keys decorrelate (no thundering herd): at least
+        // one later attempt differs across keys.
+        let spread: std::collections::HashSet<u64> =
+            (0..16).map(|key| policy.backoff_ms(42, key, 3)).collect();
+        assert!(spread.len() > 1, "jitter should spread delays across keys");
     }
 
     #[test]

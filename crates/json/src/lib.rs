@@ -233,6 +233,31 @@ pub struct ParseError {
     pub message: String,
 }
 
+impl ParseError {
+    /// The error position as 1-based `(line, column)` within `input` — the
+    /// text the failed `parse` call was given. Columns count bytes from the
+    /// last newline, clamped to the input's end, so a record truncated
+    /// mid-file reports its final line rather than panicking or wrapping.
+    pub fn line_col(&self, input: &str) -> (usize, usize) {
+        let upto = self.offset.min(input.len());
+        let prefix = &input.as_bytes()[..upto];
+        let line = 1 + prefix.iter().filter(|&&b| b == b'\n').count();
+        let col = 1 + upto
+            - prefix
+                .iter()
+                .rposition(|&b| b == b'\n')
+                .map_or(0, |p| p + 1);
+        (line, col)
+    }
+
+    /// [`ParseError::line_col`] rendered for error messages:
+    /// `"line L, column C"`.
+    pub fn locate(&self, input: &str) -> String {
+        let (line, col) = self.line_col(input);
+        format!("line {line}, column {col}")
+    }
+}
+
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -587,5 +612,32 @@ mod tests {
         assert_eq!(doc.get("f").unwrap().as_f64(), Some(1.5));
         assert_eq!(doc.get("t").unwrap().as_bool(), Some(true));
         assert_eq!(doc.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_errors_locate_line_and_column() {
+        let input = "{\n  \"a\": 1,\n  \"b\": ?\n}";
+        let err = parse(input).unwrap_err();
+        assert_eq!(err.line_col(input), (3, 8));
+        assert_eq!(err.locate(input), "line 3, column 8");
+        // Errors at the very start and at end-of-input stay in bounds.
+        let err = parse("?").unwrap_err();
+        assert_eq!(err.line_col("?"), (1, 1));
+        let truncated = "{\"a\": [1, 2";
+        let err = parse(truncated).unwrap_err();
+        let (line, col) = err.line_col(truncated);
+        assert_eq!(line, 1);
+        assert!(col <= truncated.len() + 1);
+        // Every truncation prefix of a multi-line document yields an error
+        // whose location is inside the prefix.
+        let doc = "{\n  \"xs\": [1, 2, 3],\n  \"s\": \"v\"\n}";
+        for cut in 0..doc.len() {
+            let prefix = &doc[..cut];
+            if let Err(e) = parse(prefix) {
+                let (l, c) = e.line_col(prefix);
+                assert!(l >= 1 && c >= 1);
+                assert!(l <= 1 + prefix.matches('\n').count());
+            }
+        }
     }
 }

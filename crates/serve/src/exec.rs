@@ -1,0 +1,403 @@
+//! Request execution: one request in, one terminal [`Response`] out.
+//!
+//! This is the code that runs *inside* a worker thread, under
+//! `catch_unwind`. It is deliberately free of service-layer state: given the
+//! same request (and checkpoint), it produces the same response, which is
+//! the foundation of the byte-identical replay and same-seed transcript
+//! guarantees. Deadlines become [`Budget`] deadlines, so cancellation is
+//! cooperative — the solver stops at its own checkpoints and we degrade to
+//! whatever bracket it certified, rather than killing threads mid-pivot.
+
+use mm_adversary::{CompletedRun, MigrationGapAdversary, SweepCheckpoint};
+use mm_core::{Edf, EdfFirstFit, Llf, MediumFit};
+use mm_fault::Budget;
+use mm_json::Json;
+use mm_sim::{run_policy, SimConfig};
+use mm_trace::NoopSink;
+
+use crate::protocol::{Request, RequestKind, Response};
+
+/// How a sweep step reports progress back to the supervisor for journaling.
+pub trait SweepProgress {
+    /// Called after every completed adversary depth with the full state.
+    fn checkpoint(&mut self, id: u64, checkpoint: &SweepCheckpoint);
+}
+
+/// Progress sink that drops checkpoints (tests, journal-less servers).
+pub struct NoProgress;
+
+impl SweepProgress for NoProgress {
+    fn checkpoint(&mut self, _id: u64, _checkpoint: &SweepCheckpoint) {}
+}
+
+impl<F: FnMut(u64, &SweepCheckpoint)> SweepProgress for F {
+    fn checkpoint(&mut self, id: u64, checkpoint: &SweepCheckpoint) {
+        self(id, checkpoint)
+    }
+}
+
+/// Builds the budget a request runs under. `starved` is the drain-deadline
+/// degradation mode: one augmentation, enough to certify a `[lo, hi]`
+/// bracket from the volume bound and a single probe, never enough to stall
+/// the drain.
+pub fn request_budget(req: &Request, starved: bool) -> Budget {
+    let mut budget = Budget::unlimited();
+    if let Some(d) = req.deadline() {
+        budget = budget.with_deadline(d);
+    }
+    if let Some(n) = req.max_augmentations {
+        budget = budget.with_augmentations(n);
+    }
+    if starved {
+        budget = budget.with_augmentations(1);
+    }
+    budget
+}
+
+/// Executes one request to a terminal response.
+///
+/// `checkpoint` carries resumed adversary state after a crash; `starved`
+/// marks drain-deadline degradation. Never returns `Overloaded` — admission
+/// control happens before execution.
+pub fn execute(
+    req: &Request,
+    checkpoint: Option<SweepCheckpoint>,
+    starved: bool,
+    progress: &mut dyn SweepProgress,
+) -> Response {
+    let id = req.id;
+    let budget = request_budget(req, starved);
+    match &req.kind {
+        RequestKind::Solve { .. } => {
+            let inst = req.instance().expect("solve carries jobs");
+            let search = mm_opt::optimal_machines_budgeted(&inst, &budget);
+            match search.exact {
+                Some(m) => Response::Ok {
+                    id,
+                    fields: vec![("machines".into(), Json::Int(m as i64))],
+                },
+                None => Response::Degraded {
+                    id,
+                    reason: degrade_reason(&search.exceeded, starved),
+                    fields: vec![
+                        ("lo".into(), Json::Int(search.lo as i64)),
+                        ("hi".into(), Json::Int(search.hi as i64)),
+                    ],
+                },
+            }
+        }
+        RequestKind::Probe { machines, .. } => {
+            let inst = req.instance().expect("probe carries jobs");
+            let verdict = mm_opt::FeasibilityProber::new(&inst)
+                .probe_budgeted_traced(*machines, &budget, NoopSink);
+            match verdict {
+                mm_opt::Verdict::Feasible => Response::Ok {
+                    id,
+                    fields: vec![("feasible".into(), Json::Bool(true))],
+                },
+                mm_opt::Verdict::Infeasible => Response::Ok {
+                    id,
+                    fields: vec![("feasible".into(), Json::Bool(false))],
+                },
+                mm_opt::Verdict::Unknown(e) => {
+                    // An undecided probe still has certified bounds: the
+                    // volume bound below, the trivial one-machine-per-job
+                    // bound above.
+                    let search = mm_opt::optimal_machines_budgeted(
+                        &inst,
+                        &Budget::unlimited().with_augmentations(1),
+                    );
+                    Response::Degraded {
+                        id,
+                        reason: degrade_reason(&Some(e), starved),
+                        fields: vec![
+                            ("lo".into(), Json::Int(search.lo as i64)),
+                            ("hi".into(), Json::Int(search.hi as i64)),
+                        ],
+                    }
+                }
+            }
+        }
+        RequestKind::Schedule {
+            policy, machines, ..
+        } => {
+            if starved {
+                return Response::Degraded {
+                    id,
+                    reason: "drain".into(),
+                    fields: Vec::new(),
+                };
+            }
+            let inst = req.instance().expect("schedule carries jobs");
+            let machine_budget = machines.unwrap_or(inst.len()).max(1);
+            let outcome = match policy.as_str() {
+                "edf" => run_policy(&inst, Edf, SimConfig::migratory(machine_budget)),
+                "llf" => run_policy(&inst, Llf::new(), SimConfig::migratory(machine_budget)),
+                "edf-ff" => run_policy(
+                    &inst,
+                    EdfFirstFit::new(),
+                    SimConfig::nonmigratory(machine_budget),
+                ),
+                "medium-fit" => run_policy(
+                    &inst,
+                    MediumFit::new(),
+                    SimConfig::nonmigratory(machine_budget),
+                ),
+                other => {
+                    return Response::Error {
+                        id,
+                        message: format!("unknown policy `{other}`"),
+                    }
+                }
+            };
+            match outcome {
+                Ok(out) => Response::Ok {
+                    id,
+                    fields: vec![
+                        ("feasible".into(), Json::Bool(out.feasible())),
+                        (
+                            "machines_used".into(),
+                            Json::Int(out.machines_used() as i64),
+                        ),
+                        ("misses".into(), Json::Int(out.misses.len() as i64)),
+                    ],
+                },
+                Err(e) => Response::Error {
+                    id,
+                    message: format!("simulation failed: {e}"),
+                },
+            }
+        }
+        RequestKind::Adversary {
+            policy,
+            k,
+            machines,
+        } => {
+            if starved {
+                return Response::Degraded {
+                    id,
+                    reason: "drain".into(),
+                    fields: Vec::new(),
+                };
+            }
+            run_adversary(id, policy, *k, *machines, checkpoint, progress)
+        }
+        RequestKind::Shutdown => Response::Ok {
+            id,
+            fields: vec![("draining".into(), Json::Bool(true))],
+        },
+    }
+}
+
+fn degrade_reason(exceeded: &Option<mm_fault::BudgetExceeded>, starved: bool) -> String {
+    if starved {
+        return "drain".into();
+    }
+    match exceeded {
+        Some(e) => e.tag().to_owned(),
+        None => "budget".into(),
+    }
+}
+
+/// Runs (or resumes) an adversary sweep to depth `k`, emitting a checkpoint
+/// after every completed depth so a crash resumes mid-sweep.
+fn run_adversary(
+    id: u64,
+    policy: &str,
+    k: usize,
+    machines: usize,
+    checkpoint: Option<SweepCheckpoint>,
+    progress: &mut dyn SweepProgress,
+) -> Response {
+    if !(2..=8).contains(&k) {
+        return Response::Error {
+            id,
+            message: format!("adversary depth k={k} out of range 2..=8"),
+        };
+    }
+    let mut state = match checkpoint {
+        Some(cp) if cp.policy == policy => {
+            let mut cp = cp;
+            cp.k_target = cp.k_target.max(k);
+            cp
+        }
+        _ => SweepCheckpoint::new(policy, k),
+    };
+    while let Some(depth) = state.next_k() {
+        let res = match policy {
+            "edf-ff" => {
+                MigrationGapAdversary::with_sink(EdfFirstFit::new(), machines, NoopSink).run(depth)
+            }
+            "medium-fit" => {
+                MigrationGapAdversary::with_sink(MediumFit::new(), machines, NoopSink).run(depth)
+            }
+            other => {
+                return Response::Error {
+                    id,
+                    message: format!("unknown adversary policy `{other}`"),
+                }
+            }
+        };
+        match res {
+            Ok(r) => state.record(CompletedRun::from_result(&r)),
+            Err(e) => {
+                return Response::Error {
+                    id,
+                    message: format!("adversary run at k={depth} failed: {e}"),
+                }
+            }
+        }
+        progress.checkpoint(id, &state);
+    }
+    let forced = state
+        .completed
+        .iter()
+        .map(|r| r.machines_forced)
+        .max()
+        .unwrap_or(0);
+    let missed = state.completed.iter().any(|r| r.policy_missed);
+    Response::Ok {
+        id,
+        fields: vec![
+            ("machines_forced".into(), Json::Int(forced as i64)),
+            ("jobs_released".into(), Json::Int(state.total_jobs() as i64)),
+            ("policy_missed".into(), Json::Bool(missed)),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, kind: RequestKind) -> Request {
+        Request {
+            id,
+            kind,
+            deadline_ms: None,
+            max_augmentations: None,
+        }
+    }
+
+    #[test]
+    fn solve_and_probe_agree_with_the_offline_optimum() {
+        let jobs = vec![(0, 2, 2), (0, 2, 2), (0, 2, 2)];
+        let solve = execute(
+            &req(1, RequestKind::Solve { jobs: jobs.clone() }),
+            None,
+            false,
+            &mut NoProgress,
+        );
+        assert_eq!(solve.to_line(), r#"{"id":1,"status":"ok","machines":3}"#);
+        let yes = execute(
+            &req(
+                2,
+                RequestKind::Probe {
+                    jobs: jobs.clone(),
+                    machines: 3,
+                },
+            ),
+            None,
+            false,
+            &mut NoProgress,
+        );
+        assert_eq!(yes.to_line(), r#"{"id":2,"status":"ok","feasible":true}"#);
+        let no = execute(
+            &req(3, RequestKind::Probe { jobs, machines: 2 }),
+            None,
+            false,
+            &mut NoProgress,
+        );
+        assert_eq!(no.to_line(), r#"{"id":3,"status":"ok","feasible":false}"#);
+    }
+
+    #[test]
+    fn starved_solve_degrades_to_a_certified_bracket() {
+        let jobs: Vec<_> = (0..12).map(|i| (i, i + 6, 3)).collect();
+        let resp = execute(
+            &req(4, RequestKind::Solve { jobs: jobs.clone() }),
+            None,
+            true,
+            &mut NoProgress,
+        );
+        match resp {
+            Response::Degraded { reason, fields, .. } => {
+                assert_eq!(reason, "drain");
+                let lo = fields.iter().find(|(k, _)| k == "lo").unwrap();
+                let hi = fields.iter().find(|(k, _)| k == "hi").unwrap();
+                let (lo, hi) = (lo.1.as_i64().unwrap(), hi.1.as_i64().unwrap());
+                let exact = execute(
+                    &req(5, RequestKind::Solve { jobs }),
+                    None,
+                    false,
+                    &mut NoProgress,
+                );
+                let line = exact.to_line();
+                let m: i64 = mm_json::parse(&line)
+                    .unwrap()
+                    .get("machines")
+                    .unwrap()
+                    .as_i64()
+                    .unwrap();
+                assert!(lo <= m && m <= hi, "bracket [{lo}, {hi}] misses m={m}");
+            }
+            other => panic!("expected degraded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn schedule_reports_feasibility_and_machine_count() {
+        let resp = execute(
+            &req(
+                6,
+                RequestKind::Schedule {
+                    jobs: vec![(0, 3, 2), (0, 3, 2), (5, 9, 3)],
+                    policy: "edf-ff".into(),
+                    machines: Some(4),
+                },
+            ),
+            None,
+            false,
+            &mut NoProgress,
+        );
+        assert_eq!(
+            resp.to_line(),
+            r#"{"id":6,"status":"ok","feasible":true,"machines_used":2,"misses":0}"#
+        );
+    }
+
+    #[test]
+    fn adversary_resumes_from_a_checkpoint_without_redoing_depths() {
+        // Run the full sweep once, capturing the k=2 checkpoint.
+        let mut after_k2 = None;
+        let mut grab = |_id: u64, cp: &SweepCheckpoint| {
+            if after_k2.is_none() && cp.is_done(2) {
+                after_k2 = Some(cp.clone());
+            }
+        };
+        let full = run_adversary(7, "edf-ff", 3, 16, None, &mut grab);
+        let cp = after_k2.expect("k=2 checkpoint observed");
+        // Resuming from it must produce the identical final response while
+        // only re-running the missing depth.
+        let mut depths_rerun = Vec::new();
+        let mut count = |_id: u64, cp: &SweepCheckpoint| {
+            depths_rerun.push(cp.completed.len());
+        };
+        let resumed = run_adversary(7, "edf-ff", 3, 16, Some(cp), &mut count);
+        assert_eq!(full.to_line(), resumed.to_line());
+        assert_eq!(depths_rerun.len(), 1, "only k=3 should re-run");
+    }
+
+    #[test]
+    fn execution_is_deterministic_per_request() {
+        let r = req(
+            8,
+            RequestKind::Solve {
+                jobs: vec![(0, 4, 2), (1, 5, 3), (2, 6, 2)],
+            },
+        );
+        let a = execute(&r, None, false, &mut NoProgress).to_line();
+        let b = execute(&r, None, false, &mut NoProgress).to_line();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,314 @@
+//! Crash-safe write-ahead journal for the service layer.
+//!
+//! Every *admitted* request is appended (and fsynced) to the journal
+//! **before** it is enqueued for execution, and every terminal response is
+//! appended before it is released to the client. After a crash, replaying
+//! the journal therefore partitions requests exactly:
+//!
+//! * `acked` — requests whose response record made it to disk. Their
+//!   responses are replayed **byte-identically**; the work is never redone.
+//! * `pending` — requests admitted but never acknowledged. They are
+//!   re-enqueued on restart; in-flight adversary sweeps resume from their
+//!   last [`SweepCheckpoint`] record instead of restarting from depth 2.
+//!
+//! The journal is JSONL. A crash can leave at most one torn record — the
+//! final line — so replay tolerates (and reports) a malformed *last* line
+//! but treats a malformed interior line as corruption, located by line
+//! number for the io exit-code taxonomy.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use mm_adversary::SweepCheckpoint;
+use mm_json::Json;
+
+/// One parsed journal record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A request was admitted; `line` is the exact request wire line.
+    Admitted {
+        /// Request id.
+        id: u64,
+        /// Raw request line as received.
+        line: String,
+    },
+    /// An adversary sweep finished a depth; full checkpoint state.
+    Sweep {
+        /// Request id the sweep belongs to.
+        id: u64,
+        /// Checkpoint after the completed depth.
+        checkpoint: SweepCheckpoint,
+    },
+    /// A terminal response was released; `line` is the exact response line.
+    Acked {
+        /// Request id.
+        id: u64,
+        /// Raw response line as sent.
+        line: String,
+    },
+}
+
+impl Record {
+    fn to_json(&self) -> Json {
+        match self {
+            Record::Admitted { id, line } => Json::obj([
+                ("rec", Json::str("admitted")),
+                ("id", Json::Int(*id as i64)),
+                ("line", Json::str(line)),
+            ]),
+            Record::Sweep { id, checkpoint } => Json::obj([
+                ("rec", Json::str("sweep")),
+                ("id", Json::Int(*id as i64)),
+                ("checkpoint", checkpoint.to_json()),
+            ]),
+            Record::Acked { id, line } => Json::obj([
+                ("rec", Json::str("acked")),
+                ("id", Json::Int(*id as i64)),
+                ("line", Json::str(line)),
+            ]),
+        }
+    }
+
+    fn from_json(json: &Json) -> Result<Record, String> {
+        let rec = json
+            .get("rec")
+            .and_then(Json::as_str)
+            .ok_or("journal record missing `rec`")?;
+        let id = json
+            .get("id")
+            .and_then(Json::as_i64)
+            .filter(|&n| n >= 0)
+            .ok_or("journal record missing non-negative `id`")? as u64;
+        let line = |key: &str| -> Result<String, String> {
+            json.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("journal record missing `{key}`"))
+        };
+        Ok(match rec {
+            "admitted" => Record::Admitted {
+                id,
+                line: line("line")?,
+            },
+            "sweep" => Record::Sweep {
+                id,
+                checkpoint: SweepCheckpoint::from_json(
+                    json.get("checkpoint")
+                        .ok_or("sweep record missing `checkpoint`")?,
+                )?,
+            },
+            "acked" => Record::Acked {
+                id,
+                line: line("line")?,
+            },
+            other => return Err(format!("unknown journal record `{other}`")),
+        })
+    }
+}
+
+/// Append-only fsynced journal writer.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Opens (creating or appending to) the journal at `path`.
+    pub fn open(path: &Path) -> std::io::Result<Journal> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Journal {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record and fsyncs before returning. The fsync is the
+    /// crash-safety contract: once this returns, a replay sees the record.
+    pub fn append(&mut self, record: &Record) -> std::io::Result<()> {
+        let mut line = record.to_json().to_compact();
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()
+    }
+}
+
+/// The result of replaying a journal after a restart.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Replay {
+    /// `(id, response line)` for every acknowledged request, in ack order.
+    pub acked: Vec<(u64, String)>,
+    /// Admitted-but-unacknowledged requests, in admission order.
+    pub pending: Vec<PendingRequest>,
+    /// Whether a torn (truncated) final line was dropped.
+    pub torn_tail: bool,
+}
+
+/// One request that must be re-run after a crash.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingRequest {
+    /// Request id.
+    pub id: u64,
+    /// Raw request line as originally received.
+    pub line: String,
+    /// Last sweep checkpoint recorded for the request, if any.
+    pub checkpoint: Option<SweepCheckpoint>,
+}
+
+impl Replay {
+    /// Replays the journal at `path`. Missing file ⇒ empty replay. A
+    /// malformed **final** line is tolerated (a crash mid-append); any other
+    /// malformed line is corruption, reported with its line number.
+    pub fn load(path: &Path) -> Result<Replay, String> {
+        if !path.exists() {
+            return Ok(Replay::default());
+        }
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read journal {}: {e}", path.display()))?;
+        Replay::from_text(&text).map_err(|e| format!("journal {}: {e}", path.display()))
+    }
+
+    /// Replays journal text (split out for truncation tests).
+    pub fn from_text(text: &str) -> Result<Replay, String> {
+        let lines: Vec<&str> = text.lines().collect();
+        let mut replay = Replay::default();
+        let mut acked_ids = std::collections::HashSet::new();
+        for (i, raw) in lines.iter().enumerate() {
+            if raw.trim().is_empty() {
+                continue;
+            }
+            let last = i + 1 == lines.len();
+            let record = match mm_json::parse(raw)
+                .map_err(|e| e.message.clone())
+                .and_then(|json| Record::from_json(&json))
+            {
+                Ok(r) => r,
+                Err(_) if last => {
+                    // A torn final line is the expected crash artifact: the
+                    // record never finished, so its request (if any) simply
+                    // was never admitted / acked.
+                    replay.torn_tail = true;
+                    continue;
+                }
+                Err(e) => return Err(format!("corrupt record at line {}: {e}", i + 1)),
+            };
+            match record {
+                Record::Admitted { id, line } => replay.pending.push(PendingRequest {
+                    id,
+                    line,
+                    checkpoint: None,
+                }),
+                Record::Sweep { id, checkpoint } => {
+                    if let Some(p) = replay.pending.iter_mut().find(|p| p.id == id) {
+                        p.checkpoint = Some(checkpoint);
+                    }
+                }
+                Record::Acked { id, line } => {
+                    acked_ids.insert(id);
+                    replay.acked.push((id, line));
+                }
+            }
+        }
+        replay.pending.retain(|p| !acked_ids.contains(&p.id));
+        Ok(replay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "machmin-journal-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn replay_partitions_acked_and_pending() {
+        let path = tmp("basic.jsonl");
+        std::fs::remove_file(&path).ok();
+        let mut j = Journal::open(&path).unwrap();
+        j.append(&Record::Admitted {
+            id: 1,
+            line: "{\"id\":1}".into(),
+        })
+        .unwrap();
+        j.append(&Record::Admitted {
+            id: 2,
+            line: "{\"id\":2}".into(),
+        })
+        .unwrap();
+        let mut cp = SweepCheckpoint::new("edf-ff", 4);
+        cp.record(mm_adversary::CompletedRun {
+            k: 2,
+            machines_forced: 2,
+            jobs_released: 5,
+            policy_missed: false,
+            machines_used: 3,
+            offline_optimum: 3,
+            stopped: None,
+        });
+        j.append(&Record::Sweep {
+            id: 2,
+            checkpoint: cp.clone(),
+        })
+        .unwrap();
+        j.append(&Record::Acked {
+            id: 1,
+            line: "{\"id\":1,\"status\":\"ok\"}".into(),
+        })
+        .unwrap();
+        let replay = Replay::load(&path).unwrap();
+        assert_eq!(
+            replay.acked,
+            vec![(1, "{\"id\":1,\"status\":\"ok\"}".into())]
+        );
+        assert_eq!(replay.pending.len(), 1);
+        assert_eq!(replay.pending[0].id, 2);
+        assert_eq!(replay.pending[0].checkpoint.as_ref(), Some(&cp));
+        assert!(!replay.torn_tail);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_final_line_is_tolerated_interior_corruption_is_not() {
+        let good = concat!(
+            "{\"rec\":\"admitted\",\"id\":1,\"line\":\"x\"}\n",
+            "{\"rec\":\"acked\",\"id\":1,\"line\":\"y\"}\n",
+        );
+        // Truncate at every byte: replay must either succeed (possibly with
+        // a torn tail) or fail with a line-numbered corruption error, and
+        // acked prefixes must survive intact.
+        for cut in 0..good.len() {
+            match Replay::from_text(&good[..cut]) {
+                Ok(replay) => {
+                    for (id, line) in &replay.acked {
+                        assert_eq!((*id, line.as_str()), (1, "y"));
+                    }
+                }
+                Err(e) => assert!(e.contains("line "), "cut {cut}: {e}"),
+            }
+        }
+        // Interior corruption (torn line is NOT last) is an error.
+        let torn_middle = "{\"rec\":\"adm\n{\"rec\":\"acked\",\"id\":1,\"line\":\"y\"}\n";
+        let err = Replay::from_text(torn_middle).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn missing_journal_is_an_empty_replay() {
+        let replay = Replay::load(Path::new("/nonexistent/machmin/journal.jsonl")).unwrap();
+        assert!(replay.acked.is_empty() && replay.pending.is_empty());
+    }
+}

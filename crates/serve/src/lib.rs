@@ -1,0 +1,36 @@
+//! Supervised concurrent service layer for `machmin`.
+//!
+//! Turns the batch solver into a long-running server (`machmin serve`)
+//! without changing any algorithmic code:
+//!
+//! * JSONL-over-TCP protocol ([`protocol`]) — solve / probe / schedule /
+//!   adversary requests with client-chosen correlation ids;
+//! * a supervised worker pool ([`supervisor`]) — bounded admission with
+//!   explicit shedding, per-request deadlines mapped onto cooperative
+//!   [`mm_fault::Budget`] cancellation, panic-catching supervision with
+//!   worker recycling, jittered-backoff retries, and quarantine;
+//! * a crash-safe write-ahead journal ([`journal`]) — fsynced before
+//!   admission and before every response release; replay after a crash
+//!   re-serves acked responses byte-identically and resumes unfinished
+//!   adversary sweeps from their last checkpoint;
+//! * graceful drain — past the drain deadline, queued solve/probe work
+//!   degrades to certified `[lo, hi]` brackets instead of being dropped;
+//! * load/replay clients ([`load`]) for the soak harness and benchmarks.
+//!
+//! Everything is std-only: threads, `Mutex`/`Condvar` channels (the
+//! workspace `crossbeam` shim), and `std::net`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod journal;
+pub mod load;
+pub mod protocol;
+pub mod supervisor;
+pub mod tcp;
+
+pub use journal::{Journal, PendingRequest, Record, Replay};
+pub use load::{mixed_requests, run_load, LoadConfig, LoadReport};
+pub use protocol::{Request, RequestKind, Response};
+pub use supervisor::{DynSink, ServeConfig, ServeStats, Service};

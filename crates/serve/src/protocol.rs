@@ -1,0 +1,556 @@
+//! Wire protocol for `machmin serve`: one JSON object per line, both ways.
+//!
+//! Requests carry a client-chosen `id` that is echoed on every response, so
+//! a client multiplexing many requests over one connection can correlate
+//! replies (responses are *not* guaranteed to arrive in submission order —
+//! the worker pool completes them as it pleases).
+//!
+//! Responses deliberately contain **no** timestamps, latencies, or attempt
+//! counters: for a fixed request the success response is a pure function of
+//! the request, which is what makes same-seed soak transcripts byte-identical
+//! across runs and across worker-pool interleavings.
+
+use std::time::Duration;
+
+use mm_instance::Instance;
+use mm_json::Json;
+
+/// Maximum number of jobs a single request may carry. Keeps one hostile
+/// line from pinning a worker for hours.
+pub const MAX_JOBS: usize = 100_000;
+
+/// Maximum accepted line length in bytes (defense against unbounded reads).
+pub const MAX_LINE_BYTES: usize = 4 << 20;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed on the response.
+    pub id: u64,
+    /// What to compute.
+    pub kind: RequestKind,
+    /// Per-request deadline; mapped onto a [`mm_fault::Budget`] deadline so
+    /// the solver cancels cooperatively at its checkpoints.
+    pub deadline_ms: Option<u64>,
+    /// Cap on binary-search probes (budget augmentations) for solve/probe.
+    pub max_augmentations: Option<u64>,
+}
+
+/// The request payloads the service executes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Compute the exact optimum `m(J)` (or a certified bracket).
+    Solve {
+        /// Jobs as `(release, deadline, processing)` integer triples.
+        jobs: Vec<(i64, i64, i64)>,
+    },
+    /// Feasibility of the instance on `machines` machines.
+    Probe {
+        /// Jobs as integer triples.
+        jobs: Vec<(i64, i64, i64)>,
+        /// Machine count to test.
+        machines: u64,
+    },
+    /// Run an online policy and report feasibility and machines used.
+    Schedule {
+        /// Jobs as integer triples.
+        jobs: Vec<(i64, i64, i64)>,
+        /// Policy name (`edf`, `llf`, or `edf-ff`).
+        policy: String,
+        /// Machine budget (defaults to the job count).
+        machines: Option<usize>,
+    },
+    /// Run the migration-gap adversary sweep up to depth `k`.
+    Adversary {
+        /// Policy under attack (`edf-ff` or `medium-fit`).
+        policy: String,
+        /// Deepest target depth (sweeps `2..=k`).
+        k: usize,
+        /// Machine budget handed to the policy.
+        machines: usize,
+    },
+    /// Ask the server to drain and shut down.
+    Shutdown,
+}
+
+impl RequestKind {
+    /// Stable tag used in trace events and journal records.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RequestKind::Solve { .. } => "solve",
+            RequestKind::Probe { .. } => "probe",
+            RequestKind::Schedule { .. } => "schedule",
+            RequestKind::Adversary { .. } => "adversary",
+            RequestKind::Shutdown => "shutdown",
+        }
+    }
+}
+
+impl Request {
+    /// The request's deadline as a `Duration`, if set.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline_ms.map(Duration::from_millis)
+    }
+
+    /// Builds the instance carried by the request, if its kind has one.
+    pub fn instance(&self) -> Option<Instance> {
+        let jobs = match &self.kind {
+            RequestKind::Solve { jobs }
+            | RequestKind::Probe { jobs, .. }
+            | RequestKind::Schedule { jobs, .. } => jobs,
+            _ => return None,
+        };
+        Some(Instance::from_ints(jobs.iter().copied()))
+    }
+
+    /// Serializes the request to one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut fields = vec![
+            ("id", Json::Int(self.id as i64)),
+            ("kind", Json::str(self.kind.tag())),
+        ];
+        match &self.kind {
+            RequestKind::Solve { jobs } => fields.push(("jobs", jobs_json(jobs))),
+            RequestKind::Probe { jobs, machines } => {
+                fields.push(("jobs", jobs_json(jobs)));
+                fields.push(("machines", Json::Int(*machines as i64)));
+            }
+            RequestKind::Schedule {
+                jobs,
+                policy,
+                machines,
+            } => {
+                fields.push(("jobs", jobs_json(jobs)));
+                fields.push(("policy", Json::str(policy)));
+                if let Some(m) = machines {
+                    fields.push(("machines", Json::Int(*m as i64)));
+                }
+            }
+            RequestKind::Adversary {
+                policy,
+                k,
+                machines,
+            } => {
+                fields.push(("policy", Json::str(policy)));
+                fields.push(("k", Json::Int(*k as i64)));
+                fields.push(("machines", Json::Int(*machines as i64)));
+            }
+            RequestKind::Shutdown => {}
+        }
+        if let Some(ms) = self.deadline_ms {
+            fields.push(("deadline_ms", Json::Int(ms as i64)));
+        }
+        if let Some(n) = self.max_augmentations {
+            fields.push(("max_augmentations", Json::Int(n as i64)));
+        }
+        Json::obj(fields).to_compact()
+    }
+
+    /// Parses one wire line. Errors are client errors — the connection stays
+    /// up and the line is answered with a `status: "error"` response.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        if line.len() > MAX_LINE_BYTES {
+            return Err(format!(
+                "request line exceeds {MAX_LINE_BYTES} bytes ({} sent)",
+                line.len()
+            ));
+        }
+        let json = mm_json::parse(line)
+            .map_err(|e| format!("malformed request ({}): {}", e.locate(line), e.message))?;
+        let id = json
+            .get("id")
+            .and_then(Json::as_i64)
+            .filter(|&n| n >= 0)
+            .ok_or("request missing non-negative integer `id`")? as u64;
+        let kind_tag = json
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("request missing string `kind`")?;
+        let uint = |key: &str| -> Result<Option<u64>, String> {
+            match json.get(key) {
+                None => Ok(None),
+                Some(v) => v
+                    .as_i64()
+                    .filter(|&n| n >= 0)
+                    .map(|n| Some(n as u64))
+                    .ok_or_else(|| format!("field `{key}` must be a non-negative integer")),
+            }
+        };
+        let kind = match kind_tag {
+            "solve" => RequestKind::Solve {
+                jobs: parse_jobs(&json)?,
+            },
+            "probe" => RequestKind::Probe {
+                jobs: parse_jobs(&json)?,
+                machines: uint("machines")?.ok_or("probe request missing `machines`")?,
+            },
+            "schedule" => RequestKind::Schedule {
+                jobs: parse_jobs(&json)?,
+                policy: json
+                    .get("policy")
+                    .and_then(Json::as_str)
+                    .ok_or("schedule request missing string `policy`")?
+                    .to_owned(),
+                machines: uint("machines")?.map(|m| m as usize),
+            },
+            "adversary" => RequestKind::Adversary {
+                policy: json
+                    .get("policy")
+                    .and_then(Json::as_str)
+                    .ok_or("adversary request missing string `policy`")?
+                    .to_owned(),
+                k: uint("k")?.ok_or("adversary request missing `k`")? as usize,
+                machines: uint("machines")?.ok_or("adversary request missing `machines`")? as usize,
+            },
+            "shutdown" => RequestKind::Shutdown,
+            other => return Err(format!("unknown request kind `{other}`")),
+        };
+        Ok(Request {
+            id,
+            kind,
+            deadline_ms: uint("deadline_ms")?,
+            max_augmentations: uint("max_augmentations")?,
+        })
+    }
+}
+
+fn jobs_json(jobs: &[(i64, i64, i64)]) -> Json {
+    Json::Arr(
+        jobs.iter()
+            .map(|&(r, d, p)| Json::Arr(vec![Json::Int(r), Json::Int(d), Json::Int(p)]))
+            .collect(),
+    )
+}
+
+fn parse_jobs(json: &Json) -> Result<Vec<(i64, i64, i64)>, String> {
+    let arr = json
+        .get("jobs")
+        .and_then(Json::as_arr)
+        .ok_or("request missing `jobs` array")?;
+    if arr.len() > MAX_JOBS {
+        return Err(format!("too many jobs ({} > {MAX_JOBS})", arr.len()));
+    }
+    arr.iter()
+        .enumerate()
+        .map(|(i, j)| {
+            let triple = j.as_arr().filter(|t| t.len() == 3).ok_or_else(|| {
+                format!("job {i} is not a [release, deadline, processing] triple")
+            })?;
+            let mut nums = [0i64; 3];
+            for (slot, v) in nums.iter_mut().zip(triple) {
+                *slot = v
+                    .as_i64()
+                    .ok_or_else(|| format!("job {i} has a non-integer field"))?;
+            }
+            if nums[2] <= 0 || nums[1] <= nums[0] || nums[2] > nums[1] - nums[0] {
+                return Err(format!(
+                    "job {i} is invalid: need release < deadline and 0 < processing <= window"
+                ));
+            }
+            Ok((nums[0], nums[1], nums[2]))
+        })
+        .collect()
+}
+
+/// A terminal response for one request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Success; the payload depends on the request kind.
+    Ok {
+        /// Echoed request id.
+        id: u64,
+        /// Kind-specific result fields, already in wire order.
+        fields: Vec<(String, Json)>,
+    },
+    /// The budget or drain deadline ran out; a certified partial answer.
+    Degraded {
+        /// Echoed request id.
+        id: u64,
+        /// Why the request degraded (`deadline`, `budget`, or `drain`).
+        reason: String,
+        /// Kind-specific partial-result fields (e.g. a `[lo, hi]` bracket).
+        fields: Vec<(String, Json)>,
+    },
+    /// The admission queue was full (or the server is draining); retry later.
+    Overloaded {
+        /// Echoed request id.
+        id: u64,
+        /// Suggested client backoff before retrying.
+        retry_after_ms: u64,
+    },
+    /// The request was invalid or failed; it was not (or could not be) run.
+    Error {
+        /// Echoed request id (0 when the line had no parsable id).
+        id: u64,
+        /// Human-readable cause.
+        message: String,
+    },
+    /// The request crashed its worker repeatedly and was set aside.
+    Quarantined {
+        /// Echoed request id.
+        id: u64,
+        /// How many attempts were made before giving up.
+        attempts: u32,
+    },
+}
+
+impl Response {
+    /// The correlation id this response answers.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Ok { id, .. }
+            | Response::Degraded { id, .. }
+            | Response::Overloaded { id, .. }
+            | Response::Error { id, .. }
+            | Response::Quarantined { id, .. } => *id,
+        }
+    }
+
+    /// Stable status tag.
+    pub fn status(&self) -> &'static str {
+        match self {
+            Response::Ok { .. } => "ok",
+            Response::Degraded { .. } => "degraded",
+            Response::Overloaded { .. } => "overloaded",
+            Response::Error { .. } => "error",
+            Response::Quarantined { .. } => "quarantined",
+        }
+    }
+
+    /// Whether this response terminates an *admitted* request (sheds and
+    /// pre-admission errors are terminal too, but never entered the queue).
+    pub fn is_terminal(&self) -> bool {
+        true
+    }
+
+    /// Serializes the response to one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut fields: Vec<(String, Json)> = vec![
+            ("id".into(), Json::Int(self.id() as i64)),
+            ("status".into(), Json::str(self.status())),
+        ];
+        match self {
+            Response::Ok { fields: extra, .. } => fields.extend(extra.iter().cloned()),
+            Response::Degraded {
+                reason,
+                fields: extra,
+                ..
+            } => {
+                fields.push(("reason".into(), Json::str(reason)));
+                fields.extend(extra.iter().cloned());
+            }
+            Response::Overloaded { retry_after_ms, .. } => {
+                fields.push(("retry_after_ms".into(), Json::Int(*retry_after_ms as i64)));
+            }
+            Response::Error { message, .. } => {
+                fields.push(("message".into(), Json::str(message)));
+            }
+            Response::Quarantined { attempts, .. } => {
+                fields.push(("attempts".into(), Json::Int(*attempts as i64)));
+            }
+        }
+        Json::obj(fields).to_compact()
+    }
+
+    /// Parses a response line (used by clients and the load generator).
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let json = mm_json::parse(line)
+            .map_err(|e| format!("malformed response ({}): {}", e.locate(line), e.message))?;
+        let id = json
+            .get("id")
+            .and_then(Json::as_i64)
+            .filter(|&n| n >= 0)
+            .ok_or("response missing `id`")? as u64;
+        let status = json
+            .get("status")
+            .and_then(Json::as_str)
+            .ok_or("response missing `status`")?;
+        let rest = |skip: &[&str]| -> Vec<(String, Json)> {
+            json.as_obj()
+                .map(|members| {
+                    members
+                        .iter()
+                        .filter(|(k, _)| k != "id" && k != "status" && !skip.contains(&k.as_str()))
+                        .cloned()
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        Ok(match status {
+            "ok" => Response::Ok {
+                id,
+                fields: rest(&[]),
+            },
+            "degraded" => Response::Degraded {
+                id,
+                reason: json
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_owned(),
+                fields: rest(&["reason"]),
+            },
+            "overloaded" => Response::Overloaded {
+                id,
+                retry_after_ms: json
+                    .get("retry_after_ms")
+                    .and_then(Json::as_i64)
+                    .filter(|&n| n >= 0)
+                    .unwrap_or(0) as u64,
+            },
+            "error" => Response::Error {
+                id,
+                message: json
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_owned(),
+            },
+            "quarantined" => Response::Quarantined {
+                id,
+                attempts: json
+                    .get("attempts")
+                    .and_then(Json::as_i64)
+                    .filter(|&n| n >= 0)
+                    .unwrap_or(0) as u32,
+            },
+            other => return Err(format!("unknown response status `{other}`")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip_through_the_wire_format() {
+        let reqs = [
+            Request {
+                id: 1,
+                kind: RequestKind::Solve {
+                    jobs: vec![(0, 4, 2), (1, 5, 3)],
+                },
+                deadline_ms: Some(250),
+                max_augmentations: None,
+            },
+            Request {
+                id: 2,
+                kind: RequestKind::Probe {
+                    jobs: vec![(0, 2, 2)],
+                    machines: 1,
+                },
+                deadline_ms: None,
+                max_augmentations: Some(8),
+            },
+            Request {
+                id: 3,
+                kind: RequestKind::Schedule {
+                    jobs: vec![(0, 3, 1)],
+                    policy: "edf-ff".into(),
+                    machines: Some(4),
+                },
+                deadline_ms: None,
+                max_augmentations: None,
+            },
+            Request {
+                id: 4,
+                kind: RequestKind::Adversary {
+                    policy: "edf-ff".into(),
+                    k: 3,
+                    machines: 16,
+                },
+                deadline_ms: Some(10_000),
+                max_augmentations: None,
+            },
+            Request {
+                id: 5,
+                kind: RequestKind::Shutdown,
+                deadline_ms: None,
+                max_augmentations: None,
+            },
+        ];
+        for req in reqs {
+            let line = req.to_line();
+            assert_eq!(Request::parse(&line).unwrap(), req, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_through_the_wire_format() {
+        let resps = [
+            Response::Ok {
+                id: 7,
+                fields: vec![("machines".into(), Json::Int(3))],
+            },
+            Response::Degraded {
+                id: 8,
+                reason: "deadline".into(),
+                fields: vec![("lo".into(), Json::Int(2)), ("hi".into(), Json::Int(5))],
+            },
+            Response::Overloaded {
+                id: 9,
+                retry_after_ms: 25,
+            },
+            Response::Error {
+                id: 10,
+                message: "job 0 is invalid: need release < deadline and 0 < processing <= window"
+                    .into(),
+            },
+            Response::Quarantined {
+                id: 11,
+                attempts: 3,
+            },
+        ];
+        for resp in resps {
+            let line = resp.to_line();
+            assert_eq!(Response::parse(&line).unwrap(), resp, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn bad_requests_are_descriptive_errors() {
+        for (line, needle) in [
+            ("{", "malformed request"),
+            (r#"{"kind": "solve"}"#, "id"),
+            (r#"{"id": 1}"#, "kind"),
+            (r#"{"id": 1, "kind": "dance"}"#, "unknown request kind"),
+            (r#"{"id": 1, "kind": "solve"}"#, "jobs"),
+            (
+                r#"{"id": 1, "kind": "solve", "jobs": [[3, 1, 1]]}"#,
+                "job 0 is invalid",
+            ),
+            (
+                r#"{"id": 1, "kind": "probe", "jobs": [[0, 2, 1]]}"#,
+                "machines",
+            ),
+            (
+                r#"{"id": 1, "kind": "solve", "jobs": [[0, 2, 1]], "deadline_ms": -4}"#,
+                "deadline_ms",
+            ),
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert!(err.contains(needle), "{line} -> {err}");
+        }
+    }
+
+    #[test]
+    fn truncating_a_request_line_is_located_not_a_panic() {
+        let line = Request {
+            id: 42,
+            kind: RequestKind::Solve {
+                jobs: vec![(0, 4, 2), (1, 5, 3)],
+            },
+            deadline_ms: Some(100),
+            max_augmentations: Some(4),
+        }
+        .to_line();
+        for cut in 0..line.len() {
+            if let Err(err) = Request::parse(&line[..cut]) {
+                if err.contains("malformed") {
+                    assert!(err.contains("line 1, column"), "cut {cut}: {err}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,982 @@
+//! The supervised worker pool: admission control, retries, quarantine,
+//! crash recovery, and graceful drain.
+//!
+//! # Lifecycle of a request
+//!
+//! 1. **Admission** ([`Service::submit_line`]): the line is parsed; invalid
+//!    lines get an immediate `error` response. If the server is draining or
+//!    the queue is at capacity the request is **shed** with `overloaded` +
+//!    `retry_after_ms`. Otherwise the raw line is appended (fsynced) to the
+//!    write-ahead journal *before* the request enters the bounded queue —
+//!    the crash-safety ordering.
+//! 2. **Execution**: a worker picks the item up and runs it under
+//!    `catch_unwind`. Injected faults ([`FaultSite::WorkerPanic`],
+//!    [`FaultSite::MachineSlowdown`]) fire here, deterministically.
+//! 3. **Completion**: the supervisor journals the exact response line, then
+//!    releases it to the client. Exactly one terminal response per admitted
+//!    request — the property tests pin this.
+//! 4. **Panic**: the worker thread dies; the supervisor catches the
+//!    corpse via the control channel, spawns a replacement, and either
+//!    re-queues the request (decorrelated-jitter backoff, capped attempts)
+//!    or quarantines it with a `quarantined` response.
+//! 5. **Drain** ([`Service::shutdown`]): no new admissions; in-flight work
+//!    finishes. Past the drain deadline, still-queued solve/probe requests
+//!    are *degraded* to certified `[lo, hi]` brackets instead of being
+//!    dropped.
+
+use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, Sender};
+use mm_adversary::SweepCheckpoint;
+use mm_fault::{FaultInjector, FaultPlan, FaultSite, RetryPolicy};
+use mm_trace::{TraceEvent, TraceSink};
+
+use crate::exec;
+use crate::journal::{Journal, PendingRequest, Record, Replay};
+use crate::protocol::{Request, RequestKind, Response};
+
+/// Trace sink handle shared by every thread of the service.
+pub type DynSink = mm_trace::SharedSink<Box<dyn TraceSink + Send>>;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Admission bound: queued + running + awaiting-retry requests.
+    pub queue_cap: usize,
+    /// Drain deadline: queued work older than this after [`Service::shutdown`]
+    /// is degraded rather than completed.
+    pub drain_ms: u64,
+    /// Retry/backoff policy for panicked requests.
+    pub retry: RetryPolicy,
+    /// Seed for retry jitter (and recorded in transcripts).
+    pub seed: u64,
+    /// Deterministic fault plan (worker panics, slowdowns).
+    pub plan: FaultPlan,
+    /// Deadline applied to requests that carry none of their own.
+    pub default_deadline_ms: Option<u64>,
+    /// Write-ahead journal path (`None`: journal disabled).
+    pub journal: Option<PathBuf>,
+    /// Sleep injected when [`FaultSite::MachineSlowdown`] fires in a worker.
+    pub slowdown_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_cap: 16,
+            drain_ms: 2_000,
+            retry: RetryPolicy::default(),
+            seed: 0,
+            plan: FaultPlan::none(),
+            default_deadline_ms: None,
+            journal: None,
+            slowdown_ms: 5,
+        }
+    }
+}
+
+/// Counters the service maintains; cheap to clone out at any time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Lines submitted (including shutdowns and parse failures).
+    pub received: u64,
+    /// Requests admitted to the queue (including crash-recovered ones).
+    pub admitted: u64,
+    /// Requests shed with `overloaded`.
+    pub shed: u64,
+    /// Lines rejected before admission (parse/validation errors).
+    pub rejected: u64,
+    /// Terminal responses released for admitted requests.
+    pub responses: u64,
+    /// Requests re-queued after a worker panic.
+    pub retried: u64,
+    /// Requests quarantined after exhausting retry attempts.
+    pub quarantined: u64,
+    /// Worker panics caught by the supervisor.
+    pub panics: u64,
+    /// Replacement workers spawned.
+    pub restarts: u64,
+    /// Requests degraded at the drain deadline.
+    pub drain_degraded: u64,
+    /// Acked responses replayed from the journal at startup.
+    pub replayed_acks: u64,
+}
+
+impl ServeStats {
+    /// The soak invariant: every admitted request got exactly one terminal
+    /// response, and every received line was admitted, shed, or rejected.
+    pub fn invariant_holds(&self) -> bool {
+        self.admitted == self.responses
+    }
+}
+
+struct Admission {
+    depth: usize,
+    draining: bool,
+    stopped: bool,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    admission: Mutex<Admission>,
+    stopped_cv: Condvar,
+    journal: Option<Mutex<Journal>>,
+    injector: Mutex<FaultInjector>,
+    sink: DynSink,
+    stats: Mutex<ServeStats>,
+}
+
+impl Shared {
+    fn emit(&self, event: TraceEvent) {
+        let mut sink = self.sink.clone();
+        if sink.enabled() {
+            sink.record(&event);
+        }
+    }
+
+    fn journal_append(&self, record: &Record) -> std::io::Result<()> {
+        match &self.journal {
+            Some(j) => j.lock().unwrap().append(record),
+            None => Ok(()),
+        }
+    }
+}
+
+struct WorkItem {
+    req: Request,
+    attempts: u32,
+    checkpoint: Option<SweepCheckpoint>,
+    reply: Sender<String>,
+}
+
+enum Work {
+    Item(WorkItem),
+    Stop,
+}
+
+enum Ctrl {
+    Done {
+        item: WorkItem,
+        response: Response,
+    },
+    Sweep {
+        id: u64,
+        checkpoint: SweepCheckpoint,
+    },
+    Panicked {
+        worker: usize,
+        item: WorkItem,
+        message: String,
+    },
+    Drain,
+}
+
+/// A retry waiting for its backoff to elapse. Ordered so the *earliest* due
+/// time is the heap maximum (`BinaryHeap` is a max-heap).
+struct PendingRetry {
+    due: Instant,
+    item: WorkItem,
+}
+
+impl PartialEq for PendingRetry {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due
+    }
+}
+impl Eq for PendingRetry {}
+impl PartialOrd for PendingRetry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingRetry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.due.cmp(&self.due)
+    }
+}
+
+/// A running service instance.
+pub struct Service {
+    shared: Arc<Shared>,
+    work_tx: Sender<Work>,
+    ctrl_tx: Sender<Ctrl>,
+    supervisor: Option<JoinHandle<()>>,
+    recovery_rx: Receiver<String>,
+    recovered_acks: Vec<(u64, String)>,
+}
+
+impl Service {
+    /// Starts the service: replays the journal (if any), spawns the worker
+    /// pool and the supervisor, and re-enqueues crash-recovered requests.
+    pub fn start(cfg: ServeConfig, sink: DynSink) -> Result<Service, String> {
+        install_worker_panic_silencer();
+        let replay = match &cfg.journal {
+            Some(path) => Replay::load(path)?,
+            None => Replay::default(),
+        };
+        let journal = match &cfg.journal {
+            Some(path) => Some(Mutex::new(
+                Journal::open(path).map_err(|e| format!("cannot open journal: {e}"))?,
+            )),
+            None => None,
+        };
+        let workers = cfg.workers.max(1);
+        let queue_cap = cfg.queue_cap.max(1);
+        let shared = Arc::new(Shared {
+            admission: Mutex::new(Admission {
+                depth: 0,
+                draining: false,
+                stopped: false,
+            }),
+            stopped_cv: Condvar::new(),
+            journal,
+            injector: Mutex::new(FaultInjector::new(cfg.plan.clone())),
+            sink,
+            stats: Mutex::new(ServeStats {
+                replayed_acks: replay.acked.len() as u64,
+                ..ServeStats::default()
+            }),
+            cfg: ServeConfig {
+                workers,
+                queue_cap,
+                ..cfg
+            },
+        });
+        // Queue capacity `queue_cap` bounds *admitted* items; every sender
+        // below only ever sends items holding an admission slot (plus one
+        // Stop pill per worker at the very end), so sends never deadlock.
+        let (work_tx, work_rx) = channel::bounded::<Work>(queue_cap + workers);
+        let (ctrl_tx, ctrl_rx) = channel::unbounded::<Ctrl>();
+        let handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|idx| spawn_worker(idx, Arc::clone(&shared), work_rx.clone(), ctrl_tx.clone()))
+            .collect();
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            let work_tx = work_tx.clone();
+            let work_rx = work_rx.clone();
+            let ctrl_tx = ctrl_tx.clone();
+            std::thread::Builder::new()
+                .name("mm-serve-supervisor".into())
+                .spawn(move || supervise(shared, ctrl_rx, ctrl_tx, work_tx, work_rx, handles))
+                .map_err(|e| format!("cannot spawn supervisor: {e}"))?
+        };
+        let (recovery_tx, recovery_rx) = channel::unbounded::<String>();
+        let service = Service {
+            shared,
+            work_tx,
+            ctrl_tx,
+            supervisor: Some(supervisor),
+            recovery_rx,
+            recovered_acks: replay.acked.clone(),
+        };
+        // Crash recovery: requests that were admitted but never acked are
+        // re-enqueued (journal already has their admission record). Their
+        // responses flow to `recovery_responses`.
+        for pending in replay.pending {
+            service.requeue_recovered(pending, &recovery_tx)?;
+        }
+        Ok(service)
+    }
+
+    /// Responses journaled as acked before the last crash, in ack order.
+    /// Replayed byte-identically without re-running anything.
+    pub fn recovered_acks(&self) -> &[(u64, String)] {
+        &self.recovered_acks
+    }
+
+    /// Receiver for responses of crash-recovered (re-run) requests.
+    pub fn recovery_responses(&self) -> &Receiver<String> {
+        &self.recovery_rx
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ServeStats {
+        *self.shared.stats.lock().unwrap()
+    }
+
+    /// Whether the service is draining (shutdown requested).
+    pub fn is_draining(&self) -> bool {
+        self.shared.admission.lock().unwrap().draining
+    }
+
+    /// Whether the drain has completed (supervisor exited its loop).
+    pub fn is_stopped(&self) -> bool {
+        self.shared.admission.lock().unwrap().stopped
+    }
+
+    fn requeue_recovered(
+        &self,
+        pending: PendingRequest,
+        recovery_tx: &Sender<String>,
+    ) -> Result<(), String> {
+        let req = Request::parse(&pending.line)
+            .map_err(|e| format!("journaled request {} no longer parses: {e}", pending.id))?;
+        let mut admission = self.shared.admission.lock().unwrap();
+        admission.depth += 1;
+        let depth = admission.depth;
+        drop(admission);
+        {
+            let mut stats = self.shared.stats.lock().unwrap();
+            stats.received += 1;
+            stats.admitted += 1;
+        }
+        self.shared.emit(TraceEvent::RequestAdmitted {
+            id: req.id,
+            kind: kind_tag(&req.kind),
+            depth,
+        });
+        let item = WorkItem {
+            req,
+            attempts: 0,
+            checkpoint: pending.checkpoint,
+            reply: recovery_tx.clone(),
+        };
+        self.work_tx
+            .send(Work::Item(item))
+            .map_err(|_| "service stopped during recovery".to_string())
+    }
+
+    /// Submits one raw request line. Every line gets exactly one response on
+    /// `reply` (admitted work answers later, from a worker; sheds and parse
+    /// errors answer immediately).
+    pub fn submit_line(&self, line: &str, reply: &Sender<String>) {
+        self.shared.stats.lock().unwrap().received += 1;
+        let req = match Request::parse(line) {
+            Ok(req) => req,
+            Err(message) => {
+                self.shared.stats.lock().unwrap().rejected += 1;
+                let id = mm_json::parse(line)
+                    .ok()
+                    .and_then(|j| j.get("id").and_then(mm_json::Json::as_i64))
+                    .filter(|&n| n >= 0)
+                    .unwrap_or(0) as u64;
+                let _ = reply.send(Response::Error { id, message }.to_line());
+                return;
+            }
+        };
+        if matches!(req.kind, RequestKind::Shutdown) {
+            self.begin_drain();
+            let _ = reply.send(
+                Response::Ok {
+                    id: req.id,
+                    fields: vec![("draining".into(), mm_json::Json::Bool(true))],
+                }
+                .to_line(),
+            );
+            return;
+        }
+        let mut req = req;
+        if req.deadline_ms.is_none() {
+            req.deadline_ms = self.shared.cfg.default_deadline_ms;
+        }
+        // Admission decision and WAL append happen under the same lock so
+        // the journal's admission order matches the queue's.
+        let admission = self.shared.admission.lock().unwrap();
+        if admission.draining || admission.depth >= self.shared.cfg.queue_cap {
+            let depth = admission.depth;
+            drop(admission);
+            self.shared.stats.lock().unwrap().shed += 1;
+            self.shared
+                .emit(TraceEvent::RequestShed { id: req.id, depth });
+            let _ = reply.send(
+                Response::Overloaded {
+                    id: req.id,
+                    retry_after_ms: self.shared.cfg.retry.base_ms.max(1),
+                }
+                .to_line(),
+            );
+            return;
+        }
+        let mut admission = admission;
+        admission.depth += 1;
+        let depth = admission.depth;
+        if let Err(e) = self.shared.journal_append(&Record::Admitted {
+            id: req.id,
+            line: line.to_string(),
+        }) {
+            // A journal that cannot take the admission record voids the
+            // crash-safety contract; refuse the request rather than lie.
+            admission.depth -= 1;
+            drop(admission);
+            self.shared.stats.lock().unwrap().rejected += 1;
+            let _ = reply.send(
+                Response::Error {
+                    id: req.id,
+                    message: format!("journal write failed: {e}"),
+                }
+                .to_line(),
+            );
+            return;
+        }
+        drop(admission);
+        self.shared.stats.lock().unwrap().admitted += 1;
+        self.shared.emit(TraceEvent::RequestAdmitted {
+            id: req.id,
+            kind: kind_tag(&req.kind),
+            depth,
+        });
+        let item = WorkItem {
+            req,
+            attempts: 0,
+            checkpoint: None,
+            reply: reply.clone(),
+        };
+        let _ = self.work_tx.send(Work::Item(item));
+    }
+
+    /// Begins a graceful drain: no new admissions; queued work completes or
+    /// degrades at the drain deadline.
+    pub fn shutdown(&self) {
+        self.begin_drain();
+    }
+
+    fn begin_drain(&self) {
+        let mut admission = self.shared.admission.lock().unwrap();
+        if admission.draining {
+            return;
+        }
+        admission.draining = true;
+        drop(admission);
+        let _ = self.ctrl_tx.send(Ctrl::Drain);
+    }
+
+    /// Drains (if not already draining) and blocks until every admitted
+    /// request has its terminal response, then returns the final counters.
+    pub fn join(mut self) -> ServeStats {
+        self.begin_drain();
+        if let Some(handle) = self.supervisor.take() {
+            let _ = handle.join();
+        }
+        self.stats()
+    }
+
+    /// Blocks until the drain completes, without consuming the service.
+    pub fn wait_stopped(&self) {
+        let mut admission = self.shared.admission.lock().unwrap();
+        while !admission.stopped {
+            admission = self.shared.stopped_cv.wait(admission).unwrap();
+        }
+    }
+}
+
+fn kind_tag(kind: &RequestKind) -> &'static str {
+    match kind {
+        RequestKind::Solve { .. } => "solve",
+        RequestKind::Probe { .. } => "probe",
+        RequestKind::Schedule { .. } => "schedule",
+        RequestKind::Adversary { .. } => "adversary",
+        RequestKind::Shutdown => "shutdown",
+    }
+}
+
+/// Workers are named so the process-global panic hook can tell an injected
+/// (supervised) worker panic from a real bug elsewhere and keep soak logs
+/// clean without hiding anything that matters.
+const WORKER_THREAD_PREFIX: &str = "mm-serve-worker";
+
+fn install_worker_panic_silencer() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let supervised = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with(WORKER_THREAD_PREFIX));
+            if !supervised {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn spawn_worker(
+    idx: usize,
+    shared: Arc<Shared>,
+    work_rx: Receiver<Work>,
+    ctrl_tx: Sender<Ctrl>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("{WORKER_THREAD_PREFIX}-{idx}"))
+        .spawn(move || worker_loop(idx, shared, work_rx, ctrl_tx))
+        .expect("spawn worker thread")
+}
+
+fn worker_loop(idx: usize, shared: Arc<Shared>, work_rx: Receiver<Work>, ctrl_tx: Sender<Ctrl>) {
+    while let Ok(work) = work_rx.recv() {
+        let item = match work {
+            Work::Item(item) => item,
+            Work::Stop => return,
+        };
+        let slow = shared
+            .injector
+            .lock()
+            .unwrap()
+            .fire(FaultSite::MachineSlowdown);
+        if slow {
+            std::thread::sleep(Duration::from_millis(shared.cfg.slowdown_ms));
+        }
+        let boom = shared.injector.lock().unwrap().fire(FaultSite::WorkerPanic);
+        let checkpoint = item.checkpoint.clone();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if boom {
+                panic!("injected worker panic");
+            }
+            let mut progress = |id: u64, cp: &SweepCheckpoint| {
+                let _ = ctrl_tx.send(Ctrl::Sweep {
+                    id,
+                    checkpoint: cp.clone(),
+                });
+            };
+            exec::execute(&item.req, checkpoint, false, &mut progress)
+        }));
+        match result {
+            Ok(response) => {
+                let _ = ctrl_tx.send(Ctrl::Done { item, response });
+            }
+            Err(payload) => {
+                let _ = ctrl_tx.send(Ctrl::Panicked {
+                    worker: idx,
+                    item,
+                    message: panic_message(payload),
+                });
+                // The thread is considered poisoned; the supervisor spawns
+                // a replacement.
+                return;
+            }
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+fn supervise(
+    shared: Arc<Shared>,
+    ctrl_rx: Receiver<Ctrl>,
+    ctrl_tx: Sender<Ctrl>,
+    work_tx: Sender<Work>,
+    work_rx: Receiver<Work>,
+    mut handles: Vec<JoinHandle<()>>,
+) {
+    let mut retries: BinaryHeap<PendingRetry> = BinaryHeap::new();
+    let mut next_worker_idx = handles.len();
+    let mut draining = false;
+    let mut drain_deadline: Option<Instant> = None;
+    loop {
+        // Release due retries back into the queue.
+        let now = Instant::now();
+        while retries.peek().is_some_and(|r| r.due <= now) {
+            let retry = retries.pop().unwrap();
+            shared.emit(TraceEvent::RequestRetried {
+                id: retry.item.req.id,
+                attempt: retry.item.attempts,
+            });
+            shared.stats.lock().unwrap().retried += 1;
+            let _ = work_tx.send(Work::Item(retry.item));
+        }
+        // Past the drain deadline, degrade whatever is still queued or
+        // awaiting retry: certified brackets beat silence.
+        if draining && drain_deadline.is_some_and(|d| Instant::now() >= d) {
+            while let Ok(Work::Item(item)) = work_rx.try_recv() {
+                degrade(&shared, item);
+            }
+            for retry in retries.drain() {
+                degrade(&shared, retry.item);
+            }
+        }
+        if draining && retries.is_empty() && shared.admission.lock().unwrap().depth == 0 {
+            break;
+        }
+        let timeout = retries
+            .peek()
+            .map(|r| r.due.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(50))
+            .min(Duration::from_millis(50));
+        let msg = match ctrl_rx.recv_timeout(timeout) {
+            Ok(msg) => msg,
+            Err(channel::RecvTimeoutError::Timeout) => continue,
+            Err(channel::RecvTimeoutError::Disconnected) => break,
+        };
+        match msg {
+            Ctrl::Done { item, response } => {
+                finish(&shared, &item, &response);
+            }
+            Ctrl::Sweep { id, checkpoint } => {
+                let _ = shared.journal_append(&Record::Sweep { id, checkpoint });
+            }
+            Ctrl::Panicked {
+                worker,
+                item,
+                message,
+            } => {
+                shared.stats.lock().unwrap().panics += 1;
+                shared.emit(TraceEvent::WorkerPanicked {
+                    worker,
+                    request: item.req.id,
+                });
+                // Recycle the pool before deciding the request's fate so
+                // capacity never decays under repeated injections.
+                let idx = next_worker_idx;
+                next_worker_idx += 1;
+                handles.push(spawn_worker(
+                    idx,
+                    Arc::clone(&shared),
+                    work_rx.clone(),
+                    ctrl_tx.clone(),
+                ));
+                shared.stats.lock().unwrap().restarts += 1;
+                shared.emit(TraceEvent::WorkerRestarted { worker: idx });
+                let mut item = item;
+                item.attempts += 1;
+                let retry = &shared.cfg.retry;
+                if retry.should_retry(item.attempts) {
+                    let delay = retry.backoff(shared.cfg.seed, item.req.id, item.attempts);
+                    retries.push(PendingRetry {
+                        due: Instant::now() + delay,
+                        item,
+                    });
+                } else {
+                    let response = Response::Quarantined {
+                        id: item.req.id,
+                        attempts: item.attempts,
+                    };
+                    let _ = message; // the panic text stays in the trace/journal domain
+                    shared.stats.lock().unwrap().quarantined += 1;
+                    finish(&shared, &item, &response);
+                }
+            }
+            Ctrl::Drain => {
+                draining = true;
+                let pending = shared.admission.lock().unwrap().depth;
+                drain_deadline = Some(Instant::now() + Duration::from_millis(shared.cfg.drain_ms));
+                shared.emit(TraceEvent::DrainStarted { pending });
+            }
+        }
+    }
+    // Stop pills: one per live worker, then join the pool.
+    for _ in 0..shared.cfg.workers {
+        let _ = work_tx.send(Work::Stop);
+    }
+    drop(work_tx);
+    for handle in handles {
+        let _ = handle.join();
+    }
+    let mut admission = shared.admission.lock().unwrap();
+    admission.stopped = true;
+    drop(admission);
+    shared.stopped_cv.notify_all();
+}
+
+/// Journals, releases, and accounts one terminal response.
+fn finish(shared: &Shared, item: &WorkItem, response: &Response) {
+    let line = response.to_line();
+    let _ = shared.journal_append(&Record::Acked {
+        id: item.req.id,
+        line: line.clone(),
+    });
+    let _ = item.reply.send(line);
+    shared.admission.lock().unwrap().depth -= 1;
+    shared.stats.lock().unwrap().responses += 1;
+    shared.emit(TraceEvent::RequestCompleted {
+        id: item.req.id,
+        status: terminal_status(response),
+    });
+}
+
+fn terminal_status(response: &Response) -> &'static str {
+    match response {
+        Response::Ok { .. } => "ok",
+        Response::Degraded { .. } => "degraded",
+        Response::Overloaded { .. } => "overloaded",
+        Response::Error { .. } => "error",
+        Response::Quarantined { .. } => "quarantined",
+    }
+}
+
+/// Drain-deadline degradation: answer with whatever can be certified under
+/// a starved budget (brackets for solve/probe, an explicit `degraded` for
+/// the rest).
+fn degrade(shared: &Shared, item: WorkItem) {
+    let response = exec::execute(
+        &item.req,
+        item.checkpoint.clone(),
+        true,
+        &mut exec::NoProgress,
+    );
+    shared.stats.lock().unwrap().drain_degraded += 1;
+    finish(shared, &item, &response);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_trace::NoopSink;
+
+    fn sink() -> DynSink {
+        DynSink::new(Box::new(NoopSink))
+    }
+
+    fn solve_line(id: u64) -> String {
+        Request {
+            id,
+            kind: RequestKind::Solve {
+                jobs: vec![(0, 4, 2), (1, 5, 3)],
+            },
+            deadline_ms: None,
+            max_augmentations: None,
+        }
+        .to_line()
+    }
+
+    #[test]
+    fn requests_complete_and_stats_balance() {
+        let service = Service::start(ServeConfig::default(), sink()).unwrap();
+        let (tx, rx) = channel::unbounded();
+        for id in 0..8 {
+            service.submit_line(&solve_line(id), &tx);
+        }
+        let mut got = Vec::new();
+        for _ in 0..8 {
+            got.push(rx.recv_timeout(Duration::from_secs(30)).unwrap());
+        }
+        let stats = service.join();
+        assert_eq!(stats.admitted, 8);
+        assert_eq!(stats.responses, 8);
+        assert!(stats.invariant_holds(), "{stats:?}");
+        got.sort();
+        got.dedup();
+        assert_eq!(got.len(), 8, "distinct response per request");
+    }
+
+    #[test]
+    fn injected_worker_panic_retries_and_succeeds() {
+        let cfg = ServeConfig {
+            plan: FaultPlan::once(FaultSite::WorkerPanic, 1),
+            retry: RetryPolicy::new(1, 5, 3),
+            ..ServeConfig::default()
+        };
+        let service = Service::start(cfg, sink()).unwrap();
+        let (tx, rx) = channel::unbounded();
+        service.submit_line(&solve_line(1), &tx);
+        let line = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert!(line.contains("\"status\":\"ok\""), "{line}");
+        let stats = service.join();
+        assert_eq!(stats.panics, 1);
+        assert_eq!(stats.restarts, 1);
+        assert_eq!(stats.retried, 1);
+        assert!(stats.invariant_holds());
+    }
+
+    #[test]
+    fn always_panicking_request_is_quarantined() {
+        // Fire on every hit: the request can never complete.
+        let plan = FaultPlan {
+            seed: 0,
+            rules: vec![mm_fault::FaultRule {
+                site: FaultSite::WorkerPanic,
+                nth: 1,
+                every: Some(1),
+            }],
+        };
+        let cfg = ServeConfig {
+            plan,
+            retry: RetryPolicy::new(1, 2, 2),
+            workers: 1,
+            ..ServeConfig::default()
+        };
+        let service = Service::start(cfg, sink()).unwrap();
+        let (tx, rx) = channel::unbounded();
+        service.submit_line(&solve_line(9), &tx);
+        let line = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert!(line.contains("\"status\":\"quarantined\""), "{line}");
+        let stats = service.join();
+        assert_eq!(stats.quarantined, 1);
+        assert!(stats.invariant_holds());
+    }
+
+    #[test]
+    fn full_queue_sheds_with_retry_hint() {
+        // One slow worker, capacity 2: a burst must shed the overflow.
+        let plan = FaultPlan {
+            seed: 0,
+            rules: vec![mm_fault::FaultRule {
+                site: FaultSite::MachineSlowdown,
+                nth: 1,
+                every: Some(1),
+            }],
+        };
+        let cfg = ServeConfig {
+            workers: 1,
+            queue_cap: 2,
+            slowdown_ms: 30,
+            plan,
+            ..ServeConfig::default()
+        };
+        let service = Service::start(cfg, sink()).unwrap();
+        let (tx, rx) = channel::unbounded();
+        for id in 0..6 {
+            service.submit_line(&solve_line(id), &tx);
+        }
+        let mut lines = Vec::new();
+        for _ in 0..6 {
+            lines.push(rx.recv_timeout(Duration::from_secs(30)).unwrap());
+        }
+        let shed: Vec<_> = lines
+            .iter()
+            .filter(|l| l.contains("\"status\":\"overloaded\""))
+            .collect();
+        assert!(
+            !shed.is_empty(),
+            "burst of 6 into cap 2 must shed: {lines:?}"
+        );
+        assert!(shed.iter().all(|l| l.contains("retry_after_ms")));
+        let stats = service.join();
+        assert_eq!(stats.admitted + stats.shed, 6);
+        assert!(stats.invariant_holds());
+    }
+
+    #[test]
+    fn drain_deadline_degrades_queued_work_instead_of_dropping_it() {
+        let plan = FaultPlan {
+            seed: 0,
+            rules: vec![mm_fault::FaultRule {
+                site: FaultSite::MachineSlowdown,
+                nth: 1,
+                every: Some(1),
+            }],
+        };
+        let cfg = ServeConfig {
+            workers: 1,
+            queue_cap: 8,
+            slowdown_ms: 40,
+            drain_ms: 1,
+            plan,
+            ..ServeConfig::default()
+        };
+        let service = Service::start(cfg, sink()).unwrap();
+        let (tx, rx) = channel::unbounded();
+        for id in 0..6 {
+            service.submit_line(&solve_line(id), &tx);
+        }
+        service.shutdown();
+        let mut lines = Vec::new();
+        for _ in 0..6 {
+            lines.push(rx.recv_timeout(Duration::from_secs(30)).unwrap());
+        }
+        let stats = service.join();
+        assert_eq!(stats.responses, 6, "{lines:?}");
+        assert!(stats.invariant_holds());
+        // Everything answered: ok (ran before the deadline) or a certified
+        // degraded bracket (caught by the drain) — never silence.
+        for line in &lines {
+            assert!(
+                line.contains("\"status\":\"ok\"") || line.contains("\"status\":\"degraded\""),
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn journal_replays_acked_responses_byte_identically() {
+        let dir = std::env::temp_dir().join(format!(
+            "machmin-serve-replay-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        std::fs::remove_file(&path).ok();
+        let cfg = ServeConfig {
+            journal: Some(path.clone()),
+            ..ServeConfig::default()
+        };
+        let service = Service::start(cfg.clone(), sink()).unwrap();
+        let (tx, rx) = channel::unbounded();
+        for id in 0..4 {
+            service.submit_line(&solve_line(id), &tx);
+        }
+        let mut sent: Vec<String> = (0..4)
+            .map(|_| rx.recv_timeout(Duration::from_secs(30)).unwrap())
+            .collect();
+        service.join();
+        // "Crash" (the process state is gone) and restart on the journal.
+        let restarted = Service::start(cfg, sink()).unwrap();
+        let mut replayed: Vec<String> = restarted
+            .recovered_acks()
+            .iter()
+            .map(|(_, line)| line.clone())
+            .collect();
+        restarted.join();
+        sent.sort();
+        replayed.sort();
+        assert_eq!(
+            sent, replayed,
+            "acked responses must replay byte-identically"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unacked_journal_entries_rerun_on_restart() {
+        let dir = std::env::temp_dir().join(format!(
+            "machmin-serve-rerun-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        std::fs::remove_file(&path).ok();
+        // Hand-craft a journal: request 5 admitted, never acked.
+        {
+            let mut j = Journal::open(&path).unwrap();
+            j.append(&Record::Admitted {
+                id: 5,
+                line: solve_line(5),
+            })
+            .unwrap();
+        }
+        let cfg = ServeConfig {
+            journal: Some(path.clone()),
+            ..ServeConfig::default()
+        };
+        let service = Service::start(cfg, sink()).unwrap();
+        let line = service
+            .recovery_responses()
+            .recv_timeout(Duration::from_secs(30))
+            .unwrap();
+        assert!(line.contains("\"id\":5"), "{line}");
+        assert!(line.contains("\"status\":\"ok\""), "{line}");
+        let stats = service.join();
+        assert_eq!(stats.admitted, 1);
+        assert!(stats.invariant_holds());
+        // The rerun's ack is now journaled: a second restart replays it
+        // instead of running a third time.
+        let again = Service::start(
+            ServeConfig {
+                journal: Some(path.clone()),
+                ..ServeConfig::default()
+            },
+            sink(),
+        )
+        .unwrap();
+        assert_eq!(again.recovered_acks().len(), 1);
+        assert_eq!(again.recovered_acks()[0].1, line);
+        again.join();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

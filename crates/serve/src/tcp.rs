@@ -1,0 +1,134 @@
+//! JSONL-over-TCP front end.
+//!
+//! One request per line in, one response per line out, per connection.
+//! Each connection gets a reader thread (parsing + admission) and a writer
+//! thread (draining the connection's reply channel); the worker pool is
+//! shared across connections, so backpressure is global, not per-socket.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel;
+
+use crate::supervisor::Service;
+
+/// Binds `addr` (use port 0 for an ephemeral port) and returns the listener
+/// plus the address actually bound.
+pub fn bind(addr: &str) -> std::io::Result<(TcpListener, String)> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?.to_string();
+    Ok((listener, local))
+}
+
+/// Accept loop. Returns once the service has fully drained (a client sent a
+/// `shutdown` request, or [`Service::shutdown`] was called) and every
+/// admitted request has been answered.
+pub fn serve(listener: TcpListener, service: Arc<Service>) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || handle_connection(stream, service));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if service.is_stopped() {
+                    return Ok(());
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, service: Arc<Service>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (reply_tx, reply_rx) = channel::unbounded::<String>();
+    let writer = std::thread::spawn(move || {
+        let mut out = BufWriter::new(write_half);
+        while let Ok(line) = reply_rx.recv() {
+            if out.write_all(line.as_bytes()).is_err() || out.write_all(b"\n").is_err() {
+                return;
+            }
+            let _ = out.flush();
+        }
+    });
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        service.submit_line(&line, &reply_tx);
+    }
+    // EOF: drop our sender. The writer exits once every in-flight response
+    // for this connection has been delivered (workers hold clones).
+    drop(reply_tx);
+    let _ = writer.join();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Request, RequestKind};
+    use crate::supervisor::{DynSink, ServeConfig};
+    use mm_trace::NoopSink;
+
+    #[test]
+    fn end_to_end_over_tcp_with_shutdown() {
+        let service = Arc::new(
+            Service::start(ServeConfig::default(), DynSink::new(Box::new(NoopSink))).unwrap(),
+        );
+        let (listener, addr) = bind("127.0.0.1:0").unwrap();
+        let acceptor = {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || serve(listener, service))
+        };
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut writer = BufWriter::new(stream.try_clone().unwrap());
+        let mut reader = BufReader::new(stream);
+        let mut send = |req: &Request| {
+            writer.write_all(req.to_line().as_bytes()).unwrap();
+            writer.write_all(b"\n").unwrap();
+            writer.flush().unwrap();
+        };
+        for id in 0..3 {
+            send(&Request {
+                id,
+                kind: RequestKind::Solve {
+                    jobs: vec![(0, 2, 2), (0, 2, 2)],
+                },
+                deadline_ms: None,
+                max_augmentations: None,
+            });
+        }
+        let mut lines = Vec::new();
+        for _ in 0..3 {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            lines.push(line.trim().to_string());
+        }
+        for line in &lines {
+            assert!(line.contains("\"machines\":2"), "{line}");
+        }
+        send(&Request {
+            id: 99,
+            kind: RequestKind::Shutdown,
+            deadline_ms: None,
+            max_augmentations: None,
+        });
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"draining\":true"), "{line}");
+        acceptor.join().unwrap().unwrap();
+        service.wait_stopped();
+        let stats = service.stats();
+        assert_eq!(stats.admitted, 3);
+        assert!(stats.invariant_holds());
+    }
+}

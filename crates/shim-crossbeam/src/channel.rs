@@ -1,0 +1,360 @@
+//! Multi-producer multi-consumer channels (stand-in for `crossbeam-channel`).
+//!
+//! The subset the workspace needs: [`bounded`] and [`unbounded`] queues with
+//! cloneable [`Sender`]s and [`Receiver`]s, blocking [`Sender::send`] /
+//! [`Receiver::recv`], non-blocking [`Sender::try_send`] /
+//! [`Receiver::try_recv`], and [`Receiver::recv_timeout`]. Disconnection
+//! follows crossbeam's rules: a receive on a channel whose senders are all
+//! gone drains buffered messages first and only then reports
+//! [`RecvError`]; a send with no receivers left fails immediately.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    cap: Option<usize>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// The sending half of a channel. Clone freely; the channel disconnects for
+/// receivers once every clone is dropped.
+pub struct Sender<T>(Arc<Shared<T>>);
+
+/// The receiving half of a channel. Clone freely (work-stealing consumers);
+/// the channel disconnects for senders once every clone is dropped.
+pub struct Receiver<T>(Arc<Shared<T>>);
+
+/// The channel is disconnected: every [`Receiver`] was dropped. The
+/// unsent message is handed back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Why a [`Sender::try_send`] did not enqueue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded buffer is at capacity (the backpressure signal).
+    Full(T),
+    /// Every receiver was dropped.
+    Disconnected(T),
+}
+
+/// The channel is empty and every [`Sender`] was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Why a [`Receiver::try_recv`] returned no message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message buffered right now.
+    Empty,
+    /// Empty, and every sender was dropped.
+    Disconnected,
+}
+
+/// Why a [`Receiver::recv_timeout`] returned no message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed first.
+    Timeout,
+    /// Empty, and every sender was dropped.
+    Disconnected,
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Sender(..)")
+    }
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Receiver(..)")
+    }
+}
+
+fn shared<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            cap,
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender(Arc::clone(&shared)), Receiver(shared))
+}
+
+/// A channel buffering at most `cap` messages; sends beyond that block (or
+/// fail fast via [`Sender::try_send`]). A capacity of 0 is rounded up to 1 —
+/// the stand-in has no rendezvous mode.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    shared(Some(cap.max(1)))
+}
+
+/// A channel with an unbounded buffer; sends never block.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    shared(None)
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.inner.lock().unwrap().senders += 1;
+        Sender(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.0.inner.lock().unwrap();
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            // Receivers blocked in recv must wake to observe disconnection.
+            self.0.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.0.inner.lock().unwrap().receivers += 1;
+        Receiver(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.0.inner.lock().unwrap();
+        inner.receivers -= 1;
+        if inner.receivers == 0 {
+            self.0.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> Inner<T> {
+    fn is_full(&self) -> bool {
+        self.cap.is_some_and(|cap| self.queue.len() >= cap)
+    }
+}
+
+impl<T> Sender<T> {
+    /// Blocks until the message is buffered, or fails if every receiver is
+    /// gone.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut inner = self.0.inner.lock().unwrap();
+        while inner.is_full() {
+            if inner.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            inner = self.0.not_full.wait(inner).unwrap();
+        }
+        if inner.receivers == 0 {
+            return Err(SendError(msg));
+        }
+        inner.queue.push_back(msg);
+        drop(inner);
+        self.0.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues without blocking; a full bounded buffer is the explicit
+    /// backpressure signal [`TrySendError::Full`].
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut inner = self.0.inner.lock().unwrap();
+        if inner.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if inner.is_full() {
+            return Err(TrySendError::Full(msg));
+        }
+        inner.queue.push_back(msg);
+        drop(inner);
+        self.0.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.0.inner.lock().unwrap().queue.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives, or fails once the channel is empty
+    /// and every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.0.inner.lock().unwrap();
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                drop(inner);
+                self.0.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self.0.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Like [`Receiver::recv`], giving up after `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.0.inner.lock().unwrap();
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                drop(inner);
+                self.0.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, result) = self
+                .0
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .unwrap();
+            inner = guard;
+            if result.timed_out() && inner.queue.is_empty() {
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// Pops a buffered message without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.0.inner.lock().unwrap();
+        if let Some(msg) = inner.queue.pop_front() {
+            drop(inner);
+            self.0.not_full.notify_one();
+            return Ok(msg);
+        }
+        if inner.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.0.inner.lock().unwrap().queue.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_backpressure_and_fifo() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_semantics() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(7).unwrap();
+        drop(tx);
+        // Buffered messages drain before disconnection is reported.
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+        assert_eq!(tx.try_send(2), Err(TrySendError::Disconnected(2)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = bounded::<u32>(4);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(9));
+    }
+
+    #[test]
+    fn mpmc_across_threads_delivers_everything_once() {
+        let (tx, rx) = bounded::<usize>(4);
+        let total = 200usize;
+        let seen = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for w in 0..3 {
+                let rx = rx.clone();
+                let seen = &seen;
+                s.spawn(move || {
+                    while let Ok(v) = rx.recv() {
+                        seen.lock().unwrap().push((w, v));
+                    }
+                });
+            }
+            for chunk in 0..2 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..total / 2 {
+                        tx.send(chunk * (total / 2) + i).unwrap();
+                    }
+                });
+            }
+            drop(tx); // all senders dropped once producer threads finish
+            drop(rx);
+        });
+        let mut values: Vec<usize> = seen.into_inner().unwrap().iter().map(|&(_, v)| v).collect();
+        values.sort_unstable();
+        assert_eq!(values, (0..total).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn blocked_send_wakes_when_space_frees() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        std::thread::scope(|s| {
+            let tx2 = tx.clone();
+            s.spawn(move || tx2.send(2).unwrap());
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+        });
+    }
+}

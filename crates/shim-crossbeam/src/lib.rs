@@ -5,8 +5,18 @@
 //! top of `std::thread::scope`. One behavioral difference: a panicking child
 //! thread propagates the panic out of [`scope`] instead of surfacing as
 //! `Err`, which is equivalent for callers that `.expect()` the result.
+//!
+//! Also provides [`channel`], a stand-in for `crossbeam-channel`: MPMC
+//! [`channel::bounded`] / [`channel::unbounded`] queues built on
+//! `Mutex` + `Condvar`. Bounded channels are the backpressure primitive of
+//! the `mm-serve` admission queue: [`channel::Sender::try_send`] reports
+//! [`channel::TrySendError::Full`] instead of blocking, which is what turns
+//! overload into an explicit shed decision rather than unbounded memory
+//! growth.
 
 #![forbid(unsafe_code)]
+
+pub mod channel;
 
 use std::any::Any;
 

@@ -44,6 +44,7 @@
 
 mod driver;
 mod gantt;
+mod replay;
 mod schedule;
 mod verify;
 
@@ -52,5 +53,6 @@ pub use driver::{
     SimOutcome, SimState, Simulation,
 };
 pub use gantt::render_gantt;
+pub use replay::{Arrival, ArrivalSource};
 pub use schedule::{Schedule, Segment};
 pub use verify::{verify, ScheduleError, ScheduleStats, VerifyOptions};

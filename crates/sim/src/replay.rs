@@ -1,0 +1,152 @@
+//! Arrival-driven request replay: turn an [`Instance`] into a paced request
+//! stream for the service layer.
+//!
+//! Online machine minimization is a streaming problem — jobs become visible
+//! at their release dates, and the algorithm must answer about the jobs seen
+//! so far. [`ArrivalSource`] makes that concrete for `machmin serve`: it
+//! groups an instance's jobs by release date and emits one [`Arrival`] per
+//! distinct release, each carrying a wall-clock offset (instance time scaled
+//! by a caller-chosen unit) and the *prefix instance* of everything released
+//! up to that point. A load generator replays the arrivals by sleeping to
+//! each offset and issuing a solve/probe request over the prefix.
+
+use std::time::Duration;
+
+use mm_instance::{Instance, JobId};
+use mm_numeric::Rat;
+
+/// One release event of a replayed instance.
+#[derive(Debug, Clone)]
+pub struct Arrival {
+    /// Wall-clock offset from the start of the replay.
+    pub offset: Duration,
+    /// Release date in instance time (exact).
+    pub release: Rat,
+    /// Ids (in the source instance) of the jobs released at this instant.
+    pub released: Vec<JobId>,
+    /// All jobs released so far, rebuilt as a standalone instance. Job ids
+    /// are re-assigned densely by the instance builder, so this is a valid
+    /// instance in its own right (what an online algorithm sees at this
+    /// time).
+    pub prefix: Instance,
+}
+
+/// A paced request schedule derived from an instance's release dates.
+#[derive(Debug, Clone)]
+pub struct ArrivalSource {
+    arrivals: Vec<Arrival>,
+}
+
+impl ArrivalSource {
+    /// Builds the replay schedule: arrivals sorted by release date, one per
+    /// distinct release, paced at `unit` of wall-clock per unit of instance
+    /// time. Offsets are measured from the earliest release (the first
+    /// arrival always has offset zero), so instances that start late do not
+    /// stall the replay.
+    pub fn new(instance: &Instance, unit: Duration) -> Self {
+        let mut order: Vec<&mm_instance::Job> = instance.iter().collect();
+        order.sort_by(|a, b| a.release.cmp(&b.release).then(a.id.cmp(&b.id)));
+        let origin = order.first().map(|job| job.release.clone());
+
+        let mut arrivals: Vec<Arrival> = Vec::new();
+        let mut seen: Vec<mm_instance::Job> = Vec::new();
+        let mut i = 0;
+        while i < order.len() {
+            let release = order[i].release.clone();
+            let mut released = Vec::new();
+            while i < order.len() && order[i].release == release {
+                released.push(order[i].id);
+                seen.push(order[i].clone());
+                i += 1;
+            }
+            let elapsed = &release - origin.as_ref().expect("non-empty order");
+            arrivals.push(Arrival {
+                offset: scale(&elapsed, unit),
+                release,
+                released,
+                prefix: Instance::from_jobs(seen.iter().cloned()),
+            });
+        }
+        ArrivalSource { arrivals }
+    }
+
+    /// The arrivals in replay order.
+    pub fn arrivals(&self) -> &[Arrival] {
+        &self.arrivals
+    }
+
+    /// Number of distinct release instants.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether the source instance had no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Total wall-clock span of the replay (offset of the last arrival).
+    pub fn span(&self) -> Duration {
+        self.arrivals.last().map_or(Duration::ZERO, |a| a.offset)
+    }
+}
+
+/// `elapsed * unit`, computed in nanoseconds with saturation. Release dates
+/// are exact rationals; replay pacing only needs wall-clock resolution, so a
+/// round through `f64` is fine here (and the only place the simulator ever
+/// leaves exact arithmetic).
+fn scale(elapsed: &Rat, unit: Duration) -> Duration {
+    let units = elapsed.to_f64().max(0.0);
+    let nanos = units * unit.as_nanos() as f64;
+    if !nanos.is_finite() || nanos >= u64::MAX as f64 {
+        Duration::from_nanos(u64::MAX)
+    } else {
+        Duration::from_nanos(nanos as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_by_release_and_paces_offsets() {
+        let inst = Instance::from_ints([(0, 10, 1), (0, 4, 2), (2, 6, 1), (5, 9, 2)]);
+        let src = ArrivalSource::new(&inst, Duration::from_millis(10));
+        assert_eq!(src.len(), 3);
+        let a = src.arrivals();
+        assert_eq!(a[0].offset, Duration::ZERO);
+        assert_eq!(a[0].released.len(), 2);
+        assert_eq!(a[0].prefix.len(), 2);
+        assert_eq!(a[1].offset, Duration::from_millis(20));
+        assert_eq!(a[1].prefix.len(), 3);
+        assert_eq!(a[2].offset, Duration::from_millis(50));
+        assert_eq!(a[2].prefix.len(), 4);
+        assert_eq!(src.span(), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn late_start_is_rebased_to_zero() {
+        let inst = Instance::from_ints([(100, 104, 2), (101, 105, 1)]);
+        let src = ArrivalSource::new(&inst, Duration::from_millis(1));
+        assert_eq!(src.arrivals()[0].offset, Duration::ZERO);
+        assert_eq!(src.arrivals()[1].offset, Duration::from_millis(1));
+    }
+
+    #[test]
+    fn prefixes_are_valid_instances() {
+        let inst = Instance::from_ints([(0, 8, 3), (1, 5, 2), (3, 7, 1)]);
+        let src = ArrivalSource::new(&inst, Duration::ZERO);
+        for arrival in src.arrivals() {
+            assert!(arrival.prefix.validate().is_ok());
+        }
+        assert_eq!(src.span(), Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_instance_yields_no_arrivals() {
+        let src = ArrivalSource::new(&Instance::empty(), Duration::from_secs(1));
+        assert!(src.is_empty());
+        assert_eq!(src.span(), Duration::ZERO);
+    }
+}

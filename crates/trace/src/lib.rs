@@ -182,6 +182,59 @@ pub enum TraceEvent {
         /// Jobs released across all completed runs.
         jobs: usize,
     },
+    /// The service layer accepted a request into its bounded admission
+    /// queue.
+    RequestAdmitted {
+        /// Request id (assigned by the server, dense per run).
+        id: u64,
+        /// Request kind tag (`solve`, `probe`, `schedule`, `adversary`).
+        kind: &'static str,
+        /// Queue depth *after* admission (the queue-depth histogram's
+        /// sample point).
+        depth: usize,
+    },
+    /// The admission queue was full and the request was shed with an
+    /// `overloaded` response instead of being buffered.
+    RequestShed {
+        /// Request id.
+        id: u64,
+        /// Queue depth at the shed decision (the configured bound).
+        depth: usize,
+    },
+    /// An admitted request produced its terminal response (exactly one per
+    /// admitted request — `ok`, `degraded`, `error`, or `quarantined`).
+    RequestCompleted {
+        /// Request id.
+        id: u64,
+        /// Terminal status tag.
+        status: &'static str,
+    },
+    /// A request was re-queued after a worker panic, with backoff.
+    RequestRetried {
+        /// Request id.
+        id: u64,
+        /// Execution attempts so far (the retry is attempt `attempt + 1`).
+        attempt: u32,
+    },
+    /// A worker thread panicked while executing a request; the supervisor
+    /// caught it.
+    WorkerPanicked {
+        /// Worker index within the pool.
+        worker: usize,
+        /// The request it was executing.
+        request: u64,
+    },
+    /// The supervisor spawned a replacement worker.
+    WorkerRestarted {
+        /// Worker index being recycled.
+        worker: usize,
+    },
+    /// Graceful shutdown began: no new admissions, in-flight work draining
+    /// under the drain deadline.
+    DrainStarted {
+        /// Requests still queued or running at drain start.
+        pending: usize,
+    },
 }
 
 impl TraceEvent {
@@ -205,6 +258,13 @@ impl TraceEvent {
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::ProbeDegraded { .. } => "probe_degraded",
             TraceEvent::AdversaryCheckpoint { .. } => "adversary_checkpoint",
+            TraceEvent::RequestAdmitted { .. } => "request_admitted",
+            TraceEvent::RequestShed { .. } => "request_shed",
+            TraceEvent::RequestCompleted { .. } => "request_completed",
+            TraceEvent::RequestRetried { .. } => "request_retried",
+            TraceEvent::WorkerPanicked { .. } => "worker_panicked",
+            TraceEvent::WorkerRestarted { .. } => "worker_restarted",
+            TraceEvent::DrainStarted { .. } => "drain_started",
         }
     }
 
@@ -325,6 +385,40 @@ impl TraceEvent {
                 ("round", Json::Int(*round as i64)),
                 ("jobs", Json::Int(*jobs as i64)),
             ]),
+            TraceEvent::RequestAdmitted { id, kind, depth } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("id", Json::Int(*id as i64)),
+                ("kind", Json::str(*kind)),
+                ("depth", Json::Int(*depth as i64)),
+            ]),
+            TraceEvent::RequestShed { id, depth } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("id", Json::Int(*id as i64)),
+                ("depth", Json::Int(*depth as i64)),
+            ]),
+            TraceEvent::RequestCompleted { id, status } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("id", Json::Int(*id as i64)),
+                ("status", Json::str(*status)),
+            ]),
+            TraceEvent::RequestRetried { id, attempt } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("id", Json::Int(*id as i64)),
+                ("attempt", Json::Int(*attempt as i64)),
+            ]),
+            TraceEvent::WorkerPanicked { worker, request } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("worker", Json::Int(*worker as i64)),
+                ("request", Json::Int(*request as i64)),
+            ]),
+            TraceEvent::WorkerRestarted { worker } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("worker", Json::Int(*worker as i64)),
+            ]),
+            TraceEvent::DrainStarted { pending } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("pending", Json::Int(*pending as i64)),
+            ]),
         }
     }
 }
@@ -363,6 +457,16 @@ impl TraceSink for NoopSink {
 }
 
 impl<S: TraceSink> TraceSink for &mut S {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    fn record(&mut self, event: &TraceEvent) {
+        (**self).record(event)
+    }
+}
+
+impl<S: TraceSink + ?Sized> TraceSink for Box<S> {
     fn enabled(&self) -> bool {
         (**self).enabled()
     }
@@ -527,11 +631,31 @@ pub struct Metrics {
     pub probes_degraded: u64,
     /// `adversary_checkpoint` events.
     pub adversary_checkpoints: u64,
+    /// `request_admitted` events.
+    pub requests_admitted: u64,
+    /// `request_shed` events.
+    pub requests_shed: u64,
+    /// `request_completed` events (terminal responses for admitted
+    /// requests). The service-layer invariant is
+    /// `requests_admitted == responses_sent` once drained, and every shed
+    /// request got an `overloaded` reply at the door.
+    pub responses_sent: u64,
+    /// `request_retried` events.
+    pub requests_retried: u64,
+    /// `worker_panicked` events.
+    pub worker_panics: u64,
+    /// `worker_restarted` events.
+    pub worker_restarts: u64,
+    /// `drain_started` events (0 or 1 per server run).
+    pub drains: u64,
     /// Events touching each machine (index = machine id): opens, starts,
     /// preemptions, and incoming migrations.
     pub events_per_machine: Vec<u64>,
     /// `preempted` events per job (index = job id).
     pub preemptions_per_job: Vec<u64>,
+    /// Admissions observed at each queue depth (index = depth after
+    /// admission, so index 1 is "queue held only this request").
+    pub queue_depth_at_admission: Vec<u64>,
 }
 
 impl Metrics {
@@ -591,6 +715,16 @@ impl Metrics {
             TraceEvent::FaultInjected { .. } => self.faults_injected += 1,
             TraceEvent::ProbeDegraded { .. } => self.probes_degraded += 1,
             TraceEvent::AdversaryCheckpoint { .. } => self.adversary_checkpoints += 1,
+            TraceEvent::RequestAdmitted { depth, .. } => {
+                self.requests_admitted += 1;
+                Self::bump(&mut self.queue_depth_at_admission, *depth);
+            }
+            TraceEvent::RequestShed { .. } => self.requests_shed += 1,
+            TraceEvent::RequestCompleted { .. } => self.responses_sent += 1,
+            TraceEvent::RequestRetried { .. } => self.requests_retried += 1,
+            TraceEvent::WorkerPanicked { .. } => self.worker_panics += 1,
+            TraceEvent::WorkerRestarted { .. } => self.worker_restarts += 1,
+            TraceEvent::DrainStarted { .. } => self.drains += 1,
         }
     }
 
@@ -655,13 +789,79 @@ impl Metrics {
                 ]),
             ),
             (
+                "serve",
+                Json::obj([
+                    (
+                        "requests_admitted",
+                        Json::Int(self.requests_admitted as i64),
+                    ),
+                    ("requests_shed", Json::Int(self.requests_shed as i64)),
+                    ("responses_sent", Json::Int(self.responses_sent as i64)),
+                    ("requests_retried", Json::Int(self.requests_retried as i64)),
+                    ("worker_panics", Json::Int(self.worker_panics as i64)),
+                    ("worker_restarts", Json::Int(self.worker_restarts as i64)),
+                    ("drains", Json::Int(self.drains as i64)),
+                ]),
+            ),
+            (
                 "histograms",
                 Json::obj([
                     ("events_per_machine", counts(&self.events_per_machine)),
                     ("preemptions_per_job", counts(&self.preemptions_per_job)),
+                    (
+                        "queue_depth_at_admission",
+                        counts(&self.queue_depth_at_admission),
+                    ),
                 ]),
             ),
         ])
+    }
+}
+
+/// A clonable, thread-safe handle to one shared sink (`Arc<Mutex<S>>`).
+///
+/// The service layer's supervisor, workers, and connection threads all emit
+/// into the same trace; each holds a `SharedSink` clone and the mutex
+/// serialises records. Lock scope is one `record` call, so event order in
+/// the trace is a valid interleaving of the per-thread orders.
+#[derive(Debug, Default)]
+pub struct SharedSink<S>(std::sync::Arc<std::sync::Mutex<S>>);
+
+impl<S> Clone for SharedSink<S> {
+    fn clone(&self) -> Self {
+        SharedSink(std::sync::Arc::clone(&self.0))
+    }
+}
+
+impl<S: TraceSink> SharedSink<S> {
+    /// Wraps `sink` for sharing across threads.
+    pub fn new(sink: S) -> Self {
+        SharedSink(std::sync::Arc::new(std::sync::Mutex::new(sink)))
+    }
+
+    /// Runs `f` with the inner sink locked (e.g. to read a `MetricsSink`'s
+    /// totals mid-run).
+    pub fn with<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        f(&mut self.0.lock().expect("trace sink poisoned"))
+    }
+
+    /// Unwraps the inner sink. Panics if other clones are still alive.
+    pub fn into_inner(self) -> S {
+        std::sync::Arc::try_unwrap(self.0)
+            .ok()
+            .expect("other SharedSink clones still alive")
+            .into_inner()
+            .expect("trace sink poisoned")
+    }
+}
+
+impl<S: TraceSink> TraceSink for SharedSink<S> {
+    fn enabled(&self) -> bool {
+        self.0.lock().expect("trace sink poisoned").enabled()
+    }
+
+    fn record(&mut self, event: &TraceEvent) {
+        self.0.lock().expect("trace sink poisoned").record(event);
     }
 }
 
@@ -800,6 +1000,74 @@ mod tests {
                 .as_str(),
             Some("1/3")
         );
+    }
+
+    #[test]
+    fn serve_events_feed_serve_metrics() {
+        let mut sink = MetricsSink::new();
+        sink.record(&TraceEvent::RequestAdmitted {
+            id: 0,
+            kind: "solve",
+            depth: 1,
+        });
+        sink.record(&TraceEvent::RequestAdmitted {
+            id: 1,
+            kind: "probe",
+            depth: 2,
+        });
+        sink.record(&TraceEvent::RequestShed { id: 2, depth: 2 });
+        sink.record(&TraceEvent::WorkerPanicked {
+            worker: 0,
+            request: 1,
+        });
+        sink.record(&TraceEvent::WorkerRestarted { worker: 0 });
+        sink.record(&TraceEvent::RequestRetried { id: 1, attempt: 1 });
+        sink.record(&TraceEvent::RequestCompleted {
+            id: 0,
+            status: "ok",
+        });
+        sink.record(&TraceEvent::RequestCompleted {
+            id: 1,
+            status: "degraded",
+        });
+        sink.record(&TraceEvent::DrainStarted { pending: 0 });
+        let m = &sink.metrics;
+        assert_eq!(m.requests_admitted, 2);
+        assert_eq!(m.requests_shed, 1);
+        assert_eq!(m.responses_sent, 2);
+        assert_eq!(m.requests_retried, 1);
+        assert_eq!(m.worker_panics, 1);
+        assert_eq!(m.worker_restarts, 1);
+        assert_eq!(m.drains, 1);
+        assert_eq!(m.queue_depth_at_admission, vec![0, 1, 1]);
+        // The drained-server invariant holds on this sequence.
+        assert_eq!(m.requests_admitted, m.responses_sent);
+        let doc = m.to_json();
+        assert_eq!(
+            doc.get("serve")
+                .unwrap()
+                .get("responses_sent")
+                .unwrap()
+                .as_i64(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn shared_sink_serialises_concurrent_records() {
+        let shared = SharedSink::new(VecSink::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let mut sink = shared.clone();
+                s.spawn(move || {
+                    for id in 0..25 {
+                        sink.record(&TraceEvent::RequestCompleted { id, status: "ok" });
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.with(|s| s.events.len()), 100);
+        assert_eq!(shared.into_inner().events.len(), 100);
     }
 
     #[test]

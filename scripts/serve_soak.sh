@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Soak test for `machmin serve`: a seeded fault-plan server absorbs a mixed
+# request load with zero lost responses, drains cleanly, and holds the
+# admitted == responses invariant. Two same-seed runs must produce
+# byte-identical transcripts, and a restart on the journal must replay every
+# acked response.
+#
+# Usage: scripts/serve_soak.sh [n_requests] [seed]
+# The caller should wrap this script in `timeout` (CI does) so a hung drain
+# fails the job instead of stalling it.
+set -euo pipefail
+
+N="${1:-500}"
+SEED="${2:-7}"
+BIN="${MACHMIN:-./target/release/machmin}"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/machmin-soak.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+wait_for_port() {
+    for _ in $(seq 1 300); do
+        [ -s "$1" ] && return 0
+        sleep 0.1
+    done
+    echo "server never bound" >&2
+    return 1
+}
+
+run_soak() {
+    # One full server lifecycle: start with the chaos fault plan and a
+    # journal, drive $N mixed requests through the closed-loop client
+    # (window below the queue cap, so nothing sheds and the transcript is
+    # deterministic), shut down, and check the server's own accounting.
+    # --retry-attempts far above the plan's possible fire count makes
+    # quarantine impossible, so every response is a pure function of its
+    # request.
+    local tag="$1"
+    local server_log="$WORK/server-$tag.txt"
+    local port_file="$WORK/port-$tag.txt"
+
+    "$BIN" serve --addr 127.0.0.1:0 --workers 2 --queue-cap 16 \
+        --seed "$SEED" --chaos --retry-attempts 1000 \
+        --journal "$WORK/journal-$tag.jsonl" \
+        --port-file "$port_file" >"$server_log" 2>/dev/null &
+    local server_pid=$!
+
+    wait_for_port "$port_file"
+    "$BIN" load --addr "$(cat "$port_file")" --n "$N" --seed "$SEED" \
+        --window 8 --out "$WORK/transcript-$tag.jsonl" \
+        >"$WORK/load-$tag.txt"
+    wait "$server_pid"
+
+    grep -q "lost responses: 0" "$WORK/load-$tag.txt"
+    grep -q "invariant requests_admitted == responses_sent: ok" "$server_log"
+    echo "soak $tag: ok ($(grep '^requests:' "$server_log"))"
+}
+
+run_soak a
+run_soak b
+
+# Determinism: same seed, byte-identical transcripts across independent
+# server lifecycles (panic retries and all).
+diff "$WORK/transcript-a.jsonl" "$WORK/transcript-b.jsonl"
+echo "soak: transcripts byte-identical across runs"
+
+# Crash-safety: a fresh server on run A's journal replays every acked
+# response on startup (the journal is complete, so nothing re-runs).
+[ "$(grep -c '"rec":"acked"' "$WORK/journal-a.jsonl")" -eq "$N" ]
+port_file="$WORK/port-replay.txt"
+"$BIN" serve --addr 127.0.0.1:0 --journal "$WORK/journal-a.jsonl" \
+    --port-file "$port_file" >"$WORK/server-replay.txt" 2>/dev/null &
+replay_pid=$!
+wait_for_port "$port_file"
+"$BIN" load --addr "$(cat "$port_file")" --n 1 --seed 0 >/dev/null
+wait "$replay_pid"
+grep -q "journal: replayed $N acked response(s) on startup" "$WORK/server-replay.txt"
+echo "soak: journal replay recovered $N acked responses"

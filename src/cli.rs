@@ -11,6 +11,7 @@
 use std::fmt::Write as _;
 use std::io::BufWriter;
 use std::path::Path;
+use std::sync::Arc;
 
 use mm_adversary::{CompletedRun, GapResult, GapStop, MigrationGapAdversary, SweepCheckpoint};
 use mm_core::{AgreeableSplit, Edf, EdfFirstFit, LaminarBudget, Llf, MediumFit};
@@ -24,8 +25,11 @@ use mm_opt::{
     contribution_bound, demigrate, optimal_machines, optimal_machines_budgeted_traced,
     optimal_machines_traced, theorem2_bound,
 };
+use mm_serve::{DynSink, LoadConfig, ServeConfig, Service};
 use mm_sim::{render_gantt, run_policy_traced, verify, SimConfig, Simulation, VerifyOptions};
-use mm_trace::{JsonlSink, Metrics, MetricsSink, TeeSink, TraceEvent, TraceSink};
+use mm_trace::{
+    JsonlSink, Metrics, MetricsSink, NoopSink, SharedSink, TeeSink, TraceEvent, TraceSink,
+};
 
 pub use crate::Error;
 
@@ -102,27 +106,89 @@ pub enum Command {
         /// Aggregated metrics JSON output file.
         metrics: Option<String>,
     },
-    /// `chaos [--seed S] [--n N]` — deterministic fault-injection run
-    /// exercising every [`FaultSite`] against the full stack.
+    /// `chaos [--seed S] [--n N] [--plan f.json]` — deterministic
+    /// fault-injection run exercising every [`FaultSite`] against the full
+    /// stack; `--plan` replaces the derived chaos plan with an explicit one.
     Chaos {
         /// Seed deriving the fault plan and the workload.
         seed: u64,
         /// Workload size (jobs).
         n: usize,
+        /// Explicit fault-plan file (overrides the seed-derived plan).
+        plan: Option<String>,
         /// JSONL event-trace output file.
         trace: Option<String>,
         /// Aggregated metrics JSON output file.
         metrics: Option<String>,
     },
-    /// `bench [--quick] [--out f.json] [--check f.json]` — tracked
-    /// performance baseline (see `mm_bench::baseline`).
+    /// `bench [--quick] [--serve] [--out f.json] [--check f.json]` —
+    /// tracked performance baseline (see `mm_bench::baseline`); `--serve`
+    /// benchmarks the service layer instead (closed-loop client, latency
+    /// quantiles and shed rate, default out `BENCH_4.json`).
     Bench {
         /// Run the reduced workload set (CI smoke mode).
         quick: bool,
+        /// Benchmark `machmin serve` instead of the solver baseline.
+        serve: bool,
         /// Baseline JSON output file (default `BENCH_2.json`).
         out: String,
         /// Committed baseline to gate deterministic counters against.
         check: Option<String>,
+    },
+    /// `serve [--addr A] [--workers N] [--queue-cap N] [--drain-ms N]
+    /// [--seed S] [--retry-attempts N] [--chaos | --plan f.json]
+    /// [--journal f.jsonl] [--deadline-ms N] [--port-file f]
+    /// [--trace f.jsonl] [--metrics f.json]` — supervised JSONL-over-TCP
+    /// request server with bounded admission, panic recovery, and a
+    /// crash-safe journal.
+    Serve {
+        /// Listen address (`127.0.0.1:0` picks a free port).
+        addr: String,
+        /// Worker threads.
+        workers: usize,
+        /// Admission bound (queued + running + awaiting retry).
+        queue_cap: usize,
+        /// Drain deadline after a shutdown request, in milliseconds.
+        drain_ms: u64,
+        /// Seed for retry jitter and the `--chaos` fault plan.
+        seed: u64,
+        /// Panic-retry attempts before a request is quarantined.
+        retry_attempts: u32,
+        /// Inject the seed-derived chaos fault plan into the workers.
+        chaos: bool,
+        /// Explicit fault-plan file (mutually exclusive with `--chaos`).
+        plan: Option<String>,
+        /// Write-ahead journal path; replayed on restart.
+        journal: Option<String>,
+        /// Default per-request deadline for requests that carry none.
+        deadline_ms: Option<u64>,
+        /// File to write the bound address to (for scripted clients).
+        port_file: Option<String>,
+        /// JSONL event-trace output file.
+        trace: Option<String>,
+        /// Aggregated metrics JSON output file.
+        metrics: Option<String>,
+    },
+    /// `load --addr A [--n N] [--seed S] [--paced] [--window W]
+    /// [--deadline-ms N] [--out f] [--no-shutdown]` — deterministic load
+    /// client for a running server; writes the response transcript.
+    Load {
+        /// Server address to connect to.
+        addr: String,
+        /// Requests to send.
+        n: usize,
+        /// Seed for the request mix.
+        seed: u64,
+        /// Arrival-driven pacing instead of closed-loop.
+        paced: bool,
+        /// Max outstanding requests in closed-loop mode.
+        window: usize,
+        /// Per-request deadline to attach.
+        deadline_ms: Option<u64>,
+        /// Transcript output file (response lines sorted by id).
+        out: Option<String>,
+        /// Send a shutdown request after the run (drains the server).
+        shutdown: bool,
     },
     /// `help`.
     Help,
@@ -252,13 +318,59 @@ pub fn parse(args: &[String]) -> Result<Command, Error> {
         "chaos" => Ok(Command::Chaos {
             seed: num_flag::<u64>(args, "--seed")?.unwrap_or(0),
             n: num_flag::<usize>(args, "--n")?.unwrap_or(16).max(1),
+            plan: value_flag(args, "--plan")?,
             trace: value_flag(args, "--trace")?,
             metrics: value_flag(args, "--metrics")?,
         }),
-        "bench" => Ok(Command::Bench {
-            quick: args.iter().any(|a| a == "--quick"),
-            out: value_flag(args, "--out")?.unwrap_or_else(|| "BENCH_2.json".into()),
-            check: value_flag(args, "--check")?,
+        "bench" => {
+            let serve = args.iter().any(|a| a == "--serve");
+            let default_out = if serve {
+                "BENCH_4.json"
+            } else {
+                "BENCH_2.json"
+            };
+            Ok(Command::Bench {
+                quick: args.iter().any(|a| a == "--quick"),
+                serve,
+                out: value_flag(args, "--out")?.unwrap_or_else(|| default_out.into()),
+                check: value_flag(args, "--check")?,
+            })
+        }
+        "serve" => {
+            let chaos = args.iter().any(|a| a == "--chaos");
+            let plan = value_flag(args, "--plan")?;
+            if chaos && plan.is_some() {
+                return Err(Error::Usage(
+                    "--chaos and --plan are mutually exclusive".into(),
+                ));
+            }
+            Ok(Command::Serve {
+                addr: value_flag(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:0".into()),
+                workers: num_flag::<usize>(args, "--workers")?.unwrap_or(2).max(1),
+                queue_cap: num_flag::<usize>(args, "--queue-cap")?.unwrap_or(16).max(1),
+                drain_ms: num_flag::<u64>(args, "--drain-ms")?.unwrap_or(2_000),
+                seed: num_flag::<u64>(args, "--seed")?.unwrap_or(0),
+                retry_attempts: num_flag::<u32>(args, "--retry-attempts")?
+                    .unwrap_or(3)
+                    .max(1),
+                chaos,
+                plan,
+                journal: value_flag(args, "--journal")?,
+                deadline_ms: num_flag::<u64>(args, "--deadline-ms")?,
+                port_file: value_flag(args, "--port-file")?,
+                trace: value_flag(args, "--trace")?,
+                metrics: value_flag(args, "--metrics")?,
+            })
+        }
+        "load" => Ok(Command::Load {
+            addr: value_flag(args, "--addr")?.ok_or_else(usage_load)?,
+            n: num_flag::<usize>(args, "--n")?.unwrap_or(100).max(1),
+            seed: num_flag::<u64>(args, "--seed")?.unwrap_or(0),
+            paced: args.iter().any(|a| a == "--paced"),
+            window: num_flag::<usize>(args, "--window")?.unwrap_or(8).max(1),
+            deadline_ms: num_flag::<u64>(args, "--deadline-ms")?,
+            out: value_flag(args, "--out")?,
+            shutdown: !args.iter().any(|a| a == "--no-shutdown"),
         }),
         other => Err(Error::Usage(format!(
             "unknown command `{other}`; run `machmin help`"
@@ -300,6 +412,14 @@ fn usage_adversary() -> Error {
     )
 }
 
+fn usage_load() -> Error {
+    Error::Usage(
+        "usage: machmin load --addr <host:port> [--n N] [--seed S] [--paced] [--window W] \
+         [--deadline-ms N] [--out transcript.jsonl] [--no-shutdown]"
+            .into(),
+    )
+}
+
 /// Help text.
 pub fn help_text() -> &'static str {
     "machmin — online machine minimization (SPAA'16 reproduction)\n\
@@ -316,16 +436,27 @@ pub fn help_text() -> &'static str {
        adversary --policy P [--k K] [--machines N] [--checkpoint f.json [--resume]]\n\
                                                 migration-gap sweep over depths k = 2..=K,\n\
                                                 checkpointing each completed depth (P ∈ {edf-ff, medium-fit})\n\
-       chaos [--seed S] [--n N]                 deterministic fault-injection run exercising every\n\
+       chaos [--seed S] [--n N] [--plan f.json] deterministic fault-injection run exercising every\n\
                                                 fault site (probe_cancel, force_bigint, machine_failure,\n\
-                                                machine_slowdown, adversary_abort) without panicking\n\
-       bench [--quick] [--out f.json] [--check f.json]\n\
+                                                machine_slowdown, adversary_abort, worker_panic)\n\
+                                                without panicking; --plan loads an explicit plan\n\
+       serve [--addr A] [--workers N] [--queue-cap N] [--drain-ms N] [--seed S] [--retry-attempts N]\n\
+             [--chaos | --plan f.json] [--journal f.jsonl] [--deadline-ms N] [--port-file f]\n\
+                                                supervised JSONL-over-TCP request server: bounded\n\
+                                                admission with shedding, per-request deadlines,\n\
+                                                panic-recycling workers, crash-safe journal replay,\n\
+                                                graceful drain (a `shutdown` request ends it)\n\
+       load --addr <host:port> [--n N] [--seed S] [--paced] [--window W] [--out f] [--no-shutdown]\n\
+                                                deterministic load client: mixed request stream,\n\
+                                                transcript sorted by id, p50/p99 latency report\n\
+       bench [--quick] [--serve] [--out f.json] [--check f.json]\n\
                                                 seeded perf baseline: fast path + prober reuse vs\n\
                                                 BigInt + fresh-network reference (default out\n\
-                                                BENCH_2.json); --check gates deterministic counters\n\
+                                                BENCH_2.json); --check gates deterministic counters;\n\
+                                                --serve benchmarks the service layer (BENCH_4.json)\n\
        help                                     this text\n\
      \n\
-     observability (solve, schedule, adversary, chaos):\n\
+     observability (solve, schedule, adversary, chaos, serve):\n\
        --trace <file.jsonl>                     stream typed events (one JSON object per line)\n\
        --metrics <file.json>                    write aggregated counters and histograms\n\
      \n\
@@ -347,6 +478,126 @@ fn load(path: &str) -> Result<Instance, Error> {
         return Err(Error::Validation(format!("{path}: {report}")));
     }
     Ok(inst)
+}
+
+/// Loads an explicit fault plan, surfacing malformed JSON as a categorized
+/// io error (exit 3) with line/column context — a truncated plan file must
+/// never panic the process.
+fn load_fault_plan(path: &str) -> Result<FaultPlan, Error> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| Error::Io(format!("cannot read fault plan {path}: {e}")))?;
+    if let Err(e) = mm_json::parse(&text) {
+        return Err(Error::Io(format!(
+            "cannot parse fault plan {path}: {e} ({})",
+            e.locate(&text)
+        )));
+    }
+    FaultPlan::from_json(&text).map_err(|e| Error::Io(format!("invalid fault plan {path}: {e}")))
+}
+
+/// The `bench --serve` scenario: an in-process server on loopback TCP, a
+/// closed-loop client, latency quantiles plus deterministic counters
+/// (`BENCH_4.json`). With the window below the queue capacity and no fault
+/// plan, every counter is a pure function of the seed; only the wall-clock
+/// quantiles vary by environment, and `--check` never gates on those.
+fn serve_bench(
+    quick: bool,
+    path: &str,
+    check: Option<&str>,
+    out: &mut String,
+) -> Result<(), Error> {
+    use mm_json::Json;
+    let n = if quick { 60 } else { 240 };
+    let cfg = ServeConfig {
+        workers: 2,
+        queue_cap: 16,
+        ..ServeConfig::default()
+    };
+    let service = Arc::new(
+        Service::start(cfg, DynSink::new(Box::new(NoopSink)))
+            .map_err(|e| Error::Sim(format!("cannot start bench server: {e}")))?,
+    );
+    let (listener, addr) = mm_serve::tcp::bind("127.0.0.1:0")
+        .map_err(|e| Error::Io(format!("cannot bind bench server: {e}")))?;
+    let acceptor = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || mm_serve::tcp::serve(listener, service))
+    };
+    let report = mm_serve::run_load(
+        &addr,
+        &LoadConfig {
+            n,
+            seed: 17,
+            window: 8,
+            shutdown: true,
+            ..LoadConfig::default()
+        },
+    )
+    .map_err(|e| Error::Io(format!("bench load failed: {e}")))?;
+    acceptor
+        .join()
+        .map_err(|_| Error::Internal("bench accept loop panicked".into()))?
+        .map_err(|e| Error::Io(format!("bench accept loop failed: {e}")))?;
+    service.wait_stopped();
+    let stats = service.stats();
+    if report.lost > 0 || !stats.invariant_holds() {
+        return Err(Error::Verification(format!(
+            "bench serve lost {} response(s) or broke the invariant: {stats:?}",
+            report.lost
+        )));
+    }
+    let shed_rate = stats.shed as f64 / report.sent.max(1) as f64;
+    let statuses: Vec<(String, Json)> = report
+        .by_status
+        .iter()
+        .map(|(s, c)| (s.clone(), Json::Int(*c as i64)))
+        .collect();
+    let doc = Json::obj([
+        ("schema", Json::str("machmin-serve-bench-v1")),
+        ("requests", Json::Int(report.sent as i64)),
+        ("lost", Json::Int(report.lost as i64)),
+        ("admitted", Json::Int(stats.admitted as i64)),
+        ("responses", Json::Int(stats.responses as i64)),
+        ("shed", Json::Int(stats.shed as i64)),
+        ("shed_rate", Json::Float(shed_rate)),
+        ("by_status", Json::obj(statuses)),
+        ("p50_ms", Json::Float(report.p50_ms)),
+        ("p99_ms", Json::Float(report.p99_ms)),
+    ]);
+    std::fs::write(path, doc.to_pretty())
+        .map_err(|e| Error::Io(format!("cannot write {path}: {e}")))?;
+    let _ = writeln!(
+        out,
+        "serve bench: {} requests, p50 {:.2} ms, p99 {:.2} ms, shed rate {shed_rate:.3}",
+        report.sent, report.p50_ms, report.p99_ms
+    );
+    let _ = writeln!(out, "baseline -> {path}");
+    if let Some(check_path) = check {
+        let committed = std::fs::read_to_string(check_path)
+            .map_err(|e| Error::Io(format!("cannot read baseline {check_path}: {e}")))?;
+        let committed = mm_json::parse(&committed)
+            .map_err(|e| Error::Io(format!("cannot parse baseline {check_path}: {e}")))?;
+        let mut problems = Vec::new();
+        for key in ["requests", "lost", "admitted", "responses", "shed"] {
+            let cur = doc.get(key).and_then(Json::as_i64);
+            let base = committed.get(key).and_then(Json::as_i64);
+            if cur != base {
+                problems.push(format!("{key}: {cur:?} vs committed {base:?}"));
+            }
+        }
+        let compact = |j: &Json| j.get("by_status").map(Json::to_compact);
+        if compact(&doc) != compact(&committed) {
+            problems.push("by_status distribution changed".into());
+        }
+        if !problems.is_empty() {
+            return Err(Error::Verification(format!(
+                "serve bench counter regression vs {check_path}:\n  {}",
+                problems.join("\n  ")
+            )));
+        }
+        let _ = writeln!(out, "counters match committed baseline {check_path}");
+    }
+    Ok(())
 }
 
 /// The `--trace` / `--metrics` sink pair. Both are optional; with neither
@@ -731,10 +982,14 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
         Command::Chaos {
             seed,
             n,
+            plan,
             trace,
             metrics,
         } => {
-            let plan = FaultPlan::chaos(seed);
+            let plan = match &plan {
+                Some(path) => load_fault_plan(path)?,
+                None => FaultPlan::chaos(seed),
+            };
             let inst = uniform(
                 &UniformCfg {
                     n,
@@ -856,6 +1111,53 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
                 res.jobs_released
             );
 
+            // Service chaos: an in-process supervised server absorbs worker
+            // panics — poisoned requests retry, workers recycle, and nothing
+            // is lost. One worker and a retry cap above the maximum possible
+            // fire count keep the totals a pure function of the seed.
+            let run_serve = |serve_plan: FaultPlan| -> Result<mm_serve::ServeStats, Error> {
+                let cfg = ServeConfig {
+                    workers: 1,
+                    queue_cap: 8,
+                    retry: mm_fault::RetryPolicy::new(1, 4, 20),
+                    seed,
+                    plan: serve_plan,
+                    slowdown_ms: 1,
+                    ..ServeConfig::default()
+                };
+                let service = Service::start(cfg, DynSink::new(Box::new(NoopSink)))
+                    .map_err(|e| Error::Sim(format!("chaos serve failed: {e}")))?;
+                let (tx, rx) = crossbeam::channel::unbounded();
+                let requests = mm_serve::mixed_requests(seed, 8, None);
+                for req in &requests {
+                    service.submit_line(&req.to_line(), &tx);
+                }
+                for _ in 0..requests.len() {
+                    rx.recv_timeout(std::time::Duration::from_secs(60))
+                        .map_err(|_| Error::Sim("chaos serve lost a response".into()))?;
+                }
+                Ok(service.join())
+            };
+            let mut stats = run_serve(plan.clone())?;
+            if stats.panics == 0 {
+                // Defensive fallback, mirroring the adversary segment: if the
+                // plan's worker_panic rule never fires within this workload,
+                // exercise the site with a fire-once rule.
+                stats = run_serve(FaultPlan::once(FaultSite::WorkerPanic, 1))?;
+            }
+            let panics = stats.panics;
+            if !stats.invariant_holds() {
+                return Err(Error::Verification(format!(
+                    "chaos serve invariant violated: {stats:?}"
+                )));
+            }
+            let _ = writeln!(
+                out,
+                "serve: {} requests, {} responses (worker_panic fired {panics}, workers \
+                 recycled {}, retried {})",
+                stats.admitted, stats.responses, stats.restarts, stats.retried
+            );
+
             let fired = [
                 (
                     FaultSite::ProbeCancel,
@@ -868,6 +1170,7 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
                 (FaultSite::MachineFailure, failures),
                 (FaultSite::MachineSlowdown, slowdowns),
                 (FaultSite::AdversaryAbort, aborts),
+                (FaultSite::WorkerPanic, panics),
             ];
             let silent: Vec<&str> = fired
                 .iter()
@@ -875,7 +1178,7 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
                 .map(|(site, _)| site.tag())
                 .collect();
             if silent.is_empty() {
-                let _ = writeln!(out, "all five fault sites exercised; no panics escaped");
+                let _ = writeln!(out, "all six fault sites exercised; no panics escaped");
             } else {
                 let _ = writeln!(out, "warning: sites not exercised: {}", silent.join(", "));
             }
@@ -883,9 +1186,14 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
         }
         Command::Bench {
             quick,
+            serve,
             out: path,
             check,
         } => {
+            if serve {
+                serve_bench(quick, &path, check.as_deref(), &mut out)?;
+                return Ok(out);
+            }
             let doc = mm_bench::baseline::run(quick);
             if let Some(workloads) = doc.get("workloads").and_then(mm_json::Json::as_arr) {
                 for w in workloads {
@@ -927,6 +1235,168 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
                         )));
                     }
                 }
+            }
+        }
+        Command::Serve {
+            addr,
+            workers,
+            queue_cap,
+            drain_ms,
+            seed,
+            retry_attempts,
+            chaos,
+            plan,
+            journal,
+            deadline_ms,
+            port_file,
+            trace,
+            metrics,
+        } => {
+            let fault_plan = match (&plan, chaos) {
+                (Some(path), _) => load_fault_plan(path)?,
+                (None, true) => FaultPlan::chaos(seed),
+                (None, false) => FaultPlan::none(),
+            };
+            let retry = mm_fault::RetryPolicy::new(25, 1_000, retry_attempts);
+            let cfg = ServeConfig {
+                workers,
+                queue_cap,
+                drain_ms,
+                seed,
+                retry,
+                plan: fault_plan,
+                default_deadline_ms: deadline_ms,
+                journal: journal.as_ref().map(std::path::PathBuf::from),
+                ..ServeConfig::default()
+            };
+            // The sink pair is shared with the worker threads; the local
+            // clone extracts the files once the server has stopped.
+            let jsonl = match &trace {
+                Some(path) => {
+                    let file = std::fs::File::create(path)
+                        .map_err(|e| Error::Io(format!("cannot create {path}: {e}")))?;
+                    Some(JsonlSink::new(BufWriter::new(file)))
+                }
+                None => None,
+            };
+            let shared = SharedSink::new(TeeSink(jsonl, metrics.is_some().then(MetricsSink::new)));
+            let sink: DynSink = DynSink::new(Box::new(shared.clone()));
+            let service = Arc::new(
+                Service::start(cfg, sink)
+                    .map_err(|e| Error::Sim(format!("cannot start server: {e}")))?,
+            );
+            let (listener, bound) = mm_serve::tcp::bind(&addr)
+                .map_err(|e| Error::Io(format!("cannot bind {addr}: {e}")))?;
+            if let Some(path) = &port_file {
+                std::fs::write(path, &bound)
+                    .map_err(|e| Error::Io(format!("cannot write port file {path}: {e}")))?;
+            }
+            eprintln!("machmin serve: listening on {bound}");
+            mm_serve::tcp::serve(listener, Arc::clone(&service))
+                .map_err(|e| Error::Io(format!("accept loop failed: {e}")))?;
+            service.wait_stopped();
+            let stats = service.stats();
+            let _ = writeln!(out, "listened on {bound}");
+            let _ = writeln!(
+                out,
+                "requests: received {}, admitted {}, shed {}, rejected {}",
+                stats.received, stats.admitted, stats.shed, stats.rejected
+            );
+            let _ = writeln!(
+                out,
+                "responses: {} (retried {}, quarantined {}, drain-degraded {})",
+                stats.responses, stats.retried, stats.quarantined, stats.drain_degraded
+            );
+            let _ = writeln!(
+                out,
+                "workers: {} panic(s), {} restart(s)",
+                stats.panics, stats.restarts
+            );
+            if journal.is_some() {
+                let _ = writeln!(
+                    out,
+                    "journal: replayed {} acked response(s) on startup",
+                    stats.replayed_acks
+                );
+            }
+            if let Some(sink) = shared.with(|tee| tee.0.take()) {
+                let path = trace.as_deref().unwrap_or("?");
+                let events = sink.written();
+                sink.finish()
+                    .map_err(|e| Error::Io(format!("cannot write trace {path}: {e}")))?;
+                let _ = writeln!(out, "trace: {events} events -> {path}");
+            }
+            if let Some(sink) = shared.with(|tee| tee.1.take()) {
+                let path = metrics.as_deref().unwrap_or("?");
+                std::fs::write(path, sink.metrics.to_json().to_pretty())
+                    .map_err(|e| Error::Io(format!("cannot write metrics {path}: {e}")))?;
+                let _ = writeln!(out, "metrics -> {path}");
+            }
+            if !stats.invariant_holds() {
+                return Err(Error::Verification(format!(
+                    "served-response invariant violated: admitted {} != responses {}",
+                    stats.admitted, stats.responses
+                )));
+            }
+            let _ = writeln!(
+                out,
+                "invariant requests_admitted == responses_sent: ok ({} == {})",
+                stats.admitted, stats.responses
+            );
+        }
+        Command::Load {
+            addr,
+            n,
+            seed,
+            paced,
+            window,
+            deadline_ms,
+            out: out_path,
+            shutdown,
+        } => {
+            let report = mm_serve::run_load(
+                &addr,
+                &LoadConfig {
+                    n,
+                    seed,
+                    paced,
+                    window,
+                    deadline_ms,
+                    shutdown,
+                },
+            )
+            .map_err(|e| Error::Io(format!("load run against {addr} failed: {e}")))?;
+            if let Some(path) = &out_path {
+                let mut text = report.transcript.join("\n");
+                if !text.is_empty() {
+                    text.push('\n');
+                }
+                std::fs::write(path, text)
+                    .map_err(|e| Error::Io(format!("cannot write {path}: {e}")))?;
+                let _ = writeln!(
+                    out,
+                    "transcript ({} lines) -> {path}",
+                    report.transcript.len()
+                );
+            }
+            let _ = writeln!(
+                out,
+                "sent: {}, lost responses: {}",
+                report.sent, report.lost
+            );
+            for (status, count) in &report.by_status {
+                let _ = writeln!(out, "  {status}: {count}");
+            }
+            let _ = writeln!(
+                out,
+                "latency: p50 {:.2} ms, p99 {:.2} ms",
+                report.p50_ms, report.p99_ms
+            );
+            if report.lost > 0 {
+                return Err(Error::Verification(format!(
+                    "{} request(s) never received a response",
+                    report.lost
+                )));
             }
         }
         Command::Generate {
@@ -1032,6 +1502,7 @@ mod tests {
             parse(&argv("bench")).unwrap(),
             Command::Bench {
                 quick: false,
+                serve: false,
                 out: "BENCH_2.json".into(),
                 check: None
             }
@@ -1040,8 +1511,18 @@ mod tests {
             parse(&argv("bench --quick --out b.json --check BENCH_2.json")).unwrap(),
             Command::Bench {
                 quick: true,
+                serve: false,
                 out: "b.json".into(),
                 check: Some("BENCH_2.json".into())
+            }
+        );
+        assert_eq!(
+            parse(&argv("bench --quick --serve")).unwrap(),
+            Command::Bench {
+                quick: true,
+                serve: true,
+                out: "BENCH_4.json".into(),
+                check: None
             }
         );
         assert!(parse(&argv("frobnicate")).is_err());
@@ -1121,6 +1602,17 @@ mod tests {
             Command::Chaos {
                 seed: 9,
                 n: 8,
+                plan: None,
+                trace: None,
+                metrics: None
+            }
+        );
+        assert_eq!(
+            parse(&argv("chaos --plan p.json")).unwrap(),
+            Command::Chaos {
+                seed: 0,
+                n: 16,
+                plan: Some("p.json".into()),
                 trace: None,
                 metrics: None
             }
@@ -1130,10 +1622,82 @@ mod tests {
             Command::Chaos {
                 seed: 0,
                 n: 16,
+                plan: None,
                 trace: None,
                 metrics: None
             }
         );
+    }
+
+    #[test]
+    fn parse_serve_and_load() {
+        assert_eq!(
+            parse(&argv(
+                "serve --addr 127.0.0.1:7700 --workers 4 --queue-cap 32 --drain-ms 500 \
+                 --seed 3 --retry-attempts 9 --chaos --journal j.jsonl --deadline-ms 250 \
+                 --port-file p.txt"
+            ))
+            .unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:7700".into(),
+                workers: 4,
+                queue_cap: 32,
+                drain_ms: 500,
+                seed: 3,
+                retry_attempts: 9,
+                chaos: true,
+                plan: None,
+                journal: Some("j.jsonl".into()),
+                deadline_ms: Some(250),
+                port_file: Some("p.txt".into()),
+                trace: None,
+                metrics: None
+            }
+        );
+        assert_eq!(
+            parse(&argv("serve")).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:0".into(),
+                workers: 2,
+                queue_cap: 16,
+                drain_ms: 2_000,
+                seed: 0,
+                retry_attempts: 3,
+                chaos: false,
+                plan: None,
+                journal: None,
+                deadline_ms: None,
+                port_file: None,
+                trace: None,
+                metrics: None
+            }
+        );
+        // --chaos and --plan are mutually exclusive.
+        assert_eq!(
+            parse(&argv("serve --chaos --plan p.json"))
+                .unwrap_err()
+                .tag(),
+            "usage"
+        );
+        assert_eq!(
+            parse(&argv(
+                "load --addr 127.0.0.1:7700 --n 50 --seed 2 --paced --window 4 \
+                 --out t.jsonl --no-shutdown"
+            ))
+            .unwrap(),
+            Command::Load {
+                addr: "127.0.0.1:7700".into(),
+                n: 50,
+                seed: 2,
+                paced: true,
+                window: 4,
+                deadline_ms: None,
+                out: Some("t.jsonl".into()),
+                shutdown: false
+            }
+        );
+        // --addr is mandatory for load.
+        assert_eq!(parse(&argv("load")).unwrap_err().tag(), "usage");
     }
 
     #[test]
@@ -1349,6 +1913,7 @@ mod tests {
             let msg = execute(Command::Chaos {
                 seed: 7,
                 n: 12,
+                plan: None,
                 trace: Some(trace_path.clone()),
                 metrics: None,
             })
@@ -1359,7 +1924,7 @@ mod tests {
         let (msg_a, trace_a) = run();
         let (msg_b, trace_b) = run();
         std::fs::remove_file(&trace_path).ok();
-        assert!(msg_a.contains("all five fault sites exercised"), "{msg_a}");
+        assert!(msg_a.contains("all six fault sites exercised"), "{msg_a}");
         assert!(trace_a.contains("\"fault_injected\""), "{trace_a}");
         assert!(trace_a.contains("\"probe_degraded\""), "{trace_a}");
         // Determinism: same seed, byte-identical report and event stream.
@@ -1484,6 +2049,7 @@ mod tests {
         let path = dir.join("bench.json").to_string_lossy().to_string();
         let msg = execute(Command::Bench {
             quick: true,
+            serve: false,
             out: path.clone(),
             check: None,
         })
@@ -1492,12 +2058,188 @@ mod tests {
         // A run is a valid baseline for itself: counters are deterministic.
         let msg = execute(Command::Bench {
             quick: true,
+            serve: false,
             out: path.clone(),
             check: Some(path.clone()),
         })
         .unwrap();
         assert!(msg.contains("counters within committed baseline"), "{msg}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bench_serve_writes_baseline_and_checks_itself() {
+        let dir = std::env::temp_dir().join("machmin_cli_bench_serve");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench4.json").to_string_lossy().to_string();
+        let msg = execute(Command::Bench {
+            quick: true,
+            serve: true,
+            out: path.clone(),
+            check: None,
+        })
+        .unwrap();
+        assert!(msg.contains("serve bench:"), "{msg}");
+        assert!(msg.contains("baseline ->"), "{msg}");
+        let doc = mm_json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(mm_json::Json::as_str),
+            Some("machmin-serve-bench-v1")
+        );
+        assert_eq!(doc.get("lost").and_then(mm_json::Json::as_i64), Some(0));
+        // Deterministic counters gate against themselves.
+        let msg = execute(Command::Bench {
+            quick: true,
+            serve: true,
+            out: path.clone(),
+            check: Some(path.clone()),
+        })
+        .unwrap();
+        assert!(msg.contains("counters match committed baseline"), "{msg}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_and_load_round_trip_with_journal() {
+        let dir = std::env::temp_dir().join("machmin_cli_serve");
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("journal.jsonl").to_string_lossy().to_string();
+        let port_file = dir.join("port.txt").to_string_lossy().to_string();
+        let transcript = dir.join("transcript.jsonl").to_string_lossy().to_string();
+        let metrics_path = dir.join("serve-metrics.json").to_string_lossy().to_string();
+        std::fs::remove_file(&journal).ok();
+        std::fs::remove_file(&port_file).ok();
+
+        let server = {
+            let (journal, port_file, metrics_path) =
+                (journal.clone(), port_file.clone(), metrics_path.clone());
+            std::thread::spawn(move || {
+                execute(Command::Serve {
+                    addr: "127.0.0.1:0".into(),
+                    workers: 2,
+                    queue_cap: 16,
+                    drain_ms: 2_000,
+                    seed: 1,
+                    retry_attempts: 3,
+                    chaos: false,
+                    plan: None,
+                    journal: Some(journal),
+                    deadline_ms: None,
+                    port_file: Some(port_file),
+                    trace: None,
+                    metrics: Some(metrics_path),
+                })
+            })
+        };
+        // Wait for the server to publish its bound address.
+        let addr = {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+            loop {
+                if let Ok(addr) = std::fs::read_to_string(&port_file) {
+                    if !addr.is_empty() {
+                        break addr;
+                    }
+                }
+                assert!(std::time::Instant::now() < deadline, "server never bound");
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        };
+        let msg = execute(Command::Load {
+            addr,
+            n: 30,
+            seed: 4,
+            paced: false,
+            window: 8,
+            deadline_ms: None,
+            out: Some(transcript.clone()),
+            shutdown: true,
+        })
+        .unwrap();
+        assert!(msg.contains("lost responses: 0"), "{msg}");
+        assert!(msg.contains("transcript (30 lines)"), "{msg}");
+
+        let server_msg = server.join().unwrap().unwrap();
+        assert!(
+            server_msg.contains("invariant requests_admitted == responses_sent: ok"),
+            "{server_msg}"
+        );
+        assert!(server_msg.contains("journal: replayed 0"), "{server_msg}");
+        // Every admitted request and every released response hit the journal.
+        let journal_text = std::fs::read_to_string(&journal).unwrap();
+        assert_eq!(
+            journal_text.matches("\"rec\":\"admitted\"").count(),
+            30,
+            "{journal_text}"
+        );
+        assert_eq!(journal_text.matches("\"rec\":\"acked\"").count(), 30);
+        let metrics = mm_json::parse(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+        let admitted = metrics
+            .get("serve")
+            .and_then(|s| s.get("requests_admitted"))
+            .and_then(mm_json::Json::as_i64);
+        assert_eq!(admitted, Some(30), "{metrics:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_plan_and_checkpoint_stay_categorized_io_errors() {
+        let dir = std::env::temp_dir().join("machmin_cli_truncate");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // A fault plan truncated at every byte offset: exit code 3 with
+        // line/column context, never a panic (exit 70).
+        let plan_text = FaultPlan::chaos(3).to_json().to_pretty();
+        let plan_path = dir.join("plan.json").to_string_lossy().to_string();
+        // Cuts inside the trimmed document; a cut that only strips trailing
+        // whitespace still parses, which is correct behavior.
+        for cut in 0..plan_text.trim_end().len() {
+            std::fs::write(&plan_path, &plan_text[..cut]).unwrap();
+            let err = execute(Command::Chaos {
+                seed: 3,
+                n: 4,
+                plan: Some(plan_path.clone()),
+                trace: None,
+                metrics: None,
+            })
+            .unwrap_err();
+            assert_eq!(err.tag(), "io", "cut {cut}: {err}");
+            assert_eq!(err.exit_code(), 3, "cut {cut}");
+            assert!(err.to_string().contains("line "), "cut {cut}: {err}");
+        }
+
+        // A sweep checkpoint truncated at every byte offset: `--resume`
+        // reports a categorized io error, never a panic.
+        let ckpt = dir.join("sweep.json").to_string_lossy().to_string();
+        execute(Command::Adversary {
+            policy: "edf-ff".into(),
+            k: 2,
+            machines: 8,
+            checkpoint: Some(ckpt.clone()),
+            resume: false,
+            trace: None,
+            metrics: None,
+        })
+        .unwrap();
+        let ckpt_text = std::fs::read_to_string(&ckpt).unwrap();
+        for cut in 0..ckpt_text.trim_end().len() {
+            std::fs::write(&ckpt, &ckpt_text[..cut]).unwrap();
+            let err = execute(Command::Adversary {
+                policy: "edf-ff".into(),
+                k: 2,
+                machines: 8,
+                checkpoint: Some(ckpt.clone()),
+                resume: true,
+                trace: None,
+                metrics: None,
+            })
+            .unwrap_err();
+            assert_eq!(err.tag(), "io", "cut {cut}: {err}");
+            assert!(
+                err.to_string().contains("cannot resume from"),
+                "cut {cut}: {err}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -1511,10 +2253,13 @@ mod tests {
             "generate",
             "adversary",
             "chaos",
+            "serve",
+            "load",
             "bench",
         ] {
             assert!(h.contains(cmd), "help is missing `{cmd}`");
         }
+        assert!(h.contains("worker_panic"), "chaos site list is stale");
         assert!(h.contains("exit codes"));
     }
 }
