@@ -1,0 +1,176 @@
+//! The static backend pool: one TCP connection per `machmin serve`
+//! backend, a reader thread per connection, and the per-backend state the
+//! coordinator keys its decisions on.
+//!
+//! Reader threads funnel every line into one shared channel as
+//! [`NetEvent::Line`] and report a closed or broken connection as
+//! [`NetEvent::Down`]; the coordinator is single-threaded and owns all
+//! state transitions, so there are no locks on the health/quarantine
+//! bookkeeping.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+pub use crate::balance::BackendView;
+
+/// One line (or connection event) from a backend, tagged by pool index.
+#[derive(Debug)]
+pub enum NetEvent {
+    /// A response line arrived from backend `.0`.
+    Line(usize, String),
+    /// Backend `.0`'s connection hit EOF or a read error.
+    Down(usize),
+}
+
+/// Per-backend connection and health state.
+#[derive(Debug)]
+pub struct Backend {
+    /// Address the backend was configured with (`host:port`).
+    pub addr: String,
+    writer: Option<BufWriter<TcpStream>>,
+    /// Connection is up and the backend is eligible for dispatch.
+    pub alive: bool,
+    /// Failed recently; barred from dispatch until a health probe or
+    /// reconnect succeeds.
+    pub quarantined: bool,
+    /// Permanently dropped (`backend_drop` fired, or the operator killed
+    /// it); never revived, and late lines from it are ignored.
+    pub dead: bool,
+    /// In-flight request count (primaries plus hedges).
+    pub outstanding: usize,
+    /// Consecutive failures since the last success.
+    pub failures: u64,
+    /// Total lines successfully written to this backend.
+    pub dispatched: u64,
+}
+
+impl Backend {
+    fn disconnected(addr: &str) -> Backend {
+        Backend {
+            addr: addr.to_string(),
+            writer: None,
+            alive: false,
+            quarantined: false,
+            dead: false,
+            outstanding: 0,
+            failures: 0,
+            dispatched: 0,
+        }
+    }
+
+    /// Eligible for new work right now.
+    pub fn healthy(&self) -> bool {
+        self.alive && !self.quarantined && !self.dead
+    }
+}
+
+/// The static pool: all backends, plus the shared event channel their
+/// reader threads feed.
+pub struct Pool {
+    /// Backend states, in `--backends` order.
+    pub backends: Vec<Backend>,
+    tx: Sender<NetEvent>,
+    /// The coordinator's end of the event stream.
+    pub rx: Receiver<NetEvent>,
+}
+
+impl Pool {
+    /// Connects to every address; fails fast if any backend is
+    /// unreachable (a static pool that starts degraded is a config error,
+    /// not a runtime condition).
+    pub fn connect(addrs: &[String]) -> io::Result<Pool> {
+        let (tx, rx) = unbounded();
+        let mut pool = Pool {
+            backends: addrs.iter().map(|a| Backend::disconnected(a)).collect(),
+            tx,
+            rx,
+        };
+        for idx in 0..pool.backends.len() {
+            pool.attach(idx).map_err(|e| {
+                io::Error::new(
+                    e.kind(),
+                    format!("backend {idx} ({}): {e}", pool.backends[idx].addr),
+                )
+            })?;
+        }
+        Ok(pool)
+    }
+
+    /// (Re)connects backend `idx` and spawns its reader thread.
+    pub fn attach(&mut self, idx: usize) -> io::Result<()> {
+        let stream = TcpStream::connect(&self.backends[idx].addr)?;
+        stream.set_nodelay(true).ok();
+        let reader_stream = stream.try_clone()?;
+        self.backends[idx].writer = Some(BufWriter::new(stream));
+        self.backends[idx].alive = true;
+        let tx = self.tx.clone();
+        std::thread::Builder::new()
+            .name(format!("mm-cluster-reader-{idx}"))
+            .spawn(move || {
+                let mut reader = BufReader::new(reader_stream);
+                let mut line = String::new();
+                loop {
+                    line.clear();
+                    match reader.read_line(&mut line) {
+                        Ok(0) | Err(_) => {
+                            let _ = tx.send(NetEvent::Down(idx));
+                            return;
+                        }
+                        Ok(_) => {
+                            let trimmed = line.trim();
+                            if !trimmed.is_empty()
+                                && tx.send(NetEvent::Line(idx, trimmed.to_string())).is_err()
+                            {
+                                return;
+                            }
+                        }
+                    }
+                }
+            })?;
+        Ok(())
+    }
+
+    /// Writes one request line to backend `idx`. An error here means the
+    /// connection is gone; the caller decides quarantine/retry.
+    pub fn send(&mut self, idx: usize, line: &str) -> io::Result<()> {
+        let writer = self.backends[idx]
+            .writer
+            .as_mut()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "backend disconnected"))?;
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        self.backends[idx].dispatched += 1;
+        Ok(())
+    }
+
+    /// Drops the write half of `idx` (the reader will see EOF once the
+    /// server closes its side).
+    pub fn disconnect(&mut self, idx: usize) {
+        self.backends[idx].writer = None;
+        self.backends[idx].alive = false;
+    }
+
+    /// Snapshot for the balancer.
+    pub fn views(&self) -> Vec<BackendView> {
+        self.backends
+            .iter()
+            .map(|b| BackendView {
+                healthy: b.healthy(),
+                outstanding: b.outstanding,
+            })
+            .collect()
+    }
+
+    /// How many backends are currently eligible for dispatch.
+    pub fn healthy_count(&self) -> usize {
+        self.backends.iter().filter(|b| b.healthy()).count()
+    }
+
+    /// Whether every backend is permanently gone.
+    pub fn all_dead(&self) -> bool {
+        self.backends.iter().all(|b| b.dead)
+    }
+}

@@ -1,0 +1,171 @@
+//! Balancing policies: which healthy backend gets the next work unit.
+//!
+//! All three policies are deterministic given their inputs. Seeded hash is
+//! additionally *timing-independent*: the choice for a unit depends only on
+//! `(seed, unit id, health states)`, never on in-flight counts, so two
+//! same-seed runs dispatch identically even when responses interleave
+//! differently.
+
+use crate::mix;
+
+/// How the coordinator spreads work units across healthy backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BalancePolicy {
+    /// Cycle through healthy backends in index order.
+    RoundRobin,
+    /// Pick the healthy backend with the fewest in-flight requests
+    /// (ties break toward the lowest index).
+    LeastOutstanding,
+    /// Deterministic seeded hash of the unit id, linear-probing past
+    /// unhealthy backends. Same seed ⇒ same placement, independent of
+    /// response timing.
+    SeededHash {
+        /// Hash seed; recorded in the transcript header.
+        seed: u64,
+    },
+}
+
+impl BalancePolicy {
+    /// Parses a CLI tag (`round-robin`, `least-outstanding`, `hash`).
+    pub fn parse(tag: &str, seed: u64) -> Option<BalancePolicy> {
+        match tag {
+            "round-robin" | "rr" => Some(BalancePolicy::RoundRobin),
+            "least-outstanding" | "least" => Some(BalancePolicy::LeastOutstanding),
+            "hash" | "seeded-hash" => Some(BalancePolicy::SeededHash { seed }),
+            _ => None,
+        }
+    }
+
+    /// The canonical tag, for transcript headers and `--balance` echo.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            BalancePolicy::RoundRobin => "round-robin",
+            BalancePolicy::LeastOutstanding => "least-outstanding",
+            BalancePolicy::SeededHash { .. } => "hash",
+        }
+    }
+}
+
+/// What a policy sees of one backend when picking.
+#[derive(Debug, Clone, Copy)]
+pub struct BackendView {
+    /// Eligible for dispatch (connected, not quarantined, not dead).
+    pub healthy: bool,
+    /// In-flight request count.
+    pub outstanding: usize,
+}
+
+/// A balancing policy plus the mutable cursor round-robin needs.
+#[derive(Debug, Clone)]
+pub struct Balancer {
+    policy: BalancePolicy,
+    rr_next: usize,
+}
+
+impl Balancer {
+    /// Builds a balancer for the given policy.
+    pub fn new(policy: BalancePolicy) -> Balancer {
+        Balancer { policy, rr_next: 0 }
+    }
+
+    /// The policy this balancer runs.
+    pub fn policy(&self) -> BalancePolicy {
+        self.policy
+    }
+
+    /// Picks a backend for work unit `unit`, or `None` when no backend is
+    /// eligible. `exclude` bars one index (a hedge must not land on the
+    /// copy's own primary backend).
+    pub fn pick(
+        &mut self,
+        unit: u64,
+        views: &[BackendView],
+        exclude: Option<usize>,
+    ) -> Option<usize> {
+        let eligible = |i: usize| -> bool { views[i].healthy && Some(i) != exclude };
+        if views.is_empty() || !(0..views.len()).any(eligible) {
+            return None;
+        }
+        match self.policy {
+            BalancePolicy::RoundRobin => {
+                for step in 0..views.len() {
+                    let i = (self.rr_next + step) % views.len();
+                    if eligible(i) {
+                        self.rr_next = (i + 1) % views.len();
+                        return Some(i);
+                    }
+                }
+                None
+            }
+            BalancePolicy::LeastOutstanding => (0..views.len())
+                .filter(|&i| eligible(i))
+                .min_by_key(|&i| (views[i].outstanding, i)),
+            BalancePolicy::SeededHash { seed } => {
+                let start = (mix(seed, unit) % views.len() as u64) as usize;
+                (0..views.len())
+                    .map(|step| (start + step) % views.len())
+                    .find(|&i| eligible(i))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn views(healthy: &[bool], outstanding: &[usize]) -> Vec<BackendView> {
+        healthy
+            .iter()
+            .zip(outstanding)
+            .map(|(&healthy, &outstanding)| BackendView {
+                healthy,
+                outstanding,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_cycles_and_skips_unhealthy() {
+        let mut b = Balancer::new(BalancePolicy::RoundRobin);
+        let v = views(&[true, false, true], &[0, 0, 0]);
+        let picks: Vec<_> = (0..4).map(|u| b.pick(u, &v, None).unwrap()).collect();
+        assert_eq!(picks, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn least_outstanding_prefers_idle_and_breaks_ties_low() {
+        let mut b = Balancer::new(BalancePolicy::LeastOutstanding);
+        let v = views(&[true, true, true], &[2, 1, 1]);
+        assert_eq!(b.pick(0, &v, None), Some(1));
+        let v = views(&[true, true, true], &[0, 0, 0]);
+        assert_eq!(b.pick(0, &v, None), Some(0));
+    }
+
+    #[test]
+    fn seeded_hash_ignores_outstanding_counts() {
+        let mut b = Balancer::new(BalancePolicy::SeededHash { seed: 42 });
+        let busy = views(&[true, true, true], &[9, 0, 3]);
+        let idle = views(&[true, true, true], &[0, 0, 0]);
+        for unit in 0..64 {
+            assert_eq!(b.pick(unit, &busy, None), b.pick(unit, &idle, None));
+        }
+    }
+
+    #[test]
+    fn exclusion_finds_a_different_backend_or_none() {
+        for policy in [
+            BalancePolicy::RoundRobin,
+            BalancePolicy::LeastOutstanding,
+            BalancePolicy::SeededHash { seed: 7 },
+        ] {
+            let mut b = Balancer::new(policy);
+            let v = views(&[true, true], &[0, 0]);
+            let primary = b.pick(5, &v, None).unwrap();
+            let hedge = b.pick(5, &v, Some(primary)).unwrap();
+            assert_ne!(primary, hedge);
+            let solo = views(&[true, false], &[0, 0]);
+            assert_eq!(b.pick(5, &solo, Some(0)), None);
+        }
+    }
+}

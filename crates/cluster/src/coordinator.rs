@@ -1,0 +1,834 @@
+//! The scatter–gather engine: dispatch, hedging, retries, quarantine,
+//! dedup, and the `backend_drop` fault site.
+//!
+//! Single-threaded by design: reader threads only push [`NetEvent`]s into
+//! a channel, and every state transition (health, quarantine, resume)
+//! happens here, in one loop. That makes the failure handling auditable
+//! and keeps the transcript a pure function of the request payloads.
+//!
+//! **Why hedges reuse the primary's id and idempotency key.** Responses
+//! carry no timing, so two backends answering the same payload produce the
+//! same bytes. Giving the hedge copy the primary's id means "first copy
+//! wins" picks between byte-identical lines — the transcript cannot
+//! observe which backend won the race. The duplicate that loses is
+//! absorbed either server-side (the idempotency cache answers it without
+//! re-execution) or here, as a counted [`TraceEvent::ClusterDedup`].
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::RecvTimeoutError;
+use mm_fault::{FaultInjector, FaultPlan, FaultSite, RetryPolicy};
+use mm_json::Json;
+use mm_serve::protocol::{Request, RequestKind, Response};
+use mm_trace::{TraceEvent, TraceSink};
+
+use crate::backend::{NetEvent, Pool};
+use crate::balance::{BalancePolicy, Balancer};
+use crate::mix;
+
+/// Request ids at or above this value are coordinator-internal (health
+/// probes, drop-time shutdowns) and never appear in transcripts. Work
+/// units must use ids below it.
+pub const HEALTH_ID_BASE: u64 = 1 << 62;
+
+/// When to send a hedged duplicate of an outstanding unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HedgeConfig {
+    /// Never hedge.
+    Off,
+    /// Hedge every `n`-th primary dispatch, at dispatch time. Fully
+    /// deterministic in work order — the mode the bench and soak gates
+    /// use, so hedge/dedup counters are reproducible.
+    EveryNth {
+        /// Hedge cadence (1 = hedge every unit).
+        n: u64,
+    },
+    /// Hedge a unit once it has been outstanding longer than
+    /// `multiplier_pct`% of the observed p99 latency (never less than
+    /// `floor_ms`). Adaptive, latency-driven — counters vary run to run,
+    /// the transcript does not.
+    AfterP99 {
+        /// Percentage of p99 to wait before hedging (e.g. 150).
+        multiplier_pct: u64,
+        /// Lower bound on the hedge delay in milliseconds.
+        floor_ms: u64,
+    },
+}
+
+/// Coordinator configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Backend addresses (`host:port`), the static pool.
+    pub backends: Vec<String>,
+    /// Balancing policy for primary dispatches and hedges.
+    pub balance: BalancePolicy,
+    /// Seed for idempotency keys, health jitter, and retry jitter.
+    pub seed: u64,
+    /// Max work units in flight across the whole pool.
+    pub window: usize,
+    /// Hedging mode.
+    pub hedge: HedgeConfig,
+    /// Retry budget and backoff for overloads and send failures.
+    pub retry: RetryPolicy,
+    /// Fault plan; only [`FaultSite::BackendDrop`] is consulted here.
+    pub plan: FaultPlan,
+    /// Base interval for health probes in milliseconds (0 = off). The
+    /// actual cadence is jittered per backend so probes never synchronize.
+    pub health_ms: u64,
+    /// Deadline to attach to every work unit, if any.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            backends: Vec::new(),
+            balance: BalancePolicy::RoundRobin,
+            seed: 0,
+            window: 8,
+            hedge: HedgeConfig::Off,
+            retry: RetryPolicy::new(1, 200, 5),
+            plan: FaultPlan::none(),
+            health_ms: 0,
+            deadline_ms: None,
+        }
+    }
+}
+
+/// Counters the bench gate and the CLI summary read.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterCounters {
+    /// Work units submitted.
+    pub units: u64,
+    /// Terminal responses recorded (== units when nothing is lost).
+    pub responses: u64,
+    /// Units that never got any response (must be 0).
+    pub lost: u64,
+    /// Hedged duplicates sent.
+    pub hedges: u64,
+    /// Duplicate responses absorbed by the coordinator.
+    pub dedups: u64,
+    /// Retries scheduled (overloads and send failures).
+    pub retries: u64,
+    /// Backends dropped by the `backend_drop` fault site.
+    pub backend_drops: u64,
+    /// Quarantine transitions.
+    pub quarantines: u64,
+    /// Units re-dispatched off a dead or quarantined backend.
+    pub shard_resumes: u64,
+    /// Health probe round-trips (pongs and recoveries).
+    pub health_probes: u64,
+    /// Lines sent per backend (primaries + hedges + resumes), by index.
+    pub per_backend: Vec<u64>,
+}
+
+impl ClusterCounters {
+    /// Renders the counters as a JSON object (for `BENCH_5.json` and the
+    /// CLI summary).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("units", Json::Int(self.units as i64)),
+            ("responses", Json::Int(self.responses as i64)),
+            ("lost", Json::Int(self.lost as i64)),
+            ("hedges", Json::Int(self.hedges as i64)),
+            ("dedups", Json::Int(self.dedups as i64)),
+            ("retries", Json::Int(self.retries as i64)),
+            ("backend_drops", Json::Int(self.backend_drops as i64)),
+            ("quarantines", Json::Int(self.quarantines as i64)),
+            ("shard_resumes", Json::Int(self.shard_resumes as i64)),
+            ("health_probes", Json::Int(self.health_probes as i64)),
+            (
+                "per_backend",
+                Json::Arr(
+                    self.per_backend
+                        .iter()
+                        .map(|&n| Json::Int(n as i64))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Outcome of one scatter–gather run.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Seed the run was keyed on.
+    pub seed: u64,
+    /// Balance policy tag.
+    pub balance: &'static str,
+    /// Pool size.
+    pub backends: usize,
+    /// Terminal response line per unit id.
+    pub responses: BTreeMap<u64, String>,
+    /// Run counters.
+    pub counters: ClusterCounters,
+    /// Fault sites that actually fired, with counts.
+    pub fired: Vec<(FaultSite, u64)>,
+}
+
+impl ClusterReport {
+    /// The determinism artifact: a header line followed by the response
+    /// lines sorted by unit id. Byte-identical across same-seed runs.
+    pub fn transcript(&self, workload: &str) -> Vec<String> {
+        let header = Json::obj([
+            ("cluster", Json::str(workload)),
+            ("seed", Json::Int(self.seed as i64)),
+            ("backends", Json::Int(self.backends as i64)),
+            ("balance", Json::str(self.balance)),
+            ("units", Json::Int(self.responses.len() as i64)),
+        ])
+        .to_compact();
+        std::iter::once(header)
+            .chain(self.responses.values().cloned())
+            .collect()
+    }
+}
+
+/// A work unit waiting to be (re)dispatched.
+struct Unit {
+    req: Request,
+    attempts: u32,
+    resumed: bool,
+}
+
+/// An in-flight unit: which backends hold a copy, and since when.
+struct Flight {
+    req: Request,
+    copies: Vec<usize>,
+    sent: Instant,
+    hedged: bool,
+    attempts: u32,
+}
+
+/// The scatter–gather coordinator. One instance runs one workload.
+pub struct Coordinator<S: TraceSink> {
+    cfg: ClusterConfig,
+    pool: Pool,
+    balancer: Balancer,
+    injector: FaultInjector,
+    sink: S,
+    counters: ClusterCounters,
+    latencies: Vec<f64>,
+    primary_seq: u64,
+}
+
+impl<S: TraceSink> Coordinator<S> {
+    /// Connects to every backend; fails if any address is unreachable.
+    pub fn connect(cfg: ClusterConfig, sink: S) -> io::Result<Coordinator<S>> {
+        let pool = Pool::connect(&cfg.backends)?;
+        let injector = FaultInjector::new(cfg.plan.clone());
+        let balancer = Balancer::new(cfg.balance);
+        let counters = ClusterCounters {
+            per_backend: vec![0; cfg.backends.len()],
+            ..ClusterCounters::default()
+        };
+        Ok(Coordinator {
+            cfg,
+            pool,
+            balancer,
+            injector,
+            sink,
+            counters,
+            latencies: Vec::new(),
+            primary_seq: 0,
+        })
+    }
+
+    fn emit(&mut self, event: TraceEvent) {
+        if self.sink.enabled() {
+            self.sink.record(&event);
+        }
+    }
+
+    /// Runs the units to completion and gathers the report. `progress` is
+    /// called once per fresh terminal response (unit id, raw line) — the
+    /// sweep workload journals checkpoints through it.
+    pub fn run(
+        mut self,
+        units: Vec<Request>,
+        progress: &mut dyn FnMut(u64, &str),
+    ) -> io::Result<ClusterReport> {
+        let total = units.len();
+        self.counters.units = total as u64;
+        let mut pending: VecDeque<Unit> = units
+            .into_iter()
+            .map(|mut req| {
+                if req.idempotency_key.is_none() {
+                    // The key must cover the payload, not just the unit id:
+                    // two workloads sharing a seed and a live pool would
+                    // otherwise collide in the backends' idempotency caches,
+                    // which silently replay the other workload's answers.
+                    // Mask to 63 bits: the wire format carries integers as
+                    // i64 and rejects negative keys.
+                    let mut fp = 0xcbf2_9ce4_8422_2325u64;
+                    for b in req.to_line().bytes() {
+                        fp = (fp ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+                    }
+                    req.idempotency_key =
+                        Some(mix(self.cfg.seed ^ 0x1de, req.id ^ fp) & (i64::MAX as u64));
+                }
+                if req.deadline_ms.is_none() {
+                    req.deadline_ms = self.cfg.deadline_ms;
+                }
+                Unit {
+                    req,
+                    attempts: 0,
+                    resumed: false,
+                }
+            })
+            .collect();
+        let mut delayed: Vec<(Instant, Unit)> = Vec::new();
+        let mut flights: HashMap<u64, Flight> = HashMap::new();
+        let mut answered: BTreeMap<u64, String> = BTreeMap::new();
+        let health_every = Duration::from_millis(self.cfg.health_ms.max(1));
+        let mut next_health: Vec<Instant> = (0..self.pool.backends.len())
+            .map(|b| Instant::now() + self.health_jitter(b, 0))
+            .collect();
+        let mut probe_count: Vec<u64> = vec![0; self.pool.backends.len()];
+
+        while answered.len() < total {
+            let now = Instant::now();
+            // Promote due retries ahead of fresh work so a shed unit is not
+            // starved by the rest of the queue.
+            let mut due: Vec<Unit> = Vec::new();
+            delayed.retain_mut(|(when, unit)| {
+                if *when <= now {
+                    due.push(Unit {
+                        req: unit.req.clone(),
+                        attempts: unit.attempts,
+                        resumed: unit.resumed,
+                    });
+                    false
+                } else {
+                    true
+                }
+            });
+            for unit in due.into_iter().rev() {
+                pending.push_front(unit);
+            }
+
+            // Dispatch up to the window.
+            while flights.len() < self.cfg.window {
+                let Some(unit) = pending.pop_front() else {
+                    break;
+                };
+                if answered.contains_key(&unit.req.id) {
+                    continue;
+                }
+                let primary = unit.attempts == 0 && !unit.resumed;
+                if primary && self.injector.fire(FaultSite::BackendDrop) {
+                    let views = self.pool.views();
+                    if let Some(victim) = self.balancer.pick(unit.req.id, &views, None) {
+                        self.drop_backend(victim, &mut flights, &mut pending, &answered);
+                    }
+                }
+                match self.dispatch(unit, primary, &mut flights) {
+                    DispatchOutcome::Sent => {}
+                    DispatchOutcome::Requeued(unit) => {
+                        pending.push_front(unit);
+                        // No eligible backend right now: try to bring
+                        // quarantined (not dead) backends back before
+                        // declaring the units undeliverable.
+                        if self.pool.healthy_count() == 0 && !self.revive_any() {
+                            if self.pool.all_dead() {
+                                self.fail_remaining(
+                                    &mut pending,
+                                    &mut delayed,
+                                    &mut flights,
+                                    &mut answered,
+                                );
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+
+            // Adaptive hedging: duplicate slow units once they exceed the
+            // p99-derived delay.
+            if let HedgeConfig::AfterP99 {
+                multiplier_pct,
+                floor_ms,
+            } = self.cfg.hedge
+            {
+                let delay = self.hedge_delay(multiplier_pct, floor_ms);
+                let slow: Vec<u64> = flights
+                    .iter()
+                    .filter(|(_, f)| !f.hedged && f.sent.elapsed() >= delay)
+                    .map(|(&id, _)| id)
+                    .collect();
+                for id in slow {
+                    self.hedge(id, &mut flights);
+                }
+            }
+
+            // Health probes and quarantine recovery on a jittered cadence.
+            if self.cfg.health_ms > 0 {
+                for b in 0..self.pool.backends.len() {
+                    if self.pool.backends[b].dead || Instant::now() < next_health[b] {
+                        continue;
+                    }
+                    probe_count[b] += 1;
+                    next_health[b] =
+                        Instant::now() + health_every + self.health_jitter(b, probe_count[b]);
+                    if self.pool.backends[b].healthy() {
+                        let ping = Request::new(
+                            HEALTH_ID_BASE + b as u64,
+                            RequestKind::Probe {
+                                jobs: vec![(0, 1, 1)],
+                                machines: 1,
+                            },
+                        );
+                        if self.pool.send(b, &ping.to_line()).is_err() {
+                            self.emit(TraceEvent::ClusterHealthProbe {
+                                backend: b,
+                                healthy: false,
+                            });
+                            self.backend_down(b, "health", &mut flights, &mut pending, &answered);
+                        }
+                    } else if self.pool.backends[b].quarantined {
+                        self.revive(b);
+                    }
+                }
+            }
+
+            // Gather.
+            match self.pool.rx.recv_timeout(Duration::from_millis(5)) {
+                Ok(NetEvent::Line(b, line)) => {
+                    if self.pool.backends[b].dead {
+                        continue;
+                    }
+                    self.on_line(
+                        b,
+                        line,
+                        &mut flights,
+                        &mut pending,
+                        &mut delayed,
+                        &mut answered,
+                        progress,
+                    );
+                }
+                Ok(NetEvent::Down(b)) => {
+                    if !self.pool.backends[b].dead && self.pool.backends[b].alive {
+                        self.backend_down(b, "eof", &mut flights, &mut pending, &answered);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.fail_remaining(&mut pending, &mut delayed, &mut flights, &mut answered);
+                }
+            }
+
+            // Stall guard: nothing in flight and nothing dispatchable — if
+            // no backend can be revived either, the remaining units are
+            // undeliverable and waiting longer will not change that.
+            if flights.is_empty()
+                && delayed.is_empty()
+                && answered.len() < total
+                && self.pool.healthy_count() == 0
+                && !self.revive_any()
+                && self.pool.all_dead()
+            {
+                self.fail_remaining(&mut pending, &mut delayed, &mut flights, &mut answered);
+            }
+        }
+
+        // Drain straggling duplicate copies so the dedup counter is
+        // deterministic: every hedge that was sent either answers (and is
+        // counted) or its backend goes down. Bounded, so a hung backend
+        // cannot stall a finished gather.
+        let drain_deadline = Instant::now() + Duration::from_secs(5);
+        while !flights.is_empty() && Instant::now() < drain_deadline {
+            match self.pool.rx.recv_timeout(Duration::from_millis(5)) {
+                Ok(NetEvent::Line(b, line)) => {
+                    if self.pool.backends[b].dead {
+                        continue;
+                    }
+                    self.on_line(
+                        b,
+                        line,
+                        &mut flights,
+                        &mut pending,
+                        &mut delayed,
+                        &mut answered,
+                        progress,
+                    );
+                }
+                Ok(NetEvent::Down(b)) => {
+                    if !self.pool.backends[b].dead && self.pool.backends[b].alive {
+                        self.backend_down(b, "eof", &mut flights, &mut pending, &answered);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        self.counters.responses = answered.len() as u64;
+        self.counters.lost = (total as u64).saturating_sub(self.counters.responses);
+        Ok(ClusterReport {
+            seed: self.cfg.seed,
+            balance: self.cfg.balance.tag(),
+            backends: self.pool.backends.len(),
+            responses: answered,
+            counters: self.counters,
+            fired: self.injector.fired_summary(),
+        })
+    }
+
+    fn health_jitter(&self, backend: usize, round: u64) -> Duration {
+        let base = self.cfg.health_ms.max(1);
+        let jitter = mix(self.cfg.seed ^ 0x4ea1, (backend as u64) << 32 | round) % (base / 2 + 1);
+        Duration::from_millis(jitter)
+    }
+
+    fn hedge_delay(&self, multiplier_pct: u64, floor_ms: u64) -> Duration {
+        let mut delay = floor_ms as f64;
+        if self.latencies.len() >= 8 {
+            let mut sorted = self.latencies.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let idx = ((sorted.len() - 1) as f64 * 0.99).round() as usize;
+            delay = delay.max(sorted[idx] * multiplier_pct as f64 / 100.0);
+        }
+        Duration::from_millis(delay.ceil() as u64)
+    }
+
+    fn dispatch(
+        &mut self,
+        unit: Unit,
+        primary: bool,
+        flights: &mut HashMap<u64, Flight>,
+    ) -> DispatchOutcome {
+        let views = self.pool.views();
+        let Some(b) = self.balancer.pick(unit.req.id, &views, None) else {
+            return DispatchOutcome::Requeued(unit);
+        };
+        let id = unit.req.id;
+        if self.pool.send(b, &unit.req.to_line()).is_err() {
+            self.backend_send_failed(b);
+            return DispatchOutcome::Requeued(unit);
+        }
+        self.pool.backends[b].outstanding += 1;
+        self.counters.per_backend[b] += 1;
+        if unit.resumed {
+            self.counters.shard_resumes += 1;
+            self.emit(TraceEvent::ClusterShardResumed {
+                unit: id,
+                backend: b,
+            });
+        } else {
+            self.emit(TraceEvent::ClusterDispatch {
+                unit: id,
+                backend: b,
+            });
+        }
+        flights.insert(
+            id,
+            Flight {
+                req: unit.req,
+                copies: vec![b],
+                sent: Instant::now(),
+                hedged: false,
+                attempts: unit.attempts,
+            },
+        );
+        if primary {
+            self.primary_seq += 1;
+            if let HedgeConfig::EveryNth { n } = self.cfg.hedge {
+                if n > 0 && self.primary_seq.is_multiple_of(n) {
+                    self.hedge(id, flights);
+                }
+            }
+        }
+        DispatchOutcome::Sent
+    }
+
+    /// Sends a duplicate of flight `id` to a backend that doesn't already
+    /// hold a copy. The duplicate reuses the primary's id and idempotency
+    /// key and marks itself with `hedge`, so whichever copy answers first
+    /// produces the same bytes.
+    fn hedge(&mut self, id: u64, flights: &mut HashMap<u64, Flight>) {
+        let Some(flight) = flights.get(&id) else {
+            return;
+        };
+        let primary = flight.copies[0];
+        let views = self.pool.views();
+        let Some(hb) = self.balancer.pick(id, &views, Some(primary)) else {
+            return;
+        };
+        let mut copy = flight.req.clone();
+        copy.hedge = Some(flight.copies.len() as u64);
+        if self.pool.send(hb, &copy.to_line()).is_err() {
+            self.backend_send_failed(hb);
+            return;
+        }
+        self.pool.backends[hb].outstanding += 1;
+        self.counters.per_backend[hb] += 1;
+        self.counters.hedges += 1;
+        self.emit(TraceEvent::ClusterHedge {
+            unit: id,
+            backend: hb,
+        });
+        if let Some(flight) = flights.get_mut(&id) {
+            flight.copies.push(hb);
+            flight.hedged = true;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_line(
+        &mut self,
+        b: usize,
+        line: String,
+        flights: &mut HashMap<u64, Flight>,
+        pending: &mut VecDeque<Unit>,
+        delayed: &mut Vec<(Instant, Unit)>,
+        answered: &mut BTreeMap<u64, String>,
+        progress: &mut dyn FnMut(u64, &str),
+    ) {
+        let Ok(resp) = Response::parse(&line) else {
+            // A backend speaking garbage is as broken as one that hung up.
+            self.backend_down(b, "eof", flights, pending, answered);
+            return;
+        };
+        let id = resp.id();
+        if id >= HEALTH_ID_BASE {
+            self.counters.health_probes += 1;
+            self.pool.backends[b].failures = 0;
+            if self.pool.backends[b].quarantined && !self.pool.backends[b].dead {
+                self.pool.backends[b].quarantined = false;
+            }
+            self.emit(TraceEvent::ClusterHealthProbe {
+                backend: b,
+                healthy: true,
+            });
+            return;
+        }
+        self.pool.backends[b].outstanding = self.pool.backends[b].outstanding.saturating_sub(1);
+        self.pool.backends[b].failures = 0;
+        let mut flight_empty = false;
+        if let Some(flight) = flights.get_mut(&id) {
+            if let Some(pos) = flight.copies.iter().position(|&c| c == b) {
+                flight.copies.remove(pos);
+            }
+            flight_empty = flight.copies.is_empty();
+        }
+        if let Response::Overloaded { retry_after_ms, .. } = &resp {
+            let retry_after_ms = *retry_after_ms;
+            if answered.contains_key(&id) {
+                if flight_empty {
+                    flights.remove(&id);
+                }
+                return;
+            }
+            if !flight_empty {
+                return; // another copy is still in flight
+            }
+            let Some(flight) = flights.remove(&id) else {
+                return;
+            };
+            let attempts = flight.attempts + 1;
+            if self.cfg.retry.should_retry(attempts) {
+                self.counters.retries += 1;
+                self.emit(TraceEvent::ClusterRetry {
+                    unit: id,
+                    attempt: attempts,
+                });
+                let backoff = self
+                    .cfg
+                    .retry
+                    .backoff_ms(self.cfg.seed, id, attempts)
+                    .max(retry_after_ms);
+                delayed.push((
+                    Instant::now() + Duration::from_millis(backoff),
+                    Unit {
+                        req: flight.req,
+                        attempts,
+                        resumed: false,
+                    },
+                ));
+            } else {
+                // Retry budget exhausted: the overload line is the terminal
+                // answer — visible, counted, not lost.
+                answered.insert(id, line.clone());
+                progress(id, &line);
+            }
+            return;
+        }
+        if answered.contains_key(&id) {
+            self.counters.dedups += 1;
+            self.emit(TraceEvent::ClusterDedup { unit: id });
+            if flight_empty {
+                flights.remove(&id);
+            }
+            return;
+        }
+        if let Some(flight) = flights.get(&id) {
+            self.latencies
+                .push(flight.sent.elapsed().as_secs_f64() * 1e3);
+        }
+        if flight_empty {
+            flights.remove(&id);
+        }
+        answered.insert(id, line.clone());
+        progress(id, &line);
+    }
+
+    /// The `backend_drop` fault site: ask the victim to drain and exit
+    /// (kills a real process in the soak harness), mark it dead, and
+    /// resume its in-flight units on the survivors.
+    fn drop_backend(
+        &mut self,
+        victim: usize,
+        flights: &mut HashMap<u64, Flight>,
+        pending: &mut VecDeque<Unit>,
+        answered: &BTreeMap<u64, String>,
+    ) {
+        self.counters.backend_drops += 1;
+        let bye = Request::new(
+            HEALTH_ID_BASE + 1_000 + victim as u64,
+            RequestKind::Shutdown,
+        );
+        let _ = self.pool.send(victim, &bye.to_line());
+        self.pool.backends[victim].dead = true;
+        self.backend_down(victim, "drop", flights, pending, answered);
+    }
+
+    /// A backend failed (EOF, send error, dropped, failed health probe):
+    /// quarantine it and requeue every unit that only it was holding.
+    fn backend_down(
+        &mut self,
+        b: usize,
+        reason: &'static str,
+        flights: &mut HashMap<u64, Flight>,
+        pending: &mut VecDeque<Unit>,
+        answered: &BTreeMap<u64, String>,
+    ) {
+        self.pool.disconnect(b);
+        self.emit(TraceEvent::ClusterBackendDown { backend: b, reason });
+        self.pool.backends[b].failures += 1;
+        if !self.pool.backends[b].quarantined {
+            self.pool.backends[b].quarantined = true;
+            self.counters.quarantines += 1;
+            let failures = self.pool.backends[b].failures;
+            self.emit(TraceEvent::ClusterBackendQuarantined {
+                backend: b,
+                failures,
+            });
+        }
+        let orphaned: Vec<u64> = flights
+            .iter()
+            .filter(|(_, f)| f.copies.contains(&b))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in orphaned {
+            let flight = flights.get_mut(&id).expect("flight exists");
+            let copies_here = flight.copies.iter().filter(|&&c| c == b).count();
+            flight.copies.retain(|&c| c != b);
+            self.pool.backends[b].outstanding = self.pool.backends[b]
+                .outstanding
+                .saturating_sub(copies_here);
+            if flight.copies.is_empty() {
+                let flight = flights.remove(&id).expect("flight exists");
+                if !answered.contains_key(&id) {
+                    pending.push_back(Unit {
+                        req: flight.req,
+                        attempts: flight.attempts,
+                        resumed: true,
+                    });
+                }
+            }
+        }
+        self.pool.backends[b].outstanding = 0;
+    }
+
+    fn backend_send_failed(&mut self, b: usize) {
+        // The caller still holds the unit; only flip the health state here.
+        self.pool.disconnect(b);
+        self.emit(TraceEvent::ClusterBackendDown {
+            backend: b,
+            reason: "send",
+        });
+        self.pool.backends[b].failures += 1;
+        if !self.pool.backends[b].quarantined {
+            self.pool.backends[b].quarantined = true;
+            self.counters.quarantines += 1;
+            let failures = self.pool.backends[b].failures;
+            self.emit(TraceEvent::ClusterBackendQuarantined {
+                backend: b,
+                failures,
+            });
+        }
+    }
+
+    /// Tries to reconnect one quarantined (not dead) backend; gives up on
+    /// a backend once its failure count exceeds the retry budget.
+    fn revive_any(&mut self) -> bool {
+        (0..self.pool.backends.len()).any(|b| self.revive(b))
+    }
+
+    fn revive(&mut self, b: usize) -> bool {
+        if self.pool.backends[b].dead || !self.pool.backends[b].quarantined {
+            return false;
+        }
+        if !self
+            .cfg
+            .retry
+            .should_retry(self.pool.backends[b].failures as u32)
+        {
+            self.pool.backends[b].dead = true;
+            return false;
+        }
+        if self.pool.attach(b).is_ok() {
+            self.pool.backends[b].quarantined = false;
+            self.pool.backends[b].failures = 0;
+            self.counters.health_probes += 1;
+            self.emit(TraceEvent::ClusterHealthProbe {
+                backend: b,
+                healthy: true,
+            });
+            true
+        } else {
+            self.pool.backends[b].failures += 1;
+            false
+        }
+    }
+
+    /// All backends are gone: give every unanswered unit a synthesized
+    /// error response so the gather step terminates with a complete,
+    /// inspectable transcript instead of hanging.
+    fn fail_remaining(
+        &mut self,
+        pending: &mut VecDeque<Unit>,
+        delayed: &mut Vec<(Instant, Unit)>,
+        flights: &mut HashMap<u64, Flight>,
+        answered: &mut BTreeMap<u64, String>,
+    ) {
+        let ids: Vec<u64> = pending
+            .iter()
+            .map(|u| u.req.id)
+            .chain(delayed.iter().map(|(_, u)| u.req.id))
+            .chain(flights.keys().copied())
+            .collect();
+        pending.clear();
+        delayed.clear();
+        flights.clear();
+        for id in ids {
+            answered.entry(id).or_insert_with(|| {
+                Response::Error {
+                    id,
+                    message: "cluster: no backends available".into(),
+                }
+                .to_line()
+            });
+        }
+    }
+}
+
+enum DispatchOutcome {
+    Sent,
+    Requeued(Unit),
+}

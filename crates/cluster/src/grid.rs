@@ -1,0 +1,174 @@
+//! `cluster grid`: a remote experiment grid — generator family × seed,
+//! solved on the pool, merged into one summary.
+//!
+//! Instances are generated *locally* (so the grid is a pure function of
+//! its seeds regardless of which backend solves which cell) and shipped as
+//! integer triples. The merge reports per-family optimum statistics plus
+//! the per-backend dispatch counters, which is how the soak harness checks
+//! the pool actually shared the work.
+
+use std::io;
+
+use mm_instance::generators::{agreeable, loose, uniform, AgreeableCfg, UniformCfg};
+use mm_instance::Instance;
+use mm_json::Json;
+use mm_numeric::Rat;
+use mm_serve::protocol::{Request, RequestKind};
+use mm_trace::TraceSink;
+
+use crate::coordinator::{ClusterConfig, ClusterReport, Coordinator};
+
+/// What to run: every family × every seed in `0..seeds`.
+#[derive(Debug, Clone)]
+pub struct GridConfig {
+    /// Generator families (`uniform`, `agreeable`, `loose`).
+    pub families: Vec<String>,
+    /// Seeds per family.
+    pub seeds: u64,
+    /// Jobs per instance.
+    pub n: usize,
+}
+
+/// Result of a grid run.
+#[derive(Debug, Clone)]
+pub struct GridOutcome {
+    /// `(family, seed, response line)` per cell, in cell order.
+    pub cells: Vec<(String, u64, String)>,
+    /// Per-family merge: solved/degraded counts and optimum range.
+    pub merged: Json,
+    /// The underlying scatter–gather report.
+    pub report: ClusterReport,
+}
+
+/// Generates one grid cell. The families here are the integer-valued
+/// generators; `laminar` is excluded because the wire protocol carries
+/// integer triples and laminar fills are genuinely rational.
+fn generate(family: &str, n: usize, seed: u64) -> Option<Instance> {
+    match family {
+        "uniform" => Some(uniform(
+            &UniformCfg {
+                n,
+                ..UniformCfg::default()
+            },
+            seed,
+        )),
+        "agreeable" => Some(agreeable(
+            &AgreeableCfg {
+                n,
+                ..AgreeableCfg::default()
+            },
+            seed,
+        )),
+        "loose" => Some(loose(
+            &UniformCfg {
+                n,
+                ..UniformCfg::default()
+            },
+            &Rat::ratio(1, 2),
+            seed,
+        )),
+        _ => None,
+    }
+}
+
+fn triples(inst: &Instance) -> Vec<(i64, i64, i64)> {
+    inst.jobs()
+        .iter()
+        .filter_map(|j| {
+            Some((
+                j.release.floor().to_i64()?,
+                j.deadline.floor().to_i64()?,
+                j.processing.floor().to_i64()?,
+            ))
+        })
+        .collect()
+}
+
+/// Scatters the grid across the pool and merges per-family statistics.
+pub fn cluster_grid<S: TraceSink>(
+    cfg: ClusterConfig,
+    sink: S,
+    grid: &GridConfig,
+) -> io::Result<GridOutcome> {
+    let mut labels: Vec<(String, u64)> = Vec::new();
+    let mut units: Vec<Request> = Vec::new();
+    for family in &grid.families {
+        for seed in 0..grid.seeds.max(1) {
+            let inst = generate(family, grid.n, seed).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("unknown grid family `{family}` (uniform|agreeable|loose)"),
+                )
+            })?;
+            let id = labels.len() as u64 + 1;
+            labels.push((family.clone(), seed));
+            let mut req = Request::new(
+                id,
+                RequestKind::Solve {
+                    jobs: triples(&inst),
+                },
+            );
+            req.shard = Some(id);
+            units.push(req);
+        }
+    }
+
+    let coordinator = Coordinator::connect(cfg, sink)?;
+    let report = coordinator.run(units, &mut |_, _| {})?;
+
+    let cells: Vec<(String, u64, String)> = labels
+        .iter()
+        .enumerate()
+        .map(|(i, (family, seed))| {
+            let line = report
+                .responses
+                .get(&(i as u64 + 1))
+                .cloned()
+                .unwrap_or_else(|| "{\"status\":\"lost\"}".to_string());
+            (family.clone(), *seed, line)
+        })
+        .collect();
+
+    let merged = Json::Arr(
+        grid.families
+            .iter()
+            .map(|family| {
+                let (mut solved, mut degraded, mut min_m, mut max_m, mut sum_m) =
+                    (0i64, 0i64, i64::MAX, 0i64, 0i64);
+                for (f, _, line) in &cells {
+                    if f != family {
+                        continue;
+                    }
+                    match mm_json::parse(line) {
+                        Ok(doc) if doc.get("status").and_then(|s| s.as_str()) == Some("ok") => {
+                            if let Some(m) = doc.get("machines").and_then(|v| v.as_i64()) {
+                                solved += 1;
+                                min_m = min_m.min(m);
+                                max_m = max_m.max(m);
+                                sum_m += m;
+                            }
+                        }
+                        _ => degraded += 1,
+                    }
+                }
+                Json::obj([
+                    ("family", Json::str(family.clone())),
+                    ("solved", Json::Int(solved)),
+                    ("degraded", Json::Int(degraded)),
+                    (
+                        "min_machines",
+                        Json::Int(if solved > 0 { min_m } else { 0 }),
+                    ),
+                    ("max_machines", Json::Int(max_m)),
+                    ("sum_machines", Json::Int(sum_m)),
+                ])
+            })
+            .collect(),
+    );
+
+    Ok(GridOutcome {
+        cells,
+        merged,
+        report,
+    })
+}

@@ -1,0 +1,97 @@
+//! `cluster solve`: fan ascending-`m` feasibility probes across the pool
+//! and gather either a certified optimum or the tightest merged bracket.
+//!
+//! Unit `m` (id `m`) asks one backend "is this instance feasible on `m`
+//! machines?". Feasibility is monotone in `m`, so the gather step needs no
+//! coordination between probes: the optimum is pinned exactly when every
+//! machine count below the smallest known-feasible one is known
+//! infeasible. Probes that come back degraded (budget exhaustion on the
+//! backend) still carry a certified `[lo, hi]` bracket, which merges into
+//! the final answer instead of being discarded.
+
+use std::io;
+
+use mm_trace::TraceSink;
+
+use crate::coordinator::{ClusterConfig, ClusterReport, Coordinator};
+use mm_serve::protocol::{Request, RequestKind};
+
+/// Result of a scattered solve.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// The certified optimum, when the probes pinned it exactly.
+    pub exact: Option<usize>,
+    /// Largest machine count known (or certified) infeasible, plus one.
+    pub lo: usize,
+    /// Smallest machine count known (or certified) feasible.
+    pub hi: usize,
+    /// Probes that came back undecided (degraded or error).
+    pub undecided: usize,
+    /// The underlying scatter–gather report (counters, transcript).
+    pub report: ClusterReport,
+}
+
+/// Scatters feasibility probes `m = 1..=n` for the given jobs and merges
+/// the verdicts. `n` probes for `n` jobs is always enough: one machine per
+/// job is feasible by the instance validity invariant `p ≤ d − r`.
+pub fn cluster_solve<S: TraceSink>(
+    cfg: ClusterConfig,
+    sink: S,
+    jobs: &[(i64, i64, i64)],
+) -> io::Result<SolveOutcome> {
+    let n = jobs.len().max(1);
+    let units: Vec<Request> = (1..=n as u64)
+        .map(|m| {
+            Request::new(
+                m,
+                RequestKind::Probe {
+                    jobs: jobs.to_vec(),
+                    machines: m,
+                },
+            )
+        })
+        .collect();
+    let coordinator = Coordinator::connect(cfg, sink)?;
+    let report = coordinator.run(units, &mut |_, _| {})?;
+
+    let mut max_infeasible = 0usize;
+    let mut min_feasible = n;
+    let mut bracket_lo = 1usize;
+    let mut bracket_hi = n;
+    let mut undecided = 0usize;
+    for (&id, line) in &report.responses {
+        let m = id as usize;
+        let Ok(doc) = mm_json::parse(line) else {
+            undecided += 1;
+            continue;
+        };
+        match doc.get("status").and_then(|s| s.as_str()) {
+            Some("ok") => match doc.get("feasible").and_then(|f| f.as_bool()) {
+                Some(true) => min_feasible = min_feasible.min(m),
+                Some(false) => max_infeasible = max_infeasible.max(m),
+                None => undecided += 1,
+            },
+            Some("degraded") => {
+                // The probe's certified global bracket still narrows ours.
+                undecided += 1;
+                if let Some(lo) = doc.get("lo").and_then(|v| v.as_i64()) {
+                    bracket_lo = bracket_lo.max(lo.max(1) as usize);
+                }
+                if let Some(hi) = doc.get("hi").and_then(|v| v.as_i64()) {
+                    bracket_hi = bracket_hi.min(hi.max(1) as usize);
+                }
+            }
+            _ => undecided += 1,
+        }
+    }
+    let lo = bracket_lo.max(max_infeasible + 1);
+    let hi = bracket_hi.min(min_feasible);
+    let exact = (lo >= hi).then_some(hi);
+    Ok(SolveOutcome {
+        exact,
+        lo: lo.min(hi),
+        hi,
+        undecided,
+        report,
+    })
+}

@@ -1,0 +1,214 @@
+//! `cluster sweep`: the adversary sweep, sharded as `(policy, depth)`
+//! pairs with per-shard checkpoints.
+//!
+//! Each shard is one `Adversary` request at a single target depth, so a
+//! pool of `k−1` backends runs a full `2..=k` sweep in one wave. The
+//! checkpoint file records every completed shard's response line; a rerun
+//! with `--resume` skips them, and a backend that dies mid-run has its
+//! shards re-dispatched on the survivors by the coordinator itself (the
+//! checkpoint is for torn *coordinator* runs, the resume-on-survivors path
+//! is for torn *backends*).
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::PathBuf;
+
+use mm_json::Json;
+use mm_serve::protocol::{Request, RequestKind};
+use mm_trace::TraceSink;
+
+use crate::coordinator::{ClusterConfig, ClusterReport, Coordinator};
+
+/// What to sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Nonmigratory policies to attack (`edf-ff`, `medium-fit`).
+    pub policies: Vec<String>,
+    /// Deepest adversary depth; shards cover `2..=k` per policy.
+    pub k: usize,
+    /// Machine budget handed to each policy.
+    pub machines: usize,
+    /// Checkpoint file (written after every completed shard).
+    pub checkpoint: Option<PathBuf>,
+    /// Skip shards already recorded in the checkpoint file.
+    pub resume: bool,
+}
+
+/// Result of a sharded sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// `(policy, depth, response line)` per shard, in shard order.
+    pub shards: Vec<(String, usize, String)>,
+    /// Shards skipped because the checkpoint already held them.
+    pub resumed_from_checkpoint: usize,
+    /// Per-policy merge: deepest result wins.
+    pub merged: Json,
+    /// The underlying scatter–gather report.
+    pub report: ClusterReport,
+}
+
+fn config_key(sweep: &SweepConfig) -> Json {
+    Json::obj([
+        (
+            "policies",
+            Json::Arr(sweep.policies.iter().map(Json::str).collect()),
+        ),
+        ("k", Json::Int(sweep.k as i64)),
+        ("machines", Json::Int(sweep.machines as i64)),
+    ])
+}
+
+fn render_checkpoint(key: &Json, done: &BTreeMap<u64, String>) -> String {
+    Json::obj([
+        ("sweep", key.clone()),
+        (
+            "done",
+            Json::Arr(
+                done.iter()
+                    .map(|(&id, line)| {
+                        Json::Arr(vec![Json::Int(id as i64), Json::str(line.clone())])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_compact()
+}
+
+fn load_checkpoint(path: &PathBuf, key: &Json) -> io::Result<BTreeMap<u64, String>> {
+    let text = std::fs::read_to_string(path)?;
+    let doc = mm_json::parse(&text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("checkpoint: {e}")))?;
+    let invalid =
+        |msg: &str| io::Error::new(io::ErrorKind::InvalidData, format!("checkpoint: {msg}"));
+    if doc.get("sweep") != Some(key) {
+        return Err(invalid("config mismatch (different policies/k/machines)"));
+    }
+    let mut done = BTreeMap::new();
+    for entry in doc
+        .get("done")
+        .and_then(|d| d.as_arr())
+        .ok_or_else(|| invalid("missing done array"))?
+    {
+        let pair = entry.as_arr().ok_or_else(|| invalid("malformed entry"))?;
+        let (Some(id), Some(line)) = (
+            pair.first().and_then(|v| v.as_i64()),
+            pair.get(1).and_then(|v| v.as_str()),
+        ) else {
+            return Err(invalid("malformed entry"));
+        };
+        done.insert(id as u64, line.to_string());
+    }
+    Ok(done)
+}
+
+/// Runs the sharded sweep, checkpointing each completed shard.
+pub fn cluster_sweep<S: TraceSink>(
+    cfg: ClusterConfig,
+    sink: S,
+    sweep: &SweepConfig,
+) -> io::Result<SweepOutcome> {
+    let mut labels: Vec<(String, usize)> = Vec::new();
+    let mut units: Vec<Request> = Vec::new();
+    for policy in &sweep.policies {
+        for depth in 2..=sweep.k.max(2) {
+            let id = labels.len() as u64 + 1;
+            labels.push((policy.clone(), depth));
+            let mut req = Request::new(
+                id,
+                RequestKind::Adversary {
+                    policy: policy.clone(),
+                    k: depth,
+                    machines: sweep.machines,
+                },
+            );
+            req.shard = Some(id);
+            units.push(req);
+        }
+    }
+
+    let key = config_key(sweep);
+    let mut done: BTreeMap<u64, String> = BTreeMap::new();
+    if sweep.resume {
+        if let Some(path) = &sweep.checkpoint {
+            if path.exists() {
+                done = load_checkpoint(path, &key)?;
+            }
+        }
+    }
+    let todo: Vec<Request> = units
+        .into_iter()
+        .filter(|r| !done.contains_key(&r.id))
+        .collect();
+    let resumed_from_checkpoint = done.len();
+
+    let coordinator = Coordinator::connect(cfg, sink)?;
+    let path = sweep.checkpoint.clone();
+    let mut chk = done.clone();
+    let report = coordinator.run(todo, &mut |id, line| {
+        chk.insert(id, line.to_string());
+        if let Some(p) = &path {
+            let _ = std::fs::write(p, render_checkpoint(&key, &chk));
+        }
+    })?;
+    if let Some(p) = &path {
+        let _ = std::fs::write(p, render_checkpoint(&key, &chk));
+    }
+
+    let shards: Vec<(String, usize, String)> = labels
+        .iter()
+        .enumerate()
+        .map(|(i, (policy, depth))| {
+            let id = i as u64 + 1;
+            let line = chk
+                .get(&id)
+                .cloned()
+                .unwrap_or_else(|| "{\"status\":\"lost\"}".to_string());
+            (policy.clone(), *depth, line)
+        })
+        .collect();
+
+    let merged = Json::Arr(
+        sweep
+            .policies
+            .iter()
+            .map(|policy| {
+                let mut forced = 0i64;
+                let mut missed = false;
+                let mut undecided = 0i64;
+                for (p, _, line) in &shards {
+                    if p != policy {
+                        continue;
+                    }
+                    match mm_json::parse(line) {
+                        Ok(doc) if doc.get("status").and_then(|s| s.as_str()) == Some("ok") => {
+                            forced = forced.max(
+                                doc.get("machines_forced")
+                                    .and_then(|v| v.as_i64())
+                                    .unwrap_or(0),
+                            );
+                            missed |= doc
+                                .get("policy_missed")
+                                .and_then(|v| v.as_bool())
+                                .unwrap_or(false);
+                        }
+                        _ => undecided += 1,
+                    }
+                }
+                Json::obj([
+                    ("policy", Json::str(policy.clone())),
+                    ("max_machines_forced", Json::Int(forced)),
+                    ("policy_missed", Json::Bool(missed)),
+                    ("undecided_shards", Json::Int(undecided)),
+                ])
+            })
+            .collect(),
+    );
+
+    Ok(SweepOutcome {
+        shards,
+        resumed_from_checkpoint,
+        merged,
+        report,
+    })
+}

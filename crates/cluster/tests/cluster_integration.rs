@@ -1,0 +1,384 @@
+//! End-to-end coordinator tests against real `mm-serve` backends over TCP.
+//!
+//! Every test spins genuine [`Service`] instances with acceptor threads on
+//! ephemeral ports — the same stack `machmin serve` runs — so the
+//! scatter–gather paths (hedging, dedup, backend drop, shard resume,
+//! checkpoint resume) are exercised over real sockets, not mocks.
+
+use std::sync::Arc;
+
+use mm_cluster::{
+    cluster_grid, cluster_solve, cluster_sweep, BalancePolicy, ClusterConfig, Coordinator,
+    GridConfig, HedgeConfig, SweepConfig,
+};
+use mm_fault::{FaultPlan, FaultRule, FaultSite, RetryPolicy};
+use mm_serve::protocol::{Request, RequestKind};
+use mm_serve::supervisor::{DynSink, ServeConfig, Service};
+use mm_trace::{MetricsSink, NoopSink, SharedSink};
+
+struct Backend {
+    service: Arc<Service>,
+    addr: String,
+    acceptor: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn spawn_backend() -> Backend {
+    let cfg = ServeConfig {
+        workers: 2,
+        queue_cap: 64,
+        ..ServeConfig::default()
+    };
+    let service = Arc::new(Service::start(cfg, DynSink::new(Box::new(NoopSink))).unwrap());
+    let (listener, addr) = mm_serve::tcp::bind("127.0.0.1:0").unwrap();
+    let acceptor = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || mm_serve::tcp::serve(listener, service))
+    };
+    Backend {
+        service,
+        addr,
+        acceptor,
+    }
+}
+
+fn spawn_pool(n: usize) -> Vec<Backend> {
+    (0..n).map(|_| spawn_backend()).collect()
+}
+
+fn teardown(pool: Vec<Backend>) {
+    for b in pool {
+        b.service.shutdown();
+        b.service.wait_stopped();
+        b.acceptor.join().unwrap().unwrap();
+    }
+}
+
+fn addrs(pool: &[Backend]) -> Vec<String> {
+    pool.iter().map(|b| b.addr.clone()).collect()
+}
+
+fn solve_units(n: usize) -> Vec<Request> {
+    // Distinct single-instance solves with known optimum: id copies of the
+    // same zero-laxity job force exactly `id` machines.
+    (1..=n as u64)
+        .map(|id| {
+            Request::new(
+                id,
+                RequestKind::Solve {
+                    jobs: (0..id).map(|_| (0, 2, 2)).collect(),
+                },
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn scatter_gather_answers_every_unit_with_correct_optima() {
+    let pool = spawn_pool(3);
+    let cfg = ClusterConfig {
+        backends: addrs(&pool),
+        balance: BalancePolicy::SeededHash { seed: 9 },
+        seed: 9,
+        ..ClusterConfig::default()
+    };
+    let coordinator = Coordinator::connect(cfg, NoopSink).unwrap();
+    let report = coordinator.run(solve_units(12), &mut |_, _| {}).unwrap();
+    assert_eq!(report.counters.responses, 12);
+    assert_eq!(report.counters.lost, 0);
+    for (id, line) in &report.responses {
+        let doc = mm_json::parse(line).unwrap();
+        assert_eq!(
+            doc.get("machines").and_then(|m| m.as_i64()),
+            Some(*id as i64),
+            "unit {id} got {line}"
+        );
+    }
+    // With three backends and a hash balancer the work must actually spread.
+    assert!(
+        report
+            .counters
+            .per_backend
+            .iter()
+            .filter(|&&n| n > 0)
+            .count()
+            >= 2,
+        "per-backend dispatches {:?} did not spread",
+        report.counters.per_backend
+    );
+    teardown(pool);
+}
+
+#[test]
+fn hedges_share_the_primary_id_so_dedup_is_invisible_in_the_transcript() {
+    let pool = spawn_pool(2);
+    let base = ClusterConfig {
+        backends: addrs(&pool),
+        seed: 4,
+        ..ClusterConfig::default()
+    };
+    let plain = Coordinator::connect(base.clone(), NoopSink)
+        .unwrap()
+        .run(solve_units(10), &mut |_, _| {})
+        .unwrap();
+    let hedged_cfg = ClusterConfig {
+        hedge: HedgeConfig::EveryNth { n: 2 },
+        ..base
+    };
+    let metrics = SharedSink::new(MetricsSink::new());
+    let hedged = Coordinator::connect(hedged_cfg, metrics.clone())
+        .unwrap()
+        .run(solve_units(10), &mut |_, _| {})
+        .unwrap();
+    assert_eq!(hedged.counters.hedges, 5, "every 2nd of 10 units hedges");
+    assert_eq!(
+        hedged.counters.dedups, hedged.counters.hedges,
+        "with no faults every duplicate must be absorbed as a dedup"
+    );
+    assert_eq!(
+        plain.transcript("solve"),
+        hedged.transcript("solve"),
+        "hedging must be invisible in the transcript"
+    );
+    metrics.with(|m| {
+        assert_eq!(m.metrics.cluster_hedges, 5);
+        assert_eq!(m.metrics.cluster_dedups, 5);
+    });
+    teardown(pool);
+}
+
+#[test]
+fn backend_drop_mid_run_loses_nothing_and_matches_the_healthy_run() {
+    let run = |backends: usize, plan: FaultPlan| {
+        let pool = spawn_pool(backends);
+        let cfg = ClusterConfig {
+            backends: addrs(&pool),
+            balance: BalancePolicy::RoundRobin,
+            seed: 7,
+            plan,
+            retry: RetryPolicy::new(1, 50, 6),
+            ..ClusterConfig::default()
+        };
+        let coordinator = Coordinator::connect(cfg, NoopSink).unwrap();
+        let report = coordinator.run(solve_units(16), &mut |_, _| {}).unwrap();
+        // The dropped backend's service was told to drain; the survivors
+        // are shut down here.
+        for b in &pool {
+            b.service.shutdown();
+        }
+        for b in pool {
+            b.service.wait_stopped();
+            b.acceptor.join().unwrap().unwrap();
+        }
+        report
+    };
+    let healthy = run(3, FaultPlan::none());
+    let dropped = run(
+        3,
+        FaultPlan {
+            seed: 0,
+            rules: vec![FaultRule {
+                site: FaultSite::BackendDrop,
+                nth: 5,
+                every: None,
+            }],
+        },
+    );
+    assert_eq!(dropped.counters.backend_drops, 1);
+    assert!(dropped.counters.quarantines >= 1);
+    assert_eq!(dropped.counters.lost, 0, "no unit may vanish in a drop");
+    assert_eq!(dropped.counters.responses, 16);
+    assert_eq!(
+        healthy.responses, dropped.responses,
+        "a dropped backend must not change any response"
+    );
+    assert_eq!(dropped.fired, vec![(FaultSite::BackendDrop, 1)]);
+}
+
+#[test]
+fn same_seed_runs_produce_byte_identical_transcripts_under_drops_and_hedges() {
+    let run = || {
+        let pool = spawn_pool(3);
+        let cfg = ClusterConfig {
+            backends: addrs(&pool),
+            balance: BalancePolicy::SeededHash { seed: 11 },
+            seed: 11,
+            hedge: HedgeConfig::EveryNth { n: 3 },
+            plan: FaultPlan {
+                seed: 1,
+                rules: vec![FaultRule {
+                    site: FaultSite::BackendDrop,
+                    nth: 4,
+                    every: None,
+                }],
+            },
+            ..ClusterConfig::default()
+        };
+        let coordinator = Coordinator::connect(cfg, NoopSink).unwrap();
+        let report = coordinator.run(solve_units(14), &mut |_, _| {}).unwrap();
+        for b in &pool {
+            b.service.shutdown();
+        }
+        for b in pool {
+            b.service.wait_stopped();
+            b.acceptor.join().unwrap().unwrap();
+        }
+        report.transcript("solve")
+    };
+    assert_eq!(run(), run(), "same seed, same bytes");
+}
+
+#[test]
+fn cluster_solve_certifies_the_optimum_across_the_pool() {
+    let pool = spawn_pool(2);
+    let cfg = ClusterConfig {
+        backends: addrs(&pool),
+        seed: 3,
+        ..ClusterConfig::default()
+    };
+    // Three rigid jobs on the same window: optimum 3.
+    let jobs = vec![(0, 2, 2), (0, 2, 2), (0, 2, 2)];
+    let outcome = cluster_solve(cfg, NoopSink, &jobs).unwrap();
+    assert_eq!(outcome.exact, Some(3));
+    assert_eq!((outcome.lo, outcome.hi), (3, 3));
+    assert_eq!(outcome.undecided, 0);
+    assert_eq!(outcome.report.counters.responses, 3, "one probe per m");
+    teardown(pool);
+}
+
+#[test]
+fn cluster_sweep_checkpoints_and_resumes_without_rerunning_shards() {
+    let dir = std::env::temp_dir().join(format!("mm-cluster-sweep-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let checkpoint = dir.join("sweep.json");
+    let _ = std::fs::remove_file(&checkpoint);
+    let sweep = SweepConfig {
+        policies: vec!["edf-ff".into()],
+        k: 3,
+        machines: 8,
+        checkpoint: Some(checkpoint.clone()),
+        resume: true,
+    };
+    let run = |sweep: &SweepConfig| {
+        let pool = spawn_pool(2);
+        let cfg = ClusterConfig {
+            backends: addrs(&pool),
+            seed: 5,
+            ..ClusterConfig::default()
+        };
+        let outcome = cluster_sweep(cfg, NoopSink, sweep).unwrap();
+        teardown(pool);
+        outcome
+    };
+    let first = run(&sweep);
+    assert_eq!(first.resumed_from_checkpoint, 0);
+    assert_eq!(first.shards.len(), 2, "depths 2 and 3");
+    assert!(checkpoint.exists(), "checkpoint must be written");
+    let second = run(&sweep);
+    assert_eq!(
+        second.resumed_from_checkpoint, 2,
+        "a completed checkpoint resumes everything"
+    );
+    assert_eq!(second.report.counters.units, 0, "nothing re-dispatched");
+    assert_eq!(first.shards, second.shards);
+    assert_eq!(first.merged.to_compact(), second.merged.to_compact());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cluster_grid_merges_per_family_statistics() {
+    let pool = spawn_pool(2);
+    let cfg = ClusterConfig {
+        backends: addrs(&pool),
+        seed: 2,
+        ..ClusterConfig::default()
+    };
+    let grid = GridConfig {
+        families: vec!["uniform".into(), "agreeable".into()],
+        seeds: 3,
+        n: 10,
+    };
+    let outcome = cluster_grid(cfg, NoopSink, &grid).unwrap();
+    assert_eq!(outcome.cells.len(), 6);
+    assert_eq!(outcome.report.counters.lost, 0);
+    let merged = outcome.merged.as_arr().unwrap();
+    assert_eq!(merged.len(), 2);
+    for family in merged {
+        let solved = family.get("solved").and_then(|v| v.as_i64()).unwrap();
+        let degraded = family.get("degraded").and_then(|v| v.as_i64()).unwrap();
+        assert_eq!(solved + degraded, 3, "every cell accounted for");
+        assert!(solved >= 1, "small instances must mostly solve exactly");
+    }
+    teardown(pool);
+}
+
+#[test]
+fn mismatched_sweep_checkpoint_is_an_invalid_data_error() {
+    let dir = std::env::temp_dir().join(format!("mm-cluster-chk-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let checkpoint = dir.join("sweep.json");
+    std::fs::write(
+        &checkpoint,
+        r#"{"sweep":{"policies":["medium-fit"],"k":9,"machines":1},"done":[]}"#,
+    )
+    .unwrap();
+    let pool = spawn_pool(1);
+    let cfg = ClusterConfig {
+        backends: addrs(&pool),
+        ..ClusterConfig::default()
+    };
+    let sweep = SweepConfig {
+        policies: vec!["edf-ff".into()],
+        k: 2,
+        machines: 8,
+        checkpoint: Some(checkpoint),
+        resume: true,
+    };
+    let err = cluster_sweep(cfg, NoopSink, &sweep).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    teardown(pool);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn workloads_sharing_a_seed_and_a_pool_do_not_collide_in_idempotency_caches() {
+    // A sweep and a grid run with the same coordinator seed reuse low unit
+    // ids (1, 2, ...). If the idempotency key ignored the payload, the
+    // backends would replay the sweep's cached answers to the grid and the
+    // merge would silently lose cells.
+    let pool = spawn_pool(2);
+    let cfg = || ClusterConfig {
+        backends: addrs(&pool),
+        seed: 9,
+        ..ClusterConfig::default()
+    };
+    let sweep = SweepConfig {
+        policies: vec!["edf-ff".into()],
+        k: 3,
+        machines: 8,
+        checkpoint: None,
+        resume: false,
+    };
+    cluster_sweep(cfg(), NoopSink, &sweep).unwrap();
+    let grid = GridConfig {
+        families: vec!["uniform".into(), "agreeable".into()],
+        seeds: 2,
+        n: 10,
+    };
+    let outcome = cluster_grid(cfg(), NoopSink, &grid).unwrap();
+    for (family, seed, line) in &outcome.cells {
+        assert!(
+            line.contains("\"machines\""),
+            "cell {family}/{seed} must carry a grid answer, not a replayed \
+             sweep response: {line}"
+        );
+    }
+    let merged = outcome.merged.as_arr().unwrap();
+    for family in merged {
+        assert_eq!(
+            family.get("solved").and_then(|v| v.as_i64()),
+            Some(2),
+            "every grid cell must be solved by the grid itself"
+        );
+    }
+    teardown(pool);
+}

@@ -1,0 +1,99 @@
+//! Property tests for the balancing policies (issue satellite): the
+//! seeded-hash policy is a deterministic function of `(seed, unit,
+//! health)`, and no policy ever dispatches to a quarantined backend.
+
+use mm_cluster::{BackendView, BalancePolicy, Balancer};
+use proptest::prelude::*;
+
+fn views(healthy: &[bool], outstanding: &[usize]) -> Vec<BackendView> {
+    healthy
+        .iter()
+        .zip(outstanding)
+        .map(|(&healthy, &outstanding)| BackendView {
+            healthy,
+            outstanding,
+        })
+        .collect()
+}
+
+proptest! {
+    /// Seeded hash never consults outstanding counts or picker history:
+    /// the same `(seed, unit, health)` triple always lands on the same
+    /// backend, no matter what was picked before or how busy anyone is.
+    #[test]
+    fn seeded_hash_is_deterministic_and_timing_independent(
+        seed in any::<u64>(),
+        units in proptest::collection::vec(0u64..10_000, 1..40),
+        healthy in proptest::collection::vec(any::<bool>(), 1..8),
+        busy_a in proptest::collection::vec(0usize..64, 8),
+        busy_b in proptest::collection::vec(0usize..64, 8),
+    ) {
+        let n = healthy.len();
+        let va = views(&healthy, &busy_a[..n]);
+        let vb = views(&healthy, &busy_b[..n]);
+        let mut fresh = Balancer::new(BalancePolicy::SeededHash { seed });
+        let mut warm = Balancer::new(BalancePolicy::SeededHash { seed });
+        // Warm one balancer with unrelated picks; it must not matter.
+        for u in 0..17u64 {
+            let _ = warm.pick(u, &va, None);
+        }
+        for &unit in &units {
+            prop_assert_eq!(fresh.pick(unit, &va, None), warm.pick(unit, &vb, None));
+        }
+    }
+
+    /// No policy may hand a unit to a backend that is not healthy (dead,
+    /// quarantined, or disconnected all present as `healthy: false`), and
+    /// a pick must exist whenever any backend is eligible.
+    #[test]
+    fn no_policy_dispatches_to_a_quarantined_backend(
+        seed in any::<u64>(),
+        units in proptest::collection::vec(0u64..10_000, 1..40),
+        healthy in proptest::collection::vec(any::<bool>(), 1..8),
+        outstanding in proptest::collection::vec(0usize..64, 8),
+        exclude_raw in 0usize..16,
+    ) {
+        let n = healthy.len();
+        let v = views(&healthy, &outstanding[..n]);
+        // Low half of the draw excludes a backend, high half excludes none.
+        let exclude = (exclude_raw < 8).then_some(exclude_raw).filter(|&e| e < n);
+        let any_eligible = (0..n).any(|i| v[i].healthy && Some(i) != exclude);
+        for policy in [
+            BalancePolicy::RoundRobin,
+            BalancePolicy::LeastOutstanding,
+            BalancePolicy::SeededHash { seed },
+        ] {
+            let mut b = Balancer::new(policy);
+            for &unit in &units {
+                match b.pick(unit, &v, exclude) {
+                    Some(i) => {
+                        prop_assert!(v[i].healthy, "{policy:?} picked unhealthy {i}");
+                        prop_assert!(Some(i) != exclude, "{policy:?} ignored exclusion");
+                    }
+                    None => prop_assert!(
+                        !any_eligible,
+                        "{policy:?} refused a pick with eligible backends"
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Least-outstanding always takes a minimally loaded healthy backend.
+    #[test]
+    fn least_outstanding_is_greedy_on_load(
+        units in proptest::collection::vec(0u64..10_000, 1..40),
+        healthy in proptest::collection::vec(any::<bool>(), 1..8),
+        outstanding in proptest::collection::vec(0usize..64, 8),
+    ) {
+        let n = healthy.len();
+        let v = views(&healthy, &outstanding[..n]);
+        let mut b = Balancer::new(BalancePolicy::LeastOutstanding);
+        let best = (0..n).filter(|&i| v[i].healthy).map(|i| v[i].outstanding).min();
+        for &unit in &units {
+            if let Some(i) = b.pick(unit, &v, None) {
+                prop_assert_eq!(Some(v[i].outstanding), best);
+            }
+        }
+    }
+}

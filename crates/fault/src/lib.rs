@@ -362,6 +362,10 @@ pub enum FaultSite {
     /// Panic a service-layer worker thread mid-request (the supervisor must
     /// catch it, recycle the worker, and retry or quarantine the request).
     WorkerPanic,
+    /// Drop a cluster backend mid-workload (the coordinator must detect the
+    /// dead connection, quarantine the backend, and resume its shards on
+    /// surviving workers without losing a response).
+    BackendDrop,
 }
 
 impl FaultSite {
@@ -369,13 +373,14 @@ impl FaultSite {
     /// iterate this). New sites are appended, never inserted, so the chaos
     /// rules [`FaultPlan::chaos`] derives for existing sites stay identical
     /// across releases for a given seed.
-    pub const ALL: [FaultSite; 6] = [
+    pub const ALL: [FaultSite; 7] = [
         FaultSite::ProbeCancel,
         FaultSite::ForceBigint,
         FaultSite::MachineFailure,
         FaultSite::MachineSlowdown,
         FaultSite::AdversaryAbort,
         FaultSite::WorkerPanic,
+        FaultSite::BackendDrop,
     ];
 
     /// Stable snake_case tag (used in plan files and trace events).
@@ -387,6 +392,7 @@ impl FaultSite {
             FaultSite::MachineSlowdown => "machine_slowdown",
             FaultSite::AdversaryAbort => "adversary_abort",
             FaultSite::WorkerPanic => "worker_panic",
+            FaultSite::BackendDrop => "backend_drop",
         }
     }
 

@@ -271,12 +271,7 @@ mod tests {
     use super::*;
 
     fn req(id: u64, kind: RequestKind) -> Request {
-        Request {
-            id,
-            kind,
-            deadline_ms: None,
-            max_augmentations: None,
-        }
+        Request::new(id, kind)
     }
 
     #[test]

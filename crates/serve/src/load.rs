@@ -5,7 +5,12 @@
 //! * **closed-loop** — at most `window` requests outstanding; the next
 //!   request is sent when a response arrives. With `window ≤ queue_cap`
 //!   nothing is ever shed, so the response transcript is a pure function of
-//!   the seed — the soak harness diffs two runs byte-for-byte.
+//!   the seed — the soak harness diffs two runs byte-for-byte. When the
+//!   server *does* shed (`overloaded`), the client honors the response's
+//!   `retry_after_ms`: it backs off (scaled by the attempt number), re-sends
+//!   the identical request, and counts the retry in the report. Only after
+//!   [`MAX_OVERLOAD_RETRIES`] consecutive sheds does the overload line
+//!   become the terminal answer.
 //! * **paced** — arrival-driven replay: a generated instance is fed through
 //!   [`mm_sim::ArrivalSource`] and each release group becomes a request at
 //!   its wall-clock offset, deadline pressure and sheds included.
@@ -55,6 +60,10 @@ impl Default for LoadConfig {
     }
 }
 
+/// How many times one request is re-sent after `overloaded` responses
+/// before the overload line is accepted as its terminal answer.
+pub const MAX_OVERLOAD_RETRIES: u32 = 8;
+
 /// Outcome of a load run.
 #[derive(Debug, Clone)]
 pub struct LoadReport {
@@ -64,6 +73,9 @@ pub struct LoadReport {
     pub sent: usize,
     /// Requests that never received a response (must be 0).
     pub lost: usize,
+    /// Requests re-sent after an `overloaded` response (closed-loop mode
+    /// honors the server's `retry_after_ms` backoff hint).
+    pub retried: usize,
     /// Responses by status tag.
     pub by_status: Vec<(String, usize)>,
     /// Median response latency in milliseconds.
@@ -129,10 +141,8 @@ pub fn mixed_requests(seed: u64, n: usize, deadline_ms: Option<u64>) -> Vec<Requ
                 },
             };
             Request {
-                id,
-                kind,
                 deadline_ms,
-                max_augmentations: None,
+                ..Request::new(id, kind)
             }
         })
         .collect()
@@ -147,6 +157,7 @@ pub fn run_load(addr: &str, cfg: &LoadConfig) -> std::io::Result<LoadReport> {
     let mut responses: HashMap<u64, String> = HashMap::new();
     let mut latencies: Vec<f64> = Vec::new();
     let mut started: HashMap<u64, Instant> = HashMap::new();
+    let mut retried = 0usize;
 
     let send = |writer: &mut BufWriter<TcpStream>,
                 started: &mut HashMap<u64, Instant>,
@@ -205,26 +216,74 @@ pub fn run_load(addr: &str, cfg: &LoadConfig) -> std::io::Result<LoadReport> {
             && recv(&mut reader, &mut responses, &mut started, &mut latencies)?
         {}
     } else {
+        // Closed-loop with overload backoff: a shed request is re-sent after
+        // the server's own `retry_after_ms` hint (scaled by the attempt
+        // number, so consecutive sheds back off progressively) instead of
+        // recording the overload as its final answer.
         let window = cfg.window.max(1);
         let mut next = 0usize;
+        let mut outstanding = 0usize;
+        let mut retry_at: Vec<(Instant, u64)> = Vec::new();
+        let mut attempts: HashMap<u64, u32> = HashMap::new();
         while responses.len() < requests.len() {
-            while next < requests.len() && next - responses.len() < window {
+            let now = Instant::now();
+            let mut i = 0;
+            while i < retry_at.len() {
+                if retry_at[i].0 <= now && outstanding < window {
+                    let (_, id) = retry_at.swap_remove(i);
+                    send(&mut writer, &mut started, &requests[id as usize])?;
+                    outstanding += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            while next < requests.len() && outstanding < window {
                 send(&mut writer, &mut started, &requests[next])?;
                 next += 1;
+                outstanding += 1;
             }
-            if !recv(&mut reader, &mut responses, &mut started, &mut latencies)? {
+            if outstanding == 0 {
+                // Everything unanswered is waiting out a backoff; sleep to
+                // the earliest due time instead of blocking on the socket.
+                let Some(due) = retry_at.iter().map(|(t, _)| *t).min() else {
+                    break;
+                };
+                let wait = due.saturating_duration_since(Instant::now());
+                if !wait.is_zero() {
+                    std::thread::sleep(wait);
+                }
+                continue;
+            }
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 {
                 break;
             }
+            let line = line.trim().to_string();
+            let Ok(resp) = Response::parse(&line) else {
+                continue;
+            };
+            let id = resp.id();
+            outstanding = outstanding.saturating_sub(1);
+            if let Response::Overloaded { retry_after_ms, .. } = &resp {
+                let tries = attempts.entry(id).or_insert(0);
+                if *tries < MAX_OVERLOAD_RETRIES && (id as usize) < requests.len() {
+                    *tries += 1;
+                    retried += 1;
+                    let backoff = (*retry_after_ms).max(1) * u64::from(*tries);
+                    retry_at.push((Instant::now() + Duration::from_millis(backoff), id));
+                    started.remove(&id);
+                    continue;
+                }
+            }
+            if let Some(t0) = started.remove(&id) {
+                latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+            }
+            responses.insert(id, line);
         }
     }
 
     if cfg.shutdown {
-        let bye = Request {
-            id: u64::MAX >> 1,
-            kind: RequestKind::Shutdown,
-            deadline_ms: None,
-            max_augmentations: None,
-        };
+        let bye = Request::new(u64::MAX >> 1, RequestKind::Shutdown);
         send(&mut writer, &mut started, &bye)?;
         let _ = recv(&mut reader, &mut responses, &mut started, &mut latencies);
         responses.remove(&bye.id);
@@ -256,6 +315,7 @@ pub fn run_load(addr: &str, cfg: &LoadConfig) -> std::io::Result<LoadReport> {
         transcript: transcript.into_iter().map(|(_, line)| line).collect(),
         sent: requests.len(),
         lost,
+        retried,
         by_status,
         p50_ms: quantile(0.5),
         p99_ms: quantile(0.99),
@@ -335,5 +395,44 @@ mod tests {
         let (t2, _) = run();
         assert!(panics1 > 0, "the fault plan must actually fire");
         assert_eq!(t1, t2, "same-seed transcripts must be byte-identical");
+    }
+
+    #[test]
+    fn overloaded_responses_are_retried_after_backoff() {
+        // A tiny queue behind a wide window forces sheds; the client must
+        // honor `retry_after_ms` and re-send until every request lands.
+        let cfg = ServeConfig {
+            workers: 1,
+            queue_cap: 2,
+            retry: RetryPolicy::new(1, 2, 4),
+            ..ServeConfig::default()
+        };
+        let service = Arc::new(Service::start(cfg, DynSink::new(Box::new(NoopSink))).unwrap());
+        let (listener, addr) = crate::tcp::bind("127.0.0.1:0").unwrap();
+        let acceptor = {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || crate::tcp::serve(listener, service))
+        };
+        let report = run_load(
+            &addr,
+            &LoadConfig {
+                n: 16,
+                seed: 3,
+                window: 8,
+                shutdown: true,
+                ..LoadConfig::default()
+            },
+        )
+        .unwrap();
+        acceptor.join().unwrap().unwrap();
+        service.wait_stopped();
+        assert!(report.retried > 0, "the tiny queue must shed at least once");
+        assert_eq!(report.lost, 0, "every shed request must be re-sent home");
+        assert_eq!(
+            report.count("overloaded"),
+            0,
+            "no overload line may survive as a terminal answer: {:?}",
+            report.by_status
+        );
     }
 }

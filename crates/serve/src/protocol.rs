@@ -34,6 +34,17 @@ pub struct Request {
     pub deadline_ms: Option<u64>,
     /// Cap on binary-search probes (budget augmentations) for solve/probe.
     pub max_augmentations: Option<u64>,
+    /// Cluster shard this request belongs to (coordinator bookkeeping;
+    /// ignored by the executor so responses stay pure in the payload).
+    pub shard: Option<u64>,
+    /// Hedge copy number: absent on the primary send, `Some(n)` on the
+    /// n-th hedged duplicate. Never echoed — hedged copies of one request
+    /// must produce byte-identical response lines.
+    pub hedge: Option<u64>,
+    /// Idempotency key: requests sharing a key are the same logical work.
+    /// The server answers a duplicate key from its response cache instead
+    /// of recomputing, so hedged duplicates cost one execution.
+    pub idempotency_key: Option<u64>,
 }
 
 /// The request payloads the service executes.
@@ -87,6 +98,19 @@ impl RequestKind {
 }
 
 impl Request {
+    /// A request with the given id and kind and every optional field unset.
+    pub fn new(id: u64, kind: RequestKind) -> Request {
+        Request {
+            id,
+            kind,
+            deadline_ms: None,
+            max_augmentations: None,
+            shard: None,
+            hedge: None,
+            idempotency_key: None,
+        }
+    }
+
     /// The request's deadline as a `Duration`, if set.
     pub fn deadline(&self) -> Option<Duration> {
         self.deadline_ms.map(Duration::from_millis)
@@ -142,6 +166,15 @@ impl Request {
         }
         if let Some(n) = self.max_augmentations {
             fields.push(("max_augmentations", Json::Int(n as i64)));
+        }
+        if let Some(s) = self.shard {
+            fields.push(("shard", Json::Int(s as i64)));
+        }
+        if let Some(h) = self.hedge {
+            fields.push(("hedge", Json::Int(h as i64)));
+        }
+        if let Some(k) = self.idempotency_key {
+            fields.push(("idempotency_key", Json::Int(k as i64)));
         }
         Json::obj(fields).to_compact()
     }
@@ -210,6 +243,9 @@ impl Request {
             kind,
             deadline_ms: uint("deadline_ms")?,
             max_augmentations: uint("max_augmentations")?,
+            shard: uint("shard")?,
+            hedge: uint("hedge")?,
+            idempotency_key: uint("idempotency_key")?,
         })
     }
 }
@@ -427,47 +463,55 @@ mod tests {
     fn requests_roundtrip_through_the_wire_format() {
         let reqs = [
             Request {
-                id: 1,
-                kind: RequestKind::Solve {
-                    jobs: vec![(0, 4, 2), (1, 5, 3)],
-                },
                 deadline_ms: Some(250),
-                max_augmentations: None,
+                ..Request::new(
+                    1,
+                    RequestKind::Solve {
+                        jobs: vec![(0, 4, 2), (1, 5, 3)],
+                    },
+                )
             },
             Request {
-                id: 2,
-                kind: RequestKind::Probe {
-                    jobs: vec![(0, 2, 2)],
-                    machines: 1,
-                },
-                deadline_ms: None,
                 max_augmentations: Some(8),
+                ..Request::new(
+                    2,
+                    RequestKind::Probe {
+                        jobs: vec![(0, 2, 2)],
+                        machines: 1,
+                    },
+                )
             },
-            Request {
-                id: 3,
-                kind: RequestKind::Schedule {
+            Request::new(
+                3,
+                RequestKind::Schedule {
                     jobs: vec![(0, 3, 1)],
                     policy: "edf-ff".into(),
                     machines: Some(4),
                 },
-                deadline_ms: None,
-                max_augmentations: None,
-            },
+            ),
             Request {
-                id: 4,
-                kind: RequestKind::Adversary {
-                    policy: "edf-ff".into(),
-                    k: 3,
-                    machines: 16,
-                },
                 deadline_ms: Some(10_000),
-                max_augmentations: None,
+                ..Request::new(
+                    4,
+                    RequestKind::Adversary {
+                        policy: "edf-ff".into(),
+                        k: 3,
+                        machines: 16,
+                    },
+                )
             },
+            Request::new(5, RequestKind::Shutdown),
             Request {
-                id: 5,
-                kind: RequestKind::Shutdown,
-                deadline_ms: None,
-                max_augmentations: None,
+                shard: Some(2),
+                hedge: Some(1),
+                idempotency_key: Some(0xBEEF),
+                ..Request::new(
+                    6,
+                    RequestKind::Probe {
+                        jobs: vec![(0, 2, 2)],
+                        machines: 2,
+                    },
+                )
             },
         ];
         for req in reqs {
@@ -537,12 +581,15 @@ mod tests {
     #[test]
     fn truncating_a_request_line_is_located_not_a_panic() {
         let line = Request {
-            id: 42,
-            kind: RequestKind::Solve {
-                jobs: vec![(0, 4, 2), (1, 5, 3)],
-            },
             deadline_ms: Some(100),
             max_augmentations: Some(4),
+            idempotency_key: Some(7),
+            ..Request::new(
+                42,
+                RequestKind::Solve {
+                    jobs: vec![(0, 4, 2), (1, 5, 3)],
+                },
+            )
         }
         .to_line();
         for cut in 0..line.len() {

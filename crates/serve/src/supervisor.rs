@@ -108,13 +108,47 @@ pub struct ServeStats {
     pub drain_degraded: u64,
     /// Acked responses replayed from the journal at startup.
     pub replayed_acks: u64,
+    /// Requests answered from the idempotency cache (hedged duplicates).
+    pub deduped: u64,
 }
 
 impl ServeStats {
     /// The soak invariant: every admitted request got exactly one terminal
-    /// response, and every received line was admitted, shed, or rejected.
+    /// response, and every received line was admitted, shed, rejected, or
+    /// answered from the idempotency cache.
     pub fn invariant_holds(&self) -> bool {
         self.admitted == self.responses
+    }
+}
+
+/// Bound on remembered idempotency keys (FIFO eviction past this).
+const IDEM_CACHE_CAP: usize = 4096;
+
+/// Bounded idempotency cache: completed response lines keyed by the
+/// request's idempotency key. A duplicate key is answered with the exact
+/// bytes of the first completion, so a hedged duplicate costs a map lookup
+/// instead of a second execution — and the coordinator's dedup-by-bytes
+/// works no matter which copy wins.
+#[derive(Default)]
+struct IdemCache {
+    map: std::collections::HashMap<u64, String>,
+    order: std::collections::VecDeque<u64>,
+}
+
+impl IdemCache {
+    fn get(&self, key: u64) -> Option<&String> {
+        self.map.get(&key)
+    }
+
+    fn insert(&mut self, key: u64, line: String) {
+        if self.map.insert(key, line).is_none() {
+            self.order.push_back(key);
+            if self.order.len() > IDEM_CACHE_CAP {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
     }
 }
 
@@ -130,6 +164,7 @@ struct Shared {
     stopped_cv: Condvar,
     journal: Option<Mutex<Journal>>,
     injector: Mutex<FaultInjector>,
+    idem: Mutex<IdemCache>,
     sink: DynSink,
     stats: Mutex<ServeStats>,
 }
@@ -158,7 +193,8 @@ struct WorkItem {
 }
 
 enum Work {
-    Item(WorkItem),
+    // Boxed: a WorkItem carries a whole Request, dwarfing the Stop pill.
+    Item(Box<WorkItem>),
     Stop,
 }
 
@@ -239,6 +275,7 @@ impl Service {
             stopped_cv: Condvar::new(),
             journal,
             injector: Mutex::new(FaultInjector::new(cfg.plan.clone())),
+            idem: Mutex::new(IdemCache::default()),
             sink,
             stats: Mutex::new(ServeStats {
                 replayed_acks: replay.acked.len() as u64,
@@ -340,7 +377,7 @@ impl Service {
             reply: recovery_tx.clone(),
         };
         self.work_tx
-            .send(Work::Item(item))
+            .send(Work::Item(Box::new(item)))
             .map_err(|_| "service stopped during recovery".to_string())
     }
 
@@ -376,6 +413,18 @@ impl Service {
         let mut req = req;
         if req.deadline_ms.is_none() {
             req.deadline_ms = self.shared.cfg.default_deadline_ms;
+        }
+        // Hedged duplicates: a known idempotency key is answered with the
+        // cached bytes of the first completion, skipping the queue entirely.
+        if let Some(key) = req.idempotency_key {
+            let cached = self.shared.idem.lock().unwrap().get(key).cloned();
+            if let Some(line) = cached {
+                self.shared.stats.lock().unwrap().deduped += 1;
+                self.shared
+                    .emit(TraceEvent::RequestDeduped { id: req.id, key });
+                let _ = reply.send(line);
+                return;
+            }
         }
         // Admission decision and WAL append happen under the same lock so
         // the journal's admission order matches the queue's.
@@ -429,7 +478,7 @@ impl Service {
             checkpoint: None,
             reply: reply.clone(),
         };
-        let _ = self.work_tx.send(Work::Item(item));
+        let _ = self.work_tx.send(Work::Item(Box::new(item)));
     }
 
     /// Begins a graceful drain: no new admissions; queued work completes or
@@ -512,7 +561,7 @@ fn spawn_worker(
 fn worker_loop(idx: usize, shared: Arc<Shared>, work_rx: Receiver<Work>, ctrl_tx: Sender<Ctrl>) {
     while let Ok(work) = work_rx.recv() {
         let item = match work {
-            Work::Item(item) => item,
+            Work::Item(item) => *item,
             Work::Stop => return,
         };
         let slow = shared
@@ -587,13 +636,13 @@ fn supervise(
                 attempt: retry.item.attempts,
             });
             shared.stats.lock().unwrap().retried += 1;
-            let _ = work_tx.send(Work::Item(retry.item));
+            let _ = work_tx.send(Work::Item(Box::new(retry.item)));
         }
         // Past the drain deadline, degrade whatever is still queued or
         // awaiting retry: certified brackets beat silence.
         if draining && drain_deadline.is_some_and(|d| Instant::now() >= d) {
             while let Ok(Work::Item(item)) = work_rx.try_recv() {
-                degrade(&shared, item);
+                degrade(&shared, *item);
             }
             for retry in retries.drain() {
                 degrade(&shared, retry.item);
@@ -689,6 +738,9 @@ fn finish(shared: &Shared, item: &WorkItem, response: &Response) {
         id: item.req.id,
         line: line.clone(),
     });
+    if let Some(key) = item.req.idempotency_key {
+        shared.idem.lock().unwrap().insert(key, line.clone());
+    }
     let _ = item.reply.send(line);
     shared.admission.lock().unwrap().depth -= 1;
     shared.stats.lock().unwrap().responses += 1;
@@ -732,14 +784,12 @@ mod tests {
     }
 
     fn solve_line(id: u64) -> String {
-        Request {
+        Request::new(
             id,
-            kind: RequestKind::Solve {
+            RequestKind::Solve {
                 jobs: vec![(0, 4, 2), (1, 5, 3)],
             },
-            deadline_ms: None,
-            max_augmentations: None,
-        }
+        )
         .to_line()
     }
 
@@ -761,6 +811,38 @@ mod tests {
         got.sort();
         got.dedup();
         assert_eq!(got.len(), 8, "distinct response per request");
+    }
+
+    #[test]
+    fn duplicate_idempotency_key_is_answered_from_cache() {
+        let service = Service::start(ServeConfig::default(), sink()).unwrap();
+        let (tx, rx) = channel::unbounded();
+        let line = Request {
+            idempotency_key: Some(77),
+            ..Request::new(
+                3,
+                RequestKind::Solve {
+                    jobs: vec![(0, 4, 2), (1, 5, 3)],
+                },
+            )
+        }
+        .to_line();
+        service.submit_line(&line, &tx);
+        let first = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        // The hedged duplicate: same id and key, a hedge marker.
+        let dup = Request {
+            idempotency_key: Some(77),
+            hedge: Some(1),
+            ..Request::parse(&line).unwrap()
+        }
+        .to_line();
+        service.submit_line(&dup, &tx);
+        let second = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(first, second, "cache must replay the exact bytes");
+        let stats = service.join();
+        assert_eq!(stats.admitted, 1, "duplicate must not re-execute");
+        assert_eq!(stats.deduped, 1);
+        assert!(stats.invariant_holds());
     }
 
     #[test]

@@ -98,14 +98,12 @@ mod tests {
             writer.flush().unwrap();
         };
         for id in 0..3 {
-            send(&Request {
+            send(&Request::new(
                 id,
-                kind: RequestKind::Solve {
+                RequestKind::Solve {
                     jobs: vec![(0, 2, 2), (0, 2, 2)],
                 },
-                deadline_ms: None,
-                max_augmentations: None,
-            });
+            ));
         }
         let mut lines = Vec::new();
         for _ in 0..3 {
@@ -116,12 +114,7 @@ mod tests {
         for line in &lines {
             assert!(line.contains("\"machines\":2"), "{line}");
         }
-        send(&Request {
-            id: 99,
-            kind: RequestKind::Shutdown,
-            deadline_ms: None,
-            max_augmentations: None,
-        });
+        send(&Request::new(99, RequestKind::Shutdown));
         let mut line = String::new();
         reader.read_line(&mut line).unwrap();
         assert!(line.contains("\"draining\":true"), "{line}");

@@ -48,12 +48,7 @@ fn request(id: u64, seed: u64) -> Request {
     } else {
         RequestKind::Solve { jobs }
     };
-    Request {
-        id,
-        kind,
-        deadline_ms: None,
-        max_augmentations: None,
-    }
+    Request::new(id, kind)
 }
 
 fn run_batch(cfg: ServeConfig, ids: &[u64], seed: u64) -> (Vec<String>, mm_serve::ServeStats) {

@@ -235,6 +235,71 @@ pub enum TraceEvent {
         /// Requests still queued or running at drain start.
         pending: usize,
     },
+    /// A request carrying a known idempotency key was answered from the
+    /// server's response cache instead of being re-executed.
+    RequestDeduped {
+        /// Request id.
+        id: u64,
+        /// The idempotency key that matched.
+        key: u64,
+    },
+    /// The cluster coordinator sent a work unit to a backend.
+    ClusterDispatch {
+        /// Logical work-unit id.
+        unit: u64,
+        /// Backend index within the pool.
+        backend: usize,
+    },
+    /// The coordinator sent a hedged duplicate of a slow work unit.
+    ClusterHedge {
+        /// Logical work-unit id.
+        unit: u64,
+        /// Backend index the duplicate went to.
+        backend: usize,
+    },
+    /// The coordinator dropped a duplicate response for an already-answered
+    /// work unit (the losing copy of a hedge).
+    ClusterDedup {
+        /// Logical work-unit id.
+        unit: u64,
+    },
+    /// A backend's connection died (EOF, reset, or an injected
+    /// `backend_drop` fault).
+    ClusterBackendDown {
+        /// Backend index within the pool.
+        backend: usize,
+        /// Why (`drop`, `eof`, `send`, or `health`).
+        reason: &'static str,
+    },
+    /// A repeatedly-failing backend was quarantined: no further dispatches.
+    ClusterBackendQuarantined {
+        /// Backend index within the pool.
+        backend: usize,
+        /// Consecutive failures that triggered the quarantine.
+        failures: u64,
+    },
+    /// A work unit stranded on a dead backend was re-dispatched to a
+    /// surviving one.
+    ClusterShardResumed {
+        /// Logical work-unit id.
+        unit: u64,
+        /// The surviving backend now running it.
+        backend: usize,
+    },
+    /// A jittered health probe completed against a backend.
+    ClusterHealthProbe {
+        /// Backend index within the pool.
+        backend: usize,
+        /// Whether the backend answered.
+        healthy: bool,
+    },
+    /// The coordinator re-sent a failed work unit after backoff.
+    ClusterRetry {
+        /// Logical work-unit id.
+        unit: u64,
+        /// Dispatch attempts so far.
+        attempt: u32,
+    },
 }
 
 impl TraceEvent {
@@ -265,6 +330,15 @@ impl TraceEvent {
             TraceEvent::WorkerPanicked { .. } => "worker_panicked",
             TraceEvent::WorkerRestarted { .. } => "worker_restarted",
             TraceEvent::DrainStarted { .. } => "drain_started",
+            TraceEvent::RequestDeduped { .. } => "request_deduped",
+            TraceEvent::ClusterDispatch { .. } => "cluster_dispatch",
+            TraceEvent::ClusterHedge { .. } => "cluster_hedge",
+            TraceEvent::ClusterDedup { .. } => "cluster_dedup",
+            TraceEvent::ClusterBackendDown { .. } => "cluster_backend_down",
+            TraceEvent::ClusterBackendQuarantined { .. } => "cluster_backend_quarantined",
+            TraceEvent::ClusterShardResumed { .. } => "cluster_shard_resumed",
+            TraceEvent::ClusterHealthProbe { .. } => "cluster_health_probe",
+            TraceEvent::ClusterRetry { .. } => "cluster_retry",
         }
     }
 
@@ -418,6 +492,50 @@ impl TraceEvent {
             TraceEvent::DrainStarted { pending } => Json::obj([
                 ("event", Json::str(self.tag())),
                 ("pending", Json::Int(*pending as i64)),
+            ]),
+            TraceEvent::RequestDeduped { id, key } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("id", Json::Int(*id as i64)),
+                ("key", Json::Int(*key as i64)),
+            ]),
+            TraceEvent::ClusterDispatch { unit, backend } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("unit", Json::Int(*unit as i64)),
+                ("backend", Json::Int(*backend as i64)),
+            ]),
+            TraceEvent::ClusterHedge { unit, backend } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("unit", Json::Int(*unit as i64)),
+                ("backend", Json::Int(*backend as i64)),
+            ]),
+            TraceEvent::ClusterDedup { unit } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("unit", Json::Int(*unit as i64)),
+            ]),
+            TraceEvent::ClusterBackendDown { backend, reason } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("backend", Json::Int(*backend as i64)),
+                ("reason", Json::str(*reason)),
+            ]),
+            TraceEvent::ClusterBackendQuarantined { backend, failures } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("backend", Json::Int(*backend as i64)),
+                ("failures", Json::Int(*failures as i64)),
+            ]),
+            TraceEvent::ClusterShardResumed { unit, backend } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("unit", Json::Int(*unit as i64)),
+                ("backend", Json::Int(*backend as i64)),
+            ]),
+            TraceEvent::ClusterHealthProbe { backend, healthy } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("backend", Json::Int(*backend as i64)),
+                ("healthy", Json::Bool(*healthy)),
+            ]),
+            TraceEvent::ClusterRetry { unit, attempt } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("unit", Json::Int(*unit as i64)),
+                ("attempt", Json::Int(*attempt as i64)),
             ]),
         }
     }
@@ -648,6 +766,24 @@ pub struct Metrics {
     pub worker_restarts: u64,
     /// `drain_started` events (0 or 1 per server run).
     pub drains: u64,
+    /// `request_deduped` events (hedged duplicates answered from cache).
+    pub requests_deduped: u64,
+    /// `cluster_dispatch` events.
+    pub cluster_dispatches: u64,
+    /// `cluster_hedge` events (hedged duplicates sent).
+    pub cluster_hedges: u64,
+    /// `cluster_dedup` events (duplicate responses dropped).
+    pub cluster_dedups: u64,
+    /// `cluster_backend_down` events.
+    pub cluster_backend_drops: u64,
+    /// `cluster_backend_quarantined` events.
+    pub cluster_quarantines: u64,
+    /// `cluster_shard_resumed` events.
+    pub cluster_shard_resumes: u64,
+    /// `cluster_health_probe` events.
+    pub cluster_health_probes: u64,
+    /// `cluster_retry` events.
+    pub cluster_retries: u64,
     /// Events touching each machine (index = machine id): opens, starts,
     /// preemptions, and incoming migrations.
     pub events_per_machine: Vec<u64>,
@@ -656,6 +792,9 @@ pub struct Metrics {
     /// Admissions observed at each queue depth (index = depth after
     /// admission, so index 1 is "queue held only this request").
     pub queue_depth_at_admission: Vec<u64>,
+    /// Cluster dispatches per backend (index = backend; includes hedges
+    /// and shard resumes — every line actually sent to that backend).
+    pub dispatches_per_backend: Vec<u64>,
 }
 
 impl Metrics {
@@ -725,6 +864,24 @@ impl Metrics {
             TraceEvent::WorkerPanicked { .. } => self.worker_panics += 1,
             TraceEvent::WorkerRestarted { .. } => self.worker_restarts += 1,
             TraceEvent::DrainStarted { .. } => self.drains += 1,
+            TraceEvent::RequestDeduped { .. } => self.requests_deduped += 1,
+            TraceEvent::ClusterDispatch { backend, .. } => {
+                self.cluster_dispatches += 1;
+                Self::bump(&mut self.dispatches_per_backend, *backend);
+            }
+            TraceEvent::ClusterHedge { backend, .. } => {
+                self.cluster_hedges += 1;
+                Self::bump(&mut self.dispatches_per_backend, *backend);
+            }
+            TraceEvent::ClusterDedup { .. } => self.cluster_dedups += 1,
+            TraceEvent::ClusterBackendDown { .. } => self.cluster_backend_drops += 1,
+            TraceEvent::ClusterBackendQuarantined { .. } => self.cluster_quarantines += 1,
+            TraceEvent::ClusterShardResumed { backend, .. } => {
+                self.cluster_shard_resumes += 1;
+                Self::bump(&mut self.dispatches_per_backend, *backend);
+            }
+            TraceEvent::ClusterHealthProbe { .. } => self.cluster_health_probes += 1,
+            TraceEvent::ClusterRetry { .. } => self.cluster_retries += 1,
         }
     }
 
@@ -801,6 +958,29 @@ impl Metrics {
                     ("worker_panics", Json::Int(self.worker_panics as i64)),
                     ("worker_restarts", Json::Int(self.worker_restarts as i64)),
                     ("drains", Json::Int(self.drains as i64)),
+                    ("requests_deduped", Json::Int(self.requests_deduped as i64)),
+                ]),
+            ),
+            (
+                "cluster",
+                Json::obj([
+                    ("dispatches", Json::Int(self.cluster_dispatches as i64)),
+                    ("hedges", Json::Int(self.cluster_hedges as i64)),
+                    ("dedups", Json::Int(self.cluster_dedups as i64)),
+                    (
+                        "backend_drops",
+                        Json::Int(self.cluster_backend_drops as i64),
+                    ),
+                    ("quarantines", Json::Int(self.cluster_quarantines as i64)),
+                    (
+                        "shard_resumes",
+                        Json::Int(self.cluster_shard_resumes as i64),
+                    ),
+                    (
+                        "health_probes",
+                        Json::Int(self.cluster_health_probes as i64),
+                    ),
+                    ("retries", Json::Int(self.cluster_retries as i64)),
                 ]),
             ),
             (
@@ -811,6 +991,10 @@ impl Metrics {
                     (
                         "queue_depth_at_admission",
                         counts(&self.queue_depth_at_admission),
+                    ),
+                    (
+                        "dispatches_per_backend",
+                        counts(&self.dispatches_per_backend),
                     ),
                 ]),
             ),
@@ -1051,6 +1235,93 @@ mod tests {
                 .as_i64(),
             Some(2)
         );
+    }
+
+    #[test]
+    fn cluster_events_feed_cluster_metrics() {
+        let mut sink = MetricsSink::new();
+        sink.record(&TraceEvent::ClusterDispatch {
+            unit: 0,
+            backend: 0,
+        });
+        sink.record(&TraceEvent::ClusterDispatch {
+            unit: 1,
+            backend: 2,
+        });
+        sink.record(&TraceEvent::ClusterHedge {
+            unit: 1,
+            backend: 0,
+        });
+        sink.record(&TraceEvent::ClusterDedup { unit: 1 });
+        sink.record(&TraceEvent::ClusterBackendDown {
+            backend: 2,
+            reason: "drop",
+        });
+        sink.record(&TraceEvent::ClusterBackendQuarantined {
+            backend: 2,
+            failures: 1,
+        });
+        sink.record(&TraceEvent::ClusterShardResumed {
+            unit: 1,
+            backend: 1,
+        });
+        sink.record(&TraceEvent::ClusterHealthProbe {
+            backend: 0,
+            healthy: true,
+        });
+        sink.record(&TraceEvent::ClusterRetry {
+            unit: 1,
+            attempt: 2,
+        });
+        sink.record(&TraceEvent::RequestDeduped { id: 1, key: 9 });
+        let m = &sink.metrics;
+        assert_eq!(m.cluster_dispatches, 2);
+        assert_eq!(m.cluster_hedges, 1);
+        assert_eq!(m.cluster_dedups, 1);
+        assert_eq!(m.cluster_backend_drops, 1);
+        assert_eq!(m.cluster_quarantines, 1);
+        assert_eq!(m.cluster_shard_resumes, 1);
+        assert_eq!(m.cluster_health_probes, 1);
+        assert_eq!(m.cluster_retries, 1);
+        assert_eq!(m.requests_deduped, 1);
+        // Dispatches + hedge + resume land in the per-backend histogram.
+        assert_eq!(m.dispatches_per_backend, vec![2, 1, 1]);
+        let doc = m.to_json();
+        assert_eq!(
+            doc.get("cluster").unwrap().get("hedges").unwrap().as_i64(),
+            Some(1)
+        );
+        assert_eq!(
+            doc.get("serve")
+                .unwrap()
+                .get("requests_deduped")
+                .unwrap()
+                .as_i64(),
+            Some(1)
+        );
+        // Every cluster event serialises with its snake_case tag.
+        for e in [
+            TraceEvent::ClusterDispatch {
+                unit: 0,
+                backend: 0,
+            },
+            TraceEvent::ClusterDedup { unit: 0 },
+            TraceEvent::ClusterHealthProbe {
+                backend: 0,
+                healthy: false,
+            },
+        ] {
+            let line = e.to_json().to_compact();
+            assert_eq!(
+                mm_json::parse(&line)
+                    .unwrap()
+                    .get("event")
+                    .unwrap()
+                    .as_str(),
+                Some(e.tag()),
+                "{line}"
+            );
+        }
     }
 
     #[test]

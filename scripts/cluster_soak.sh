@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Soak test for `machmin cluster`: a three-backend pool absorbs a full
+# experiment grid while a seeded fault plan kills one backend mid-run. The
+# victim's in-flight units must resume on the survivors with zero lost
+# responses, two same-seed runs must produce byte-identical transcripts,
+# and a single healthy backend must gather exactly the same answers — the
+# scatter–gather layer has to be invisible in the result.
+#
+# Usage: scripts/cluster_soak.sh [seeds_per_family] [seed]
+# The caller should wrap this script in `timeout` (CI does) so a hung
+# gather fails the job instead of stalling it.
+set -euo pipefail
+
+SEEDS="${1:-100}"
+SEED="${2:-7}"
+BIN="${MACHMIN:-./target/release/machmin}"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/machmin-cluster-soak.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+# Three families x $SEEDS seeds; the drop lands mid-grid.
+UNITS=$(( 3 * SEEDS ))
+cat >"$WORK/plan.json" <<EOF
+{"seed":$SEED,"rules":[{"site":"backend_drop","nth":$(( UNITS / 2 ))}]}
+EOF
+
+wait_for_port() {
+    for _ in $(seq 1 300); do
+        [ -s "$1" ] && return 0
+        sleep 0.1
+    done
+    echo "backend never bound" >&2
+    return 1
+}
+
+start_pool() {
+    # Starts $2 backends, writes their ports, echoes them comma-separated.
+    local tag="$1" n="$2"
+    local addrs=()
+    for i in $(seq 1 "$n"); do
+        "$BIN" serve --addr 127.0.0.1:0 --workers 3 --queue-cap 64 \
+            --port-file "$WORK/port-$tag-$i.txt" \
+            >"$WORK/server-$tag-$i.txt" 2>/dev/null &
+    done
+    for i in $(seq 1 "$n"); do
+        wait_for_port "$WORK/port-$tag-$i.txt"
+        addrs+=("$(cat "$WORK/port-$tag-$i.txt")")
+    done
+    (IFS=,; echo "${addrs[*]}")
+}
+
+drain_pool() {
+    # Asks every still-listening backend to shut down (the dropped victim
+    # already drained at the coordinator's request), then reaps them all.
+    local tag="$1" n="$2"
+    for i in $(seq 1 "$n"); do
+        "$BIN" load --addr "$(cat "$WORK/port-$tag-$i.txt")" --n 1 --seed 0 \
+            >/dev/null 2>&1 || true
+    done
+    wait
+}
+
+run_grid() {
+    # One pooled grid run under the drop plan: seeded hash balancing plus
+    # hedging, so the drop, the resumes, and the dedups all happen in one
+    # lifecycle.
+    local tag="$1"
+    local backends
+    backends="$(start_pool "$tag" 3)"
+    "$BIN" cluster grid --backends "$backends" --balance hash --seed "$SEED" \
+        --window 32 --hedge-every 5 --plan "$WORK/plan.json" \
+        --families uniform,agreeable,loose --seeds "$SEEDS" --n 10 \
+        --out "$WORK/transcript-$tag.jsonl" >"$WORK/grid-$tag.txt"
+    drain_pool "$tag" 3
+    grep -q "lost responses: 0" "$WORK/grid-$tag.txt"
+    grep -Eq '"backend_drops":[1-9]' "$WORK/grid-$tag.txt"
+    echo "cluster soak $tag: ok ($(grep -o '"backend_drops":[0-9]*' "$WORK/grid-$tag.txt"), $(grep -o '"shard_resumes":[0-9]*' "$WORK/grid-$tag.txt"))"
+}
+
+run_grid a
+run_grid b
+
+# Determinism: same seed, byte-identical transcripts across independent
+# pool lifecycles (backend drop, resumes, and hedges included).
+diff "$WORK/transcript-a.jsonl" "$WORK/transcript-b.jsonl"
+echo "cluster soak: transcripts byte-identical across runs"
+
+# Scatter-gather must be invisible in the answer: one healthy backend with
+# no faults and no hedging gathers exactly the same responses (the header
+# line differs - backend count and balance - so it is skipped) and the
+# same per-family merge.
+single="$(start_pool single 1)"
+"$BIN" cluster grid --backends "$single" --seed "$SEED" \
+    --families uniform,agreeable,loose --seeds "$SEEDS" --n 10 \
+    --out "$WORK/transcript-single.jsonl" >"$WORK/grid-single.txt"
+drain_pool single 1
+grep -q "lost responses: 0" "$WORK/grid-single.txt"
+diff <(tail -n +2 "$WORK/transcript-a.jsonl") <(tail -n +2 "$WORK/transcript-single.jsonl")
+diff <(grep '^merged:' "$WORK/grid-a.txt") <(grep '^merged:' "$WORK/grid-single.txt")
+echo "cluster soak: pooled answers identical to the single-node run"

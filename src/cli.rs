@@ -14,6 +14,10 @@ use std::path::Path;
 use std::sync::Arc;
 
 use mm_adversary::{CompletedRun, GapResult, GapStop, MigrationGapAdversary, SweepCheckpoint};
+use mm_cluster::{
+    cluster_grid, cluster_solve, cluster_sweep, BalancePolicy, ClusterConfig, Coordinator,
+    GridConfig, HedgeConfig, SweepConfig,
+};
 use mm_core::{AgreeableSplit, Edf, EdfFirstFit, LaminarBudget, Llf, MediumFit};
 use mm_fault::{Budget, FaultInjector, FaultPlan, FaultSite};
 use mm_instance::generators::{
@@ -121,15 +125,20 @@ pub enum Command {
         /// Aggregated metrics JSON output file.
         metrics: Option<String>,
     },
-    /// `bench [--quick] [--serve] [--out f.json] [--check f.json]` —
-    /// tracked performance baseline (see `mm_bench::baseline`); `--serve`
-    /// benchmarks the service layer instead (closed-loop client, latency
-    /// quantiles and shed rate, default out `BENCH_4.json`).
+    /// `bench [--quick] [--serve | --cluster] [--out f.json]
+    /// [--check f.json]` — tracked performance baseline (see
+    /// `mm_bench::baseline`); `--serve` benchmarks the service layer
+    /// instead (closed-loop client, latency quantiles and shed rate,
+    /// default out `BENCH_4.json`); `--cluster` benchmarks the
+    /// scatter–gather coordinator over an in-process backend pool
+    /// (default out `BENCH_5.json`).
     Bench {
         /// Run the reduced workload set (CI smoke mode).
         quick: bool,
         /// Benchmark `machmin serve` instead of the solver baseline.
         serve: bool,
+        /// Benchmark the `mm-cluster` coordinator instead.
+        cluster: bool,
         /// Baseline JSON output file (default `BENCH_2.json`).
         out: String,
         /// Committed baseline to gate deterministic counters against.
@@ -189,6 +198,58 @@ pub enum Command {
         out: Option<String>,
         /// Send a shutdown request after the run (drains the server).
         shutdown: bool,
+    },
+    /// `cluster <solve|sweep|grid> --backends a,b,c [...]` — scatter–gather
+    /// coordinator over a pool of running `machmin serve` backends:
+    /// pluggable balancing, hedged requests, bounded retries, backend
+    /// quarantine, and byte-identical same-seed transcripts.
+    Cluster {
+        /// Workload: `solve`, `sweep`, or `grid`.
+        workload: String,
+        /// Instance file (solve workload only).
+        path: Option<String>,
+        /// Backend addresses (`--backends host:p1,host:p2,...`).
+        backends: Vec<String>,
+        /// Balancing policy (`round-robin`, `least-outstanding`, `hash`).
+        balance: String,
+        /// Seed for hashing, hedging, and the `--chaos` plan.
+        seed: u64,
+        /// Max outstanding units across the pool.
+        window: usize,
+        /// Hedge every nth unit (mutually exclusive with `--hedge-p99`).
+        hedge_every: Option<u64>,
+        /// Hedge when a unit exceeds this multiple (%) of observed p99.
+        hedge_p99: Option<u64>,
+        /// Latency floor in ms below which p99 hedging never fires.
+        hedge_floor_ms: u64,
+        /// Inject the seed-derived chaos fault plan into the coordinator.
+        chaos: bool,
+        /// Explicit fault-plan file (mutually exclusive with `--chaos`).
+        plan: Option<String>,
+        /// Per-unit deadline to attach, if any.
+        deadline_ms: Option<u64>,
+        /// Sweep policies, comma-separated (sweep workload).
+        policies: String,
+        /// Deepest adversary depth (sweep workload, ≥ 2).
+        k: usize,
+        /// Machine budget per sweep shard (sweep workload).
+        machines: usize,
+        /// Sweep checkpoint file, saved after every completed shard.
+        checkpoint: Option<String>,
+        /// Resume the sweep from the checkpoint file.
+        resume: bool,
+        /// Grid families, comma-separated (grid workload).
+        families: String,
+        /// Seeds per family (grid workload).
+        seeds: u64,
+        /// Jobs per generated instance (grid workload).
+        n: usize,
+        /// Transcript output file (header + response lines sorted by id).
+        out: Option<String>,
+        /// JSONL event-trace output file.
+        trace: Option<String>,
+        /// Aggregated metrics JSON output file.
+        metrics: Option<String>,
     },
     /// `help`.
     Help,
@@ -324,7 +385,15 @@ pub fn parse(args: &[String]) -> Result<Command, Error> {
         }),
         "bench" => {
             let serve = args.iter().any(|a| a == "--serve");
-            let default_out = if serve {
+            let cluster = args.iter().any(|a| a == "--cluster");
+            if serve && cluster {
+                return Err(Error::Usage(
+                    "--serve and --cluster are mutually exclusive".into(),
+                ));
+            }
+            let default_out = if cluster {
+                "BENCH_5.json"
+            } else if serve {
                 "BENCH_4.json"
             } else {
                 "BENCH_2.json"
@@ -332,6 +401,7 @@ pub fn parse(args: &[String]) -> Result<Command, Error> {
             Ok(Command::Bench {
                 quick: args.iter().any(|a| a == "--quick"),
                 serve,
+                cluster,
                 out: value_flag(args, "--out")?.unwrap_or_else(|| default_out.into()),
                 check: value_flag(args, "--check")?,
             })
@@ -358,6 +428,87 @@ pub fn parse(args: &[String]) -> Result<Command, Error> {
                 journal: value_flag(args, "--journal")?,
                 deadline_ms: num_flag::<u64>(args, "--deadline-ms")?,
                 port_file: value_flag(args, "--port-file")?,
+                trace: value_flag(args, "--trace")?,
+                metrics: value_flag(args, "--metrics")?,
+            })
+        }
+        "cluster" => {
+            let workload = args.get(1).cloned().ok_or_else(usage_cluster)?;
+            if !matches!(workload.as_str(), "solve" | "sweep" | "grid") {
+                return Err(usage_cluster());
+            }
+            let path = if workload == "solve" {
+                let p = args
+                    .get(2)
+                    .filter(|p| !p.starts_with("--"))
+                    .cloned()
+                    .ok_or_else(|| {
+                        Error::Usage("cluster solve requires an instance file".into())
+                    })?;
+                Some(p)
+            } else {
+                None
+            };
+            let backends: Vec<String> = value_flag(args, "--backends")?
+                .ok_or_else(usage_cluster)?
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if backends.is_empty() {
+                return Err(Error::Usage(
+                    "--backends needs at least one host:port".into(),
+                ));
+            }
+            let hedge_every = num_flag::<u64>(args, "--hedge-every")?;
+            let hedge_p99 = num_flag::<u64>(args, "--hedge-p99")?;
+            if hedge_every.is_some() && hedge_p99.is_some() {
+                return Err(Error::Usage(
+                    "--hedge-every and --hedge-p99 are mutually exclusive".into(),
+                ));
+            }
+            if hedge_every == Some(0) {
+                return Err(Error::Usage("--hedge-every must be at least 1".into()));
+            }
+            let chaos = args.iter().any(|a| a == "--chaos");
+            let plan = value_flag(args, "--plan")?;
+            if chaos && plan.is_some() {
+                return Err(Error::Usage(
+                    "--chaos and --plan are mutually exclusive".into(),
+                ));
+            }
+            let k = num_flag::<usize>(args, "--k")?.unwrap_or(4);
+            if k < 2 {
+                return Err(Error::Usage("--k must be at least 2".into()));
+            }
+            let checkpoint = value_flag(args, "--checkpoint")?;
+            let resume = args.iter().any(|a| a == "--resume");
+            if resume && checkpoint.is_none() {
+                return Err(Error::Usage("--resume requires --checkpoint".into()));
+            }
+            Ok(Command::Cluster {
+                workload,
+                path,
+                backends,
+                balance: value_flag(args, "--balance")?.unwrap_or_else(|| "round-robin".into()),
+                seed: num_flag::<u64>(args, "--seed")?.unwrap_or(0),
+                window: num_flag::<usize>(args, "--window")?.unwrap_or(8).max(1),
+                hedge_every,
+                hedge_p99,
+                hedge_floor_ms: num_flag::<u64>(args, "--hedge-floor-ms")?.unwrap_or(10),
+                chaos,
+                plan,
+                deadline_ms: num_flag::<u64>(args, "--deadline-ms")?,
+                policies: value_flag(args, "--policies")?.unwrap_or_else(|| "edf-ff".into()),
+                k,
+                machines: num_flag::<usize>(args, "--machines")?.unwrap_or(16),
+                checkpoint,
+                resume,
+                families: value_flag(args, "--families")?
+                    .unwrap_or_else(|| "uniform,agreeable,loose".into()),
+                seeds: num_flag::<u64>(args, "--seeds")?.unwrap_or(3).max(1),
+                n: num_flag::<usize>(args, "--n")?.unwrap_or(12).max(1),
+                out: value_flag(args, "--out")?,
                 trace: value_flag(args, "--trace")?,
                 metrics: value_flag(args, "--metrics")?,
             })
@@ -412,6 +563,18 @@ fn usage_adversary() -> Error {
     )
 }
 
+fn usage_cluster() -> Error {
+    Error::Usage(
+        "usage: machmin cluster <solve <inst.json>|sweep|grid> --backends <a,b,c> \
+         [--balance round-robin|least-outstanding|hash] [--seed S] [--window W] \
+         [--hedge-every N | --hedge-p99 PCT] [--hedge-floor-ms N] [--chaos | --plan f.json] \
+         [--deadline-ms N] [--policies p1,p2] [--k K] [--machines N] \
+         [--checkpoint f.json [--resume]] [--families f1,f2] [--seeds S] [--n N] \
+         [--out transcript.jsonl] [--trace f.jsonl] [--metrics f.json]"
+            .into(),
+    )
+}
+
 fn usage_load() -> Error {
     Error::Usage(
         "usage: machmin load --addr <host:port> [--n N] [--seed S] [--paced] [--window W] \
@@ -438,8 +601,9 @@ pub fn help_text() -> &'static str {
                                                 checkpointing each completed depth (P ∈ {edf-ff, medium-fit})\n\
        chaos [--seed S] [--n N] [--plan f.json] deterministic fault-injection run exercising every\n\
                                                 fault site (probe_cancel, force_bigint, machine_failure,\n\
-                                                machine_slowdown, adversary_abort, worker_panic)\n\
-                                                without panicking; --plan loads an explicit plan\n\
+                                                machine_slowdown, adversary_abort, worker_panic,\n\
+                                                backend_drop) without panicking; --plan loads an\n\
+                                                explicit plan\n\
        serve [--addr A] [--workers N] [--queue-cap N] [--drain-ms N] [--seed S] [--retry-attempts N]\n\
              [--chaos | --plan f.json] [--journal f.jsonl] [--deadline-ms N] [--port-file f]\n\
                                                 supervised JSONL-over-TCP request server: bounded\n\
@@ -449,14 +613,23 @@ pub fn help_text() -> &'static str {
        load --addr <host:port> [--n N] [--seed S] [--paced] [--window W] [--out f] [--no-shutdown]\n\
                                                 deterministic load client: mixed request stream,\n\
                                                 transcript sorted by id, p50/p99 latency report\n\
-       bench [--quick] [--serve] [--out f.json] [--check f.json]\n\
+       cluster <solve <inst.json>|sweep|grid> --backends <a,b,c> [--balance B] [--seed S]\n\
+               [--window W] [--hedge-every N | --hedge-p99 PCT] [--chaos | --plan f.json]\n\
+               [--policies p1,p2] [--k K] [--families f1,f2] [--seeds S] [--n N]\n\
+               [--checkpoint f.json [--resume]] [--out transcript.jsonl]\n\
+                                                scatter–gather over a pool of running servers:\n\
+                                                B ∈ {round-robin, least-outstanding, hash};\n\
+                                                hedged requests, bounded retries, quarantine,\n\
+                                                byte-identical same-seed transcripts\n\
+       bench [--quick] [--serve | --cluster] [--out f.json] [--check f.json]\n\
                                                 seeded perf baseline: fast path + prober reuse vs\n\
                                                 BigInt + fresh-network reference (default out\n\
                                                 BENCH_2.json); --check gates deterministic counters;\n\
-                                                --serve benchmarks the service layer (BENCH_4.json)\n\
+                                                --serve benchmarks the service layer (BENCH_4.json);\n\
+                                                --cluster benchmarks the coordinator (BENCH_5.json)\n\
        help                                     this text\n\
      \n\
-     observability (solve, schedule, adversary, chaos, serve):\n\
+     observability (solve, schedule, adversary, chaos, serve, cluster):\n\
        --trace <file.jsonl>                     stream typed events (one JSON object per line)\n\
        --metrics <file.json>                    write aggregated counters and histograms\n\
      \n\
@@ -592,6 +765,208 @@ fn serve_bench(
         if !problems.is_empty() {
             return Err(Error::Verification(format!(
                 "serve bench counter regression vs {check_path}:\n  {}",
+                problems.join("\n  ")
+            )));
+        }
+        let _ = writeln!(out, "counters match committed baseline {check_path}");
+    }
+    Ok(())
+}
+
+/// One in-process `machmin serve` backend: a real [`Service`] behind a
+/// loopback TCP acceptor, used by `bench --cluster` and the chaos cluster
+/// segment so no external processes are needed.
+struct BenchBackend {
+    service: Arc<Service>,
+    addr: String,
+    acceptor: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn spawn_bench_pool(n: usize, queue_cap: usize) -> Result<Vec<BenchBackend>, Error> {
+    (0..n)
+        .map(|_| {
+            let cfg = ServeConfig {
+                workers: 2,
+                queue_cap,
+                ..ServeConfig::default()
+            };
+            let service = Arc::new(
+                Service::start(cfg, DynSink::new(Box::new(NoopSink)))
+                    .map_err(|e| Error::Sim(format!("cannot start backend: {e}")))?,
+            );
+            let (listener, addr) = mm_serve::tcp::bind("127.0.0.1:0")
+                .map_err(|e| Error::Io(format!("cannot bind backend: {e}")))?;
+            let acceptor = {
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || mm_serve::tcp::serve(listener, service))
+            };
+            Ok(BenchBackend {
+                service,
+                addr,
+                acceptor,
+            })
+        })
+        .collect()
+}
+
+/// Shuts the pool down; backends already drained by the coordinator (a
+/// dropped victim) shut down idempotently.
+fn teardown_bench_pool(pool: Vec<BenchBackend>) -> Result<(), Error> {
+    for b in &pool {
+        b.service.shutdown();
+    }
+    for b in pool {
+        b.service.wait_stopped();
+        b.acceptor
+            .join()
+            .map_err(|_| Error::Internal("backend accept loop panicked".into()))?
+            .map_err(|e| Error::Io(format!("backend accept loop failed: {e}")))?;
+    }
+    Ok(())
+}
+
+/// The distinct-optimum scatter workload shared by `bench --cluster` and
+/// the chaos cluster segment: unit `id` is `id` copies of the same
+/// zero-laxity job, so its optimum is exactly `id`.
+fn scatter_units(n: usize) -> Vec<mm_serve::protocol::Request> {
+    (1..=n as u64)
+        .map(|id| {
+            mm_serve::protocol::Request::new(
+                id,
+                mm_serve::protocol::RequestKind::Solve {
+                    jobs: (0..id.min(16)).map(|_| (0, 2, 2)).collect(),
+                },
+            )
+        })
+        .collect()
+}
+
+/// The `bench --cluster` scenario: the scatter–gather coordinator over an
+/// in-process three-backend pool (`BENCH_5.json`). The dispatch window
+/// spans the whole workload, so hedges, the injected backend drop, shard
+/// resumes, and the per-backend dispatch split are all pure functions of
+/// the seed; only the wall-clock timings vary by environment, and
+/// `--check` never gates on those.
+fn cluster_bench(
+    quick: bool,
+    path: &str,
+    check: Option<&str>,
+    out: &mut String,
+) -> Result<(), Error> {
+    use mm_json::Json;
+    let units_n = if quick { 24 } else { 96 };
+
+    // Scatter segment: hedged dispatch with one backend dropped mid-burst.
+    let pool = spawn_bench_pool(3, 2 * units_n + 8)?;
+    let cfg = ClusterConfig {
+        backends: pool.iter().map(|b| b.addr.clone()).collect(),
+        balance: BalancePolicy::SeededHash { seed: 21 },
+        seed: 21,
+        window: units_n,
+        hedge: HedgeConfig::EveryNth { n: 3 },
+        plan: FaultPlan {
+            seed: 21,
+            rules: vec![mm_fault::FaultRule {
+                site: FaultSite::BackendDrop,
+                nth: (units_n as u64) / 2,
+                every: None,
+            }],
+        },
+        ..ClusterConfig::default()
+    };
+    let t0 = std::time::Instant::now();
+    let coordinator = Coordinator::connect(cfg, NoopSink)
+        .map_err(|e| Error::Io(format!("cluster bench connect: {e}")))?;
+    let scatter = coordinator
+        .run(scatter_units(units_n), &mut |_, _| {})
+        .map_err(|e| Error::Sim(format!("cluster bench run: {e}")))?;
+    let scatter_ms = t0.elapsed().as_secs_f64() * 1e3;
+    teardown_bench_pool(pool)?;
+    if scatter.counters.lost > 0 {
+        return Err(Error::Verification(format!(
+            "cluster bench lost {} response(s)",
+            scatter.counters.lost
+        )));
+    }
+
+    // Sweep segment: a fault-free remote adversary sweep on a fresh pool.
+    let pool = spawn_bench_pool(3, 64)?;
+    let cfg = ClusterConfig {
+        backends: pool.iter().map(|b| b.addr.clone()).collect(),
+        seed: 22,
+        ..ClusterConfig::default()
+    };
+    let sweep_cfg = SweepConfig {
+        policies: vec!["edf-ff".into()],
+        k: if quick { 3 } else { 4 },
+        machines: 8,
+        checkpoint: None,
+        resume: false,
+    };
+    let t0 = std::time::Instant::now();
+    let sweep = cluster_sweep(cfg, NoopSink, &sweep_cfg)
+        .map_err(|e| Error::Sim(format!("cluster bench sweep: {e}")))?;
+    let sweep_ms = t0.elapsed().as_secs_f64() * 1e3;
+    teardown_bench_pool(pool)?;
+
+    let fired = Json::Arr(
+        scatter
+            .fired
+            .iter()
+            .map(|(site, n)| {
+                Json::obj([
+                    ("site", Json::str(site.tag())),
+                    ("count", Json::Int(*n as i64)),
+                ])
+            })
+            .collect(),
+    );
+    let doc = Json::obj([
+        ("schema", Json::str("machmin-cluster-bench-v1")),
+        ("units", Json::Int(units_n as i64)),
+        ("backends", Json::Int(3)),
+        ("scatter", scatter.counters.to_json()),
+        ("scatter_fired", fired),
+        ("sweep", sweep.report.counters.to_json()),
+        ("sweep_merged", sweep.merged.clone()),
+        ("scatter_ms", Json::Float(scatter_ms)),
+        ("sweep_ms", Json::Float(sweep_ms)),
+    ]);
+    std::fs::write(path, doc.to_pretty())
+        .map_err(|e| Error::Io(format!("cannot write {path}: {e}")))?;
+    let _ = writeln!(
+        out,
+        "cluster bench: {} units over 3 backends, {} hedge(s), {} dedup(s), {} drop(s), \
+         {} resume(s), scatter {scatter_ms:.1} ms, sweep {sweep_ms:.1} ms",
+        units_n,
+        scatter.counters.hedges,
+        scatter.counters.dedups,
+        scatter.counters.backend_drops,
+        scatter.counters.shard_resumes
+    );
+    let _ = writeln!(out, "baseline -> {path}");
+    if let Some(check_path) = check {
+        let committed = std::fs::read_to_string(check_path)
+            .map_err(|e| Error::Io(format!("cannot read baseline {check_path}: {e}")))?;
+        let committed = mm_json::parse(&committed)
+            .map_err(|e| Error::Io(format!("cannot parse baseline {check_path}: {e}")))?;
+        let mut problems = Vec::new();
+        for key in ["units", "backends"] {
+            let cur = doc.get(key).and_then(Json::as_i64);
+            let base = committed.get(key).and_then(Json::as_i64);
+            if cur != base {
+                problems.push(format!("{key}: {cur:?} vs committed {base:?}"));
+            }
+        }
+        for key in ["scatter", "scatter_fired", "sweep", "sweep_merged"] {
+            let compact = |j: &Json| j.get(key).map(Json::to_compact);
+            if compact(&doc) != compact(&committed) {
+                problems.push(format!("{key} counters changed"));
+            }
+        }
+        if !problems.is_empty() {
+            return Err(Error::Verification(format!(
+                "cluster bench counter regression vs {check_path}:\n  {}",
                 problems.join("\n  ")
             )));
         }
@@ -1158,6 +1533,60 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
                 stats.admitted, stats.responses, stats.restarts, stats.retried
             );
 
+            // Cluster chaos: a coordinator over three in-process backends
+            // loses one mid-burst (`backend_drop`); its in-flight units are
+            // resumed on the survivors and nothing is lost. The window spans
+            // the whole workload, so every drop/resume decision lands in the
+            // initial dispatch burst and the outcome is a pure function of
+            // the seed.
+            let run_cluster =
+                |cluster_plan: FaultPlan| -> Result<mm_cluster::ClusterReport, Error> {
+                    let pool = spawn_bench_pool(3, 64)?;
+                    let cfg = ClusterConfig {
+                        backends: pool.iter().map(|b| b.addr.clone()).collect(),
+                        balance: BalancePolicy::SeededHash { seed },
+                        seed,
+                        window: 8,
+                        plan: cluster_plan,
+                        ..ClusterConfig::default()
+                    };
+                    let coordinator = Coordinator::connect(cfg, NoopSink)
+                        .map_err(|e| Error::Io(format!("chaos cluster connect: {e}")))?;
+                    let report = coordinator
+                        .run(scatter_units(8), &mut |_, _| {})
+                        .map_err(|e| Error::Sim(format!("chaos cluster run: {e}")))?;
+                    teardown_bench_pool(pool)?;
+                    Ok(report)
+                };
+            let mut cluster_report = run_cluster(plan.clone())?;
+            if cluster_report.counters.backend_drops == 0 {
+                // Same fallback as the adversary and serve segments: the
+                // chaos rule can sit past this workload's dispatch count.
+                cluster_report = run_cluster(FaultPlan::once(FaultSite::BackendDrop, 1))?;
+            }
+            let drops = cluster_report.counters.backend_drops;
+            if drops > 0 {
+                sinks.record(&TraceEvent::FaultInjected {
+                    site: FaultSite::BackendDrop.tag(),
+                    count: drops,
+                });
+            }
+            if cluster_report.counters.lost > 0 {
+                return Err(Error::Verification(format!(
+                    "chaos cluster lost {} response(s)",
+                    cluster_report.counters.lost
+                )));
+            }
+            let _ = writeln!(
+                out,
+                "cluster: {} units, {} responses (backend_drop fired {drops}, {} unit(s) \
+                 resumed, {} backend(s) quarantined)",
+                cluster_report.counters.units,
+                cluster_report.counters.responses,
+                cluster_report.counters.shard_resumes,
+                cluster_report.counters.quarantines
+            );
+
             let fired = [
                 (
                     FaultSite::ProbeCancel,
@@ -1171,6 +1600,7 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
                 (FaultSite::MachineSlowdown, slowdowns),
                 (FaultSite::AdversaryAbort, aborts),
                 (FaultSite::WorkerPanic, panics),
+                (FaultSite::BackendDrop, drops),
             ];
             let silent: Vec<&str> = fired
                 .iter()
@@ -1178,7 +1608,7 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
                 .map(|(site, _)| site.tag())
                 .collect();
             if silent.is_empty() {
-                let _ = writeln!(out, "all six fault sites exercised; no panics escaped");
+                let _ = writeln!(out, "all seven fault sites exercised; no panics escaped");
             } else {
                 let _ = writeln!(out, "warning: sites not exercised: {}", silent.join(", "));
             }
@@ -1187,9 +1617,14 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
         Command::Bench {
             quick,
             serve,
+            cluster,
             out: path,
             check,
         } => {
+            if cluster {
+                cluster_bench(quick, &path, check.as_deref(), &mut out)?;
+                return Ok(out);
+            }
             if serve {
                 serve_bench(quick, &path, check.as_deref(), &mut out)?;
                 return Ok(out);
@@ -1381,8 +1816,8 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
             }
             let _ = writeln!(
                 out,
-                "sent: {}, lost responses: {}",
-                report.sent, report.lost
+                "sent: {}, lost responses: {}, retried: {}",
+                report.sent, report.lost, report.retried
             );
             for (status, count) in &report.by_status {
                 let _ = writeln!(out, "  {status}: {count}");
@@ -1398,6 +1833,192 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
                     report.lost
                 )));
             }
+        }
+        Command::Cluster {
+            workload,
+            path,
+            backends,
+            balance,
+            seed,
+            window,
+            hedge_every,
+            hedge_p99,
+            hedge_floor_ms,
+            chaos,
+            plan,
+            deadline_ms,
+            policies,
+            k,
+            machines,
+            checkpoint,
+            resume,
+            families,
+            seeds,
+            n,
+            out: out_path,
+            trace,
+            metrics,
+        } => {
+            let Some(balance) = BalancePolicy::parse(&balance, seed) else {
+                return Err(Error::Usage(format!(
+                    "unknown balance policy `{balance}` (round-robin|least-outstanding|hash)"
+                )));
+            };
+            let hedge = match (hedge_every, hedge_p99) {
+                (Some(nth), _) => HedgeConfig::EveryNth { n: nth },
+                (None, Some(pct)) => HedgeConfig::AfterP99 {
+                    multiplier_pct: pct,
+                    floor_ms: hedge_floor_ms,
+                },
+                (None, None) => HedgeConfig::Off,
+            };
+            let plan = match &plan {
+                Some(p) => load_fault_plan(p)?,
+                None if chaos => FaultPlan::chaos(seed),
+                None => FaultPlan::none(),
+            };
+            let mut sinks = CliSinks::open(trace, metrics)?;
+            let cfg = ClusterConfig {
+                backends,
+                balance,
+                seed,
+                window,
+                hedge,
+                plan,
+                deadline_ms,
+                ..ClusterConfig::default()
+            };
+            // Backend-side refusals surface as categorized errors: a bad
+            // request shape (unknown family, non-integer jobs) is a usage
+            // problem, a mismatched checkpoint is an io problem, and
+            // anything else is the connection itself.
+            let cluster_err = |e: std::io::Error| -> Error {
+                match e.kind() {
+                    std::io::ErrorKind::InvalidInput => Error::Usage(e.to_string()),
+                    std::io::ErrorKind::InvalidData => Error::Io(e.to_string()),
+                    _ => Error::Io(format!("cluster run failed: {e}")),
+                }
+            };
+            let report = match workload.as_str() {
+                "solve" => {
+                    let Some(path) = &path else {
+                        return Err(Error::Usage(
+                            "cluster solve requires an instance file".into(),
+                        ));
+                    };
+                    let inst = load(path)?;
+                    let to_int = |r: &Rat| {
+                        if r.is_integer() {
+                            r.floor().to_i64()
+                        } else {
+                            None
+                        }
+                    };
+                    let jobs: Vec<(i64, i64, i64)> = inst
+                        .jobs()
+                        .iter()
+                        .map(|j| {
+                            Some((
+                                to_int(&j.release)?,
+                                to_int(&j.deadline)?,
+                                to_int(&j.processing)?,
+                            ))
+                        })
+                        .collect::<Option<_>>()
+                        .ok_or_else(|| {
+                            Error::Validation(format!(
+                                "{path}: cluster solve ships integer triples; this instance \
+                                 has non-integer (or oversized) job times"
+                            ))
+                        })?;
+                    let outcome = cluster_solve(cfg, sinks.sink(), &jobs).map_err(cluster_err)?;
+                    match outcome.exact {
+                        Some(m) => {
+                            let _ = writeln!(out, "cluster solve: optimum {m} machines");
+                        }
+                        None => {
+                            let _ = writeln!(
+                                out,
+                                "cluster solve: bracket [{}, {}] ({} probe(s) undecided)",
+                                outcome.lo, outcome.hi, outcome.undecided
+                            );
+                        }
+                    }
+                    outcome.report
+                }
+                "sweep" => {
+                    let sweep_cfg = SweepConfig {
+                        policies: policies
+                            .split(',')
+                            .map(|s| s.trim().to_string())
+                            .filter(|s| !s.is_empty())
+                            .collect(),
+                        k,
+                        machines,
+                        checkpoint: checkpoint.map(std::path::PathBuf::from),
+                        resume,
+                    };
+                    let outcome =
+                        cluster_sweep(cfg, sinks.sink(), &sweep_cfg).map_err(cluster_err)?;
+                    let _ = writeln!(
+                        out,
+                        "cluster sweep: {} shard(s), {} resumed from checkpoint",
+                        outcome.shards.len(),
+                        outcome.resumed_from_checkpoint
+                    );
+                    let _ = writeln!(out, "merged: {}", outcome.merged.to_compact());
+                    outcome.report
+                }
+                "grid" => {
+                    let grid_cfg = GridConfig {
+                        families: families
+                            .split(',')
+                            .map(|s| s.trim().to_string())
+                            .filter(|s| !s.is_empty())
+                            .collect(),
+                        seeds,
+                        n,
+                    };
+                    let outcome =
+                        cluster_grid(cfg, sinks.sink(), &grid_cfg).map_err(cluster_err)?;
+                    let _ = writeln!(
+                        out,
+                        "cluster grid: {} cell(s) over {} family(ies)",
+                        outcome.cells.len(),
+                        grid_cfg.families.len()
+                    );
+                    let _ = writeln!(out, "merged: {}", outcome.merged.to_compact());
+                    outcome.report
+                }
+                other => {
+                    return Err(Error::Usage(format!(
+                        "unknown cluster workload `{other}` (solve|sweep|grid)"
+                    )))
+                }
+            };
+            let _ = writeln!(out, "counters: {}", report.counters.to_json().to_compact());
+            if let Some(path) = &out_path {
+                let lines = report.transcript(&workload);
+                let mut text = lines.join("\n");
+                if !text.is_empty() {
+                    text.push('\n');
+                }
+                std::fs::write(path, text)
+                    .map_err(|e| Error::Io(format!("cannot write {path}: {e}")))?;
+                let _ = writeln!(out, "transcript ({} lines) -> {path}", lines.len());
+            }
+            let _ = writeln!(
+                out,
+                "responses: {}, lost responses: {}",
+                report.counters.responses, report.counters.lost
+            );
+            if report.counters.lost > 0 {
+                return Err(Error::Verification(format!(
+                    "{} unit(s) never received a response",
+                    report.counters.lost
+                )));
+            }
+            sinks.finish(&mut out)?;
         }
         Command::Generate {
             family,
@@ -1503,6 +2124,7 @@ mod tests {
             Command::Bench {
                 quick: false,
                 serve: false,
+                cluster: false,
                 out: "BENCH_2.json".into(),
                 check: None
             }
@@ -1512,6 +2134,7 @@ mod tests {
             Command::Bench {
                 quick: true,
                 serve: false,
+                cluster: false,
                 out: "b.json".into(),
                 check: Some("BENCH_2.json".into())
             }
@@ -1521,6 +2144,7 @@ mod tests {
             Command::Bench {
                 quick: true,
                 serve: true,
+                cluster: false,
                 out: "BENCH_4.json".into(),
                 check: None
             }
@@ -1924,8 +2548,10 @@ mod tests {
         let (msg_a, trace_a) = run();
         let (msg_b, trace_b) = run();
         std::fs::remove_file(&trace_path).ok();
-        assert!(msg_a.contains("all six fault sites exercised"), "{msg_a}");
+        assert!(msg_a.contains("all seven fault sites exercised"), "{msg_a}");
+        assert!(msg_a.contains("backend_drop fired"), "{msg_a}");
         assert!(trace_a.contains("\"fault_injected\""), "{trace_a}");
+        assert!(trace_a.contains("\"backend_drop\""), "{trace_a}");
         assert!(trace_a.contains("\"probe_degraded\""), "{trace_a}");
         // Determinism: same seed, byte-identical report and event stream.
         assert_eq!(msg_a, msg_b);
@@ -2050,6 +2676,7 @@ mod tests {
         let msg = execute(Command::Bench {
             quick: true,
             serve: false,
+            cluster: false,
             out: path.clone(),
             check: None,
         })
@@ -2059,6 +2686,7 @@ mod tests {
         let msg = execute(Command::Bench {
             quick: true,
             serve: false,
+            cluster: false,
             out: path.clone(),
             check: Some(path.clone()),
         })
@@ -2075,6 +2703,7 @@ mod tests {
         let msg = execute(Command::Bench {
             quick: true,
             serve: true,
+            cluster: false,
             out: path.clone(),
             check: None,
         })
@@ -2091,6 +2720,7 @@ mod tests {
         let msg = execute(Command::Bench {
             quick: true,
             serve: true,
+            cluster: false,
             out: path.clone(),
             check: Some(path.clone()),
         })
@@ -2255,11 +2885,219 @@ mod tests {
             "chaos",
             "serve",
             "load",
+            "cluster",
             "bench",
         ] {
             assert!(h.contains(cmd), "help is missing `{cmd}`");
         }
         assert!(h.contains("worker_panic"), "chaos site list is stale");
+        assert!(h.contains("backend_drop"), "chaos site list is stale");
         assert!(h.contains("exit codes"));
+    }
+
+    #[test]
+    fn parse_cluster_commands() {
+        assert_eq!(
+            parse(&argv(
+                "cluster grid --backends a:1,b:2 --balance hash --seed 9 --window 32 \
+                 --hedge-every 5 --families uniform,loose --seeds 2 --n 8 --out t.jsonl"
+            ))
+            .unwrap(),
+            Command::Cluster {
+                workload: "grid".into(),
+                path: None,
+                backends: vec!["a:1".into(), "b:2".into()],
+                balance: "hash".into(),
+                seed: 9,
+                window: 32,
+                hedge_every: Some(5),
+                hedge_p99: None,
+                hedge_floor_ms: 10,
+                chaos: false,
+                plan: None,
+                deadline_ms: None,
+                policies: "edf-ff".into(),
+                k: 4,
+                machines: 16,
+                checkpoint: None,
+                resume: false,
+                families: "uniform,loose".into(),
+                seeds: 2,
+                n: 8,
+                out: Some("t.jsonl".into()),
+                trace: None,
+                metrics: None,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "cluster sweep --backends a:1 --policies edf-ff,medium-fit --k 3 \
+                 --machines 8 --checkpoint c.json --resume"
+            ))
+            .unwrap(),
+            Command::Cluster {
+                workload: "sweep".into(),
+                path: None,
+                backends: vec!["a:1".into()],
+                balance: "round-robin".into(),
+                seed: 0,
+                window: 8,
+                hedge_every: None,
+                hedge_p99: None,
+                hedge_floor_ms: 10,
+                chaos: false,
+                plan: None,
+                deadline_ms: None,
+                policies: "edf-ff,medium-fit".into(),
+                k: 3,
+                machines: 8,
+                checkpoint: Some("c.json".into()),
+                resume: true,
+                families: "uniform,agreeable,loose".into(),
+                seeds: 3,
+                n: 12,
+                out: None,
+                trace: None,
+                metrics: None,
+            }
+        );
+        // solve takes the instance file positionally.
+        match parse(&argv("cluster solve inst.json --backends a:1")).unwrap() {
+            Command::Cluster { workload, path, .. } => {
+                assert_eq!(workload, "solve");
+                assert_eq!(path.as_deref(), Some("inst.json"));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        // Guard rails: every one of these is a usage error.
+        for bad in [
+            "cluster",
+            "cluster frobnicate --backends a:1",
+            "cluster grid",
+            "cluster solve --backends a:1",
+            "cluster grid --backends ,",
+            "cluster grid --backends a:1 --hedge-every 2 --hedge-p99 300",
+            "cluster grid --backends a:1 --hedge-every 0",
+            "cluster grid --backends a:1 --chaos --plan p.json",
+            "cluster sweep --backends a:1 --k 1",
+            "cluster sweep --backends a:1 --resume",
+            "bench --serve --cluster",
+        ] {
+            let err = parse(&argv(bad)).unwrap_err();
+            assert_eq!(err.tag(), "usage", "`{bad}` must be a usage error: {err}");
+        }
+        assert_eq!(
+            parse(&argv("bench --quick --cluster")).unwrap(),
+            Command::Bench {
+                quick: true,
+                serve: false,
+                cluster: true,
+                out: "BENCH_5.json".into(),
+                check: None
+            }
+        );
+    }
+
+    #[test]
+    fn cluster_solve_round_trips_against_a_live_pool() {
+        let dir = std::env::temp_dir().join("machmin_cli_cluster");
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst_path = dir.join("inst.json").to_string_lossy().to_string();
+        let transcript = dir.join("cluster.jsonl").to_string_lossy().to_string();
+        let inst = Instance::from_ints([(0, 2, 2), (0, 2, 2), (0, 2, 2)]);
+        io::save(&inst, &inst_path).unwrap();
+        let pool = spawn_bench_pool(2, 64).unwrap();
+        let backends: Vec<String> = pool.iter().map(|b| b.addr.clone()).collect();
+        let cmd = |workload: &str, backends: Vec<String>| Command::Cluster {
+            workload: workload.into(),
+            path: (workload == "solve").then(|| inst_path.clone()),
+            backends,
+            balance: "hash".into(),
+            seed: 5,
+            window: 8,
+            hedge_every: None,
+            hedge_p99: None,
+            hedge_floor_ms: 10,
+            chaos: false,
+            plan: None,
+            deadline_ms: None,
+            policies: "edf-ff".into(),
+            k: 3,
+            machines: 8,
+            checkpoint: None,
+            resume: false,
+            families: "uniform".into(),
+            seeds: 2,
+            n: 8,
+            out: Some(transcript.clone()),
+            trace: None,
+            metrics: None,
+        };
+        let msg = execute(cmd("solve", backends.clone())).unwrap();
+        assert!(msg.contains("cluster solve: optimum 3 machines"), "{msg}");
+        assert!(msg.contains("lost responses: 0"), "{msg}");
+        let lines = std::fs::read_to_string(&transcript).unwrap();
+        assert!(lines.starts_with("{\"cluster\":\"solve\""), "{lines}");
+        let msg = execute(cmd("grid", backends)).unwrap();
+        assert!(msg.contains("cluster grid: 2 cell(s)"), "{msg}");
+        assert!(msg.contains("\"solved\""), "{msg}");
+        teardown_bench_pool(pool).unwrap();
+        // A pool with no listener is a categorized io error, not a panic.
+        let err = execute(cmd("solve", vec!["127.0.0.1:1".into()])).unwrap_err();
+        assert_eq!(err.tag(), "io", "{err}");
+        // An unknown balance policy is a usage error.
+        let mut bad = cmd("grid", vec!["127.0.0.1:1".into()]);
+        if let Command::Cluster { balance, .. } = &mut bad {
+            *balance = "fastest".into();
+        }
+        let err = execute(bad).unwrap_err();
+        assert_eq!(err.tag(), "usage", "{err}");
+        std::fs::remove_file(&inst_path).ok();
+        std::fs::remove_file(&transcript).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_cluster_writes_baseline_and_checks_itself() {
+        let dir = std::env::temp_dir().join("machmin_cli_bench_cluster");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench5.json").to_string_lossy().to_string();
+        let msg = execute(Command::Bench {
+            quick: true,
+            serve: false,
+            cluster: true,
+            out: path.clone(),
+            check: None,
+        })
+        .unwrap();
+        assert!(msg.contains("cluster bench:"), "{msg}");
+        assert!(msg.contains("baseline ->"), "{msg}");
+        let doc = mm_json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(mm_json::Json::as_str),
+            Some("machmin-cluster-bench-v1")
+        );
+        let scatter = doc.get("scatter").unwrap();
+        assert_eq!(scatter.get("lost").and_then(mm_json::Json::as_i64), Some(0));
+        assert!(
+            scatter.get("hedges").and_then(mm_json::Json::as_i64) > Some(0),
+            "{scatter:?}"
+        );
+        assert!(
+            scatter.get("backend_drops").and_then(mm_json::Json::as_i64) > Some(0),
+            "{scatter:?}"
+        );
+        // Deterministic counters gate against themselves.
+        let msg = execute(Command::Bench {
+            quick: true,
+            serve: false,
+            cluster: true,
+            out: path.clone(),
+            check: Some(path.clone()),
+        })
+        .unwrap();
+        assert!(msg.contains("counters match committed baseline"), "{msg}");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
