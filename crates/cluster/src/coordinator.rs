@@ -325,7 +325,7 @@ impl<S: TraceSink> Coordinator<S> {
                         self.drop_backend(victim, &mut flights, &mut pending, &answered);
                     }
                 }
-                match self.dispatch(unit, primary, &mut flights) {
+                match self.dispatch(unit, primary, &mut flights, &mut pending, &answered) {
                     DispatchOutcome::Sent => {}
                     DispatchOutcome::Requeued(unit) => {
                         pending.push_front(unit);
@@ -361,7 +361,7 @@ impl<S: TraceSink> Coordinator<S> {
                     .map(|(&id, _)| id)
                     .collect();
                 for id in slow {
-                    self.hedge(id, &mut flights);
+                    self.hedge(id, &mut flights, &mut pending, &answered);
                 }
             }
 
@@ -501,6 +501,8 @@ impl<S: TraceSink> Coordinator<S> {
         unit: Unit,
         primary: bool,
         flights: &mut HashMap<u64, Flight>,
+        pending: &mut VecDeque<Unit>,
+        answered: &BTreeMap<u64, String>,
     ) -> DispatchOutcome {
         let views = self.pool.views();
         let Some(b) = self.balancer.pick(unit.req.id, &views, None) else {
@@ -508,7 +510,10 @@ impl<S: TraceSink> Coordinator<S> {
         };
         let id = unit.req.id;
         if self.pool.send(b, &unit.req.to_line()).is_err() {
-            self.backend_send_failed(b);
+            // A failed write means the connection is gone: take the backend
+            // down in full so its sole-copy flights requeue now, and the
+            // reader's redundant `Down` event (gated on `alive`) is a no-op.
+            self.backend_down(b, "send", flights, pending, answered);
             return DispatchOutcome::Requeued(unit);
         }
         self.pool.backends[b].outstanding += 1;
@@ -539,7 +544,7 @@ impl<S: TraceSink> Coordinator<S> {
             self.primary_seq += 1;
             if let HedgeConfig::EveryNth { n } = self.cfg.hedge {
                 if n > 0 && self.primary_seq.is_multiple_of(n) {
-                    self.hedge(id, flights);
+                    self.hedge(id, flights, pending, answered);
                 }
             }
         }
@@ -550,7 +555,13 @@ impl<S: TraceSink> Coordinator<S> {
     /// hold a copy. The duplicate reuses the primary's id and idempotency
     /// key and marks itself with `hedge`, so whichever copy answers first
     /// produces the same bytes.
-    fn hedge(&mut self, id: u64, flights: &mut HashMap<u64, Flight>) {
+    fn hedge(
+        &mut self,
+        id: u64,
+        flights: &mut HashMap<u64, Flight>,
+        pending: &mut VecDeque<Unit>,
+        answered: &BTreeMap<u64, String>,
+    ) {
         let Some(flight) = flights.get(&id) else {
             return;
         };
@@ -562,7 +573,7 @@ impl<S: TraceSink> Coordinator<S> {
         let mut copy = flight.req.clone();
         copy.hedge = Some(flight.copies.len() as u64);
         if self.pool.send(hb, &copy.to_line()).is_err() {
-            self.backend_send_failed(hb);
+            self.backend_down(hb, "send", flights, pending, answered);
             return;
         }
         self.pool.backends[hb].outstanding += 1;
@@ -743,25 +754,6 @@ impl<S: TraceSink> Coordinator<S> {
             }
         }
         self.pool.backends[b].outstanding = 0;
-    }
-
-    fn backend_send_failed(&mut self, b: usize) {
-        // The caller still holds the unit; only flip the health state here.
-        self.pool.disconnect(b);
-        self.emit(TraceEvent::ClusterBackendDown {
-            backend: b,
-            reason: "send",
-        });
-        self.pool.backends[b].failures += 1;
-        if !self.pool.backends[b].quarantined {
-            self.pool.backends[b].quarantined = true;
-            self.counters.quarantines += 1;
-            let failures = self.pool.backends[b].failures;
-            self.emit(TraceEvent::ClusterBackendQuarantined {
-                backend: b,
-                failures,
-            });
-        }
     }
 
     /// Tries to reconnect one quarantined (not dead) backend; gives up on

@@ -146,6 +146,11 @@ pub fn cluster_grid<S: TraceSink>(
                                 min_m = min_m.min(m);
                                 max_m = max_m.max(m);
                                 sum_m += m;
+                            } else {
+                                // "ok" without a machine count cannot merge
+                                // into the stats; count it degraded so
+                                // solved + degraded covers every cell.
+                                degraded += 1;
                             }
                         }
                         _ => degraded += 1,

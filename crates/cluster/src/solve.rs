@@ -86,10 +86,19 @@ pub fn cluster_solve<S: TraceSink>(
     }
     let lo = bracket_lo.max(max_infeasible + 1);
     let hi = bracket_hi.min(min_feasible);
-    let exact = (lo >= hi).then_some(hi);
+    if lo > hi {
+        // A certified-infeasible m at or above a certified-feasible one
+        // violates monotonicity: some backend answered wrong. Surface it
+        // instead of clamping the bracket into a fake optimum.
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("cluster solve: contradictory probe verdicts (lo {lo} > hi {hi})"),
+        ));
+    }
+    let exact = (lo == hi).then_some(hi);
     Ok(SolveOutcome {
         exact,
-        lo: lo.min(hi),
+        lo,
         hi,
         undecided,
         report,

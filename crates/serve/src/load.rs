@@ -260,6 +260,9 @@ pub fn run_load(addr: &str, cfg: &LoadConfig) -> std::io::Result<LoadReport> {
             }
             let line = line.trim().to_string();
             let Ok(resp) = Response::parse(&line) else {
+                // The garbage line still answered (and consumed) a window
+                // slot; free it, or enough of them would stall the loop.
+                outstanding = outstanding.saturating_sub(1);
                 continue;
             };
             let id = resp.id();
