@@ -37,6 +37,7 @@ mod balance;
 mod coordinator;
 mod grid;
 mod solve;
+mod stats;
 mod sweep;
 
 pub use backend::{BackendView, NetEvent, Pool};
@@ -46,6 +47,7 @@ pub use coordinator::{
 };
 pub use grid::{cluster_grid, GridConfig, GridOutcome};
 pub use solve::{cluster_solve, SolveOutcome};
+pub use stats::{cluster_stats, scrape_backend, BackendStats, StatsOutcome, STATS_ID_BASE};
 pub use sweep::{cluster_sweep, SweepConfig, SweepOutcome};
 
 /// The splitmix64 mix used everywhere a deterministic hash of `(seed,

@@ -1,0 +1,144 @@
+//! Cluster-wide `stats`: scrape every backend's live registry and merge.
+//!
+//! Unlike the scatter–gather workloads this is a plain synchronous sweep —
+//! one short-lived connection per backend, one `stats` request, one reply.
+//! Backends answer `stats` inline on their supervisor thread (no queue
+//! slot), so the scrape works even when a backend's queue is full or it is
+//! draining. Ids start at [`STATS_ID_BASE`] so scrape requests can never
+//! collide with workload or health-probe ids.
+//!
+//! The merged view is exact: histograms from the same bucket scheme add
+//! bucket-by-bucket ([`mm_obs::Histogram::merge`]), counters sum, gauges
+//! sum. The per-backend breakdown is retained alongside so `machmin top`
+//! can show both.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use mm_json::Json;
+use mm_obs::RegistrySnapshot;
+use mm_serve::{Request, RequestKind};
+
+use crate::coordinator::HEALTH_ID_BASE;
+
+/// Base id for scrape requests: above [`HEALTH_ID_BASE`] so a scrape run
+/// against a pool mid-workload cannot collide with any outstanding id.
+pub const STATS_ID_BASE: u64 = HEALTH_ID_BASE + (1 << 32);
+
+/// One backend's scrape result.
+#[derive(Debug, Clone)]
+pub struct BackendStats {
+    /// The backend's `host:port`.
+    pub addr: String,
+    /// The full `stats` response body (uptime, counters, window, slowest…),
+    /// or `None` when the backend was unreachable.
+    pub response: Option<Json>,
+    /// The backend's registry snapshot, empty when unreachable.
+    pub snapshot: RegistrySnapshot,
+}
+
+/// A pool-wide scrape: per-backend breakdown plus the exact merge.
+#[derive(Debug, Clone)]
+pub struct StatsOutcome {
+    /// Per-backend results, in `--backends` order.
+    pub backends: Vec<BackendStats>,
+    /// Bucket-exact merge of every reachable backend's registry.
+    pub merged: RegistrySnapshot,
+    /// Backends that answered.
+    pub reachable: usize,
+}
+
+impl StatsOutcome {
+    /// The scrape as one JSON object (`machmin cluster stats` output).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("backends_total", Json::Int(self.backends.len() as i64)),
+            ("backends_reachable", Json::Int(self.reachable as i64)),
+            (
+                "backends",
+                Json::Arr(
+                    self.backends
+                        .iter()
+                        .map(|b| {
+                            Json::obj([
+                                ("addr", Json::str(&b.addr)),
+                                ("reachable", Json::Bool(b.response.is_some())),
+                                ("stats", b.response.clone().unwrap_or(Json::Null)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("merged", self.merged.to_json()),
+        ])
+    }
+}
+
+/// Scrapes one backend: connect, send a single `stats` request, read the
+/// one reply line. `counters_only` asks the backend for the wall-clock-free
+/// form (the one the determinism tests compare).
+pub fn scrape_backend(
+    addr: &str,
+    id: u64,
+    counters_only: bool,
+    timeout: Duration,
+) -> Result<Json, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_read_timeout(Some(timeout)).ok();
+    stream.set_nodelay(true).ok();
+    let mut writer = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let req = Request::new(
+        id,
+        RequestKind::Stats {
+            prometheus: false,
+            counters_only,
+        },
+    );
+    writer
+        .write_all(req.to_line().as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("write {addr}: {e}"))?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("read {addr}: {e}"))?;
+    let json = mm_json::parse(line.trim()).map_err(|e| format!("parse {addr}: {}", e.message))?;
+    if json.get("status").and_then(Json::as_str) != Some("ok") {
+        return Err(format!("backend {addr} answered: {}", line.trim()));
+    }
+    Ok(json)
+}
+
+/// Scrapes every backend and merges the registries. Unreachable backends
+/// are reported (not fatal): a half-dead pool still has stats worth seeing.
+pub fn cluster_stats(addrs: &[String], counters_only: bool) -> StatsOutcome {
+    let timeout = Duration::from_secs(5);
+    let mut backends = Vec::with_capacity(addrs.len());
+    let mut merged = RegistrySnapshot::default();
+    let mut reachable = 0usize;
+    for (idx, addr) in addrs.iter().enumerate() {
+        let response =
+            scrape_backend(addr, STATS_ID_BASE + idx as u64, counters_only, timeout).ok();
+        let snapshot = response
+            .as_ref()
+            .and_then(|r| r.get("registry"))
+            .and_then(RegistrySnapshot::from_json)
+            .unwrap_or_default();
+        if response.is_some() {
+            reachable += 1;
+            merged.merge(&snapshot);
+        }
+        backends.push(BackendStats {
+            addr: addr.clone(),
+            response,
+            snapshot,
+        });
+    }
+    StatsOutcome {
+        backends,
+        merged,
+        reachable,
+    }
+}

@@ -312,6 +312,63 @@ fn cluster_grid_merges_per_family_statistics() {
 }
 
 #[test]
+fn cluster_stats_merge_is_exactly_the_sum_of_backend_histograms() {
+    let pool = spawn_pool(3);
+    let cfg = ClusterConfig {
+        backends: addrs(&pool),
+        balance: BalancePolicy::RoundRobin,
+        seed: 13,
+        ..ClusterConfig::default()
+    };
+    let coordinator = Coordinator::connect(cfg, NoopSink).unwrap();
+    let report = coordinator.run(solve_units(12), &mut |_, _| {}).unwrap();
+    assert_eq!(report.counters.responses, 12);
+    // Span accounting lands just after each reply is released; poll the
+    // live endpoint until every response has been absorbed.
+    let addrs = addrs(&pool);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let outcome = loop {
+        let outcome = mm_cluster::cluster_stats(&addrs, false);
+        let count = outcome
+            .merged
+            .histograms
+            .get("latency_us.solve")
+            .map(|h| h.count())
+            .unwrap_or(0);
+        if count == 12 {
+            break outcome;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "merged histogram stuck at {count}/12"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
+    assert_eq!(outcome.reachable, 3);
+    // The merge must be *exactly* the independent fold of the three
+    // per-backend snapshots — byte-for-byte, not just same counts.
+    let mut manual = mm_obs::RegistrySnapshot::default();
+    for backend in &outcome.backends {
+        manual.merge(&backend.snapshot);
+    }
+    assert_eq!(
+        outcome.merged.to_json().to_compact(),
+        manual.to_json().to_compact()
+    );
+    // The merged admission counter is the pool-wide total, and round-robin
+    // over 3 backends means every backend saw some of the work.
+    assert_eq!(outcome.merged.counters.get("requests.solve"), Some(&12));
+    for backend in &outcome.backends {
+        assert!(
+            backend.snapshot.counters.get("requests.solve").copied() > Some(0),
+            "{} saw no solves",
+            backend.addr
+        );
+    }
+    teardown(pool);
+}
+
+#[test]
 fn mismatched_sweep_checkpoint_is_an_invalid_data_error() {
     let dir = std::env::temp_dir().join(format!("mm-cluster-chk-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

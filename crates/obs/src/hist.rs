@@ -1,0 +1,344 @@
+//! Log-bucketed histogram over `u64` values.
+//!
+//! The bucket layout is HDR-style: values below 8 get one bucket each, and
+//! every power-of-two range above that is split into 8 sub-buckets, so the
+//! relative error of any reconstructed value is at most 12.5%. The layout is
+//! fixed (no configuration), which is what makes histograms from different
+//! processes mergeable by plain bucket-wise addition.
+
+use mm_json::Json;
+
+/// Total number of buckets in the fixed layout.
+///
+/// Indices 0..8 hold values 0..8 exactly; from there each octave of the u64
+/// range contributes 8 sub-buckets: `8 + 8 * (64 - 3)` = 496.
+pub const BUCKETS: usize = 496;
+
+/// The bucket a value lands in.
+pub fn bucket_index(value: u64) -> usize {
+    if value < 8 {
+        return value as usize;
+    }
+    let h = 63 - value.leading_zeros() as usize; // floor(log2 value), >= 3
+    let sub = ((value >> (h - 3)) & 7) as usize;
+    8 * (h - 2) + sub
+}
+
+/// The smallest value that lands in bucket `index`.
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    if index < 8 {
+        return index as u64;
+    }
+    let h = index / 8 + 2;
+    let sub = (index % 8) as u64;
+    (8 + sub) << (h - 3)
+}
+
+/// A mergeable latency histogram with fixed log-spaced buckets.
+///
+/// Recording is O(1); the JSON encoding is sparse (only non-empty buckets)
+/// and byte-stable: two histograms built from the same multiset of values in
+/// any order encode identically.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: Vec<u64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; BUCKETS];
+        }
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.buckets[bucket_index(value)] += 1;
+    }
+
+    /// Total values recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Mean of recorded values, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Occupied `(bucket_index, count)` pairs in ascending index order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// The value at quantile `q` (in `[0, 1]`), reconstructed as the lower
+    /// bound of the bucket holding the ceiling-rank sample. Within one bucket
+    /// of the exact nearest-rank quantile by construction. Returns 0 for an
+    /// empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, c) in self.nonzero_buckets() {
+            seen += c;
+            if seen >= rank {
+                // Clamp to the recorded extremes so single-value histograms
+                // and the tail bucket report honest numbers.
+                return bucket_lower_bound(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds every bucket of `other` into `self`. Merging is associative and
+    /// commutative: any merge order over a set of histograms yields the same
+    /// result (and the same JSON bytes).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (i, c) in other.nonzero_buckets() {
+            self.buckets[i] += c;
+        }
+    }
+
+    /// The histogram as a JSON object: totals plus sparse `[index, count]`
+    /// bucket pairs sorted by index. A pure function of the recorded
+    /// multiset, so the compact encoding is byte-stable.
+    pub fn to_json(&self) -> Json {
+        let buckets = self
+            .nonzero_buckets()
+            .map(|(i, c)| Json::Arr(vec![Json::Int(i as i64), Json::Int(c as i64)]))
+            .collect();
+        Json::obj([
+            ("count", Json::Int(self.count as i64)),
+            ("sum", Json::Int(self.sum as i64)),
+            ("min", Json::Int(self.min() as i64)),
+            ("max", Json::Int(self.max() as i64)),
+            ("p50", Json::Int(self.quantile(0.50) as i64)),
+            ("p99", Json::Int(self.quantile(0.99) as i64)),
+            ("p999", Json::Int(self.quantile(0.999) as i64)),
+            ("buckets", Json::Arr(buckets)),
+        ])
+    }
+
+    /// Parses a histogram back from its [`Histogram::to_json`] form.
+    pub fn from_json(json: &Json) -> Option<Histogram> {
+        let count = json.get("count")?.as_i64()? as u64;
+        let sum = json.get("sum")?.as_i64()? as u64;
+        let min = json.get("min")?.as_i64()? as u64;
+        let max = json.get("max")?.as_i64()? as u64;
+        let mut buckets = vec![0u64; BUCKETS];
+        let mut total = 0u64;
+        for pair in json.get("buckets")?.as_arr()? {
+            let pair = pair.as_arr()?;
+            if pair.len() != 2 {
+                return None;
+            }
+            let i = pair[0].as_i64()?;
+            let c = pair[1].as_i64()?;
+            if !(0..BUCKETS as i64).contains(&i) || c <= 0 {
+                return None;
+            }
+            buckets[i as usize] += c as u64;
+            total += c as u64;
+        }
+        if total != count {
+            return None;
+        }
+        if count == 0 {
+            return Some(Histogram::new());
+        }
+        Some(Histogram {
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_monotone_and_total() {
+        // Every bucket's lower bound round-trips to its own index, and
+        // lower bounds strictly increase.
+        let mut prev = None;
+        for i in 0..BUCKETS {
+            let lo = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lo), i, "bucket {i} lower bound {lo}");
+            if let Some(p) = prev {
+                assert!(lo > p, "bucket {i} not monotone");
+            }
+            prev = Some(lo);
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        // Reconstructing any value as its bucket's lower bound loses at most
+        // 1/8 of the value.
+        for &v in &[1u64, 7, 8, 9, 100, 1_000, 123_456, 1 << 40, u64::MAX / 3] {
+            let lo = bucket_lower_bound(bucket_index(v));
+            assert!(lo <= v);
+            assert!(v - lo <= v / 8, "value {v} reconstructed as {lo}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(
+            h.to_json().to_compact(),
+            r#"{"count":0,"sum":0,"min":0,"max":0,"p50":0,"p99":0,"p999":0,"buckets":[]}"#
+        );
+    }
+
+    #[test]
+    fn encoding_is_order_independent() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let values = [3u64, 900, 17, 17, 250_000, 3, 1_000_000];
+        for &v in &values {
+            a.record(v);
+        }
+        for &v in values.iter().rev() {
+            b.record(v);
+        }
+        assert_eq!(a.to_json().to_compact(), b.to_json().to_compact());
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_in_one() {
+        let mut all = Histogram::new();
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for v in 0..1000u64 {
+            let v = v * v % 7919;
+            all.record(v);
+            if v % 2 == 0 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        let mut merged = Histogram::new();
+        merged.merge(&left);
+        merged.merge(&right);
+        assert_eq!(merged, all);
+        assert_eq!(merged.to_json().to_compact(), all.to_json().to_compact());
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 5, 1234, 99_999_999] {
+            h.record(v);
+        }
+        let parsed = Histogram::from_json(&h.to_json()).expect("round trip");
+        assert_eq!(parsed, h);
+        assert_eq!(
+            Histogram::from_json(&Histogram::new().to_json()),
+            Some(Histogram::new())
+        );
+        assert_eq!(
+            Histogram::from_json(&Json::obj([("count", Json::Int(1))])),
+            None
+        );
+    }
+
+    #[test]
+    fn quantiles_hit_exact_samples_within_a_bucket() {
+        let mut h = Histogram::new();
+        let mut samples: Vec<u64> = (0..500).map(|i| (i * 37) % 10_000).collect();
+        for &v in &samples {
+            h.record(v);
+        }
+        samples.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let exact = samples[crate::quantile_index(samples.len(), q).unwrap()];
+            let approx = h.quantile(q);
+            assert_eq!(
+                bucket_index(approx),
+                bucket_index(exact),
+                "q={q}: approx {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_value_histogram_reports_that_value() {
+        let mut h = Histogram::new();
+        h.record(12345);
+        // min == max == the value, and quantiles clamp into that range.
+        assert_eq!(h.min(), 12345);
+        assert_eq!(h.max(), 12345);
+        assert_eq!(h.quantile(0.5), 12345);
+        assert_eq!(h.quantile(0.999), 12345);
+    }
+}

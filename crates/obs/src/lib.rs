@@ -1,0 +1,70 @@
+//! Live observability for machmin: a lock-cheap metrics registry, log-bucketed
+//! latency histograms, per-request spans, and a Prometheus-style exposition.
+//!
+//! Everything here is std-only and deterministic: histogram and registry
+//! snapshots are byte-stable pure functions of the recorded values, so cluster
+//! aggregation and CI gates can compare them with `diff`. Wall-clock time never
+//! enters this crate on its own — callers pass timestamps in explicitly, which
+//! keeps the windowed rings testable under a mock clock.
+//!
+//! The pieces:
+//!
+//! - [`Histogram`]: fixed log-spaced buckets over `u64` values (microseconds by
+//!   convention), mergeable, with quantiles exact to within one bucket.
+//! - [`Registry`]: named counters and gauges behind atomics; cloning the handle
+//!   is an `Arc` bump and incrementing a counter is one relaxed atomic add.
+//! - [`WindowRing`]: a last-N-seconds ring of per-second aggregates, a pure
+//!   function of `(events, clock)`.
+//! - [`Span`] and [`SlowSpans`]: per-request phase timings and top-K slowest
+//!   exemplar retention.
+//! - [`prometheus_text`]: renders a registry snapshot in the text exposition
+//!   format scrapers expect.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+mod prom;
+mod registry;
+mod span;
+mod window;
+
+pub use hist::{bucket_index, bucket_lower_bound, Histogram, BUCKETS};
+pub use prom::prometheus_text;
+pub use registry::{Registry, RegistrySnapshot};
+pub use span::{SlowSpans, Span, SpanPhase};
+pub use window::{WindowRing, WindowSnapshot};
+
+/// Nearest-rank index for quantile `q` over `len` sorted samples.
+///
+/// Uses the ceiling-rank definition (`rank = ceil(q * len)`, 1-based), the
+/// same convention [`Histogram::quantile`] walks its buckets with, so sorted
+/// sample quantiles and histogram quantiles agree up to bucket resolution.
+/// Returns `None` for an empty sample set.
+pub fn quantile_index(len: usize, q: f64) -> Option<usize> {
+    if len == 0 {
+        return None;
+    }
+    let rank = (q * len as f64).ceil() as usize;
+    Some(rank.clamp(1, len) - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_index_matches_nearest_rank() {
+        assert_eq!(quantile_index(0, 0.5), None);
+        assert_eq!(quantile_index(1, 0.5), Some(0));
+        assert_eq!(quantile_index(1, 0.999), Some(0));
+        // 10 samples: p50 is the 5th (index 4), p99 and p999 the 10th.
+        assert_eq!(quantile_index(10, 0.50), Some(4));
+        assert_eq!(quantile_index(10, 0.99), Some(9));
+        assert_eq!(quantile_index(10, 0.999), Some(9));
+        // 1000 samples: p999 is the 999th (index 998).
+        assert_eq!(quantile_index(1000, 0.999), Some(998));
+        assert_eq!(quantile_index(1000, 0.0), Some(0));
+        assert_eq!(quantile_index(1000, 1.0), Some(999));
+    }
+}

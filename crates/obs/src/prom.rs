@@ -1,0 +1,106 @@
+//! Prometheus-style text exposition for a registry snapshot.
+
+use crate::hist::bucket_lower_bound;
+use crate::registry::RegistrySnapshot;
+use std::fmt::Write;
+
+/// Renders `snap` in the Prometheus text exposition format.
+///
+/// Counters render as `<name> <value>`, gauges likewise, and histograms as
+/// the conventional cumulative `_bucket{le="..."}` series plus `_sum` and
+/// `_count`. Metric names have `.` and `-` mapped to `_` to stay inside the
+/// exposition grammar. Output is sorted by name (snapshot order), so the
+/// text, like the JSON, is byte-stable.
+pub fn prometheus_text(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snap.gauges {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, hist) in &snap.histograms {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, c) in hist.nonzero_buckets() {
+            cumulative += c;
+            // `le` is the exclusive upper edge of bucket i: the lower bound
+            // of bucket i+1 works because the layout is contiguous. The very
+            // last bucket has no finite edge; the +Inf line covers it.
+            if i + 1 < crate::hist::BUCKETS {
+                let le = bucket_lower_bound(i + 1);
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count());
+        let _ = writeln!(out, "{name}_sum {}", hist.sum());
+        let _ = writeln!(out, "{name}_count {}", hist.count());
+    }
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn renders_all_metric_kinds() {
+        let reg = Registry::new();
+        reg.add("serve.requests", 12);
+        reg.set_gauge("serve.queue-depth", 3);
+        reg.observe("lat.solve", 100);
+        reg.observe("lat.solve", 100);
+        let text = prometheus_text(&reg.snapshot());
+        assert!(text.contains("# TYPE serve_requests counter\nserve_requests 12\n"));
+        assert!(text.contains("# TYPE serve_queue_depth gauge\nserve_queue_depth 3\n"));
+        assert!(text.contains("# TYPE lat_solve histogram\n"));
+        assert!(text.contains("lat_solve_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("lat_solve_sum 200\n"));
+        assert!(text.contains("lat_solve_count 2\n"));
+    }
+
+    #[test]
+    fn bucket_series_is_cumulative() {
+        let reg = Registry::new();
+        for v in [1u64, 1, 100, 10_000] {
+            reg.observe("h", v);
+        }
+        let text = prometheus_text(&reg.snapshot());
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("h_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(counts, vec![2, 3, 4, 4]); // three buckets + +Inf
+    }
+
+    #[test]
+    fn exposition_is_byte_stable() {
+        let build = || {
+            let reg = Registry::new();
+            reg.add("b", 2);
+            reg.add("a", 1);
+            reg.observe("lat", 5);
+            prometheus_text(&reg.snapshot())
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,258 @@
+//! Named counters, gauges, and histograms behind a clonable handle.
+
+use crate::hist::Histogram;
+use mm_json::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A clonable handle to a set of named metrics.
+///
+/// Counters and gauges are atomics: after the one-time registration (a short
+/// mutex hold), incrementing costs one relaxed atomic add and no lock.
+/// Histograms sit behind a per-registry mutex since recording touches a
+/// bucket vector. Registration is idempotent — asking for an existing name
+/// returns the same underlying cell, so independent components can share a
+/// metric by name.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, creating it at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        let mut map = self.inner.counters.lock().expect("registry poisoned");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+
+    /// The gauge named `name`, creating it at zero on first use.
+    pub fn gauge(&self, name: &str) -> Arc<AtomicI64> {
+        let mut map = self.inner.gauges.lock().expect("registry poisoned");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicI64::new(0))),
+        )
+    }
+
+    /// Adds `delta` to the counter named `name` (registering it if needed).
+    pub fn add(&self, name: &str, delta: u64) {
+        self.counter(name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Sets the counter named `name` to `value` — for restoring monotonic
+    /// counters from a journal snapshot, not for live accounting.
+    pub fn set_counter(&self, name: &str, value: u64) {
+        self.counter(name).store(value, Ordering::Relaxed);
+    }
+
+    /// Sets the gauge named `name` to `value`.
+    pub fn set_gauge(&self, name: &str, value: i64) {
+        self.gauge(name).store(value, Ordering::Relaxed);
+    }
+
+    /// Records `value` into the histogram named `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        self.inner
+            .histograms
+            .lock()
+            .expect("registry poisoned")
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Merges a whole histogram into the one named `name`.
+    pub fn merge_histogram(&self, name: &str, hist: &Histogram) {
+        self.inner
+            .histograms
+            .lock()
+            .expect("registry poisoned")
+            .entry(name.to_string())
+            .or_default()
+            .merge(hist);
+    }
+
+    /// A point-in-time copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .lock()
+            .expect("registry poisoned")
+            .clone();
+        RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// A frozen copy of a [`Registry`]'s metrics, ordered by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge name → value.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram name → histogram.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl RegistrySnapshot {
+    /// The snapshot as a JSON object. Keys are sorted (BTreeMap order), so
+    /// the compact encoding is byte-stable for a given set of values.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::Int(v as i64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::Int(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a snapshot back from its [`RegistrySnapshot::to_json`] form.
+    pub fn from_json(json: &Json) -> Option<RegistrySnapshot> {
+        let mut snap = RegistrySnapshot::default();
+        for (k, v) in json.get("counters")?.as_obj()? {
+            snap.counters.insert(k.clone(), v.as_i64()? as u64);
+        }
+        for (k, v) in json.get("gauges")?.as_obj()? {
+            snap.gauges.insert(k.clone(), v.as_i64()?);
+        }
+        for (k, v) in json.get("histograms")?.as_obj()? {
+            snap.histograms.insert(k.clone(), Histogram::from_json(v)?);
+        }
+        Some(snap)
+    }
+
+    /// Merges `other` into `self`: counters add, gauges add, histograms
+    /// merge bucket-wise. Used for pool-wide aggregation in `cluster stats`.
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for (k, &v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, &v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_shared_by_name() {
+        let reg = Registry::new();
+        let a = reg.counter("requests");
+        let b = reg.counter("requests");
+        a.fetch_add(2, Ordering::Relaxed);
+        b.fetch_add(3, Ordering::Relaxed);
+        assert_eq!(reg.snapshot().counters["requests"], 5);
+    }
+
+    #[test]
+    fn clones_see_the_same_metrics() {
+        let reg = Registry::new();
+        let clone = reg.clone();
+        reg.add("x", 1);
+        clone.add("x", 1);
+        clone.set_gauge("depth", -4);
+        clone.observe("lat", 100);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["x"], 2);
+        assert_eq!(snap.gauges["depth"], -4);
+        assert_eq!(snap.histograms["lat"].count(), 1);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_and_is_sorted() {
+        let reg = Registry::new();
+        reg.add("zeta", 9);
+        reg.add("alpha", 1);
+        reg.set_gauge("mid", 7);
+        reg.observe("lat", 50);
+        reg.observe("lat", 5000);
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        let parsed = RegistrySnapshot::from_json(&json).expect("round trip");
+        assert_eq!(parsed, snap);
+        let text = json.to_compact();
+        assert!(text.find("alpha").unwrap() < text.find("zeta").unwrap());
+    }
+
+    #[test]
+    fn snapshot_merge_adds_everything() {
+        let a = Registry::new();
+        a.add("n", 2);
+        a.observe("lat", 10);
+        let b = Registry::new();
+        b.add("n", 3);
+        b.add("only_b", 1);
+        b.observe("lat", 20);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counters["n"], 5);
+        assert_eq!(merged.counters["only_b"], 1);
+        assert_eq!(merged.histograms["lat"].count(), 2);
+    }
+}

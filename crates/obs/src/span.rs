@@ -1,0 +1,166 @@
+//! Per-request spans and top-K slowest exemplar retention.
+
+use mm_json::Json;
+
+/// One named phase inside a request span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanPhase {
+    /// Phase name (`queued`, `exec`, `probe`, `flow`, `reply`, ...).
+    pub phase: &'static str,
+    /// Time spent in the phase, microseconds.
+    pub micros: u64,
+}
+
+/// The timing record of one request: total latency plus a phase breakdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Request id.
+    pub id: u64,
+    /// Request kind tag (`solve`, `probe`, `schedule`, ...).
+    pub kind: &'static str,
+    /// End-to-end latency in microseconds (admission to reply handoff).
+    pub micros: u64,
+    /// Phase timings in emission order.
+    pub phases: Vec<SpanPhase>,
+}
+
+impl Span {
+    /// The span as a JSON object, phases as a name → micros map.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::Int(self.id as i64)),
+            ("kind", Json::str(self.kind)),
+            ("micros", Json::Int(self.micros as i64)),
+            (
+                "phases",
+                Json::Obj(
+                    self.phases
+                        .iter()
+                        .map(|p| (p.phase.to_string(), Json::Int(p.micros as i64)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Retains the K slowest spans seen so far.
+///
+/// Exemplars answer the question a histogram can't: *which* requests were
+/// slow, and where the time went. Ordering is by latency descending with
+/// request id ascending as the tie-break, so retention is deterministic for
+/// a given set of observed spans.
+#[derive(Debug, Clone, Default)]
+pub struct SlowSpans {
+    cap: usize,
+    spans: Vec<Span>,
+}
+
+impl SlowSpans {
+    /// Retains at most `cap` spans.
+    pub fn new(cap: usize) -> Self {
+        SlowSpans {
+            cap,
+            spans: Vec::new(),
+        }
+    }
+
+    /// Offers a span; it is kept if it ranks among the `cap` slowest.
+    pub fn offer(&mut self, span: Span) {
+        if self.cap == 0 {
+            return;
+        }
+        let pos = self.spans.partition_point(|s| {
+            (s.micros, std::cmp::Reverse(s.id)) > (span.micros, std::cmp::Reverse(span.id))
+        });
+        if pos >= self.cap {
+            return;
+        }
+        self.spans.insert(pos, span);
+        self.spans.truncate(self.cap);
+    }
+
+    /// The retained spans, slowest first.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// The exemplars as a JSON array, slowest first.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(self.spans.iter().map(Span::to_json).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, micros: u64) -> Span {
+        Span {
+            id,
+            kind: "solve",
+            micros,
+            phases: vec![SpanPhase {
+                phase: "exec",
+                micros,
+            }],
+        }
+    }
+
+    #[test]
+    fn keeps_the_slowest_k() {
+        let mut top = SlowSpans::new(3);
+        for (id, micros) in [(1, 50), (2, 10), (3, 99), (4, 70), (5, 5)] {
+            top.offer(span(id, micros));
+        }
+        let kept: Vec<(u64, u64)> = top.spans().iter().map(|s| (s.id, s.micros)).collect();
+        assert_eq!(kept, vec![(3, 99), (4, 70), (1, 50)]);
+    }
+
+    #[test]
+    fn ties_break_by_id_ascending() {
+        let mut top = SlowSpans::new(2);
+        top.offer(span(9, 40));
+        top.offer(span(2, 40));
+        top.offer(span(5, 40));
+        let kept: Vec<u64> = top.spans().iter().map(|s| s.id).collect();
+        assert_eq!(kept, vec![2, 5]);
+    }
+
+    #[test]
+    fn retention_is_insertion_order_independent() {
+        let spans = [(1u64, 10u64), (2, 80), (3, 30), (4, 80), (5, 60)];
+        let mut fwd = SlowSpans::new(3);
+        let mut rev = SlowSpans::new(3);
+        for &(id, m) in &spans {
+            fwd.offer(span(id, m));
+        }
+        for &(id, m) in spans.iter().rev() {
+            rev.offer(span(id, m));
+        }
+        assert_eq!(fwd.to_json().to_compact(), rev.to_json().to_compact());
+    }
+
+    #[test]
+    fn span_json_shape() {
+        let s = Span {
+            id: 7,
+            kind: "probe",
+            micros: 120,
+            phases: vec![
+                SpanPhase {
+                    phase: "queued",
+                    micros: 20,
+                },
+                SpanPhase {
+                    phase: "exec",
+                    micros: 100,
+                },
+            ],
+        };
+        assert_eq!(
+            s.to_json().to_compact(),
+            r#"{"id":7,"kind":"probe","micros":120,"phases":{"queued":20,"exec":100}}"#
+        );
+    }
+}

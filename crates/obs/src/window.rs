@@ -1,0 +1,162 @@
+//! Last-N-seconds windowed aggregates.
+
+use mm_json::Json;
+
+/// A ring of per-second aggregates covering the last N seconds.
+///
+/// The ring never reads a clock itself: every operation takes `now_ms`
+/// explicitly, so a ring's state — and its snapshot — is a pure function of
+/// the `(value, now_ms)` event sequence. That is what makes the windowed
+/// queue-depth and latency views testable under a mock clock, and what the
+/// future overload-index work needs (replaying a recorded event stream must
+/// reproduce the index exactly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowRing {
+    window_secs: u64,
+    slots: Vec<Slot>,
+}
+
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Slot {
+    /// Which epoch-second this slot currently holds (0 = never written).
+    epoch_sec: u64,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl WindowRing {
+    /// A ring covering the last `window_secs` seconds (at least 1).
+    pub fn new(window_secs: u64) -> Self {
+        let window_secs = window_secs.max(1);
+        WindowRing {
+            window_secs,
+            slots: vec![Slot::default(); window_secs as usize],
+        }
+    }
+
+    /// The configured window length in seconds.
+    pub fn window_secs(&self) -> u64 {
+        self.window_secs
+    }
+
+    /// Records `value` at wall-time `now_ms`. A slot left over from an
+    /// earlier lap of the ring is reset before use, so stale seconds never
+    /// leak into the window.
+    pub fn record(&mut self, now_ms: u64, value: u64) {
+        let sec = now_ms / 1000;
+        let slot = &mut self.slots[(sec % self.window_secs) as usize];
+        if slot.epoch_sec != sec {
+            *slot = Slot {
+                epoch_sec: sec,
+                ..Slot::default()
+            };
+        }
+        slot.count += 1;
+        slot.sum = slot.sum.saturating_add(value);
+        slot.max = slot.max.max(value);
+    }
+
+    /// Aggregates the slots still inside the window ending at `now_ms`.
+    pub fn snapshot(&self, now_ms: u64) -> WindowSnapshot {
+        let sec = now_ms / 1000;
+        let oldest = sec.saturating_sub(self.window_secs - 1);
+        let mut snap = WindowSnapshot {
+            window_secs: self.window_secs,
+            ..WindowSnapshot::default()
+        };
+        for slot in &self.slots {
+            if slot.count > 0 && slot.epoch_sec >= oldest && slot.epoch_sec <= sec {
+                snap.count += slot.count;
+                snap.sum = snap.sum.saturating_add(slot.sum);
+                snap.max = snap.max.max(slot.max);
+            }
+        }
+        snap
+    }
+}
+
+/// The aggregate over one window: event count, value sum, and max.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WindowSnapshot {
+    /// The window length the snapshot covers.
+    pub window_secs: u64,
+    /// Events inside the window.
+    pub count: u64,
+    /// Sum of values inside the window (saturating).
+    pub sum: u64,
+    /// Largest value inside the window.
+    pub max: u64,
+}
+
+impl WindowSnapshot {
+    /// Mean value over the window, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Events per second over the window.
+    pub fn rate(&self) -> f64 {
+        self.count as f64 / self.window_secs.max(1) as f64
+    }
+
+    /// The snapshot as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("window_secs", Json::Int(self.window_secs as i64)),
+            ("count", Json::Int(self.count as i64)),
+            ("sum", Json::Int(self.sum as i64)),
+            ("max", Json::Int(self.max as i64)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_drops_old_seconds() {
+        let mut ring = WindowRing::new(3);
+        ring.record(1_000, 10); // second 1
+        ring.record(2_000, 20); // second 2
+        ring.record(4_500, 40); // second 4
+                                // Window [2, 4]: second 1 has aged out.
+        let snap = ring.snapshot(4_900);
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.sum, 60);
+        assert_eq!(snap.max, 40);
+        // Window [4, 6]: only second 4 remains.
+        let snap = ring.snapshot(6_000);
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.sum, 40);
+    }
+
+    #[test]
+    fn stale_slots_reset_on_reuse() {
+        let mut ring = WindowRing::new(2);
+        ring.record(1_000, 5); // second 1 → slot 1
+        ring.record(3_000, 7); // second 3 → slot 1 again, must reset
+        let snap = ring.snapshot(3_500);
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.sum, 7);
+    }
+
+    #[test]
+    fn ring_is_a_pure_function_of_events_and_clock() {
+        // Same event sequence, two independent rings: identical state.
+        let events = [(500u64, 3u64), (1_200, 9), (1_900, 1), (5_000, 4)];
+        let mut a = WindowRing::new(4);
+        let mut b = WindowRing::new(4);
+        for &(t, v) in &events {
+            a.record(t, v);
+            b.record(t, v);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.snapshot(5_100), b.snapshot(5_100));
+    }
+}

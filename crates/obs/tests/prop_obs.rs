@@ -1,0 +1,174 @@
+//! Property tests for the observability primitives (issue satellite):
+//! histogram merging is associative and order-independent, quantiles stay
+//! within one bucket of the exact nearest-rank sample, JSON round-trips are
+//! lossless, and the windowed ring is a pure function of `(events, clock)`.
+
+use mm_obs::{bucket_index, Histogram, Registry, RegistrySnapshot, WindowRing};
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// Any grouping and any merge order over a set of histograms yields the
+    /// same histogram as recording every value into one — both structurally
+    /// and as compact JSON bytes (the property pool-wide `cluster stats`
+    /// aggregation relies on).
+    #[test]
+    fn merge_is_associative_and_order_independent(
+        groups in proptest::collection::vec(
+            proptest::collection::vec(0u64..50_000_000, 0..30),
+            1..6,
+        ),
+    ) {
+        let all: Vec<u64> = groups.iter().flatten().copied().collect();
+        let reference = hist_of(&all);
+
+        // Left fold in given order.
+        let mut forward = Histogram::new();
+        for g in &groups {
+            forward.merge(&hist_of(g));
+        }
+        // Right-leaning fold in reverse order.
+        let mut backward = Histogram::new();
+        for g in groups.iter().rev() {
+            let mut tmp = hist_of(g);
+            tmp.merge(&backward);
+            backward = tmp;
+        }
+        prop_assert_eq!(&forward, &reference);
+        prop_assert_eq!(&backward, &reference);
+        prop_assert_eq!(
+            forward.to_json().to_compact(),
+            reference.to_json().to_compact()
+        );
+    }
+
+    /// The histogram quantile lands in the same bucket as the exact
+    /// nearest-rank sample, for every quantile — i.e. it is exact up to the
+    /// bucket resolution (≤ 12.5% relative error).
+    #[test]
+    fn quantiles_are_within_one_bucket_of_exact(
+        mut samples in proptest::collection::vec(0u64..100_000_000, 1..400),
+        q_mils in proptest::collection::vec(0u64..1_001, 1..8),
+    ) {
+        let h = hist_of(&samples);
+        samples.sort_unstable();
+        for &qm in &q_mils {
+            let q = qm as f64 / 1_000.0;
+            let exact = samples[mm_obs::quantile_index(samples.len(), q).unwrap()];
+            let approx = h.quantile(q);
+            prop_assert_eq!(
+                bucket_index(approx),
+                bucket_index(exact),
+                "q={}: approx {} vs exact {}",
+                q,
+                approx,
+                exact
+            );
+            prop_assert!(approx >= h.min() && approx <= h.max());
+        }
+    }
+
+    /// `to_json` → `from_json` is lossless for any recorded multiset, and
+    /// the re-encoded bytes are identical.
+    #[test]
+    fn histogram_json_round_trips(
+        samples in proptest::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let h = hist_of(&samples);
+        let json = h.to_json();
+        let parsed = Histogram::from_json(&json).expect("round trip");
+        prop_assert_eq!(&parsed, &h);
+        prop_assert_eq!(parsed.to_json().to_compact(), json.to_compact());
+    }
+
+    /// The windowed ring never reads a clock: two rings fed the same
+    /// `(now_ms, value)` sequence are identical, snapshots are repeatable
+    /// (pure), and only events inside the window contribute.
+    #[test]
+    fn window_ring_is_pure_under_a_mock_clock(
+        window_secs in 1u64..8,
+        deltas in proptest::collection::vec((0u64..2_500, 0u64..1_000), 1..60),
+    ) {
+        // Monotone mock clock: cumulative deltas.
+        let mut now = 0u64;
+        let events: Vec<(u64, u64)> = deltas
+            .iter()
+            .map(|&(dt, v)| {
+                now += dt;
+                (now, v)
+            })
+            .collect();
+        let mut a = WindowRing::new(window_secs);
+        let mut b = WindowRing::new(window_secs);
+        for &(t, v) in &events {
+            a.record(t, v);
+            b.record(t, v);
+        }
+        prop_assert_eq!(&a, &b);
+        let snap = a.snapshot(now);
+        prop_assert_eq!(&snap, &b.snapshot(now));
+        // Snapshot is read-only: asking twice changes nothing.
+        prop_assert_eq!(&snap, &a.snapshot(now));
+
+        // The snapshot equals a direct recount of the in-window events.
+        let oldest = (now / 1000).saturating_sub(window_secs - 1);
+        let in_window: Vec<u64> = events
+            .iter()
+            .filter(|(t, _)| {
+                let sec = t / 1000;
+                sec >= oldest && sec <= now / 1000
+            })
+            .map(|&(_, v)| v)
+            .collect();
+        prop_assert_eq!(snap.count, in_window.len() as u64);
+        prop_assert_eq!(snap.sum, in_window.iter().sum::<u64>());
+        prop_assert_eq!(snap.max, in_window.iter().copied().max().unwrap_or(0));
+    }
+
+    /// Registry snapshots merge like their parts: counters add, gauges add,
+    /// histograms merge bucket-wise — and the merged compact JSON is
+    /// independent of merge order.
+    #[test]
+    fn registry_merge_is_order_independent(
+        counters in proptest::collection::vec((0usize..4, 1u64..1_000), 0..20),
+        latencies in proptest::collection::vec((0usize..3, 0u64..1_000_000), 0..40),
+    ) {
+        let names = ["a", "b", "c", "d"];
+        let kinds = ["solve", "probe", "sweep"];
+        // Split the event stream round-robin across three registries.
+        let regs = [Registry::new(), Registry::new(), Registry::new()];
+        let whole = Registry::new();
+        for (i, &(name, by)) in counters.iter().enumerate() {
+            regs[i % 3].add(names[name], by);
+            whole.add(names[name], by);
+        }
+        for (i, &(kind, us)) in latencies.iter().enumerate() {
+            regs[i % 3].observe(kinds[kind], us);
+            whole.observe(kinds[kind], us);
+        }
+        let snaps: Vec<RegistrySnapshot> = regs.iter().map(Registry::snapshot).collect();
+        let mut forward = RegistrySnapshot::default();
+        for s in &snaps {
+            forward.merge(s);
+        }
+        let mut backward = RegistrySnapshot::default();
+        for s in snaps.iter().rev() {
+            backward.merge(s);
+        }
+        prop_assert_eq!(
+            forward.to_json().to_compact(),
+            backward.to_json().to_compact()
+        );
+        prop_assert_eq!(
+            forward.to_json().to_compact(),
+            whole.snapshot().to_json().to_compact()
+        );
+    }
+}

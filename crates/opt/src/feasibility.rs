@@ -265,6 +265,13 @@ impl FeasibilityProber {
         let trivial = self.jobs == 0 || m == 0;
         let mut incremental = false;
         let mut aug_delta = 0u64;
+        // Span timing for the flow work below; only a traced probe reads the
+        // clock (NoopSink's `enabled` is a constant false).
+        let flow_timer = if sink.enabled() && !trivial {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         let verdict = if self.jobs == 0 {
             Verdict::Feasible
         } else if m == 0 {
@@ -344,6 +351,15 @@ impl FeasibilityProber {
                     machines: m,
                     incremental,
                     augmentations: aug_delta,
+                });
+            }
+            if let Some(t0) = flow_timer {
+                // Request id is unknown this deep; the service layer's span
+                // collector scopes phases per request, so 0 is a placeholder.
+                sink.record(&TraceEvent::SpanPhase {
+                    id: 0,
+                    phase: "flow",
+                    micros: t0.elapsed().as_micros() as u64,
                 });
             }
         }

@@ -13,9 +13,32 @@ use mm_core::{Edf, EdfFirstFit, Llf, MediumFit};
 use mm_fault::Budget;
 use mm_json::Json;
 use mm_sim::{run_policy, SimConfig};
-use mm_trace::NoopSink;
+use mm_trace::{NoopSink, TraceEvent, TraceSink};
 
 use crate::protocol::{Request, RequestKind, Response};
+
+/// Starts a phase timer only when the sink wants events, so the untraced
+/// path ([`NoopSink`], whose `enabled` is a constant `false`) never reads
+/// the clock.
+fn phase_start<S: TraceSink>(sink: &S) -> Option<std::time::Instant> {
+    sink.enabled().then(std::time::Instant::now)
+}
+
+/// Closes a phase timer: one [`TraceEvent::SpanPhase`] into the sink.
+fn phase_end<S: TraceSink>(
+    sink: &mut S,
+    id: u64,
+    phase: &'static str,
+    start: Option<std::time::Instant>,
+) {
+    if let Some(t0) = start {
+        sink.record(&TraceEvent::SpanPhase {
+            id,
+            phase,
+            micros: t0.elapsed().as_micros() as u64,
+        });
+    }
+}
 
 /// How a sweep step reports progress back to the supervisor for journaling.
 pub trait SweepProgress {
@@ -65,12 +88,30 @@ pub fn execute(
     starved: bool,
     progress: &mut dyn SweepProgress,
 ) -> Response {
+    execute_traced(req, checkpoint, starved, progress, NoopSink)
+}
+
+/// [`execute`] with span-phase reporting: the solver/prober portion of each
+/// request is timed and emitted as [`TraceEvent::SpanPhase`] events (`probe`
+/// for solve/probe, `sim` for schedule, `sweep` for adversary), and the
+/// sink is threaded into [`mm_opt::FeasibilityProber`] so probe counts and
+/// the `flow` phase surface too. With a disabled sink this is exactly
+/// [`execute`]: no clock reads, no event construction.
+pub fn execute_traced<S: TraceSink>(
+    req: &Request,
+    checkpoint: Option<SweepCheckpoint>,
+    starved: bool,
+    progress: &mut dyn SweepProgress,
+    mut sink: S,
+) -> Response {
     let id = req.id;
     let budget = request_budget(req, starved);
     match &req.kind {
         RequestKind::Solve { .. } => {
             let inst = req.instance().expect("solve carries jobs");
-            let search = mm_opt::optimal_machines_budgeted(&inst, &budget);
+            let t_probe = phase_start(&sink);
+            let search = mm_opt::optimal_machines_budgeted_traced(&inst, &budget, &mut sink);
+            phase_end(&mut sink, id, "probe", t_probe);
             match search.exact {
                 Some(m) => Response::Ok {
                     id,
@@ -88,8 +129,10 @@ pub fn execute(
         }
         RequestKind::Probe { machines, .. } => {
             let inst = req.instance().expect("probe carries jobs");
+            let t_probe = phase_start(&sink);
             let verdict = mm_opt::FeasibilityProber::new(&inst)
-                .probe_budgeted_traced(*machines, &budget, NoopSink);
+                .probe_budgeted_traced(*machines, &budget, &mut sink);
+            phase_end(&mut sink, id, "probe", t_probe);
             match verdict {
                 mm_opt::Verdict::Feasible => Response::Ok {
                     id,
@@ -130,6 +173,7 @@ pub fn execute(
             }
             let inst = req.instance().expect("schedule carries jobs");
             let machine_budget = machines.unwrap_or(inst.len()).max(1);
+            let t_sim = phase_start(&sink);
             let outcome = match policy.as_str() {
                 "edf" => run_policy(&inst, Edf, SimConfig::migratory(machine_budget)),
                 "llf" => run_policy(&inst, Llf::new(), SimConfig::migratory(machine_budget)),
@@ -150,6 +194,7 @@ pub fn execute(
                     }
                 }
             };
+            phase_end(&mut sink, id, "sim", t_sim);
             match outcome {
                 Ok(out) => Response::Ok {
                     id,
@@ -180,11 +225,20 @@ pub fn execute(
                     fields: Vec::new(),
                 };
             }
-            run_adversary(id, policy, *k, *machines, checkpoint, progress)
+            let t_sweep = phase_start(&sink);
+            let response = run_adversary(id, policy, *k, *machines, checkpoint, progress);
+            phase_end(&mut sink, id, "sweep", t_sweep);
+            response
         }
         RequestKind::Shutdown => Response::Ok {
             id,
             fields: vec![("draining".into(), Json::Bool(true))],
+        },
+        // Stats is answered inline by the supervisor; reaching a worker is a
+        // routing bug, answered loudly instead of silently.
+        RequestKind::Stats { .. } => Response::Error {
+            id,
+            message: "stats requests are answered by the supervisor, not a worker".into(),
         },
     }
 }

@@ -47,6 +47,14 @@ pub enum Record {
         /// Raw response line as sent.
         line: String,
     },
+    /// An observability snapshot written on graceful drain. Replay restores
+    /// the monotonic counters (lifetime uptime, restart count, cumulative
+    /// request totals) from the **last** such record, so a restarted server
+    /// reports honest lifetime numbers instead of starting from zero.
+    Stats {
+        /// The drained server's registry snapshot plus lifecycle counters.
+        snapshot: Json,
+    },
 }
 
 impl Record {
@@ -67,6 +75,9 @@ impl Record {
                 ("id", Json::Int(*id as i64)),
                 ("line", Json::str(line)),
             ]),
+            Record::Stats { snapshot } => {
+                Json::obj([("rec", Json::str("stats")), ("snapshot", snapshot.clone())])
+            }
         }
     }
 
@@ -75,6 +86,14 @@ impl Record {
             .get("rec")
             .and_then(Json::as_str)
             .ok_or("journal record missing `rec`")?;
+        if rec == "stats" {
+            return Ok(Record::Stats {
+                snapshot: json
+                    .get("snapshot")
+                    .cloned()
+                    .ok_or("stats record missing `snapshot`")?,
+            });
+        }
         let id = json
             .get("id")
             .and_then(Json::as_i64)
@@ -102,6 +121,7 @@ impl Record {
                 id,
                 line: line("line")?,
             },
+            // "stats" was handled above (it carries no request id).
             other => return Err(format!("unknown journal record `{other}`")),
         })
     }
@@ -129,13 +149,15 @@ impl Journal {
         &self.path
     }
 
-    /// Appends one record and fsyncs before returning. The fsync is the
-    /// crash-safety contract: once this returns, a replay sees the record.
-    pub fn append(&mut self, record: &Record) -> std::io::Result<()> {
+    /// Appends one record and fsyncs before returning, reporting the number
+    /// of bytes written (newline included). The fsync is the crash-safety
+    /// contract: once this returns, a replay sees the record.
+    pub fn append(&mut self, record: &Record) -> std::io::Result<usize> {
         let mut line = record.to_json().to_compact();
         line.push('\n');
         self.file.write_all(line.as_bytes())?;
-        self.file.sync_data()
+        self.file.sync_data()?;
+        Ok(line.len())
     }
 }
 
@@ -148,6 +170,9 @@ pub struct Replay {
     pub pending: Vec<PendingRequest>,
     /// Whether a torn (truncated) final line was dropped.
     pub torn_tail: bool,
+    /// The last stats snapshot recorded on a graceful drain, if any. Used
+    /// to restore lifetime-monotonic observability counters on restart.
+    pub stats: Option<Json>,
 }
 
 /// One request that must be re-run after a crash.
@@ -213,6 +238,7 @@ impl Replay {
                     acked_ids.insert(id);
                     replay.acked.push((id, line));
                 }
+                Record::Stats { snapshot } => replay.stats = Some(snapshot),
             }
         }
         replay.pending.retain(|p| !acked_ids.contains(&p.id));
@@ -304,6 +330,25 @@ mod tests {
         let torn_middle = "{\"rec\":\"adm\n{\"rec\":\"acked\",\"id\":1,\"line\":\"y\"}\n";
         let err = Replay::from_text(torn_middle).unwrap_err();
         assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn stats_snapshot_round_trips_and_the_last_one_wins() {
+        let path = tmp("stats.jsonl");
+        std::fs::remove_file(&path).ok();
+        let mut j = Journal::open(&path).unwrap();
+        let snap = |n: i64| Json::obj([("lifetime_requests", Json::Int(n))]);
+        j.append(&Record::Stats { snapshot: snap(10) }).unwrap();
+        j.append(&Record::Admitted {
+            id: 1,
+            line: "{\"id\":1}".into(),
+        })
+        .unwrap();
+        j.append(&Record::Stats { snapshot: snap(25) }).unwrap();
+        let replay = Replay::load(&path).unwrap();
+        assert_eq!(replay.stats, Some(snap(25)));
+        assert_eq!(replay.pending.len(), 1);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

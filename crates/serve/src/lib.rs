@@ -26,11 +26,13 @@
 pub mod exec;
 pub mod journal;
 pub mod load;
+pub mod obs;
 pub mod protocol;
 pub mod supervisor;
 pub mod tcp;
 
 pub use journal::{Journal, PendingRequest, Record, Replay};
 pub use load::{mixed_requests, run_load, LoadConfig, LoadReport};
+pub use obs::{LifetimeBase, ServeObs};
 pub use protocol::{Request, RequestKind, Response};
 pub use supervisor::{DynSink, ServeConfig, ServeStats, Service};

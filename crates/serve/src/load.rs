@@ -82,6 +82,12 @@ pub struct LoadReport {
     pub p50_ms: f64,
     /// 99th-percentile response latency in milliseconds.
     pub p99_ms: f64,
+    /// 99.9th-percentile response latency in milliseconds.
+    pub p999_ms: f64,
+    /// Latency histogram in microseconds — same bucket scheme as the
+    /// server's `stats` endpoint, so client- and server-side observations
+    /// merge. Exported by `machmin load --hist`.
+    pub hist: mm_obs::Histogram,
 }
 
 impl LoadReport {
@@ -307,13 +313,18 @@ pub fn run_load(addr: &str, cfg: &LoadConfig) -> std::io::Result<LoadReport> {
     let mut by_status: Vec<(String, usize)> = by_status.into_iter().collect();
     by_status.sort();
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // Nearest-rank (ceil) quantiles, the same convention the histogram's
+    // `quantile` uses — the exact and bucketed numbers stay comparable.
     let quantile = |q: f64| -> f64 {
-        if latencies.is_empty() {
-            return 0.0;
+        match mm_obs::quantile_index(latencies.len(), q) {
+            Some(idx) => latencies[idx],
+            None => 0.0,
         }
-        let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
-        latencies[idx]
     };
+    let mut hist = mm_obs::Histogram::new();
+    for &ms in &latencies {
+        hist.record((ms * 1e3).round() as u64);
+    }
     Ok(LoadReport {
         transcript: transcript.into_iter().map(|(_, line)| line).collect(),
         sent: requests.len(),
@@ -322,6 +333,8 @@ pub fn run_load(addr: &str, cfg: &LoadConfig) -> std::io::Result<LoadReport> {
         by_status,
         p50_ms: quantile(0.5),
         p99_ms: quantile(0.99),
+        p999_ms: quantile(0.999),
+        hist,
     })
 }
 

@@ -1,0 +1,303 @@
+//! Server-side observability state: the registry, windowed rings, slow-span
+//! exemplars, and the lifetime counters restored from the journal.
+//!
+//! Everything wall-clock lives here, quarantined away from the response
+//! path: timings flow into the registry and (when a sink is attached) into
+//! [`TraceEvent::SpanPhase`] events, never into response lines — the
+//! byte-identical transcript contract survives with observability on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use mm_json::Json;
+use mm_obs::{Registry, RegistrySnapshot, SlowSpans, Span, SpanPhase, WindowRing};
+use mm_trace::TraceEvent;
+
+/// How many slow-request exemplars the server retains.
+pub const SLOW_SPAN_CAP: usize = 8;
+
+/// Length of the windowed (last-N-seconds) latency/queue-depth rings.
+pub const OBS_WINDOW_SECS: u64 = 60;
+
+/// Lifetime counters carried across graceful restarts via the journal's
+/// stats snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LifetimeBase {
+    /// Accumulated uptime of prior lifecycles, milliseconds.
+    pub uptime_ms: u64,
+    /// Graceful lifecycles completed before this one.
+    pub lifecycles: u64,
+    /// Terminal responses released in prior lifecycles.
+    pub responses: u64,
+    /// Worker restarts in prior lifecycles.
+    pub restarts: u64,
+}
+
+impl LifetimeBase {
+    /// Restores the base from a journal stats snapshot, tolerating missing
+    /// fields (older journals have no snapshot at all).
+    pub fn from_snapshot(snapshot: &Json) -> LifetimeBase {
+        let get = |key: &str| {
+            snapshot
+                .get(key)
+                .and_then(Json::as_i64)
+                .filter(|&n| n >= 0)
+                .unwrap_or(0) as u64
+        };
+        LifetimeBase {
+            uptime_ms: get("lifetime_uptime_ms"),
+            lifecycles: get("lifecycles"),
+            responses: get("lifetime_responses"),
+            restarts: get("lifetime_restarts"),
+        }
+    }
+}
+
+/// Live observability state for one server lifecycle.
+pub struct ServeObs {
+    /// Named counters and per-kind latency/phase histograms.
+    pub registry: Registry,
+    started: Instant,
+    base: LifetimeBase,
+    windows: Mutex<Windows>,
+    slow: Mutex<SlowSpans>,
+    journal_bytes: AtomicU64,
+}
+
+struct Windows {
+    latency: WindowRing,
+    depth: WindowRing,
+}
+
+impl ServeObs {
+    /// Fresh state; `base` carries counters restored from the journal.
+    pub fn new(base: LifetimeBase) -> ServeObs {
+        ServeObs {
+            registry: Registry::new(),
+            started: Instant::now(),
+            base,
+            windows: Mutex::new(Windows {
+                latency: WindowRing::new(OBS_WINDOW_SECS),
+                depth: WindowRing::new(OBS_WINDOW_SECS),
+            }),
+            slow: Mutex::new(SlowSpans::new(SLOW_SPAN_CAP)),
+            journal_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Milliseconds since this lifecycle started.
+    pub fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// The restored lifetime counters.
+    pub fn base(&self) -> LifetimeBase {
+        self.base
+    }
+
+    /// Instant this lifecycle started (workers timestamp phases against it).
+    pub fn started(&self) -> Instant {
+        self.started
+    }
+
+    /// Accounts one admission at the current queue depth.
+    pub fn on_admitted(&self, kind: &'static str, depth: usize) {
+        self.registry.add(request_counter(kind), 1);
+        let now_ms = self.uptime_ms();
+        self.windows
+            .lock()
+            .unwrap()
+            .depth
+            .record(now_ms, depth as u64);
+    }
+
+    /// Accounts one terminal response: latency and phase histograms, the
+    /// windowed latency ring, and slow-span retention.
+    pub fn on_finished(
+        &self,
+        kind: &'static str,
+        status: &'static str,
+        id: u64,
+        total_micros: u64,
+        phases: &[(&'static str, u64)],
+    ) {
+        self.registry.add(status_counter(status), 1);
+        self.registry.observe(latency_histogram(kind), total_micros);
+        for &(phase, micros) in phases {
+            self.registry.observe(phase_histogram(phase), micros);
+        }
+        let now_ms = self.uptime_ms();
+        self.windows
+            .lock()
+            .unwrap()
+            .latency
+            .record(now_ms, total_micros);
+        self.slow.lock().unwrap().offer(Span {
+            id,
+            kind,
+            micros: total_micros,
+            phases: phases
+                .iter()
+                .map(|&(phase, micros)| SpanPhase { phase, micros })
+                .collect(),
+        });
+    }
+
+    /// Adds journal bytes written.
+    pub fn on_journal_write(&self, bytes: u64) {
+        self.journal_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Journal bytes written this lifecycle.
+    pub fn journal_bytes(&self) -> u64 {
+        self.journal_bytes.load(Ordering::Relaxed)
+    }
+
+    /// The windowed latency/queue-depth aggregates as a JSON object.
+    pub fn window_json(&self) -> Json {
+        let now_ms = self.uptime_ms();
+        let windows = self.windows.lock().unwrap();
+        Json::obj([
+            ("latency_us", windows.latency.snapshot(now_ms).to_json()),
+            ("queue_depth", windows.depth.snapshot(now_ms).to_json()),
+        ])
+    }
+
+    /// The slow-request exemplars as a JSON array, slowest first.
+    pub fn slowest_json(&self) -> Json {
+        self.slow.lock().unwrap().to_json()
+    }
+
+    /// A registry snapshot (counters, gauges, histograms).
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        self.registry.snapshot()
+    }
+
+    /// [`TraceEvent::SpanPhase`] events for one finished request, total
+    /// phase included, ready for the service's trace sink.
+    pub fn span_events(
+        id: u64,
+        total_micros: u64,
+        phases: &[(&'static str, u64)],
+    ) -> Vec<TraceEvent> {
+        let mut events: Vec<TraceEvent> = phases
+            .iter()
+            .map(|&(phase, micros)| TraceEvent::SpanPhase { id, phase, micros })
+            .collect();
+        events.push(TraceEvent::SpanPhase {
+            id,
+            phase: "total",
+            micros: total_micros,
+        });
+        events
+    }
+}
+
+/// Registry name of the per-kind admission counter.
+pub fn request_counter(kind: &str) -> &'static str {
+    match kind {
+        "solve" => "requests.solve",
+        "probe" => "requests.probe",
+        "schedule" => "requests.schedule",
+        "adversary" => "requests.adversary",
+        _ => "requests.other",
+    }
+}
+
+/// Registry name of the per-status response counter.
+pub fn status_counter(status: &str) -> &'static str {
+    match status {
+        "ok" => "responses.ok",
+        "degraded" => "responses.degraded",
+        "overloaded" => "responses.overloaded",
+        "error" => "responses.error",
+        "quarantined" => "responses.quarantined",
+        _ => "responses.other",
+    }
+}
+
+/// Registry name of the per-kind end-to-end latency histogram.
+pub fn latency_histogram(kind: &str) -> &'static str {
+    match kind {
+        "solve" => "latency_us.solve",
+        "probe" => "latency_us.probe",
+        "schedule" => "latency_us.schedule",
+        "adversary" => "latency_us.adversary",
+        _ => "latency_us.other",
+    }
+}
+
+/// Registry name of a phase-duration histogram.
+pub fn phase_histogram(phase: &str) -> &'static str {
+    match phase {
+        "queued" => "phase_us.queued",
+        "exec" => "phase_us.exec",
+        "probe" => "phase_us.probe",
+        "flow" => "phase_us.flow",
+        "sim" => "phase_us.sim",
+        "sweep" => "phase_us.sweep",
+        "reply" => "phase_us.reply",
+        _ => "phase_us.other",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finished_requests_land_in_the_right_histograms() {
+        let obs = ServeObs::new(LifetimeBase::default());
+        obs.on_admitted("solve", 1);
+        obs.on_finished("solve", "ok", 4, 1500, &[("queued", 100), ("exec", 1400)]);
+        obs.on_finished("probe", "degraded", 5, 90, &[("exec", 90)]);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counters["requests.solve"], 1);
+        assert_eq!(snap.counters["responses.ok"], 1);
+        assert_eq!(snap.counters["responses.degraded"], 1);
+        assert_eq!(snap.histograms["latency_us.solve"].count(), 1);
+        assert_eq!(snap.histograms["latency_us.probe"].count(), 1);
+        assert_eq!(snap.histograms["phase_us.queued"].count(), 1);
+        assert_eq!(snap.histograms["phase_us.exec"].count(), 2);
+        let slow = obs.slowest_json();
+        let arr = slow.as_arr().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("id").unwrap().as_i64(), Some(4));
+    }
+
+    #[test]
+    fn lifetime_base_round_trips_through_snapshot_json() {
+        let base = LifetimeBase {
+            uptime_ms: 1234,
+            lifecycles: 3,
+            responses: 99,
+            restarts: 2,
+        };
+        let json = Json::obj([
+            ("lifetime_uptime_ms", Json::Int(base.uptime_ms as i64)),
+            ("lifecycles", Json::Int(base.lifecycles as i64)),
+            ("lifetime_responses", Json::Int(base.responses as i64)),
+            ("lifetime_restarts", Json::Int(base.restarts as i64)),
+        ]);
+        assert_eq!(LifetimeBase::from_snapshot(&json), base);
+        assert_eq!(
+            LifetimeBase::from_snapshot(&Json::obj([] as [(&str, Json); 0])),
+            LifetimeBase::default()
+        );
+    }
+
+    #[test]
+    fn span_events_cover_every_phase_plus_total() {
+        let events = ServeObs::span_events(7, 500, &[("queued", 100), ("exec", 400)]);
+        assert_eq!(events.len(), 3);
+        assert!(matches!(
+            events[2],
+            TraceEvent::SpanPhase {
+                id: 7,
+                phase: "total",
+                micros: 500
+            }
+        ));
+    }
+}

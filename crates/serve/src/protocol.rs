@@ -82,6 +82,16 @@ pub enum RequestKind {
     },
     /// Ask the server to drain and shut down.
     Shutdown,
+    /// Report live observability metrics. Answered inline by the supervisor
+    /// (no queue slot, no journal record) so stats stay readable under load.
+    Stats {
+        /// Reply with the Prometheus text exposition instead of JSON.
+        prometheus: bool,
+        /// Restrict the reply to deterministic counters: no uptime, no
+        /// latency histograms, no exemplars. Used by tests that assert
+        /// byte-identical stats across reruns of a seeded plan.
+        counters_only: bool,
+    },
 }
 
 impl RequestKind {
@@ -93,6 +103,7 @@ impl RequestKind {
             RequestKind::Schedule { .. } => "schedule",
             RequestKind::Adversary { .. } => "adversary",
             RequestKind::Shutdown => "shutdown",
+            RequestKind::Stats { .. } => "stats",
         }
     }
 }
@@ -160,6 +171,17 @@ impl Request {
                 fields.push(("machines", Json::Int(*machines as i64)));
             }
             RequestKind::Shutdown => {}
+            RequestKind::Stats {
+                prometheus,
+                counters_only,
+            } => {
+                if *prometheus {
+                    fields.push(("format", Json::str("prometheus")));
+                }
+                if *counters_only {
+                    fields.push(("counters_only", Json::Bool(true)));
+                }
+            }
         }
         if let Some(ms) = self.deadline_ms {
             fields.push(("deadline_ms", Json::Int(ms as i64)));
@@ -236,6 +258,22 @@ impl Request {
                 machines: uint("machines")?.ok_or("adversary request missing `machines`")? as usize,
             },
             "shutdown" => RequestKind::Shutdown,
+            "stats" => RequestKind::Stats {
+                prometheus: match json.get("format").map(Json::as_str) {
+                    None => false,
+                    Some(Some("prometheus")) => true,
+                    Some(Some("json")) => false,
+                    Some(_) => {
+                        return Err("field `format` must be `json` or `prometheus`".into());
+                    }
+                },
+                counters_only: match json.get("counters_only") {
+                    None => false,
+                    Some(v) => v
+                        .as_bool()
+                        .ok_or("field `counters_only` must be a boolean")?,
+                },
+            },
             other => return Err(format!("unknown request kind `{other}`")),
         };
         Ok(Request {
@@ -501,6 +539,20 @@ mod tests {
                 )
             },
             Request::new(5, RequestKind::Shutdown),
+            Request::new(
+                12,
+                RequestKind::Stats {
+                    prometheus: false,
+                    counters_only: false,
+                },
+            ),
+            Request::new(
+                13,
+                RequestKind::Stats {
+                    prometheus: true,
+                    counters_only: true,
+                },
+            ),
             Request {
                 shard: Some(2),
                 hedge: Some(1),
@@ -571,6 +623,11 @@ mod tests {
             (
                 r#"{"id": 1, "kind": "solve", "jobs": [[0, 2, 1]], "deadline_ms": -4}"#,
                 "deadline_ms",
+            ),
+            (r#"{"id": 1, "kind": "stats", "format": "xml"}"#, "format"),
+            (
+                r#"{"id": 1, "kind": "stats", "counters_only": 3}"#,
+                "counters_only",
             ),
         ] {
             let err = Request::parse(line).unwrap_err();

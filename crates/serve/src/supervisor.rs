@@ -34,10 +34,13 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{self, Receiver, Sender};
 use mm_adversary::SweepCheckpoint;
 use mm_fault::{FaultInjector, FaultPlan, FaultSite, RetryPolicy};
+use mm_json::Json;
+use mm_obs::prometheus_text;
 use mm_trace::{TraceEvent, TraceSink};
 
 use crate::exec;
 use crate::journal::{Journal, PendingRequest, Record, Replay};
+use crate::obs::{LifetimeBase, ServeObs};
 use crate::protocol::{Request, RequestKind, Response};
 
 /// Trace sink handle shared by every thread of the service.
@@ -110,6 +113,8 @@ pub struct ServeStats {
     pub replayed_acks: u64,
     /// Requests answered from the idempotency cache (hedged duplicates).
     pub deduped: u64,
+    /// `stats` requests answered inline by the supervisor.
+    pub stats_served: u64,
 }
 
 impl ServeStats {
@@ -118,6 +123,26 @@ impl ServeStats {
     /// answered from the idempotency cache.
     pub fn invariant_holds(&self) -> bool {
         self.admitted == self.responses
+    }
+
+    /// The counters as a JSON object (the `counters` field of a `stats`
+    /// response). Field order is fixed, so the encoding is byte-stable.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("received", Json::Int(self.received as i64)),
+            ("admitted", Json::Int(self.admitted as i64)),
+            ("shed", Json::Int(self.shed as i64)),
+            ("rejected", Json::Int(self.rejected as i64)),
+            ("responses", Json::Int(self.responses as i64)),
+            ("retried", Json::Int(self.retried as i64)),
+            ("quarantined", Json::Int(self.quarantined as i64)),
+            ("panics", Json::Int(self.panics as i64)),
+            ("restarts", Json::Int(self.restarts as i64)),
+            ("drain_degraded", Json::Int(self.drain_degraded as i64)),
+            ("replayed_acks", Json::Int(self.replayed_acks as i64)),
+            ("deduped", Json::Int(self.deduped as i64)),
+            ("stats_served", Json::Int(self.stats_served as i64)),
+        ])
     }
 }
 
@@ -167,6 +192,7 @@ struct Shared {
     idem: Mutex<IdemCache>,
     sink: DynSink,
     stats: Mutex<ServeStats>,
+    obs: ServeObs,
 }
 
 impl Shared {
@@ -179,9 +205,98 @@ impl Shared {
 
     fn journal_append(&self, record: &Record) -> std::io::Result<()> {
         match &self.journal {
-            Some(j) => j.lock().unwrap().append(record),
+            Some(j) => {
+                let bytes = j.lock().unwrap().append(record)?;
+                self.obs.on_journal_write(bytes as u64);
+                Ok(())
+            }
             None => Ok(()),
         }
+    }
+
+    /// Builds the reply to a `stats` request. `counters_only` strips every
+    /// wall-clock-derived field so the reply is a pure function of the
+    /// request history — the form the determinism tests scrape. That form
+    /// also zeroes `stats_served`: scrape cadence is an observer choice, not
+    /// part of the workload, and must not perturb byte-compared replies.
+    fn stats_response(&self, id: u64, prometheus: bool, counters_only: bool) -> Response {
+        let mut stats = *self.stats.lock().unwrap();
+        if counters_only {
+            stats.stats_served = 0;
+        }
+        let depth = self.admission.lock().unwrap().depth;
+        let base = self.obs.base();
+        let uptime_ms = self.obs.uptime_ms();
+        let mut snap = self.obs.snapshot();
+        let serve_counters = [
+            ("serve.received", stats.received),
+            ("serve.admitted", stats.admitted),
+            ("serve.shed", stats.shed),
+            ("serve.rejected", stats.rejected),
+            ("serve.responses", stats.responses),
+            ("serve.retried", stats.retried),
+            ("serve.quarantined", stats.quarantined),
+            ("serve.panics", stats.panics),
+            ("serve.restarts", stats.restarts),
+            ("serve.drain_degraded", stats.drain_degraded),
+            ("serve.replayed_acks", stats.replayed_acks),
+            ("serve.deduped", stats.deduped),
+            ("serve.stats_served", stats.stats_served),
+        ];
+        for (name, value) in serve_counters {
+            snap.counters.insert(name.to_string(), value);
+        }
+        if counters_only {
+            snap.gauges.clear();
+            snap.histograms.clear();
+        } else {
+            snap.gauges.insert("queue_depth".to_string(), depth as i64);
+            snap.gauges.insert("in_flight".to_string(), depth as i64);
+            snap.gauges
+                .insert("uptime_ms".to_string(), uptime_ms as i64);
+            snap.counters
+                .insert("serve.journal_bytes".to_string(), self.obs.journal_bytes());
+        }
+        if prometheus {
+            return Response::Ok {
+                id,
+                fields: vec![("prometheus".into(), Json::str(prometheus_text(&snap)))],
+            };
+        }
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        if !counters_only {
+            fields.push(("uptime_ms".into(), Json::Int(uptime_ms as i64)));
+            fields.push((
+                "lifetime_uptime_ms".into(),
+                Json::Int((base.uptime_ms + uptime_ms) as i64),
+            ));
+        }
+        fields.push(("lifecycles".into(), Json::Int((base.lifecycles + 1) as i64)));
+        fields.push((
+            "lifetime_responses".into(),
+            Json::Int((base.responses + stats.responses) as i64),
+        ));
+        fields.push((
+            "lifetime_restarts".into(),
+            Json::Int((base.restarts + stats.restarts) as i64),
+        ));
+        if !counters_only {
+            fields.push(("queue_depth".into(), Json::Int(depth as i64)));
+            fields.push(("in_flight".into(), Json::Int(depth as i64)));
+            fields.push(("workers".into(), Json::Int(self.cfg.workers as i64)));
+            fields.push(("workers_recycled".into(), Json::Int(stats.restarts as i64)));
+            fields.push((
+                "journal_bytes".into(),
+                Json::Int(self.obs.journal_bytes() as i64),
+            ));
+        }
+        fields.push(("counters".into(), stats.to_json()));
+        fields.push(("registry".into(), snap.to_json()));
+        if !counters_only {
+            fields.push(("window".into(), self.obs.window_json()));
+            fields.push(("slowest".into(), self.obs.slowest_json()));
+        }
+        Response::Ok { id, fields }
     }
 }
 
@@ -190,6 +305,11 @@ struct WorkItem {
     attempts: u32,
     checkpoint: Option<SweepCheckpoint>,
     reply: Sender<String>,
+    /// When the request entered the queue (original admission — retries keep
+    /// it, so span latency covers the whole supervised lifetime).
+    admitted_at: Instant,
+    /// Phase timings collected by the worker, microseconds per phase name.
+    phases: Vec<(&'static str, u64)>,
 }
 
 enum Work {
@@ -281,6 +401,13 @@ impl Service {
                 replayed_acks: replay.acked.len() as u64,
                 ..ServeStats::default()
             }),
+            obs: ServeObs::new(
+                replay
+                    .stats
+                    .as_ref()
+                    .map(LifetimeBase::from_snapshot)
+                    .unwrap_or_default(),
+            ),
             cfg: ServeConfig {
                 workers,
                 queue_cap,
@@ -370,11 +497,14 @@ impl Service {
             kind: kind_tag(&req.kind),
             depth,
         });
+        self.shared.obs.on_admitted(kind_tag(&req.kind), depth);
         let item = WorkItem {
             req,
             attempts: 0,
             checkpoint: pending.checkpoint,
             reply: recovery_tx.clone(),
+            admitted_at: Instant::now(),
+            phases: Vec::new(),
         };
         self.work_tx
             .send(Work::Item(Box::new(item)))
@@ -399,6 +529,21 @@ impl Service {
                 return;
             }
         };
+        // Stats is answered inline by the supervisor thread: no queue slot,
+        // no journal record, readable even when the queue is full or the
+        // server is draining.
+        if let RequestKind::Stats {
+            prometheus,
+            counters_only,
+        } = req.kind
+        {
+            self.shared.stats.lock().unwrap().stats_served += 1;
+            let response = self
+                .shared
+                .stats_response(req.id, prometheus, counters_only);
+            let _ = reply.send(response.to_line());
+            return;
+        }
         if matches!(req.kind, RequestKind::Shutdown) {
             self.begin_drain();
             let _ = reply.send(
@@ -472,11 +617,14 @@ impl Service {
             kind: kind_tag(&req.kind),
             depth,
         });
+        self.shared.obs.on_admitted(kind_tag(&req.kind), depth);
         let item = WorkItem {
             req,
             attempts: 0,
             checkpoint: None,
             reply: reply.clone(),
+            admitted_at: Instant::now(),
+            phases: Vec::new(),
         };
         let _ = self.work_tx.send(Work::Item(Box::new(item)));
     }
@@ -523,6 +671,36 @@ fn kind_tag(kind: &RequestKind) -> &'static str {
         RequestKind::Schedule { .. } => "schedule",
         RequestKind::Adversary { .. } => "adversary",
         RequestKind::Shutdown => "shutdown",
+        RequestKind::Stats { .. } => "stats",
+    }
+}
+
+/// A worker-local trace sink that keeps span-phase events and forwards
+/// nothing else: the worker collects its request's phase timings without
+/// touching the shared sink (ids are corrected at finish time — the prober
+/// reports id 0 because it does not know the request id).
+struct PhaseSink(Vec<(&'static str, u64)>);
+
+impl TraceSink for PhaseSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, event: &TraceEvent) {
+        if let TraceEvent::SpanPhase { phase, micros, .. } = event {
+            self.0.push((phase, *micros));
+        }
+    }
+}
+
+/// Folds `extra` into `phases`, summing durations of repeated phase names
+/// (a solve runs many flow probes; the histogram wants one entry per span).
+fn fold_phases(phases: &mut Vec<(&'static str, u64)>, extra: Vec<(&'static str, u64)>) {
+    for (phase, micros) in extra {
+        match phases.iter_mut().find(|(p, _)| *p == phase) {
+            Some((_, total)) => *total += micros,
+            None => phases.push((phase, micros)),
+        }
     }
 }
 
@@ -560,10 +738,13 @@ fn spawn_worker(
 
 fn worker_loop(idx: usize, shared: Arc<Shared>, work_rx: Receiver<Work>, ctrl_tx: Sender<Ctrl>) {
     while let Ok(work) = work_rx.recv() {
-        let item = match work {
+        let mut item = match work {
             Work::Item(item) => *item,
             Work::Stop => return,
         };
+        // Time spent waiting in the queue (for retries: since the original
+        // admission, so the span covers the whole supervised lifetime).
+        let queued_us = item.admitted_at.elapsed().as_micros() as u64;
         let slow = shared
             .injector
             .lock()
@@ -574,6 +755,7 @@ fn worker_loop(idx: usize, shared: Arc<Shared>, work_rx: Receiver<Work>, ctrl_tx
         }
         let boom = shared.injector.lock().unwrap().fire(FaultSite::WorkerPanic);
         let checkpoint = item.checkpoint.clone();
+        let req = item.req.clone();
         let result = catch_unwind(AssertUnwindSafe(|| {
             if boom {
                 panic!("injected worker panic");
@@ -584,10 +766,19 @@ fn worker_loop(idx: usize, shared: Arc<Shared>, work_rx: Receiver<Work>, ctrl_tx
                     checkpoint: cp.clone(),
                 });
             };
-            exec::execute(&item.req, checkpoint, false, &mut progress)
+            let mut collector = PhaseSink(Vec::new());
+            let exec_t0 = Instant::now();
+            let response =
+                exec::execute_traced(&req, checkpoint, false, &mut progress, &mut collector);
+            let exec_us = exec_t0.elapsed().as_micros() as u64;
+            (response, collector.0, exec_us)
         }));
         match result {
-            Ok(response) => {
+            Ok((response, collected, exec_us)) => {
+                item.phases.clear();
+                item.phases.push(("queued", queued_us));
+                item.phases.push(("exec", exec_us));
+                fold_phases(&mut item.phases, collected);
                 let _ = ctrl_tx.send(Ctrl::Done { item, response });
             }
             Err(payload) => {
@@ -725,14 +916,40 @@ fn supervise(
     for handle in handles {
         let _ = handle.join();
     }
+    // Graceful drain complete: journal the lifetime snapshot so a restarted
+    // server reports honest cumulative counters instead of starting at zero.
+    {
+        let stats = *shared.stats.lock().unwrap();
+        let base = shared.obs.base();
+        let snapshot = Json::obj([
+            (
+                "lifetime_uptime_ms",
+                Json::Int((base.uptime_ms + shared.obs.uptime_ms()) as i64),
+            ),
+            ("lifecycles", Json::Int((base.lifecycles + 1) as i64)),
+            (
+                "lifetime_responses",
+                Json::Int((base.responses + stats.responses) as i64),
+            ),
+            (
+                "lifetime_restarts",
+                Json::Int((base.restarts + stats.restarts) as i64),
+            ),
+        ]);
+        let _ = shared.journal_append(&Record::Stats { snapshot });
+    }
     let mut admission = shared.admission.lock().unwrap();
     admission.stopped = true;
     drop(admission);
     shared.stopped_cv.notify_all();
 }
 
-/// Journals, releases, and accounts one terminal response.
+/// Journals, releases, and accounts one terminal response — including its
+/// observability span: the `reply` phase (journal ack + release) is timed
+/// here, then the whole span lands in the registry, the windowed rings, the
+/// slow-span exemplars, and (when a sink is attached) the trace stream.
 fn finish(shared: &Shared, item: &WorkItem, response: &Response) {
+    let reply_t0 = Instant::now();
     let line = response.to_line();
     let _ = shared.journal_append(&Record::Acked {
         id: item.req.id,
@@ -744,6 +961,25 @@ fn finish(shared: &Shared, item: &WorkItem, response: &Response) {
     let _ = item.reply.send(line);
     shared.admission.lock().unwrap().depth -= 1;
     shared.stats.lock().unwrap().responses += 1;
+    let total_us = item.admitted_at.elapsed().as_micros() as u64;
+    let mut phases = item.phases.clone();
+    fold_phases(
+        &mut phases,
+        vec![("reply", reply_t0.elapsed().as_micros() as u64)],
+    );
+    shared.obs.on_finished(
+        kind_tag(&item.req.kind),
+        terminal_status(response),
+        item.req.id,
+        total_us,
+        &phases,
+    );
+    let mut sink = shared.sink.clone();
+    if sink.enabled() {
+        for event in ServeObs::span_events(item.req.id, total_us, &phases) {
+            sink.record(&event);
+        }
+    }
     shared.emit(TraceEvent::RequestCompleted {
         id: item.req.id,
         status: terminal_status(response),
@@ -1059,6 +1295,114 @@ mod tests {
         assert_eq!(again.recovered_acks().len(), 1);
         assert_eq!(again.recovered_acks()[0].1, line);
         again.join();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn stats_line(id: u64, prometheus: bool) -> String {
+        Request::new(
+            id,
+            RequestKind::Stats {
+                prometheus,
+                counters_only: false,
+            },
+        )
+        .to_line()
+    }
+
+    #[test]
+    fn stats_requests_are_answered_inline_with_latency_histograms() {
+        let service = Service::start(ServeConfig::default(), sink()).unwrap();
+        let (tx, rx) = channel::unbounded();
+        for id in 0..4 {
+            service.submit_line(&solve_line(id), &tx);
+        }
+        for _ in 0..4 {
+            rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        }
+        // Span accounting lands just after each reply is released, so poll
+        // until the histogram has absorbed all four requests.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            service.submit_line(&stats_line(99, false), &tx);
+            let reply = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+            let json = mm_json::parse(&reply).unwrap();
+            let count = json
+                .get("registry")
+                .and_then(|r| r.get("histograms"))
+                .and_then(|h| h.get("latency_us.solve"))
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_i64)
+                .unwrap_or(0);
+            if count == 4 {
+                assert_eq!(
+                    json.get("counters")
+                        .unwrap()
+                        .get("responses")
+                        .unwrap()
+                        .as_i64(),
+                    Some(4)
+                );
+                assert_eq!(json.get("lifecycles").unwrap().as_i64(), Some(1));
+                assert!(json.get("window").is_some() && json.get("slowest").is_some());
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "histogram stuck below 4: {reply}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Prometheus exposition rides the same inline path.
+        service.submit_line(&stats_line(100, true), &tx);
+        let prom = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        let json = mm_json::parse(&prom).unwrap();
+        let text = json
+            .get("prometheus")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        assert!(text.contains("# TYPE latency_us_solve histogram"), "{text}");
+        let stats = service.join();
+        assert_eq!(stats.admitted, 4, "stats requests never take a queue slot");
+        assert!(stats.stats_served >= 2);
+        assert!(stats.invariant_holds());
+    }
+
+    #[test]
+    fn lifetime_counters_survive_a_graceful_restart() {
+        let dir = std::env::temp_dir().join(format!(
+            "machmin-serve-lifetime-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        std::fs::remove_file(&path).ok();
+        let cfg = ServeConfig {
+            journal: Some(path.clone()),
+            ..ServeConfig::default()
+        };
+        let service = Service::start(cfg.clone(), sink()).unwrap();
+        let (tx, rx) = channel::unbounded();
+        for id in 0..3 {
+            service.submit_line(&solve_line(id), &tx);
+        }
+        for _ in 0..3 {
+            rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        }
+        service.join(); // drain writes the stats snapshot record
+        let restarted = Service::start(cfg, sink()).unwrap();
+        restarted.submit_line(&stats_line(50, false), &tx);
+        let reply = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        let json = mm_json::parse(&reply).unwrap();
+        assert_eq!(json.get("lifecycles").unwrap().as_i64(), Some(2));
+        assert_eq!(json.get("lifetime_responses").unwrap().as_i64(), Some(3));
+        assert!(
+            json.get("lifetime_uptime_ms").unwrap().as_i64().unwrap()
+                >= json.get("uptime_ms").unwrap().as_i64().unwrap()
+        );
+        restarted.join();
         std::fs::remove_dir_all(&dir).ok();
     }
 }

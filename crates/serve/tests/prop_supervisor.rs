@@ -264,6 +264,90 @@ fn restart_resumes_pending_requests_without_duplicating_acks() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Satellite invariant for the observability layer: the `counters_only`
+/// stats form is a pure function of the seeded workload. Two identical
+/// chaos runs — same seed, same fault plan, one worker so fault-site hits
+/// land in submission order — must answer the final stats scrape with
+/// byte-identical lines. `counters_only` strips every wall-clock field and
+/// zeroes the scrape-cadence counter, so polling until the registry catches
+/// up cannot perturb the compared reply.
+#[test]
+fn stats_are_byte_identical_across_seeded_chaos_reruns() {
+    fn chaos_run(seed: u64, n: u64) -> String {
+        let plan = FaultPlan {
+            seed,
+            rules: vec![
+                FaultRule {
+                    site: FaultSite::WorkerPanic,
+                    nth: 2,
+                    every: Some(5),
+                },
+                FaultRule {
+                    site: FaultSite::MachineSlowdown,
+                    nth: 1,
+                    every: Some(3),
+                },
+            ],
+        };
+        let cfg = ServeConfig {
+            workers: 1,
+            queue_cap: n as usize,
+            slowdown_ms: 1,
+            retry: RetryPolicy::new(1, 2, 3),
+            plan,
+            ..ServeConfig::default()
+        };
+        let service = Service::start(cfg, sink()).unwrap();
+        let (tx, rx) = channel::unbounded();
+        for id in 0..n {
+            service.submit_line(&request(id, seed).to_line(), &tx);
+        }
+        for _ in 0..n {
+            rx.recv_timeout(Duration::from_secs(60))
+                .expect("every request answered");
+        }
+        // Per-kind response counters are flushed by the supervisor after the
+        // reply is sent, so poll until the scrape accounts for all `n`
+        // responses before freezing the line to compare.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let stats_req = Request::new(
+                1_000_000,
+                RequestKind::Stats {
+                    prometheus: false,
+                    counters_only: true,
+                },
+            );
+            service.submit_line(&stats_req.to_line(), &tx);
+            let line = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+            let json = mm_json::parse(&line).unwrap();
+            let accounted: i64 = json
+                .get("registry")
+                .and_then(|r| r.get("counters"))
+                .and_then(|c| c.as_obj())
+                .map(|members| {
+                    members
+                        .iter()
+                        .filter(|(k, _)| k.starts_with("responses."))
+                        .filter_map(|(_, v)| v.as_i64())
+                        .sum()
+                })
+                .unwrap_or(0);
+            if accounted == n as i64 || std::time::Instant::now() > deadline {
+                service.join();
+                return line;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    for seed in [3u64, 1977, 0xDEAD_BEEF] {
+        let a = chaos_run(seed, 10);
+        let b = chaos_run(seed, 10);
+        assert_eq!(a, b, "stats diverged for seed {seed}");
+        assert!(a.contains("\"serve.panics\""), "{a}");
+    }
+}
+
 /// The arrival-driven replay source and the TCP front end compose: a paced
 /// load run over a real socket loses nothing and drains cleanly.
 #[test]

@@ -300,6 +300,17 @@ pub enum TraceEvent {
         /// Dispatch attempts so far.
         attempt: u32,
     },
+    /// One timed phase of a request span (observability layer). Unlike the
+    /// logical events above, this carries wall-clock data, so it never
+    /// appears in anything gated on byte-identical output.
+    SpanPhase {
+        /// Request id the phase belongs to.
+        id: u64,
+        /// Phase name (`queued`, `exec`, `probe`, `flow`, `reply`, ...).
+        phase: &'static str,
+        /// Time spent in the phase, microseconds.
+        micros: u64,
+    },
 }
 
 impl TraceEvent {
@@ -339,6 +350,7 @@ impl TraceEvent {
             TraceEvent::ClusterShardResumed { .. } => "cluster_shard_resumed",
             TraceEvent::ClusterHealthProbe { .. } => "cluster_health_probe",
             TraceEvent::ClusterRetry { .. } => "cluster_retry",
+            TraceEvent::SpanPhase { .. } => "span_phase",
         }
     }
 
@@ -537,6 +549,12 @@ impl TraceEvent {
                 ("unit", Json::Int(*unit as i64)),
                 ("attempt", Json::Int(*attempt as i64)),
             ]),
+            TraceEvent::SpanPhase { id, phase, micros } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("id", Json::Int(*id as i64)),
+                ("phase", Json::str(*phase)),
+                ("micros", Json::Int(*micros as i64)),
+            ]),
         }
     }
 }
@@ -655,6 +673,13 @@ impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
 }
 
 /// Streams events as JSON Lines: one compact object per event.
+///
+/// Skips [`TraceEvent::SpanPhase`]: span phases carry wall-clock
+/// microseconds, and the JSONL trace keeps the workspace-wide contract
+/// that a same-seed event stream is byte-identical across runs. Span
+/// timings are aggregated instead — [`MetricsSink`] counts them and the
+/// serve registry turns them into latency histograms and slow-span
+/// exemplars (the `stats` endpoint).
 #[derive(Debug)]
 pub struct JsonlSink<W: Write> {
     writer: W,
@@ -695,6 +720,9 @@ impl<W: Write> TraceSink for JsonlSink<W> {
     }
 
     fn record(&mut self, event: &TraceEvent) {
+        if matches!(event, TraceEvent::SpanPhase { .. }) {
+            return;
+        }
         let mut line = event.to_json().to_compact();
         line.push('\n');
         if let Err(e) = self.writer.write_all(line.as_bytes()) {
@@ -784,6 +812,10 @@ pub struct Metrics {
     pub cluster_health_probes: u64,
     /// `cluster_retry` events.
     pub cluster_retries: u64,
+    /// `span_phase` events (request-span phase timings). Only the count is
+    /// aggregated here — the timed values are wall-clock and belong to the
+    /// observability registry, not to this deterministic summary.
+    pub span_phases: u64,
     /// Events touching each machine (index = machine id): opens, starts,
     /// preemptions, and incoming migrations.
     pub events_per_machine: Vec<u64>,
@@ -882,6 +914,7 @@ impl Metrics {
             }
             TraceEvent::ClusterHealthProbe { .. } => self.cluster_health_probes += 1,
             TraceEvent::ClusterRetry { .. } => self.cluster_retries += 1,
+            TraceEvent::SpanPhase { .. } => self.span_phases += 1,
         }
     }
 
@@ -959,6 +992,7 @@ impl Metrics {
                     ("worker_restarts", Json::Int(self.worker_restarts as i64)),
                     ("drains", Json::Int(self.drains as i64)),
                     ("requests_deduped", Json::Int(self.requests_deduped as i64)),
+                    ("span_phases", Json::Int(self.span_phases as i64)),
                 ]),
             ),
             (

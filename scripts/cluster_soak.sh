@@ -70,6 +70,18 @@ run_grid() {
         --window 32 --hedge-every 5 --plan "$WORK/plan.json" \
         --families uniform,agreeable,loose --seeds "$SEEDS" --n 10 \
         --out "$WORK/transcript-$tag.jsonl" >"$WORK/grid-$tag.txt"
+    # Mid-soak observability: the plan dropped exactly one backend, so a
+    # pool-wide stats scrape must degrade gracefully — the two survivors
+    # report, the victim shows unreachable, and the scrape still exits 0.
+    for _ in $(seq 1 50); do
+        "$BIN" cluster stats --backends "$backends" \
+            --out "$WORK/stats-$tag.json" >"$WORK/stats-$tag.txt" 2>/dev/null \
+            && grep -q "2/3 backend(s) up" "$WORK/stats-$tag.txt" && break
+        sleep 0.1
+    done
+    grep -q "2/3 backend(s) up" "$WORK/stats-$tag.txt"
+    grep -q "unreachable" "$WORK/stats-$tag.txt"
+    grep -Eq "pool: [1-9][0-9]* response\(s\)" "$WORK/stats-$tag.txt"
     drain_pool "$tag" 3
     grep -q "lost responses: 0" "$WORK/grid-$tag.txt"
     grep -Eq '"backend_drops":[1-9]' "$WORK/grid-$tag.txt"

@@ -62,6 +62,36 @@ run_soak b
 diff "$WORK/transcript-a.jsonl" "$WORK/transcript-b.jsonl"
 echo "soak: transcripts byte-identical across runs"
 
+# Observability: a live server's stats scrape must account for every
+# response. Run the same chaos load without the shutdown, then scrape the
+# `stats` endpoint until the registry has flushed: the pooled latency
+# histogram's observation count must equal the response counter, and the
+# queue must have drained (in-flight back to zero) while the server is
+# still up.
+port_file="$WORK/port-stats.txt"
+"$BIN" serve --addr 127.0.0.1:0 --workers 2 --queue-cap 16 \
+    --seed "$SEED" --chaos --retry-attempts 1000 \
+    --port-file "$port_file" >"$WORK/server-stats.txt" 2>/dev/null &
+stats_pid=$!
+wait_for_port "$port_file"
+"$BIN" load --addr "$(cat "$port_file")" --n "$N" --seed "$SEED" \
+    --window 8 --no-shutdown >"$WORK/load-stats.txt"
+grep -q "lost responses: 0" "$WORK/load-stats.txt"
+for _ in $(seq 1 100); do
+    "$BIN" cluster stats --backends "$(cat "$port_file")" \
+        --out "$WORK/stats.json" >"$WORK/stats-view.txt"
+    grep -q "pool: $N response(s), $N observation(s)" "$WORK/stats-view.txt" \
+        && break
+    sleep 0.1
+done
+grep -q "1/1 backend(s) up" "$WORK/stats-view.txt"
+grep -q "pool: $N response(s), $N observation(s)" "$WORK/stats-view.txt"
+grep -q '"serve.responses": '"$N"'\b' "$WORK/stats.json"
+grep -q '"in_flight": 0\b' "$WORK/stats.json"
+"$BIN" load --addr "$(cat "$port_file")" --n 1 --seed 0 >/dev/null
+wait "$stats_pid"
+echo "soak: stats scrape accounted for all $N responses"
+
 # Crash-safety: a fresh server on run A's journal replays every acked
 # response on startup (the journal is complete, so nothing re-runs).
 [ "$(grep -c '"rec":"acked"' "$WORK/journal-a.jsonl")" -eq "$N" ]

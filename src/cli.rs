@@ -125,13 +125,16 @@ pub enum Command {
         /// Aggregated metrics JSON output file.
         metrics: Option<String>,
     },
-    /// `bench [--quick] [--serve | --cluster] [--out f.json]
+    /// `bench [--quick] [--serve | --cluster | --obs] [--out f.json]
     /// [--check f.json]` — tracked performance baseline (see
     /// `mm_bench::baseline`); `--serve` benchmarks the service layer
     /// instead (closed-loop client, latency quantiles and shed rate,
     /// default out `BENCH_4.json`); `--cluster` benchmarks the
     /// scatter–gather coordinator over an in-process backend pool
-    /// (default out `BENCH_5.json`).
+    /// (default out `BENCH_5.json`); `--obs` gates the observability
+    /// layer (traced execution byte-identical to untraced, solver
+    /// counters unchanged, stats histograms an exact account of served
+    /// requests; default out `BENCH_6.json`).
     Bench {
         /// Run the reduced workload set (CI smoke mode).
         quick: bool,
@@ -139,6 +142,8 @@ pub enum Command {
         serve: bool,
         /// Benchmark the `mm-cluster` coordinator instead.
         cluster: bool,
+        /// Gate the observability layer instead.
+        obs: bool,
         /// Baseline JSON output file (default `BENCH_2.json`).
         out: String,
         /// Committed baseline to gate deterministic counters against.
@@ -179,8 +184,10 @@ pub enum Command {
         metrics: Option<String>,
     },
     /// `load --addr A [--n N] [--seed S] [--paced] [--window W]
-    /// [--deadline-ms N] [--out f] [--no-shutdown]` — deterministic load
-    /// client for a running server; writes the response transcript.
+    /// [--deadline-ms N] [--out f] [--hist f.json] [--no-shutdown]` —
+    /// deterministic load client for a running server; writes the
+    /// response transcript and, with `--hist`, the client-side latency
+    /// histogram (same bucket scheme as the server's `stats` endpoint).
     Load {
         /// Server address to connect to.
         addr: String,
@@ -196,15 +203,19 @@ pub enum Command {
         deadline_ms: Option<u64>,
         /// Transcript output file (response lines sorted by id).
         out: Option<String>,
+        /// Latency-histogram JSON output file (`mm_obs` bucket scheme).
+        hist: Option<String>,
         /// Send a shutdown request after the run (drains the server).
         shutdown: bool,
     },
-    /// `cluster <solve|sweep|grid> --backends a,b,c [...]` — scatter–gather
-    /// coordinator over a pool of running `machmin serve` backends:
-    /// pluggable balancing, hedged requests, bounded retries, backend
-    /// quarantine, and byte-identical same-seed transcripts.
+    /// `cluster <solve|sweep|grid|stats> --backends a,b,c [...]` —
+    /// scatter–gather coordinator over a pool of running `machmin serve`
+    /// backends: pluggable balancing, hedged requests, bounded retries,
+    /// backend quarantine, and byte-identical same-seed transcripts. The
+    /// `stats` workload scrapes every backend's live registry and prints
+    /// the bucket-exact pool-wide merge.
     Cluster {
-        /// Workload: `solve`, `sweep`, or `grid`.
+        /// Workload: `solve`, `sweep`, `grid`, or `stats`.
         workload: String,
         /// Instance file (solve workload only).
         path: Option<String>,
@@ -250,6 +261,19 @@ pub enum Command {
         trace: Option<String>,
         /// Aggregated metrics JSON output file.
         metrics: Option<String>,
+    },
+    /// `top --backends a,b,c [--interval-s N] [--frames N]` — live
+    /// terminal view over a backend pool's `stats` endpoints: per-backend
+    /// uptime, queue depth, in-flight count, and latency quantiles, plus
+    /// the pool-wide merge and the slowest recent spans. One-shot by
+    /// default; `--interval-s` refreshes until `--frames` frames printed.
+    Top {
+        /// Backend addresses (`--backends host:p1,host:p2,...`).
+        backends: Vec<String>,
+        /// Seconds between refreshes (0 = print one frame and exit).
+        interval_s: u64,
+        /// Frames to print when refreshing (0 = until interrupted).
+        frames: u64,
     },
     /// `help`.
     Help,
@@ -386,12 +410,15 @@ pub fn parse(args: &[String]) -> Result<Command, Error> {
         "bench" => {
             let serve = args.iter().any(|a| a == "--serve");
             let cluster = args.iter().any(|a| a == "--cluster");
-            if serve && cluster {
+            let obs = args.iter().any(|a| a == "--obs");
+            if [serve, cluster, obs].iter().filter(|b| **b).count() > 1 {
                 return Err(Error::Usage(
-                    "--serve and --cluster are mutually exclusive".into(),
+                    "--serve, --cluster, and --obs are mutually exclusive".into(),
                 ));
             }
-            let default_out = if cluster {
+            let default_out = if obs {
+                "BENCH_6.json"
+            } else if cluster {
                 "BENCH_5.json"
             } else if serve {
                 "BENCH_4.json"
@@ -402,6 +429,7 @@ pub fn parse(args: &[String]) -> Result<Command, Error> {
                 quick: args.iter().any(|a| a == "--quick"),
                 serve,
                 cluster,
+                obs,
                 out: value_flag(args, "--out")?.unwrap_or_else(|| default_out.into()),
                 check: value_flag(args, "--check")?,
             })
@@ -434,7 +462,7 @@ pub fn parse(args: &[String]) -> Result<Command, Error> {
         }
         "cluster" => {
             let workload = args.get(1).cloned().ok_or_else(usage_cluster)?;
-            if !matches!(workload.as_str(), "solve" | "sweep" | "grid") {
+            if !matches!(workload.as_str(), "solve" | "sweep" | "grid" | "stats") {
                 return Err(usage_cluster());
             }
             let path = if workload == "solve" {
@@ -521,8 +549,27 @@ pub fn parse(args: &[String]) -> Result<Command, Error> {
             window: num_flag::<usize>(args, "--window")?.unwrap_or(8).max(1),
             deadline_ms: num_flag::<u64>(args, "--deadline-ms")?,
             out: value_flag(args, "--out")?,
+            hist: value_flag(args, "--hist")?,
             shutdown: !args.iter().any(|a| a == "--no-shutdown"),
         }),
+        "top" => {
+            let backends: Vec<String> = value_flag(args, "--backends")?
+                .ok_or_else(usage_top)?
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if backends.is_empty() {
+                return Err(Error::Usage(
+                    "--backends needs at least one host:port".into(),
+                ));
+            }
+            Ok(Command::Top {
+                backends,
+                interval_s: num_flag::<u64>(args, "--interval-s")?.unwrap_or(0),
+                frames: num_flag::<u64>(args, "--frames")?.unwrap_or(0),
+            })
+        }
         other => Err(Error::Usage(format!(
             "unknown command `{other}`; run `machmin help`"
         ))),
@@ -565,7 +612,7 @@ fn usage_adversary() -> Error {
 
 fn usage_cluster() -> Error {
     Error::Usage(
-        "usage: machmin cluster <solve <inst.json>|sweep|grid> --backends <a,b,c> \
+        "usage: machmin cluster <solve <inst.json>|sweep|grid|stats> --backends <a,b,c> \
          [--balance round-robin|least-outstanding|hash] [--seed S] [--window W] \
          [--hedge-every N | --hedge-p99 PCT] [--hedge-floor-ms N] [--chaos | --plan f.json] \
          [--deadline-ms N] [--policies p1,p2] [--k K] [--machines N] \
@@ -578,9 +625,13 @@ fn usage_cluster() -> Error {
 fn usage_load() -> Error {
     Error::Usage(
         "usage: machmin load --addr <host:port> [--n N] [--seed S] [--paced] [--window W] \
-         [--deadline-ms N] [--out transcript.jsonl] [--no-shutdown]"
+         [--deadline-ms N] [--out transcript.jsonl] [--hist hist.json] [--no-shutdown]"
             .into(),
     )
+}
+
+fn usage_top() -> Error {
+    Error::Usage("usage: machmin top --backends <a,b,c> [--interval-s N] [--frames N]".into())
 }
 
 /// Help text.
@@ -610,23 +661,32 @@ pub fn help_text() -> &'static str {
                                                 admission with shedding, per-request deadlines,\n\
                                                 panic-recycling workers, crash-safe journal replay,\n\
                                                 graceful drain (a `shutdown` request ends it)\n\
-       load --addr <host:port> [--n N] [--seed S] [--paced] [--window W] [--out f] [--no-shutdown]\n\
+       load --addr <host:port> [--n N] [--seed S] [--paced] [--window W] [--out f]\n\
+            [--hist hist.json] [--no-shutdown]\n\
                                                 deterministic load client: mixed request stream,\n\
-                                                transcript sorted by id, p50/p99 latency report\n\
-       cluster <solve <inst.json>|sweep|grid> --backends <a,b,c> [--balance B] [--seed S]\n\
+                                                transcript sorted by id, p50/p99/p999 latency\n\
+                                                report, optional client-side latency histogram\n\
+       cluster <solve <inst.json>|sweep|grid|stats> --backends <a,b,c> [--balance B] [--seed S]\n\
                [--window W] [--hedge-every N | --hedge-p99 PCT] [--chaos | --plan f.json]\n\
                [--policies p1,p2] [--k K] [--families f1,f2] [--seeds S] [--n N]\n\
                [--checkpoint f.json [--resume]] [--out transcript.jsonl]\n\
                                                 scatter–gather over a pool of running servers:\n\
                                                 B ∈ {round-robin, least-outstanding, hash};\n\
                                                 hedged requests, bounded retries, quarantine,\n\
-                                                byte-identical same-seed transcripts\n\
-       bench [--quick] [--serve | --cluster] [--out f.json] [--check f.json]\n\
+                                                byte-identical same-seed transcripts; `stats`\n\
+                                                scrapes every backend's registry and prints the\n\
+                                                bucket-exact pool-wide merge\n\
+       top --backends <a,b,c> [--interval-s N] [--frames N]\n\
+                                                live terminal view over the pool's stats endpoints:\n\
+                                                queue depth, in-flight, latency quantiles, slowest\n\
+                                                spans; one-shot unless --interval-s is given\n\
+       bench [--quick] [--serve | --cluster | --obs] [--out f.json] [--check f.json]\n\
                                                 seeded perf baseline: fast path + prober reuse vs\n\
                                                 BigInt + fresh-network reference (default out\n\
                                                 BENCH_2.json); --check gates deterministic counters;\n\
                                                 --serve benchmarks the service layer (BENCH_4.json);\n\
-                                                --cluster benchmarks the coordinator (BENCH_5.json)\n\
+                                                --cluster benchmarks the coordinator (BENCH_5.json);\n\
+                                                --obs gates the observability layer (BENCH_6.json)\n\
        help                                     this text\n\
      \n\
      observability (solve, schedule, adversary, chaos, serve, cluster):\n\
@@ -736,6 +796,7 @@ fn serve_bench(
         ("by_status", Json::obj(statuses)),
         ("p50_ms", Json::Float(report.p50_ms)),
         ("p99_ms", Json::Float(report.p99_ms)),
+        ("p999_ms", Json::Float(report.p999_ms)),
     ]);
     std::fs::write(path, doc.to_pretty())
         .map_err(|e| Error::Io(format!("cannot write {path}: {e}")))?;
@@ -973,6 +1034,309 @@ fn cluster_bench(
         let _ = writeln!(out, "counters match committed baseline {check_path}");
     }
     Ok(())
+}
+
+/// The `bench --obs` scenario (`BENCH_6.json`): gates proving the
+/// observability layer is an exact, no-op account of the work done.
+///
+/// Three deterministic gates:
+///
+/// 1. **Byte-identity** — every request in the seeded mixed stream executes
+///    twice, once untraced (`exec::execute`, disabled sink) and once with an
+///    enabled metrics sink; the response lines must match byte-for-byte, so
+///    attaching a sink cannot change an answer.
+/// 2. **Stable trace counters** — the probe/augmentation/span counters the
+///    traced pass aggregates are pure functions of the seed; `--check`
+///    gates them, so an instrumentation change that alters solver work (or
+///    silently stops emitting spans) fails the bench.
+/// 3. **Exact account** — a live server runs the same stream, and its
+///    `stats` scrape must report per-kind latency histograms whose total
+///    equals the responses served: one observation per response, none lost.
+///
+/// Only the wall-clock quantiles vary by environment; `--check` never gates
+/// on those.
+fn obs_bench(quick: bool, path: &str, check: Option<&str>, out: &mut String) -> Result<(), Error> {
+    use mm_json::Json;
+    use mm_serve::exec::{self, NoProgress};
+    let n = if quick { 60 } else { 240 };
+    let requests = mm_serve::mixed_requests(17, n, None);
+
+    let mut sink = MetricsSink::new();
+    for req in &requests {
+        let plain = exec::execute(req, None, false, &mut NoProgress).to_line();
+        let traced = exec::execute_traced(req, None, false, &mut NoProgress, &mut sink).to_line();
+        if plain != traced {
+            return Err(Error::Verification(format!(
+                "request {} differs under tracing:\n  untraced: {plain}\n  traced:   {traced}",
+                req.id
+            )));
+        }
+    }
+    let m = &sink.metrics;
+    if m.span_phases == 0 || m.feasibility_probes == 0 {
+        return Err(Error::Verification(
+            "traced pass recorded no spans/probes — instrumentation went dark".into(),
+        ));
+    }
+    let trace_counters = Json::obj([
+        ("span_phases", Json::Int(m.span_phases as i64)),
+        ("feasibility_probes", Json::Int(m.feasibility_probes as i64)),
+        ("flow_augmentations", Json::Int(m.flow_augmentations as i64)),
+        ("prober_incremental", Json::Int(m.prober_incremental as i64)),
+        ("adversary_rounds", Json::Int(m.adversary_rounds as i64)),
+    ]);
+
+    let service = Arc::new(
+        Service::start(
+            ServeConfig {
+                workers: 2,
+                queue_cap: 16,
+                ..ServeConfig::default()
+            },
+            DynSink::new(Box::new(NoopSink)),
+        )
+        .map_err(|e| Error::Sim(format!("cannot start obs bench server: {e}")))?,
+    );
+    let (listener, addr) = mm_serve::tcp::bind("127.0.0.1:0")
+        .map_err(|e| Error::Io(format!("cannot bind obs bench server: {e}")))?;
+    let acceptor = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || mm_serve::tcp::serve(listener, service))
+    };
+    let report = mm_serve::run_load(
+        &addr,
+        &LoadConfig {
+            n,
+            seed: 17,
+            window: 8,
+            shutdown: false,
+            ..LoadConfig::default()
+        },
+    )
+    .map_err(|e| Error::Io(format!("obs bench load failed: {e}")))?;
+    if report.lost > 0 {
+        return Err(Error::Verification(format!(
+            "obs bench lost {} response(s)",
+            report.lost
+        )));
+    }
+
+    // Histogram accounting lands just after each reply is sent, so poll the
+    // scrape until the totals catch up with the response counter.
+    let responses = service.stats().responses;
+    let t0 = std::time::Instant::now();
+    let (scrape, hist_total) = loop {
+        let outcome = mm_cluster::cluster_stats(std::slice::from_ref(&addr), false);
+        let total: u64 = outcome
+            .merged
+            .histograms
+            .iter()
+            .filter(|(k, _)| k.starts_with("latency_us."))
+            .map(|(_, h)| h.count())
+            .sum();
+        if total == responses || t0.elapsed() > std::time::Duration::from_secs(10) {
+            break (outcome, total);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    };
+    let scrape_ms = t0.elapsed().as_secs_f64() * 1e3;
+    service.shutdown();
+    service.wait_stopped();
+    acceptor
+        .join()
+        .map_err(|_| Error::Internal("obs bench accept loop panicked".into()))?
+        .map_err(|e| Error::Io(format!("obs bench accept loop failed: {e}")))?;
+    let stats = service.stats();
+    if hist_total != responses {
+        return Err(Error::Verification(format!(
+            "stats histograms count {hist_total} observation(s) for {responses} response(s)"
+        )));
+    }
+
+    let by_kind: Vec<(String, Json)> = scrape
+        .merged
+        .histograms
+        .iter()
+        .filter(|(k, _)| k.starts_with("latency_us."))
+        .map(|(k, h)| {
+            (
+                k["latency_us.".len()..].to_string(),
+                Json::Int(h.count() as i64),
+            )
+        })
+        .collect();
+    let statuses: Vec<(String, Json)> = report
+        .by_status
+        .iter()
+        .map(|(s, c)| (s.clone(), Json::Int(*c as i64)))
+        .collect();
+    let doc = Json::obj([
+        ("schema", Json::str("machmin-obs-bench-v1")),
+        ("requests", Json::Int(report.sent as i64)),
+        ("traced_identical", Json::Bool(true)),
+        ("trace", trace_counters),
+        ("admitted", Json::Int(stats.admitted as i64)),
+        ("responses", Json::Int(stats.responses as i64)),
+        ("shed", Json::Int(stats.shed as i64)),
+        ("hist_total", Json::Int(hist_total as i64)),
+        ("by_kind", Json::obj(by_kind)),
+        ("by_status", Json::obj(statuses)),
+        ("p50_ms", Json::Float(report.p50_ms)),
+        ("p99_ms", Json::Float(report.p99_ms)),
+        ("p999_ms", Json::Float(report.p999_ms)),
+        ("scrape_ms", Json::Float(scrape_ms)),
+    ]);
+    std::fs::write(path, doc.to_pretty())
+        .map_err(|e| Error::Io(format!("cannot write {path}: {e}")))?;
+    let _ = writeln!(
+        out,
+        "obs bench: {} requests byte-identical under tracing; {} span phase(s); \
+         {hist_total} histogram observation(s) == {responses} response(s)",
+        report.sent, m.span_phases
+    );
+    let _ = writeln!(out, "baseline -> {path}");
+    if let Some(check_path) = check {
+        let committed = std::fs::read_to_string(check_path)
+            .map_err(|e| Error::Io(format!("cannot read baseline {check_path}: {e}")))?;
+        let committed = mm_json::parse(&committed)
+            .map_err(|e| Error::Io(format!("cannot parse baseline {check_path}: {e}")))?;
+        let mut problems = Vec::new();
+        for key in ["requests", "admitted", "responses", "shed", "hist_total"] {
+            let cur = doc.get(key).and_then(Json::as_i64);
+            let base = committed.get(key).and_then(Json::as_i64);
+            if cur != base {
+                problems.push(format!("{key}: {cur:?} vs committed {base:?}"));
+            }
+        }
+        for key in ["traced_identical", "trace", "by_kind", "by_status"] {
+            let compact = |j: &Json| j.get(key).map(Json::to_compact);
+            if compact(&doc) != compact(&committed) {
+                problems.push(format!("{key} changed"));
+            }
+        }
+        if !problems.is_empty() {
+            return Err(Error::Verification(format!(
+                "obs bench counter regression vs {check_path}:\n  {}",
+                problems.join("\n  ")
+            )));
+        }
+        let _ = writeln!(out, "counters match committed baseline {check_path}");
+    }
+    Ok(())
+}
+
+/// Merges every `latency_us.*` histogram of a snapshot into one, for
+/// whole-backend / whole-pool latency quantiles.
+fn merged_latency(snap: &mm_obs::RegistrySnapshot) -> mm_obs::Histogram {
+    let mut all = mm_obs::Histogram::new();
+    for (name, h) in &snap.histograms {
+        if name.starts_with("latency_us.") {
+            all.merge(h);
+        }
+    }
+    all
+}
+
+/// Formats a microsecond latency compactly.
+fn fmt_lat(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us}us")
+    } else if us < 1_000_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{:.2}s", us as f64 / 1e6)
+    }
+}
+
+/// Formats a microsecond latency quantile compactly ("-" for no data).
+fn fmt_q(hist: &mm_obs::Histogram, q: f64) -> String {
+    if hist.count() == 0 {
+        return "-".into();
+    }
+    fmt_lat(hist.quantile(q))
+}
+
+/// One `machmin top` frame rendered from a pool-wide scrape.
+fn render_top(outcome: &mm_cluster::StatsOutcome) -> String {
+    use mm_json::Json;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "machmin top — {}/{} backend(s) up",
+        outcome.reachable,
+        outcome.backends.len()
+    );
+    let _ = writeln!(
+        s,
+        "  {:<22} {:>9} {:>6} {:>5} {:>8} {:>8} {:>8} {:>8}",
+        "BACKEND", "UPTIME", "DEPTH", "INFL", "RESP", "P50", "P99", "P999"
+    );
+    let int = |r: &Json, key: &str| r.get(key).and_then(Json::as_i64).unwrap_or(0);
+    for b in &outcome.backends {
+        match &b.response {
+            None => {
+                let _ = writeln!(s, "  {:<22} unreachable", b.addr);
+            }
+            Some(r) => {
+                let lat = merged_latency(&b.snapshot);
+                let _ = writeln!(
+                    s,
+                    "  {:<22} {:>8}s {:>6} {:>5} {:>8} {:>8} {:>8} {:>8}",
+                    b.addr,
+                    int(r, "uptime_ms") / 1_000,
+                    int(r, "queue_depth"),
+                    int(r, "in_flight"),
+                    b.snapshot
+                        .counters
+                        .get("serve.responses")
+                        .copied()
+                        .unwrap_or(0),
+                    fmt_q(&lat, 0.50),
+                    fmt_q(&lat, 0.99),
+                    fmt_q(&lat, 0.999),
+                );
+            }
+        }
+    }
+    let pool = merged_latency(&outcome.merged);
+    let _ = writeln!(
+        s,
+        "  pool: {} response(s), {} observation(s), p50 {}, p99 {}, p999 {}",
+        outcome
+            .merged
+            .counters
+            .get("serve.responses")
+            .copied()
+            .unwrap_or(0),
+        pool.count(),
+        fmt_q(&pool, 0.50),
+        fmt_q(&pool, 0.99),
+        fmt_q(&pool, 0.999),
+    );
+    // The slowest recent spans across the pool, worst first.
+    let mut slowest: Vec<(u64, String)> = Vec::new();
+    for b in &outcome.backends {
+        let Some(r) = &b.response else { continue };
+        let Some(spans) = r.get("slowest").and_then(Json::as_arr) else {
+            continue;
+        };
+        for span in spans {
+            let us = span.get("micros").and_then(Json::as_i64).unwrap_or(0) as u64;
+            let kind = span
+                .get("kind")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string();
+            let id = span.get("id").and_then(Json::as_i64).unwrap_or(0);
+            slowest.push((us, format!("{kind}#{id}@{} {}", b.addr, fmt_lat(us))));
+        }
+    }
+    slowest.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    if !slowest.is_empty() {
+        let top: Vec<String> = slowest.into_iter().take(4).map(|(_, s)| s).collect();
+        let _ = writeln!(s, "  slowest: {}", top.join(", "));
+    }
+    s
 }
 
 /// The `--trace` / `--metrics` sink pair. Both are optional; with neither
@@ -1618,9 +1982,14 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
             quick,
             serve,
             cluster,
+            obs,
             out: path,
             check,
         } => {
+            if obs {
+                obs_bench(quick, &path, check.as_deref(), &mut out)?;
+                return Ok(out);
+            }
             if cluster {
                 cluster_bench(quick, &path, check.as_deref(), &mut out)?;
                 return Ok(out);
@@ -1787,6 +2156,7 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
             window,
             deadline_ms,
             out: out_path,
+            hist,
             shutdown,
         } => {
             let report = mm_serve::run_load(
@@ -1824,9 +2194,18 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
             }
             let _ = writeln!(
                 out,
-                "latency: p50 {:.2} ms, p99 {:.2} ms",
-                report.p50_ms, report.p99_ms
+                "latency: p50 {:.2} ms, p99 {:.2} ms, p999 {:.2} ms",
+                report.p50_ms, report.p99_ms, report.p999_ms
             );
+            if let Some(path) = &hist {
+                std::fs::write(path, report.hist.to_json().to_pretty())
+                    .map_err(|e| Error::Io(format!("cannot write {path}: {e}")))?;
+                let _ = writeln!(
+                    out,
+                    "latency histogram ({} observation(s)) -> {path}",
+                    report.hist.count()
+                );
+            }
             if report.lost > 0 {
                 return Err(Error::Verification(format!(
                     "{} request(s) never received a response",
@@ -1859,6 +2238,24 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
             trace,
             metrics,
         } => {
+            // `stats` is a plain scrape, not a scatter–gather workload: no
+            // coordinator, no balancing, works against a half-dead pool.
+            if workload == "stats" {
+                let outcome = mm_cluster::cluster_stats(&backends, false);
+                out.push_str(&render_top(&outcome));
+                if let Some(path) = &out_path {
+                    std::fs::write(path, outcome.to_json().to_pretty())
+                        .map_err(|e| Error::Io(format!("cannot write {path}: {e}")))?;
+                    let _ = writeln!(out, "stats -> {path}");
+                }
+                if outcome.reachable == 0 {
+                    return Err(Error::Io(format!(
+                        "no backend reachable out of {}",
+                        outcome.backends.len()
+                    )));
+                }
+                return Ok(out);
+            }
             let Some(balance) = BalancePolicy::parse(&balance, seed) else {
                 return Err(Error::Usage(format!(
                     "unknown balance policy `{balance}` (round-robin|least-outstanding|hash)"
@@ -1992,7 +2389,7 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
                 }
                 other => {
                     return Err(Error::Usage(format!(
-                        "unknown cluster workload `{other}` (solve|sweep|grid)"
+                        "unknown cluster workload `{other}` (solve|sweep|grid|stats)"
                     )))
                 }
             };
@@ -2019,6 +2416,37 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
                 )));
             }
             sinks.finish(&mut out)?;
+        }
+        Command::Top {
+            backends,
+            interval_s,
+            frames,
+        } => {
+            if interval_s == 0 {
+                let outcome = mm_cluster::cluster_stats(&backends, false);
+                out.push_str(&render_top(&outcome));
+                if outcome.reachable == 0 {
+                    return Err(Error::Io(format!(
+                        "no backend reachable out of {}",
+                        outcome.backends.len()
+                    )));
+                }
+            } else {
+                // Refresh mode streams frames straight to stdout — the
+                // caller is a terminal, not a script capturing `out`.
+                let mut frame = 0u64;
+                loop {
+                    let outcome = mm_cluster::cluster_stats(&backends, false);
+                    print!("{}", render_top(&outcome));
+                    println!();
+                    frame += 1;
+                    if frames > 0 && frame >= frames {
+                        out.push_str(&render_top(&outcome));
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_secs(interval_s));
+                }
+            }
         }
         Command::Generate {
             family,
@@ -2125,6 +2553,7 @@ mod tests {
                 quick: false,
                 serve: false,
                 cluster: false,
+                obs: false,
                 out: "BENCH_2.json".into(),
                 check: None
             }
@@ -2135,6 +2564,7 @@ mod tests {
                 quick: true,
                 serve: false,
                 cluster: false,
+                obs: false,
                 out: "b.json".into(),
                 check: Some("BENCH_2.json".into())
             }
@@ -2145,10 +2575,35 @@ mod tests {
                 quick: true,
                 serve: true,
                 cluster: false,
+                obs: false,
                 out: "BENCH_4.json".into(),
                 check: None
             }
         );
+        assert_eq!(
+            parse(&argv("bench --quick --obs")).unwrap(),
+            Command::Bench {
+                quick: true,
+                serve: false,
+                cluster: false,
+                obs: true,
+                out: "BENCH_6.json".into(),
+                check: None
+            }
+        );
+        assert_eq!(
+            parse(&argv("bench --serve --obs")).unwrap_err().tag(),
+            "usage"
+        );
+        assert_eq!(
+            parse(&argv("top --backends a:1,b:2")).unwrap(),
+            Command::Top {
+                backends: vec!["a:1".into(), "b:2".into()],
+                interval_s: 0,
+                frames: 0
+            }
+        );
+        assert_eq!(parse(&argv("top")).unwrap_err().tag(), "usage");
         assert!(parse(&argv("frobnicate")).is_err());
         assert!(parse(&argv("schedule a.json")).is_err());
         assert!(parse(&argv("schedule a.json --policy edf --machines x")).is_err());
@@ -2306,7 +2761,7 @@ mod tests {
         assert_eq!(
             parse(&argv(
                 "load --addr 127.0.0.1:7700 --n 50 --seed 2 --paced --window 4 \
-                 --out t.jsonl --no-shutdown"
+                 --out t.jsonl --hist h.json --no-shutdown"
             ))
             .unwrap(),
             Command::Load {
@@ -2317,6 +2772,7 @@ mod tests {
                 window: 4,
                 deadline_ms: None,
                 out: Some("t.jsonl".into()),
+                hist: Some("h.json".into()),
                 shutdown: false
             }
         );
@@ -2677,6 +3133,7 @@ mod tests {
             quick: true,
             serve: false,
             cluster: false,
+            obs: false,
             out: path.clone(),
             check: None,
         })
@@ -2687,6 +3144,7 @@ mod tests {
             quick: true,
             serve: false,
             cluster: false,
+            obs: false,
             out: path.clone(),
             check: Some(path.clone()),
         })
@@ -2704,6 +3162,7 @@ mod tests {
             quick: true,
             serve: true,
             cluster: false,
+            obs: false,
             out: path.clone(),
             check: None,
         })
@@ -2721,6 +3180,7 @@ mod tests {
             quick: true,
             serve: true,
             cluster: false,
+            obs: false,
             out: path.clone(),
             check: Some(path.clone()),
         })
@@ -2782,6 +3242,7 @@ mod tests {
             window: 8,
             deadline_ms: None,
             out: Some(transcript.clone()),
+            hist: None,
             shutdown: true,
         })
         .unwrap();
@@ -2886,6 +3347,7 @@ mod tests {
             "serve",
             "load",
             "cluster",
+            "top",
             "bench",
         ] {
             assert!(h.contains(cmd), "help is missing `{cmd}`");
@@ -2992,10 +3454,118 @@ mod tests {
                 quick: true,
                 serve: false,
                 cluster: true,
+                obs: false,
                 out: "BENCH_5.json".into(),
                 check: None
             }
         );
+    }
+
+    #[test]
+    fn obs_bench_gates_and_is_its_own_baseline() {
+        let dir = std::env::temp_dir().join("machmin_obs_bench");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_6.json").to_string_lossy().to_string();
+        let msg = execute(Command::Bench {
+            quick: true,
+            serve: false,
+            cluster: false,
+            obs: true,
+            out: path.clone(),
+            check: None,
+        })
+        .unwrap();
+        assert!(msg.contains("byte-identical under tracing"), "{msg}");
+        assert!(msg.contains("baseline ->"), "{msg}");
+        let doc = mm_json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(mm_json::Json::as_str),
+            Some("machmin-obs-bench-v1")
+        );
+        assert_eq!(
+            doc.get("traced_identical").and_then(mm_json::Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            doc.get("hist_total").and_then(mm_json::Json::as_i64),
+            doc.get("responses").and_then(mm_json::Json::as_i64)
+        );
+        // A run is a valid baseline for itself: the gated keys are
+        // deterministic functions of the seed.
+        let msg = execute(Command::Bench {
+            quick: true,
+            serve: false,
+            cluster: false,
+            obs: true,
+            out: path.clone(),
+            check: Some(path.clone()),
+        })
+        .unwrap();
+        assert!(msg.contains("counters match committed baseline"), "{msg}");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cluster_stats_and_top_render_a_live_pool() {
+        let dir = std::env::temp_dir().join("machmin_cli_stats");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out_path = dir.join("stats.json").to_string_lossy().to_string();
+        let pool = spawn_bench_pool(2, 64).unwrap();
+        let backends: Vec<String> = pool.iter().map(|b| b.addr.clone()).collect();
+        let msg = execute(Command::Cluster {
+            workload: "stats".into(),
+            path: None,
+            backends: backends.clone(),
+            balance: "round-robin".into(),
+            seed: 0,
+            window: 8,
+            hedge_every: None,
+            hedge_p99: None,
+            hedge_floor_ms: 10,
+            chaos: false,
+            plan: None,
+            deadline_ms: None,
+            policies: "edf-ff".into(),
+            k: 4,
+            machines: 16,
+            checkpoint: None,
+            resume: false,
+            families: "uniform".into(),
+            seeds: 1,
+            n: 4,
+            out: Some(out_path.clone()),
+            trace: None,
+            metrics: None,
+        })
+        .unwrap();
+        assert!(msg.contains("2/2 backend(s) up"), "{msg}");
+        assert!(msg.contains("stats ->"), "{msg}");
+        let doc = mm_json::parse(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("backends_reachable")
+                .and_then(mm_json::Json::as_i64),
+            Some(2)
+        );
+        let msg = execute(Command::Top {
+            backends,
+            interval_s: 0,
+            frames: 0,
+        })
+        .unwrap();
+        assert!(msg.contains("machmin top"), "{msg}");
+        assert!(msg.contains("pool:"), "{msg}");
+        teardown_bench_pool(pool).unwrap();
+        // A fully unreachable pool is an io error, not a panic.
+        let err = execute(Command::Top {
+            backends: vec!["127.0.0.1:1".into()],
+            interval_s: 0,
+            frames: 0,
+        })
+        .unwrap_err();
+        assert_eq!(err.tag(), "io");
+        std::fs::remove_file(&out_path).ok();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -3066,6 +3636,7 @@ mod tests {
             quick: true,
             serve: false,
             cluster: true,
+            obs: false,
             out: path.clone(),
             check: None,
         })
@@ -3092,6 +3663,7 @@ mod tests {
             quick: true,
             serve: false,
             cluster: true,
+            obs: false,
             out: path.clone(),
             check: Some(path.clone()),
         })
