@@ -1,0 +1,151 @@
+//! Benchmarks for the structured-class certifier hot path: both direct
+//! certifiers (agreeable and laminar sweeps), the scaled-integer tick
+//! backend against the exact-rational fallback on the same instance, and
+//! flow-prober arena reuse across probes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mm_instance::generators::{agreeable, laminar, uniform, AgreeableCfg, LaminarCfg, UniformCfg};
+use mm_numeric::Rat;
+use mm_opt::{FastProber, FeasibilityProber};
+
+/// Full certified solve on agreeable instances — the sweep answers every
+/// probe, no network is ever built.
+fn agreeable_certifier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("certifier/agreeable");
+    for n in [1_000usize, 10_000] {
+        let inst = agreeable(
+            &AgreeableCfg {
+                n,
+                release_gap: 2,
+                min_window: 4,
+                max_window: 40,
+                unit_processing: Some(1),
+            },
+            42,
+        );
+        g.bench_with_input(BenchmarkId::new("solve", n), &inst, |b, inst| {
+            b.iter(|| {
+                let mut p = FastProber::new(std::hint::black_box(inst));
+                let m = p.optimal_machines();
+                assert_eq!(p.dispatch().rescued, 0);
+                m
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Full certified solve on laminar nesting trees.
+fn laminar_certifier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("certifier/laminar");
+    for depth in [7usize, 10] {
+        let inst = laminar(
+            &LaminarCfg {
+                depth,
+                branching: 2,
+                root_length: 4i64.pow(depth as u32 + 1),
+                max_fill: Rat::ratio(1, 2),
+            },
+            42,
+        );
+        let windows = inst.len();
+        g.bench_with_input(BenchmarkId::new("solve", windows), &inst, |b, inst| {
+            b.iter(|| {
+                let mut p = FastProber::new(std::hint::black_box(inst));
+                let m = p.optimal_machines();
+                assert_eq!(p.dispatch().rescued, 0);
+                m
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The same agreeable workload with integral coordinates (scaled-integer
+/// tick sweep) versus a deep-denominator affine image whose timeline LCM
+/// overflows `i64` and forces the exact-`Rat` sweep. The gap between the
+/// two is the integer fast path this PR pins.
+fn integer_vs_exact(c: &mut Criterion) {
+    let inst = agreeable(
+        &AgreeableCfg {
+            n: 2_000,
+            release_gap: 2,
+            min_window: 4,
+            max_window: 40,
+            unit_processing: Some(1),
+        },
+        42,
+    );
+    let mut fractional = inst.clone();
+    for _ in 0..24 {
+        fractional = fractional.affine(&Rat::zero(), &Rat::ratio(1, 9), &Rat::ratio(3, 7));
+    }
+    let mut g = c.benchmark_group("certifier/backend");
+    g.bench_function("integer_ticks_n2k", |b| {
+        b.iter(|| {
+            let mut p = FastProber::new(std::hint::black_box(&inst));
+            assert!(p.uses_integer_ticks());
+            p.optimal_machines()
+        })
+    });
+    g.bench_function("exact_rat_n2k", |b| {
+        b.iter(|| {
+            let mut p = FastProber::new(std::hint::black_box(&fractional));
+            assert!(!p.uses_integer_ticks());
+            p.optimal_machines()
+        })
+    });
+    g.finish();
+}
+
+/// Arena reuse across instances: a fresh flow prober per instance versus
+/// one prober rebound with `reset_for_instance` (allocation-free rebuild).
+fn arena_reuse(c: &mut Criterion) {
+    let instances: Vec<_> = (0..8u64)
+        .map(|seed| {
+            uniform(
+                &UniformCfg {
+                    n: 60,
+                    horizon: 120,
+                    ..Default::default()
+                },
+                seed,
+            )
+        })
+        .collect();
+    let ms: Vec<u64> = instances.iter().map(mm_opt::optimal_machines).collect();
+    let mut g = c.benchmark_group("certifier/arena_reuse");
+    g.bench_function("fresh_prober_8x60", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for (inst, &m) in instances.iter().zip(&ms) {
+                let mut p = FeasibilityProber::new(std::hint::black_box(inst));
+                sum += p.probe(m) as u64;
+            }
+            assert_eq!(sum, instances.len() as u64);
+            sum
+        })
+    });
+    g.bench_function("reset_prober_8x60", |b| {
+        let mut p = FeasibilityProber::new(&instances[0]);
+        b.iter(|| {
+            let mut sum = 0u64;
+            for (inst, &m) in instances.iter().zip(&ms) {
+                p.reset_for_instance(std::hint::black_box(inst));
+                sum += p.probe(m) as u64;
+            }
+            assert_eq!(sum, instances.len() as u64);
+            sum
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    agreeable_certifier,
+    laminar_certifier,
+    integer_vs_exact,
+    arena_reuse
+);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Deterministic certifier-vs-flow cross-check (`machmin certcheck`).
+//!
+//! Runs a seeded batch of small instances across every structure class and
+//! verifies, for each one, that [`mm_opt::FastProber`] and the flow oracle
+//! return **bit-identical** feasibility verdicts at every machine count up
+//! to the optimum plus two. The report contains no wall times, so two runs
+//! with the same seed must be byte-identical — CI runs a 2-seeds × 2-runs
+//! matrix and byte-diffs the pairs, alongside the fault-injection matrix.
+
+use std::fmt::Write as _;
+
+use mm_instance::generators::{agreeable, laminar, uniform, AgreeableCfg, LaminarCfg, UniformCfg};
+use mm_instance::Instance;
+use mm_opt::{feasible_on, optimal_machines, FastProber};
+
+/// One cross-check case: a family label and its seeded instance.
+fn case(family: usize, seed: u64) -> (&'static str, Instance) {
+    match family {
+        0 => (
+            "agreeable",
+            agreeable(
+                &AgreeableCfg {
+                    n: 40,
+                    release_gap: 2,
+                    min_window: 3,
+                    max_window: 24,
+                    unit_processing: None,
+                },
+                seed,
+            ),
+        ),
+        1 => (
+            "agreeable_unit",
+            agreeable(
+                &AgreeableCfg {
+                    n: 48,
+                    release_gap: 1,
+                    min_window: 2,
+                    max_window: 16,
+                    unit_processing: Some(1),
+                },
+                seed,
+            ),
+        ),
+        2 => (
+            "laminar",
+            laminar(
+                &LaminarCfg {
+                    depth: 4,
+                    branching: 2,
+                    root_length: 1024,
+                    max_fill: mm_numeric::Rat::ratio(9, 10),
+                },
+                seed,
+            ),
+        ),
+        3 => (
+            "uniform",
+            uniform(
+                &UniformCfg {
+                    n: 32,
+                    horizon: 64,
+                    min_window: 1,
+                    max_window: 12,
+                },
+                seed,
+            ),
+        ),
+        // Degenerate shapes: empty, single job, all-identical windows.
+        _ => {
+            let inst = match seed % 3 {
+                0 => Instance::empty(),
+                1 => Instance::from_ints([(0, 5, 3)]),
+                _ => Instance::from_ints([(0, 4, 4), (0, 4, 4), (0, 4, 4), (0, 4, 4)]),
+            };
+            ("degenerate", inst)
+        }
+    }
+}
+
+/// Runs `cases` seeded cross-checks and returns the deterministic report,
+/// or a description of the first verdict mismatch.
+pub fn run(seed: u64, cases: usize) -> Result<String, String> {
+    let mut out = String::new();
+    let _ = writeln!(out, "certcheck seed={seed} cases={cases}");
+    for i in 0..cases {
+        let (family, inst) = case(i % 5, seed.wrapping_add(i as u64));
+        let mut fast = FastProber::new(&inst);
+        let m_fast = fast.optimal_machines();
+        let m_flow = optimal_machines(&inst);
+        if m_fast != m_flow {
+            return Err(format!(
+                "case {i} ({family}): optimum mismatch fast={m_fast} flow={m_flow}"
+            ));
+        }
+        for m in 0..=m_fast + 2 {
+            let f = fast.feasible(m);
+            let o = feasible_on(&inst, m);
+            if f != o {
+                return Err(format!(
+                    "case {i} ({family}): verdict mismatch at m={m} fast={f} flow={o}"
+                ));
+            }
+        }
+        let d = fast.dispatch();
+        let _ = writeln!(
+            out,
+            "case {i}: family={family} n={n} class={class:?} m={m_fast} \
+             certified={c} flow={fl} rescued={r} ok",
+            n = inst.len(),
+            class = fast.class(),
+            c = d.certified(),
+            fl = d.flow,
+            r = d.rescued,
+        );
+    }
+    let _ = writeln!(out, "all verdicts bit-identical");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_check_agrees_and_is_deterministic() {
+        let a = run(7, 15).expect("verdicts agree");
+        let b = run(7, 15).expect("verdicts agree");
+        assert_eq!(a, b, "report must be byte-identical across runs");
+        assert!(a.ends_with("all verdicts bit-identical\n"));
+    }
+}

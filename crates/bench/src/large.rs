@@ -1,0 +1,306 @@
+//! Large-n performance baseline for `machmin bench --large`.
+//!
+//! Where [`crate::baseline`] tracks the incremental-prober speedup on
+//! flow-sized workloads (n ≤ 160), this module tracks the certifier hot
+//! path at streaming scale: an n = 10^5 uniform workload that exercises the
+//! flow oracle on the scaled-integer arena, and n ≈ 10^6 agreeable and
+//! laminar workloads answered entirely by the direct certifiers (zero flow
+//! rescues — the sandwich closes on these families).
+//!
+//! Wall times and jobs/sec are environment-dependent and recorded for
+//! trajectory only; the dispatch counters (probes per decision path,
+//! rescues, optimum) are deterministic given the seeds, so CI gates on
+//! them via [`check_against`] exactly like BENCH_2's counters.
+
+use std::time::Instant;
+
+use mm_instance::generators::{agreeable, laminar, uniform, AgreeableCfg, LaminarCfg, UniformCfg};
+use mm_instance::Instance;
+use mm_json::Json;
+use mm_numeric::Rat;
+use mm_opt::FastProber;
+
+/// Schema tag written into the document, bumped on layout changes.
+pub const SCHEMA: &str = "machmin-large-bench-v1";
+
+/// Timing repetitions per workload; the minimum is reported. Two is enough
+/// here — each rep re-runs the full build + solve, and the counters must
+/// agree across reps anyway.
+const REPS: usize = 2;
+
+/// The seeded large workloads. `--quick` swaps in scaled-down variants
+/// (distinct names, so they are never gated against a full baseline).
+pub fn workloads(quick: bool) -> Vec<(&'static str, Instance)> {
+    let uni = |n: usize, seed: u64| {
+        uniform(
+            &UniformCfg {
+                n,
+                horizon: (5 * n) as i64,
+                min_window: 4,
+                max_window: 40,
+            },
+            seed,
+        )
+    };
+    // Unit jobs are Theorem 15's setting (Section 6); with unit processing
+    // the agreeable sweep certifies every probe and no flow rescue occurs.
+    let agr = |n: usize, seed: u64| {
+        agreeable(
+            &AgreeableCfg {
+                n,
+                release_gap: 2,
+                min_window: 4,
+                max_window: 40,
+                unit_processing: Some(1),
+            },
+            seed,
+        )
+    };
+    // A half-filled binary nesting tree: depth 19 gives 2^20 − 1 ≈ 10^6
+    // windows, and at fill 1/2 both sweep directions witness feasibility.
+    let lam = |depth: usize, seed: u64| {
+        laminar(
+            &LaminarCfg {
+                depth,
+                branching: 2,
+                root_length: 4i64.pow(depth as u32 + 1),
+                max_fill: Rat::ratio(1, 2),
+            },
+            seed,
+        )
+    };
+    if quick {
+        vec![
+            ("uniform_n2k", uni(2_000, 42)),
+            ("agreeable_n20k", agr(20_000, 42)),
+            ("laminar_d9", lam(9, 42)),
+        ]
+    } else {
+        vec![
+            ("uniform_n100k", uni(100_000, 42)),
+            ("agreeable_n1m", agr(1_000_000, 42)),
+            ("laminar_n1m", lam(19, 42)),
+        ]
+    }
+}
+
+/// One timed build + solve on a fresh [`FastProber`].
+struct Solve {
+    build_ns: u64,
+    solve_ns: u64,
+    m: u64,
+    certified: u64,
+    flow: u64,
+    rescued: u64,
+    probes: u64,
+    path: &'static str,
+    ticks: bool,
+}
+
+fn solve_once(inst: &Instance) -> Solve {
+    let t = Instant::now();
+    let mut prober = FastProber::new(inst);
+    let build_ns = t.elapsed().as_nanos() as u64;
+    let t = Instant::now();
+    let m = prober.optimal_machines();
+    let solve_ns = t.elapsed().as_nanos() as u64;
+    let d = prober.dispatch();
+    Solve {
+        build_ns,
+        solve_ns,
+        m,
+        certified: d.certified(),
+        flow: d.flow,
+        rescued: d.rescued,
+        probes: d.total(),
+        path: prober.path().label(),
+        ticks: prober.uses_integer_ticks(),
+    }
+}
+
+/// Runs every workload and returns the baseline document.
+pub fn run(quick: bool) -> Json {
+    let mut out = Vec::new();
+    for (name, inst) in workloads(quick) {
+        let mut best: Option<Solve> = None;
+        for _ in 0..REPS {
+            let s = solve_once(&inst);
+            if let Some(b) = &best {
+                // The counters are deterministic: any cross-rep drift is a
+                // bug worth failing the bench over.
+                assert_eq!(
+                    (b.m, b.probes, b.rescued),
+                    (s.m, s.probes, s.rescued),
+                    "nondeterministic counters on {name}"
+                );
+            }
+            let better = best
+                .as_ref()
+                .map(|b| s.solve_ns < b.solve_ns)
+                .unwrap_or(true);
+            let build_best = best.as_ref().map(|b| b.build_ns.min(s.build_ns));
+            if better {
+                best = Some(s);
+            }
+            if let (Some(b), Some(bn)) = (best.as_mut(), build_best) {
+                b.build_ns = bn;
+            }
+        }
+        let s = best.expect("REPS >= 1");
+        let jobs_per_sec = inst.len() as f64 / (s.solve_ns.max(1) as f64 / 1e9);
+        out.push(Json::obj([
+            ("name", Json::str(name)),
+            ("jobs", Json::Int(inst.len() as i64)),
+            ("optimal_machines", Json::Int(s.m as i64)),
+            ("path", Json::str(s.path)),
+            ("integer_ticks", Json::Bool(s.ticks)),
+            ("build_ns", Json::Int(s.build_ns as i64)),
+            ("solve_ns", Json::Int(s.solve_ns as i64)),
+            ("jobs_per_sec", Json::Float(jobs_per_sec)),
+            (
+                "dispatch",
+                Json::obj([
+                    ("probes", Json::Int(s.probes as i64)),
+                    ("certified", Json::Int(s.certified as i64)),
+                    ("flow", Json::Int(s.flow as i64)),
+                    ("rescued", Json::Int(s.rescued as i64)),
+                ]),
+            ),
+        ]));
+    }
+    Json::obj([
+        ("schema", Json::str(SCHEMA)),
+        ("quick", Json::Bool(quick)),
+        ("workloads", Json::Arr(out)),
+    ])
+}
+
+fn field(doc: &Json, workload: &str, key: &str) -> Option<i64> {
+    let w = doc
+        .get("workloads")?
+        .as_arr()?
+        .iter()
+        .find(|w| w.get("name").and_then(Json::as_str) == Some(workload))?;
+    if let Some(v) = w.get(key).and_then(Json::as_i64) {
+        return Some(v);
+    }
+    w.get("dispatch")?.get(key)?.as_i64()
+}
+
+/// Gates the deterministic counters of `current` against a `committed`
+/// baseline: the optimum must match exactly, and probe / flow / rescue
+/// counts must not exceed the committed values (fewer probes or rescues is
+/// an improvement, more is a regression). Wall times are never gated.
+pub fn check_against(current: &Json, committed: &Json) -> Result<(), Vec<String>> {
+    let mut problems = Vec::new();
+    let names: Vec<String> = committed
+        .get("workloads")
+        .and_then(Json::as_arr)
+        .map(|ws| {
+            ws.iter()
+                .filter_map(|w| w.get("name").and_then(Json::as_str).map(str::to_owned))
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut compared = 0usize;
+    for name in &names {
+        let (cur_m, base_m) = (
+            field(current, name, "optimal_machines"),
+            field(committed, name, "optimal_machines"),
+        );
+        if cur_m.is_none() {
+            continue; // workload not in this run (e.g. quick vs full)
+        }
+        compared += 1;
+        if cur_m != base_m {
+            problems.push(format!(
+                "{name}: optimal_machines changed ({cur_m:?} vs committed {base_m:?})"
+            ));
+        }
+        for key in ["probes", "flow", "rescued"] {
+            match (field(current, name, key), field(committed, name, key)) {
+                (Some(c), Some(b)) if c > b => {
+                    problems.push(format!("{name}: {key} regressed ({c} > committed {b})"));
+                }
+                (None, _) | (_, None) => {
+                    problems.push(format!("{name}: missing {key} counter"));
+                }
+                _ => {}
+            }
+        }
+    }
+    if compared == 0 {
+        problems.push("no common workloads between current and committed baseline".to_owned());
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_emits_consistent_document() {
+        let doc = run(true);
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        let workloads = doc.get("workloads").and_then(Json::as_arr).unwrap();
+        assert_eq!(workloads.len(), 3);
+        for w in workloads {
+            // The structured families must close: certifier answers all
+            // probes, zero flow rescues. Uniform runs entirely on flow.
+            let name = w.get("name").and_then(Json::as_str).unwrap();
+            let rescued = w
+                .get("dispatch")
+                .and_then(|d| d.get("rescued"))
+                .and_then(Json::as_i64)
+                .unwrap();
+            assert_eq!(rescued, 0, "{name} leaked into a flow rescue");
+            let flow = w
+                .get("dispatch")
+                .and_then(|d| d.get("flow"))
+                .and_then(Json::as_i64)
+                .unwrap();
+            if name.starts_with("uniform") {
+                assert!(flow > 0, "{name} should use the flow oracle");
+            } else {
+                assert_eq!(flow, 0, "{name} should never build a network");
+            }
+        }
+        // A run is a valid baseline for itself and round-trips.
+        assert!(check_against(&doc, &doc).is_ok());
+        assert!(mm_json::parse(&doc.to_pretty()).is_ok());
+    }
+
+    #[test]
+    fn check_flags_regressions() {
+        let doc = |m: i64, rescued: i64| {
+            Json::obj([
+                ("schema", Json::str(SCHEMA)),
+                (
+                    "workloads",
+                    Json::Arr(vec![Json::obj([
+                        ("name", Json::str("w")),
+                        ("optimal_machines", Json::Int(m)),
+                        (
+                            "dispatch",
+                            Json::obj([
+                                ("probes", Json::Int(5)),
+                                ("flow", Json::Int(0)),
+                                ("rescued", Json::Int(rescued)),
+                            ]),
+                        ),
+                    ])]),
+                ),
+            ])
+        };
+        assert!(check_against(&doc(3, 0), &doc(3, 0)).is_ok());
+        let err = check_against(&doc(3, 1), &doc(3, 0)).unwrap_err();
+        assert!(err.iter().any(|p| p.contains("rescued regressed")));
+        let err = check_against(&doc(4, 0), &doc(3, 0)).unwrap_err();
+        assert!(err.iter().any(|p| p.contains("optimal_machines changed")));
+    }
+}

@@ -14,7 +14,9 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod crosscheck;
 pub mod experiments;
+pub mod large;
 pub mod meter;
 pub mod table;
 

@@ -29,10 +29,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
+
 use std::collections::VecDeque;
 
 use mm_fault::{BudgetExceeded, BudgetMeter};
 use mm_numeric::Rat;
+
+pub use arena::ArenaNetwork;
 
 /// Capacity/flow numeric type for [`FlowNetwork`].
 pub trait FlowNum: Clone + Ord {
@@ -57,6 +61,30 @@ impl FlowNum for u64 {
     }
     fn sub(&self, other: &Self) -> Self {
         self.checked_sub(*other).expect("u64 flow underflow")
+    }
+}
+
+impl FlowNum for i64 {
+    fn zero() -> Self {
+        0
+    }
+    fn add(&self, other: &Self) -> Self {
+        self.checked_add(*other).expect("i64 flow overflow")
+    }
+    fn sub(&self, other: &Self) -> Self {
+        self.checked_sub(*other).expect("i64 flow underflow")
+    }
+}
+
+impl FlowNum for i128 {
+    fn zero() -> Self {
+        0
+    }
+    fn add(&self, other: &Self) -> Self {
+        self.checked_add(*other).expect("i128 flow overflow")
+    }
+    fn sub(&self, other: &Self) -> Self {
+        self.checked_sub(*other).expect("i128 flow underflow")
     }
 }
 

@@ -1,7 +1,7 @@
 //! Property tests: Dinic vs an independent Edmonds–Karp reference on random
 //! graphs, plus min-cut consistency.
 
-use mm_flow::FlowNetwork;
+use mm_flow::{ArenaNetwork, FlowNetwork};
 use proptest::prelude::*;
 use std::collections::VecDeque;
 
@@ -85,6 +85,40 @@ proptest! {
         let f_int = int_net.max_flow(s, t);
         let f_rat = rat_net.max_flow(s, t);
         prop_assert_eq!(f_rat, Rat::from(f_int) * &c);
+    }
+
+    #[test]
+    fn arena_matches_vec_network((n, edges) in arb_graph()) {
+        // The SoA arena must reproduce the old network's max-flow value —
+        // and, because it appends adjacency in insertion order, its exact
+        // augmenting-path count too.
+        let s = 0;
+        let t = n - 1;
+        let mut old = FlowNetwork::<u64>::new(n);
+        let mut arena = ArenaNetwork::<u64>::new(n);
+        for &(u, v, c) in &edges {
+            old.add_edge(u, v, c);
+            arena.add_edge(u, v, c);
+        }
+        prop_assert_eq!(arena.max_flow(s, t), old.max_flow(s, t));
+        prop_assert_eq!(arena.augmentations(), old.augmentations());
+    }
+
+    #[test]
+    fn arena_clear_reuse_matches_fresh((n, edges) in arb_graph(), (n2, edges2) in arb_graph()) {
+        // Solving a second graph through `clear` must equal a fresh build.
+        let mut arena = ArenaNetwork::<u64>::new(n);
+        for &(u, v, c) in &edges {
+            arena.add_edge(u, v, c);
+        }
+        arena.max_flow(0, n - 1);
+        arena.clear(n2);
+        let mut fresh = ArenaNetwork::<u64>::new(n2);
+        for &(u, v, c) in &edges2 {
+            arena.add_edge(u, v, c);
+            fresh.add_edge(u, v, c);
+        }
+        prop_assert_eq!(arena.max_flow(0, n2 - 1), fresh.max_flow(0, n2 - 1));
     }
 
     #[test]

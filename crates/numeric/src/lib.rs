@@ -37,9 +37,11 @@
 mod bigint;
 pub mod fastpath;
 mod rational;
+mod timeline;
 
 pub use bigint::{BigInt, Sign};
 pub use rational::Rat;
+pub use timeline::Timeline;
 
 /// Parse error for [`BigInt`] / [`Rat`] string conversions.
 #[derive(Debug, Clone, PartialEq, Eq)]

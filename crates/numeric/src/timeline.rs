@@ -1,0 +1,194 @@
+//! Exact scaled-integer timelines.
+//!
+//! Feasibility probes spend most of their time doing exact rational
+//! arithmetic on time coordinates whose denominators are tiny in practice
+//! (generated instances are integral or have single-digit denominators).
+//! A [`Timeline`] rescales a batch of [`Rat`] coordinates onto a shared
+//! integer grid: with `L` the least common multiple of the denominators,
+//! every value `n/d` maps to the integer tick `n · (L/d)`. The map is
+//!
+//! * **exact** — `L` is a common multiple, so no rounding ever occurs;
+//! * **bijective** — `v ↦ v·L` is injective and [`Timeline::to_rat`]
+//!   inverts it, reproducing the original `Rat` bit-for-bit (both are
+//!   canonical reduced fractions of the same value);
+//! * **total or absent** — construction returns `None` as soon as the LCM
+//!   or any scaled tick overflows `i64` (intermediate products are widened
+//!   to `i128` before the check), in which case callers fall back to the
+//!   exact `Rat` path. There is no partially-scaled state.
+//!
+//! # Example
+//!
+//! ```
+//! use mm_numeric::{Rat, Timeline};
+//!
+//! let vals = [Rat::ratio(1, 2), Rat::ratio(5, 3), Rat::from(4)];
+//! let (tl, ticks) = Timeline::build(&vals).unwrap();
+//! assert_eq!(tl.scale(), 6);
+//! assert_eq!(ticks, vec![3, 10, 24]);
+//! for (v, t) in vals.iter().zip(&ticks) {
+//!     assert_eq!(&tl.to_rat(*t), v); // exact round-trip
+//! }
+//! ```
+
+use crate::{BigInt, Rat};
+
+/// An exact, invertible rescale of a batch of rationals onto an `i64` grid.
+///
+/// Construction via [`Timeline::build`] proves the rescale is lossless: the
+/// type can only be obtained when every input coordinate mapped onto the
+/// grid without rounding or overflow, and [`Timeline::to_rat`] is the exact
+/// inverse of that map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timeline {
+    /// The common denominator `L > 0`: one time unit equals `1/L` ticks.
+    scale: i64,
+}
+
+/// `lcm(a, b)` for positive `i64`s, `None` on `i64` overflow.
+fn lcm_i64(a: i64, b: i64) -> Option<i64> {
+    debug_assert!(a > 0 && b > 0);
+    let g = gcd_i64(a, b);
+    let wide = (a / g) as i128 * b as i128;
+    i64::try_from(wide).ok()
+}
+
+fn gcd_i64(mut a: i64, mut b: i64) -> i64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Timeline {
+    /// Builds the timeline for `values` and returns the scaled ticks, one
+    /// per input in order. Returns `None` — no timeline at all — if the
+    /// denominator LCM or any scaled value exceeds `i64` (the caller then
+    /// stays on the exact `Rat` path).
+    pub fn build(values: &[Rat]) -> Option<(Timeline, Vec<i64>)> {
+        let mut scale: i64 = 1;
+        for v in values {
+            // Canonical `BigInt` repr: `to_i64` is `Some` iff it fits.
+            let d = v.denom().to_i64()?;
+            scale = lcm_i64(scale, d)?;
+        }
+        let tl = Timeline { scale };
+        let mut ticks = Vec::with_capacity(values.len());
+        for v in values {
+            ticks.push(tl.rescale(v)?);
+        }
+        Some((tl, ticks))
+    }
+
+    /// The common denominator `L`: the tick for a rational `v` is `v · L`.
+    pub fn scale(&self) -> i64 {
+        self.scale
+    }
+
+    /// Maps one rational onto the grid. Returns `None` if the value's
+    /// denominator does not divide the scale or the tick overflows `i64`.
+    pub fn rescale(&self, v: &Rat) -> Option<i64> {
+        let n = v.numer().to_i64()?;
+        let d = v.denom().to_i64()?;
+        if self.scale % d != 0 {
+            return None;
+        }
+        let wide = n as i128 * (self.scale / d) as i128;
+        i64::try_from(wide).ok()
+    }
+
+    /// The exact inverse of [`Timeline::rescale`]: `tick / L` as a reduced
+    /// rational. For any tick produced by this timeline the round-trip
+    /// reproduces the original `Rat` exactly.
+    pub fn to_rat(&self, tick: i64) -> Rat {
+        Rat::new(BigInt::from(tick), BigInt::from(self.scale))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fastpath;
+
+    #[test]
+    fn integral_values_scale_one() {
+        let vals: Vec<Rat> = (0..5).map(Rat::from).collect();
+        let (tl, ticks) = Timeline::build(&vals).unwrap();
+        assert_eq!(tl.scale(), 1);
+        assert_eq!(ticks, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn mixed_denominators_lcm() {
+        let vals = [
+            Rat::ratio(1, 4),
+            Rat::ratio(1, 6),
+            Rat::ratio(-3, 2),
+            Rat::from(7),
+        ];
+        let (tl, ticks) = Timeline::build(&vals).unwrap();
+        assert_eq!(tl.scale(), 12);
+        assert_eq!(ticks, vec![3, 2, -18, 84]);
+        for (v, t) in vals.iter().zip(&ticks) {
+            assert_eq!(&tl.to_rat(*t), v);
+        }
+    }
+
+    #[test]
+    fn order_and_arithmetic_preserved() {
+        // The rescale is affine with positive slope, so order and
+        // differences survive: |I| on the tick grid is L·|I|.
+        let a = Rat::ratio(5, 6);
+        let b = Rat::ratio(7, 4);
+        let (tl, ticks) = Timeline::build(&[a.clone(), b.clone()]).unwrap();
+        assert!(ticks[0] < ticks[1]);
+        let gap = tl.to_rat(ticks[1] - ticks[0]);
+        assert_eq!(gap, &b - &a);
+    }
+
+    #[test]
+    fn lcm_overflow_falls_back() {
+        // Denominators 2^40 and 3^25 force an LCM above i64.
+        let vals = [
+            Rat::new(BigInt::one(), BigInt::from(1i64 << 40)),
+            Rat::new(BigInt::one(), BigInt::from(847_288_609_443i64)), // 3^25
+        ];
+        assert!(Timeline::build(&vals).is_none());
+    }
+
+    #[test]
+    fn tick_overflow_falls_back() {
+        // Scale fits, but numerator · scale does not.
+        let vals = [Rat::ratio(1, 1_000_003), Rat::from(i64::MAX / 2)];
+        assert!(Timeline::build(&vals).is_none());
+    }
+
+    #[test]
+    fn bigint_numerator_falls_back() {
+        let huge = BigInt::from(u64::MAX) * BigInt::from(4u64);
+        let vals = [Rat::new(huge, BigInt::one())];
+        assert!(Timeline::build(&vals).is_none());
+    }
+
+    #[test]
+    fn round_trip_exact_under_forced_bigint() {
+        // The back-map must reproduce the canonical reduced form on the
+        // limb path too.
+        let _guard = fastpath::force_bigint();
+        let vals = [Rat::ratio(10, 4), Rat::ratio(-9, 12)];
+        let (tl, ticks) = Timeline::build(&vals).unwrap();
+        // `Rat` reduces on construction: 10/4 → 5/2, -9/12 → -3/4.
+        assert_eq!(tl.scale(), 4);
+        for (v, t) in vals.iter().zip(&ticks) {
+            assert_eq!(&tl.to_rat(*t), v);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_identity() {
+        let (tl, ticks) = Timeline::build(&[]).unwrap();
+        assert_eq!(tl.scale(), 1);
+        assert!(ticks.is_empty());
+    }
+}

@@ -294,3 +294,80 @@ proptest! {
         prop_assert_eq!(fast, slow);
     }
 }
+
+// ---- scaled-integer timelines ----
+//
+// `Timeline::build` either maps every coordinate onto an exact `i64` tick
+// grid or declines entirely (`None`) — there is no lossy middle ground.
+// These properties pin the exactness contract the certifier and flow arena
+// rely on: the back-map reproduces the original `Rat`s bit-for-bit, order
+// and differences survive the trip, and values off the grid are rejected
+// rather than rounded.
+
+use mm_numeric::Timeline;
+
+// Denominators ≤ 20: lcm(1..20) = 232 792 560, so any mix fits the i64
+// grid with room for 10^4-scale numerators. (Denominators up to 64 would
+// not — their LCM can reach ~10^24.)
+fn small_rats() -> impl Strategy<Value = Vec<Rat>> {
+    proptest::collection::vec((-10_000i64..10_000, 1i64..=20), 1..40)
+        .prop_map(|ps| ps.into_iter().map(|(n, d)| rat(n, d)).collect())
+}
+
+proptest! {
+    /// Round-trip exactness: every input maps to a tick whose back-map is
+    /// the original rational, exactly.
+    #[test]
+    fn timeline_roundtrip_exact(points in small_rats()) {
+        let (tl, ticks) = Timeline::build(&points).expect("small denominators fit i64");
+        prop_assert_eq!(ticks.len(), points.len());
+        for (p, &t) in points.iter().zip(&ticks) {
+            prop_assert_eq!(&tl.to_rat(t), p);
+            prop_assert_eq!(tl.rescale(p), Some(t));
+        }
+    }
+
+    /// The grid is a strictly monotone affine embedding: order and exact
+    /// differences are preserved (scaled by the common denominator).
+    #[test]
+    fn timeline_preserves_order_and_gaps(points in small_rats()) {
+        let (tl, ticks) = Timeline::build(&points).expect("small denominators fit i64");
+        let scale = Rat::from(tl.scale());
+        for (i, (pi, &ti)) in points.iter().zip(&ticks).enumerate() {
+            for (pj, &tj) in points.iter().zip(&ticks).skip(i + 1) {
+                prop_assert_eq!(pi.cmp(pj), ti.cmp(&tj));
+                prop_assert_eq!(Rat::from(ti - tj), &(pi - pj) * &scale);
+            }
+        }
+    }
+
+    /// Values whose denominator does not divide the grid scale are refused,
+    /// never rounded.
+    #[test]
+    fn timeline_rejects_off_grid(n in -1000i64..1000, d in 1i64..=32, p in 0u32..4) {
+        let points = [rat(n, d)];
+        let (tl, _) = Timeline::build(&points).expect("single small rat fits");
+        // 7^(p+1) · 11 shares no factor with any scale built from d ≤ 32's
+        // divisors beyond what 7 and 11 contribute — pick an off-grid value.
+        let off = rat(1, 7i64.pow(p + 1) * 11);
+        if tl.scale() % (7i64.pow(p + 1) * 11) != 0 {
+            prop_assert_eq!(tl.rescale(&off), None);
+        } else {
+            prop_assert!(tl.rescale(&off).is_some());
+        }
+    }
+
+    /// Denominators wide enough to overflow the LCM make `build` decline —
+    /// the caller falls back to exact `Rat` arithmetic, never a wrong grid.
+    #[test]
+    fn timeline_overflow_declines(points in small_rats()) {
+        // Seven distinct primes near 10^6 push the denominator LCM to
+        // ~10^41, far past i64: build must decline no matter what small
+        // rats accompany them — never emit an inexact grid.
+        let mut points = points;
+        for prime in [999_983i64, 999_979, 999_961, 999_959, 999_953, 999_931, 999_917] {
+            points.push(rat(1, prime));
+        }
+        prop_assert!(Timeline::build(&points).is_none());
+    }
+}

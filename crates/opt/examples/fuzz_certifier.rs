@@ -1,0 +1,102 @@
+//! Randomized cross-check harness: hammer the certifier against the flow
+//! oracle on small random instances of every shape and shrink any
+//! disagreement to a minimal counterexample.
+fn main() {
+    use mm_instance::Instance;
+    use mm_opt::{feasible_on, FastProber};
+
+    let mismatch = |jobs: &[(i64, i64, i64)]| -> Option<u64> {
+        let inst = Instance::from_ints(jobs.iter().cloned());
+        let mut fast = FastProber::new(&inst);
+        (0..=jobs.len() as u64 + 1).find(|&m| fast.feasible(m) != feasible_on(&inst, m))
+    };
+
+    // xorshift for reproducibility without external deps
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+
+    let mut checked = 0u64;
+    for trial in 0..200_000u64 {
+        let n = 1 + (rng() % 8) as usize;
+        let shape = rng() % 3;
+        let mut jobs: Vec<(i64, i64, i64)> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let r = (rng() % 12) as i64;
+            let len = 1 + (rng() % 12) as i64;
+            let d = r + len;
+            let p = 1 + (rng() % len as u64) as i64;
+            jobs.push((r, d, p));
+        }
+        match shape {
+            0 => {
+                // agreeable-ize: sort by release, then force deadlines monotone
+                jobs.sort();
+                let mut dmax = 0;
+                for j in jobs.iter_mut() {
+                    dmax = dmax.max(j.1);
+                    j.1 = dmax;
+                    j.2 = j.2.min(j.1 - j.0);
+                }
+            }
+            1 => {
+                // laminar-ize: nest or disjoint via stack discipline
+                jobs.sort();
+                let mut out: Vec<(i64, i64, i64)> = Vec::new();
+                for &(r, d, p) in &jobs {
+                    let mut d = d;
+                    for &(orr, od, _) in out.iter() {
+                        if r < od && od < d && orr <= r {
+                            d = od; // clip to nest inside the enclosing window
+                        }
+                    }
+                    if d > r {
+                        out.push((r, d, p.min(d - r)));
+                    }
+                }
+                jobs = out;
+            }
+            _ => {}
+        }
+        if jobs.is_empty() {
+            continue;
+        }
+        checked += 1;
+        if mismatch(&jobs).is_some() {
+            // greedy shrink
+            loop {
+                let mut shrunk = false;
+                for i in 0..jobs.len() {
+                    let mut cand = jobs.clone();
+                    cand.remove(i);
+                    if !cand.is_empty() && mismatch(&cand).is_some() {
+                        jobs = cand;
+                        shrunk = true;
+                        break;
+                    }
+                }
+                if !shrunk {
+                    break;
+                }
+            }
+            let m = mismatch(&jobs).unwrap();
+            let inst = Instance::from_ints(jobs.iter().cloned());
+            let mut fast = FastProber::new(&inst);
+            println!(
+                "MISMATCH trial={trial} m={m} fast={} flow={} class={:?}",
+                fast.feasible(m),
+                feasible_on(&inst, m),
+                inst.classify()
+            );
+            for j in &jobs {
+                println!("  {:?}", j);
+            }
+            std::process::exit(1);
+        }
+    }
+    println!("all agree ({checked} instances, all m each)");
+}

@@ -23,9 +23,9 @@
 //! place, which still reuses every allocation.
 
 use mm_fault::{Budget, BudgetExceeded, BudgetMeter};
-use mm_flow::{EdgeHandle, FlowNetwork};
+use mm_flow::{ArenaNetwork, EdgeHandle, FlowNum};
 use mm_instance::{Instance, Interval, JobId};
-use mm_numeric::Rat;
+use mm_numeric::{Rat, Timeline};
 use mm_trace::{NoopSink, TraceEvent, TraceSink};
 
 /// Outcome of a budgeted feasibility probe.
@@ -122,69 +122,313 @@ pub struct ProberStats {
 #[derive(Debug, Clone)]
 pub struct FeasibilityProber {
     intervals: Vec<Interval>,
-    net: FlowNetwork<Rat>,
+    backend: Backend,
     source: usize,
     sink: usize,
     jobs: usize,
-    demand: Rat,
-    /// Interval→sink edge and interval length, per elementary interval.
-    sink_edges: Vec<(EdgeHandle, Rat)>,
     /// Job→interval edges per interval, for allocation read-back.
     alloc_edges: Vec<Vec<(EdgeHandle, JobId)>>,
-    /// Machine count and flow value of the last network probe.
-    state: Option<(u64, Rat)>,
     stats: ProberStats,
+}
+
+/// One flow backend: the network, the demand it must saturate, the
+/// per-interval sink edges, and the last probe's `(m, flow)` state.
+#[derive(Debug, Clone)]
+struct Core<N: FlowNum> {
+    net: ArenaNetwork<N>,
+    demand: N,
+    /// Interval→sink edge and interval length, per elementary interval.
+    sink_edges: Vec<(EdgeHandle, N)>,
+    /// Machine count and flow value of the last network probe.
+    state: Option<(u64, N)>,
+}
+
+impl<N: FlowNum> Core<N> {
+    /// One network probe at `m` machines: raise-and-resume for ascending
+    /// `m`, reset-in-place otherwise. `mul` computes the sink capacity
+    /// `m·|E|` from an interval length. Returns whether the probe was
+    /// incremental, and the feasibility answer (or the budget violation;
+    /// the partial flow is recorded either way so a later probe resumes).
+    fn run(
+        &mut self,
+        m: u64,
+        mul: impl Fn(&N) -> N,
+        source: usize,
+        sink: usize,
+        meter: &mut BudgetMeter,
+    ) -> (bool, Result<bool, BudgetExceeded>) {
+        let mut incremental = false;
+        let flow = match self.state.take() {
+            Some((prev_m, prev_flow)) if prev_m <= m => {
+                // Ascending: keep the routed flow, raise sink capacities,
+                // and only search for the additional augmenting paths.
+                // A partial flow left by a cancelled probe at `prev_m` is
+                // a valid flow, so resuming from it is sound.
+                incremental = true;
+                for (h, len) in &self.sink_edges {
+                    self.net.raise_capacity(*h, mul(len));
+                }
+                self.net
+                    .max_flow_budgeted(source, sink, meter)
+                    .map(|extra| prev_flow.add(&extra))
+            }
+            _ => {
+                // First probe or descending: clear the flow in place and
+                // recompute — identical to a fresh build.
+                self.net.reset();
+                for (h, len) in &self.sink_edges {
+                    self.net.set_capacity(*h, mul(len));
+                }
+                self.net.max_flow_budgeted(source, sink, meter)
+            }
+        };
+        match flow {
+            Ok(flow) => {
+                let feasible = flow == self.demand;
+                self.state = Some((m, flow));
+                (incremental, Ok(feasible))
+            }
+            Err(e) => {
+                // Cancelled mid-flow: conservation still holds, so the
+                // routed amount is readable from the sink edges and the
+                // probe is resumable at any `m' ≥ m`.
+                let routed = self
+                    .sink_edges
+                    .iter()
+                    .fold(N::zero(), |acc, (h, _)| acc.add(&self.net.flow(*h)));
+                self.state = Some((m, routed));
+                (incremental, Err(e))
+            }
+        }
+    }
+}
+
+/// The prober's numeric backend. When every time coordinate and processing
+/// volume of the instance fits an exact scaled-integer [`Timeline`], the
+/// whole network runs on `i128` ticks — same topology, same insertion
+/// order, all capacities scaled by the same positive constant, so Dinic
+/// routes the *same* augmenting paths and every verdict, counter, and
+/// (back-mapped) allocation is bit-identical to the exact path. Rationals
+/// with oversized denominators fall back to `Rat` capacities.
+#[derive(Debug, Clone)]
+enum Backend {
+    /// Integer fast path on the shared timeline grid.
+    Ticks {
+        core: Core<i128>,
+        timeline: Timeline,
+    },
+    /// Exact rational fallback.
+    Exact { core: Core<Rat> },
+}
+
+/// Attempts the scaled-integer rescale for an instance: one [`Timeline`]
+/// over every event point and processing volume. Returns the timeline, the
+/// per-job processing ticks, and the per-elementary-interval length ticks,
+/// or `None` (→ exact `Rat` backend) if anything overflows `i64`.
+fn ticks_for(instance: &Instance, pts: &[Rat]) -> Option<(Timeline, Vec<i64>, Vec<i64>)> {
+    let mut vals: Vec<Rat> = Vec::with_capacity(pts.len() + instance.len());
+    vals.extend(pts.iter().cloned());
+    vals.extend(instance.iter().map(|j| j.processing.clone()));
+    let (timeline, ticks) = Timeline::build(&vals)?;
+    let (pt_ticks, p_ticks) = ticks.split_at(pts.len());
+    let mut lens = Vec::with_capacity(pts.len().saturating_sub(1));
+    for w in pt_ticks.windows(2) {
+        // Interval lengths (and hence per-edge flows) must themselves fit
+        // `i64` so allocations can be back-mapped exactly.
+        lens.push(w[1].checked_sub(w[0])?);
+    }
+    Some((timeline, p_ticks.to_vec(), lens))
+}
+
+/// Builds one backend core over the shared node layout. Edges are inserted
+/// in the same order as the historical `Vec<Vec<Edge>>` build (source→job
+/// and job→interval per job, then interval→sink), so Dinic explores
+/// identically on either backend.
+#[allow(clippy::too_many_arguments)]
+fn build_core<N: FlowNum>(
+    instance: &Instance,
+    pts: &[Rat],
+    lens: Vec<N>,
+    proc_of: impl Fn(usize, &mm_instance::Job) -> N,
+    source: usize,
+    sink: usize,
+    mut net: ArenaNetwork<N>,
+    alloc_edges: &mut [Vec<(EdgeHandle, JobId)>],
+) -> Core<N> {
+    let n = instance.len();
+    let k = lens.len();
+    net.clear(n + k + 2);
+    let mut demand = N::zero();
+    for (ji, job) in instance.iter().enumerate() {
+        let p = proc_of(ji, job);
+        demand = demand.add(&p);
+        net.add_edge(source, 1 + ji, p);
+        // The job's window endpoints are event points, so the contained
+        // elementary intervals are exactly the index range between them —
+        // found by binary search instead of the old O(n·k) scan.
+        let a = pts
+            .binary_search(&job.release)
+            .expect("release is an event point");
+        let b = pts
+            .binary_search(&job.deadline)
+            .expect("deadline is an event point");
+        for ki in a..b {
+            let h = net.add_edge(1 + ji, 1 + n + ki, lens[ki].clone());
+            alloc_edges[ki].push((h, job.id));
+        }
+    }
+    // Sink capacities are per-probe (`m·|E|`).
+    let sink_edges = lens
+        .into_iter()
+        .enumerate()
+        .map(|(ki, len)| (net.add_edge(1 + n + ki, sink, N::zero()), len))
+        .collect();
+    Core {
+        net,
+        demand,
+        sink_edges,
+        state: None,
+    }
 }
 
 impl FeasibilityProber {
     /// Builds the probe network for `instance` (no flow is computed yet).
     pub fn new(instance: &Instance) -> Self {
-        let intervals = elementary_intervals(instance);
-        let n = instance.len();
-        let k = intervals.len();
-        // node layout: 0 = source, 1..=n jobs, n+1..=n+k intervals, n+k+1 sink
-        let source = 0usize;
-        let sink = n + k + 1;
-        let mut net = FlowNetwork::<Rat>::new(n + k + 2);
-        let mut demand = Rat::zero();
-        let mut alloc_edges: Vec<Vec<(EdgeHandle, JobId)>> = vec![Vec::new(); k];
-        for (ji, job) in instance.iter().enumerate() {
-            demand += &job.processing;
-            net.add_edge(source, 1 + ji, job.processing.clone());
-            for (ki, iv) in intervals.iter().enumerate() {
-                if job.window().contains_interval(iv) {
-                    let h = net.add_edge(1 + ji, 1 + n + ki, iv.length());
-                    alloc_edges[ki].push((h, job.id));
-                }
-            }
-        }
-        // Sink capacities are per-probe (`m·|E|`); insert the edges in the
-        // same order as a fresh build so Dinic explores identically.
-        let sink_edges = intervals
-            .iter()
-            .enumerate()
-            .map(|(ki, iv)| {
-                let h = net.add_edge(1 + n + ki, sink, Rat::zero());
-                (h, iv.length())
-            })
-            .collect();
-        FeasibilityProber {
-            intervals,
-            net,
-            source,
-            sink,
-            jobs: n,
-            demand,
-            sink_edges,
-            alloc_edges,
-            state: None,
+        let mut prober = FeasibilityProber {
+            intervals: Vec::new(),
+            backend: Backend::Exact {
+                core: Core {
+                    net: ArenaNetwork::new(0),
+                    demand: Rat::zero(),
+                    sink_edges: Vec::new(),
+                    state: None,
+                },
+            },
+            source: 0,
+            sink: 0,
+            jobs: 0,
+            alloc_edges: Vec::new(),
             stats: ProberStats::default(),
+        };
+        prober.reset_for_instance(instance);
+        prober
+    }
+
+    /// Re-targets the prober at a new instance, reusing the flow arena and
+    /// every other allocation from the previous one. Sweeps that probe many
+    /// instances (adversary rounds, experiment grids) build one prober and
+    /// call this per cell instead of constructing from scratch.
+    ///
+    /// Cumulative [`ProberStats`] carry over; the per-instance probe state
+    /// does not (the first probe on the new instance is a reset probe, like
+    /// a fresh build).
+    pub fn reset_for_instance(&mut self, instance: &Instance) {
+        let pts = instance.event_points();
+        self.intervals.clear();
+        self.intervals.extend(
+            pts.windows(2)
+                .map(|w| Interval::new(w[0].clone(), w[1].clone()))
+                .filter(|iv| !iv.is_empty()),
+        );
+        let n = instance.len();
+        let k = self.intervals.len();
+        // node layout: 0 = source, 1..=n jobs, n+1..=n+k intervals, n+k+1 sink
+        self.source = 0;
+        self.sink = n + k + 1;
+        self.jobs = n;
+        self.alloc_edges.clear();
+        self.alloc_edges.resize(k, Vec::new());
+        self.backend = match ticks_for(instance, &pts) {
+            Some((timeline, p_ticks, len_ticks)) => {
+                let net = self.take_arena::<i128>();
+                let lens = len_ticks.iter().map(|&l| l as i128).collect();
+                let core = build_core(
+                    instance,
+                    &pts,
+                    lens,
+                    |ji, _| p_ticks[ji] as i128,
+                    self.source,
+                    self.sink,
+                    net,
+                    &mut self.alloc_edges,
+                );
+                Backend::Ticks { core, timeline }
+            }
+            None => {
+                let net = self.take_arena::<Rat>();
+                let lens = self.intervals.iter().map(|iv| iv.length()).collect();
+                let core = build_core(
+                    instance,
+                    &pts,
+                    lens,
+                    |_, job| job.processing.clone(),
+                    self.source,
+                    self.sink,
+                    net,
+                    &mut self.alloc_edges,
+                );
+                Backend::Exact { core }
+            }
+        };
+    }
+
+    /// Recycles the previous backend's arena when its numeric type matches
+    /// `N`; otherwise starts a fresh arena. Uses the lifetime augmentation
+    /// counter, which `clear` preserves, to keep stats monotone.
+    fn take_arena<N: FlowNum + 'static>(&mut self) -> ArenaNetwork<N> {
+        // Swap out the old backend so we can move the arena rather than
+        // clone it; the placeholder is immediately overwritten by the
+        // caller (`reset_for_instance`).
+        let old = std::mem::replace(
+            &mut self.backend,
+            Backend::Exact {
+                core: Core {
+                    net: ArenaNetwork::new(0),
+                    demand: Rat::zero(),
+                    sink_edges: Vec::new(),
+                    state: None,
+                },
+            },
+        );
+        let any_net: Box<dyn std::any::Any> = match old {
+            Backend::Ticks { core, .. } => Box::new(core.net),
+            Backend::Exact { core } => Box::new(core.net),
+        };
+        match any_net.downcast::<ArenaNetwork<N>>() {
+            Ok(net) => *net,
+            Err(_) => ArenaNetwork::new(0),
         }
+    }
+
+    /// Whether probes run on the scaled-integer fast path (`true`) or the
+    /// exact-`Rat` fallback.
+    pub fn uses_integer_ticks(&self) -> bool {
+        matches!(self.backend, Backend::Ticks { .. })
     }
 
     /// The elementary intervals of the probed instance.
     pub fn intervals(&self) -> &[Interval] {
         &self.intervals
+    }
+
+    /// Lifetime augmenting-path count of the underlying network.
+    fn augmentations(&self) -> u64 {
+        match &self.backend {
+            Backend::Ticks { core, .. } => core.net.augmentations(),
+            Backend::Exact { core } => core.net.augmentations(),
+        }
+    }
+
+    /// Reads the flow routed through a job→interval edge as an exact `Rat`
+    /// (ticks are back-mapped through the timeline).
+    fn edge_flow(&self, h: EdgeHandle) -> Rat {
+        match &self.backend {
+            Backend::Ticks { core, timeline } => {
+                let ticks = core.net.flow(h);
+                timeline.to_rat(i64::try_from(ticks).expect("edge flow fits i64 by construction"))
+            }
+            Backend::Exact { core } => core.net.flow(h),
+        }
     }
 
     /// Cumulative work counters.
@@ -246,16 +490,6 @@ impl FeasibilityProber {
         self.probe_metered(m, &mut meter, sink)
     }
 
-    /// Total flow currently routed into the sink (exact; used to record the
-    /// partial flow value when a budgeted probe is cancelled).
-    fn sink_flow(&self) -> Rat {
-        let mut total = Rat::zero();
-        for (h, _) in &self.sink_edges {
-            total += &self.net.flow(*h);
-        }
-        total
-    }
-
     fn probe_metered<S: TraceSink>(
         &mut self,
         m: u64,
@@ -277,51 +511,28 @@ impl FeasibilityProber {
         } else if m == 0 {
             Verdict::Infeasible
         } else {
-            let aug_before = self.net.augmentations();
-            let m_rat = Rat::from(m);
-            let flow = match self.state.take() {
-                Some((prev_m, prev_flow)) if prev_m <= m => {
-                    // Ascending: keep the routed flow, raise sink capacities,
-                    // and only search for the additional augmenting paths.
-                    // A partial flow left by a cancelled probe at `prev_m` is
-                    // a valid flow, so resuming from it is sound.
-                    incremental = true;
-                    for (h, len) in &self.sink_edges {
-                        self.net.raise_capacity(*h, &m_rat * len);
-                    }
-                    self.net
-                        .max_flow_budgeted(self.source, self.sink, meter)
-                        .map(|extra| prev_flow + extra)
+            let (source, snk) = (self.source, self.sink);
+            let aug_before = self.augmentations();
+            let (inc, answer) = match &mut self.backend {
+                Backend::Ticks { core, .. } => {
+                    let mi = m as i128;
+                    core.run(m, |len| mi * len, source, snk, meter)
                 }
-                _ => {
-                    // First probe or descending: clear the flow in place and
-                    // recompute — identical to a fresh build.
-                    self.net.reset();
-                    for (h, len) in &self.sink_edges {
-                        self.net.set_capacity(*h, &m_rat * len);
-                    }
-                    self.net.max_flow_budgeted(self.source, self.sink, meter)
+                Backend::Exact { core } => {
+                    let m_rat = Rat::from(m);
+                    core.run(m, |len| &m_rat * len, source, snk, meter)
                 }
             };
-            aug_delta = self.net.augmentations() - aug_before;
+            incremental = inc;
+            aug_delta = self.augmentations() - aug_before;
             if incremental {
                 self.stats.incremental += 1;
             } else {
                 self.stats.resets += 1;
             }
-            match flow {
-                Ok(flow) => {
-                    let feasible = flow == self.demand;
-                    self.state = Some((m, flow));
-                    Verdict::from_bool(feasible)
-                }
-                Err(e) => {
-                    // Cancelled mid-flow: conservation still holds, so the
-                    // routed amount is readable from the sink edges and the
-                    // probe is resumable at any `m' ≥ m`.
-                    self.state = Some((m, self.sink_flow()));
-                    Verdict::Unknown(e)
-                }
+            match answer {
+                Ok(feasible) => Verdict::from_bool(feasible),
+                Err(e) => Verdict::Unknown(e),
             }
         };
         self.stats.probes += 1;
@@ -382,7 +593,10 @@ impl FeasibilityProber {
         }
         // Drop any incremental state: the read-back flow must match a fresh
         // build exactly.
-        self.state = None;
+        match &mut self.backend {
+            Backend::Ticks { core, .. } => core.state = None,
+            Backend::Exact { core } => core.state = None,
+        }
         if !self.probe(m) {
             return None;
         }
@@ -393,7 +607,7 @@ impl FeasibilityProber {
                 edges
                     .iter()
                     .filter_map(|&(h, id)| {
-                        let f = self.net.flow(h);
+                        let f = self.edge_flow(h);
                         if f.is_zero() {
                             None
                         } else {

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 mod certificate;
+mod certifier;
 mod critical;
 mod demigrate;
 mod exhaustive;
@@ -39,6 +40,9 @@ mod extract;
 mod feasibility;
 
 pub use certificate::{contribution_bound, Certificate};
+pub use certifier::{
+    feasible_on_fast, optimal_machines_fast, DecisionPath, DispatchStats, FastProber,
+};
 pub use critical::{check_critical_pair, theorem10_shape, CriticalityFailure};
 pub use demigrate::{demigrate, edf_single, single_machine_feasible, theorem2_bound, Demigration};
 pub use exhaustive::{exhaustive_contribution_bound, EXHAUSTIVE_LIMIT};

@@ -1,0 +1,165 @@
+//! Property tests: the structured-class certifier ([`mm_opt::FastProber`])
+//! must return **bit-identical** feasibility verdicts to the flow oracle on
+//! every instance — random agreeable, laminar, uniform, and degenerate
+//! sanitized shapes — at every machine count, including instances whose
+//! coordinates overflow the scaled-integer timeline and fall back to exact
+//! rationals.
+
+use mm_instance::generators::{agreeable, laminar, uniform, AgreeableCfg, LaminarCfg, UniformCfg};
+use mm_instance::Instance;
+use mm_numeric::Rat;
+use mm_opt::{feasible_on, optimal_machines, optimal_machines_fast, FastProber};
+use proptest::prelude::*;
+
+fn random_instance(family: u8, n: usize, seed: u64) -> Instance {
+    match family % 4 {
+        0 => agreeable(
+            &AgreeableCfg {
+                n,
+                release_gap: 1 + (seed % 3) as i64,
+                min_window: 2,
+                max_window: 4 + (n as i64 % 20),
+                unit_processing: None,
+            },
+            seed,
+        ),
+        1 => agreeable(
+            &AgreeableCfg {
+                n,
+                release_gap: 1,
+                min_window: 2,
+                max_window: 9,
+                unit_processing: Some(1),
+            },
+            seed,
+        ),
+        2 => laminar(
+            &LaminarCfg {
+                depth: 2 + n % 2,
+                branching: (n % 3) + 2,
+                ..Default::default()
+            },
+            seed,
+        ),
+        _ => uniform(
+            &UniformCfg {
+                n,
+                horizon: (2 * n) as i64,
+                ..Default::default()
+            },
+            seed,
+        ),
+    }
+}
+
+/// Verdicts at every machine count from zero past the optimum, plus the
+/// optimum itself, must match the flow oracle exactly.
+fn assert_agrees(inst: &Instance) {
+    let mut fast = FastProber::new(inst);
+    let exact = optimal_machines(inst);
+    assert_eq!(fast.optimal_machines(), exact);
+    for m in 0..=exact + 2 {
+        assert_eq!(
+            fast.feasible(m),
+            feasible_on(inst, m),
+            "verdict mismatch at m={m}"
+        );
+        // try_certify may abstain, but must never lie.
+        let mut solo = FastProber::new(inst);
+        if let Some(v) = solo.try_certify(m) {
+            assert_eq!(v, feasible_on(inst, m), "certificate lies at m={m}");
+        }
+    }
+    let d = fast.dispatch();
+    assert_eq!(d.total(), d.certified() + d.flow + d.rescued);
+}
+
+proptest! {
+    /// Certifier and flow agree on every random structured or general
+    /// instance, at every machine count.
+    #[test]
+    fn certifier_matches_flow(
+        family in any::<u8>(),
+        n in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        assert_agrees(&random_instance(family, n, seed));
+    }
+
+    /// Fractional coordinates (affine image with denominator 3·7) keep the
+    /// certifier on the exact-`Rat` sweep backend — verdicts still match.
+    #[test]
+    fn fractional_instances_agree(
+        family in any::<u8>(),
+        n in 1usize..14,
+        seed in any::<u64>(),
+    ) {
+        let inst = random_instance(family, n, seed)
+            .affine(&Rat::zero(), &Rat::ratio(1, 7), &Rat::ratio(1, 3));
+        assert_agrees(&inst);
+    }
+
+    /// Deep-denominator instances overflow the `i64` timeline, fall back
+    /// to `Rat` arithmetic everywhere, and still agree with the flow — and
+    /// with the optimum of their integral preimage (affine maps preserve
+    /// the optimum).
+    #[test]
+    fn overflow_fallback_agrees(
+        family in any::<u8>(),
+        n in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let base = random_instance(family, n, seed);
+        let mut deep = base.clone();
+        let scale = Rat::ratio(3, 7);
+        let offset = Rat::ratio(1, 9);
+        for _ in 0..24 {
+            deep = deep.affine(&Rat::zero(), &offset, &scale);
+        }
+        let mut fast = FastProber::new(&deep);
+        prop_assert!(
+            !fast.uses_integer_ticks(),
+            "7^24 denominators must not fit an i64 timeline"
+        );
+        prop_assert_eq!(fast.optimal_machines(), optimal_machines(&base));
+        assert_agrees(&deep);
+    }
+
+    /// Arbitrary — frequently degenerate — triples sanitize into instances
+    /// the certifier decides identically to the flow.
+    #[test]
+    fn degenerate_triples_agree(
+        triples in proptest::collection::vec((-8i64..20, -8i64..20, -8i64..10), 0..12),
+    ) {
+        let rat_triples = triples
+            .iter()
+            .map(|&(r, d, p)| (Rat::from(r), Rat::from(d), Rat::from(p)));
+        let (inst, _) = Instance::sanitize_triples(rat_triples);
+        assert_agrees(&inst);
+    }
+}
+
+/// The greedy-sweep counterexample families stay regression-tested at the
+/// integration level: both defeated an earlier "exact sweep" design, and
+/// the sandwich must now decide them through a genuine witness or a flow
+/// rescue — never through a wrong fast answer.
+#[test]
+fn sweep_counterexamples_agree_with_flow() {
+    // EDF-fluid starvation: serving the loose middle job before the tight
+    // last one inside [22,35) starves the latter against its rate-1 cap.
+    let edf_trap = Instance::from_ints([(16, 35, 17), (21, 38, 7), (22, 39, 14)]);
+    // Shared future congestion: jobs saturating [8,12) mean the deadline-10
+    // job needs priority over the deadline-7 job — invisible to any
+    // per-job-lookahead forward sweep.
+    let congestion =
+        Instance::from_ints([(0, 4, 4), (0, 7, 4), (2, 10, 7), (6, 12, 5), (8, 12, 4)]);
+    for inst in [&edf_trap, &congestion] {
+        let exact = optimal_machines(inst);
+        let (fast, _) = optimal_machines_fast(inst);
+        assert_eq!(fast, exact);
+        let mut prober = FastProber::new(inst);
+        for m in 0..=exact + 2 {
+            assert_eq!(prober.feasible(m), feasible_on(inst, m));
+        }
+    }
+}

@@ -130,8 +130,16 @@ pub fn execute_traced<S: TraceSink>(
         RequestKind::Probe { machines, .. } => {
             let inst = req.instance().expect("probe carries jobs");
             let t_probe = phase_start(&sink);
-            let verdict = mm_opt::FeasibilityProber::new(&inst)
-                .probe_budgeted_traced(*machines, &budget, &mut sink);
+            // Structured instances answer through the direct certifier —
+            // same verdict as the flow oracle, no network, so the budget
+            // is irrelevant. General instances (and the rare certifier
+            // gap) keep the budgeted flow probe.
+            let verdict = match mm_opt::FastProber::new(&inst).try_certify(*machines) {
+                Some(true) => mm_opt::Verdict::Feasible,
+                Some(false) => mm_opt::Verdict::Infeasible,
+                None => mm_opt::FeasibilityProber::new(&inst)
+                    .probe_budgeted_traced(*machines, &budget, &mut sink),
+            };
             phase_end(&mut sink, id, "probe", t_probe);
             match verdict {
                 mm_opt::Verdict::Feasible => Response::Ok {

@@ -144,10 +144,24 @@ pub enum Command {
         cluster: bool,
         /// Gate the observability layer instead.
         obs: bool,
+        /// Benchmark the large-n certifier hot path instead
+        /// (default out `BENCH_7.json`).
+        large: bool,
         /// Baseline JSON output file (default `BENCH_2.json`).
         out: String,
         /// Committed baseline to gate deterministic counters against.
         check: Option<String>,
+    },
+    /// `certcheck [--seed S] [--cases N] [--out f.txt]` — deterministic
+    /// certifier-vs-flow verdict cross-check; the report carries no wall
+    /// times, so same-seed runs are byte-identical (CI diffs them).
+    CertCheck {
+        /// Base seed for the instance batch.
+        seed: u64,
+        /// Number of seeded cases (cycling through all families).
+        cases: usize,
+        /// Optional file to write the report to (stdout otherwise).
+        out: Option<String>,
     },
     /// `serve [--addr A] [--workers N] [--queue-cap N] [--drain-ms N]
     /// [--seed S] [--retry-attempts N] [--chaos | --plan f.json]
@@ -411,12 +425,15 @@ pub fn parse(args: &[String]) -> Result<Command, Error> {
             let serve = args.iter().any(|a| a == "--serve");
             let cluster = args.iter().any(|a| a == "--cluster");
             let obs = args.iter().any(|a| a == "--obs");
-            if [serve, cluster, obs].iter().filter(|b| **b).count() > 1 {
+            let large = args.iter().any(|a| a == "--large");
+            if [serve, cluster, obs, large].iter().filter(|b| **b).count() > 1 {
                 return Err(Error::Usage(
-                    "--serve, --cluster, and --obs are mutually exclusive".into(),
+                    "--serve, --cluster, --obs, and --large are mutually exclusive".into(),
                 ));
             }
-            let default_out = if obs {
+            let default_out = if large {
+                "BENCH_7.json"
+            } else if obs {
                 "BENCH_6.json"
             } else if cluster {
                 "BENCH_5.json"
@@ -430,10 +447,16 @@ pub fn parse(args: &[String]) -> Result<Command, Error> {
                 serve,
                 cluster,
                 obs,
+                large,
                 out: value_flag(args, "--out")?.unwrap_or_else(|| default_out.into()),
                 check: value_flag(args, "--check")?,
             })
         }
+        "certcheck" => Ok(Command::CertCheck {
+            seed: num_flag::<u64>(args, "--seed")?.unwrap_or(1),
+            cases: num_flag::<usize>(args, "--cases")?.unwrap_or(25).max(1),
+            out: value_flag(args, "--out")?,
+        }),
         "serve" => {
             let chaos = args.iter().any(|a| a == "--chaos");
             let plan = value_flag(args, "--plan")?;
@@ -680,13 +703,18 @@ pub fn help_text() -> &'static str {
                                                 live terminal view over the pool's stats endpoints:\n\
                                                 queue depth, in-flight, latency quantiles, slowest\n\
                                                 spans; one-shot unless --interval-s is given\n\
-       bench [--quick] [--serve | --cluster | --obs] [--out f.json] [--check f.json]\n\
+       bench [--quick] [--serve | --cluster | --obs | --large] [--out f.json] [--check f.json]\n\
                                                 seeded perf baseline: fast path + prober reuse vs\n\
                                                 BigInt + fresh-network reference (default out\n\
                                                 BENCH_2.json); --check gates deterministic counters;\n\
                                                 --serve benchmarks the service layer (BENCH_4.json);\n\
                                                 --cluster benchmarks the coordinator (BENCH_5.json);\n\
-                                                --obs gates the observability layer (BENCH_6.json)\n\
+                                                --obs gates the observability layer (BENCH_6.json);\n\
+                                                --large benchmarks the million-job certifier hot\n\
+                                                path (BENCH_7.json)\n\
+       certcheck [--seed S] [--cases N] [--out f.txt]\n\
+                                                certifier-vs-flow verdict cross-check; same-seed\n\
+                                                reports are byte-identical, mismatches exit 6\n\
        help                                     this text\n\
      \n\
      observability (solve, schedule, adversary, chaos, serve, cluster):\n\
@@ -726,6 +754,63 @@ fn load_fault_plan(path: &str) -> Result<FaultPlan, Error> {
         )));
     }
     FaultPlan::from_json(&text).map_err(|e| Error::Io(format!("invalid fault plan {path}: {e}")))
+}
+
+/// The `bench --large` scenario (`BENCH_7.json`): the certifier hot path
+/// at streaming scale — n = 10^5 uniform probes through the scaled-integer
+/// flow arena, and n ≈ 10^6 agreeable/laminar workloads answered entirely
+/// by the direct certifiers. Gated counters are the per-path dispatch
+/// counts and the optimum; jobs/sec is recorded for trajectory only.
+fn large_bench(
+    quick: bool,
+    path: &str,
+    check: Option<&str>,
+    out: &mut String,
+) -> Result<(), Error> {
+    let doc = mm_bench::large::run(quick);
+    if let Some(workloads) = doc.get("workloads").and_then(mm_json::Json::as_arr) {
+        for w in workloads {
+            let get_i = |k: &str| w.get(k).and_then(mm_json::Json::as_i64).unwrap_or(-1);
+            let name = w.get("name").and_then(mm_json::Json::as_str).unwrap_or("?");
+            let jps = w
+                .get("jobs_per_sec")
+                .and_then(mm_json::Json::as_f64)
+                .unwrap_or(0.0);
+            let path_label = w.get("path").and_then(mm_json::Json::as_str).unwrap_or("?");
+            let rescued = w
+                .get("dispatch")
+                .and_then(|d| d.get("rescued"))
+                .and_then(mm_json::Json::as_i64)
+                .unwrap_or(-1);
+            let _ = writeln!(
+                out,
+                "{name}: m = {}, path {path_label}, {:.2}M jobs/sec, rescued {rescued}",
+                get_i("optimal_machines"),
+                jps / 1e6,
+            );
+        }
+    }
+    std::fs::write(path, doc.to_pretty())
+        .map_err(|e| Error::Io(format!("cannot write {path}: {e}")))?;
+    let _ = writeln!(out, "large baseline -> {path}");
+    if let Some(check_path) = check {
+        let committed = std::fs::read_to_string(check_path)
+            .map_err(|e| Error::Io(format!("cannot read baseline {check_path}: {e}")))?;
+        let committed = mm_json::parse(&committed)
+            .map_err(|e| Error::Io(format!("cannot parse baseline {check_path}: {e}")))?;
+        match mm_bench::large::check_against(&doc, &committed) {
+            Ok(()) => {
+                let _ = writeln!(out, "counters within committed baseline {check_path}");
+            }
+            Err(problems) => {
+                return Err(Error::Verification(format!(
+                    "large bench counter regression vs {check_path}:\n  {}",
+                    problems.join("\n  ")
+                )));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// The `bench --serve` scenario: an in-process server on loopback TCP, a
@@ -1983,9 +2068,14 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
             serve,
             cluster,
             obs,
+            large,
             out: path,
             check,
         } => {
+            if large {
+                large_bench(quick, &path, check.as_deref(), &mut out)?;
+                return Ok(out);
+            }
             if obs {
                 obs_bench(quick, &path, check.as_deref(), &mut out)?;
                 return Ok(out);
@@ -2039,6 +2129,20 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
                         )));
                     }
                 }
+            }
+        }
+        Command::CertCheck {
+            seed,
+            cases,
+            out: report_path,
+        } => {
+            let report = mm_bench::crosscheck::run(seed, cases).map_err(Error::Verification)?;
+            if let Some(p) = report_path {
+                std::fs::write(&p, &report)
+                    .map_err(|e| Error::Io(format!("cannot write {p}: {e}")))?;
+                let _ = writeln!(out, "certcheck report -> {p}");
+            } else {
+                out.push_str(&report);
             }
         }
         Command::Serve {
@@ -2554,6 +2658,7 @@ mod tests {
                 serve: false,
                 cluster: false,
                 obs: false,
+                large: false,
                 out: "BENCH_2.json".into(),
                 check: None
             }
@@ -2565,6 +2670,7 @@ mod tests {
                 serve: false,
                 cluster: false,
                 obs: false,
+                large: false,
                 out: "b.json".into(),
                 check: Some("BENCH_2.json".into())
             }
@@ -2576,6 +2682,7 @@ mod tests {
                 serve: true,
                 cluster: false,
                 obs: false,
+                large: false,
                 out: "BENCH_4.json".into(),
                 check: None
             }
@@ -2587,6 +2694,7 @@ mod tests {
                 serve: false,
                 cluster: false,
                 obs: true,
+                large: false,
                 out: "BENCH_6.json".into(),
                 check: None
             }
@@ -3134,6 +3242,7 @@ mod tests {
             serve: false,
             cluster: false,
             obs: false,
+            large: false,
             out: path.clone(),
             check: None,
         })
@@ -3145,6 +3254,7 @@ mod tests {
             serve: false,
             cluster: false,
             obs: false,
+            large: false,
             out: path.clone(),
             check: Some(path.clone()),
         })
@@ -3163,6 +3273,7 @@ mod tests {
             serve: true,
             cluster: false,
             obs: false,
+            large: false,
             out: path.clone(),
             check: None,
         })
@@ -3181,6 +3292,7 @@ mod tests {
             serve: true,
             cluster: false,
             obs: false,
+            large: false,
             out: path.clone(),
             check: Some(path.clone()),
         })
@@ -3455,6 +3567,7 @@ mod tests {
                 serve: false,
                 cluster: true,
                 obs: false,
+                large: false,
                 out: "BENCH_5.json".into(),
                 check: None
             }
@@ -3471,6 +3584,7 @@ mod tests {
             serve: false,
             cluster: false,
             obs: true,
+            large: false,
             out: path.clone(),
             check: None,
         })
@@ -3497,6 +3611,7 @@ mod tests {
             serve: false,
             cluster: false,
             obs: true,
+            large: false,
             out: path.clone(),
             check: Some(path.clone()),
         })
@@ -3637,6 +3752,7 @@ mod tests {
             serve: false,
             cluster: true,
             obs: false,
+            large: false,
             out: path.clone(),
             check: None,
         })
@@ -3664,6 +3780,7 @@ mod tests {
             serve: false,
             cluster: true,
             obs: false,
+            large: false,
             out: path.clone(),
             check: Some(path.clone()),
         })
