@@ -38,6 +38,10 @@ pub struct Backend {
     /// Permanently dropped (`backend_drop` fired, or the operator killed
     /// it); never revived, and late lines from it are ignored.
     pub dead: bool,
+    /// Draining: the coordinator is gracefully retiring this backend. No
+    /// new dispatches; live shards migrate off; the connection closes once
+    /// the backend finishes its queue.
+    pub draining: bool,
     /// In-flight request count (primaries plus hedges).
     pub outstanding: usize,
     /// Consecutive failures since the last success.
@@ -54,6 +58,7 @@ impl Backend {
             alive: false,
             quarantined: false,
             dead: false,
+            draining: false,
             outstanding: 0,
             failures: 0,
             dispatched: 0,
@@ -62,7 +67,7 @@ impl Backend {
 
     /// Eligible for new work right now.
     pub fn healthy(&self) -> bool {
-        self.alive && !self.quarantined && !self.dead
+        self.alive && !self.quarantined && !self.dead && !self.draining
     }
 }
 
@@ -96,6 +101,14 @@ impl Pool {
             })?;
         }
         Ok(pool)
+    }
+
+    /// Appends a disconnected backend slot for a runtime joiner and returns
+    /// its index. The caller decides when to [`Pool::attach`] it — membership
+    /// admission wants a successful `join` handshake first.
+    pub fn add_backend(&mut self, addr: &str) -> usize {
+        self.backends.push(Backend::disconnected(addr));
+        self.backends.len() - 1
     }
 
     /// (Re)connects backend `idx` and spawns its reader thread.

@@ -26,12 +26,32 @@ use mm_trace::{TraceEvent, TraceSink};
 
 use crate::backend::{NetEvent, Pool};
 use crate::balance::{BalancePolicy, Balancer};
+use crate::membership::{ChurnAction, ChurnPlan};
+use crate::migrate::{MigrationGovernor, OverloadConfig, OverloadIndex, OverloadSample};
 use crate::mix;
 
 /// Request ids at or above this value are coordinator-internal (health
-/// probes, drop-time shutdowns) and never appear in transcripts. Work
-/// units must use ids below it.
+/// probes, drop-time shutdowns, join handshakes, drain requests) and never
+/// appear in transcripts. Work units must use ids below it.
 pub const HEALTH_ID_BASE: u64 = 1 << 62;
+
+/// Id offset for `join` handshakes sent to runtime joiners
+/// (`HEALTH_ID_BASE + JOIN_ID_OFFSET + backend`).
+const JOIN_ID_OFFSET: u64 = 2_000;
+
+/// Id offset for `drain` requests sent to gracefully-leaving members
+/// (`HEALTH_ID_BASE + DRAIN_ID_OFFSET + backend`).
+const DRAIN_ID_OFFSET: u64 = 3_000;
+
+/// Observation-window cadence for the overload index and the migration
+/// budget. Wall-clock by nature — overload is a load phenomenon — so
+/// nothing fed by it may leak into deterministic counters or transcripts.
+const OVERLOAD_WINDOW: Duration = Duration::from_millis(500);
+
+/// Cadence for quarantine-recovery attempts. Quarantine is recoverable:
+/// a quarantined (not dead) backend is re-probed on this cadence and
+/// re-enters the pool when it answers, independent of `health_ms`.
+const REVIVE_EVERY: Duration = Duration::from_millis(200);
 
 /// When to send a hedged duplicate of an outstanding unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +99,16 @@ pub struct ClusterConfig {
     pub health_ms: u64,
     /// Deadline to attach to every work unit, if any.
     pub deadline_ms: Option<u64>,
+    /// Deterministic churn plan, executed one event per
+    /// [`FaultSite::BackendChurn`] firing (`None` = static membership).
+    pub churn: Option<ChurnPlan>,
+    /// Spare backend addresses consumed in order by the plan's `join`
+    /// events. Spares are not connected until they join.
+    pub spares: Vec<String>,
+    /// Max live shard migrations per observation window (the
+    /// Albers–Hellwig bounded-migration knob). Flights past the budget
+    /// fall back to resume-after-EOF — slower, never lossy.
+    pub migration_budget: u64,
 }
 
 impl Default for ClusterConfig {
@@ -93,6 +123,9 @@ impl Default for ClusterConfig {
             plan: FaultPlan::none(),
             health_ms: 0,
             deadline_ms: None,
+            churn: None,
+            spares: Vec::new(),
+            migration_budget: 64,
         }
     }
 }
@@ -120,7 +153,24 @@ pub struct ClusterCounters {
     pub shard_resumes: u64,
     /// Health probe round-trips (pongs and recoveries).
     pub health_probes: u64,
-    /// Lines sent per backend (primaries + hedges + resumes), by index.
+    /// Churn-plan events executed (pure function of seed + plan).
+    pub churn_events: u64,
+    /// `join` events executed (deterministic; admission itself is async).
+    pub joins: u64,
+    /// `drain` events executed (graceful leaves started).
+    pub drains: u64,
+    /// `flap` events executed (forced downs).
+    pub flaps: u64,
+    /// Live in-flight shards migrated off draining or overloaded backends.
+    /// Timing-dependent (how many shards are live when the event lands),
+    /// so excluded from byte-compared gates.
+    pub migrations: u64,
+    /// Terminal answers that came from a migrated-to backend. Also
+    /// timing-dependent: the race between the old copy and the migrated
+    /// copy is real concurrency.
+    pub migrated_answers: u64,
+    /// Lines sent per backend (primaries + hedges + resumes + migrations),
+    /// by index.
     pub per_backend: Vec<u64>,
 }
 
@@ -139,6 +189,12 @@ impl ClusterCounters {
             ("quarantines", Json::Int(self.quarantines as i64)),
             ("shard_resumes", Json::Int(self.shard_resumes as i64)),
             ("health_probes", Json::Int(self.health_probes as i64)),
+            ("churn_events", Json::Int(self.churn_events as i64)),
+            ("joins", Json::Int(self.joins as i64)),
+            ("drains", Json::Int(self.drains as i64)),
+            ("flaps", Json::Int(self.flaps as i64)),
+            ("migrations", Json::Int(self.migrations as i64)),
+            ("migrated_answers", Json::Int(self.migrated_answers as i64)),
             (
                 "per_backend",
                 Json::Arr(
@@ -201,6 +257,9 @@ struct Flight {
     sent: Instant,
     hedged: bool,
     attempts: u32,
+    /// Backends that received a migrated copy of this unit, so the gather
+    /// step can tell a migrated answer from the original copy's.
+    migrated_to: Vec<usize>,
 }
 
 /// The scatter–gather coordinator. One instance runs one workload.
@@ -213,6 +272,23 @@ pub struct Coordinator<S: TraceSink> {
     counters: ClusterCounters,
     latencies: Vec<f64>,
     primary_seq: u64,
+    /// Next churn-plan event to execute.
+    churn_cursor: usize,
+    /// Next spare address to consume on a `join` event.
+    next_spare: usize,
+    /// Members mid-join-handshake: quarantined until their `join` request
+    /// answers ready, and exempt from blind reattach-revival meanwhile.
+    joining: std::collections::HashSet<usize>,
+    /// Windowed per-backend overload rings (sandpiper hysteresis).
+    overload: OverloadIndex,
+    /// Bounded-migration budget, refilled each observation window.
+    governor: MigrationGovernor,
+    /// Sequence stamped into migrated copies' `migration` marker.
+    migration_seq: u64,
+    /// Next overload observation window boundary.
+    next_window: Instant,
+    /// Per-backend next quarantine-recovery attempt.
+    revive_at: Vec<Instant>,
 }
 
 impl<S: TraceSink> Coordinator<S> {
@@ -225,6 +301,9 @@ impl<S: TraceSink> Coordinator<S> {
             per_backend: vec![0; cfg.backends.len()],
             ..ClusterCounters::default()
         };
+        let backends = cfg.backends.len();
+        let overload = OverloadIndex::new(OverloadConfig::default(), backends);
+        let governor = MigrationGovernor::new(cfg.migration_budget);
         Ok(Coordinator {
             cfg,
             pool,
@@ -234,6 +313,14 @@ impl<S: TraceSink> Coordinator<S> {
             counters,
             latencies: Vec::new(),
             primary_seq: 0,
+            churn_cursor: 0,
+            next_spare: 0,
+            joining: std::collections::HashSet::new(),
+            overload,
+            governor,
+            migration_seq: 0,
+            next_window: Instant::now() + OVERLOAD_WINDOW,
+            revive_at: vec![Instant::now(); backends],
         })
     }
 
@@ -325,6 +412,16 @@ impl<S: TraceSink> Coordinator<S> {
                         self.drop_backend(victim, &mut flights, &mut pending, &answered);
                     }
                 }
+                // Churn fires at primary-dispatch boundaries only: each unit
+                // primary-dispatches exactly once, so which units trigger
+                // churn — and therefore the joins/drains/flaps counters —
+                // is a pure function of seed + plan.
+                if primary
+                    && self.cfg.churn.is_some()
+                    && self.injector.fire(FaultSite::BackendChurn)
+                {
+                    self.churn_step(&mut flights, &mut pending, &answered);
+                }
                 match self.dispatch(unit, primary, &mut flights, &mut pending, &answered) {
                     DispatchOutcome::Sent => {}
                     DispatchOutcome::Requeued(unit) => {
@@ -367,6 +464,11 @@ impl<S: TraceSink> Coordinator<S> {
 
             // Health probes and quarantine recovery on a jittered cadence.
             if self.cfg.health_ms > 0 {
+                while next_health.len() < self.pool.backends.len() {
+                    let b = next_health.len();
+                    next_health.push(Instant::now() + health_every + self.health_jitter(b, 0));
+                    probe_count.push(0);
+                }
                 for b in 0..self.pool.backends.len() {
                     if self.pool.backends[b].dead || Instant::now() < next_health[b] {
                         continue;
@@ -391,6 +493,48 @@ impl<S: TraceSink> Coordinator<S> {
                         }
                     } else if self.pool.backends[b].quarantined {
                         self.revive(b);
+                    }
+                }
+            }
+
+            // Quarantine recovery runs on its own short cadence, independent
+            // of `health_ms`: a quarantined (not dead) backend that accepts
+            // a reconnect re-enters the pool instead of sitting out the run.
+            // Joiners mid-handshake get their `join` request (re)sent on the
+            // same cadence until it answers ready.
+            {
+                let now = Instant::now();
+                for b in 0..self.pool.backends.len() {
+                    if self.pool.backends[b].dead || now < self.revive_at[b] {
+                        continue;
+                    }
+                    self.revive_at[b] = now + REVIVE_EVERY;
+                    if self.joining.contains(&b) {
+                        self.advance_join(b);
+                    } else if self.pool.backends[b].quarantined {
+                        self.revive(b);
+                    }
+                }
+            }
+
+            // Overload observation window: record per-backend load, refill
+            // the migration budget, and migrate live shards off *sustained*
+            // offenders only (the hysteresis keeps single spikes harmless).
+            if Instant::now() >= self.next_window {
+                self.next_window = Instant::now() + OVERLOAD_WINDOW;
+                self.governor.begin_window();
+                for b in 0..self.pool.backends.len() {
+                    let sample = OverloadSample {
+                        queue_depth: 0,
+                        p99_us: 0,
+                        outstanding: self.pool.backends[b].outstanding as u64,
+                    };
+                    self.overload.record(b, sample);
+                }
+                for b in 0..self.pool.backends.len() {
+                    if self.pool.backends[b].healthy() && self.overload.sustained(b) {
+                        self.migrate_off(b, &mut flights, &mut pending, &answered);
+                        self.overload.reset(b);
                     }
                 }
             }
@@ -538,6 +682,7 @@ impl<S: TraceSink> Coordinator<S> {
                 sent: Instant::now(),
                 hedged: false,
                 attempts: unit.attempts,
+                migrated_to: Vec::new(),
             },
         );
         if primary {
@@ -607,9 +752,28 @@ impl<S: TraceSink> Coordinator<S> {
         };
         let id = resp.id();
         if id >= HEALTH_ID_BASE {
+            // Join acks admit a joiner only when it answered ready — a
+            // backend that is itself draining stays out of the pool.
+            if id == HEALTH_ID_BASE + JOIN_ID_OFFSET + b as u64 && self.joining.contains(&b) {
+                let ready = mm_json::parse(&line)
+                    .ok()
+                    .and_then(|j| j.get("ready").and_then(Json::as_i64))
+                    == Some(1);
+                self.counters.health_probes += 1;
+                if ready {
+                    self.joining.remove(&b);
+                    self.pool.backends[b].quarantined = false;
+                    self.pool.backends[b].failures = 0;
+                    self.emit(TraceEvent::ClusterBackendJoined { backend: b });
+                }
+                return;
+            }
             self.counters.health_probes += 1;
             self.pool.backends[b].failures = 0;
-            if self.pool.backends[b].quarantined && !self.pool.backends[b].dead {
+            if self.pool.backends[b].quarantined
+                && !self.pool.backends[b].dead
+                && !self.joining.contains(&b)
+            {
                 self.pool.backends[b].quarantined = false;
             }
             self.emit(TraceEvent::ClusterHealthProbe {
@@ -680,6 +844,9 @@ impl<S: TraceSink> Coordinator<S> {
         if let Some(flight) = flights.get(&id) {
             self.latencies
                 .push(flight.sent.elapsed().as_secs_f64() * 1e3);
+            if flight.migrated_to.contains(&b) {
+                self.counters.migrated_answers += 1;
+            }
         }
         if flight_empty {
             flights.remove(&id);
@@ -708,6 +875,169 @@ impl<S: TraceSink> Coordinator<S> {
         self.backend_down(victim, "drop", flights, pending, answered);
     }
 
+    /// Executes the next event of the churn plan. The event *counters*
+    /// (`churn_events`, `joins`, `drains`, `flaps`) increment here, at the
+    /// deterministic firing boundary; the asynchronous consequences
+    /// (admission, migrations, EOFs) land whenever the network lets them.
+    fn churn_step(
+        &mut self,
+        flights: &mut HashMap<u64, Flight>,
+        pending: &mut VecDeque<Unit>,
+        answered: &BTreeMap<u64, String>,
+    ) {
+        let action = match &self.cfg.churn {
+            Some(plan) => match plan.events.get(self.churn_cursor) {
+                Some(&action) => action,
+                None => return, // plan exhausted: further firings are no-ops
+            },
+            None => return,
+        };
+        self.churn_cursor += 1;
+        self.counters.churn_events += 1;
+        match action {
+            ChurnAction::Join => self.admit_spare(),
+            ChurnAction::Drain { backend } => {
+                self.drain_backend(backend, flights, pending, answered);
+            }
+            ChurnAction::Flap { backend } => {
+                self.counters.flaps += 1;
+                if backend < self.pool.backends.len() && !self.pool.backends[backend].dead {
+                    self.emit(TraceEvent::ClusterBackendFlapped { backend });
+                    if self.pool.backends[backend].alive {
+                        self.backend_down(backend, "flap", flights, pending, answered);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A `join` event: appends the next spare as a quarantined member and
+    /// starts its join handshake. The member is admitted for dispatch only
+    /// once the handshake answers ready ([`Self::advance_join`] retries it
+    /// on the revival cadence until then).
+    fn admit_spare(&mut self) {
+        self.counters.joins += 1;
+        let Some(addr) = self.cfg.spares.get(self.next_spare).cloned() else {
+            return; // plan asked for more joins than spares were given
+        };
+        self.next_spare += 1;
+        let idx = self.pool.add_backend(&addr);
+        self.counters.per_backend.push(0);
+        self.overload.add_backend();
+        self.revive_at.push(Instant::now());
+        self.pool.backends[idx].quarantined = true;
+        self.joining.insert(idx);
+        self.advance_join(idx);
+    }
+
+    /// Moves a mid-handshake joiner forward: connect if not yet connected,
+    /// then (re)send the `join` request. Gives up — the slot goes dead —
+    /// once failures exceed the retry budget, so an unreachable spare
+    /// cannot wedge the stall guard.
+    fn advance_join(&mut self, b: usize) {
+        if !self.joining.contains(&b) || self.pool.backends[b].dead {
+            return;
+        }
+        if !self.pool.backends[b].alive && self.pool.attach(b).is_err() {
+            self.pool.backends[b].failures += 1;
+            let failures = self.pool.backends[b].failures as u32;
+            if !self.cfg.retry.should_retry(failures) {
+                self.pool.backends[b].dead = true;
+                self.joining.remove(&b);
+            }
+            return;
+        }
+        let hello = Request::new(
+            HEALTH_ID_BASE + JOIN_ID_OFFSET + b as u64,
+            RequestKind::Join,
+        );
+        if self.pool.send(b, &hello.to_line()).is_err() {
+            self.pool.disconnect(b);
+            self.pool.backends[b].failures += 1;
+        }
+    }
+
+    /// A `drain` event: stop dispatching to the member, live-migrate its
+    /// in-flight shards to survivors (budget permitting — the overflow
+    /// falls back to resume-after-EOF), then ask it to drain and exit.
+    fn drain_backend(
+        &mut self,
+        victim: usize,
+        flights: &mut HashMap<u64, Flight>,
+        pending: &mut VecDeque<Unit>,
+        answered: &BTreeMap<u64, String>,
+    ) {
+        self.counters.drains += 1;
+        if victim >= self.pool.backends.len()
+            || self.pool.backends[victim].dead
+            || self.pool.backends[victim].draining
+        {
+            return;
+        }
+        self.pool.backends[victim].draining = true;
+        self.emit(TraceEvent::ClusterBackendDraining { backend: victim });
+        self.migrate_off(victim, flights, pending, answered);
+        let bye = Request::new(
+            HEALTH_ID_BASE + DRAIN_ID_OFFSET + victim as u64,
+            RequestKind::Drain,
+        );
+        let _ = self.pool.send(victim, &bye.to_line());
+    }
+
+    /// Live migration: every unanswered flight holding a copy on `victim`
+    /// gets a duplicate — primary id and idempotency key reused, marked
+    /// `migration` — on a healthy survivor, metered by the window budget.
+    /// Either copy may answer; the loser dedups invisibly (server-side
+    /// cache or coordinator dedup), so the transcript cannot tell a
+    /// migrated answer from a local one. Budget overflow is not loss: the
+    /// victim's EOF requeues whatever still has its only copy there.
+    fn migrate_off(
+        &mut self,
+        victim: usize,
+        flights: &mut HashMap<u64, Flight>,
+        pending: &mut VecDeque<Unit>,
+        answered: &BTreeMap<u64, String>,
+    ) {
+        let candidates: Vec<u64> = flights
+            .iter()
+            .filter(|(id, f)| f.copies.contains(&victim) && !answered.contains_key(id))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in candidates {
+            if !self.governor.try_take() {
+                break;
+            }
+            let (req, ncopies) = match flights.get(&id) {
+                Some(f) if f.copies.contains(&victim) => (f.req.clone(), f.copies.len()),
+                _ => continue, // a send failure below may have reshuffled flights
+            };
+            let views = self.pool.views();
+            let Some(to) = self.balancer.pick(id, &views, Some(victim)) else {
+                break; // no survivor to migrate to; EOF requeue will cover it
+            };
+            let mut copy = req;
+            self.migration_seq += 1;
+            copy.migration = Some(self.migration_seq);
+            copy.hedge = Some(ncopies as u64);
+            if self.pool.send(to, &copy.to_line()).is_err() {
+                self.backend_down(to, "send", flights, pending, answered);
+                continue;
+            }
+            self.pool.backends[to].outstanding += 1;
+            self.counters.per_backend[to] += 1;
+            self.counters.migrations += 1;
+            self.emit(TraceEvent::ClusterShardMigrated {
+                unit: id,
+                from: victim,
+                to,
+            });
+            if let Some(flight) = flights.get_mut(&id) {
+                flight.copies.push(to);
+                flight.migrated_to.push(to);
+            }
+        }
+    }
+
     /// A backend failed (EOF, send error, dropped, failed health probe):
     /// quarantine it and requeue every unit that only it was holding.
     fn backend_down(
@@ -720,15 +1050,22 @@ impl<S: TraceSink> Coordinator<S> {
     ) {
         self.pool.disconnect(b);
         self.emit(TraceEvent::ClusterBackendDown { backend: b, reason });
-        self.pool.backends[b].failures += 1;
-        if !self.pool.backends[b].quarantined {
-            self.pool.backends[b].quarantined = true;
-            self.counters.quarantines += 1;
-            let failures = self.pool.backends[b].failures;
-            self.emit(TraceEvent::ClusterBackendQuarantined {
-                backend: b,
-                failures,
-            });
+        if self.pool.backends[b].draining {
+            // A draining member's EOF is its graceful exit, not a failure:
+            // it has left the pool for good, and no quarantine/revival
+            // machinery should chase it.
+            self.pool.backends[b].dead = true;
+        } else {
+            self.pool.backends[b].failures += 1;
+            if !self.pool.backends[b].quarantined {
+                self.pool.backends[b].quarantined = true;
+                self.counters.quarantines += 1;
+                let failures = self.pool.backends[b].failures;
+                self.emit(TraceEvent::ClusterBackendQuarantined {
+                    backend: b,
+                    failures,
+                });
+            }
         }
         let orphaned: Vec<u64> = flights
             .iter()
@@ -763,7 +1100,10 @@ impl<S: TraceSink> Coordinator<S> {
     }
 
     fn revive(&mut self, b: usize) -> bool {
-        if self.pool.backends[b].dead || !self.pool.backends[b].quarantined {
+        if self.pool.backends[b].dead
+            || !self.pool.backends[b].quarantined
+            || self.joining.contains(&b)
+        {
             return false;
         }
         if !self

@@ -36,6 +36,8 @@ mod backend;
 mod balance;
 mod coordinator;
 mod grid;
+mod membership;
+mod migrate;
 mod solve;
 mod stats;
 mod sweep;
@@ -46,6 +48,8 @@ pub use coordinator::{
     ClusterConfig, ClusterCounters, ClusterReport, Coordinator, HedgeConfig, HEALTH_ID_BASE,
 };
 pub use grid::{cluster_grid, GridConfig, GridOutcome};
+pub use membership::{member_state, ChurnAction, ChurnPlan};
+pub use migrate::{MigrationGovernor, OverloadConfig, OverloadIndex, OverloadSample};
 pub use solve::{cluster_solve, SolveOutcome};
 pub use stats::{cluster_stats, scrape_backend, BackendStats, StatsOutcome, STATS_ID_BASE};
 pub use sweep::{cluster_sweep, SweepConfig, SweepOutcome};

@@ -1,0 +1,216 @@
+//! Elastic membership: churn plans and member lifecycle states.
+//!
+//! A [`ChurnPlan`] is the deterministic script of membership changes a run
+//! executes: spare backends joining, members draining gracefully, members
+//! flapping (forced down mid-run). The plan itself carries no timing — the
+//! [`mm_fault::FaultSite::BackendChurn`] site decides *when* each event
+//! fires (seeded `nth`/`every` schedules through the chaos harness), and
+//! the plan decides *what* happens. Splitting when from what keeps churn
+//! runs replayable: same seed + same plan ⇒ the same events fire at the
+//! same work-unit boundaries, so the deterministic counters and the
+//! transcript are byte-identical across reruns.
+//!
+//! Member lifecycle (see DESIGN.md §14):
+//!
+//! ```text
+//! spare ──join──▶ joining ──ready──▶ up ◀──probe ok── quarantined
+//!                                    │                     ▲
+//!                                    ├──failures───────────┘
+//!                                    ├──drain──▶ draining ──EOF──▶ left
+//!                                    └──flap/drop──▶ down (revivable
+//!                                                    until escalated dead)
+//! ```
+
+use std::path::Path;
+
+use mm_json::Json;
+
+use crate::backend::Backend;
+
+/// One membership change. `backend` indices refer to the coordinator's
+/// pool order (the `--backends` list, then joiners in join order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnAction {
+    /// Admit the next spare backend into the pool (after its `join`
+    /// handshake answers ready).
+    Join,
+    /// Gracefully drain a member: stop dispatching to it, migrate its live
+    /// shards to survivors, send it a `drain` request.
+    Drain {
+        /// Pool index of the member to drain.
+        backend: usize,
+    },
+    /// Flap a member: force its connection down as if it crashed. Unlike a
+    /// `backend_drop` it stays revivable — a later health probe readmits it.
+    Flap {
+        /// Pool index of the member to flap.
+        backend: usize,
+    },
+}
+
+impl ChurnAction {
+    /// The action's snake_case tag (the `"action"` field of its JSON form).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ChurnAction::Join => "join",
+            ChurnAction::Drain { .. } => "drain",
+            ChurnAction::Flap { .. } => "flap",
+        }
+    }
+}
+
+/// A deterministic membership schedule: the ordered list of churn events a
+/// run executes, one per [`mm_fault::FaultSite::BackendChurn`] firing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChurnPlan {
+    /// Events in firing order. Firings past the end are no-ops.
+    pub events: Vec<ChurnAction>,
+}
+
+impl ChurnPlan {
+    /// A canned rolling-restart-plus-flap schedule for `machmin chaos`:
+    /// one spare joins, member `drain` drains, member `flap` flaps.
+    pub fn rolling(drain: usize, flap: usize) -> ChurnPlan {
+        ChurnPlan {
+            events: vec![
+                ChurnAction::Join,
+                ChurnAction::Drain { backend: drain },
+                ChurnAction::Flap { backend: flap },
+            ],
+        }
+    }
+
+    /// The plan as JSON (`machmin cluster --churn plan.json` format).
+    pub fn to_json(&self) -> Json {
+        Json::obj([(
+            "events",
+            Json::Arr(
+                self.events
+                    .iter()
+                    .map(|e| {
+                        let mut fields = vec![("action".to_string(), Json::str(e.tag()))];
+                        match e {
+                            ChurnAction::Join => {}
+                            ChurnAction::Drain { backend } | ChurnAction::Flap { backend } => {
+                                fields.push(("backend".to_string(), Json::Int(*backend as i64)));
+                            }
+                        }
+                        Json::Obj(fields)
+                    })
+                    .collect(),
+            ),
+        )])
+    }
+
+    /// Parses a plan from its JSON form.
+    pub fn from_json(json: &Json) -> Result<ChurnPlan, String> {
+        let Some(Json::Arr(events)) = json.get("events") else {
+            return Err("churn plan: missing \"events\" array".into());
+        };
+        let mut plan = ChurnPlan::default();
+        for (i, event) in events.iter().enumerate() {
+            let action = event
+                .get("action")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("churn plan event {i}: missing \"action\""))?;
+            let backend = || -> Result<usize, String> {
+                event
+                    .get("backend")
+                    .and_then(Json::as_i64)
+                    .filter(|&b| b >= 0)
+                    .map(|b| b as usize)
+                    .ok_or_else(|| format!("churn plan event {i} ({action}): missing \"backend\""))
+            };
+            plan.events.push(match action {
+                "join" => ChurnAction::Join,
+                "drain" => ChurnAction::Drain {
+                    backend: backend()?,
+                },
+                "flap" => ChurnAction::Flap {
+                    backend: backend()?,
+                },
+                other => return Err(format!("churn plan event {i}: unknown action {other:?}")),
+            });
+        }
+        Ok(plan)
+    }
+
+    /// Loads a plan from a JSON file.
+    pub fn load(path: &Path) -> Result<ChurnPlan, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("churn plan {}: {e}", path.display()))?;
+        let json = mm_json::parse(&text)
+            .map_err(|e| format!("churn plan {}: {}", path.display(), e.message))?;
+        ChurnPlan::from_json(&json)
+    }
+
+    /// How many spare backends the plan consumes (one per `join` event).
+    pub fn joins_needed(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, ChurnAction::Join))
+            .count()
+    }
+}
+
+/// A backend's lifecycle state as one word — what `machmin cluster stats`
+/// and `machmin top` print, and the vocabulary DESIGN.md §14 uses.
+pub fn member_state(backend: &Backend) -> &'static str {
+    if backend.dead {
+        "dead"
+    } else if backend.draining {
+        "draining"
+    } else if backend.quarantined {
+        "quarantined"
+    } else if !backend.alive {
+        "joining"
+    } else {
+        "up"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_plans_roundtrip_through_json() {
+        let plan = ChurnPlan {
+            events: vec![
+                ChurnAction::Join,
+                ChurnAction::Drain { backend: 0 },
+                ChurnAction::Flap { backend: 2 },
+                ChurnAction::Join,
+            ],
+        };
+        let json = plan.to_json();
+        let back = ChurnPlan::from_json(&json).unwrap();
+        assert_eq!(plan, back);
+        assert_eq!(plan.joins_needed(), 2);
+    }
+
+    #[test]
+    fn malformed_plans_are_rejected_with_context() {
+        let missing = mm_json::parse(r#"{"rules":[]}"#).unwrap();
+        assert!(ChurnPlan::from_json(&missing)
+            .unwrap_err()
+            .contains("events"));
+        let bad_action = mm_json::parse(r#"{"events":[{"action":"explode"}]}"#).unwrap();
+        assert!(ChurnPlan::from_json(&bad_action)
+            .unwrap_err()
+            .contains("explode"));
+        let no_backend = mm_json::parse(r#"{"events":[{"action":"drain"}]}"#).unwrap();
+        assert!(ChurnPlan::from_json(&no_backend)
+            .unwrap_err()
+            .contains("backend"));
+    }
+
+    #[test]
+    fn rolling_plan_has_one_of_each() {
+        let plan = ChurnPlan::rolling(1, 2);
+        assert_eq!(plan.events.len(), 3);
+        assert_eq!(plan.joins_needed(), 1);
+        assert_eq!(plan.events[1], ChurnAction::Drain { backend: 1 });
+        assert_eq!(plan.events[2], ChurnAction::Flap { backend: 2 });
+    }
+}

@@ -1,0 +1,258 @@
+//! Overload detection and migration budgeting.
+//!
+//! The overload index is the sandpiper discipline: a backend is acted on
+//! only when it has been overloaded for *sustained* windows, never on a
+//! single spike. Each observation window the coordinator feeds one
+//! [`OverloadSample`] per backend (queue depth, p99 latency, outstanding
+//! shards — the numbers the `mm-obs` stats scrape already exports); the
+//! index keeps a ring of the last `windows` boolean verdicts and reports a
+//! backend as a migration candidate only when at least `sustain` of them
+//! are hot. Like [`mm_obs`]'s `WindowRing`, the index is clockless — the
+//! caller defines the window cadence, so tests drive it without sleeping.
+//!
+//! [`MigrationGovernor`] is the Albers–Hellwig lens on the same machinery:
+//! migration helps, but only *bounded* migration is worth its cost, so
+//! moves are metered against a per-window budget and the budget's size is
+//! the experiment knob (`--migration-budget`).
+
+use std::collections::VecDeque;
+
+/// One observation window's worth of load signals for one backend, as
+/// scraped from its `stats` endpoint and the coordinator's own books.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverloadSample {
+    /// The backend's admission queue depth (`queue_depth` gauge).
+    pub queue_depth: u64,
+    /// The backend's p99 request latency in microseconds.
+    pub p99_us: u64,
+    /// Shards the coordinator currently has outstanding on the backend.
+    pub outstanding: u64,
+}
+
+/// Thresholds and hysteresis shape for the overload index.
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadConfig {
+    /// Ring size: how many windows of history each backend keeps.
+    pub windows: usize,
+    /// Hot windows (out of `windows`) required before a backend counts as
+    /// a sustained offender. `sustain > 1` is the hysteresis: a single
+    /// spike can never trigger action.
+    pub sustain: usize,
+    /// A window is hot when `queue_depth` is at or above this…
+    pub queue_depth_hot: u64,
+    /// …or `p99_us` is at or above this…
+    pub p99_us_hot: u64,
+    /// …or `outstanding` is at or above this.
+    pub outstanding_hot: u64,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            windows: 5,
+            sustain: 3,
+            queue_depth_hot: 8,
+            p99_us_hot: 250_000,
+            outstanding_hot: 16,
+        }
+    }
+}
+
+/// Per-backend windowed overload rings with hysteresis.
+#[derive(Debug)]
+pub struct OverloadIndex {
+    cfg: OverloadConfig,
+    rings: Vec<VecDeque<bool>>,
+}
+
+impl OverloadIndex {
+    /// An index over `backends` pool slots.
+    pub fn new(cfg: OverloadConfig, backends: usize) -> OverloadIndex {
+        let cfg = OverloadConfig {
+            windows: cfg.windows.max(1),
+            sustain: cfg.sustain.clamp(1, cfg.windows.max(1)),
+            ..cfg
+        };
+        OverloadIndex {
+            cfg,
+            rings: (0..backends).map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    /// Tracks a backend added to the pool at runtime (a joiner).
+    pub fn add_backend(&mut self) {
+        self.rings.push(VecDeque::new());
+    }
+
+    /// Whether one sample is hot under the configured thresholds.
+    pub fn is_hot(&self, sample: &OverloadSample) -> bool {
+        sample.queue_depth >= self.cfg.queue_depth_hot
+            || sample.p99_us >= self.cfg.p99_us_hot
+            || sample.outstanding >= self.cfg.outstanding_hot
+    }
+
+    /// Records one observation window for `backend`.
+    pub fn record(&mut self, backend: usize, sample: OverloadSample) {
+        if backend >= self.rings.len() {
+            self.rings.resize_with(backend + 1, VecDeque::new);
+        }
+        let hot = self.is_hot(&sample);
+        let ring = &mut self.rings[backend];
+        ring.push_back(hot);
+        while ring.len() > self.cfg.windows {
+            ring.pop_front();
+        }
+    }
+
+    /// The backend's overload index: hot windows in its ring (0 = cold).
+    pub fn index(&self, backend: usize) -> usize {
+        self.rings
+            .get(backend)
+            .map(|r| r.iter().filter(|&&h| h).count())
+            .unwrap_or(0)
+    }
+
+    /// Whether the backend is a *sustained* offender — the only state in
+    /// which the coordinator may migrate work off it.
+    pub fn sustained(&self, backend: usize) -> bool {
+        self.index(backend) >= self.cfg.sustain
+    }
+
+    /// Clears a backend's history (after it drained, flapped, or rejoined —
+    /// stale heat must not follow it back into the pool).
+    pub fn reset(&mut self, backend: usize) {
+        if let Some(ring) = self.rings.get_mut(backend) {
+            ring.clear();
+        }
+    }
+
+    /// `(index, windows)` pairs per backend, for `machmin cluster stats`.
+    pub fn snapshot(&self) -> Vec<(usize, usize)> {
+        self.rings
+            .iter()
+            .map(|r| (r.iter().filter(|&&h| h).count(), r.len()))
+            .collect()
+    }
+}
+
+/// Bounded-migration budget: at most `budget` moves per observation
+/// window, in the spirit of Albers–Hellwig's bounded job migration.
+#[derive(Debug, Clone, Copy)]
+pub struct MigrationGovernor {
+    budget: u64,
+    used: u64,
+}
+
+impl MigrationGovernor {
+    /// A governor allowing `budget` migrations per window.
+    pub fn new(budget: u64) -> MigrationGovernor {
+        MigrationGovernor { budget, used: 0 }
+    }
+
+    /// Starts a new observation window (the budget refills).
+    pub fn begin_window(&mut self) {
+        self.used = 0;
+    }
+
+    /// Takes one migration slot if the window still has budget.
+    pub fn try_take(&mut self) -> bool {
+        if self.used < self.budget {
+            self.used += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Slots left in the current window.
+    pub fn remaining(&self) -> u64 {
+        self.budget - self.used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot() -> OverloadSample {
+        OverloadSample {
+            queue_depth: 100,
+            p99_us: 1_000_000,
+            outstanding: 100,
+        }
+    }
+
+    fn cold() -> OverloadSample {
+        OverloadSample::default()
+    }
+
+    #[test]
+    fn single_window_spike_never_sustains() {
+        // The hysteresis property the churn design leans on: one hot window
+        // between cold ones — however extreme — never triggers migration.
+        let mut idx = OverloadIndex::new(OverloadConfig::default(), 2);
+        for round in 0..50 {
+            idx.record(0, if round % 5 == 0 { hot() } else { cold() });
+            assert!(
+                !idx.sustained(0),
+                "round {round}: isolated spikes must not sustain"
+            );
+        }
+        assert!(idx.index(0) <= 1);
+    }
+
+    #[test]
+    fn sustained_heat_trips_after_sustain_windows_and_cools_off() {
+        let cfg = OverloadConfig {
+            windows: 5,
+            sustain: 3,
+            ..OverloadConfig::default()
+        };
+        let mut idx = OverloadIndex::new(cfg, 1);
+        idx.record(0, hot());
+        idx.record(0, hot());
+        assert!(!idx.sustained(0), "two hot windows are below the bar");
+        idx.record(0, hot());
+        assert!(idx.sustained(0), "three consecutive hot windows sustain");
+        for _ in 0..5 {
+            idx.record(0, cold());
+        }
+        assert!(!idx.sustained(0), "cold windows age the heat out");
+        assert_eq!(idx.index(0), 0);
+    }
+
+    #[test]
+    fn per_backend_rings_are_independent_and_resettable() {
+        let mut idx = OverloadIndex::new(OverloadConfig::default(), 2);
+        for _ in 0..5 {
+            idx.record(1, hot());
+        }
+        assert!(!idx.sustained(0));
+        assert!(idx.sustained(1));
+        idx.reset(1);
+        assert!(!idx.sustained(1), "reset clears history");
+        idx.add_backend();
+        assert_eq!(idx.snapshot().len(), 3);
+        assert_eq!(idx.snapshot()[1], (0, 0));
+    }
+
+    #[test]
+    fn governor_meters_moves_per_window() {
+        let mut gov = MigrationGovernor::new(2);
+        assert!(gov.try_take());
+        assert!(gov.try_take());
+        assert!(!gov.try_take(), "third move in a window exceeds the budget");
+        assert_eq!(gov.remaining(), 0);
+        gov.begin_window();
+        assert!(gov.try_take(), "a new window refills the budget");
+        assert_eq!(gov.remaining(), 1);
+    }
+
+    #[test]
+    fn zero_budget_disables_migration_entirely() {
+        let mut gov = MigrationGovernor::new(0);
+        assert!(!gov.try_take());
+        gov.begin_window();
+        assert!(!gov.try_take());
+    }
+}

@@ -8,8 +8,8 @@
 use std::sync::Arc;
 
 use mm_cluster::{
-    cluster_grid, cluster_solve, cluster_sweep, BalancePolicy, ClusterConfig, Coordinator,
-    GridConfig, HedgeConfig, SweepConfig,
+    cluster_grid, cluster_solve, cluster_sweep, BalancePolicy, ChurnAction, ChurnPlan,
+    ClusterConfig, Coordinator, GridConfig, HedgeConfig, SweepConfig,
 };
 use mm_fault::{FaultPlan, FaultRule, FaultSite, RetryPolicy};
 use mm_serve::protocol::{Request, RequestKind};
@@ -23,11 +23,14 @@ struct Backend {
 }
 
 fn spawn_backend() -> Backend {
-    let cfg = ServeConfig {
+    spawn_backend_cfg(ServeConfig {
         workers: 2,
         queue_cap: 64,
         ..ServeConfig::default()
-    };
+    })
+}
+
+fn spawn_backend_cfg(cfg: ServeConfig) -> Backend {
     let service = Arc::new(Service::start(cfg, DynSink::new(Box::new(NoopSink))).unwrap());
     let (listener, addr) = mm_serve::tcp::bind("127.0.0.1:0").unwrap();
     let acceptor = {
@@ -366,6 +369,183 @@ fn cluster_stats_merge_is_exactly_the_sum_of_backend_histograms() {
         );
     }
     teardown(pool);
+}
+
+/// A backend whose every request sleeps `ms` — slow enough that churn
+/// events land while it still holds live shards.
+fn spawn_slow_backend(ms: u64) -> Backend {
+    spawn_backend_cfg(ServeConfig {
+        workers: 2,
+        queue_cap: 64,
+        slowdown_ms: ms,
+        plan: FaultPlan {
+            seed: 0,
+            rules: vec![FaultRule {
+                site: FaultSite::MachineSlowdown,
+                nth: 1,
+                every: Some(1),
+            }],
+        },
+        ..ServeConfig::default()
+    })
+}
+
+#[test]
+fn draining_a_backend_migrates_live_shards_without_duplicates_or_loss() {
+    // Two fast backends plus a victim that sleeps 40 ms per request: when
+    // the drain fires (6th primary dispatch, microseconds into the burst)
+    // the victim is still sitting on its shards, so they must move.
+    let run = |churn: Option<ChurnPlan>| {
+        let mut pool = spawn_pool(2);
+        pool.push(spawn_slow_backend(40));
+        let cfg = ClusterConfig {
+            backends: addrs(&pool),
+            balance: BalancePolicy::RoundRobin,
+            seed: 17,
+            window: 16,
+            plan: FaultPlan {
+                seed: 0,
+                rules: vec![FaultRule {
+                    site: FaultSite::BackendChurn,
+                    nth: 6,
+                    every: None,
+                }],
+            },
+            churn,
+            ..ClusterConfig::default()
+        };
+        let coordinator = Coordinator::connect(cfg, NoopSink).unwrap();
+        let report = coordinator.run(solve_units(16), &mut |_, _| {}).unwrap();
+        // The drained victim already exited gracefully; shutdown is
+        // idempotent for it and stops the survivors.
+        for b in &pool {
+            b.service.shutdown();
+        }
+        for b in pool {
+            b.service.wait_stopped();
+            b.acceptor.join().unwrap().unwrap();
+        }
+        report
+    };
+    let quiet = run(None);
+    let drained = run(Some(ChurnPlan {
+        events: vec![ChurnAction::Drain { backend: 2 }],
+    }));
+    assert_eq!(drained.counters.churn_events, 1);
+    assert_eq!(drained.counters.drains, 1);
+    assert!(
+        drained.counters.migrations >= 1,
+        "the slow victim held live shards at drain time: {:?}",
+        drained.counters
+    );
+    assert_eq!(drained.counters.lost, 0, "a drain may lose nothing");
+    assert_eq!(drained.counters.responses, 16);
+    // A migrated shard can be answered by both the slow victim and its new
+    // home; the shared id + idempotency key make the duplicate invisible —
+    // the transcript must match the churn-free run byte for byte.
+    assert_eq!(
+        quiet.transcript("solve"),
+        drained.transcript("solve"),
+        "migration must be invisible in the transcript"
+    );
+    for (id, line) in &drained.responses {
+        let doc = mm_json::parse(line).unwrap();
+        assert_eq!(
+            doc.get("machines").and_then(|m| m.as_i64()),
+            Some(*id as i64),
+            "unit {id} got {line}"
+        );
+    }
+}
+
+#[test]
+fn a_flapped_backend_is_quarantined_then_revived_and_serves_again() {
+    // Every backend sleeps 15 ms per request so the run outlives the
+    // coordinator's 200 ms revive cadence: the flapped backend must pass a
+    // health reattach and take dispatches again before the workload ends.
+    let pool: Vec<Backend> = (0..3).map(|_| spawn_slow_backend(15)).collect();
+    let cfg = ClusterConfig {
+        backends: addrs(&pool),
+        balance: BalancePolicy::RoundRobin,
+        seed: 19,
+        window: 3,
+        plan: FaultPlan {
+            seed: 0,
+            rules: vec![FaultRule {
+                site: FaultSite::BackendChurn,
+                nth: 3,
+                every: None,
+            }],
+        },
+        churn: Some(ChurnPlan {
+            events: vec![ChurnAction::Flap { backend: 1 }],
+        }),
+        ..ClusterConfig::default()
+    };
+    let coordinator = Coordinator::connect(cfg, NoopSink).unwrap();
+    let report = coordinator.run(solve_units(60), &mut |_, _| {}).unwrap();
+    assert_eq!(report.counters.flaps, 1);
+    assert!(report.counters.quarantines >= 1, "a flap quarantines");
+    assert_eq!(report.counters.lost, 0);
+    assert_eq!(report.counters.responses, 60);
+    // Before the flap (3rd primary dispatch) backend 1 held exactly one
+    // dispatch; quarantined backends are never picked, so a second dispatch
+    // proves the quarantine was recoverable and the backend re-entered.
+    assert!(
+        report.counters.per_backend[1] >= 2,
+        "flapped backend never re-entered the pool: {:?}",
+        report.counters.per_backend
+    );
+    teardown(pool);
+}
+
+#[test]
+fn churn_runs_replay_byte_identically_across_seeds() {
+    // The burst-determinism contract under a full rolling plan (join +
+    // drain + flap): same seed + same plan ⇒ byte-identical transcript and
+    // identical event counters, for more than one seed.
+    for seed in [31u64, 32] {
+        let run = || {
+            let pool = spawn_pool(4);
+            let cfg = ClusterConfig {
+                backends: addrs(&pool)[..3].to_vec(),
+                spares: vec![pool[3].addr.clone()],
+                balance: BalancePolicy::RoundRobin,
+                seed,
+                window: 16,
+                plan: FaultPlan {
+                    seed,
+                    rules: vec![FaultRule {
+                        site: FaultSite::BackendChurn,
+                        nth: 3,
+                        every: Some(4),
+                    }],
+                },
+                churn: Some(ChurnPlan::rolling(2, 0)),
+                ..ClusterConfig::default()
+            };
+            let coordinator = Coordinator::connect(cfg, NoopSink).unwrap();
+            let report = coordinator.run(solve_units(16), &mut |_, _| {}).unwrap();
+            for b in &pool {
+                b.service.shutdown();
+            }
+            for b in pool {
+                b.service.wait_stopped();
+                b.acceptor.join().unwrap().unwrap();
+            }
+            let c = &report.counters;
+            (
+                report.transcript("solve"),
+                (c.churn_events, c.joins, c.drains, c.flaps, c.lost),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "seed {seed}: churn rerun must be byte-identical");
+        // nth=3, every=4 fires at primary dispatches 3, 7, 11 and 15; the
+        // 3-event plan consumes the first three and the fourth is a no-op.
+        assert_eq!(a.1, (3, 1, 1, 1, 0), "seed {seed}");
+    }
 }
 
 #[test]

@@ -366,6 +366,11 @@ pub enum FaultSite {
     /// dead connection, quarantine the backend, and resume its shards on
     /// surviving workers without losing a response).
     BackendDrop,
+    /// Execute the next event of the coordinator's churn plan (a backend
+    /// joins, drains gracefully with live shard migration, or flaps). The
+    /// firing schedule is seeded, so rolling-restart and flapping-backend
+    /// scenarios replay deterministically.
+    BackendChurn,
 }
 
 impl FaultSite {
@@ -373,7 +378,7 @@ impl FaultSite {
     /// iterate this). New sites are appended, never inserted, so the chaos
     /// rules [`FaultPlan::chaos`] derives for existing sites stay identical
     /// across releases for a given seed.
-    pub const ALL: [FaultSite; 7] = [
+    pub const ALL: [FaultSite; 8] = [
         FaultSite::ProbeCancel,
         FaultSite::ForceBigint,
         FaultSite::MachineFailure,
@@ -381,6 +386,7 @@ impl FaultSite {
         FaultSite::AdversaryAbort,
         FaultSite::WorkerPanic,
         FaultSite::BackendDrop,
+        FaultSite::BackendChurn,
     ];
 
     /// Stable snake_case tag (used in plan files and trace events).
@@ -393,6 +399,7 @@ impl FaultSite {
             FaultSite::AdversaryAbort => "adversary_abort",
             FaultSite::WorkerPanic => "worker_panic",
             FaultSite::BackendDrop => "backend_drop",
+            FaultSite::BackendChurn => "backend_churn",
         }
     }
 

@@ -242,11 +242,16 @@ pub fn execute_traced<S: TraceSink>(
             id,
             fields: vec![("draining".into(), Json::Bool(true))],
         },
-        // Stats is answered inline by the supervisor; reaching a worker is a
-        // routing bug, answered loudly instead of silently.
+        // Stats and the membership control verbs are answered inline by the
+        // supervisor; reaching a worker is a routing bug, answered loudly
+        // instead of silently.
         RequestKind::Stats { .. } => Response::Error {
             id,
             message: "stats requests are answered by the supervisor, not a worker".into(),
+        },
+        RequestKind::Join | RequestKind::Drain | RequestKind::Leave => Response::Error {
+            id,
+            message: "membership requests are answered by the supervisor, not a worker".into(),
         },
     }
 }

@@ -88,6 +88,12 @@ pub struct LoadReport {
     /// server's `stats` endpoint, so client- and server-side observations
     /// merge. Exported by `machmin load --hist`.
     pub hist: mm_obs::Histogram,
+    /// Server-side count of answered requests that carried a `migration`
+    /// marker — nonzero only when a cluster coordinator moved work onto
+    /// this backend. Migrated copies answer with byte-identical lines, so
+    /// this end-of-run stats scrape is the only place migration shows up;
+    /// soaks assert on it to prove migration actually happened.
+    pub migrated_served: u64,
 }
 
 impl LoadReport {
@@ -291,6 +297,38 @@ pub fn run_load(addr: &str, cfg: &LoadConfig) -> std::io::Result<LoadReport> {
         }
     }
 
+    // One stats scrape before shutdown: migrated copies answer with
+    // byte-identical lines, so the server's `migrated_served` counter is the
+    // only footprint migration leaves. Scrape failures (e.g. a server that
+    // already hung up) degrade to 0 rather than failing the run, and the
+    // probe bypasses the latency bookkeeping so quantiles stay untouched.
+    let mut scrape_migrated = || -> std::io::Result<u64> {
+        let probe = Request::new(
+            (u64::MAX >> 1) - 1,
+            RequestKind::Stats {
+                prometheus: false,
+                counters_only: true,
+            },
+        );
+        writer.write_all(probe.to_line().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(0);
+        }
+        Ok(mm_json::parse(line.trim())
+            .ok()
+            .and_then(|j| {
+                j.get("counters")
+                    .and_then(|c| c.get("migrated_served"))
+                    .and_then(mm_json::Json::as_i64)
+            })
+            .unwrap_or(0)
+            .max(0) as u64)
+    };
+    let migrated_served = scrape_migrated().unwrap_or(0);
+
     if cfg.shutdown {
         let bye = Request::new(u64::MAX >> 1, RequestKind::Shutdown);
         send(&mut writer, &mut started, &bye)?;
@@ -335,6 +373,7 @@ pub fn run_load(addr: &str, cfg: &LoadConfig) -> std::io::Result<LoadReport> {
         p99_ms: quantile(0.99),
         p999_ms: quantile(0.999),
         hist,
+        migrated_served,
     })
 }
 

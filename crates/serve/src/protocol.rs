@@ -45,6 +45,12 @@ pub struct Request {
     /// The server answers a duplicate key from its response cache instead
     /// of recomputing, so hedged duplicates cost one execution.
     pub idempotency_key: Option<u64>,
+    /// Migration marker: absent on ordinary sends, `Some(n)` on a copy the
+    /// coordinator moved off a draining or overloaded backend. Like `hedge`
+    /// it is never echoed — a migrated copy must produce a byte-identical
+    /// response line — but the receiving server counts it, so migration
+    /// stays observable without touching the transcript.
+    pub migration: Option<u64>,
 }
 
 /// The request payloads the service executes.
@@ -82,6 +88,18 @@ pub enum RequestKind {
     },
     /// Ask the server to drain and shut down.
     Shutdown,
+    /// Membership handshake: a coordinator admitting this backend into an
+    /// elastic pool asks whether it is ready to take work. Answered inline;
+    /// the reply's `ready` field is 0 while the server is draining.
+    Join,
+    /// Begin draining: stop admitting new work, finish the queue, then stop.
+    /// Unlike `shutdown` this is the coordinator-driven graceful-leave verb;
+    /// the two are wire-compatible aliases today but carry distinct tags so
+    /// journals and traces record intent.
+    Drain,
+    /// A backend announcing its own departure: drain and stop. Semantically
+    /// `drain` initiated by the member rather than the coordinator.
+    Leave,
     /// Report live observability metrics. Answered inline by the supervisor
     /// (no queue slot, no journal record) so stats stay readable under load.
     Stats {
@@ -103,6 +121,9 @@ impl RequestKind {
             RequestKind::Schedule { .. } => "schedule",
             RequestKind::Adversary { .. } => "adversary",
             RequestKind::Shutdown => "shutdown",
+            RequestKind::Join => "join",
+            RequestKind::Drain => "drain",
+            RequestKind::Leave => "leave",
             RequestKind::Stats { .. } => "stats",
         }
     }
@@ -119,6 +140,7 @@ impl Request {
             shard: None,
             hedge: None,
             idempotency_key: None,
+            migration: None,
         }
     }
 
@@ -170,7 +192,8 @@ impl Request {
                 fields.push(("k", Json::Int(*k as i64)));
                 fields.push(("machines", Json::Int(*machines as i64)));
             }
-            RequestKind::Shutdown => {}
+            RequestKind::Shutdown | RequestKind::Join | RequestKind::Drain | RequestKind::Leave => {
+            }
             RequestKind::Stats {
                 prometheus,
                 counters_only,
@@ -197,6 +220,9 @@ impl Request {
         }
         if let Some(k) = self.idempotency_key {
             fields.push(("idempotency_key", Json::Int(k as i64)));
+        }
+        if let Some(m) = self.migration {
+            fields.push(("migration", Json::Int(m as i64)));
         }
         Json::obj(fields).to_compact()
     }
@@ -258,6 +284,9 @@ impl Request {
                 machines: uint("machines")?.ok_or("adversary request missing `machines`")? as usize,
             },
             "shutdown" => RequestKind::Shutdown,
+            "join" => RequestKind::Join,
+            "drain" => RequestKind::Drain,
+            "leave" => RequestKind::Leave,
             "stats" => RequestKind::Stats {
                 prometheus: match json.get("format").map(Json::as_str) {
                     None => false,
@@ -284,6 +313,7 @@ impl Request {
             shard: uint("shard")?,
             hedge: uint("hedge")?,
             idempotency_key: uint("idempotency_key")?,
+            migration: uint("migration")?,
         })
     }
 }
@@ -539,6 +569,19 @@ mod tests {
                 )
             },
             Request::new(5, RequestKind::Shutdown),
+            Request::new(14, RequestKind::Join),
+            Request::new(15, RequestKind::Drain),
+            Request::new(16, RequestKind::Leave),
+            Request {
+                idempotency_key: Some(0xF00D),
+                migration: Some(1),
+                ..Request::new(
+                    17,
+                    RequestKind::Solve {
+                        jobs: vec![(0, 2, 2)],
+                    },
+                )
+            },
             Request::new(
                 12,
                 RequestKind::Stats {

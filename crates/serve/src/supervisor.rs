@@ -115,6 +115,13 @@ pub struct ServeStats {
     pub deduped: u64,
     /// `stats` requests answered inline by the supervisor.
     pub stats_served: u64,
+    /// Membership control requests (`join`/`drain`/`leave`) answered inline.
+    pub control_served: u64,
+    /// Answered requests that carried a `migration` marker — work the
+    /// cluster coordinator moved here off a draining or overloaded backend.
+    /// The response bytes are identical to an unmarked send (transcript
+    /// determinism), so this counter is how migration stays observable.
+    pub migrated_served: u64,
 }
 
 impl ServeStats {
@@ -142,6 +149,8 @@ impl ServeStats {
             ("replayed_acks", Json::Int(self.replayed_acks as i64)),
             ("deduped", Json::Int(self.deduped as i64)),
             ("stats_served", Json::Int(self.stats_served as i64)),
+            ("control_served", Json::Int(self.control_served as i64)),
+            ("migrated_served", Json::Int(self.migrated_served as i64)),
         ])
     }
 }
@@ -242,6 +251,8 @@ impl Shared {
             ("serve.replayed_acks", stats.replayed_acks),
             ("serve.deduped", stats.deduped),
             ("serve.stats_served", stats.stats_served),
+            ("serve.control_served", stats.control_served),
+            ("serve.migrated_served", stats.migrated_served),
         ];
         for (name, value) in serve_counters {
             snap.counters.insert(name.to_string(), value);
@@ -555,6 +566,44 @@ impl Service {
             );
             return;
         }
+        // Membership control verbs are answered inline, like stats: a join
+        // handshake must be readable even under a full queue, and a drain
+        // must not itself occupy a queue slot.
+        match req.kind {
+            RequestKind::Join => {
+                let draining = self.shared.admission.lock().unwrap().draining;
+                self.shared.stats.lock().unwrap().control_served += 1;
+                let _ = reply.send(
+                    Response::Ok {
+                        id: req.id,
+                        fields: vec![(
+                            "ready".into(),
+                            mm_json::Json::Int(if draining { 0 } else { 1 }),
+                        )],
+                    }
+                    .to_line(),
+                );
+                return;
+            }
+            RequestKind::Drain | RequestKind::Leave => {
+                self.shared.stats.lock().unwrap().control_served += 1;
+                self.begin_drain();
+                let field = if matches!(req.kind, RequestKind::Drain) {
+                    "draining"
+                } else {
+                    "leaving"
+                };
+                let _ = reply.send(
+                    Response::Ok {
+                        id: req.id,
+                        fields: vec![(field.into(), mm_json::Json::Bool(true))],
+                    }
+                    .to_line(),
+                );
+                return;
+            }
+            _ => {}
+        }
         let mut req = req;
         if req.deadline_ms.is_none() {
             req.deadline_ms = self.shared.cfg.default_deadline_ms;
@@ -564,7 +613,12 @@ impl Service {
         if let Some(key) = req.idempotency_key {
             let cached = self.shared.idem.lock().unwrap().get(key).cloned();
             if let Some(line) = cached {
-                self.shared.stats.lock().unwrap().deduped += 1;
+                let mut stats = self.shared.stats.lock().unwrap();
+                stats.deduped += 1;
+                if req.migration.is_some() {
+                    stats.migrated_served += 1;
+                }
+                drop(stats);
                 self.shared
                     .emit(TraceEvent::RequestDeduped { id: req.id, key });
                 let _ = reply.send(line);
@@ -611,7 +665,13 @@ impl Service {
             return;
         }
         drop(admission);
-        self.shared.stats.lock().unwrap().admitted += 1;
+        {
+            let mut stats = self.shared.stats.lock().unwrap();
+            stats.admitted += 1;
+            if req.migration.is_some() {
+                stats.migrated_served += 1;
+            }
+        }
         self.shared.emit(TraceEvent::RequestAdmitted {
             id: req.id,
             kind: kind_tag(&req.kind),
@@ -672,6 +732,9 @@ fn kind_tag(kind: &RequestKind) -> &'static str {
         RequestKind::Adversary { .. } => "adversary",
         RequestKind::Shutdown => "shutdown",
         RequestKind::Stats { .. } => "stats",
+        RequestKind::Join => "join",
+        RequestKind::Drain => "drain",
+        RequestKind::Leave => "leave",
     }
 }
 

@@ -300,6 +300,34 @@ pub enum TraceEvent {
         /// Dispatch attempts so far.
         attempt: u32,
     },
+    /// A backend joined the pool at runtime: its `join` handshake answered
+    /// `ready` and the coordinator admitted it for dispatch.
+    ClusterBackendJoined {
+        /// Backend index within the pool.
+        backend: usize,
+    },
+    /// The coordinator began draining a backend (graceful leave): no new
+    /// dispatches; its live shards migrate to survivors.
+    ClusterBackendDraining {
+        /// Backend index within the pool.
+        backend: usize,
+    },
+    /// A live in-flight shard was migrated off a draining or overloaded
+    /// backend onto a survivor, reusing its idempotency key so a double
+    /// answer dedups invisibly.
+    ClusterShardMigrated {
+        /// Logical work-unit id.
+        unit: u64,
+        /// Backend the shard was moved off.
+        from: usize,
+        /// Backend it now also runs on.
+        to: usize,
+    },
+    /// A churn plan forced a backend down mid-run (flap).
+    ClusterBackendFlapped {
+        /// Backend index within the pool.
+        backend: usize,
+    },
     /// One timed phase of a request span (observability layer). Unlike the
     /// logical events above, this carries wall-clock data, so it never
     /// appears in anything gated on byte-identical output.
@@ -350,6 +378,10 @@ impl TraceEvent {
             TraceEvent::ClusterShardResumed { .. } => "cluster_shard_resumed",
             TraceEvent::ClusterHealthProbe { .. } => "cluster_health_probe",
             TraceEvent::ClusterRetry { .. } => "cluster_retry",
+            TraceEvent::ClusterBackendJoined { .. } => "cluster_backend_joined",
+            TraceEvent::ClusterBackendDraining { .. } => "cluster_backend_draining",
+            TraceEvent::ClusterShardMigrated { .. } => "cluster_shard_migrated",
+            TraceEvent::ClusterBackendFlapped { .. } => "cluster_backend_flapped",
             TraceEvent::SpanPhase { .. } => "span_phase",
         }
     }
@@ -548,6 +580,24 @@ impl TraceEvent {
                 ("event", Json::str(self.tag())),
                 ("unit", Json::Int(*unit as i64)),
                 ("attempt", Json::Int(*attempt as i64)),
+            ]),
+            TraceEvent::ClusterBackendJoined { backend } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("backend", Json::Int(*backend as i64)),
+            ]),
+            TraceEvent::ClusterBackendDraining { backend } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("backend", Json::Int(*backend as i64)),
+            ]),
+            TraceEvent::ClusterShardMigrated { unit, from, to } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("unit", Json::Int(*unit as i64)),
+                ("from", Json::Int(*from as i64)),
+                ("to", Json::Int(*to as i64)),
+            ]),
+            TraceEvent::ClusterBackendFlapped { backend } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("backend", Json::Int(*backend as i64)),
             ]),
             TraceEvent::SpanPhase { id, phase, micros } => Json::obj([
                 ("event", Json::str(self.tag())),
@@ -812,6 +862,14 @@ pub struct Metrics {
     pub cluster_health_probes: u64,
     /// `cluster_retry` events.
     pub cluster_retries: u64,
+    /// `cluster_backend_joined` events (runtime pool admissions).
+    pub cluster_joins: u64,
+    /// `cluster_backend_draining` events (graceful leaves started).
+    pub cluster_drains: u64,
+    /// `cluster_shard_migrated` events (live in-flight moves).
+    pub cluster_migrations: u64,
+    /// `cluster_backend_flapped` events (churn-plan forced downs).
+    pub cluster_flaps: u64,
     /// `span_phase` events (request-span phase timings). Only the count is
     /// aggregated here — the timed values are wall-clock and belong to the
     /// observability registry, not to this deterministic summary.
@@ -914,6 +972,13 @@ impl Metrics {
             }
             TraceEvent::ClusterHealthProbe { .. } => self.cluster_health_probes += 1,
             TraceEvent::ClusterRetry { .. } => self.cluster_retries += 1,
+            TraceEvent::ClusterBackendJoined { .. } => self.cluster_joins += 1,
+            TraceEvent::ClusterBackendDraining { .. } => self.cluster_drains += 1,
+            TraceEvent::ClusterShardMigrated { to, .. } => {
+                self.cluster_migrations += 1;
+                Self::bump(&mut self.dispatches_per_backend, *to);
+            }
+            TraceEvent::ClusterBackendFlapped { .. } => self.cluster_flaps += 1,
             TraceEvent::SpanPhase { .. } => self.span_phases += 1,
         }
     }
@@ -1015,6 +1080,10 @@ impl Metrics {
                         Json::Int(self.cluster_health_probes as i64),
                     ),
                     ("retries", Json::Int(self.cluster_retries as i64)),
+                    ("joins", Json::Int(self.cluster_joins as i64)),
+                    ("drains", Json::Int(self.cluster_drains as i64)),
+                    ("migrations", Json::Int(self.cluster_migrations as i64)),
+                    ("flaps", Json::Int(self.cluster_flaps as i64)),
                 ]),
             ),
             (

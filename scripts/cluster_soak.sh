@@ -6,6 +6,12 @@
 # and a single healthy backend must gather exactly the same answers — the
 # scatter–gather layer has to be invisible in the result.
 #
+# A second, churn phase runs the same grid under elastic membership: a
+# spare backend joins mid-grid, one member drains gracefully while holding
+# live shards (they must migrate, not resume-from-loss), and one member
+# flaps on the seeded plan and recovers. Zero lost cells, byte-identical
+# reruns, and answers identical to the static-pool run.
+#
 # Usage: scripts/cluster_soak.sh [seeds_per_family] [seed]
 # The caller should wrap this script in `timeout` (CI does) so a hung
 # gather fails the job instead of stalling it.
@@ -51,10 +57,12 @@ start_pool() {
 drain_pool() {
     # Asks every still-listening backend to shut down (the dropped victim
     # already drained at the coordinator's request), then reaps them all.
+    # Each backend's load report is kept: its end-of-run stats scrape is
+    # where migrated-answered counts surface.
     local tag="$1" n="$2"
     for i in $(seq 1 "$n"); do
         "$BIN" load --addr "$(cat "$WORK/port-$tag-$i.txt")" --n 1 --seed 0 \
-            >/dev/null 2>&1 || true
+            >"$WORK/load-$tag-$i.txt" 2>&1 || true
     done
     wait
 }
@@ -109,3 +117,60 @@ grep -q "lost responses: 0" "$WORK/grid-single.txt"
 diff <(tail -n +2 "$WORK/transcript-a.jsonl") <(tail -n +2 "$WORK/transcript-single.jsonl")
 diff <(grep '^merged:' "$WORK/grid-a.txt") <(grep '^merged:' "$WORK/grid-single.txt")
 echo "cluster soak: pooled answers identical to the single-node run"
+
+# ---------------------------------------------------------------------------
+# Churn phase: the same grid under elastic membership. The seeded
+# backend_churn schedule fires three times (quarter points of the grid):
+# the spare joins, backend 1 drains while holding live shards, backend 0
+# flaps and recovers via the revive cadence.
+cat >"$WORK/churn-events.json" <<EOF
+{"events":[{"action":"join"},{"action":"drain","backend":1},{"action":"flap","backend":0}]}
+EOF
+CHURN_NTH=$(( UNITS / 4 ))
+[ "$CHURN_NTH" -lt 1 ] && CHURN_NTH=1
+cat >"$WORK/churn-plan.json" <<EOF
+{"seed":$SEED,"rules":[{"site":"backend_churn","nth":$CHURN_NTH,"every":$CHURN_NTH}]}
+EOF
+
+run_churn() {
+    local tag="$1"
+    local backends spare
+    backends="$(start_pool "churn-$tag" 3)"
+    spare="$(start_pool "churnspare-$tag" 1)"
+    "$BIN" cluster grid --backends "$backends" --balance hash --seed "$SEED" \
+        --window 32 --plan "$WORK/churn-plan.json" \
+        --churn "$WORK/churn-events.json" --spares "$spare" \
+        --families uniform,agreeable,loose --seeds "$SEEDS" --n 10 \
+        --out "$WORK/transcript-churn-$tag.jsonl" >"$WORK/grid-churn-$tag.txt"
+    drain_pool "churn-$tag" 3
+    drain_pool "churnspare-$tag" 1
+    grep -q "lost responses: 0" "$WORK/grid-churn-$tag.txt"
+    # The whole schedule ran: one join, one drain, one flap.
+    grep -q '"churn_events":3' "$WORK/grid-churn-$tag.txt"
+    grep -q '"joins":1' "$WORK/grid-churn-$tag.txt"
+    grep -q '"drains":1' "$WORK/grid-churn-$tag.txt"
+    grep -q '"flaps":1' "$WORK/grid-churn-$tag.txt"
+    # The drained backend held live shards, so at least one migrated...
+    grep -Eq '"migrations":[1-9]' "$WORK/grid-churn-$tag.txt"
+    # ...and some backend's end-of-run scrape shows it answered work moved
+    # onto it (`machmin load` surfaces the distinct migrated-answered count).
+    cat "$WORK"/load-churn-"$tag"-*.txt "$WORK"/load-churnspare-"$tag"-*.txt \
+        | grep -q "migrated-answered:"
+    echo "cluster soak churn $tag: ok ($(grep -o '"migrations":[0-9]*' "$WORK/grid-churn-$tag.txt"), $(grep -o '"migrated_answers":[0-9]*' "$WORK/grid-churn-$tag.txt"))"
+}
+
+run_churn a
+run_churn b
+
+# Churn determinism: the deterministic slice (transcripts, event counters)
+# is byte-identical across independent elastic-pool lifecycles.
+diff "$WORK/transcript-churn-a.jsonl" "$WORK/transcript-churn-b.jsonl"
+echo "cluster soak: churn transcripts byte-identical across runs"
+
+# Elastic membership must be invisible in the answers: joins, drains,
+# flaps, and migrations change who answers, never what is answered. (The
+# header line differs — the joiner grew the backend count — so it is
+# skipped.)
+diff <(tail -n +2 "$WORK/transcript-churn-a.jsonl") <(tail -n +2 "$WORK/transcript-a.jsonl")
+diff <(grep '^merged:' "$WORK/grid-churn-a.txt") <(grep '^merged:' "$WORK/grid-a.txt")
+echo "cluster soak: churn answers identical to the static-pool run"

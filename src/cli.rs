@@ -38,7 +38,11 @@ use mm_trace::{
 pub use crate::Error;
 
 /// A parsed command line.
+// One `Command` exists per process and lives on the stack for the whole
+// run, so the size skew between the flag-heavy `Cluster` variant and the
+// rest costs nothing; boxing fields would only obscure the parser.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(clippy::large_enum_variant)]
 pub enum Command {
     /// `solve <instance.json> [--trace f.jsonl] [--metrics f.json]
     /// [--budget-augmentations N] [--budget-ms N] [--budget-nodes N]
@@ -147,6 +151,9 @@ pub enum Command {
         /// Benchmark the large-n certifier hot path instead
         /// (default out `BENCH_7.json`).
         large: bool,
+        /// Benchmark elastic membership churn instead
+        /// (default out `BENCH_8.json`).
+        churn: bool,
         /// Baseline JSON output file (default `BENCH_2.json`).
         out: String,
         /// Committed baseline to gate deterministic counters against.
@@ -269,6 +276,13 @@ pub enum Command {
         seeds: u64,
         /// Jobs per generated instance (grid workload).
         n: usize,
+        /// Churn-plan file: membership events executed on the seeded
+        /// `backend_churn` schedule (elastic pool mode).
+        churn: Option<String>,
+        /// Spare backend addresses consumed by the plan's `join` events.
+        spares: Vec<String>,
+        /// Max live shard migrations per observation window.
+        migration_budget: u64,
         /// Transcript output file (header + response lines sorted by id).
         out: Option<String>,
         /// JSONL event-trace output file.
@@ -426,12 +440,20 @@ pub fn parse(args: &[String]) -> Result<Command, Error> {
             let cluster = args.iter().any(|a| a == "--cluster");
             let obs = args.iter().any(|a| a == "--obs");
             let large = args.iter().any(|a| a == "--large");
-            if [serve, cluster, obs, large].iter().filter(|b| **b).count() > 1 {
+            let churn = args.iter().any(|a| a == "--churn");
+            if [serve, cluster, obs, large, churn]
+                .iter()
+                .filter(|b| **b)
+                .count()
+                > 1
+            {
                 return Err(Error::Usage(
-                    "--serve, --cluster, --obs, and --large are mutually exclusive".into(),
+                    "--serve, --cluster, --obs, --large, and --churn are mutually exclusive".into(),
                 ));
             }
-            let default_out = if large {
+            let default_out = if churn {
+                "BENCH_8.json"
+            } else if large {
                 "BENCH_7.json"
             } else if obs {
                 "BENCH_6.json"
@@ -448,6 +470,7 @@ pub fn parse(args: &[String]) -> Result<Command, Error> {
                 cluster,
                 obs,
                 large,
+                churn,
                 out: value_flag(args, "--out")?.unwrap_or_else(|| default_out.into()),
                 check: value_flag(args, "--check")?,
             })
@@ -537,6 +560,18 @@ pub fn parse(args: &[String]) -> Result<Command, Error> {
             if resume && checkpoint.is_none() {
                 return Err(Error::Usage("--resume requires --checkpoint".into()));
             }
+            let churn = value_flag(args, "--churn")?;
+            let spares: Vec<String> = value_flag(args, "--spares")?
+                .map(|s| {
+                    s.split(',')
+                        .map(|a| a.trim().to_string())
+                        .filter(|a| !a.is_empty())
+                        .collect()
+                })
+                .unwrap_or_default();
+            if !spares.is_empty() && churn.is_none() {
+                return Err(Error::Usage("--spares requires --churn".into()));
+            }
             Ok(Command::Cluster {
                 workload,
                 path,
@@ -559,6 +594,9 @@ pub fn parse(args: &[String]) -> Result<Command, Error> {
                     .unwrap_or_else(|| "uniform,agreeable,loose".into()),
                 seeds: num_flag::<u64>(args, "--seeds")?.unwrap_or(3).max(1),
                 n: num_flag::<usize>(args, "--n")?.unwrap_or(12).max(1),
+                churn,
+                spares,
+                migration_budget: num_flag::<u64>(args, "--migration-budget")?.unwrap_or(64),
                 out: value_flag(args, "--out")?,
                 trace: value_flag(args, "--trace")?,
                 metrics: value_flag(args, "--metrics")?,
@@ -638,6 +676,7 @@ fn usage_cluster() -> Error {
         "usage: machmin cluster <solve <inst.json>|sweep|grid|stats> --backends <a,b,c> \
          [--balance round-robin|least-outstanding|hash] [--seed S] [--window W] \
          [--hedge-every N | --hedge-p99 PCT] [--hedge-floor-ms N] [--chaos | --plan f.json] \
+         [--churn plan.json [--spares d,e]] [--migration-budget N] \
          [--deadline-ms N] [--policies p1,p2] [--k K] [--machines N] \
          [--checkpoint f.json [--resume]] [--families f1,f2] [--seeds S] [--n N] \
          [--out transcript.jsonl] [--trace f.jsonl] [--metrics f.json]"
@@ -676,8 +715,8 @@ pub fn help_text() -> &'static str {
        chaos [--seed S] [--n N] [--plan f.json] deterministic fault-injection run exercising every\n\
                                                 fault site (probe_cancel, force_bigint, machine_failure,\n\
                                                 machine_slowdown, adversary_abort, worker_panic,\n\
-                                                backend_drop) without panicking; --plan loads an\n\
-                                                explicit plan\n\
+                                                backend_drop, backend_churn) without panicking;\n\
+                                                --plan loads an explicit plan\n\
        serve [--addr A] [--workers N] [--queue-cap N] [--drain-ms N] [--seed S] [--retry-attempts N]\n\
              [--chaos | --plan f.json] [--journal f.jsonl] [--deadline-ms N] [--port-file f]\n\
                                                 supervised JSONL-over-TCP request server: bounded\n\
@@ -691,19 +730,23 @@ pub fn help_text() -> &'static str {
                                                 report, optional client-side latency histogram\n\
        cluster <solve <inst.json>|sweep|grid|stats> --backends <a,b,c> [--balance B] [--seed S]\n\
                [--window W] [--hedge-every N | --hedge-p99 PCT] [--chaos | --plan f.json]\n\
+               [--churn plan.json [--spares d,e]] [--migration-budget N]\n\
                [--policies p1,p2] [--k K] [--families f1,f2] [--seeds S] [--n N]\n\
                [--checkpoint f.json [--resume]] [--out transcript.jsonl]\n\
                                                 scatter–gather over a pool of running servers:\n\
                                                 B ∈ {round-robin, least-outstanding, hash};\n\
-                                                hedged requests, bounded retries, quarantine,\n\
-                                                byte-identical same-seed transcripts; `stats`\n\
-                                                scrapes every backend's registry and prints the\n\
-                                                bucket-exact pool-wide merge\n\
+                                                hedged requests, bounded retries, recoverable\n\
+                                                quarantine, byte-identical same-seed transcripts;\n\
+                                                --churn runs a seeded membership schedule (joins,\n\
+                                                graceful drains with live shard migration, flaps);\n\
+                                                `stats` scrapes every backend's registry, prints\n\
+                                                the bucket-exact pool-wide merge plus per-backend\n\
+                                                overload index and migration counters\n\
        top --backends <a,b,c> [--interval-s N] [--frames N]\n\
                                                 live terminal view over the pool's stats endpoints:\n\
                                                 queue depth, in-flight, latency quantiles, slowest\n\
                                                 spans; one-shot unless --interval-s is given\n\
-       bench [--quick] [--serve | --cluster | --obs | --large] [--out f.json] [--check f.json]\n\
+       bench [--quick] [--serve | --cluster | --obs | --large | --churn] [--out f.json] [--check f.json]\n\
                                                 seeded perf baseline: fast path + prober reuse vs\n\
                                                 BigInt + fresh-network reference (default out\n\
                                                 BENCH_2.json); --check gates deterministic counters;\n\
@@ -711,7 +754,8 @@ pub fn help_text() -> &'static str {
                                                 --cluster benchmarks the coordinator (BENCH_5.json);\n\
                                                 --obs gates the observability layer (BENCH_6.json);\n\
                                                 --large benchmarks the million-job certifier hot\n\
-                                                path (BENCH_7.json)\n\
+                                                path (BENCH_7.json); --churn benchmarks elastic\n\
+                                                membership churn (BENCH_8.json)\n\
        certcheck [--seed S] [--cases N] [--out f.txt]\n\
                                                 certifier-vs-flow verdict cross-check; same-seed\n\
                                                 reports are byte-identical, mismatches exit 6\n\
@@ -1121,6 +1165,133 @@ fn cluster_bench(
     Ok(())
 }
 
+/// The `bench --churn` scenario (`BENCH_8.json`): the coordinator under a
+/// seeded membership schedule — a spare joins mid-burst, one backend drains
+/// gracefully with live shards migrated off it, one flaps and recovers.
+///
+/// The `backend_churn` rule fires at primary-dispatch boundaries, so the
+/// event counters (`churn_events`, `joins`, `drains`, `flaps`) and the
+/// response totals are pure functions of the seed + plan; `--check` gates
+/// exactly those. Migration counts depend on how far the burst has raced
+/// ahead when the drain lands, so they are reported but never gated.
+fn churn_bench(
+    quick: bool,
+    path: &str,
+    check: Option<&str>,
+    out: &mut String,
+) -> Result<(), Error> {
+    use mm_json::Json;
+    let units_n = if quick { 24 } else { 96 };
+
+    let pool = spawn_bench_pool(4, 2 * units_n + 8)?;
+    let cfg = ClusterConfig {
+        backends: pool.iter().take(3).map(|b| b.addr.clone()).collect(),
+        spares: vec![pool[3].addr.clone()],
+        balance: BalancePolicy::RoundRobin,
+        seed: 23,
+        window: units_n,
+        plan: FaultPlan {
+            seed: 23,
+            rules: vec![mm_fault::FaultRule {
+                site: FaultSite::BackendChurn,
+                nth: 4,
+                every: Some(5),
+            }],
+        },
+        churn: Some(mm_cluster::ChurnPlan::rolling(2, 1)),
+        ..ClusterConfig::default()
+    };
+    let t0 = std::time::Instant::now();
+    let coordinator = Coordinator::connect(cfg, NoopSink)
+        .map_err(|e| Error::Io(format!("churn bench connect: {e}")))?;
+    let report = coordinator
+        .run(scatter_units(units_n), &mut |_, _| {})
+        .map_err(|e| Error::Sim(format!("churn bench run: {e}")))?;
+    let churn_ms = t0.elapsed().as_secs_f64() * 1e3;
+    teardown_bench_pool(pool)?;
+    if report.counters.lost > 0 {
+        return Err(Error::Verification(format!(
+            "churn bench lost {} response(s)",
+            report.counters.lost
+        )));
+    }
+
+    let fired = Json::Arr(
+        report
+            .fired
+            .iter()
+            .map(|(site, n)| {
+                Json::obj([
+                    ("site", Json::str(site.tag())),
+                    ("count", Json::Int(*n as i64)),
+                ])
+            })
+            .collect(),
+    );
+    let c = &report.counters;
+    let doc = Json::obj([
+        ("schema", Json::str("machmin-churn-bench-v1")),
+        ("units", Json::Int(units_n as i64)),
+        ("backends", Json::Int(3)),
+        ("spares", Json::Int(1)),
+        ("responses", Json::Int(c.responses as i64)),
+        ("churn_events", Json::Int(c.churn_events as i64)),
+        ("joins", Json::Int(c.joins as i64)),
+        ("drains", Json::Int(c.drains as i64)),
+        ("flaps", Json::Int(c.flaps as i64)),
+        ("churn_fired", fired),
+        // Timing-dependent observability; reported, never gated.
+        ("migrations", Json::Int(c.migrations as i64)),
+        ("migrated_answers", Json::Int(c.migrated_answers as i64)),
+        ("churn_ms", Json::Float(churn_ms)),
+    ]);
+    std::fs::write(path, doc.to_pretty())
+        .map_err(|e| Error::Io(format!("cannot write {path}: {e}")))?;
+    let _ = writeln!(
+        out,
+        "churn bench: {} units over 3+1 backends, {} churn event(s) ({} join(s), {} drain(s), \
+         {} flap(s)), {} migration(s), {churn_ms:.1} ms",
+        units_n, c.churn_events, c.joins, c.drains, c.flaps, c.migrations
+    );
+    let _ = writeln!(out, "baseline -> {path}");
+    if let Some(check_path) = check {
+        let committed = std::fs::read_to_string(check_path)
+            .map_err(|e| Error::Io(format!("cannot read baseline {check_path}: {e}")))?;
+        let committed = mm_json::parse(&committed)
+            .map_err(|e| Error::Io(format!("cannot parse baseline {check_path}: {e}")))?;
+        let mut problems = Vec::new();
+        for key in [
+            "units",
+            "backends",
+            "responses",
+            "churn_events",
+            "joins",
+            "drains",
+            "flaps",
+        ] {
+            let cur = doc.get(key).and_then(Json::as_i64);
+            let base = committed.get(key).and_then(Json::as_i64);
+            if cur != base {
+                problems.push(format!("{key}: {cur:?} vs committed {base:?}"));
+            }
+        }
+        {
+            let compact = |j: &Json| j.get("churn_fired").map(Json::to_compact);
+            if compact(&doc) != compact(&committed) {
+                problems.push("churn_fired counters changed".into());
+            }
+        }
+        if !problems.is_empty() {
+            return Err(Error::Verification(format!(
+                "churn bench counter regression vs {check_path}:\n  {}",
+                problems.join("\n  ")
+            )));
+        }
+        let _ = writeln!(out, "counters match committed baseline {check_path}");
+    }
+    Ok(())
+}
+
 /// The `bench --obs` scenario (`BENCH_6.json`): gates proving the
 /// observability layer is an exact, no-op account of the work done.
 ///
@@ -1341,8 +1512,38 @@ fn fmt_q(hist: &mm_obs::Histogram, q: f64) -> String {
     fmt_lat(hist.quantile(q))
 }
 
-/// One `machmin top` frame rendered from a pool-wide scrape.
-fn render_top(outcome: &mm_cluster::StatsOutcome) -> String {
+/// Feeds one pool-wide scrape into an overload index: queue depth and
+/// in-flight come from the backend's gauges, p99 from its merged latency
+/// histogram. `machmin top` keeps the index alive across refresh frames so
+/// the sustain hysteresis is real; one-shot `cluster stats` shows a single
+/// window's verdict.
+fn observe_overload(index: &mut mm_cluster::OverloadIndex, outcome: &mm_cluster::StatsOutcome) {
+    use mm_json::Json;
+    for (i, b) in outcome.backends.iter().enumerate() {
+        let Some(r) = &b.response else { continue };
+        let int = |key: &str| r.get(key).and_then(Json::as_i64).unwrap_or(0).max(0) as u64;
+        let lat = merged_latency(&b.snapshot);
+        let p99_us = if lat.count() == 0 {
+            0
+        } else {
+            lat.quantile(0.99)
+        };
+        index.record(
+            i,
+            mm_cluster::OverloadSample {
+                queue_depth: int("queue_depth"),
+                p99_us,
+                outstanding: int("in_flight"),
+            },
+        );
+    }
+}
+
+/// One `machmin top` frame rendered from a pool-wide scrape. `HEAT` is the
+/// backend's overload index as `hot/windows` (a trailing `!` marks a
+/// sustained offender); `MIGR` counts requests the backend answered on
+/// behalf of a draining or overloaded peer.
+fn render_top(outcome: &mm_cluster::StatsOutcome, overload: &mm_cluster::OverloadIndex) -> String {
     use mm_json::Json;
     let mut s = String::new();
     let _ = writeln!(
@@ -1353,20 +1554,22 @@ fn render_top(outcome: &mm_cluster::StatsOutcome) -> String {
     );
     let _ = writeln!(
         s,
-        "  {:<22} {:>9} {:>6} {:>5} {:>8} {:>8} {:>8} {:>8}",
-        "BACKEND", "UPTIME", "DEPTH", "INFL", "RESP", "P50", "P99", "P999"
+        "  {:<22} {:>9} {:>6} {:>5} {:>8} {:>6} {:>5} {:>8} {:>8} {:>8}",
+        "BACKEND", "UPTIME", "DEPTH", "INFL", "RESP", "MIGR", "HEAT", "P50", "P99", "P999"
     );
     let int = |r: &Json, key: &str| r.get(key).and_then(Json::as_i64).unwrap_or(0);
-    for b in &outcome.backends {
+    let heat = overload.snapshot();
+    for (i, b) in outcome.backends.iter().enumerate() {
         match &b.response {
             None => {
                 let _ = writeln!(s, "  {:<22} unreachable", b.addr);
             }
             Some(r) => {
                 let lat = merged_latency(&b.snapshot);
+                let (hot, windows) = heat.get(i).copied().unwrap_or((0, 0));
                 let _ = writeln!(
                     s,
-                    "  {:<22} {:>8}s {:>6} {:>5} {:>8} {:>8} {:>8} {:>8}",
+                    "  {:<22} {:>8}s {:>6} {:>5} {:>8} {:>6} {:>5} {:>8} {:>8} {:>8}",
                     b.addr,
                     int(r, "uptime_ms") / 1_000,
                     int(r, "queue_depth"),
@@ -1376,6 +1579,15 @@ fn render_top(outcome: &mm_cluster::StatsOutcome) -> String {
                         .get("serve.responses")
                         .copied()
                         .unwrap_or(0),
+                    b.snapshot
+                        .counters
+                        .get("serve.migrated_served")
+                        .copied()
+                        .unwrap_or(0),
+                    format!(
+                        "{hot}/{windows}{}",
+                        if overload.sustained(i) { "!" } else { "" }
+                    ),
                     fmt_q(&lat, 0.50),
                     fmt_q(&lat, 0.99),
                     fmt_q(&lat, 0.999),
@@ -1386,11 +1598,17 @@ fn render_top(outcome: &mm_cluster::StatsOutcome) -> String {
     let pool = merged_latency(&outcome.merged);
     let _ = writeln!(
         s,
-        "  pool: {} response(s), {} observation(s), p50 {}, p99 {}, p999 {}",
+        "  pool: {} response(s), {} migrated-answered, {} observation(s), p50 {}, p99 {}, p999 {}",
         outcome
             .merged
             .counters
             .get("serve.responses")
+            .copied()
+            .unwrap_or(0),
+        outcome
+            .merged
+            .counters
+            .get("serve.migrated_served")
             .copied()
             .unwrap_or(0),
         pool.count(),
@@ -2036,6 +2254,63 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
                 cluster_report.counters.quarantines
             );
 
+            // Churn chaos: the same coordinator under a seeded membership
+            // schedule (`backend_churn`): a spare joins mid-burst, one
+            // backend drains gracefully (live shards migrate off it), one
+            // flaps and recovers. Event counters tick at the deterministic
+            // firing boundary, so the printed numbers are a pure function of
+            // the seed + plan even though the migrations and revives
+            // themselves race the workload.
+            let run_churn = |churn_plan: FaultPlan| -> Result<mm_cluster::ClusterReport, Error> {
+                let pool = spawn_bench_pool(4, 64)?;
+                let cfg = ClusterConfig {
+                    backends: pool.iter().take(3).map(|b| b.addr.clone()).collect(),
+                    spares: vec![pool[3].addr.clone()],
+                    balance: BalancePolicy::RoundRobin,
+                    seed,
+                    window: 8,
+                    plan: churn_plan,
+                    churn: Some(mm_cluster::ChurnPlan::rolling(2, 1)),
+                    ..ClusterConfig::default()
+                };
+                let coordinator = Coordinator::connect(cfg, NoopSink)
+                    .map_err(|e| Error::Io(format!("chaos churn connect: {e}")))?;
+                let report = coordinator
+                    .run(scatter_units(8), &mut |_, _| {})
+                    .map_err(|e| Error::Sim(format!("chaos churn run: {e}")))?;
+                teardown_bench_pool(pool)?;
+                Ok(report)
+            };
+            let mut churn_report = run_churn(plan.clone())?;
+            if churn_report.counters.churn_events == 0 {
+                // Same fallback as the other segments: the chaos rule can sit
+                // past this workload's dispatch count.
+                churn_report = run_churn(FaultPlan::once(FaultSite::BackendChurn, 1))?;
+            }
+            let churns = churn_report.counters.churn_events;
+            if churns > 0 {
+                sinks.record(&TraceEvent::FaultInjected {
+                    site: FaultSite::BackendChurn.tag(),
+                    count: churns,
+                });
+            }
+            if churn_report.counters.lost > 0 {
+                return Err(Error::Verification(format!(
+                    "chaos churn lost {} response(s)",
+                    churn_report.counters.lost
+                )));
+            }
+            let _ = writeln!(
+                out,
+                "churn: {} units, {} responses (backend_churn fired {churns}, {} join(s), {} \
+                 drain(s), {} flap(s))",
+                churn_report.counters.units,
+                churn_report.counters.responses,
+                churn_report.counters.joins,
+                churn_report.counters.drains,
+                churn_report.counters.flaps
+            );
+
             let fired = [
                 (
                     FaultSite::ProbeCancel,
@@ -2050,6 +2325,7 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
                 (FaultSite::AdversaryAbort, aborts),
                 (FaultSite::WorkerPanic, panics),
                 (FaultSite::BackendDrop, drops),
+                (FaultSite::BackendChurn, churns),
             ];
             let silent: Vec<&str> = fired
                 .iter()
@@ -2057,7 +2333,7 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
                 .map(|(site, _)| site.tag())
                 .collect();
             if silent.is_empty() {
-                let _ = writeln!(out, "all seven fault sites exercised; no panics escaped");
+                let _ = writeln!(out, "all eight fault sites exercised; no panics escaped");
             } else {
                 let _ = writeln!(out, "warning: sites not exercised: {}", silent.join(", "));
             }
@@ -2069,9 +2345,14 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
             cluster,
             obs,
             large,
+            churn,
             out: path,
             check,
         } => {
+            if churn {
+                churn_bench(quick, &path, check.as_deref(), &mut out)?;
+                return Ok(out);
+            }
             if large {
                 large_bench(quick, &path, check.as_deref(), &mut out)?;
                 return Ok(out);
@@ -2293,6 +2574,14 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
                 "sent: {}, lost responses: {}, retried: {}",
                 report.sent, report.lost, report.retried
             );
+            if report.migrated_served > 0 {
+                let _ = writeln!(
+                    out,
+                    "migrated-answered: {} (requests this backend served for a draining or \
+                     overloaded peer)",
+                    report.migrated_served
+                );
+            }
             for (status, count) in &report.by_status {
                 let _ = writeln!(out, "  {status}: {count}");
             }
@@ -2329,6 +2618,9 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
             hedge_floor_ms,
             chaos,
             plan,
+            churn,
+            spares,
+            migration_budget,
             deadline_ms,
             policies,
             k,
@@ -2346,7 +2638,12 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
             // coordinator, no balancing, works against a half-dead pool.
             if workload == "stats" {
                 let outcome = mm_cluster::cluster_stats(&backends, false);
-                out.push_str(&render_top(&outcome));
+                let mut overload = mm_cluster::OverloadIndex::new(
+                    mm_cluster::OverloadConfig::default(),
+                    outcome.backends.len(),
+                );
+                observe_overload(&mut overload, &outcome);
+                out.push_str(&render_top(&outcome, &overload));
                 if let Some(path) = &out_path {
                     std::fs::write(path, outcome.to_json().to_pretty())
                         .map_err(|e| Error::Io(format!("cannot write {path}: {e}")))?;
@@ -2378,6 +2675,13 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
                 None if chaos => FaultPlan::chaos(seed),
                 None => FaultPlan::none(),
             };
+            let churn = match &churn {
+                Some(p) => Some(
+                    mm_cluster::ChurnPlan::load(std::path::Path::new(p))
+                        .map_err(|e| Error::Io(format!("cannot load churn plan {p}: {e}")))?,
+                ),
+                None => None,
+            };
             let mut sinks = CliSinks::open(trace, metrics)?;
             let cfg = ClusterConfig {
                 backends,
@@ -2386,6 +2690,9 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
                 window,
                 hedge,
                 plan,
+                churn,
+                spares,
+                migration_budget,
                 deadline_ms,
                 ..ClusterConfig::default()
             };
@@ -2526,9 +2833,12 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
             interval_s,
             frames,
         } => {
+            let mut overload =
+                mm_cluster::OverloadIndex::new(mm_cluster::OverloadConfig::default(), 0);
             if interval_s == 0 {
                 let outcome = mm_cluster::cluster_stats(&backends, false);
-                out.push_str(&render_top(&outcome));
+                observe_overload(&mut overload, &outcome);
+                out.push_str(&render_top(&outcome, &overload));
                 if outcome.reachable == 0 {
                     return Err(Error::Io(format!(
                         "no backend reachable out of {}",
@@ -2537,15 +2847,18 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
                 }
             } else {
                 // Refresh mode streams frames straight to stdout — the
-                // caller is a terminal, not a script capturing `out`.
+                // caller is a terminal, not a script capturing `out`. The
+                // overload index persists across frames, so HEAT shows real
+                // sustained-window hysteresis, not a per-frame verdict.
                 let mut frame = 0u64;
                 loop {
                     let outcome = mm_cluster::cluster_stats(&backends, false);
-                    print!("{}", render_top(&outcome));
+                    observe_overload(&mut overload, &outcome);
+                    print!("{}", render_top(&outcome, &overload));
                     println!();
                     frame += 1;
                     if frames > 0 && frame >= frames {
-                        out.push_str(&render_top(&outcome));
+                        out.push_str(&render_top(&outcome, &overload));
                         break;
                     }
                     std::thread::sleep(std::time::Duration::from_secs(interval_s));
@@ -2659,6 +2972,7 @@ mod tests {
                 cluster: false,
                 obs: false,
                 large: false,
+                churn: false,
                 out: "BENCH_2.json".into(),
                 check: None
             }
@@ -2671,6 +2985,7 @@ mod tests {
                 cluster: false,
                 obs: false,
                 large: false,
+                churn: false,
                 out: "b.json".into(),
                 check: Some("BENCH_2.json".into())
             }
@@ -2683,6 +2998,7 @@ mod tests {
                 cluster: false,
                 obs: false,
                 large: false,
+                churn: false,
                 out: "BENCH_4.json".into(),
                 check: None
             }
@@ -2695,12 +3011,30 @@ mod tests {
                 cluster: false,
                 obs: true,
                 large: false,
+                churn: false,
                 out: "BENCH_6.json".into(),
                 check: None
             }
         );
         assert_eq!(
+            parse(&argv("bench --quick --churn")).unwrap(),
+            Command::Bench {
+                quick: true,
+                serve: false,
+                cluster: false,
+                obs: false,
+                large: false,
+                churn: true,
+                out: "BENCH_8.json".into(),
+                check: None
+            }
+        );
+        assert_eq!(
             parse(&argv("bench --serve --obs")).unwrap_err().tag(),
+            "usage"
+        );
+        assert_eq!(
+            parse(&argv("bench --churn --cluster")).unwrap_err().tag(),
             "usage"
         );
         assert_eq!(
@@ -3112,10 +3446,12 @@ mod tests {
         let (msg_a, trace_a) = run();
         let (msg_b, trace_b) = run();
         std::fs::remove_file(&trace_path).ok();
-        assert!(msg_a.contains("all seven fault sites exercised"), "{msg_a}");
+        assert!(msg_a.contains("all eight fault sites exercised"), "{msg_a}");
         assert!(msg_a.contains("backend_drop fired"), "{msg_a}");
+        assert!(msg_a.contains("backend_churn fired"), "{msg_a}");
         assert!(trace_a.contains("\"fault_injected\""), "{trace_a}");
         assert!(trace_a.contains("\"backend_drop\""), "{trace_a}");
+        assert!(trace_a.contains("\"backend_churn\""), "{trace_a}");
         assert!(trace_a.contains("\"probe_degraded\""), "{trace_a}");
         // Determinism: same seed, byte-identical report and event stream.
         assert_eq!(msg_a, msg_b);
@@ -3243,6 +3579,7 @@ mod tests {
             cluster: false,
             obs: false,
             large: false,
+            churn: false,
             out: path.clone(),
             check: None,
         })
@@ -3255,6 +3592,7 @@ mod tests {
             cluster: false,
             obs: false,
             large: false,
+            churn: false,
             out: path.clone(),
             check: Some(path.clone()),
         })
@@ -3274,6 +3612,7 @@ mod tests {
             cluster: false,
             obs: false,
             large: false,
+            churn: false,
             out: path.clone(),
             check: None,
         })
@@ -3293,6 +3632,7 @@ mod tests {
             cluster: false,
             obs: false,
             large: false,
+            churn: false,
             out: path.clone(),
             check: Some(path.clone()),
         })
@@ -3474,7 +3814,8 @@ mod tests {
         assert_eq!(
             parse(&argv(
                 "cluster grid --backends a:1,b:2 --balance hash --seed 9 --window 32 \
-                 --hedge-every 5 --families uniform,loose --seeds 2 --n 8 --out t.jsonl"
+                 --hedge-every 5 --churn churn.json --spares d:4,e:5 --migration-budget 8 \
+                 --families uniform,loose --seeds 2 --n 8 --out t.jsonl"
             ))
             .unwrap(),
             Command::Cluster {
@@ -3489,6 +3830,9 @@ mod tests {
                 hedge_floor_ms: 10,
                 chaos: false,
                 plan: None,
+                churn: Some("churn.json".into()),
+                spares: vec!["d:4".into(), "e:5".into()],
+                migration_budget: 8,
                 deadline_ms: None,
                 policies: "edf-ff".into(),
                 k: 4,
@@ -3521,6 +3865,9 @@ mod tests {
                 hedge_floor_ms: 10,
                 chaos: false,
                 plan: None,
+                churn: None,
+                spares: vec![],
+                migration_budget: 64,
                 deadline_ms: None,
                 policies: "edf-ff,medium-fit".into(),
                 k: 3,
@@ -3555,6 +3902,7 @@ mod tests {
             "cluster grid --backends a:1 --chaos --plan p.json",
             "cluster sweep --backends a:1 --k 1",
             "cluster sweep --backends a:1 --resume",
+            "cluster grid --backends a:1 --spares b:2",
             "bench --serve --cluster",
         ] {
             let err = parse(&argv(bad)).unwrap_err();
@@ -3568,6 +3916,7 @@ mod tests {
                 cluster: true,
                 obs: false,
                 large: false,
+                churn: false,
                 out: "BENCH_5.json".into(),
                 check: None
             }
@@ -3585,6 +3934,7 @@ mod tests {
             cluster: false,
             obs: true,
             large: false,
+            churn: false,
             out: path.clone(),
             check: None,
         })
@@ -3612,6 +3962,7 @@ mod tests {
             cluster: false,
             obs: true,
             large: false,
+            churn: false,
             out: path.clone(),
             check: Some(path.clone()),
         })
@@ -3640,6 +3991,9 @@ mod tests {
             hedge_floor_ms: 10,
             chaos: false,
             plan: None,
+            churn: None,
+            spares: vec![],
+            migration_budget: 64,
             deadline_ms: None,
             policies: "edf-ff".into(),
             k: 4,
@@ -3705,6 +4059,9 @@ mod tests {
             hedge_floor_ms: 10,
             chaos: false,
             plan: None,
+            churn: None,
+            spares: vec![],
+            migration_budget: 64,
             deadline_ms: None,
             policies: "edf-ff".into(),
             k: 3,
@@ -3753,6 +4110,7 @@ mod tests {
             cluster: true,
             obs: false,
             large: false,
+            churn: false,
             out: path.clone(),
             check: None,
         })
@@ -3781,6 +4139,7 @@ mod tests {
             cluster: true,
             obs: false,
             large: false,
+            churn: false,
             out: path.clone(),
             check: Some(path.clone()),
         })
