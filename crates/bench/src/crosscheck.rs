@@ -78,6 +78,55 @@ fn case(family: usize, seed: u64) -> (&'static str, Instance) {
     }
 }
 
+/// One pool case: a family label and its integer `(release, deadline,
+/// processing)` job triples, ready for the wire.
+pub type PoolCase = (String, Vec<(i64, i64, i64)>);
+
+/// The seeded case batch as `(family, integer job triples)`, for the
+/// `certcheck --pool` mode: the same instances the local cross-check runs,
+/// shipped to live backends as solve units whose proof-carrying answers
+/// the coordinator re-verifies — certifier arithmetic against the
+/// backend's flow oracle, end to end over the wire.
+pub fn pool_cases(seed: u64, cases: usize) -> Vec<PoolCase> {
+    (0..cases)
+        .map(|i| {
+            let case_seed = seed.wrapping_add(i as u64);
+            let (family, inst) = case(i % 5, case_seed);
+            match integer_triples(&inst) {
+                Some(jobs) => (family.to_string(), jobs),
+                // The wire protocol ships integer triples; a family whose
+                // generator emits rational job times (laminar's fractional
+                // fill splits) stays local-only, and its slot is re-drawn
+                // from the uniform family so the batch size and seeding
+                // stay stable.
+                None => {
+                    let (family, inst) = case(3, case_seed);
+                    let jobs = integer_triples(&inst).expect("uniform emits integer job times");
+                    (family.to_string(), jobs)
+                }
+            }
+        })
+        .collect()
+}
+
+/// The instance as integer `(release, deadline, processing)` triples, or
+/// `None` if any job time is not an integer.
+fn integer_triples(inst: &Instance) -> Option<Vec<(i64, i64, i64)>> {
+    inst.jobs()
+        .iter()
+        .map(|j| {
+            let int = |r: &mm_numeric::Rat| {
+                if r.is_integer() {
+                    r.floor().to_i64()
+                } else {
+                    None
+                }
+            };
+            Some((int(&j.release)?, int(&j.deadline)?, int(&j.processing)?))
+        })
+        .collect()
+}
+
 /// Runs `cases` seeded cross-checks and returns the deterministic report,
 /// or a description of the first verdict mismatch.
 pub fn run(seed: u64, cases: usize) -> Result<String, String> {
@@ -121,6 +170,20 @@ pub fn run(seed: u64, cases: usize) -> Result<String, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pool_cases_are_integral_positive_and_deterministic() {
+        let a = pool_cases(3, 15);
+        let b = pool_cases(3, 15);
+        assert_eq!(a, b, "pool batch must be a pure function of the seed");
+        assert_eq!(a.len(), 15);
+        for (family, jobs) in &a {
+            for &(r, d, p) in jobs {
+                assert!(p > 0, "{family}: processing must be positive, got {p}");
+                assert!(d > r, "{family}: window must be non-empty ({r}, {d})");
+            }
+        }
+    }
 
     #[test]
     fn cross_check_agrees_and_is_deterministic() {

@@ -43,6 +43,12 @@ const JOIN_ID_OFFSET: u64 = 2_000;
 /// (`HEALTH_ID_BASE + DRAIN_ID_OFFSET + backend`).
 const DRAIN_ID_OFFSET: u64 = 3_000;
 
+/// Id offset for `verdict` notices sent to backends after proof-checking
+/// one of their answers (`HEALTH_ID_BASE + VERDICT_ID_OFFSET + backend`).
+/// The acks are fire-and-forget: they are swallowed without touching any
+/// counter, because whether they land before the gather ends is a race.
+const VERDICT_ID_OFFSET: u64 = 4_000;
+
 /// Observation-window cadence for the overload index and the migration
 /// budget. Wall-clock by nature — overload is a load phenomenon — so
 /// nothing fed by it may leak into deterministic counters or transcripts.
@@ -52,6 +58,44 @@ const OVERLOAD_WINDOW: Duration = Duration::from_millis(500);
 /// a quarantined (not dead) backend is re-probed on this cadence and
 /// re-enters the pool when it answers, independent of `health_ms`.
 const REVIVE_EVERY: Duration = Duration::from_millis(200);
+
+/// Proof verification policy for gathered answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyPolicy {
+    /// Accept answers as-is (the pre-proof behavior; counters and
+    /// transcripts are byte-identical to builds without verification).
+    #[default]
+    Off,
+    /// Verify a seeded deterministic sample (1 in 4) of answers. Which
+    /// units are checked is a pure function of seed + unit id, so the
+    /// refutation counter stays gated under seeded fault plans.
+    Spot,
+    /// Verify every answer that carries a checkable claim.
+    All,
+}
+
+impl VerifyPolicy {
+    /// Stable tag (`off`/`spot`/`all`) for CLI flags and reports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            VerifyPolicy::Off => "off",
+            VerifyPolicy::Spot => "spot",
+            VerifyPolicy::All => "all",
+        }
+    }
+
+    /// Parses a tag back; `None` for unknown strings.
+    pub fn from_tag(tag: &str) -> Option<VerifyPolicy> {
+        [VerifyPolicy::Off, VerifyPolicy::Spot, VerifyPolicy::All]
+            .into_iter()
+            .find(|p| p.tag() == tag)
+    }
+
+    /// Whether this policy checks anything at all.
+    pub fn enabled(self) -> bool {
+        self != VerifyPolicy::Off
+    }
+}
 
 /// When to send a hedged duplicate of an outstanding unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,6 +153,11 @@ pub struct ClusterConfig {
     /// Albers–Hellwig bounded-migration knob). Flights past the budget
     /// fall back to resume-after-EOF — slower, never lossy.
     pub migration_budget: u64,
+    /// Proof verification policy. When enabled, work units are sent with
+    /// `want_proof` and gathered answers are checked with
+    /// [`mm_opt::verify`]; a refuted answer is discarded, the liar
+    /// quarantined, and the unit re-asked on survivors.
+    pub verify: VerifyPolicy,
 }
 
 impl Default for ClusterConfig {
@@ -126,7 +175,53 @@ impl Default for ClusterConfig {
             churn: None,
             spares: Vec::new(),
             migration_budget: 64,
+            verify: VerifyPolicy::Off,
         }
+    }
+}
+
+/// Verification counters, present only when a [`VerifyPolicy`] other than
+/// `Off` ran — so `--verify off` counter JSON stays byte-identical to
+/// pre-proof baselines (the `BENCH_5` gate).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyStats {
+    /// Answers whose proof checked out.
+    pub verified: u64,
+    /// Answers refuted by their own proof: lies caught, discarded, re-asked.
+    pub refuted: u64,
+    /// Answers selected for checking that could not be decided (no proof
+    /// attached, a witness too large for the wire form, or an uncheckable
+    /// claim kind).
+    pub unverifiable: u64,
+    /// Units re-asked on survivors after a refutation.
+    pub reasks: u64,
+    /// Verified answers per backend, by index.
+    pub per_backend_verified: Vec<u64>,
+    /// Refuted answers per backend, by index — the liar ledger.
+    pub per_backend_refuted: Vec<u64>,
+}
+
+impl VerifyStats {
+    fn new(backends: usize) -> VerifyStats {
+        VerifyStats {
+            per_backend_verified: vec![0; backends],
+            per_backend_refuted: vec![0; backends],
+            ..VerifyStats::default()
+        }
+    }
+
+    /// The counters as a JSON object (the `verify` block of the cluster
+    /// counter JSON).
+    pub fn to_json(&self) -> Json {
+        let per = |v: &[u64]| Json::Arr(v.iter().map(|&n| Json::Int(n as i64)).collect());
+        Json::obj([
+            ("verified", Json::Int(self.verified as i64)),
+            ("refuted", Json::Int(self.refuted as i64)),
+            ("unverifiable", Json::Int(self.unverifiable as i64)),
+            ("reasks", Json::Int(self.reasks as i64)),
+            ("per_backend_verified", per(&self.per_backend_verified)),
+            ("per_backend_refuted", per(&self.per_backend_refuted)),
+        ])
     }
 }
 
@@ -172,13 +267,17 @@ pub struct ClusterCounters {
     /// Lines sent per backend (primaries + hedges + resumes + migrations),
     /// by index.
     pub per_backend: Vec<u64>,
+    /// Proof-verification counters; `None` when verification was off, so
+    /// the counter JSON of a `--verify off` run is byte-identical to
+    /// pre-proof baselines.
+    pub verify: Option<VerifyStats>,
 }
 
 impl ClusterCounters {
     /// Renders the counters as a JSON object (for `BENCH_5.json` and the
     /// CLI summary).
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut doc = Json::obj([
             ("units", Json::Int(self.units as i64)),
             ("responses", Json::Int(self.responses as i64)),
             ("lost", Json::Int(self.lost as i64)),
@@ -204,7 +303,14 @@ impl ClusterCounters {
                         .collect(),
                 ),
             ),
-        ])
+        ]);
+        if let Some(verify) = &self.verify {
+            let Json::Obj(members) = &mut doc else {
+                unreachable!("counters encode as an object");
+            };
+            members.push(("verify".into(), verify.to_json()));
+        }
+        doc
     }
 }
 
@@ -299,6 +405,10 @@ impl<S: TraceSink> Coordinator<S> {
         let balancer = Balancer::new(cfg.balance);
         let counters = ClusterCounters {
             per_backend: vec![0; cfg.backends.len()],
+            verify: cfg
+                .verify
+                .enabled()
+                .then(|| VerifyStats::new(cfg.backends.len())),
             ..ClusterCounters::default()
         };
         let backends = cfg.backends.len();
@@ -343,6 +453,13 @@ impl<S: TraceSink> Coordinator<S> {
         let mut pending: VecDeque<Unit> = units
             .into_iter()
             .map(|mut req| {
+                if self.cfg.verify.enabled() {
+                    // Proof-checked runs ask every backend for proofs. Set
+                    // before the fingerprint below so the flag is part of
+                    // the payload hash: proof-free and proof-carrying runs
+                    // must never collide in server idempotency caches.
+                    req.want_proof = true;
+                }
                 if req.idempotency_key.is_none() {
                     // The key must cover the payload, not just the unit id:
                     // two workloads sharing a seed and a live pool would
@@ -751,6 +868,12 @@ impl<S: TraceSink> Coordinator<S> {
             return;
         };
         let id = resp.id();
+        if id >= HEALTH_ID_BASE + VERDICT_ID_OFFSET {
+            // Verdict notice acks are fire-and-forget: whether they land
+            // before the gather ends is a race, so they must not feed any
+            // counter (health_probes is byte-gated).
+            return;
+        }
         if id >= HEALTH_ID_BASE {
             // Join acks admit a joiner only when it answered ready — a
             // backend that is itself draining stays out of the pool.
@@ -848,11 +971,134 @@ impl<S: TraceSink> Coordinator<S> {
                 self.counters.migrated_answers += 1;
             }
         }
+        // Proof verification happens before the answer is accepted: a
+        // refuted line never reaches the merged transcript.
+        if self.selected_for_verify(id) {
+            match self.check_answer(&resp, &line, flights.get(&id)) {
+                AnswerCheck::NotApplicable => {}
+                AnswerCheck::Verified => {
+                    self.send_verdict(b, false);
+                    self.emit(TraceEvent::ClusterAnswerVerified {
+                        unit: id,
+                        backend: b,
+                    });
+                    if let Some(v) = &mut self.counters.verify {
+                        v.verified += 1;
+                        v.per_backend_verified[b] += 1;
+                    }
+                }
+                AnswerCheck::Unverifiable => {
+                    if let Some(v) = &mut self.counters.verify {
+                        v.unverifiable += 1;
+                    }
+                }
+                AnswerCheck::Refuted => {
+                    self.send_verdict(b, true);
+                    self.emit(TraceEvent::ClusterAnswerRefuted {
+                        unit: id,
+                        backend: b,
+                    });
+                    if let Some(v) = &mut self.counters.verify {
+                        v.refuted += 1;
+                        v.per_backend_refuted[b] += 1;
+                        v.reasks += 1;
+                    }
+                    // Re-ask under a fresh idempotency key: the liar
+                    // journaled and cached the corrupted bytes, so after
+                    // its quarantine-and-revive the old key would re-serve
+                    // the lie verbatim.
+                    if let Some(flight) = flights.remove(&id) {
+                        let mut req = flight.req;
+                        req.idempotency_key = req
+                            .idempotency_key
+                            .map(|k| mix(k ^ 0x05ef_aced, id) & (i64::MAX as u64));
+                        pending.push_back(Unit {
+                            req,
+                            attempts: flight.attempts,
+                            resumed: true,
+                        });
+                    }
+                    // The liar goes through the ordinary recoverable
+                    // quarantine: dispatches stop, revival re-probes it.
+                    self.backend_down(b, "refuted", flights, pending, answered);
+                    return;
+                }
+            }
+        }
         if flight_empty {
             flights.remove(&id);
         }
         answered.insert(id, line.clone());
         progress(id, &line);
+    }
+
+    /// Whether unit `id`'s answer is selected for proof checking: all of
+    /// them under `All`, a seeded deterministic 1-in-4 sample under `Spot`
+    /// (a pure function of seed + unit id, so refutation counts under
+    /// seeded fault plans stay reproducible).
+    fn selected_for_verify(&self, id: u64) -> bool {
+        match self.cfg.verify {
+            VerifyPolicy::Off => false,
+            VerifyPolicy::Spot => mix(self.cfg.seed ^ 0x007e_51f7, id).is_multiple_of(4),
+            VerifyPolicy::All => true,
+        }
+    }
+
+    /// Proof-checks one gathered answer against the claim it makes. Needs
+    /// the flight to rebuild the instance shard; an answer whose flight is
+    /// already gone (late duplicate paths) is unverifiable, not refutable.
+    fn check_answer(&self, resp: &Response, line: &str, flight: Option<&Flight>) -> AnswerCheck {
+        let Response::Ok { .. } = resp else {
+            return AnswerCheck::NotApplicable;
+        };
+        let Some(flight) = flight else {
+            return AnswerCheck::Unverifiable;
+        };
+        let Ok(doc) = mm_json::parse(line) else {
+            return AnswerCheck::Unverifiable;
+        };
+        let claim = match &flight.req.kind {
+            RequestKind::Solve { .. } => match doc.get("machines").and_then(Json::as_i64) {
+                Some(m) if m >= 0 => mm_opt::Claim::Optimal(m as u64),
+                _ => return AnswerCheck::NotApplicable,
+            },
+            RequestKind::Probe { machines, .. } => {
+                match doc.get("feasible").and_then(Json::as_bool) {
+                    Some(true) => mm_opt::Claim::Feasible(*machines),
+                    Some(false) => mm_opt::Claim::Infeasible(*machines),
+                    None => return AnswerCheck::NotApplicable,
+                }
+            }
+            // Schedule/adversary answers carry no Theorem-1 claim.
+            _ => return AnswerCheck::NotApplicable,
+        };
+        let Some(proof_json) = doc.get("proof") else {
+            return AnswerCheck::Unverifiable;
+        };
+        let Ok(proof) = mm_opt::Proof::from_json(proof_json) else {
+            // A proof that does not even decode contradicts its claim as
+            // surely as a failed arithmetic check.
+            return AnswerCheck::Refuted;
+        };
+        let Some(instance) = flight.req.instance() else {
+            return AnswerCheck::Unverifiable;
+        };
+        match mm_opt::verify(&instance, &claim, &proof) {
+            mm_opt::Verification::Verified => AnswerCheck::Verified,
+            mm_opt::Verification::Refuted => AnswerCheck::Refuted,
+            mm_opt::Verification::Unverifiable => AnswerCheck::Unverifiable,
+        }
+    }
+
+    /// Tells a backend what the proof check concluded about its answer.
+    /// Best-effort: a send failure surfaces through the ordinary down
+    /// paths, and the ack is swallowed unconditionally.
+    fn send_verdict(&mut self, b: usize, refuted: bool) {
+        let notice = Request::new(
+            HEALTH_ID_BASE + VERDICT_ID_OFFSET + b as u64,
+            RequestKind::Verdict { refuted },
+        );
+        let _ = self.pool.send(b, &notice.to_line());
     }
 
     /// The `backend_drop` fault site: ask the victim to drain and exit
@@ -923,6 +1169,10 @@ impl<S: TraceSink> Coordinator<S> {
         self.next_spare += 1;
         let idx = self.pool.add_backend(&addr);
         self.counters.per_backend.push(0);
+        if let Some(verify) = &mut self.counters.verify {
+            verify.per_backend_verified.push(0);
+            verify.per_backend_refuted.push(0);
+        }
         self.overload.add_backend();
         self.revive_at.push(Instant::now());
         self.pool.backends[idx].quarantined = true;
@@ -1158,6 +1408,19 @@ impl<S: TraceSink> Coordinator<S> {
             });
         }
     }
+}
+
+/// Outcome of proof-checking one gathered answer.
+enum AnswerCheck {
+    /// The answer makes no Theorem-1 claim (control replies, degraded
+    /// brackets, schedule/adversary kinds) — not selected, not counted.
+    NotApplicable,
+    /// The proof held.
+    Verified,
+    /// The answer contradicts its own proof: discard, quarantine, re-ask.
+    Refuted,
+    /// Selected but undecidable (no proof, oversized witness, lost flight).
+    Unverifiable,
 }
 
 enum DispatchOutcome {

@@ -45,7 +45,8 @@ mod sweep;
 pub use backend::{BackendView, NetEvent, Pool};
 pub use balance::{BalancePolicy, Balancer};
 pub use coordinator::{
-    ClusterConfig, ClusterCounters, ClusterReport, Coordinator, HedgeConfig, HEALTH_ID_BASE,
+    ClusterConfig, ClusterCounters, ClusterReport, Coordinator, HedgeConfig, VerifyPolicy,
+    VerifyStats, HEALTH_ID_BASE,
 };
 pub use grid::{cluster_grid, GridConfig, GridOutcome};
 pub use membership::{member_state, ChurnAction, ChurnPlan};

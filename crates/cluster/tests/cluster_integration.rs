@@ -619,3 +619,97 @@ fn workloads_sharing_a_seed_and_a_pool_do_not_collide_in_idempotency_caches() {
     }
     teardown(pool);
 }
+
+#[test]
+fn a_lying_backend_is_refuted_quarantined_and_the_merged_answers_stay_honest() {
+    // Baseline: one honest backend, proofs checked on every answer.
+    let honest_pool = spawn_pool(1);
+    let honest_cfg = ClusterConfig {
+        backends: addrs(&honest_pool),
+        seed: 21,
+        verify: mm_cluster::VerifyPolicy::All,
+        ..ClusterConfig::default()
+    };
+    let honest = Coordinator::connect(honest_cfg, NoopSink)
+        .unwrap()
+        .run(solve_units(10), &mut |_, _| {})
+        .unwrap();
+    let honest_verify = honest.counters.verify.clone().unwrap();
+    assert_eq!(honest_verify.refuted, 0, "an honest pool never lies");
+    assert_eq!(honest_verify.verified, 10);
+    teardown(honest_pool);
+
+    // Byzantine pool: two honest backends plus one that corrupts its first
+    // eligible answer (a plausible off-by-one lie, journaled and cached).
+    let mut pool = spawn_pool(2);
+    pool.push(spawn_backend_cfg(ServeConfig {
+        workers: 2,
+        queue_cap: 64,
+        plan: FaultPlan::once(FaultSite::AnswerCorruption, 1),
+        ..ServeConfig::default()
+    }));
+    let cfg = ClusterConfig {
+        backends: addrs(&pool),
+        balance: BalancePolicy::RoundRobin,
+        seed: 21,
+        verify: mm_cluster::VerifyPolicy::All,
+        ..ClusterConfig::default()
+    };
+    let report = Coordinator::connect(cfg, NoopSink)
+        .unwrap()
+        .run(solve_units(10), &mut |_, _| {})
+        .unwrap();
+    let verify = report.counters.verify.clone().unwrap();
+    assert_eq!(verify.refuted, 1, "the once-plan lies exactly once");
+    assert_eq!(verify.reasks, 1, "the refuted unit is re-asked");
+    assert_eq!(
+        verify.per_backend_refuted[2], 1,
+        "the refutation is pinned on the liar: {:?}",
+        verify.per_backend_refuted
+    );
+    assert!(
+        report.counters.quarantines >= 1,
+        "the liar is quarantined through the ordinary recoverable path"
+    );
+    assert_eq!(report.counters.lost, 0);
+    assert_eq!(report.counters.responses, 10);
+    // The corrupted line never reaches the merged result: every answer is
+    // byte-identical to the honest single-node run, proofs included.
+    assert_eq!(report.responses, honest.responses);
+    // The liar's own counters recorded both the corruption and the verdict
+    // notice the coordinator sent back.
+    let liar_stats = pool[2].service.stats();
+    assert_eq!(liar_stats.corrupted, 1);
+    teardown(pool);
+}
+
+#[test]
+fn spot_verification_samples_deterministically_and_accepts_honest_answers() {
+    let pool = spawn_pool(2);
+    let run = |seed: u64| {
+        let cfg = ClusterConfig {
+            backends: addrs(&pool),
+            seed,
+            verify: mm_cluster::VerifyPolicy::Spot,
+            ..ClusterConfig::default()
+        };
+        Coordinator::connect(cfg, NoopSink)
+            .unwrap()
+            .run(solve_units(16), &mut |_, _| {})
+            .unwrap()
+    };
+    let a = run(7);
+    let b = run(7);
+    let (va, vb) = (
+        a.counters.verify.clone().unwrap(),
+        b.counters.verify.clone().unwrap(),
+    );
+    assert_eq!(va, vb, "spot sampling is a pure function of seed + ids");
+    assert_eq!(va.refuted, 0);
+    assert!(
+        va.verified > 0 && va.verified < 16,
+        "spot checks a strict sample, got {}",
+        va.verified
+    );
+    teardown(pool);
+}

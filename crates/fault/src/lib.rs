@@ -371,6 +371,12 @@ pub enum FaultSite {
     /// firing schedule is seeded, so rolling-restart and flapping-backend
     /// scenarios replay deterministically.
     BackendChurn,
+    /// Corrupt a backend's answer at response-encode time: a plausible
+    /// off-by-one lie (a bumped machine count, a flipped feasibility bit)
+    /// rather than garbage, applied before the response is journaled and
+    /// cached so the lie replays byte-identically. Exercises the
+    /// coordinator's proof verifier and quarantine-on-refutation path.
+    AnswerCorruption,
 }
 
 impl FaultSite {
@@ -378,7 +384,7 @@ impl FaultSite {
     /// iterate this). New sites are appended, never inserted, so the chaos
     /// rules [`FaultPlan::chaos`] derives for existing sites stay identical
     /// across releases for a given seed.
-    pub const ALL: [FaultSite; 8] = [
+    pub const ALL: [FaultSite; 9] = [
         FaultSite::ProbeCancel,
         FaultSite::ForceBigint,
         FaultSite::MachineFailure,
@@ -387,6 +393,7 @@ impl FaultSite {
         FaultSite::WorkerPanic,
         FaultSite::BackendDrop,
         FaultSite::BackendChurn,
+        FaultSite::AnswerCorruption,
     ];
 
     /// Stable snake_case tag (used in plan files and trace events).
@@ -400,6 +407,7 @@ impl FaultSite {
             FaultSite::WorkerPanic => "worker_panic",
             FaultSite::BackendDrop => "backend_drop",
             FaultSite::BackendChurn => "backend_churn",
+            FaultSite::AnswerCorruption => "answer_corruption",
         }
     }
 

@@ -330,9 +330,11 @@ impl<N: FlowNum> ArenaNetwork<N> {
         }
     }
 
-    /// After [`Self::max_flow`], returns a minimum `s`–`t` cut as the
-    /// saturated forward edges out of the source-reachable residual side.
-    pub fn min_cut(&self, source: usize) -> Vec<EdgeHandle> {
+    /// After [`Self::max_flow`], marks the nodes reachable from `source` in
+    /// the residual graph — the source side of a minimum cut. The interval
+    /// nodes on this side are exactly the Theorem-1 witness intervals the
+    /// infeasibility certificate is extracted from.
+    pub fn residual_reachable(&self, source: usize) -> Vec<bool> {
         let n = self.head.len();
         let mut seen = vec![false; n];
         seen[source] = true;
@@ -348,6 +350,13 @@ impl<N: FlowNum> ArenaNetwork<N> {
                 e = self.next[e as usize];
             }
         }
+        seen
+    }
+
+    /// After [`Self::max_flow`], returns a minimum `s`–`t` cut as the
+    /// saturated forward edges out of the source-reachable residual side.
+    pub fn min_cut(&self, source: usize) -> Vec<EdgeHandle> {
+        let seen = self.residual_reachable(source);
         let mut cut = Vec::new();
         for h in 0..self.original_caps.len() {
             let from = self.to[2 * h + 1] as usize;

@@ -24,7 +24,7 @@
 
 use mm_fault::{Budget, BudgetExceeded, BudgetMeter};
 use mm_flow::{ArenaNetwork, EdgeHandle, FlowNum};
-use mm_instance::{Instance, Interval, JobId};
+use mm_instance::{Instance, Interval, IntervalSet, JobId};
 use mm_numeric::{Rat, Timeline};
 use mm_trace::{NoopSink, TraceEvent, TraceSink};
 
@@ -621,6 +621,51 @@ impl FeasibilityProber {
             intervals: self.intervals.clone(),
             amounts,
         })
+    }
+
+    /// A Theorem-1 witness for infeasibility at `m`, or `None` if the
+    /// instance is actually feasible there (or empty).
+    ///
+    /// Extracted from the minimum cut of the failed flow: with `R` the
+    /// source-reachable residual side, the witness `I` is the union of the
+    /// elementary intervals in `R`. Max-flow < demand gives
+    /// `Σ_{j∈R} p_j + Σ_{j∈R} (|I(j)| − |I ∩ I(j)|) + m·|I| < Σ_j p_j`
+    /// (cut capacity), which rearranges to `C(S, I) > m·|I|` — the witness
+    /// is always *tight enough* to refute `m`, unlike the greedy
+    /// [`crate::Certificate`] search, which may settle for a weaker bound.
+    /// Forces a flow reset first so the cut matches a fresh build exactly.
+    pub fn infeasible_witness(&mut self, m: u64) -> Option<IntervalSet> {
+        if self.jobs == 0 {
+            return None;
+        }
+        if m == 0 {
+            // Any nonempty instance is infeasible on zero machines; the full
+            // span is a witness (`C(S, I) = Σ p_j > 0 = m·|I|`).
+            let start = self.intervals.first()?.start.clone();
+            let end = self.intervals.last()?.end.clone();
+            return Some(IntervalSet::single(Interval::new(start, end)));
+        }
+        match &mut self.backend {
+            Backend::Ticks { core, .. } => core.state = None,
+            Backend::Exact { core } => core.state = None,
+        }
+        if self.probe(m) {
+            return None;
+        }
+        let seen = match &self.backend {
+            Backend::Ticks { core, .. } => core.net.residual_reachable(self.source),
+            Backend::Exact { core } => core.net.residual_reachable(self.source),
+        };
+        let witness = IntervalSet::from_intervals(
+            self.intervals
+                .iter()
+                .enumerate()
+                .filter(|(ki, _)| seen[1 + self.jobs + ki])
+                .map(|(_, iv)| iv.clone()),
+        );
+        // Mathematically nonempty for a failed flow (an all-job cut would
+        // equal the demand); guard anyway so a `Some` is always a witness.
+        (!witness.is_empty()).then_some(witness)
     }
 }
 

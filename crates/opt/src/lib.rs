@@ -38,6 +38,7 @@ mod demigrate;
 mod exhaustive;
 mod extract;
 mod feasibility;
+mod proof;
 
 pub use certificate::{contribution_bound, Certificate};
 pub use certifier::{
@@ -52,4 +53,8 @@ pub use feasibility::{
     optimal_machines_budgeted, optimal_machines_budgeted_traced, optimal_machines_fresh,
     optimal_machines_fresh_traced, optimal_machines_traced, BudgetedSearch, FeasibilityProber,
     FlowAllocation, ProberStats, Verdict,
+};
+pub use proof::{
+    infeasibility_cert, proof_for_probe, proof_for_solve, schedule_witness, verify, Claim, Proof,
+    ScheduleWitness, Verification, VolumeCert, PROOF_WITNESS_CAP,
 };

@@ -113,10 +113,13 @@ pub fn execute_traced<S: TraceSink>(
             let search = mm_opt::optimal_machines_budgeted_traced(&inst, &budget, &mut sink);
             phase_end(&mut sink, id, "probe", t_probe);
             match search.exact {
-                Some(m) => Response::Ok {
-                    id,
-                    fields: vec![("machines".into(), Json::Int(m as i64))],
-                },
+                Some(m) => {
+                    let mut fields = vec![("machines".into(), Json::Int(m as i64))];
+                    if req.want_proof {
+                        fields.push(("proof".into(), mm_opt::proof_for_solve(&inst, m).to_json()));
+                    }
+                    Response::Ok { id, fields }
+                }
                 None => Response::Degraded {
                     id,
                     reason: degrade_reason(&search.exceeded, starved),
@@ -141,14 +144,26 @@ pub fn execute_traced<S: TraceSink>(
                     .probe_budgeted_traced(*machines, &budget, &mut sink),
             };
             phase_end(&mut sink, id, "probe", t_probe);
+            let probe_fields = |feasible: bool| {
+                let mut fields = vec![("feasible".into(), Json::Bool(feasible))];
+                if req.want_proof {
+                    // The infeasible side can decline (a cert whose volume
+                    // overflows the wire form); the answer simply ships
+                    // proof-less and the coordinator reports Unverifiable.
+                    if let Some(proof) = mm_opt::proof_for_probe(&inst, *machines, feasible) {
+                        fields.push(("proof".into(), proof.to_json()));
+                    }
+                }
+                fields
+            };
             match verdict {
                 mm_opt::Verdict::Feasible => Response::Ok {
                     id,
-                    fields: vec![("feasible".into(), Json::Bool(true))],
+                    fields: probe_fields(true),
                 },
                 mm_opt::Verdict::Infeasible => Response::Ok {
                     id,
-                    fields: vec![("feasible".into(), Json::Bool(false))],
+                    fields: probe_fields(false),
                 },
                 mm_opt::Verdict::Unknown(e) => {
                     // An undecided probe still has certified bounds: the
@@ -252,6 +267,10 @@ pub fn execute_traced<S: TraceSink>(
         RequestKind::Join | RequestKind::Drain | RequestKind::Leave => Response::Error {
             id,
             message: "membership requests are answered by the supervisor, not a worker".into(),
+        },
+        RequestKind::Verdict { .. } => Response::Error {
+            id,
+            message: "verdict notices are answered by the supervisor, not a worker".into(),
         },
     }
 }

@@ -166,6 +166,12 @@ impl Journal {
 pub struct Replay {
     /// `(id, response line)` for every acknowledged request, in ack order.
     pub acked: Vec<(u64, String)>,
+    /// `(idempotency key, response line)` for every acked request whose
+    /// admitted line carried an idempotency key. Seeds the idempotency
+    /// cache on restart so a duplicate submitted *after* the crash still
+    /// re-serves the exact pre-crash bytes (fault plans do not survive a
+    /// restart, so re-executing could answer differently).
+    pub acked_keys: Vec<(u64, String)>,
     /// Admitted-but-unacknowledged requests, in admission order.
     pub pending: Vec<PendingRequest>,
     /// Whether a torn (truncated) final line was dropped.
@@ -186,6 +192,17 @@ pub struct PendingRequest {
     pub checkpoint: Option<SweepCheckpoint>,
 }
 
+/// Extracts the `idempotency_key` field from a journaled request line.
+/// The line was validated at admission, so a parse failure just means
+/// "no key" — the replay stays usable either way.
+fn idempotency_key_of(line: &str) -> Option<u64> {
+    let json = mm_json::parse(line).ok()?;
+    match json.get("idempotency_key")? {
+        Json::Int(k) => Some(*k as u64),
+        _ => None,
+    }
+}
+
 impl Replay {
     /// Replays the journal at `path`. Missing file ⇒ empty replay. A
     /// malformed **final** line is tolerated (a crash mid-append); any other
@@ -204,6 +221,7 @@ impl Replay {
         let lines: Vec<&str> = text.lines().collect();
         let mut replay = Replay::default();
         let mut acked_ids = std::collections::HashSet::new();
+        let mut admitted_keys = std::collections::HashMap::new();
         for (i, raw) in lines.iter().enumerate() {
             if raw.trim().is_empty() {
                 continue;
@@ -224,11 +242,16 @@ impl Replay {
                 Err(e) => return Err(format!("corrupt record at line {}: {e}", i + 1)),
             };
             match record {
-                Record::Admitted { id, line } => replay.pending.push(PendingRequest {
-                    id,
-                    line,
-                    checkpoint: None,
-                }),
+                Record::Admitted { id, line } => {
+                    if let Some(key) = idempotency_key_of(&line) {
+                        admitted_keys.insert(id, key);
+                    }
+                    replay.pending.push(PendingRequest {
+                        id,
+                        line,
+                        checkpoint: None,
+                    });
+                }
                 Record::Sweep { id, checkpoint } => {
                     if let Some(p) = replay.pending.iter_mut().find(|p| p.id == id) {
                         p.checkpoint = Some(checkpoint);
@@ -236,6 +259,9 @@ impl Replay {
                 }
                 Record::Acked { id, line } => {
                     acked_ids.insert(id);
+                    if let Some(key) = admitted_keys.get(&id) {
+                        replay.acked_keys.push((*key, line.clone()));
+                    }
                     replay.acked.push((id, line));
                 }
                 Record::Stats { snapshot } => replay.stats = Some(snapshot),

@@ -51,6 +51,11 @@ pub struct Request {
     /// response line — but the receiving server counts it, so migration
     /// stays observable without touching the transcript.
     pub migration: Option<u64>,
+    /// Ask the executor to attach a Theorem-1 [`mm_opt::Proof`] to a
+    /// successful solve/probe answer (the `proof` response field), so the
+    /// coordinator can verify the verdict without re-running a flow. Absent
+    /// on the wire when false, keeping proof-free request lines unchanged.
+    pub want_proof: bool,
 }
 
 /// The request payloads the service executes.
@@ -100,6 +105,14 @@ pub enum RequestKind {
     /// A backend announcing its own departure: drain and stop. Semantically
     /// `drain` initiated by the member rather than the coordinator.
     Leave,
+    /// A coordinator reporting its proof-check verdict for an answer this
+    /// backend produced. Answered inline (no queue slot, no journal record);
+    /// the backend counts it so `top` and `stats` show per-backend
+    /// verified/refuted splits without the coordinator's involvement.
+    Verdict {
+        /// Whether the coordinator refuted the answer (`false` = verified).
+        refuted: bool,
+    },
     /// Report live observability metrics. Answered inline by the supervisor
     /// (no queue slot, no journal record) so stats stay readable under load.
     Stats {
@@ -124,6 +137,7 @@ impl RequestKind {
             RequestKind::Join => "join",
             RequestKind::Drain => "drain",
             RequestKind::Leave => "leave",
+            RequestKind::Verdict { .. } => "verdict",
             RequestKind::Stats { .. } => "stats",
         }
     }
@@ -141,6 +155,7 @@ impl Request {
             hedge: None,
             idempotency_key: None,
             migration: None,
+            want_proof: false,
         }
     }
 
@@ -194,6 +209,9 @@ impl Request {
             }
             RequestKind::Shutdown | RequestKind::Join | RequestKind::Drain | RequestKind::Leave => {
             }
+            RequestKind::Verdict { refuted } => {
+                fields.push(("refuted", Json::Bool(*refuted)));
+            }
             RequestKind::Stats {
                 prometheus,
                 counters_only,
@@ -223,6 +241,9 @@ impl Request {
         }
         if let Some(m) = self.migration {
             fields.push(("migration", Json::Int(m as i64)));
+        }
+        if self.want_proof {
+            fields.push(("want_proof", Json::Bool(true)));
         }
         Json::obj(fields).to_compact()
     }
@@ -287,6 +308,12 @@ impl Request {
             "join" => RequestKind::Join,
             "drain" => RequestKind::Drain,
             "leave" => RequestKind::Leave,
+            "verdict" => RequestKind::Verdict {
+                refuted: match json.get("refuted") {
+                    None => false,
+                    Some(v) => v.as_bool().ok_or("field `refuted` must be a boolean")?,
+                },
+            },
             "stats" => RequestKind::Stats {
                 prometheus: match json.get("format").map(Json::as_str) {
                     None => false,
@@ -314,6 +341,10 @@ impl Request {
             hedge: uint("hedge")?,
             idempotency_key: uint("idempotency_key")?,
             migration: uint("migration")?,
+            want_proof: match json.get("want_proof") {
+                None => false,
+                Some(v) => v.as_bool().ok_or("field `want_proof` must be a boolean")?,
+            },
         })
     }
 }
@@ -572,6 +603,19 @@ mod tests {
             Request::new(14, RequestKind::Join),
             Request::new(15, RequestKind::Drain),
             Request::new(16, RequestKind::Leave),
+            Request::new(18, RequestKind::Verdict { refuted: true }),
+            Request::new(19, RequestKind::Verdict { refuted: false }),
+            Request {
+                want_proof: true,
+                idempotency_key: Some(0xCAFE),
+                ..Request::new(
+                    20,
+                    RequestKind::Probe {
+                        jobs: vec![(0, 3, 2)],
+                        machines: 2,
+                    },
+                )
+            },
             Request {
                 idempotency_key: Some(0xF00D),
                 migration: Some(1),

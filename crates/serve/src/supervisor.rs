@@ -122,6 +122,20 @@ pub struct ServeStats {
     /// The response bytes are identical to an unmarked send (transcript
     /// determinism), so this counter is how migration stays observable.
     pub migrated_served: u64,
+    /// Ok solve/probe answers released with a `proof` field attached
+    /// (requested via `want_proof`).
+    pub proofs_attached: u64,
+    /// Answers perturbed by the `answer_corruption` fault site before they
+    /// were journaled, cached, and released. A corrupted answer replays
+    /// byte-identically, so this counter is the only honest record that the
+    /// released bytes are lies.
+    pub corrupted: u64,
+    /// `verdict` notices (refuted=false) received from a coordinator that
+    /// proof-checked one of this server's answers.
+    pub verified_noted: u64,
+    /// `verdict` notices (refuted=true) received from a coordinator: answers
+    /// this server gave that failed proof verification.
+    pub refuted_noted: u64,
 }
 
 impl ServeStats {
@@ -151,6 +165,10 @@ impl ServeStats {
             ("stats_served", Json::Int(self.stats_served as i64)),
             ("control_served", Json::Int(self.control_served as i64)),
             ("migrated_served", Json::Int(self.migrated_served as i64)),
+            ("proofs_attached", Json::Int(self.proofs_attached as i64)),
+            ("corrupted", Json::Int(self.corrupted as i64)),
+            ("verified_noted", Json::Int(self.verified_noted as i64)),
+            ("refuted_noted", Json::Int(self.refuted_noted as i64)),
         ])
     }
 }
@@ -232,6 +250,11 @@ impl Shared {
         let mut stats = *self.stats.lock().unwrap();
         if counters_only {
             stats.stats_served = 0;
+            // Verdict notices are an observer artifact like scrape cadence:
+            // how often a coordinator checks proofs is not part of the
+            // workload, so the byte-compared form drops them too.
+            stats.verified_noted = 0;
+            stats.refuted_noted = 0;
         }
         let depth = self.admission.lock().unwrap().depth;
         let base = self.obs.base();
@@ -253,6 +276,10 @@ impl Shared {
             ("serve.stats_served", stats.stats_served),
             ("serve.control_served", stats.control_served),
             ("serve.migrated_served", stats.migrated_served),
+            ("serve.proofs_attached", stats.proofs_attached),
+            ("serve.corrupted", stats.corrupted),
+            ("serve.verified", stats.verified_noted),
+            ("serve.refuted", stats.refuted_noted),
         ];
         for (name, value) in serve_counters {
             snap.counters.insert(name.to_string(), value);
@@ -406,7 +433,17 @@ impl Service {
             stopped_cv: Condvar::new(),
             journal,
             injector: Mutex::new(FaultInjector::new(cfg.plan.clone())),
-            idem: Mutex::new(IdemCache::default()),
+            idem: Mutex::new({
+                // Refill the idempotency cache from replayed acks: a
+                // duplicate key arriving after the restart must re-serve
+                // the journaled bytes (possibly a journaled *lie*), not
+                // re-execute under a fault plan that no longer exists.
+                let mut idem = IdemCache::default();
+                for (key, line) in &replay.acked_keys {
+                    idem.insert(*key, line.clone());
+                }
+                idem
+            }),
             sink,
             stats: Mutex::new(ServeStats {
                 replayed_acks: replay.acked.len() as u64,
@@ -585,6 +622,26 @@ impl Service {
                 );
                 return;
             }
+            // Verdict notices are answered inline too: the coordinator's
+            // proof-check outcome must be recordable even when the liar's
+            // queue is full (the exact moment it is being quarantined).
+            RequestKind::Verdict { refuted } => {
+                let mut stats = self.shared.stats.lock().unwrap();
+                if refuted {
+                    stats.refuted_noted += 1;
+                } else {
+                    stats.verified_noted += 1;
+                }
+                drop(stats);
+                let _ = reply.send(
+                    Response::Ok {
+                        id: req.id,
+                        fields: vec![("noted".into(), mm_json::Json::Bool(true))],
+                    }
+                    .to_line(),
+                );
+                return;
+            }
             RequestKind::Drain | RequestKind::Leave => {
                 self.shared.stats.lock().unwrap().control_served += 1;
                 self.begin_drain();
@@ -735,6 +792,7 @@ fn kind_tag(kind: &RequestKind) -> &'static str {
         RequestKind::Join => "join",
         RequestKind::Drain => "drain",
         RequestKind::Leave => "leave",
+        RequestKind::Verdict { .. } => "verdict",
     }
 }
 
@@ -1013,6 +1071,23 @@ fn supervise(
 /// slow-span exemplars, and (when a sink is attached) the trace stream.
 fn finish(shared: &Shared, item: &WorkItem, response: &Response) {
     let reply_t0 = Instant::now();
+    // Byzantine injection happens here, BEFORE the line is journaled and
+    // cached: a corrupted answer must replay byte-identically after a
+    // restart and re-serve the same lie from the idempotency cache, exactly
+    // like an honest one. Only eligible answers (Ok solve/probe verdicts)
+    // charge the fault plan, so a `once` plan lies exactly once.
+    let lie = if corruptible(response)
+        && shared
+            .injector
+            .lock()
+            .unwrap()
+            .fire(FaultSite::AnswerCorruption)
+    {
+        Some(corrupt_answer(response))
+    } else {
+        None
+    };
+    let response = lie.as_ref().unwrap_or(response);
     let line = response.to_line();
     let _ = shared.journal_append(&Record::Acked {
         id: item.req.id,
@@ -1023,7 +1098,18 @@ fn finish(shared: &Shared, item: &WorkItem, response: &Response) {
     }
     let _ = item.reply.send(line);
     shared.admission.lock().unwrap().depth -= 1;
-    shared.stats.lock().unwrap().responses += 1;
+    {
+        let mut stats = shared.stats.lock().unwrap();
+        stats.responses += 1;
+        if lie.is_some() {
+            stats.corrupted += 1;
+        }
+        if let Response::Ok { fields, .. } = response {
+            if fields.iter().any(|(k, _)| k == "proof") {
+                stats.proofs_attached += 1;
+            }
+        }
+    }
     let total_us = item.admitted_at.elapsed().as_micros() as u64;
     let mut phases = item.phases.clone();
     fold_phases(
@@ -1047,6 +1133,63 @@ fn finish(shared: &Shared, item: &WorkItem, response: &Response) {
         id: item.req.id,
         status: terminal_status(response),
     });
+}
+
+/// Whether an answer is eligible for [`FaultSite::AnswerCorruption`]: only
+/// successful solve (`machines`) and probe (`feasible`) verdicts — the
+/// answers a coordinator can proof-check. Degraded brackets, errors, and
+/// control replies never charge the plan.
+fn corruptible(response: &Response) -> bool {
+    match response {
+        Response::Ok { fields, .. } => fields
+            .iter()
+            .any(|(k, _)| k == "machines" || k == "feasible"),
+        _ => false,
+    }
+}
+
+/// Builds the Byzantine lie: a plausible off-by-one perturbation, not
+/// garbage. A solve verdict is bumped by one machine — with the attached
+/// proof's machine fields bumped to match, so only re-checking the witness
+/// arithmetic exposes it. A probe verdict is flipped, leaving the proof
+/// untouched (the kind mismatch is the coordinator's to find).
+fn corrupt_answer(response: &Response) -> Response {
+    let Response::Ok { id, fields } = response else {
+        unreachable!("corrupt_answer called on ineligible response");
+    };
+    let mut fields = fields.clone();
+    for (key, value) in &mut fields {
+        match (key.as_str(), &mut *value) {
+            ("machines", Json::Int(m)) => *m += 1,
+            ("feasible", Json::Bool(b)) => *b = !*b,
+            ("proof", proof) => bump_proof_machines(proof),
+            _ => {}
+        }
+    }
+    Response::Ok { id: *id, fields }
+}
+
+/// Bumps the `machines` claims inside an encoded proof (top level and the
+/// nested infeasibility cert) so a solve lie stays internally consistent.
+/// The cert's interval witness and volume are left alone — they are what
+/// refute the bumped claim.
+fn bump_proof_machines(proof: &mut Json) {
+    let Json::Obj(members) = proof else { return };
+    for (key, value) in members.iter_mut() {
+        match (key.as_str(), &mut *value) {
+            ("machines", Json::Int(m)) => *m += 1,
+            ("cert", Json::Obj(cert_members)) => {
+                for (ck, cv) in cert_members.iter_mut() {
+                    if ck == "machines" {
+                        if let Json::Int(m) = cv {
+                            *m += 1;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
 }
 
 fn terminal_status(response: &Response) -> &'static str {

@@ -376,3 +376,78 @@ fn paced_load_over_tcp_drains_cleanly() {
     assert!(stats.invariant_holds(), "{stats:?}");
     assert_eq!(stats.admitted + stats.shed, report.sent as u64, "{stats:?}");
 }
+
+/// Proof-carrying answers obey the same crash contract as plain ones: the
+/// journal replays them byte-identically — proof bytes included — and a
+/// corrupted (Byzantine) answer replays as the same lie instead of being
+/// silently healed or re-corrupted on restart.
+#[test]
+fn proof_carrying_responses_and_lies_replay_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("machmin-proof-replay-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal.jsonl");
+    std::fs::remove_file(&path).ok();
+    let seed = 77u64;
+    let proof_request = |id: u64| Request {
+        want_proof: true,
+        idempotency_key: Some(1_000 + id),
+        ..request(id, seed)
+    };
+    // Phase 1: one worker (deterministic encode order) with a plan that
+    // corrupts exactly the first eligible answer.
+    let cfg = ServeConfig {
+        workers: 1,
+        journal: Some(path.clone()),
+        plan: FaultPlan::once(FaultSite::AnswerCorruption, 1),
+        ..ServeConfig::default()
+    };
+    let (lines, stats) = {
+        let service = Service::start(cfg, sink()).unwrap();
+        let (tx, rx) = channel::unbounded();
+        for id in 0..6u64 {
+            service.submit_line(&proof_request(id).to_line(), &tx);
+        }
+        let lines: Vec<String> = (0..6)
+            .map(|_| rx.recv_timeout(Duration::from_secs(60)).unwrap())
+            .collect();
+        (lines, service.join())
+    };
+    assert_eq!(stats.corrupted, 1, "the once-plan lies exactly once");
+    assert!(
+        stats.proofs_attached >= stats.corrupted,
+        "corrupted answers still carry their (doctored) proof"
+    );
+    let attached = lines.iter().filter(|l| l.contains("\"proof\"")).count() as u64;
+    assert_eq!(attached, stats.proofs_attached);
+    // Phase 2: restart on the same journal, fault plan gone. Every acked
+    // line replays byte-for-byte — the lie survives restarts, which is
+    // exactly why the coordinator must catch it, not the journal.
+    let service = Service::start(
+        ServeConfig {
+            workers: 1,
+            journal: Some(path),
+            ..ServeConfig::default()
+        },
+        sink(),
+    )
+    .unwrap();
+    let mut replayed: Vec<String> = service
+        .recovered_acks()
+        .iter()
+        .map(|(_, l)| l.clone())
+        .collect();
+    // Replayed acks also refill the idempotency cache: re-asking with the
+    // original key re-serves the identical bytes without re-execution.
+    let (tx, rx) = channel::unbounded();
+    service.submit_line(&proof_request(3).to_line(), &tx);
+    let cached = rx.recv_timeout(Duration::from_secs(60)).unwrap();
+    let restats = service.join();
+    let mut sent = lines.clone();
+    sent.sort();
+    replayed.sort();
+    assert_eq!(sent, replayed, "proof bytes survive replay unchanged");
+    assert!(lines.contains(&cached), "cache re-serves replayed bytes");
+    assert_eq!(restats.deduped, 1);
+    assert_eq!(restats.corrupted, 0, "replay re-serves, never re-corrupts");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -328,6 +328,22 @@ pub enum TraceEvent {
         /// Backend index within the pool.
         backend: usize,
     },
+    /// The coordinator proof-checked a gathered answer and the proof held.
+    ClusterAnswerVerified {
+        /// Logical work-unit id.
+        unit: u64,
+        /// Backend that produced the answer.
+        backend: usize,
+    },
+    /// The coordinator proof-checked a gathered answer and caught a lie:
+    /// the claimed verdict contradicts its own proof. The answer is
+    /// discarded, the backend quarantined, and the unit re-asked.
+    ClusterAnswerRefuted {
+        /// Logical work-unit id.
+        unit: u64,
+        /// The lying backend.
+        backend: usize,
+    },
     /// One timed phase of a request span (observability layer). Unlike the
     /// logical events above, this carries wall-clock data, so it never
     /// appears in anything gated on byte-identical output.
@@ -382,6 +398,8 @@ impl TraceEvent {
             TraceEvent::ClusterBackendDraining { .. } => "cluster_backend_draining",
             TraceEvent::ClusterShardMigrated { .. } => "cluster_shard_migrated",
             TraceEvent::ClusterBackendFlapped { .. } => "cluster_backend_flapped",
+            TraceEvent::ClusterAnswerVerified { .. } => "cluster_answer_verified",
+            TraceEvent::ClusterAnswerRefuted { .. } => "cluster_answer_refuted",
             TraceEvent::SpanPhase { .. } => "span_phase",
         }
     }
@@ -597,6 +615,12 @@ impl TraceEvent {
             ]),
             TraceEvent::ClusterBackendFlapped { backend } => Json::obj([
                 ("event", Json::str(self.tag())),
+                ("backend", Json::Int(*backend as i64)),
+            ]),
+            TraceEvent::ClusterAnswerVerified { unit, backend }
+            | TraceEvent::ClusterAnswerRefuted { unit, backend } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("unit", Json::Int(*unit as i64)),
                 ("backend", Json::Int(*backend as i64)),
             ]),
             TraceEvent::SpanPhase { id, phase, micros } => Json::obj([
@@ -870,6 +894,10 @@ pub struct Metrics {
     pub cluster_migrations: u64,
     /// `cluster_backend_flapped` events (churn-plan forced downs).
     pub cluster_flaps: u64,
+    /// `cluster_answer_verified` events (proof-checked answers that held).
+    pub cluster_verifications: u64,
+    /// `cluster_answer_refuted` events (lies caught by proof checking).
+    pub cluster_refutations: u64,
     /// `span_phase` events (request-span phase timings). Only the count is
     /// aggregated here — the timed values are wall-clock and belong to the
     /// observability registry, not to this deterministic summary.
@@ -979,6 +1007,8 @@ impl Metrics {
                 Self::bump(&mut self.dispatches_per_backend, *to);
             }
             TraceEvent::ClusterBackendFlapped { .. } => self.cluster_flaps += 1,
+            TraceEvent::ClusterAnswerVerified { .. } => self.cluster_verifications += 1,
+            TraceEvent::ClusterAnswerRefuted { .. } => self.cluster_refutations += 1,
             TraceEvent::SpanPhase { .. } => self.span_phases += 1,
         }
     }
@@ -1084,6 +1114,11 @@ impl Metrics {
                     ("drains", Json::Int(self.cluster_drains as i64)),
                     ("migrations", Json::Int(self.cluster_migrations as i64)),
                     ("flaps", Json::Int(self.cluster_flaps as i64)),
+                    (
+                        "verifications",
+                        Json::Int(self.cluster_verifications as i64),
+                    ),
+                    ("refutations", Json::Int(self.cluster_refutations as i64)),
                 ]),
             ),
             (

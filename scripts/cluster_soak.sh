@@ -12,6 +12,12 @@
 # flaps on the seeded plan and recovers. Zero lost cells, byte-identical
 # reruns, and answers identical to the static-pool run.
 #
+# A third, Byzantine phase runs the grid with `--verify all` over a pool
+# whose third backend is seeded to corrupt exactly one answer at
+# response-encode time. The coordinator must refute the lie from its own
+# attached proof, quarantine the liar, re-ask on the survivors, and still
+# merge answers byte-identical to an honest verified single-node run.
+#
 # Usage: scripts/cluster_soak.sh [seeds_per_family] [seed]
 # The caller should wrap this script in `timeout` (CI does) so a hung
 # gather fails the job instead of stalling it.
@@ -40,11 +46,17 @@ wait_for_port() {
 
 start_pool() {
     # Starts $2 backends, writes their ports, echoes them comma-separated.
-    local tag="$1" n="$2"
+    # An optional third argument is a fault-plan file handed to the LAST
+    # backend only — how the Byzantine phase plants a single liar.
+    local tag="$1" n="$2" liar_plan="${3:-}"
     local addrs=()
     for i in $(seq 1 "$n"); do
+        local plan_args=()
+        if [ -n "$liar_plan" ] && [ "$i" -eq "$n" ]; then
+            plan_args=(--plan "$liar_plan")
+        fi
         "$BIN" serve --addr 127.0.0.1:0 --workers 3 --queue-cap 64 \
-            --port-file "$WORK/port-$tag-$i.txt" \
+            --port-file "$WORK/port-$tag-$i.txt" "${plan_args[@]}" \
             >"$WORK/server-$tag-$i.txt" 2>/dev/null &
     done
     for i in $(seq 1 "$n"); do
@@ -174,3 +186,65 @@ echo "cluster soak: churn transcripts byte-identical across runs"
 diff <(tail -n +2 "$WORK/transcript-churn-a.jsonl") <(tail -n +2 "$WORK/transcript-a.jsonl")
 diff <(grep '^merged:' "$WORK/grid-churn-a.txt") <(grep '^merged:' "$WORK/grid-a.txt")
 echo "cluster soak: churn answers identical to the static-pool run"
+
+# ---------------------------------------------------------------------------
+# Byzantine phase: proof-carrying answers under `--verify all`. The third
+# backend's fault plan corrupts exactly one answer at response-encode time;
+# the coordinator refutes it from the attached proof, quarantines the liar
+# (it revives on the probe cadence once honest again), and re-asks the unit
+# on the survivors. Refutation counters are seeded and gated; re-ask timing
+# is reported, never gated.
+cat >"$WORK/byz-plan.json" <<EOF
+{"seed":$SEED,"rules":[{"site":"answer_corruption","nth":1}]}
+EOF
+
+run_byz() {
+    local tag="$1"
+    local backends
+    backends="$(start_pool "byz-$tag" 3 "$WORK/byz-plan.json")"
+    "$BIN" cluster grid --backends "$backends" --balance hash --seed "$SEED" \
+        --window 32 --verify all \
+        --families uniform,agreeable,loose --seeds "$SEEDS" --n 10 \
+        --out "$WORK/transcript-byz-$tag.jsonl" >"$WORK/grid-byz-$tag.txt"
+    drain_pool "byz-$tag" 3
+    grep -q "lost responses: 0" "$WORK/grid-byz-$tag.txt"
+    # Exactly the planted lie was refuted, charged to the liar (backend 2),
+    # and the liar was quarantined through the ordinary recoverable path.
+    grep -q '"refuted":1' "$WORK/grid-byz-$tag.txt"
+    grep -q '"per_backend_refuted":\[0,0,1\]' "$WORK/grid-byz-$tag.txt"
+    grep -Eq '"quarantines":[1-9]' "$WORK/grid-byz-$tag.txt"
+    grep -q "1 refuted" "$WORK/grid-byz-$tag.txt"
+    echo "cluster soak byzantine $tag: ok ($(grep -o '"refuted":[0-9]*' "$WORK/grid-byz-$tag.txt" | head -1), $(grep -o '"reasks":[0-9]*' "$WORK/grid-byz-$tag.txt"))"
+}
+
+run_byz a
+run_byz b
+
+# Byzantine determinism: the deterministic slice (transcripts, refutation
+# counters) is byte-identical across independent lying-pool lifecycles.
+# The per-backend *verified* split is excluded: how many re-routed units
+# the quarantined liar wins back depends on when its revival probe lands,
+# which races the workload — the totals and every refutation field do not.
+diff "$WORK/transcript-byz-a.jsonl" "$WORK/transcript-byz-b.jsonl"
+for field in verified refuted unverifiable reasks; do
+    diff <(grep -o "\"$field\":[0-9]*" "$WORK/grid-byz-a.txt") \
+         <(grep -o "\"$field\":[0-9]*" "$WORK/grid-byz-b.txt")
+done
+diff <(grep -o '"per_backend_refuted":\[[^]]*\]' "$WORK/grid-byz-a.txt") \
+     <(grep -o '"per_backend_refuted":\[[^]]*\]' "$WORK/grid-byz-b.txt")
+echo "cluster soak: byzantine transcripts byte-identical across runs"
+
+# The lie must be invisible in the answers: an honest single backend under
+# the same `--verify all` policy gathers exactly the same proof-carrying
+# responses (the header differs — backend count and balance — so it is
+# skipped), with zero refutations.
+vsingle="$(start_pool byz-single 1)"
+"$BIN" cluster grid --backends "$vsingle" --seed "$SEED" --verify all \
+    --families uniform,agreeable,loose --seeds "$SEEDS" --n 10 \
+    --out "$WORK/transcript-byz-single.jsonl" >"$WORK/grid-byz-single.txt"
+drain_pool byz-single 1
+grep -q "lost responses: 0" "$WORK/grid-byz-single.txt"
+grep -q '"refuted":0' "$WORK/grid-byz-single.txt"
+diff <(tail -n +2 "$WORK/transcript-byz-a.jsonl") <(tail -n +2 "$WORK/transcript-byz-single.jsonl")
+diff <(grep '^merged:' "$WORK/grid-byz-a.txt") <(grep '^merged:' "$WORK/grid-byz-single.txt")
+echo "cluster soak: byzantine answers identical to the honest single-node run"

@@ -154,19 +154,30 @@ pub enum Command {
         /// Benchmark elastic membership churn instead
         /// (default out `BENCH_8.json`).
         churn: bool,
+        /// Gate proof-carrying verification instead: honest pool vs. a
+        /// pool with one Byzantine backend (default out `BENCH_9.json`).
+        verify: bool,
         /// Baseline JSON output file (default `BENCH_2.json`).
         out: String,
         /// Committed baseline to gate deterministic counters against.
         check: Option<String>,
     },
-    /// `certcheck [--seed S] [--cases N] [--out f.txt]` — deterministic
-    /// certifier-vs-flow verdict cross-check; the report carries no wall
-    /// times, so same-seed runs are byte-identical (CI diffs them).
+    /// `certcheck [--seed S] [--cases N] [--pool [--corrupt]] [--out
+    /// f.txt]` — deterministic certifier-vs-flow verdict cross-check; the
+    /// report carries no wall times, so same-seed runs are byte-identical
+    /// (CI diffs them). `--pool` runs the same seeded case batch against a
+    /// live in-process backend pool with `--verify all` instead: every
+    /// proof-carrying answer is re-checked coordinator-side, and `--corrupt`
+    /// plants one Byzantine backend to prove the refutation path fires.
     CertCheck {
         /// Base seed for the instance batch.
         seed: u64,
         /// Number of seeded cases (cycling through all families).
         cases: usize,
+        /// Run against a live three-backend pool with `--verify all`.
+        pool: bool,
+        /// Seed one backend with an `answer_corruption` plan (pool mode).
+        corrupt: bool,
         /// Optional file to write the report to (stdout otherwise).
         out: Option<String>,
     },
@@ -283,6 +294,9 @@ pub enum Command {
         spares: Vec<String>,
         /// Max live shard migrations per observation window.
         migration_budget: u64,
+        /// Answer-verification policy (`off`, `spot`, `all`): ask backends
+        /// for proof-carrying answers and refute/quarantine liars.
+        verify: String,
         /// Transcript output file (header + response lines sorted by id).
         out: Option<String>,
         /// JSONL event-trace output file.
@@ -441,17 +455,22 @@ pub fn parse(args: &[String]) -> Result<Command, Error> {
             let obs = args.iter().any(|a| a == "--obs");
             let large = args.iter().any(|a| a == "--large");
             let churn = args.iter().any(|a| a == "--churn");
-            if [serve, cluster, obs, large, churn]
+            let verify = args.iter().any(|a| a == "--verify");
+            if [serve, cluster, obs, large, churn, verify]
                 .iter()
                 .filter(|b| **b)
                 .count()
                 > 1
             {
                 return Err(Error::Usage(
-                    "--serve, --cluster, --obs, --large, and --churn are mutually exclusive".into(),
+                    "--serve, --cluster, --obs, --large, --churn, and --verify are \
+                     mutually exclusive"
+                        .into(),
                 ));
             }
-            let default_out = if churn {
+            let default_out = if verify {
+                "BENCH_9.json"
+            } else if churn {
                 "BENCH_8.json"
             } else if large {
                 "BENCH_7.json"
@@ -471,15 +490,25 @@ pub fn parse(args: &[String]) -> Result<Command, Error> {
                 obs,
                 large,
                 churn,
+                verify,
                 out: value_flag(args, "--out")?.unwrap_or_else(|| default_out.into()),
                 check: value_flag(args, "--check")?,
             })
         }
-        "certcheck" => Ok(Command::CertCheck {
-            seed: num_flag::<u64>(args, "--seed")?.unwrap_or(1),
-            cases: num_flag::<usize>(args, "--cases")?.unwrap_or(25).max(1),
-            out: value_flag(args, "--out")?,
-        }),
+        "certcheck" => {
+            let pool = args.iter().any(|a| a == "--pool");
+            let corrupt = args.iter().any(|a| a == "--corrupt");
+            if corrupt && !pool {
+                return Err(Error::Usage("--corrupt requires --pool".into()));
+            }
+            Ok(Command::CertCheck {
+                seed: num_flag::<u64>(args, "--seed")?.unwrap_or(1),
+                cases: num_flag::<usize>(args, "--cases")?.unwrap_or(25).max(1),
+                pool,
+                corrupt,
+                out: value_flag(args, "--out")?,
+            })
+        }
         "serve" => {
             let chaos = args.iter().any(|a| a == "--chaos");
             let plan = value_flag(args, "--plan")?;
@@ -597,6 +626,7 @@ pub fn parse(args: &[String]) -> Result<Command, Error> {
                 churn,
                 spares,
                 migration_budget: num_flag::<u64>(args, "--migration-budget")?.unwrap_or(64),
+                verify: value_flag(args, "--verify")?.unwrap_or_else(|| "off".into()),
                 out: value_flag(args, "--out")?,
                 trace: value_flag(args, "--trace")?,
                 metrics: value_flag(args, "--metrics")?,
@@ -677,6 +707,7 @@ fn usage_cluster() -> Error {
          [--balance round-robin|least-outstanding|hash] [--seed S] [--window W] \
          [--hedge-every N | --hedge-p99 PCT] [--hedge-floor-ms N] [--chaos | --plan f.json] \
          [--churn plan.json [--spares d,e]] [--migration-budget N] \
+         [--verify off|spot|all] \
          [--deadline-ms N] [--policies p1,p2] [--k K] [--machines N] \
          [--checkpoint f.json [--resume]] [--families f1,f2] [--seeds S] [--n N] \
          [--out transcript.jsonl] [--trace f.jsonl] [--metrics f.json]"
@@ -731,6 +762,7 @@ pub fn help_text() -> &'static str {
        cluster <solve <inst.json>|sweep|grid|stats> --backends <a,b,c> [--balance B] [--seed S]\n\
                [--window W] [--hedge-every N | --hedge-p99 PCT] [--chaos | --plan f.json]\n\
                [--churn plan.json [--spares d,e]] [--migration-budget N]\n\
+               [--verify off|spot|all]\n\
                [--policies p1,p2] [--k K] [--families f1,f2] [--seeds S] [--n N]\n\
                [--checkpoint f.json [--resume]] [--out transcript.jsonl]\n\
                                                 scatter–gather over a pool of running servers:\n\
@@ -741,12 +773,14 @@ pub fn help_text() -> &'static str {
                                                 graceful drains with live shard migration, flaps);\n\
                                                 `stats` scrapes every backend's registry, prints\n\
                                                 the bucket-exact pool-wide merge plus per-backend\n\
-                                                overload index and migration counters\n\
+                                                overload index, migration, and verified/refuted\n\
+                                                counters; --verify asks for proof-carrying answers\n\
+                                                and refutes/quarantines/re-asks on a caught lie\n\
        top --backends <a,b,c> [--interval-s N] [--frames N]\n\
                                                 live terminal view over the pool's stats endpoints:\n\
                                                 queue depth, in-flight, latency quantiles, slowest\n\
                                                 spans; one-shot unless --interval-s is given\n\
-       bench [--quick] [--serve | --cluster | --obs | --large | --churn] [--out f.json] [--check f.json]\n\
+       bench [--quick] [--serve | --cluster | --obs | --large | --churn | --verify] [--out f.json] [--check f.json]\n\
                                                 seeded perf baseline: fast path + prober reuse vs\n\
                                                 BigInt + fresh-network reference (default out\n\
                                                 BENCH_2.json); --check gates deterministic counters;\n\
@@ -755,10 +789,14 @@ pub fn help_text() -> &'static str {
                                                 --obs gates the observability layer (BENCH_6.json);\n\
                                                 --large benchmarks the million-job certifier hot\n\
                                                 path (BENCH_7.json); --churn benchmarks elastic\n\
-                                                membership churn (BENCH_8.json)\n\
-       certcheck [--seed S] [--cases N] [--out f.txt]\n\
+                                                membership churn (BENCH_8.json); --verify gates\n\
+                                                proof-carrying verification — honest pool vs one\n\
+                                                Byzantine backend (BENCH_9.json)\n\
+       certcheck [--seed S] [--cases N] [--pool [--corrupt]] [--out f.txt]\n\
                                                 certifier-vs-flow verdict cross-check; same-seed\n\
-                                                reports are byte-identical, mismatches exit 6\n\
+                                                reports are byte-identical, mismatches exit 6;\n\
+                                                --pool re-verifies proof-carrying answers from a\n\
+                                                live backend pool (--corrupt plants one liar)\n\
        help                                     this text\n\
      \n\
      observability (solve, schedule, adversary, chaos, serve, cluster):\n\
@@ -973,11 +1011,23 @@ struct BenchBackend {
 }
 
 fn spawn_bench_pool(n: usize, queue_cap: usize) -> Result<Vec<BenchBackend>, Error> {
-    (0..n)
-        .map(|_| {
+    spawn_bench_pool_plans(&vec![FaultPlan::none(); n], queue_cap)
+}
+
+/// Like [`spawn_bench_pool`], but each backend gets its own fault plan —
+/// how the Byzantine bench and chaos segments plant exactly one liar in an
+/// otherwise honest pool.
+fn spawn_bench_pool_plans(
+    plans: &[FaultPlan],
+    queue_cap: usize,
+) -> Result<Vec<BenchBackend>, Error> {
+    plans
+        .iter()
+        .map(|plan| {
             let cfg = ServeConfig {
                 workers: 2,
                 queue_cap,
+                plan: plan.clone(),
                 ..ServeConfig::default()
             };
             let service = Arc::new(
@@ -1163,6 +1213,252 @@ fn cluster_bench(
         let _ = writeln!(out, "counters match committed baseline {check_path}");
     }
     Ok(())
+}
+
+/// The `bench --verify` scenario (`BENCH_9.json`): proof-carrying answers
+/// end to end. Two runs over the same scatter workload, both with
+/// `--verify all`:
+///
+/// * **honest** — a clean three-backend pool; every answer's proof checks
+///   out, zero refutations.
+/// * **byzantine** — the same pool with a seeded `answer_corruption` plan
+///   on one backend (exactly one lie). The coordinator refutes the lie
+///   from its own proof, quarantines the liar, and re-asks the unit on the
+///   survivors.
+///
+/// The gate: the byzantine run's merged responses are **byte-identical**
+/// to the honest run's (proof bytes included), and the verification
+/// counters are pure functions of the seed. Wall times are reported but
+/// never gated.
+fn verify_bench(
+    quick: bool,
+    path: &str,
+    check: Option<&str>,
+    out: &mut String,
+) -> Result<(), Error> {
+    use mm_json::Json;
+    let units_n = if quick { 16 } else { 48 };
+
+    let run = |plans: &[FaultPlan]| -> Result<(mm_cluster::ClusterReport, u64, f64), Error> {
+        let pool = spawn_bench_pool_plans(plans, 2 * units_n + 8)?;
+        let cfg = ClusterConfig {
+            backends: pool.iter().map(|b| b.addr.clone()).collect(),
+            balance: BalancePolicy::RoundRobin,
+            seed: 31,
+            window: units_n,
+            verify: mm_cluster::VerifyPolicy::All,
+            ..ClusterConfig::default()
+        };
+        let t0 = std::time::Instant::now();
+        let coordinator = Coordinator::connect(cfg, NoopSink)
+            .map_err(|e| Error::Io(format!("verify bench connect: {e}")))?;
+        let report = coordinator
+            .run(scatter_units(units_n), &mut |_, _| {})
+            .map_err(|e| Error::Sim(format!("verify bench run: {e}")))?;
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let corrupted: u64 = pool.iter().map(|b| b.service.stats().corrupted).sum();
+        teardown_bench_pool(pool)?;
+        if report.counters.lost > 0 {
+            return Err(Error::Verification(format!(
+                "verify bench lost {} response(s)",
+                report.counters.lost
+            )));
+        }
+        Ok((report, corrupted, ms))
+    };
+
+    let honest_plans = vec![FaultPlan::none(); 3];
+    let mut liar_plans = honest_plans.clone();
+    liar_plans[2] = FaultPlan::once(FaultSite::AnswerCorruption, 1);
+    let (honest, honest_corrupted, honest_ms) = run(&honest_plans)?;
+    let (byz, byz_corrupted, byz_ms) = run(&liar_plans)?;
+
+    let hv = honest
+        .counters
+        .verify
+        .as_ref()
+        .ok_or_else(|| Error::Internal("verify bench ran without verify counters".into()))?;
+    let bv = byz
+        .counters
+        .verify
+        .as_ref()
+        .ok_or_else(|| Error::Internal("verify bench ran without verify counters".into()))?;
+    let merged_identical = honest.responses == byz.responses;
+
+    let doc = Json::obj([
+        ("schema", Json::str("machmin-verify-bench-v1")),
+        ("units", Json::Int(units_n as i64)),
+        ("backends", Json::Int(3)),
+        ("honest_verified", Json::Int(hv.verified as i64)),
+        ("honest_refuted", Json::Int(hv.refuted as i64)),
+        ("honest_corrupted", Json::Int(honest_corrupted as i64)),
+        ("byz_verified", Json::Int(bv.verified as i64)),
+        ("byz_refuted", Json::Int(bv.refuted as i64)),
+        ("byz_reasks", Json::Int(bv.reasks as i64)),
+        ("byz_corrupted", Json::Int(byz_corrupted as i64)),
+        (
+            "byz_liar_refuted",
+            Json::Int(bv.per_backend_refuted[2] as i64),
+        ),
+        ("merged_identical", Json::Bool(merged_identical)),
+        (
+            "byz_quarantines",
+            Json::Int(byz.counters.quarantines as i64),
+        ),
+        ("honest_ms", Json::Float(honest_ms)),
+        ("byz_ms", Json::Float(byz_ms)),
+    ]);
+    std::fs::write(path, doc.to_pretty())
+        .map_err(|e| Error::Io(format!("cannot write {path}: {e}")))?;
+    let _ = writeln!(
+        out,
+        "verify bench: {units_n} units, honest {}/{} verified/refuted, \
+         byzantine {}/{} verified/refuted ({} lie(s) injected, {} re-ask(s)), \
+         merged identical: {merged_identical}, honest {honest_ms:.1} ms, byzantine {byz_ms:.1} ms",
+        hv.verified, hv.refuted, bv.verified, bv.refuted, byz_corrupted, bv.reasks
+    );
+    let _ = writeln!(out, "baseline -> {path}");
+    if hv.refuted != 0 || honest_corrupted != 0 {
+        return Err(Error::Verification(format!(
+            "honest pool must produce zero refutations (got {} refuted, {} corrupted)",
+            hv.refuted, honest_corrupted
+        )));
+    }
+    if !merged_identical {
+        return Err(Error::Verification(
+            "byzantine merged responses diverged from the honest run".into(),
+        ));
+    }
+    if let Some(check_path) = check {
+        let committed = std::fs::read_to_string(check_path)
+            .map_err(|e| Error::Io(format!("cannot read baseline {check_path}: {e}")))?;
+        let committed = mm_json::parse(&committed)
+            .map_err(|e| Error::Io(format!("cannot parse baseline {check_path}: {e}")))?;
+        let mut problems = Vec::new();
+        for key in [
+            "units",
+            "backends",
+            "honest_verified",
+            "honest_refuted",
+            "honest_corrupted",
+            "byz_verified",
+            "byz_refuted",
+            "byz_reasks",
+            "byz_corrupted",
+            "byz_liar_refuted",
+        ] {
+            let cur = doc.get(key).and_then(Json::as_i64);
+            let base = committed.get(key).and_then(Json::as_i64);
+            if cur != base {
+                problems.push(format!("{key}: {cur:?} vs committed {base:?}"));
+            }
+        }
+        if doc.get("merged_identical").map(Json::to_compact)
+            != committed.get("merged_identical").map(Json::to_compact)
+        {
+            problems.push("merged_identical changed".into());
+        }
+        if !problems.is_empty() {
+            return Err(Error::Verification(format!(
+                "verify bench counter regression vs {check_path}:\n  {}",
+                problems.join("\n  ")
+            )));
+        }
+        let _ = writeln!(out, "counters match committed baseline {check_path}");
+    }
+    Ok(())
+}
+
+/// `certcheck --pool`: the seeded cross-check batch shipped to a live
+/// three-backend pool as solve units under `--verify all`. Every answer
+/// comes back proof-carrying and is re-checked coordinator-side — the
+/// certifier arithmetic against the backend's flow oracle, end to end over
+/// the wire. With `--corrupt`, one backend lies exactly once and must be
+/// refuted, quarantined, and routed around. The report carries no wall
+/// times, so same-seed runs are byte-identical.
+fn certcheck_pool(seed: u64, cases: usize, corrupt: bool) -> Result<String, Error> {
+    use mm_serve::protocol::{Request, RequestKind};
+    let batch = mm_bench::crosscheck::pool_cases(seed, cases);
+    let mut plans = vec![FaultPlan::none(); 3];
+    if corrupt {
+        plans[2] = FaultPlan::once(FaultSite::AnswerCorruption, 1);
+    }
+    let pool = spawn_bench_pool_plans(&plans, 2 * cases + 8)?;
+    let cfg = ClusterConfig {
+        backends: pool.iter().map(|b| b.addr.clone()).collect(),
+        balance: BalancePolicy::RoundRobin,
+        seed,
+        window: cases.max(1),
+        verify: mm_cluster::VerifyPolicy::All,
+        ..ClusterConfig::default()
+    };
+    let units: Vec<Request> = batch
+        .iter()
+        .enumerate()
+        .map(|(i, (_, jobs))| Request::new(i as u64 + 1, RequestKind::Solve { jobs: jobs.clone() }))
+        .collect();
+    let coordinator = Coordinator::connect(cfg, NoopSink)
+        .map_err(|e| Error::Io(format!("certcheck pool connect: {e}")))?;
+    let report = coordinator
+        .run(units, &mut |_, _| {})
+        .map_err(|e| Error::Sim(format!("certcheck pool run: {e}")))?;
+    let corrupted: u64 = pool.iter().map(|b| b.service.stats().corrupted).sum();
+    teardown_bench_pool(pool)?;
+    if report.counters.lost > 0 {
+        return Err(Error::Verification(format!(
+            "certcheck pool lost {} response(s)",
+            report.counters.lost
+        )));
+    }
+    let v = report
+        .counters
+        .verify
+        .as_ref()
+        .ok_or_else(|| Error::Internal("certcheck pool ran without verify counters".into()))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "certcheck pool seed={seed} cases={cases} corrupt={corrupt}"
+    );
+    for (i, (family, jobs)) in batch.iter().enumerate() {
+        let m = report
+            .responses
+            .get(&(i as u64 + 1))
+            .and_then(|l| mm_json::parse(l).ok())
+            .and_then(|j| j.get("machines").and_then(mm_json::Json::as_i64))
+            .unwrap_or(-1);
+        let _ = writeln!(
+            out,
+            "case {i}: family={family} n={n} m={m} proof-verified",
+            n = jobs.len()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "verify: {} verified, {} refuted, {} unverifiable, {} re-ask(s), {} lie(s) injected",
+        v.verified, v.refuted, v.unverifiable, v.reasks, corrupted
+    );
+    if corrupt {
+        if v.refuted == 0 || corrupted == 0 {
+            return Err(Error::Verification(format!(
+                "seeded liar was never refuted ({} refuted, {} corrupted)",
+                v.refuted, corrupted
+            )));
+        }
+        let _ = writeln!(
+            out,
+            "liar refuted and quarantined; refuted unit(s) re-asked on survivors"
+        );
+    } else {
+        if v.refuted != 0 || corrupted != 0 {
+            return Err(Error::Verification(format!(
+                "honest pool produced {} refutation(s) ({} corrupted)",
+                v.refuted, corrupted
+            )));
+        }
+        let _ = writeln!(out, "all answers proof-verified, zero refutations");
+    }
+    Ok(out)
 }
 
 /// The `bench --churn` scenario (`BENCH_8.json`): the coordinator under a
@@ -1554,8 +1850,19 @@ fn render_top(outcome: &mm_cluster::StatsOutcome, overload: &mm_cluster::Overloa
     );
     let _ = writeln!(
         s,
-        "  {:<22} {:>9} {:>6} {:>5} {:>8} {:>6} {:>5} {:>8} {:>8} {:>8}",
-        "BACKEND", "UPTIME", "DEPTH", "INFL", "RESP", "MIGR", "HEAT", "P50", "P99", "P999"
+        "  {:<22} {:>9} {:>6} {:>5} {:>8} {:>6} {:>5} {:>8} {:>7} {:>8} {:>8} {:>8}",
+        "BACKEND",
+        "UPTIME",
+        "DEPTH",
+        "INFL",
+        "RESP",
+        "MIGR",
+        "HEAT",
+        "VERIFIED",
+        "REFUTED",
+        "P50",
+        "P99",
+        "P999"
     );
     let int = |r: &Json, key: &str| r.get(key).and_then(Json::as_i64).unwrap_or(0);
     let heat = overload.snapshot();
@@ -1567,27 +1874,22 @@ fn render_top(outcome: &mm_cluster::StatsOutcome, overload: &mm_cluster::Overloa
             Some(r) => {
                 let lat = merged_latency(&b.snapshot);
                 let (hot, windows) = heat.get(i).copied().unwrap_or((0, 0));
+                let counter = |key: &str| b.snapshot.counters.get(key).copied().unwrap_or(0);
                 let _ = writeln!(
                     s,
-                    "  {:<22} {:>8}s {:>6} {:>5} {:>8} {:>6} {:>5} {:>8} {:>8} {:>8}",
+                    "  {:<22} {:>8}s {:>6} {:>5} {:>8} {:>6} {:>5} {:>8} {:>7} {:>8} {:>8} {:>8}",
                     b.addr,
                     int(r, "uptime_ms") / 1_000,
                     int(r, "queue_depth"),
                     int(r, "in_flight"),
-                    b.snapshot
-                        .counters
-                        .get("serve.responses")
-                        .copied()
-                        .unwrap_or(0),
-                    b.snapshot
-                        .counters
-                        .get("serve.migrated_served")
-                        .copied()
-                        .unwrap_or(0),
+                    counter("serve.responses"),
+                    counter("serve.migrated_served"),
                     format!(
                         "{hot}/{windows}{}",
                         if overload.sustained(i) { "!" } else { "" }
                     ),
+                    counter("serve.verified"),
+                    counter("serve.refuted"),
                     fmt_q(&lat, 0.50),
                     fmt_q(&lat, 0.99),
                     fmt_q(&lat, 0.999),
@@ -1596,21 +1898,15 @@ fn render_top(outcome: &mm_cluster::StatsOutcome, overload: &mm_cluster::Overloa
         }
     }
     let pool = merged_latency(&outcome.merged);
+    let merged_counter = |key: &str| outcome.merged.counters.get(key).copied().unwrap_or(0);
     let _ = writeln!(
         s,
-        "  pool: {} response(s), {} migrated-answered, {} observation(s), p50 {}, p99 {}, p999 {}",
-        outcome
-            .merged
-            .counters
-            .get("serve.responses")
-            .copied()
-            .unwrap_or(0),
-        outcome
-            .merged
-            .counters
-            .get("serve.migrated_served")
-            .copied()
-            .unwrap_or(0),
+        "  pool: {} response(s), {} migrated-answered, {} verified, {} refuted, \
+         {} observation(s), p50 {}, p99 {}, p999 {}",
+        merged_counter("serve.responses"),
+        merged_counter("serve.migrated_served"),
+        merged_counter("serve.verified"),
+        merged_counter("serve.refuted"),
         pool.count(),
         fmt_q(&pool, 0.50),
         fmt_q(&pool, 0.99),
@@ -2311,6 +2607,67 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
                 churn_report.counters.flaps
             );
 
+            // Byzantine chaos: the ninth site. A three-backend pool answers
+            // with proofs (`verify: all`); one backend's response encoder
+            // carries a fire-once `answer_corruption` rule, so it lies
+            // exactly once. The coordinator refutes the lie from its own
+            // attached proof, quarantines the liar, and re-asks the unit on
+            // the survivors. A single planted lie (rather than the plan's
+            // repeating rule) keeps every printed counter a pure function of
+            // the seed even while quarantine revival races the workload.
+            let run_byzantine = || -> Result<(mm_cluster::ClusterReport, u64), Error> {
+                let mut plans = vec![FaultPlan::none(); 3];
+                plans[2] = FaultPlan::once(FaultSite::AnswerCorruption, 1);
+                let pool = spawn_bench_pool_plans(&plans, 64)?;
+                let cfg = ClusterConfig {
+                    backends: pool.iter().map(|b| b.addr.clone()).collect(),
+                    balance: BalancePolicy::RoundRobin,
+                    seed,
+                    window: 8,
+                    verify: mm_cluster::VerifyPolicy::All,
+                    ..ClusterConfig::default()
+                };
+                let coordinator = Coordinator::connect(cfg, NoopSink)
+                    .map_err(|e| Error::Io(format!("chaos byzantine connect: {e}")))?;
+                let report = coordinator
+                    .run(scatter_units(8), &mut |_, _| {})
+                    .map_err(|e| Error::Sim(format!("chaos byzantine run: {e}")))?;
+                let lies: u64 = pool.iter().map(|b| b.service.stats().corrupted).sum();
+                teardown_bench_pool(pool)?;
+                Ok((report, lies))
+            };
+            let (byz_report, lies) = run_byzantine()?;
+            if lies > 0 {
+                sinks.record(&TraceEvent::FaultInjected {
+                    site: FaultSite::AnswerCorruption.tag(),
+                    count: lies,
+                });
+            }
+            if byz_report.counters.lost > 0 {
+                return Err(Error::Verification(format!(
+                    "chaos byzantine lost {} response(s)",
+                    byz_report.counters.lost
+                )));
+            }
+            let byz_verify = byz_report.counters.verify.clone().unwrap_or_default();
+            if byz_verify.refuted != lies {
+                return Err(Error::Verification(format!(
+                    "chaos byzantine: {} lie(s) injected but {} refuted",
+                    lies, byz_verify.refuted
+                )));
+            }
+            let _ = writeln!(
+                out,
+                "byzantine: {} units, {} responses (answer_corruption fired {lies}, {} \
+                 refuted, {} verified, {} re-ask(s), {} backend(s) quarantined)",
+                byz_report.counters.units,
+                byz_report.counters.responses,
+                byz_verify.refuted,
+                byz_verify.verified,
+                byz_verify.reasks,
+                byz_report.counters.quarantines
+            );
+
             let fired = [
                 (
                     FaultSite::ProbeCancel,
@@ -2326,14 +2683,29 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
                 (FaultSite::WorkerPanic, panics),
                 (FaultSite::BackendDrop, drops),
                 (FaultSite::BackendChurn, churns),
+                (FaultSite::AnswerCorruption, lies),
             ];
+            // The fired table and `FaultSite::ALL` must stay in lockstep: a
+            // tenth site that never gets a chaos segment should fail loudly
+            // here, not silently report success.
+            let covered: std::collections::HashSet<&str> =
+                fired.iter().map(|(site, _)| site.tag()).collect();
+            if let Some(missing) = FaultSite::ALL.iter().find(|s| !covered.contains(s.tag())) {
+                return Err(Error::Internal(format!(
+                    "fault site `{missing}` has no chaos segment"
+                )));
+            }
             let silent: Vec<&str> = fired
                 .iter()
                 .filter(|(_, n)| *n == 0)
                 .map(|(site, _)| site.tag())
                 .collect();
             if silent.is_empty() {
-                let _ = writeln!(out, "all eight fault sites exercised; no panics escaped");
+                let _ = writeln!(
+                    out,
+                    "all {} fault sites exercised; no panics escaped",
+                    FaultSite::ALL.len()
+                );
             } else {
                 let _ = writeln!(out, "warning: sites not exercised: {}", silent.join(", "));
             }
@@ -2346,9 +2718,14 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
             obs,
             large,
             churn,
+            verify,
             out: path,
             check,
         } => {
+            if verify {
+                verify_bench(quick, &path, check.as_deref(), &mut out)?;
+                return Ok(out);
+            }
             if churn {
                 churn_bench(quick, &path, check.as_deref(), &mut out)?;
                 return Ok(out);
@@ -2415,9 +2792,15 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
         Command::CertCheck {
             seed,
             cases,
+            pool,
+            corrupt,
             out: report_path,
         } => {
-            let report = mm_bench::crosscheck::run(seed, cases).map_err(Error::Verification)?;
+            let report = if pool {
+                certcheck_pool(seed, cases, corrupt)?
+            } else {
+                mm_bench::crosscheck::run(seed, cases).map_err(Error::Verification)?
+            };
             if let Some(p) = report_path {
                 std::fs::write(&p, &report)
                     .map_err(|e| Error::Io(format!("cannot write {p}: {e}")))?;
@@ -2621,6 +3004,7 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
             churn,
             spares,
             migration_budget,
+            verify,
             deadline_ms,
             policies,
             k,
@@ -2662,6 +3046,11 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
                     "unknown balance policy `{balance}` (round-robin|least-outstanding|hash)"
                 )));
             };
+            let Some(verify) = mm_cluster::VerifyPolicy::from_tag(&verify) else {
+                return Err(Error::Usage(format!(
+                    "unknown verify policy `{verify}` (off|spot|all)"
+                )));
+            };
             let hedge = match (hedge_every, hedge_p99) {
                 (Some(nth), _) => HedgeConfig::EveryNth { n: nth },
                 (None, Some(pct)) => HedgeConfig::AfterP99 {
@@ -2693,6 +3082,7 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
                 churn,
                 spares,
                 migration_budget,
+                verify,
                 deadline_ms,
                 ..ClusterConfig::default()
             };
@@ -2805,6 +3195,21 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
                 }
             };
             let _ = writeln!(out, "counters: {}", report.counters.to_json().to_compact());
+            if let Some(v) = &report.counters.verify {
+                let _ = writeln!(
+                    out,
+                    "verify: {} verified, {} refuted, {} unverifiable, {} re-ask(s)",
+                    v.verified, v.refuted, v.unverifiable, v.reasks
+                );
+                for (b, (ok, bad)) in v
+                    .per_backend_verified
+                    .iter()
+                    .zip(&v.per_backend_refuted)
+                    .enumerate()
+                {
+                    let _ = writeln!(out, "  backend {b}: {ok} verified, {bad} refuted");
+                }
+            }
             if let Some(path) = &out_path {
                 let lines = report.transcript(&workload);
                 let mut text = lines.join("\n");
@@ -2973,6 +3378,7 @@ mod tests {
                 obs: false,
                 large: false,
                 churn: false,
+                verify: false,
                 out: "BENCH_2.json".into(),
                 check: None
             }
@@ -2986,6 +3392,7 @@ mod tests {
                 obs: false,
                 large: false,
                 churn: false,
+                verify: false,
                 out: "b.json".into(),
                 check: Some("BENCH_2.json".into())
             }
@@ -2999,6 +3406,7 @@ mod tests {
                 obs: false,
                 large: false,
                 churn: false,
+                verify: false,
                 out: "BENCH_4.json".into(),
                 check: None
             }
@@ -3012,6 +3420,7 @@ mod tests {
                 obs: true,
                 large: false,
                 churn: false,
+                verify: false,
                 out: "BENCH_6.json".into(),
                 check: None
             }
@@ -3025,9 +3434,28 @@ mod tests {
                 obs: false,
                 large: false,
                 churn: true,
+                verify: false,
                 out: "BENCH_8.json".into(),
                 check: None
             }
+        );
+        assert_eq!(
+            parse(&argv("bench --verify")).unwrap(),
+            Command::Bench {
+                quick: false,
+                serve: false,
+                cluster: false,
+                obs: false,
+                large: false,
+                churn: false,
+                verify: true,
+                out: "BENCH_9.json".into(),
+                check: None
+            }
+        );
+        assert_eq!(
+            parse(&argv("bench --verify --cluster")).unwrap_err().tag(),
+            "usage"
         );
         assert_eq!(
             parse(&argv("bench --serve --obs")).unwrap_err().tag(),
@@ -3446,9 +3874,20 @@ mod tests {
         let (msg_a, trace_a) = run();
         let (msg_b, trace_b) = run();
         std::fs::remove_file(&trace_path).ok();
-        assert!(msg_a.contains("all eight fault sites exercised"), "{msg_a}");
+        // The success line is derived from `FaultSite::ALL`, and every tag
+        // in the registry must show up in the report — a newly added fault
+        // site without a chaos segment fails here, not in stale prose.
+        let all_exercised = format!("all {} fault sites exercised", FaultSite::ALL.len());
+        assert!(msg_a.contains(&all_exercised), "{msg_a}");
+        for site in FaultSite::ALL {
+            assert!(
+                msg_a.contains(site.tag()),
+                "report must mention {site}: {msg_a}"
+            );
+        }
         assert!(msg_a.contains("backend_drop fired"), "{msg_a}");
         assert!(msg_a.contains("backend_churn fired"), "{msg_a}");
+        assert!(msg_a.contains("answer_corruption fired"), "{msg_a}");
         assert!(trace_a.contains("\"fault_injected\""), "{trace_a}");
         assert!(trace_a.contains("\"backend_drop\""), "{trace_a}");
         assert!(trace_a.contains("\"backend_churn\""), "{trace_a}");
@@ -3580,6 +4019,7 @@ mod tests {
             obs: false,
             large: false,
             churn: false,
+            verify: false,
             out: path.clone(),
             check: None,
         })
@@ -3593,6 +4033,7 @@ mod tests {
             obs: false,
             large: false,
             churn: false,
+            verify: false,
             out: path.clone(),
             check: Some(path.clone()),
         })
@@ -3613,6 +4054,7 @@ mod tests {
             obs: false,
             large: false,
             churn: false,
+            verify: false,
             out: path.clone(),
             check: None,
         })
@@ -3633,6 +4075,7 @@ mod tests {
             obs: false,
             large: false,
             churn: false,
+            verify: false,
             out: path.clone(),
             check: Some(path.clone()),
         })
@@ -3833,6 +4276,7 @@ mod tests {
                 churn: Some("churn.json".into()),
                 spares: vec!["d:4".into(), "e:5".into()],
                 migration_budget: 8,
+                verify: "off".into(),
                 deadline_ms: None,
                 policies: "edf-ff".into(),
                 k: 4,
@@ -3868,6 +4312,7 @@ mod tests {
                 churn: None,
                 spares: vec![],
                 migration_budget: 64,
+                verify: "off".into(),
                 deadline_ms: None,
                 policies: "edf-ff,medium-fit".into(),
                 k: 3,
@@ -3917,6 +4362,7 @@ mod tests {
                 obs: false,
                 large: false,
                 churn: false,
+                verify: false,
                 out: "BENCH_5.json".into(),
                 check: None
             }
@@ -3935,6 +4381,7 @@ mod tests {
             obs: true,
             large: false,
             churn: false,
+            verify: false,
             out: path.clone(),
             check: None,
         })
@@ -3963,6 +4410,7 @@ mod tests {
             obs: true,
             large: false,
             churn: false,
+            verify: false,
             out: path.clone(),
             check: Some(path.clone()),
         })
@@ -3994,6 +4442,7 @@ mod tests {
             churn: None,
             spares: vec![],
             migration_budget: 64,
+            verify: "off".into(),
             deadline_ms: None,
             policies: "edf-ff".into(),
             k: 4,
@@ -4062,6 +4511,7 @@ mod tests {
             churn: None,
             spares: vec![],
             migration_budget: 64,
+            verify: "off".into(),
             deadline_ms: None,
             policies: "edf-ff".into(),
             k: 3,
@@ -4111,6 +4561,7 @@ mod tests {
             obs: false,
             large: false,
             churn: false,
+            verify: false,
             out: path.clone(),
             check: None,
         })
@@ -4140,6 +4591,7 @@ mod tests {
             obs: false,
             large: false,
             churn: false,
+            verify: false,
             out: path.clone(),
             check: Some(path.clone()),
         })
