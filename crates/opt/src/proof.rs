@@ -766,3 +766,30 @@ mod tests {
         }
     }
 }
+
+#[cfg(test)]
+mod review_scratch {
+    use super::*;
+
+    #[test]
+    fn duplicate_entries_bypass_self_parallelism() {
+        // A1, A2 rigid on [0,2]; B rigid on [0,4]. Contribution on [0,2] is
+        // 6 > 2*2, so infeasible on m=2.
+        let inst = Instance::from_ints([(0, 2, 2), (0, 2, 2), (0, 4, 4)]);
+        assert_eq!(crate::optimal_machines(&inst), 3, "sanity: optimum is 3");
+        // Find B's id.
+        let b_id = inst.iter().find(|j| j.processing == Rat::from(4)).unwrap().id.0;
+        let ids: Vec<u32> = inst.iter().filter(|j| j.processing == Rat::from(2)).map(|j| j.id.0).collect();
+        let w = ScheduleWitness {
+            machines: 2,
+            intervals: vec![(0, 2), (2, 4)],
+            alloc: vec![
+                vec![(ids[0], 2), (ids[1], 2)],
+                vec![(b_id, 2), (b_id, 2)], // duplicate: B at rate 2
+            ],
+        };
+        let v = verify(&inst, &Claim::Feasible(2), &Proof::Feasible { machines: 2, witness: Some(w) });
+        // This SHOULD be Refuted; if it is Verified the checker is unsound.
+        assert_eq!(v, Verification::Refuted, "checker accepted a self-parallel witness");
+    }
+}
