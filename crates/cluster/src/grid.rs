@@ -43,7 +43,7 @@ pub struct GridOutcome {
 /// Generates one grid cell. The families here are the integer-valued
 /// generators; `laminar` is excluded because the wire protocol carries
 /// integer triples and laminar fills are genuinely rational.
-fn generate(family: &str, n: usize, seed: u64) -> Option<Instance> {
+pub(crate) fn generate(family: &str, n: usize, seed: u64) -> Option<Instance> {
     match family {
         "uniform" => Some(uniform(
             &UniformCfg {
@@ -71,7 +71,7 @@ fn generate(family: &str, n: usize, seed: u64) -> Option<Instance> {
     }
 }
 
-fn triples(inst: &Instance) -> Vec<(i64, i64, i64)> {
+pub(crate) fn triples(inst: &Instance) -> Vec<(i64, i64, i64)> {
     inst.jobs()
         .iter()
         .filter_map(|j| {

@@ -14,6 +14,9 @@
 //!   with per-shard checkpoints so a torn run resumes where it stopped.
 //! * [`grid`] — a remote experiment grid (generator family × seed) whose
 //!   results merge into one summary with per-backend counters.
+//! * [`online`] — the online-scheduler portfolio race (member × family ×
+//!   seed) served on the pool, merged into per-member competitive-ratio
+//!   statistics with a single-node parity reference.
 //!
 //! **Determinism contract.** Backend responses carry no timestamps, so a
 //! response line is a pure function of the request payload. Hedged copies
@@ -38,6 +41,7 @@ mod coordinator;
 mod grid;
 mod membership;
 mod migrate;
+mod online;
 mod solve;
 mod stats;
 mod sweep;
@@ -51,6 +55,7 @@ pub use coordinator::{
 pub use grid::{cluster_grid, GridConfig, GridOutcome};
 pub use membership::{member_state, ChurnAction, ChurnPlan};
 pub use migrate::{MigrationGovernor, OverloadConfig, OverloadIndex, OverloadSample};
+pub use online::{cluster_online, local_online_merge, OnlineConfig, OnlineOutcome};
 pub use solve::{cluster_solve, SolveOutcome};
 pub use stats::{cluster_stats, scrape_backend, BackendStats, StatsOutcome, STATS_ID_BASE};
 pub use sweep::{cluster_sweep, SweepConfig, SweepOutcome};

@@ -8,8 +8,9 @@
 use std::sync::Arc;
 
 use mm_cluster::{
-    cluster_grid, cluster_solve, cluster_sweep, BalancePolicy, ChurnAction, ChurnPlan,
-    ClusterConfig, Coordinator, GridConfig, HedgeConfig, SweepConfig,
+    cluster_grid, cluster_online, cluster_solve, cluster_sweep, local_online_merge, BalancePolicy,
+    ChurnAction, ChurnPlan, ClusterConfig, Coordinator, GridConfig, HedgeConfig, OnlineConfig,
+    SweepConfig,
 };
 use mm_fault::{FaultPlan, FaultRule, FaultSite, RetryPolicy};
 use mm_serve::protocol::{Request, RequestKind};
@@ -311,6 +312,30 @@ fn cluster_grid_merges_per_family_statistics() {
         assert_eq!(solved + degraded, 3, "every cell accounted for");
         assert!(solved >= 1, "small instances must mostly solve exactly");
     }
+    teardown(pool);
+}
+
+#[test]
+fn cluster_online_merge_matches_the_single_node_reference() {
+    let pool = spawn_pool(2);
+    let cfg = ClusterConfig {
+        backends: addrs(&pool),
+        seed: 5,
+        ..ClusterConfig::default()
+    };
+    let online = OnlineConfig {
+        members: mm_online::Member::ALL.to_vec(),
+        families: vec!["uniform".into(), "agreeable".into()],
+        seeds: 2,
+        n: 8,
+    };
+    let outcome = cluster_online(cfg, NoopSink, &online).unwrap();
+    assert_eq!(outcome.cells.len(), 5 * 2 * 2);
+    assert_eq!(outcome.report.counters.lost, 0);
+    // Merge parity: the pool run and a single-node run of the same cells
+    // must produce byte-identical per-member statistics.
+    let reference = local_online_merge(&online).unwrap();
+    assert_eq!(outcome.merged.to_compact(), reference.to_compact());
     teardown(pool);
 }
 

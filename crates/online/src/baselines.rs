@@ -1,0 +1,190 @@
+//! Comparison baselines modeled on the related work retrieved in PAPERS.md.
+//!
+//! Both are *measured* baselines, not reimplementations of the cited
+//! analyses: they reproduce the machine-opening disciplines those papers
+//! build on (deadline-driven laziness, geometric provisioning) on top of
+//! the classical priority rules, so the race has non-paper members whose
+//! opening behaviour is qualitatively different from the portfolio's
+//! budgeted pools.
+//!
+//! * [`CmsBaseline`] — lazy least-laxity-first in the spirit of
+//!   Chen–Megow–Schewior (`O(m² log m)`-competitive, arXiv:1506.05721):
+//!   machines open one at a time, exactly when some unscheduled job's
+//!   laxity runs out.
+//! * [`ImpsBaseline`] — lazy EDF with power-of-two provisioning in the
+//!   spirit of Im–Moseley–Pruhs–Stein (`O(log log m)`-competitive,
+//!   arXiv:1708.09046): when capacity runs out the fleet doubles, so the
+//!   opened count is always a power of two.
+//!
+//! Both run every zero-laxity job unconditionally (a critical job keeps
+//! constant laxity while running at unit speed, and a non-running job loses
+//! laxity at rate one), and wake exactly when the next non-running job's
+//! laxity hits zero — so neither ever misses a deadline its machine budget
+//! allows it to meet, and both are fully deterministic.
+
+use mm_instance::JobId;
+use mm_numeric::Rat;
+use mm_sim::{Decision, OnlinePolicy, SimState};
+
+/// `(laxity, deadline, id)` for every active job, in laxity order with
+/// deterministic ties. Zero-or-negative laxity means *critical*: the job
+/// must run now to meet its deadline.
+fn by_laxity(state: &SimState<'_>) -> Vec<(Rat, Rat, JobId)> {
+    let mut jobs: Vec<(Rat, Rat, JobId)> = state
+        .active
+        .values()
+        .map(|a| {
+            (
+                a.laxity_at(state.time, state.speed),
+                a.job.deadline.clone(),
+                a.job.id,
+            )
+        })
+        .collect();
+    jobs.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    jobs
+}
+
+/// Wake at the earliest instant a job outside the runnable prefix reaches
+/// zero laxity; `None` when everything runs (natural events suffice).
+fn wake_for_waiting(state: &SimState<'_>, waiting: &[(Rat, Rat, JobId)]) -> Option<Rat> {
+    waiting
+        .iter()
+        .filter(|(lax, _, _)| lax.is_positive())
+        .map(|(lax, _, _)| state.time + lax)
+        .min()
+}
+
+fn assignment(order: &[(Rat, Rat, JobId)], running: usize) -> Vec<(usize, JobId)> {
+    order[..running]
+        .iter()
+        .enumerate()
+        .map(|(machine, &(_, _, job))| (machine, job))
+        .collect()
+}
+
+/// Lazy least-laxity-first (see the module docs): run the `open` least-lax
+/// jobs, opening a machine exactly when the critical count outgrows the
+/// fleet.
+#[derive(Debug, Default)]
+pub struct CmsBaseline {
+    open: usize,
+}
+
+impl CmsBaseline {
+    /// Creates the baseline with zero machines open.
+    pub fn new() -> Self {
+        CmsBaseline::default()
+    }
+
+    /// Machines opened so far.
+    pub fn machines_open(&self) -> usize {
+        self.open
+    }
+}
+
+impl OnlinePolicy for CmsBaseline {
+    fn decide(&mut self, state: &SimState<'_>) -> Decision {
+        let order = by_laxity(state);
+        let critical = order
+            .iter()
+            .filter(|(lax, _, _)| !lax.is_positive())
+            .count();
+        self.open = self.open.max(critical).min(state.machines);
+        let running = self.open.min(order.len());
+        Decision {
+            run: assignment(&order, running),
+            wake_at: wake_for_waiting(state, &order[running..]),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "cms-lazy-llf"
+    }
+}
+
+/// Lazy EDF with power-of-two provisioning (see the module docs): critical
+/// jobs run first in laxity order, remaining open machines go to the
+/// earliest deadlines, and the fleet doubles whenever the critical count
+/// outgrows it.
+#[derive(Debug, Default)]
+pub struct ImpsBaseline {
+    open: usize,
+}
+
+impl ImpsBaseline {
+    /// Creates the baseline with zero machines open.
+    pub fn new() -> Self {
+        ImpsBaseline::default()
+    }
+
+    /// Machines opened so far.
+    pub fn machines_open(&self) -> usize {
+        self.open
+    }
+}
+
+impl OnlinePolicy for ImpsBaseline {
+    fn decide(&mut self, state: &SimState<'_>) -> Decision {
+        let mut order = by_laxity(state);
+        let critical = order
+            .iter()
+            .filter(|(lax, _, _)| !lax.is_positive())
+            .count();
+        // The non-critical tail runs (and waits) in EDF order.
+        order[critical..].sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)).then(a.2.cmp(&b.2)));
+        if critical > self.open {
+            self.open = critical.next_power_of_two();
+        }
+        self.open = self.open.min(state.machines);
+        let running = self.open.min(order.len());
+        Decision {
+            run: assignment(&order, running),
+            wake_at: wake_for_waiting(state, &order[running..]),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "imps-lazy-edf"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_instance::Instance;
+    use mm_sim::{run_policy, SimConfig};
+
+    #[test]
+    fn cms_opens_lazily_and_meets_deadlines() {
+        // Two loose jobs and one tight one: the tight job forces a machine
+        // at its release, the loose ones only when their laxity runs out.
+        let inst = Instance::from_ints([(0, 10, 2), (0, 10, 2), (1, 3, 2)]);
+        let out = run_policy(&inst, CmsBaseline::new(), SimConfig::migratory(8)).unwrap();
+        assert!(out.feasible());
+        assert!(out.machines_used() <= 2, "used {}", out.machines_used());
+    }
+
+    #[test]
+    fn imps_opens_powers_of_two() {
+        // Three simultaneous tight jobs go critical at once: the fleet
+        // jumps 0 → 4, but the late fourth job reuses an open machine.
+        let inst = Instance::from_ints([(0, 2, 2), (0, 2, 2), (0, 2, 2), (5, 9, 1)]);
+        let mut policy = ImpsBaseline::new();
+        let out = run_policy(&inst, &mut policy, SimConfig::migratory(8)).unwrap();
+        assert!(out.feasible());
+        assert_eq!(policy.machines_open(), 4);
+        assert_eq!(out.machines_used(), 3);
+    }
+
+    #[test]
+    fn both_are_deterministic() {
+        let inst = Instance::from_ints([(0, 6, 3), (1, 5, 2), (2, 8, 3), (2, 4, 1)]);
+        let mut a = run_policy(&inst, CmsBaseline::new(), SimConfig::migratory(6)).unwrap();
+        let mut b = run_policy(&inst, CmsBaseline::new(), SimConfig::migratory(6)).unwrap();
+        assert_eq!(a.schedule.segments(), b.schedule.segments());
+        let mut c = run_policy(&inst, ImpsBaseline::new(), SimConfig::migratory(6)).unwrap();
+        let mut d = run_policy(&inst, ImpsBaseline::new(), SimConfig::migratory(6)).unwrap();
+        assert_eq!(c.schedule.segments(), d.schedule.segments());
+    }
+}

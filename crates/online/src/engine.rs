@@ -1,0 +1,171 @@
+//! The event-streaming engine: an [`OnlineEvent`] feed over the exact
+//! simulation driver.
+
+use mm_instance::Instance;
+use mm_numeric::Rat;
+use mm_sim::{OnlinePolicy, SimConfig, SimError, SimOutcome, Simulation};
+use mm_trace::{NoopSink, TraceSink};
+
+/// One event of an online stream, in nondecreasing time order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OnlineEvent {
+    /// A job becomes visible. The engine injects it at exactly its release
+    /// date — the policy learns of it then and never earlier.
+    Release {
+        /// Release date (also the event's time coordinate).
+        release: Rat,
+        /// Absolute deadline.
+        deadline: Rat,
+        /// Processing volume.
+        processing: Rat,
+    },
+    /// Advance simulated time without releasing anything (a heartbeat; lets
+    /// a caller observe intermediate state or checkpoint a long quiet gap).
+    Tick {
+        /// Time to advance to.
+        time: Rat,
+    },
+}
+
+impl OnlineEvent {
+    /// The event's time coordinate (release date or tick time).
+    pub fn time(&self) -> &Rat {
+        match self {
+            OnlineEvent::Release { release, .. } => release,
+            OnlineEvent::Tick { time } => time,
+        }
+    }
+}
+
+/// A failure while consuming a stream.
+#[derive(Debug)]
+pub enum OnlineError {
+    /// An event's time was earlier than the stream position — the feed
+    /// tried to rewrite the past.
+    OutOfOrder {
+        /// The offending event time (boxed to keep the error word-sized).
+        at: Box<Rat>,
+        /// The engine's current time.
+        time: Box<Rat>,
+    },
+    /// The underlying driver rejected a policy decision.
+    Sim(SimError),
+    /// A serialized stream failed to parse.
+    Stream(String),
+}
+
+impl core::fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            OnlineError::OutOfOrder { at, time } => {
+                write!(f, "event at {at} is before current time {time}")
+            }
+            OnlineError::Sim(e) => write!(f, "simulation failed: {e}"),
+            OnlineError::Stream(msg) => write!(f, "bad event stream: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OnlineError {}
+
+impl From<SimError> for OnlineError {
+    fn from(e: SimError) -> Self {
+        OnlineError::Sim(e)
+    }
+}
+
+/// Result of a completed stream replay.
+#[derive(Debug)]
+pub struct OnlineOutcome {
+    /// The driver's outcome (instance as presented, schedule, misses).
+    pub sim: SimOutcome,
+    /// Machines the policy actually opened (distinct machines with work).
+    pub machines_opened: usize,
+    /// Release events consumed.
+    pub releases: usize,
+}
+
+impl OnlineOutcome {
+    /// Whether every job met its deadline.
+    pub fn feasible(&self) -> bool {
+        self.sim.feasible()
+    }
+}
+
+/// Feeds an [`OnlineEvent`] stream through a policy, strictly in time
+/// order. See the crate docs for the no-lookahead argument.
+pub struct StreamEngine<P: OnlinePolicy, S: TraceSink = NoopSink> {
+    sim: Simulation<P, S>,
+    releases: usize,
+}
+
+impl<P: OnlinePolicy> StreamEngine<P> {
+    /// Creates an untraced engine at time 0.
+    pub fn new(cfg: SimConfig, policy: P) -> Self {
+        StreamEngine::with_sink(cfg, policy, NoopSink)
+    }
+}
+
+impl<P: OnlinePolicy, S: TraceSink> StreamEngine<P, S> {
+    /// Creates an engine at time 0 reporting driver events to `sink`.
+    pub fn with_sink(cfg: SimConfig, policy: P, sink: S) -> Self {
+        StreamEngine {
+            sim: Simulation::with_sink(cfg, policy, sink),
+            releases: 0,
+        }
+    }
+
+    /// Consumes one event. The simulation first runs up to the event's
+    /// time (so the policy reacts to everything earlier), then a release
+    /// is injected. Events must arrive in nondecreasing time order.
+    pub fn feed(&mut self, event: &OnlineEvent) -> Result<(), OnlineError> {
+        let at = event.time();
+        if at < self.sim.time() {
+            return Err(OnlineError::OutOfOrder {
+                at: Box::new(at.clone()),
+                time: Box::new(self.sim.time().clone()),
+            });
+        }
+        self.sim.run_until(at)?;
+        if let OnlineEvent::Release {
+            release,
+            deadline,
+            processing,
+        } = event
+        {
+            self.sim
+                .inject(release.clone(), deadline.clone(), processing.clone());
+            self.releases += 1;
+        }
+        Ok(())
+    }
+
+    /// Consumes a whole stream.
+    pub fn feed_all(&mut self, events: &[OnlineEvent]) -> Result<(), OnlineError> {
+        for ev in events {
+            self.feed(ev)?;
+        }
+        Ok(())
+    }
+
+    /// Current stream position (simulated time).
+    pub fn time(&self) -> &Rat {
+        self.sim.time()
+    }
+
+    /// The jobs announced so far, as the prefix instance a competitor sees.
+    pub fn announced(&self) -> Instance {
+        Instance::from_jobs(self.sim.all_jobs().iter().cloned())
+    }
+
+    /// Runs the remaining work to completion and scores the replay.
+    pub fn finish(self) -> Result<OnlineOutcome, OnlineError> {
+        let releases = self.releases;
+        let sim = self.sim.finish()?;
+        Ok(OnlineOutcome {
+            machines_opened: sim.machines_used(),
+            releases,
+            sim,
+        })
+    }
+}

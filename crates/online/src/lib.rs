@@ -1,0 +1,47 @@
+//! Streaming online-scheduler portfolio for `machmin`.
+//!
+//! Everything upstream of this crate answers *offline* questions — the
+//! Theorem-1 certifiers compute the optimal machine count with the whole
+//! instance on the table. This crate closes the loop on the paper's actual
+//! subject: algorithms that ingest jobs **one release at a time** and must
+//! commit machines without lookahead. Three pieces:
+//!
+//! * [`StreamEngine`] — an event-streaming wrapper around the exact
+//!   [`mm_sim::Simulation`] driver. Events ([`OnlineEvent::Release`],
+//!   [`OnlineEvent::Tick`]) are consumed in nondecreasing time order; a
+//!   release is injected only once simulated time has caught up with it, so
+//!   no policy can peek at the future. The no-lookahead property is
+//!   structural, not promised: the driver's pending queue never holds a job
+//!   the stream has not announced yet.
+//! * [`Member`] — the portfolio. The paper's algorithms (the α-loose
+//!   Theorem 5/6/8 reduction, the Theorem 9/11 laminar sub-budget balancer,
+//!   the Theorem 12/14 agreeable EDF + MediumFit split at α ≈ 0.63) next to
+//!   two baselines modeled on the related work in PAPERS.md
+//!   (Chen–Megow–Schewior, Im–Moseley–Pruhs–Stein).
+//! * [`race`] — replays agreeable, laminar, and adversary-generated streams
+//!   through every member and reports machines-opened against the Theorem-1
+//!   offline optimum: the *measured competitive ratio*, as the integer
+//!   `ratio_millis = ⌊1000·opened/opt⌋` so reports stay byte-identical.
+//!
+//! # Determinism contract
+//!
+//! A race report is a pure function of `(seed, n, k, members)`. Streams are
+//! seeded generator output or the adversary's deterministic construction;
+//! the engine runs in exact rational arithmetic; ratios are floored integer
+//! milliratios. Same inputs ⇒ byte-identical report, which is what the
+//! chaos/soak harnesses diff.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baselines;
+mod engine;
+mod portfolio;
+mod race;
+mod stream;
+
+pub use baselines::{CmsBaseline, ImpsBaseline};
+pub use engine::{OnlineError, OnlineEvent, OnlineOutcome, StreamEngine};
+pub use portfolio::Member;
+pub use race::{race, run_member, RaceConfig, RaceReport, RaceRow, AGREEABLE_LB_MILLIS};
+pub use stream::{instance_of_stream, read_stream, stream_of_instance, write_stream};

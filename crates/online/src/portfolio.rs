@@ -1,0 +1,217 @@
+//! The portfolio: which algorithms race, how each is provisioned, and how a
+//! member is picked automatically from the instance class.
+
+use mm_core::{AgreeableSplit, EdfFirstFit, LaminarBudget};
+use mm_instance::Instance;
+use mm_numeric::Rat;
+use mm_opt::DecisionPath;
+use mm_sim::{OnlinePolicy, SimConfig};
+
+use crate::baselines::{CmsBaseline, ImpsBaseline};
+
+/// One portfolio member. The paper's algorithms carry the standard
+/// known-`m` assumption (the optimum is handed to the policy; the paper
+/// removes it by doubling, see `mm_core::DoublingAgreeable`), while the
+/// two baselines learn their fleet size online.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Member {
+    /// The α-loose O(1)-competitive reduction of Theorems 5/6/8: EDF
+    /// first-fit, which the speed-`s` pipeline provably coincides with
+    /// (`mm_core::run_loose`'s scale-invariance test).
+    Loose,
+    /// The Theorem 9/11 laminar sub-budget balancer on
+    /// `m' = Θ(m log m)` tight machines plus an `O(m)` loose pool.
+    Laminar,
+    /// The Theorem 12/14 agreeable split — non-preemptive EDF for the
+    /// α-loose jobs, MediumFit for the α-tight ones, at α = 0.63 and
+    /// total budget ≈ 32.70·m.
+    Agreeable,
+    /// Lazy least-laxity-first baseline (Chen–Megow–Schewior spirit).
+    Cms,
+    /// Lazy EDF with power-of-two provisioning baseline
+    /// (Im–Moseley–Pruhs–Stein spirit).
+    Imps,
+}
+
+impl Member {
+    /// Every member, in report order.
+    pub const ALL: [Member; 5] = [
+        Member::Loose,
+        Member::Laminar,
+        Member::Agreeable,
+        Member::Cms,
+        Member::Imps,
+    ];
+
+    /// Stable lowercase label for traces, reports, and the wire protocol.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Member::Loose => "loose",
+            Member::Laminar => "laminar",
+            Member::Agreeable => "agreeable",
+            Member::Cms => "cms",
+            Member::Imps => "imps",
+        }
+    }
+
+    /// The guarantee column for reports.
+    pub fn reference(&self) -> &'static str {
+        match self {
+            Member::Loose => "Thm 5/6/8, O(1)·m on α-loose",
+            Member::Laminar => "Thm 9/11, O(m log m) on laminar",
+            Member::Agreeable => "Thm 12/14, 32.70·m on agreeable",
+            Member::Cms => "CMS'16 baseline, O(m² log m)",
+            Member::Imps => "IMPS'17 baseline, O(log log m)",
+        }
+    }
+
+    /// Parses a member label.
+    pub fn parse(s: &str) -> Option<Member> {
+        Member::ALL.into_iter().find(|m| m.label() == s.trim())
+    }
+
+    /// Parses a comma-separated member list; `all` (or empty) means every
+    /// member. Returns `None` on any unknown label.
+    pub fn parse_list(s: &str) -> Option<Vec<Member>> {
+        let s = s.trim();
+        if s.is_empty() || s == "all" {
+            return Some(Member::ALL.to_vec());
+        }
+        s.split(',').map(Member::parse).collect()
+    }
+
+    /// The member the classifier dispatch picks for an instance: the
+    /// structured specialists on their own classes, the O(1) reduction
+    /// otherwise. Shares class membership with `mm_opt`'s certifier
+    /// dispatch instead of re-deriving it.
+    pub fn auto(instance: &Instance) -> Member {
+        let path = mm_opt::classify_path(instance);
+        if path.is_agreeable() {
+            Member::Agreeable
+        } else if path.is_laminar() {
+            Member::Laminar
+        } else {
+            Member::Loose
+        }
+    }
+
+    /// Same mapping from an already-computed decision path.
+    pub fn for_path(path: DecisionPath) -> Member {
+        match path {
+            DecisionPath::Agreeable => Member::Agreeable,
+            DecisionPath::Laminar => Member::Laminar,
+            DecisionPath::Flow => Member::Loose,
+        }
+    }
+
+    /// Whether the member migrates jobs (decides the sim configuration).
+    pub fn migratory(&self) -> bool {
+        matches!(self, Member::Cms | Member::Imps)
+    }
+
+    /// Machine budget the member is provisioned with for optimum `m` and
+    /// stream length `n`. Members open machines lazily inside this budget;
+    /// the race scores machines actually opened, never the budget.
+    pub fn budget(&self, m: u64, n: usize) -> usize {
+        let n = n.max(1);
+        match self {
+            // EDF first-fit always fits a job alone on a fresh machine, so
+            // n machines can never be exhausted.
+            Member::Loose => n,
+            Member::Laminar => {
+                LaminarBudget::suggested_m_prime(m.max(1), 4) + 4 * m.max(1) as usize
+            }
+            Member::Agreeable => AgreeableSplit::for_optimum(m.max(1)).total_machines(),
+            // The lazy baselines provision on demand; n is the hard cap.
+            Member::Cms | Member::Imps => n,
+        }
+    }
+
+    /// Builds the policy for optimum `m`.
+    pub fn build(&self, m: u64) -> Box<dyn OnlinePolicy> {
+        let m = m.max(1);
+        match self {
+            Member::Loose => Box::new(EdfFirstFit::new()),
+            Member::Laminar => Box::new(LaminarBudget::new(
+                LaminarBudget::suggested_m_prime(m, 4),
+                4 * m as usize,
+                Rat::half(),
+            )),
+            Member::Agreeable => Box::new(AgreeableSplit::for_optimum(m)),
+            Member::Cms => Box::new(CmsBaseline::new()),
+            Member::Imps => Box::new(ImpsBaseline::new()),
+        }
+    }
+
+    /// Simulation configuration for optimum `m` and stream length `n`.
+    pub fn sim_config(&self, m: u64, n: usize) -> SimConfig {
+        let budget = self.budget(m, n);
+        let cfg = if self.migratory() {
+            SimConfig::migratory(budget)
+        } else {
+            SimConfig::nonmigratory(budget)
+        };
+        // Streams are small compared to the solver workloads, but the lazy
+        // baselines add one wake-up per laxity expiry; keep headroom.
+        cfg.with_max_steps(1_000_000)
+    }
+}
+
+impl core::fmt::Display for Member {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_instance::generators::{
+        agreeable, laminar, uniform, AgreeableCfg, LaminarCfg, UniformCfg,
+    };
+
+    #[test]
+    fn labels_roundtrip() {
+        for m in Member::ALL {
+            assert_eq!(Member::parse(m.label()), Some(m));
+        }
+        assert_eq!(Member::parse("nope"), None);
+        assert_eq!(Member::parse_list("all").unwrap().len(), Member::ALL.len());
+        assert_eq!(
+            Member::parse_list("loose, cms").unwrap(),
+            vec![Member::Loose, Member::Cms]
+        );
+        assert!(Member::parse_list("loose,nope").is_none());
+    }
+
+    #[test]
+    fn auto_pick_follows_the_classifier() {
+        let agr = agreeable(&AgreeableCfg::default(), 3);
+        assert_eq!(Member::auto(&agr), Member::Agreeable);
+        let lam = laminar(
+            &LaminarCfg {
+                depth: 3,
+                branching: 2,
+                ..Default::default()
+            },
+            5,
+        );
+        // A laminar-generated instance may coincidentally be agreeable too;
+        // either specialist is a correct pick, never the general member.
+        assert_ne!(Member::auto(&lam), Member::Loose);
+        let gen = uniform(&UniformCfg::default(), 11);
+        assert_eq!(
+            Member::auto(&gen),
+            Member::for_path(mm_opt::classify_path(&gen))
+        );
+    }
+
+    #[test]
+    fn budgets_cover_the_paper_bounds() {
+        // The agreeable budget is the Theorem 12 total.
+        let budget = Member::Agreeable.budget(4, 100);
+        assert_eq!(budget, AgreeableSplit::for_optimum(4).total_machines());
+        // The lazy baselines never outgrow the stream length.
+        assert_eq!(Member::Cms.budget(1_000, 10), 10);
+    }
+}

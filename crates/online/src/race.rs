@@ -1,0 +1,311 @@
+//! The portfolio race: measured competitive ratios on seeded agreeable and
+//! laminar families and on the adversary's Ω(log n) construction.
+
+use mm_adversary::MigrationGapAdversary;
+use mm_core::EdfFirstFit;
+use mm_instance::generators::{agreeable, laminar, AgreeableCfg, LaminarCfg};
+use mm_instance::Instance;
+use mm_json::Json;
+use mm_trace::{TraceEvent, TraceSink};
+
+use crate::engine::{OnlineError, OnlineEvent, StreamEngine};
+use crate::portfolio::Member;
+use crate::stream::{instance_of_stream, stream_of_instance};
+
+/// The Theorem 15 lower bound for non-preemptive agreeable scheduling,
+/// as a milliratio: no online algorithm beats `1.101·m` machines.
+pub const AGREEABLE_LB_MILLIS: u64 = 1101;
+
+/// Machine budget handed to the adversary's victim policy.
+const ADVERSARY_BUDGET: usize = 64;
+
+/// Race parameters. The report is a pure function of this struct.
+#[derive(Debug, Clone)]
+pub struct RaceConfig {
+    /// Generator seed for the agreeable and laminar streams.
+    pub seed: u64,
+    /// Jobs per generated stream.
+    pub n: usize,
+    /// Adversary recursion target (`k ≥ 2`).
+    pub k: usize,
+    /// Members to race.
+    pub members: Vec<Member>,
+}
+
+impl Default for RaceConfig {
+    fn default() -> Self {
+        RaceConfig {
+            seed: 7,
+            n: 40,
+            k: 4,
+            members: Member::ALL.to_vec(),
+        }
+    }
+}
+
+/// One `(stream, member)` cell of the race.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceRow {
+    /// Stream family label.
+    pub stream: &'static str,
+    /// The member that ran.
+    pub member: Member,
+    /// Machines the member opened.
+    pub machines_opened: u64,
+    /// Theorem-1 offline optimum of the stream.
+    pub optimum: u64,
+    /// `⌊1000·opened/optimum⌋` (0 when the optimum is 0).
+    pub ratio_millis: u64,
+    /// Deadlines missed (specialists off their class may miss; the race
+    /// reports this instead of hiding it).
+    pub misses: u64,
+}
+
+impl RaceRow {
+    /// The row as an all-integer JSON object (safe for byte-identical
+    /// gating).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("stream", Json::str(self.stream)),
+            ("member", Json::str(self.member.label())),
+            ("machines_opened", Json::Int(self.machines_opened as i64)),
+            ("optimum", Json::Int(self.optimum as i64)),
+            ("ratio_millis", Json::Int(self.ratio_millis as i64)),
+            ("misses", Json::Int(self.misses as i64)),
+        ])
+    }
+}
+
+/// The full race result.
+#[derive(Debug)]
+pub struct RaceReport {
+    /// The configuration that produced the report.
+    pub config: RaceConfig,
+    /// Per-stream `(label, jobs, optimum)`.
+    pub streams: Vec<(&'static str, u64, u64)>,
+    /// All `(stream, member)` cells, stream-major in config order.
+    pub rows: Vec<RaceRow>,
+}
+
+/// `⌊1000·opened/opt⌋` as the deterministic ratio representation.
+pub(crate) fn ratio_millis(opened: u64, optimum: u64) -> u64 {
+    (opened * 1000).checked_div(optimum).unwrap_or(0)
+}
+
+/// Replays `events` through one member provisioned for optimum `m`,
+/// recording a [`TraceEvent::OnlineRunCompleted`] into `sink`.
+pub fn run_member<S: TraceSink>(
+    member: Member,
+    stream: &'static str,
+    events: &[OnlineEvent],
+    optimum: u64,
+    sink: &mut S,
+) -> Result<RaceRow, OnlineError> {
+    let releases = events
+        .iter()
+        .filter(|e| matches!(e, OnlineEvent::Release { .. }))
+        .count();
+    let mut engine = StreamEngine::with_sink(
+        member.sim_config(optimum, releases),
+        member.build(optimum),
+        &mut *sink,
+    );
+    engine.feed_all(events)?;
+    let outcome = engine.finish()?;
+    let row = RaceRow {
+        stream,
+        member,
+        machines_opened: outcome.machines_opened as u64,
+        optimum,
+        ratio_millis: ratio_millis(outcome.machines_opened as u64, optimum),
+        misses: outcome.sim.misses.len() as u64,
+    };
+    sink.record(&TraceEvent::OnlineRunCompleted {
+        member: member.label(),
+        stream,
+        machines_opened: row.machines_opened,
+        optimum,
+        ratio_millis: row.ratio_millis,
+    });
+    Ok(row)
+}
+
+/// The three race streams for a config: seeded agreeable and laminar
+/// families plus the adversary's forced-release construction (extracted by
+/// running it against EDF first-fit, then replayed as a fixed stream so
+/// every member sees the same jobs).
+fn build_streams(cfg: &RaceConfig) -> Result<Vec<(&'static str, Instance)>, OnlineError> {
+    let agr = agreeable(
+        &AgreeableCfg {
+            n: cfg.n,
+            ..Default::default()
+        },
+        cfg.seed,
+    );
+    let lam = laminar(
+        &LaminarCfg {
+            depth: 3,
+            branching: 2,
+            ..Default::default()
+        },
+        cfg.seed,
+    );
+    let adv = MigrationGapAdversary::new(EdfFirstFit::new(), ADVERSARY_BUDGET)
+        .run(cfg.k.max(2))
+        .map_err(OnlineError::Sim)?
+        .instance;
+    Ok(vec![
+        ("agreeable", agr),
+        ("laminar", lam),
+        ("adversary", adv),
+    ])
+}
+
+/// Runs the race: every member against every stream.
+pub fn race<S: TraceSink>(cfg: RaceConfig, sink: &mut S) -> Result<RaceReport, OnlineError> {
+    let mut streams = Vec::new();
+    let mut rows = Vec::new();
+    for (label, instance) in build_streams(&cfg)? {
+        let events = stream_of_instance(&instance);
+        let announced = instance_of_stream(&events);
+        let (optimum, _) = mm_opt::optimal_machines_fast(&announced);
+        streams.push((label, announced.len() as u64, optimum));
+        for &member in &cfg.members {
+            rows.push(run_member(member, label, &events, optimum, sink)?);
+        }
+    }
+    Ok(RaceReport {
+        config: cfg,
+        streams,
+        rows,
+    })
+}
+
+impl RaceReport {
+    /// The report as an all-integer JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str("machmin-online-race-v1")),
+            ("seed", Json::Int(self.config.seed as i64)),
+            ("n", Json::Int(self.config.n as i64)),
+            ("k", Json::Int(self.config.k as i64)),
+            ("agreeable_lb_millis", Json::Int(AGREEABLE_LB_MILLIS as i64)),
+            (
+                "streams",
+                Json::Arr(
+                    self.streams
+                        .iter()
+                        .map(|(label, jobs, optimum)| {
+                            Json::obj([
+                                ("stream", Json::str(*label)),
+                                ("jobs", Json::Int(*jobs as i64)),
+                                ("optimum", Json::Int(*optimum as i64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "rows",
+                Json::Arr(self.rows.iter().map(RaceRow::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Human-readable table. Pure function of the report (no wall clock),
+    /// so same-seed runs render byte-identically.
+    pub fn render(&self) -> String {
+        use core::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "online race: seed {}, n {}, k {}",
+            self.config.seed, self.config.n, self.config.k
+        );
+        for &(label, jobs, optimum) in &self.streams {
+            let lb = match label {
+                "agreeable" => " (Theorem-15 lower bound 1.101·m)",
+                "adversary" => " (Ω(log n) forced-release construction)",
+                _ => "",
+            };
+            let _ = writeln!(out, "stream {label}: {jobs} jobs, optimum {optimum}{lb}");
+            for row in self.rows.iter().filter(|r| r.stream == label) {
+                let _ = writeln!(
+                    out,
+                    "  {:<10} opened {:>3}  ratio {}.{:03}  misses {:>2}  [{}]",
+                    row.member.label(),
+                    row.machines_opened,
+                    row.ratio_millis / 1000,
+                    row.ratio_millis % 1000,
+                    row.misses,
+                    row.member.reference(),
+                );
+            }
+        }
+        out
+    }
+
+    /// Checks the theorem-shaped expectations the race must reproduce:
+    /// the specialists meet every deadline on their own class, and the
+    /// agreeable split stays within its Theorem 12 budget of 32.70·m.
+    pub fn check_bounds(&self) -> Result<(), String> {
+        for row in &self.rows {
+            let on_own_class = (row.member == Member::Agreeable && row.stream == "agreeable")
+                || (row.member == Member::Laminar && row.stream == "laminar");
+            if on_own_class && row.misses > 0 {
+                return Err(format!(
+                    "{} missed {} deadline(s) on its own class `{}`",
+                    row.member.label(),
+                    row.misses,
+                    row.stream
+                ));
+            }
+            if row.member == Member::Agreeable
+                && row.stream == "agreeable"
+                && row.ratio_millis > 32_700
+            {
+                return Err(format!(
+                    "agreeable ratio {} millis exceeds the Theorem 12 budget of 32700",
+                    row.ratio_millis
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_trace::NoopSink;
+
+    fn small() -> RaceConfig {
+        RaceConfig {
+            seed: 7,
+            n: 20,
+            k: 3,
+            members: Member::ALL.to_vec(),
+        }
+    }
+
+    #[test]
+    fn race_is_deterministic_and_within_bounds() {
+        let a = race(small(), &mut NoopSink).unwrap();
+        let b = race(small(), &mut NoopSink).unwrap();
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.to_json().to_pretty(), b.to_json().to_pretty());
+        a.check_bounds().unwrap();
+        // Every member raced every stream.
+        assert_eq!(a.rows.len(), 3 * Member::ALL.len());
+    }
+
+    #[test]
+    fn lazy_baselines_track_the_optimum_closely() {
+        let report = race(small(), &mut NoopSink).unwrap();
+        for row in report.rows.iter().filter(|r| r.member == Member::Cms) {
+            // Lazy LLF opens at most one machine per simultaneously
+            // critical job; on these streams that stays near m.
+            assert!(row.misses == 0, "cms missed on {}", row.stream);
+        }
+    }
+}

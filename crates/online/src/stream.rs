@@ -1,0 +1,193 @@
+//! JSONL serialization of event streams.
+//!
+//! One JSON object per line, times as exact `"num/den"` strings (the same
+//! convention as `mm-trace`):
+//!
+//! ```text
+//! {"event":"release","release":"0","deadline":"3/2","processing":"1"}
+//! {"event":"tick","time":"2"}
+//! ```
+//!
+//! This is the interchange format between `machmin adversary
+//! --export-stream` and `machmin online run`: the adversary's forced
+//! releases become a replayable file any portfolio member can consume.
+
+use std::io::{BufRead, Write};
+
+use mm_instance::Instance;
+use mm_json::Json;
+use mm_numeric::Rat;
+
+use crate::engine::{OnlineError, OnlineEvent};
+
+fn rat_field(obj: &Json, key: &str, line: usize) -> Result<Rat, OnlineError> {
+    let raw = obj
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| OnlineError::Stream(format!("line {line}: missing `{key}`")))?;
+    raw.parse()
+        .map_err(|_| OnlineError::Stream(format!("line {line}: `{key}` is not a rational: {raw}")))
+}
+
+/// Serializes one event as its JSONL object.
+pub fn event_to_json(event: &OnlineEvent) -> Json {
+    match event {
+        OnlineEvent::Release {
+            release,
+            deadline,
+            processing,
+        } => Json::obj([
+            ("event", Json::str("release")),
+            ("release", Json::str(release.to_string())),
+            ("deadline", Json::str(deadline.to_string())),
+            ("processing", Json::str(processing.to_string())),
+        ]),
+        OnlineEvent::Tick { time } => Json::obj([
+            ("event", Json::str("tick")),
+            ("time", Json::str(time.to_string())),
+        ]),
+    }
+}
+
+/// Writes a stream as JSONL.
+pub fn write_stream<W: Write>(mut w: W, events: &[OnlineEvent]) -> std::io::Result<()> {
+    for ev in events {
+        let mut line = event_to_json(ev).to_compact();
+        line.push('\n');
+        w.write_all(line.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a JSONL stream; blank lines are skipped. Events are validated to
+/// be in nondecreasing time order (the engine would reject them anyway,
+/// but a file is easier to debug with a line number).
+pub fn read_stream<R: BufRead>(r: R) -> Result<Vec<OnlineEvent>, OnlineError> {
+    let mut events = Vec::new();
+    let mut last: Option<Rat> = None;
+    for (idx, line) in r.lines().enumerate() {
+        let n = idx + 1;
+        let line = line.map_err(|e| OnlineError::Stream(format!("line {n}: {e}")))?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let obj =
+            mm_json::parse(line).map_err(|e| OnlineError::Stream(format!("line {n}: {e}")))?;
+        let event = match obj.get("event").and_then(Json::as_str) {
+            Some("release") => {
+                let release = rat_field(&obj, "release", n)?;
+                let deadline = rat_field(&obj, "deadline", n)?;
+                let processing = rat_field(&obj, "processing", n)?;
+                if deadline <= release
+                    || !processing.is_positive()
+                    || processing > &deadline - &release
+                {
+                    return Err(OnlineError::Stream(format!(
+                        "line {n}: job does not fit its window"
+                    )));
+                }
+                OnlineEvent::Release {
+                    release,
+                    deadline,
+                    processing,
+                }
+            }
+            Some("tick") => OnlineEvent::Tick {
+                time: rat_field(&obj, "time", n)?,
+            },
+            Some(other) => {
+                return Err(OnlineError::Stream(format!(
+                    "line {n}: unknown event `{other}`"
+                )))
+            }
+            None => {
+                return Err(OnlineError::Stream(format!(
+                    "line {n}: missing `event` tag"
+                )))
+            }
+        };
+        if let Some(prev) = &last {
+            if event.time() < prev {
+                return Err(OnlineError::Stream(format!(
+                    "line {n}: event at {} is before its predecessor at {prev}",
+                    event.time()
+                )));
+            }
+        }
+        last = Some(event.time().clone());
+        events.push(event);
+    }
+    Ok(events)
+}
+
+/// The release stream of an instance: one `Release` per job, sorted by
+/// `(release, deadline, processing)` so equal instances yield identical
+/// streams regardless of job-id order.
+pub fn stream_of_instance(instance: &Instance) -> Vec<OnlineEvent> {
+    let mut jobs: Vec<_> = instance.iter().collect();
+    jobs.sort_by(|a, b| {
+        a.release
+            .cmp(&b.release)
+            .then(a.deadline.cmp(&b.deadline))
+            .then(a.processing.cmp(&b.processing))
+            .then(a.id.cmp(&b.id))
+    });
+    jobs.into_iter()
+        .map(|j| OnlineEvent::Release {
+            release: j.release.clone(),
+            deadline: j.deadline.clone(),
+            processing: j.processing.clone(),
+        })
+        .collect()
+}
+
+/// Rebuilds the offline instance a stream announces (ticks contribute
+/// nothing). This is what the Theorem-1 optimum is computed on.
+pub fn instance_of_stream(events: &[OnlineEvent]) -> Instance {
+    Instance::from_triples(events.iter().filter_map(|ev| match ev {
+        OnlineEvent::Release {
+            release,
+            deadline,
+            processing,
+        } => Some((release.clone(), deadline.clone(), processing.clone())),
+        OnlineEvent::Tick { .. } => None,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_jsonl() {
+        let inst = Instance::from_ints([(0, 4, 2), (1, 3, 1), (1, 5, 2)]);
+        let mut events = stream_of_instance(&inst);
+        events.push(OnlineEvent::Tick {
+            time: Rat::from(9i64),
+        });
+        let mut buf = Vec::new();
+        write_stream(&mut buf, &events).unwrap();
+        let back = read_stream(&buf[..]).unwrap();
+        assert_eq!(back, events);
+        // The announced instance matches the source (up to job ids).
+        let rebuilt = instance_of_stream(&back);
+        assert_eq!(rebuilt.len(), inst.len());
+        assert_eq!(
+            mm_opt::optimal_machines(&rebuilt),
+            mm_opt::optimal_machines(&inst)
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_order_and_garbage() {
+        let bad =
+            b"{\"event\":\"release\",\"release\":\"5\",\"deadline\":\"6\",\"processing\":\"1\"}\n\
+                    {\"event\":\"tick\",\"time\":\"1\"}\n";
+        assert!(read_stream(&bad[..]).is_err());
+        assert!(read_stream(&b"not json\n"[..]).is_err());
+        let misfit =
+            b"{\"event\":\"release\",\"release\":\"0\",\"deadline\":\"1\",\"processing\":\"2\"}\n";
+        assert!(read_stream(&misfit[..]).is_err());
+    }
+}

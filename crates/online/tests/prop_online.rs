@@ -1,0 +1,176 @@
+//! Property tests for the streaming portfolio: replay determinism, strict
+//! no-lookahead (prefix-determinism), heartbeat purity, and the per-class
+//! theorem bounds on seeded instance families.
+
+use mm_instance::generators::{agreeable, laminar, AgreeableCfg, LaminarCfg};
+use mm_instance::Instance;
+use mm_numeric::Rat;
+use mm_online::{run_member, stream_of_instance, Member, OnlineEvent, StreamEngine};
+use mm_opt::optimal_machines;
+use mm_trace::NoopSink;
+use proptest::prelude::*;
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    let job = (0i64..20, 1i64..10, 1i64..8).prop_map(|(r, w, p)| (r, r + w, p.min(w)));
+    proptest::collection::vec(job, 1..14).prop_map(Instance::from_ints)
+}
+
+fn arb_member() -> impl Strategy<Value = Member> {
+    (0usize..Member::ALL.len()).prop_map(|i| Member::ALL[i])
+}
+
+/// Normalized schedule segments clipped to `[0, cut)`, as comparable
+/// tuples. Clipping after normalization makes the comparison insensitive
+/// to where a run happens to split a span (e.g. at an injection boundary).
+fn clipped(outcome: &mut mm_sim::SimOutcome, cut: &Rat) -> Vec<String> {
+    outcome.schedule.normalize();
+    outcome
+        .schedule
+        .segments()
+        .iter()
+        .filter(|seg| &seg.interval.start < cut)
+        .map(|seg| {
+            let end = if &seg.interval.end < cut {
+                seg.interval.end.clone()
+            } else {
+                cut.clone()
+            };
+            format!(
+                "m{} j{:?} [{}, {}) @{}",
+                seg.machine, seg.job, seg.interval.start, end, seg.speed
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Replaying the same stream through the same member twice yields the
+    /// same row — machines opened, ratio, and misses are pure functions of
+    /// the event sequence.
+    #[test]
+    fn replay_is_deterministic(inst in arb_instance(), member in arb_member()) {
+        let events = stream_of_instance(&inst);
+        let optimum = optimal_machines(&inst);
+        let run = || {
+            run_member(member, "prop", &events, optimum, &mut NoopSink)
+                .map_err(|e| TestCaseError::fail(e.to_string()))
+        };
+        let a = run()?;
+        let b = run()?;
+        prop_assert_eq!(a.to_json().to_compact(), b.to_json().to_compact());
+    }
+
+    /// Strict no-lookahead: everything the policy does before the time of
+    /// the first withheld event is identical whether or not the future
+    /// events ever arrive. The prefix run and the full run are compared as
+    /// normalized schedules clipped to `[0, cut)`.
+    #[test]
+    fn prefix_determinism_means_no_lookahead(
+        inst in arb_instance(),
+        member in arb_member(),
+        split in 0usize..14,
+    ) {
+        let events = stream_of_instance(&inst);
+        if events.len() < 2 {
+            return Ok(());
+        }
+        let split = 1 + split % (events.len() - 1);
+        let cut = events[split].time().clone();
+        let optimum = optimal_machines(&inst);
+        let releases = events.len();
+
+        let run = |slice: &[OnlineEvent]| -> Result<mm_sim::SimOutcome, TestCaseError> {
+            let mut engine = StreamEngine::new(
+                member.sim_config(optimum, releases),
+                member.build(optimum),
+            );
+            engine
+                .feed_all(slice)
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            Ok(engine
+                .finish()
+                .map_err(|e| TestCaseError::fail(e.to_string()))?
+                .sim)
+        };
+        let mut full = run(&events)?;
+        let mut prefix = run(&events[..split])?;
+        prop_assert_eq!(clipped(&mut full, &cut), clipped(&mut prefix, &cut));
+    }
+
+    /// Ticks are pure heartbeats: interleaving a tick at every event time
+    /// changes nothing — not the machines opened, not the misses, not the
+    /// schedule itself.
+    #[test]
+    fn ticks_are_pure_heartbeats(inst in arb_instance(), member in arb_member()) {
+        let events = stream_of_instance(&inst);
+        let optimum = optimal_machines(&inst);
+        let releases = events.len();
+        let mut ticked = Vec::new();
+        for ev in &events {
+            ticked.push(OnlineEvent::Tick { time: ev.time().clone() });
+            ticked.push(ev.clone());
+        }
+
+        let run = |slice: &[OnlineEvent]| -> Result<mm_sim::SimOutcome, TestCaseError> {
+            let mut engine = StreamEngine::new(
+                member.sim_config(optimum, releases),
+                member.build(optimum),
+            );
+            engine
+                .feed_all(slice)
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            Ok(engine
+                .finish()
+                .map_err(|e| TestCaseError::fail(e.to_string()))?
+                .sim)
+        };
+        let mut plain = run(&events)?;
+        let mut beat = run(&ticked)?;
+        prop_assert_eq!(plain.misses.len(), beat.misses.len());
+        prop_assert_eq!(plain.machines_used(), beat.machines_used());
+        let far = Rat::ratio(1_000_000, 1);
+        prop_assert_eq!(clipped(&mut plain, &far), clipped(&mut beat, &far));
+    }
+
+    /// The non-preemptive agreeable specialist on its own seeded family:
+    /// never a deadline miss, and machines opened stay within the paper's
+    /// 32.70·m budget (Theorems 12/14).
+    #[test]
+    fn agreeable_specialist_holds_its_theorem_bound(
+        n in 4usize..20,
+        seed in 0u64..1_000,
+    ) {
+        let inst = agreeable(&AgreeableCfg { n, ..Default::default() }, seed);
+        let events = stream_of_instance(&inst);
+        let optimum = optimal_machines(&inst);
+        let row = run_member(Member::Agreeable, "prop", &events, optimum, &mut NoopSink)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(row.misses, 0, "agreeable specialist missed a deadline");
+        prop_assert!(
+            row.ratio_millis <= 32_700,
+            "ratio {} exceeds the 32.70·m budget",
+            row.ratio_millis
+        );
+    }
+
+    /// The laminar sub-budget balancer on its own seeded family is
+    /// miss-free within its provisioned budget (Theorems 9/11).
+    #[test]
+    fn laminar_specialist_is_miss_free_on_laminar_streams(
+        depth in 2usize..4,
+        branching in 2usize..4,
+        seed in 0u64..1_000,
+    ) {
+        let inst = laminar(
+            &LaminarCfg { depth, branching, ..Default::default() },
+            seed,
+        );
+        let events = stream_of_instance(&inst);
+        let optimum = optimal_machines(&inst);
+        let row = run_member(Member::Laminar, "prop", &events, optimum, &mut NoopSink)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(row.misses, 0, "laminar specialist missed a deadline");
+    }
+}

@@ -61,6 +61,28 @@ impl DecisionPath {
             DecisionPath::Flow => "flow",
         }
     }
+
+    /// Whether the agreeable certifier answers for this path.
+    pub fn is_agreeable(&self) -> bool {
+        matches!(self, DecisionPath::Agreeable)
+    }
+
+    /// Whether the laminar certifier answers for this path.
+    pub fn is_laminar(&self) -> bool {
+        matches!(self, DecisionPath::Laminar)
+    }
+}
+
+/// The dispatcher's classification of `instance`, without building a
+/// certifier: the decision path [`FastProber::new`] would take. Exposed so
+/// consumers (the online portfolio, reports) share one notion of class
+/// membership instead of re-deriving it from [`Instance::classify`].
+pub fn classify_path(instance: &Instance) -> DecisionPath {
+    match instance.classify() {
+        StructureClass::Agreeable | StructureClass::Both => DecisionPath::Agreeable,
+        StructureClass::Laminar => DecisionPath::Laminar,
+        StructureClass::General => DecisionPath::Flow,
+    }
 }
 
 /// How many probes each decision path answered.
@@ -629,11 +651,7 @@ impl<'a> FastProber<'a> {
     /// Classifies `instance` and prepares the matching decision path.
     pub fn new(instance: &'a Instance) -> Self {
         let class = instance.classify();
-        let path = match class {
-            StructureClass::Agreeable | StructureClass::Both => DecisionPath::Agreeable,
-            StructureClass::Laminar => DecisionPath::Laminar,
-            StructureClass::General => DecisionPath::Flow,
-        };
+        let path = classify_path(instance);
         let backend = match path {
             DecisionPath::Flow => None,
             _ => Some(build_backend(instance)),

@@ -42,7 +42,7 @@ mod proof;
 
 pub use certificate::{contribution_bound, Certificate};
 pub use certifier::{
-    feasible_on_fast, optimal_machines_fast, DecisionPath, DispatchStats, FastProber,
+    classify_path, feasible_on_fast, optimal_machines_fast, DecisionPath, DispatchStats, FastProber,
 };
 pub use critical::{check_critical_pair, theorem10_shape, CriticalityFailure};
 pub use demigrate::{demigrate, edf_single, single_machine_feasible, theorem2_bound, Demigration};

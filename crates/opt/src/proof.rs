@@ -516,12 +516,21 @@ fn check_schedule(instance: &Instance, m: u64, w: &ScheduleWitness) -> Verificat
         let iv = Interval::ints(*s, *e);
         let len = iv.length();
         let mut interval_total = Rat::zero();
+        let mut per_job: BTreeMap<u32, Rat> = BTreeMap::new();
         for (id, vol) in entries {
             let Some(job) = jobs.get(id) else {
                 return Verification::Refuted;
             };
             let vol = Rat::from(*vol);
-            if !vol.is_positive() || vol > len || iv.start < job.release || iv.end > job.deadline {
+            if !vol.is_positive() || iv.start < job.release || iv.end > job.deadline {
+                return Verification::Refuted;
+            }
+            // The no-self-parallelism cap must bind the job's *summed*
+            // volume in this interval — duplicate entries would otherwise
+            // each clear a per-entry check while the job runs at rate > 1.
+            let job_total = per_job.entry(*id).or_insert_with(Rat::zero);
+            *job_total += vol.clone();
+            if *job_total > len {
                 return Verification::Refuted;
             }
             interval_total += vol.clone();
@@ -778,8 +787,17 @@ mod review_scratch {
         let inst = Instance::from_ints([(0, 2, 2), (0, 2, 2), (0, 4, 4)]);
         assert_eq!(crate::optimal_machines(&inst), 3, "sanity: optimum is 3");
         // Find B's id.
-        let b_id = inst.iter().find(|j| j.processing == Rat::from(4)).unwrap().id.0;
-        let ids: Vec<u32> = inst.iter().filter(|j| j.processing == Rat::from(2)).map(|j| j.id.0).collect();
+        let b_id = inst
+            .iter()
+            .find(|j| j.processing == Rat::from(4))
+            .unwrap()
+            .id
+            .0;
+        let ids: Vec<u32> = inst
+            .iter()
+            .filter(|j| j.processing == Rat::from(2))
+            .map(|j| j.id.0)
+            .collect();
         let w = ScheduleWitness {
             machines: 2,
             intervals: vec![(0, 2), (2, 4)],
@@ -788,8 +806,19 @@ mod review_scratch {
                 vec![(b_id, 2), (b_id, 2)], // duplicate: B at rate 2
             ],
         };
-        let v = verify(&inst, &Claim::Feasible(2), &Proof::Feasible { machines: 2, witness: Some(w) });
+        let v = verify(
+            &inst,
+            &Claim::Feasible(2),
+            &Proof::Feasible {
+                machines: 2,
+                witness: Some(w),
+            },
+        );
         // This SHOULD be Refuted; if it is Verified the checker is unsound.
-        assert_eq!(v, Verification::Refuted, "checker accepted a self-parallel witness");
+        assert_eq!(
+            v,
+            Verification::Refuted,
+            "checker accepted a self-parallel witness"
+        );
     }
 }

@@ -236,6 +236,58 @@ pub fn execute_traced<S: TraceSink>(
                 },
             }
         }
+        RequestKind::Online { member, .. } => {
+            if starved {
+                return Response::Degraded {
+                    id,
+                    reason: "drain".into(),
+                    fields: Vec::new(),
+                };
+            }
+            let inst = req.instance().expect("online carries jobs");
+            let picked = if member == "auto" {
+                mm_online::Member::auto(&inst)
+            } else {
+                match mm_online::Member::parse(member) {
+                    Some(m) => m,
+                    None => {
+                        return Response::Error {
+                            id,
+                            message: format!(
+                                "unknown portfolio member `{member}` \
+                                 (expected loose, laminar, agreeable, cms, imps, or auto)"
+                            ),
+                        }
+                    }
+                }
+            };
+            let t_probe = phase_start(&sink);
+            let (optimum, _) = mm_opt::optimal_machines_fast(&inst);
+            phase_end(&mut sink, id, "probe", t_probe);
+            let events = mm_online::stream_of_instance(&inst);
+            let t_sim = phase_start(&sink);
+            let run = mm_online::run_member(picked, "serve", &events, optimum, &mut sink);
+            phase_end(&mut sink, id, "sim", t_sim);
+            match run {
+                Ok(row) => Response::Ok {
+                    id,
+                    fields: vec![
+                        ("member".into(), Json::str(picked.label())),
+                        (
+                            "machines_opened".into(),
+                            Json::Int(row.machines_opened as i64),
+                        ),
+                        ("optimum".into(), Json::Int(optimum as i64)),
+                        ("ratio_millis".into(), Json::Int(row.ratio_millis as i64)),
+                        ("misses".into(), Json::Int(row.misses as i64)),
+                    ],
+                },
+                Err(e) => Response::Error {
+                    id,
+                    message: format!("online replay failed: {e}"),
+                },
+            }
+        }
         RequestKind::Adversary {
             policy,
             k,
@@ -445,6 +497,71 @@ mod tests {
             resp.to_line(),
             r#"{"id":6,"status":"ok","feasible":true,"machines_used":2,"misses":0}"#
         );
+    }
+
+    #[test]
+    fn online_reports_ratio_against_the_offline_optimum() {
+        // Three simultaneous tight jobs: optimum 3; `auto` resolves to the
+        // agreeable specialist on this agreeable instance.
+        let jobs = vec![(0, 2, 2), (0, 2, 2), (0, 2, 2)];
+        let resp = execute(
+            &req(
+                30,
+                RequestKind::Online {
+                    jobs: jobs.clone(),
+                    member: "auto".into(),
+                },
+            ),
+            None,
+            false,
+            &mut NoProgress,
+        );
+        match &resp {
+            Response::Ok { fields, .. } => {
+                let get = |key: &str| {
+                    fields
+                        .iter()
+                        .find(|(k, _)| k == key)
+                        .and_then(|(_, v)| v.as_i64())
+                };
+                assert_eq!(
+                    fields.iter().find(|(k, _)| k == "member").unwrap().1,
+                    Json::str("agreeable")
+                );
+                assert_eq!(get("optimum"), Some(3));
+                assert_eq!(get("misses"), Some(0));
+                let opened = get("machines_opened").unwrap();
+                assert_eq!(get("ratio_millis"), Some(opened * 1000 / 3));
+            }
+            other => panic!("expected ok, got {other:?}"),
+        }
+        // Byte-identical across reruns, like every other kind.
+        let again = execute(
+            &req(
+                30,
+                RequestKind::Online {
+                    jobs,
+                    member: "auto".into(),
+                },
+            ),
+            None,
+            false,
+            &mut NoProgress,
+        );
+        assert_eq!(resp.to_line(), again.to_line());
+        let bad = execute(
+            &req(
+                31,
+                RequestKind::Online {
+                    jobs: vec![(0, 2, 1)],
+                    member: "dance".into(),
+                },
+            ),
+            None,
+            false,
+            &mut NoProgress,
+        );
+        assert!(matches!(bad, Response::Error { .. }), "{bad:?}");
     }
 
     #[test]

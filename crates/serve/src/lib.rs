@@ -4,7 +4,7 @@
 //! without changing any algorithmic code:
 //!
 //! * JSONL-over-TCP protocol ([`protocol`]) — solve / probe / schedule /
-//!   adversary requests with client-chosen correlation ids;
+//!   online / adversary requests with client-chosen correlation ids;
 //! * a supervised worker pool ([`supervisor`]) — bounded admission with
 //!   explicit shedding, per-request deadlines mapped onto cooperative
 //!   [`mm_fault::Budget`] cancellation, panic-catching supervision with

@@ -200,8 +200,22 @@ pub fn request_counter(kind: &str) -> &'static str {
         "solve" => "requests.solve",
         "probe" => "requests.probe",
         "schedule" => "requests.schedule",
+        "online" => "requests.online",
         "adversary" => "requests.adversary",
         _ => "requests.other",
+    }
+}
+
+/// Registry name of the per-portfolio-member online-run counter. The match
+/// is static because [`Registry`] names are `&'static str`.
+pub fn member_counter(member: &str) -> &'static str {
+    match member {
+        "loose" => "online.loose",
+        "laminar" => "online.laminar",
+        "agreeable" => "online.agreeable",
+        "cms" => "online.cms",
+        "imps" => "online.imps",
+        _ => "online.other",
     }
 }
 
@@ -223,6 +237,7 @@ pub fn latency_histogram(kind: &str) -> &'static str {
         "solve" => "latency_us.solve",
         "probe" => "latency_us.probe",
         "schedule" => "latency_us.schedule",
+        "online" => "latency_us.online",
         "adversary" => "latency_us.adversary",
         _ => "latency_us.other",
     }

@@ -82,6 +82,16 @@ pub enum RequestKind {
         /// Machine budget (defaults to the job count).
         machines: Option<usize>,
     },
+    /// Replay the jobs as a strict release-order event stream through one
+    /// online portfolio member and report its measured competitive ratio
+    /// against the Theorem-1 offline optimum.
+    Online {
+        /// Jobs as integer triples.
+        jobs: Vec<(i64, i64, i64)>,
+        /// Portfolio member label (`loose`, `laminar`, `agreeable`, `cms`,
+        /// `imps`) or `auto` to let the instance classifier pick.
+        member: String,
+    },
     /// Run the migration-gap adversary sweep up to depth `k`.
     Adversary {
         /// Policy under attack (`edf-ff` or `medium-fit`).
@@ -132,6 +142,7 @@ impl RequestKind {
             RequestKind::Solve { .. } => "solve",
             RequestKind::Probe { .. } => "probe",
             RequestKind::Schedule { .. } => "schedule",
+            RequestKind::Online { .. } => "online",
             RequestKind::Adversary { .. } => "adversary",
             RequestKind::Shutdown => "shutdown",
             RequestKind::Join => "join",
@@ -169,7 +180,8 @@ impl Request {
         let jobs = match &self.kind {
             RequestKind::Solve { jobs }
             | RequestKind::Probe { jobs, .. }
-            | RequestKind::Schedule { jobs, .. } => jobs,
+            | RequestKind::Schedule { jobs, .. }
+            | RequestKind::Online { jobs, .. } => jobs,
             _ => return None,
         };
         Some(Instance::from_ints(jobs.iter().copied()))
@@ -197,6 +209,10 @@ impl Request {
                 if let Some(m) = machines {
                     fields.push(("machines", Json::Int(*m as i64)));
                 }
+            }
+            RequestKind::Online { jobs, member } => {
+                fields.push(("jobs", jobs_json(jobs)));
+                fields.push(("member", Json::str(member)));
             }
             RequestKind::Adversary {
                 policy,
@@ -294,6 +310,16 @@ impl Request {
                     .ok_or("schedule request missing string `policy`")?
                     .to_owned(),
                 machines: uint("machines")?.map(|m| m as usize),
+            },
+            "online" => RequestKind::Online {
+                jobs: parse_jobs(&json)?,
+                member: match json.get("member") {
+                    None => "auto".to_owned(),
+                    Some(v) => v
+                        .as_str()
+                        .ok_or("field `member` must be a string")?
+                        .to_owned(),
+                },
             },
             "adversary" => RequestKind::Adversary {
                 policy: json
@@ -586,6 +612,20 @@ mod tests {
                     jobs: vec![(0, 3, 1)],
                     policy: "edf-ff".into(),
                     machines: Some(4),
+                },
+            ),
+            Request::new(
+                21,
+                RequestKind::Online {
+                    jobs: vec![(0, 4, 2), (1, 5, 3)],
+                    member: "agreeable".into(),
+                },
+            ),
+            Request::new(
+                22,
+                RequestKind::Online {
+                    jobs: vec![(0, 2, 1)],
+                    member: "auto".into(),
                 },
             ),
             Request {

@@ -786,6 +786,7 @@ fn kind_tag(kind: &RequestKind) -> &'static str {
         RequestKind::Solve { .. } => "solve",
         RequestKind::Probe { .. } => "probe",
         RequestKind::Schedule { .. } => "schedule",
+        RequestKind::Online { .. } => "online",
         RequestKind::Adversary { .. } => "adversary",
         RequestKind::Shutdown => "shutdown",
         RequestKind::Stats { .. } => "stats",
@@ -1123,6 +1124,22 @@ fn finish(shared: &Shared, item: &WorkItem, response: &Response) {
         total_us,
         &phases,
     );
+    // Per-member online counters: the executor echoes the member it actually
+    // ran (resolving `auto`), so count from the response, not the request.
+    if matches!(item.req.kind, RequestKind::Online { .. }) {
+        if let Response::Ok { fields, .. } = response {
+            if let Some(member) = fields
+                .iter()
+                .find(|(k, _)| k == "member")
+                .and_then(|(_, v)| v.as_str())
+            {
+                shared
+                    .obs
+                    .registry
+                    .add(crate::obs::member_counter(member), 1);
+            }
+        }
+    }
     let mut sink = shared.sink.clone();
     if sink.enabled() {
         for event in ServeObs::span_events(item.req.id, total_us, &phases) {

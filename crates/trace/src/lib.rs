@@ -344,6 +344,23 @@ pub enum TraceEvent {
         /// The lying backend.
         backend: usize,
     },
+    /// One finished online-portfolio run: a member replayed an event stream
+    /// through the exact driver and was scored against the Theorem-1
+    /// offline optimum. All fields are logical, so the event is safe for
+    /// byte-identical gating.
+    OnlineRunCompleted {
+        /// Portfolio member label (`loose`, `laminar`, `agreeable`, ...).
+        member: &'static str,
+        /// Stream family the member ran on (`agreeable`, `laminar`,
+        /// `adversary`, `instance`).
+        stream: &'static str,
+        /// Machines the member actually opened.
+        machines_opened: u64,
+        /// Theorem-1 offline optimum for the same stream.
+        optimum: u64,
+        /// `⌊1000 · opened / optimum⌋` (0 when the optimum is 0).
+        ratio_millis: u64,
+    },
     /// One timed phase of a request span (observability layer). Unlike the
     /// logical events above, this carries wall-clock data, so it never
     /// appears in anything gated on byte-identical output.
@@ -400,6 +417,7 @@ impl TraceEvent {
             TraceEvent::ClusterBackendFlapped { .. } => "cluster_backend_flapped",
             TraceEvent::ClusterAnswerVerified { .. } => "cluster_answer_verified",
             TraceEvent::ClusterAnswerRefuted { .. } => "cluster_answer_refuted",
+            TraceEvent::OnlineRunCompleted { .. } => "online_run_completed",
             TraceEvent::SpanPhase { .. } => "span_phase",
         }
     }
@@ -622,6 +640,20 @@ impl TraceEvent {
                 ("event", Json::str(self.tag())),
                 ("unit", Json::Int(*unit as i64)),
                 ("backend", Json::Int(*backend as i64)),
+            ]),
+            TraceEvent::OnlineRunCompleted {
+                member,
+                stream,
+                machines_opened,
+                optimum,
+                ratio_millis,
+            } => Json::obj([
+                ("event", Json::str(self.tag())),
+                ("member", Json::str(*member)),
+                ("stream", Json::str(*stream)),
+                ("machines_opened", Json::Int(*machines_opened as i64)),
+                ("optimum", Json::Int(*optimum as i64)),
+                ("ratio_millis", Json::Int(*ratio_millis as i64)),
             ]),
             TraceEvent::SpanPhase { id, phase, micros } => Json::obj([
                 ("event", Json::str(self.tag())),
@@ -898,6 +930,13 @@ pub struct Metrics {
     pub cluster_verifications: u64,
     /// `cluster_answer_refuted` events (lies caught by proof checking).
     pub cluster_refutations: u64,
+    /// `online_run_completed` events (portfolio member runs scored against
+    /// the offline optimum).
+    pub online_runs: u64,
+    /// Machines opened summed over `online_run_completed` events.
+    pub online_machines_opened: u64,
+    /// Worst (largest) `ratio_millis` over `online_run_completed` events.
+    pub online_worst_ratio_millis: u64,
     /// `span_phase` events (request-span phase timings). Only the count is
     /// aggregated here — the timed values are wall-clock and belong to the
     /// observability registry, not to this deterministic summary.
@@ -1009,6 +1048,15 @@ impl Metrics {
             TraceEvent::ClusterBackendFlapped { .. } => self.cluster_flaps += 1,
             TraceEvent::ClusterAnswerVerified { .. } => self.cluster_verifications += 1,
             TraceEvent::ClusterAnswerRefuted { .. } => self.cluster_refutations += 1,
+            TraceEvent::OnlineRunCompleted {
+                machines_opened,
+                ratio_millis,
+                ..
+            } => {
+                self.online_runs += 1;
+                self.online_machines_opened += machines_opened;
+                self.online_worst_ratio_millis = self.online_worst_ratio_millis.max(*ratio_millis);
+            }
             TraceEvent::SpanPhase { .. } => self.span_phases += 1,
         }
     }
@@ -1119,6 +1167,20 @@ impl Metrics {
                         Json::Int(self.cluster_verifications as i64),
                     ),
                     ("refutations", Json::Int(self.cluster_refutations as i64)),
+                ]),
+            ),
+            (
+                "online",
+                Json::obj([
+                    ("runs", Json::Int(self.online_runs as i64)),
+                    (
+                        "machines_opened",
+                        Json::Int(self.online_machines_opened as i64),
+                    ),
+                    (
+                        "worst_ratio_millis",
+                        Json::Int(self.online_worst_ratio_millis as i64),
+                    ),
                 ]),
             ),
             (

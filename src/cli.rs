@@ -96,8 +96,9 @@ pub enum Command {
         out: String,
     },
     /// `adversary --policy <edf-ff|medium-fit> [--k K] [--machines N]
-    /// [--checkpoint f.json [--resume]]` — migration-gap sweep over depths
-    /// `k = 2..=K`, checkpointing each completed depth.
+    /// [--checkpoint f.json [--resume]] [--export-stream f.jsonl]` —
+    /// migration-gap sweep over depths `k = 2..=K`, checkpointing each
+    /// completed depth.
     Adversary {
         /// Policy under attack (edf-ff, medium-fit).
         policy: String,
@@ -109,6 +110,35 @@ pub enum Command {
         checkpoint: Option<String>,
         /// Resume from the checkpoint file, skipping completed depths.
         resume: bool,
+        /// Export the strongest forced-release trace of this invocation as
+        /// a replayable JSONL event stream (`machmin online run` input).
+        export_stream: Option<String>,
+        /// JSONL event-trace output file.
+        trace: Option<String>,
+        /// Aggregated metrics JSON output file.
+        metrics: Option<String>,
+    },
+    /// `online run --stream f.jsonl [--member M]` / `online race [--seed S]
+    /// [--n N] [--k K] [--members LIST] [--out f.json]` — replay an event
+    /// stream through one portfolio member, or race the whole portfolio on
+    /// generated agreeable/laminar streams plus the adversary construction.
+    Online {
+        /// Subcommand (`run` or `race`).
+        mode: String,
+        /// Event-stream JSONL file (`run`).
+        stream: Option<String>,
+        /// Portfolio member label, or `auto` to follow the classifier (`run`).
+        member: String,
+        /// Generator seed (`race`).
+        seed: u64,
+        /// Jobs per generated stream (`race`).
+        n: usize,
+        /// Adversary recursion depth (`race`, ≥ 2).
+        k: usize,
+        /// Members to race, comma-separated or `all` (`race`).
+        members: String,
+        /// Race-report JSON output file (`race`).
+        out: Option<String>,
         /// JSONL event-trace output file.
         trace: Option<String>,
         /// Aggregated metrics JSON output file.
@@ -157,6 +187,10 @@ pub enum Command {
         /// Gate proof-carrying verification instead: honest pool vs. a
         /// pool with one Byzantine backend (default out `BENCH_9.json`).
         verify: bool,
+        /// Benchmark + gate the online portfolio race instead: measured
+        /// competitive ratios, byte-identical rerun, theorem bounds
+        /// (default out `BENCH_10.json`).
+        online: bool,
         /// Baseline JSON output file (default `BENCH_2.json`).
         out: String,
         /// Committed baseline to gate deterministic counters against.
@@ -281,12 +315,14 @@ pub enum Command {
         checkpoint: Option<String>,
         /// Resume the sweep from the checkpoint file.
         resume: bool,
-        /// Grid families, comma-separated (grid workload).
+        /// Grid families, comma-separated (grid and online workloads).
         families: String,
-        /// Seeds per family (grid workload).
+        /// Seeds per family (grid and online workloads).
         seeds: u64,
-        /// Jobs per generated instance (grid workload).
+        /// Jobs per generated instance (grid and online workloads).
         n: usize,
+        /// Portfolio members, comma-separated or `all` (online workload).
+        members: String,
         /// Churn-plan file: membership events executed on the seeded
         /// `backend_churn` schedule (elastic pool mode).
         churn: Option<String>,
@@ -438,6 +474,33 @@ pub fn parse(args: &[String]) -> Result<Command, Error> {
                 machines,
                 checkpoint,
                 resume,
+                export_stream: value_flag(args, "--export-stream")?,
+                trace: value_flag(args, "--trace")?,
+                metrics: value_flag(args, "--metrics")?,
+            })
+        }
+        "online" => {
+            let mode = args.get(1).cloned().ok_or_else(usage_online)?;
+            if mode != "run" && mode != "race" {
+                return Err(usage_online());
+            }
+            let stream = value_flag(args, "--stream")?;
+            if mode == "run" && stream.is_none() {
+                return Err(Error::Usage("online run requires --stream f.jsonl".into()));
+            }
+            let k = num_flag::<usize>(args, "--k")?.unwrap_or(4);
+            if k < 2 {
+                return Err(Error::Usage("--k must be at least 2".into()));
+            }
+            Ok(Command::Online {
+                mode,
+                stream,
+                member: value_flag(args, "--member")?.unwrap_or_else(|| "auto".into()),
+                seed: num_flag::<u64>(args, "--seed")?.unwrap_or(7),
+                n: num_flag::<usize>(args, "--n")?.unwrap_or(40).max(1),
+                k,
+                members: value_flag(args, "--members")?.unwrap_or_else(|| "all".into()),
+                out: value_flag(args, "--out")?,
                 trace: value_flag(args, "--trace")?,
                 metrics: value_flag(args, "--metrics")?,
             })
@@ -456,19 +519,22 @@ pub fn parse(args: &[String]) -> Result<Command, Error> {
             let large = args.iter().any(|a| a == "--large");
             let churn = args.iter().any(|a| a == "--churn");
             let verify = args.iter().any(|a| a == "--verify");
-            if [serve, cluster, obs, large, churn, verify]
+            let online = args.iter().any(|a| a == "--online");
+            if [serve, cluster, obs, large, churn, verify, online]
                 .iter()
                 .filter(|b| **b)
                 .count()
                 > 1
             {
                 return Err(Error::Usage(
-                    "--serve, --cluster, --obs, --large, --churn, and --verify are \
-                     mutually exclusive"
+                    "--serve, --cluster, --obs, --large, --churn, --verify, and --online \
+                     are mutually exclusive"
                         .into(),
                 ));
             }
-            let default_out = if verify {
+            let default_out = if online {
+                "BENCH_10.json"
+            } else if verify {
                 "BENCH_9.json"
             } else if churn {
                 "BENCH_8.json"
@@ -491,6 +557,7 @@ pub fn parse(args: &[String]) -> Result<Command, Error> {
                 large,
                 churn,
                 verify,
+                online,
                 out: value_flag(args, "--out")?.unwrap_or_else(|| default_out.into()),
                 check: value_flag(args, "--check")?,
             })
@@ -537,7 +604,10 @@ pub fn parse(args: &[String]) -> Result<Command, Error> {
         }
         "cluster" => {
             let workload = args.get(1).cloned().ok_or_else(usage_cluster)?;
-            if !matches!(workload.as_str(), "solve" | "sweep" | "grid" | "stats") {
+            if !matches!(
+                workload.as_str(),
+                "solve" | "sweep" | "grid" | "online" | "stats"
+            ) {
                 return Err(usage_cluster());
             }
             let path = if workload == "solve" {
@@ -623,6 +693,7 @@ pub fn parse(args: &[String]) -> Result<Command, Error> {
                     .unwrap_or_else(|| "uniform,agreeable,loose".into()),
                 seeds: num_flag::<u64>(args, "--seeds")?.unwrap_or(3).max(1),
                 n: num_flag::<usize>(args, "--n")?.unwrap_or(12).max(1),
+                members: value_flag(args, "--members")?.unwrap_or_else(|| "all".into()),
                 churn,
                 spares,
                 migration_budget: num_flag::<u64>(args, "--migration-budget")?.unwrap_or(64),
@@ -696,21 +767,31 @@ fn usage_generate() -> Error {
 fn usage_adversary() -> Error {
     Error::Usage(
         "usage: machmin adversary --policy <edf-ff|medium-fit> [--k K] [--machines N] \
-         [--checkpoint f.json [--resume]] [--trace f.jsonl] [--metrics f.json]"
+         [--checkpoint f.json [--resume]] [--export-stream f.jsonl] [--trace f.jsonl] \
+         [--metrics f.json]"
+            .into(),
+    )
+}
+
+fn usage_online() -> Error {
+    Error::Usage(
+        "usage: machmin online run --stream f.jsonl [--member M]  |  machmin online race \
+         [--seed S] [--n N] [--k K] [--members LIST] [--out f.json] \
+         (M/LIST from loose|laminar|agreeable|cms|imps, plus auto/all)"
             .into(),
     )
 }
 
 fn usage_cluster() -> Error {
     Error::Usage(
-        "usage: machmin cluster <solve <inst.json>|sweep|grid|stats> --backends <a,b,c> \
+        "usage: machmin cluster <solve <inst.json>|sweep|grid|online|stats> --backends <a,b,c> \
          [--balance round-robin|least-outstanding|hash] [--seed S] [--window W] \
          [--hedge-every N | --hedge-p99 PCT] [--hedge-floor-ms N] [--chaos | --plan f.json] \
          [--churn plan.json [--spares d,e]] [--migration-budget N] \
          [--verify off|spot|all] \
          [--deadline-ms N] [--policies p1,p2] [--k K] [--machines N] \
          [--checkpoint f.json [--resume]] [--families f1,f2] [--seeds S] [--n N] \
-         [--out transcript.jsonl] [--trace f.jsonl] [--metrics f.json]"
+         [--members LIST] [--out transcript.jsonl] [--trace f.jsonl] [--metrics f.json]"
             .into(),
     )
 }
@@ -741,8 +822,20 @@ pub fn help_text() -> &'static str {
        generate <family> [--n N] [--seed S] --out <file.json>\n\
                                                 family ∈ {uniform, agreeable, laminar, loose}\n\
        adversary --policy P [--k K] [--machines N] [--checkpoint f.json [--resume]]\n\
-                                                migration-gap sweep over depths k = 2..=K,\n\
-                                                checkpointing each completed depth (P ∈ {edf-ff, medium-fit})\n\
+                 [--export-stream f.jsonl]       migration-gap sweep over depths k = 2..=K,\n\
+                                                checkpointing each completed depth (P ∈ {edf-ff, medium-fit});\n\
+                                                --export-stream writes the strongest forced-release trace\n\
+                                                as a replayable event stream for `online run`\n\
+       online run --stream f.jsonl [--member M]  replay a JSONL event stream through one portfolio\n\
+                                                member (strictly no lookahead) and report machines\n\
+                                                opened vs the offline Theorem-1 optimum;\n\
+                                                M ∈ {loose, laminar, agreeable, cms, imps, auto}\n\
+       online race [--seed S] [--n N] [--k K] [--members LIST] [--out f.json]\n\
+                                                race the portfolio over seeded agreeable/laminar\n\
+                                                streams and the adversary's forced-release trace;\n\
+                                                per-member measured competitive ratios, gated\n\
+                                                against the paper's bounds (32.70·m agreeable\n\
+                                                upper bound, 1.101·m lower bound)\n\
        chaos [--seed S] [--n N] [--plan f.json] deterministic fault-injection run exercising every\n\
                                                 fault site (probe_cancel, force_bigint, machine_failure,\n\
                                                 machine_slowdown, adversary_abort, worker_panic,\n\
@@ -759,12 +852,12 @@ pub fn help_text() -> &'static str {
                                                 deterministic load client: mixed request stream,\n\
                                                 transcript sorted by id, p50/p99/p999 latency\n\
                                                 report, optional client-side latency histogram\n\
-       cluster <solve <inst.json>|sweep|grid|stats> --backends <a,b,c> [--balance B] [--seed S]\n\
+       cluster <solve <inst.json>|sweep|grid|online|stats> --backends <a,b,c> [--balance B] [--seed S]\n\
                [--window W] [--hedge-every N | --hedge-p99 PCT] [--chaos | --plan f.json]\n\
                [--churn plan.json [--spares d,e]] [--migration-budget N]\n\
                [--verify off|spot|all]\n\
                [--policies p1,p2] [--k K] [--families f1,f2] [--seeds S] [--n N]\n\
-               [--checkpoint f.json [--resume]] [--out transcript.jsonl]\n\
+               [--members LIST] [--checkpoint f.json [--resume]] [--out transcript.jsonl]\n\
                                                 scatter–gather over a pool of running servers:\n\
                                                 B ∈ {round-robin, least-outstanding, hash};\n\
                                                 hedged requests, bounded retries, recoverable\n\
@@ -775,12 +868,15 @@ pub fn help_text() -> &'static str {
                                                 the bucket-exact pool-wide merge plus per-backend\n\
                                                 overload index, migration, and verified/refuted\n\
                                                 counters; --verify asks for proof-carrying answers\n\
-                                                and refutes/quarantines/re-asks on a caught lie\n\
+                                                and refutes/quarantines/re-asks on a caught lie;\n\
+                                                `online` races the portfolio on the pool (member ×\n\
+                                                family × seed) and checks the merged per-member\n\
+                                                ratios against a single-node reference\n\
        top --backends <a,b,c> [--interval-s N] [--frames N]\n\
                                                 live terminal view over the pool's stats endpoints:\n\
                                                 queue depth, in-flight, latency quantiles, slowest\n\
                                                 spans; one-shot unless --interval-s is given\n\
-       bench [--quick] [--serve | --cluster | --obs | --large | --churn | --verify] [--out f.json] [--check f.json]\n\
+       bench [--quick] [--serve | --cluster | --obs | --large | --churn | --verify | --online] [--out f.json] [--check f.json]\n\
                                                 seeded perf baseline: fast path + prober reuse vs\n\
                                                 BigInt + fresh-network reference (default out\n\
                                                 BENCH_2.json); --check gates deterministic counters;\n\
@@ -791,7 +887,9 @@ pub fn help_text() -> &'static str {
                                                 path (BENCH_7.json); --churn benchmarks elastic\n\
                                                 membership churn (BENCH_8.json); --verify gates\n\
                                                 proof-carrying verification — honest pool vs one\n\
-                                                Byzantine backend (BENCH_9.json)\n\
+                                                Byzantine backend (BENCH_9.json); --online gates\n\
+                                                the portfolio race's measured competitive ratios\n\
+                                                (BENCH_10.json)\n\
        certcheck [--seed S] [--cases N] [--pool [--corrupt]] [--out f.txt]\n\
                                                 certifier-vs-flow verdict cross-check; same-seed\n\
                                                 reports are byte-identical, mismatches exit 6;\n\
@@ -799,7 +897,7 @@ pub fn help_text() -> &'static str {
                                                 live backend pool (--corrupt plants one liar)\n\
        help                                     this text\n\
      \n\
-     observability (solve, schedule, adversary, chaos, serve, cluster):\n\
+     observability (solve, schedule, adversary, online, chaos, serve, cluster):\n\
        --trace <file.jsonl>                     stream typed events (one JSON object per line)\n\
        --metrics <file.json>                    write aggregated counters and histograms\n\
      \n\
@@ -1777,6 +1875,122 @@ fn obs_bench(quick: bool, path: &str, check: Option<&str>, out: &mut String) -> 
     Ok(())
 }
 
+/// The `bench --online` scenario (`BENCH_10.json`): races the full online
+/// portfolio over the seeded agreeable / laminar / adversary streams and
+/// gates on the measured competitive ratios.
+///
+/// Three deterministic gates:
+///
+/// 1. **Byte-identity** — the race runs twice (once with a metrics sink,
+///    once without); the rendered table and the JSON report must match
+///    byte-for-byte, so same-seed reruns and sink attachment cannot change
+///    a measured ratio.
+/// 2. **Theorem bounds** — [`mm_online::RaceReport::check_bounds`]: the
+///    class specialists are miss-free on their own stream families and the
+///    non-preemptive agreeable member stays within its 32.70·m budget
+///    (Theorems 12/14; lower bound 1.101·m from Theorem 15).
+/// 3. **Stable counters** — `--check` gates the embedded race JSON and the
+///    aggregated `online_*` trace counters against the committed baseline;
+///    a policy change that opens a different number of machines fails the
+///    bench.
+///
+/// Only `race_ms` varies by environment; `--check` never gates on it.
+fn online_bench(
+    quick: bool,
+    path: &str,
+    check: Option<&str>,
+    out: &mut String,
+) -> Result<(), Error> {
+    use mm_json::Json;
+    let cfg = mm_online::RaceConfig {
+        seed: 7,
+        n: if quick { 24 } else { 60 },
+        k: if quick { 3 } else { 4 },
+        members: mm_online::Member::ALL.to_vec(),
+    };
+
+    let t0 = std::time::Instant::now();
+    let mut sink = MetricsSink::new();
+    let report = mm_online::race(cfg.clone(), &mut sink)
+        .map_err(|e| Error::Sim(format!("online race failed: {e}")))?;
+    let race_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let rerun = mm_online::race(cfg, &mut mm_trace::NoopSink)
+        .map_err(|e| Error::Sim(format!("online race rerun failed: {e}")))?;
+    if report.render() != rerun.render()
+        || report.to_json().to_compact() != rerun.to_json().to_compact()
+    {
+        return Err(Error::Verification(
+            "online race is not byte-identical across same-seed reruns".into(),
+        ));
+    }
+    report.check_bounds().map_err(Error::Verification)?;
+
+    let m = &sink.metrics;
+    if m.online_runs == 0 {
+        return Err(Error::Verification(
+            "online race emitted no OnlineRunCompleted events — tracing went dark".into(),
+        ));
+    }
+    let doc = Json::obj([
+        ("schema", Json::str("machmin-online-bench-v1")),
+        ("race", report.to_json()),
+        ("online_runs", Json::Int(m.online_runs as i64)),
+        (
+            "online_machines_opened",
+            Json::Int(m.online_machines_opened as i64),
+        ),
+        (
+            "online_worst_ratio_millis",
+            Json::Int(m.online_worst_ratio_millis as i64),
+        ),
+        ("rerun_identical", Json::Bool(true)),
+        ("race_ms", Json::Float(race_ms)),
+    ]);
+    std::fs::write(path, doc.to_pretty())
+        .map_err(|e| Error::Io(format!("cannot write {path}: {e}")))?;
+    let _ = writeln!(
+        out,
+        "online bench: {} race cell(s) byte-identical across reruns; worst ratio {}.{:03}; \
+         bounds hold",
+        m.online_runs,
+        m.online_worst_ratio_millis / 1000,
+        m.online_worst_ratio_millis % 1000
+    );
+    let _ = writeln!(out, "baseline -> {path}");
+    if let Some(check_path) = check {
+        let committed = std::fs::read_to_string(check_path)
+            .map_err(|e| Error::Io(format!("cannot read baseline {check_path}: {e}")))?;
+        let committed = mm_json::parse(&committed)
+            .map_err(|e| Error::Io(format!("cannot parse baseline {check_path}: {e}")))?;
+        let mut problems = Vec::new();
+        for key in [
+            "online_runs",
+            "online_machines_opened",
+            "online_worst_ratio_millis",
+        ] {
+            let cur = doc.get(key).and_then(Json::as_i64);
+            let base = committed.get(key).and_then(Json::as_i64);
+            if cur != base {
+                problems.push(format!("{key}: {cur:?} vs committed {base:?}"));
+            }
+        }
+        for key in ["race", "rerun_identical"] {
+            let compact = |j: &Json| j.get(key).map(Json::to_compact);
+            if compact(&doc) != compact(&committed) {
+                problems.push(format!("{key} changed"));
+            }
+        }
+        if !problems.is_empty() {
+            return Err(Error::Verification(format!(
+                "online bench ratio regression vs {check_path}:\n  {}",
+                problems.join("\n  ")
+            )));
+        }
+        let _ = writeln!(out, "ratios match committed baseline {check_path}");
+    }
+    Ok(())
+}
+
 /// Merges every `latency_us.*` histogram of a snapshot into one, for
 /// whole-backend / whole-pool latency quantiles.
 fn merged_latency(snap: &mm_obs::RegistrySnapshot) -> mm_obs::Histogram {
@@ -2234,6 +2448,7 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
             machines,
             checkpoint,
             resume,
+            export_stream,
             trace,
             metrics,
         } => {
@@ -2257,6 +2472,7 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
                 _ => SweepCheckpoint::new(policy.clone(), k),
             };
             let mut sinks = CliSinks::open(trace, metrics)?;
+            let mut export_best: Option<(usize, Instance)> = None;
             while let Some(depth) = state.next_k() {
                 let res = match policy.as_str() {
                     "edf-ff" => {
@@ -2290,6 +2506,13 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
                         None => String::new(),
                     }
                 );
+                if export_stream.is_some()
+                    && export_best
+                        .as_ref()
+                        .is_none_or(|(m, _)| res.machines_forced > *m)
+                {
+                    export_best = Some((res.machines_forced, res.instance.clone()));
+                }
                 state.record(CompletedRun::from_result(&res));
                 sinks.record(&TraceEvent::AdversaryCheckpoint {
                     round: depth as u32,
@@ -2314,6 +2537,118 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
             );
             if let Some(path) = &checkpoint {
                 let _ = writeln!(out, "checkpoint -> {path}");
+            }
+            if let Some(path) = &export_stream {
+                match export_best {
+                    Some((forced, inst)) => {
+                        let events = mm_online::stream_of_instance(&inst);
+                        let file = std::fs::File::create(path)
+                            .map_err(|e| Error::Io(format!("cannot create {path}: {e}")))?;
+                        mm_online::write_stream(std::io::BufWriter::new(file), &events)
+                            .map_err(|e| Error::Io(format!("cannot write {path}: {e}")))?;
+                        let _ = writeln!(
+                            out,
+                            "exported {} release events (forced {forced} machines) -> {path}",
+                            events.len()
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(
+                            out,
+                            "nothing to export: every requested depth was already complete"
+                        );
+                    }
+                }
+            }
+            sinks.finish(&mut out)?;
+        }
+        Command::Online {
+            mode,
+            stream,
+            member,
+            seed,
+            n,
+            k,
+            members,
+            out: out_path,
+            trace,
+            metrics,
+        } => {
+            let mut sinks = CliSinks::open(trace, metrics)?;
+            match mode.as_str() {
+                "run" => {
+                    let path = stream.expect("parse guarantees --stream for run");
+                    let file = std::fs::File::open(&path)
+                        .map_err(|e| Error::Io(format!("cannot open {path}: {e}")))?;
+                    let events = mm_online::read_stream(std::io::BufReader::new(file))
+                        .map_err(|e| Error::Validation(format!("{path}: {e}")))?;
+                    let inst = mm_online::instance_of_stream(&events);
+                    let (optimum, _) = mm_opt::optimal_machines_fast(&inst);
+                    let picked = if member == "auto" {
+                        mm_online::Member::auto(&inst)
+                    } else {
+                        mm_online::Member::parse(&member).ok_or_else(|| {
+                            Error::Usage(format!(
+                                "unknown portfolio member `{member}` \
+                                 (loose|laminar|agreeable|cms|imps|auto)"
+                            ))
+                        })?
+                    };
+                    let mut sink = sinks.sink();
+                    let row = mm_online::run_member(picked, "file", &events, optimum, &mut sink)
+                        .map_err(|e| Error::Sim(format!("online replay failed: {e}")))?;
+                    let _ = writeln!(
+                        out,
+                        "online run: {picked} [{}] on {} event(s) from {path}",
+                        picked.reference(),
+                        events.len()
+                    );
+                    let _ = writeln!(
+                        out,
+                        "machines opened {} vs offline optimum {} -> ratio {}.{:03}, {} miss(es)",
+                        row.machines_opened,
+                        row.optimum,
+                        row.ratio_millis / 1000,
+                        row.ratio_millis % 1000,
+                        row.misses
+                    );
+                }
+                "race" => {
+                    let member_list = mm_online::Member::parse_list(&members).ok_or_else(|| {
+                        Error::Usage(format!(
+                            "unknown portfolio member in `{members}` \
+                             (loose|laminar|agreeable|cms|imps|all)"
+                        ))
+                    })?;
+                    let cfg = mm_online::RaceConfig {
+                        seed,
+                        n,
+                        k,
+                        members: member_list,
+                    };
+                    let mut sink = sinks.sink();
+                    let report = mm_online::race(cfg, &mut sink)
+                        .map_err(|e| Error::Sim(format!("online race failed: {e}")))?;
+                    out.push_str(&report.render());
+                    report.check_bounds().map_err(Error::Verification)?;
+                    let _ = writeln!(
+                        out,
+                        "bounds hold: specialists miss-free on their classes, \
+                         agreeable within its 32.70·m budget (lower bound {}.{:03}·m)",
+                        mm_online::AGREEABLE_LB_MILLIS / 1000,
+                        mm_online::AGREEABLE_LB_MILLIS % 1000
+                    );
+                    if let Some(path) = &out_path {
+                        std::fs::write(path, report.to_json().to_pretty())
+                            .map_err(|e| Error::Io(format!("cannot write {path}: {e}")))?;
+                        let _ = writeln!(out, "report -> {path}");
+                    }
+                }
+                other => {
+                    return Err(Error::Usage(format!(
+                        "unknown online mode `{other}` (run|race)"
+                    )))
+                }
             }
             sinks.finish(&mut out)?;
         }
@@ -2668,6 +3003,33 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
                 byz_report.counters.quarantines
             );
 
+            // Online chaos: not a fault site — a determinism probe. The
+            // portfolio race runs twice under the same seed; if faults,
+            // scheduling, or the portfolio itself leaked any nondeterminism
+            // into the streaming engine, the rendered tables would diverge.
+            let race_cfg = mm_online::RaceConfig {
+                seed,
+                n: 16,
+                k: 3,
+                members: mm_online::Member::ALL.to_vec(),
+            };
+            let race_a = mm_online::race(race_cfg.clone(), &mut sinks.sink())
+                .map_err(|e| Error::Sim(format!("chaos online race failed: {e}")))?;
+            let race_b = mm_online::race(race_cfg, &mut NoopSink)
+                .map_err(|e| Error::Sim(format!("chaos online race rerun failed: {e}")))?;
+            if race_a.render() != race_b.render()
+                || race_a.to_json().to_compact() != race_b.to_json().to_compact()
+            {
+                return Err(Error::Verification(
+                    "chaos online race is not byte-identical across same-seed reruns".into(),
+                ));
+            }
+            let _ = writeln!(
+                out,
+                "online: {} race cell(s) byte-identical across same-seed reruns",
+                race_a.rows.len()
+            );
+
             let fired = [
                 (
                     FaultSite::ProbeCancel,
@@ -2719,9 +3081,14 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
             large,
             churn,
             verify,
+            online,
             out: path,
             check,
         } => {
+            if online {
+                online_bench(quick, &path, check.as_deref(), &mut out)?;
+                return Ok(out);
+            }
             if verify {
                 verify_bench(quick, &path, check.as_deref(), &mut out)?;
                 return Ok(out);
@@ -3014,6 +3381,7 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
             families,
             seeds,
             n,
+            members,
             out: out_path,
             trace,
             metrics,
@@ -3188,9 +3556,50 @@ pub fn execute(cmd: Command) -> Result<String, Error> {
                     let _ = writeln!(out, "merged: {}", outcome.merged.to_compact());
                     outcome.report
                 }
+                "online" => {
+                    let member_list = mm_online::Member::parse_list(&members).ok_or_else(|| {
+                        Error::Usage(format!(
+                            "unknown portfolio member in `{members}` \
+                             (loose|laminar|agreeable|cms|imps|all)"
+                        ))
+                    })?;
+                    let online_cfg = mm_cluster::OnlineConfig {
+                        members: member_list,
+                        families: families
+                            .split(',')
+                            .map(|s| s.trim().to_string())
+                            .filter(|s| !s.is_empty())
+                            .collect(),
+                        seeds,
+                        n,
+                    };
+                    let outcome = mm_cluster::cluster_online(cfg, sinks.sink(), &online_cfg)
+                        .map_err(cluster_err)?;
+                    let _ = writeln!(
+                        out,
+                        "cluster online: {} cell(s) over {} member(s)",
+                        outcome.cells.len(),
+                        online_cfg.members.len()
+                    );
+                    let _ = writeln!(out, "merged: {}", outcome.merged.to_compact());
+                    // Merge parity: re-run the same cells locally; a pool
+                    // that answered every cell must merge identically.
+                    if outcome.report.counters.lost == 0 {
+                        let reference =
+                            mm_cluster::local_online_merge(&online_cfg).map_err(cluster_err)?;
+                        if outcome.merged.to_compact() != reference.to_compact() {
+                            return Err(Error::Verification(
+                                "cluster online merge diverges from the single-node reference"
+                                    .into(),
+                            ));
+                        }
+                        let _ = writeln!(out, "merge parity: cluster == single-node reference");
+                    }
+                    outcome.report
+                }
                 other => {
                     return Err(Error::Usage(format!(
-                        "unknown cluster workload `{other}` (solve|sweep|grid|stats)"
+                        "unknown cluster workload `{other}` (solve|sweep|grid|online|stats)"
                     )))
                 }
             };
@@ -3379,6 +3788,7 @@ mod tests {
                 large: false,
                 churn: false,
                 verify: false,
+                online: false,
                 out: "BENCH_2.json".into(),
                 check: None
             }
@@ -3393,6 +3803,7 @@ mod tests {
                 large: false,
                 churn: false,
                 verify: false,
+                online: false,
                 out: "b.json".into(),
                 check: Some("BENCH_2.json".into())
             }
@@ -3407,6 +3818,7 @@ mod tests {
                 large: false,
                 churn: false,
                 verify: false,
+                online: false,
                 out: "BENCH_4.json".into(),
                 check: None
             }
@@ -3421,6 +3833,7 @@ mod tests {
                 large: false,
                 churn: false,
                 verify: false,
+                online: false,
                 out: "BENCH_6.json".into(),
                 check: None
             }
@@ -3435,6 +3848,7 @@ mod tests {
                 large: false,
                 churn: true,
                 verify: false,
+                online: false,
                 out: "BENCH_8.json".into(),
                 check: None
             }
@@ -3449,6 +3863,7 @@ mod tests {
                 large: false,
                 churn: false,
                 verify: true,
+                online: false,
                 out: "BENCH_9.json".into(),
                 check: None
             }
@@ -3528,6 +3943,7 @@ mod tests {
                 machines: 16,
                 checkpoint: Some("c.json".into()),
                 resume: true,
+                export_stream: None,
                 trace: None,
                 metrics: None
             }
@@ -3811,6 +4227,7 @@ mod tests {
             machines: 16,
             checkpoint: Some(ckpt.clone()),
             resume: false,
+            export_stream: None,
             trace: Some(trace_path.clone()),
             metrics: None,
         })
@@ -3828,6 +4245,7 @@ mod tests {
             machines: 16,
             checkpoint: Some(ckpt.clone()),
             resume: true,
+            export_stream: None,
             trace: None,
             metrics: None,
         })
@@ -3844,6 +4262,7 @@ mod tests {
             machines: 16,
             checkpoint: Some(ckpt.clone()),
             resume: true,
+            export_stream: None,
             trace: None,
             metrics: None,
         })
@@ -3852,6 +4271,128 @@ mod tests {
 
         std::fs::remove_file(&ckpt).ok();
         std::fs::remove_file(&trace_path).ok();
+    }
+
+    #[test]
+    fn parse_online_commands() {
+        assert_eq!(
+            parse(&argv(
+                "online race --seed 3 --n 12 --k 5 --members loose,cms"
+            ))
+            .unwrap(),
+            Command::Online {
+                mode: "race".into(),
+                stream: None,
+                member: "auto".into(),
+                seed: 3,
+                n: 12,
+                k: 5,
+                members: "loose,cms".into(),
+                out: None,
+                trace: None,
+                metrics: None,
+            }
+        );
+        assert_eq!(
+            parse(&argv("online run --stream s.jsonl --member agreeable")).unwrap(),
+            Command::Online {
+                mode: "run".into(),
+                stream: Some("s.jsonl".into()),
+                member: "agreeable".into(),
+                seed: 7,
+                n: 40,
+                k: 4,
+                members: "all".into(),
+                out: None,
+                trace: None,
+                metrics: None,
+            }
+        );
+        assert_eq!(parse(&argv("online")).unwrap_err().tag(), "usage");
+        assert_eq!(parse(&argv("online walk")).unwrap_err().tag(), "usage");
+        assert_eq!(parse(&argv("online run")).unwrap_err().tag(), "usage");
+    }
+
+    #[test]
+    fn online_race_reports_every_member_and_holds_bounds() {
+        let run = || {
+            execute(Command::Online {
+                mode: "race".into(),
+                stream: None,
+                member: "auto".into(),
+                seed: 7,
+                n: 16,
+                k: 3,
+                members: "all".into(),
+                out: None,
+                trace: None,
+                metrics: None,
+            })
+            .unwrap()
+        };
+        let msg = run();
+        for member in ["loose", "laminar", "agreeable", "cms", "imps"] {
+            assert!(msg.contains(member), "missing {member} in {msg}");
+        }
+        for stream in ["stream agreeable", "stream laminar", "stream adversary"] {
+            assert!(msg.contains(stream), "missing {stream} in {msg}");
+        }
+        assert!(msg.contains("bounds hold"), "{msg}");
+        assert_eq!(msg, run(), "same-seed race output must be byte-identical");
+    }
+
+    #[test]
+    fn online_run_replays_an_exported_adversary_stream() {
+        let dir = std::env::temp_dir().join("machmin_cli_online");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stream = dir.join("adv_stream.jsonl").to_string_lossy().to_string();
+        std::fs::remove_file(&stream).ok();
+
+        let msg = execute(Command::Adversary {
+            policy: "edf-ff".into(),
+            k: 3,
+            machines: 16,
+            checkpoint: None,
+            resume: false,
+            export_stream: Some(stream.clone()),
+            trace: None,
+            metrics: None,
+        })
+        .unwrap();
+        assert!(msg.contains("exported"), "{msg}");
+
+        let msg = execute(Command::Online {
+            mode: "run".into(),
+            stream: Some(stream.clone()),
+            member: "cms".into(),
+            seed: 7,
+            n: 40,
+            k: 4,
+            members: "all".into(),
+            out: None,
+            trace: None,
+            metrics: None,
+        })
+        .unwrap();
+        assert!(msg.contains("online run: cms"), "{msg}");
+        assert!(msg.contains("machines opened"), "{msg}");
+
+        let err = execute(Command::Online {
+            mode: "run".into(),
+            stream: Some(stream.clone()),
+            member: "dance".into(),
+            seed: 7,
+            n: 40,
+            k: 4,
+            members: "all".into(),
+            out: None,
+            trace: None,
+            metrics: None,
+        })
+        .unwrap_err();
+        assert_eq!(err.tag(), "usage");
+
+        std::fs::remove_file(&stream).ok();
     }
 
     #[test]
@@ -4020,6 +4561,7 @@ mod tests {
             large: false,
             churn: false,
             verify: false,
+            online: false,
             out: path.clone(),
             check: None,
         })
@@ -4034,6 +4576,7 @@ mod tests {
             large: false,
             churn: false,
             verify: false,
+            online: false,
             out: path.clone(),
             check: Some(path.clone()),
         })
@@ -4055,6 +4598,7 @@ mod tests {
             large: false,
             churn: false,
             verify: false,
+            online: false,
             out: path.clone(),
             check: None,
         })
@@ -4076,6 +4620,7 @@ mod tests {
             large: false,
             churn: false,
             verify: false,
+            online: false,
             out: path.clone(),
             check: Some(path.clone()),
         })
@@ -4202,6 +4747,7 @@ mod tests {
             machines: 8,
             checkpoint: Some(ckpt.clone()),
             resume: false,
+            export_stream: None,
             trace: None,
             metrics: None,
         })
@@ -4215,6 +4761,7 @@ mod tests {
                 machines: 8,
                 checkpoint: Some(ckpt.clone()),
                 resume: true,
+                export_stream: None,
                 trace: None,
                 metrics: None,
             })
@@ -4286,6 +4833,7 @@ mod tests {
                 families: "uniform,loose".into(),
                 seeds: 2,
                 n: 8,
+                members: "all".into(),
                 out: Some("t.jsonl".into()),
                 trace: None,
                 metrics: None,
@@ -4322,6 +4870,7 @@ mod tests {
                 families: "uniform,agreeable,loose".into(),
                 seeds: 3,
                 n: 12,
+                members: "all".into(),
                 out: None,
                 trace: None,
                 metrics: None,
@@ -4363,6 +4912,7 @@ mod tests {
                 large: false,
                 churn: false,
                 verify: false,
+                online: false,
                 out: "BENCH_5.json".into(),
                 check: None
             }
@@ -4382,6 +4932,7 @@ mod tests {
             large: false,
             churn: false,
             verify: false,
+            online: false,
             out: path.clone(),
             check: None,
         })
@@ -4411,6 +4962,7 @@ mod tests {
             large: false,
             churn: false,
             verify: false,
+            online: false,
             out: path.clone(),
             check: Some(path.clone()),
         })
@@ -4452,6 +5004,7 @@ mod tests {
             families: "uniform".into(),
             seeds: 1,
             n: 4,
+            members: "all".into(),
             out: Some(out_path.clone()),
             trace: None,
             metrics: None,
@@ -4521,6 +5074,7 @@ mod tests {
             families: "uniform".into(),
             seeds: 2,
             n: 8,
+            members: "all".into(),
             out: Some(transcript.clone()),
             trace: None,
             metrics: None,
@@ -4562,6 +5116,7 @@ mod tests {
             large: false,
             churn: false,
             verify: false,
+            online: false,
             out: path.clone(),
             check: None,
         })
@@ -4592,6 +5147,7 @@ mod tests {
             large: false,
             churn: false,
             verify: false,
+            online: false,
             out: path.clone(),
             check: Some(path.clone()),
         })
